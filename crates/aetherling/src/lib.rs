@@ -1,0 +1,231 @@
+//! A miniature Aetherling (Durst et al., PLDI 2020 — reference `[22]`):
+//! type-directed generation of statically scheduled streaming image
+//! pipelines, reproduced for the paper's Section 7.1 expressivity study.
+//!
+//! Aetherling programs carry *space–time types* ([`SpaceTimeType`]) that
+//! fix the schedule of a stream: `SSeq n t` lays `n` elements out in
+//! space (parallel wires), `TSeq n i t` lays them out in time (`n` valid
+//! cycles followed by `i` invalid ones). The compiler picks a design point
+//! per throughput and reports its latency on the command line
+//! ([`DesignPoint::reported_latency`]).
+//!
+//! The paper imports 14 such designs — `conv2d` and `sharpen` at 7
+//! throughputs each — gives them Filament signatures, and discovers with
+//! the cycle-accurate harness that **5 of the 14 reported latencies are
+//! wrong** (Table 1), all in the *underutilized* (sub-1px/clock) designs,
+//! and that the 1/9 design's claimed input interval is wrong too: the
+//! pixel must be held for six cycles, not one (Section 7.1).
+//!
+//! This reproduction generates the same architecture family:
+//! * fully-utilized points (16…1 px/clk): parallel window kernels behind a
+//!   shared line buffer, DSP multipliers, and — an artifact the paper
+//!   highlights — *extra bridging logic*: valid-gating multiplexers,
+//!   module-boundary holding registers, and a 1/16 normalization performed
+//!   in a tenth DSP (`(x·4096) >> 16`) instead of a shift,
+//! * underutilized points (1/3, 1/9 px/clk): a time-multiplexed MAC that
+//!   shares multipliers across phases, whose *real* latency exceeds the
+//!   CLI formula (`latency(1px) + sharing factor`) by the input-capture
+//!   and slot-alignment overhead the formula forgets.
+
+mod parallel;
+mod serial;
+mod types;
+
+pub use types::SpaceTimeType;
+
+use fil_bits::Value;
+use fil_harness::{InterfaceSpec, PortSpec};
+use rtl_sim::Netlist;
+
+/// The two kernels of the paper's study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// 3×3 binomial blur, scaled by 1/16.
+    Conv2d,
+    /// Unsharp masking: `clamp(2·center − blur)`.
+    Sharpen,
+}
+
+impl Kernel {
+    /// The kernel's name as the paper spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Conv2d => "conv2d",
+            Kernel::Sharpen => "sharpen",
+        }
+    }
+}
+
+/// A throughput design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// `n` pixels per clock (16, 8, 4, 2, or 1).
+    Full(u32),
+    /// `1/n` pixels per clock (n = 3 or 9): underutilized, resource-shared.
+    Under(u32),
+}
+
+impl Throughput {
+    /// Human-readable form matching Table 1's first column.
+    pub fn label(self) -> String {
+        match self {
+            Throughput::Full(n) => format!("{n}"),
+            Throughput::Under(n) => format!("1/{n}"),
+        }
+    }
+
+    /// Cycles between transactions (the initiation interval).
+    pub fn period(self) -> u64 {
+        match self {
+            Throughput::Full(_) => 1,
+            Throughput::Under(n) => n as u64,
+        }
+    }
+
+    /// Pixels consumed per transaction.
+    pub fn lanes(self) -> u32 {
+        match self {
+            Throughput::Full(n) => n,
+            Throughput::Under(_) => 1,
+        }
+    }
+}
+
+/// The seven throughput points of the paper's evaluation, in Table 1 order.
+pub fn throughputs() -> Vec<Throughput> {
+    vec![
+        Throughput::Full(16),
+        Throughput::Full(8),
+        Throughput::Full(4),
+        Throughput::Full(2),
+        Throughput::Full(1),
+        Throughput::Under(3),
+        Throughput::Under(9),
+    ]
+}
+
+/// One generated design: a kernel at a throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignPoint {
+    /// Which kernel.
+    pub kernel: Kernel,
+    /// Which throughput.
+    pub throughput: Throughput,
+}
+
+/// All 14 designs of the paper's study.
+pub fn all_design_points() -> Vec<DesignPoint> {
+    let mut v = Vec::new();
+    for kernel in [Kernel::Conv2d, Kernel::Sharpen] {
+        for throughput in throughputs() {
+            v.push(DesignPoint { kernel, throughput });
+        }
+    }
+    v
+}
+
+impl DesignPoint {
+    /// The input's space–time type, e.g. `TSeq 1 8 uint8` for the 1/9
+    /// design.
+    pub fn input_type(&self) -> SpaceTimeType {
+        let px = SpaceTimeType::UInt8;
+        match self.throughput {
+            Throughput::Full(1) => px,
+            Throughput::Full(n) => SpaceTimeType::sseq(n, px),
+            Throughput::Under(n) => SpaceTimeType::tseq(1, n - 1, px),
+        }
+    }
+
+    /// The latency the Aetherling CLI reports (Table 1's "Reported"
+    /// column). Fully-utilized designs report their structural latency;
+    /// underutilized designs report `latency(1 px/clk) + sharing factor`,
+    /// which under-counts the capture/alignment overhead of the shared
+    /// datapath — the bug Table 1 exposes.
+    pub fn reported_latency(&self) -> u64 {
+        let base_full_rate = match self.kernel {
+            Kernel::Conv2d => 7,
+            Kernel::Sharpen => 8,
+        };
+        match (self.kernel, self.throughput) {
+            (Kernel::Conv2d, Throughput::Full(16)) => 7,
+            (Kernel::Conv2d, Throughput::Full(1)) => 7,
+            (Kernel::Conv2d, Throughput::Full(_)) => 6,
+            (Kernel::Sharpen, Throughput::Full(16)) => 7,
+            (Kernel::Sharpen, Throughput::Full(1)) => 8,
+            (Kernel::Sharpen, Throughput::Full(_)) => 7,
+            (_, Throughput::Under(n)) => base_full_rate + n as u64,
+        }
+    }
+
+    /// Generates the design's netlist.
+    pub fn generate(&self) -> Netlist {
+        match self.throughput {
+            Throughput::Full(lanes) => parallel::generate(self.kernel, lanes),
+            Throughput::Under(n) => serial::generate(self.kernel, n),
+        }
+    }
+
+    /// The interface *as Aetherling's types claim it*: inputs valid for one
+    /// cycle, outputs at the reported latency.
+    pub fn claimed_spec(&self) -> InterfaceSpec {
+        let lanes = self.throughput.lanes();
+        let rep = self.reported_latency();
+        InterfaceSpec {
+            name: format!("{}_{}", self.kernel.name(), self.throughput.label()),
+            go: None,
+            delay: self.throughput.period(),
+            inputs: vec![PortSpec::new("pixels", 8 * lanes, 0, 1)],
+            outputs: vec![PortSpec::new("out", 8 * lanes, rep, rep + 1)],
+        }
+    }
+
+    /// The *corrected* interface the paper derives for Filament: for the
+    /// underutilized designs the input must be held while the shared
+    /// datapath consumes it (six cycles at 1/9 throughput — the
+    /// `@[G, G+6]` of Section 7.1), and the output offset is left to
+    /// latency discovery.
+    pub fn corrected_spec(&self) -> InterfaceSpec {
+        let mut spec = self.claimed_spec();
+        if let Throughput::Under(n) = self.throughput {
+            spec.inputs[0].end = if n == 9 { 6 } else { 3 };
+        }
+        spec
+    }
+
+    /// Golden model: per transaction, the kernel output lanes.
+    ///
+    /// `streams` is the flat pixel stream; transaction `t` consumes pixels
+    /// `t·lanes .. (t+1)·lanes` and produces one output per lane (windows
+    /// over the whole stream, zero-padded at the start).
+    pub fn golden(&self, stream: &[u8]) -> Vec<Vec<Value>> {
+        let lanes = self.throughput.lanes() as usize;
+        let per_pixel = golden_pixels(self.kernel, stream);
+        per_pixel
+            .chunks(lanes)
+            .filter(|c| c.len() == lanes)
+            .map(|chunk| vec![pack_lanes(chunk)])
+            .collect()
+    }
+
+    /// Packs a transaction's pixels into the wide input value (lane 0 —
+    /// the chronologically first pixel — in the low byte).
+    pub fn pack_input(&self, chunk: &[u8]) -> Value {
+        assert_eq!(chunk.len(), self.throughput.lanes() as usize);
+        pack_lanes(chunk)
+    }
+}
+
+fn pack_lanes(chunk: &[u8]) -> Value {
+    let width = 8 * chunk.len() as u32;
+    let mut v = Value::zero(width);
+    for (i, &px) in chunk.iter().enumerate() {
+        v = v.or(&Value::from_u64(8, px as u64).resize(width).shl(8 * i as u32));
+    }
+    v
+}
+
+/// Convolution weights shared with the Filament designs.
+pub use parallel::{golden_pixels, IMAGE_WIDTH, STENCIL_DEPTH, WEIGHTS};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,230 @@
+//! Tests reproducing Section 7.1's Aetherling study: Table 1's
+//! reported-vs-actual latencies and the underutilized interface bug.
+
+use crate::{all_design_points, DesignPoint, Kernel, SpaceTimeType, Throughput};
+use fil_bits::Value;
+use fil_harness::discover_latency;
+
+/// Table 1a/1b, columns (throughput label, reported, actual).
+pub const TABLE1_CONV2D: [(&str, u64, u64); 7] = [
+    ("16", 7, 7),
+    ("8", 6, 6),
+    ("4", 6, 6),
+    ("2", 6, 6),
+    ("1", 7, 7),
+    ("1/3", 10, 12),
+    ("1/9", 16, 21),
+];
+
+pub const TABLE1_SHARPEN: [(&str, u64, u64); 7] = [
+    ("16", 7, 7),
+    ("8", 7, 7),
+    ("4", 7, 7),
+    ("2", 7, 7),
+    ("1", 8, 8),
+    ("1/3", 11, 13),
+    ("1/9", 17, 20),
+];
+
+fn stream_for(point: &DesignPoint, txns: usize) -> Vec<u8> {
+    let lanes = point.throughput.lanes() as usize;
+    // A (mostly) decreasing stream keeps the unsharp mask away from its
+    // clamp-to-zero region, so every design point has distinctive outputs.
+    (0..lanes * txns)
+        .map(|i| (235 - ((i * 7) % 180)) as u8)
+        .collect()
+}
+
+/// Drives the design per its (corrected) interface and finds the true
+/// latency — the Table 1 methodology.
+fn measure_latency(point: &DesignPoint) -> Option<u64> {
+    let netlist = point.generate();
+    let spec = point.corrected_spec();
+    // Narrow designs need a long enough stream for distinctive outputs
+    // (the kernels output zeros until the window warms up).
+    let txns = if point.throughput.lanes() <= 2 { 16 } else { 6 };
+    let stream = stream_for(point, txns);
+    let lanes = point.throughput.lanes() as usize;
+    let inputs: Vec<Vec<Value>> = stream
+        .chunks(lanes)
+        .map(|c| vec![point.pack_input(c)])
+        .collect();
+    let expected = point.golden(&stream);
+    discover_latency(
+        &netlist,
+        &spec,
+        &inputs,
+        &expected,
+        40,
+        point.throughput.period(),
+    )
+    .expect("harness ran")
+}
+
+fn table_for(kernel: Kernel) -> [(&'static str, u64, u64); 7] {
+    match kernel {
+        Kernel::Conv2d => TABLE1_CONV2D,
+        Kernel::Sharpen => TABLE1_SHARPEN,
+    }
+}
+
+#[test]
+fn table1_reported_latencies() {
+    for point in all_design_points() {
+        let table = table_for(point.kernel);
+        let (_, reported, _) = table
+            .iter()
+            .find(|(l, _, _)| *l == point.throughput.label())
+            .unwrap();
+        assert_eq!(
+            point.reported_latency(),
+            *reported,
+            "{} {}",
+            point.kernel.name(),
+            point.throughput.label()
+        );
+    }
+}
+
+#[test]
+fn table1_actual_latencies_fully_utilized() {
+    for point in all_design_points() {
+        if matches!(point.throughput, Throughput::Under(_)) {
+            continue;
+        }
+        let table = table_for(point.kernel);
+        let (_, _, actual) = table
+            .iter()
+            .find(|(l, _, _)| *l == point.throughput.label())
+            .unwrap();
+        assert_eq!(
+            measure_latency(&point),
+            Some(*actual),
+            "{} {}",
+            point.kernel.name(),
+            point.throughput.label()
+        );
+    }
+}
+
+#[test]
+fn table1_actual_latencies_underutilized() {
+    for point in all_design_points() {
+        if matches!(point.throughput, Throughput::Full(_)) {
+            continue;
+        }
+        let table = table_for(point.kernel);
+        let (_, reported, actual) = table
+            .iter()
+            .find(|(l, _, _)| *l == point.throughput.label())
+            .unwrap();
+        let measured = measure_latency(&point);
+        assert_eq!(
+            measured,
+            Some(*actual),
+            "{} {}",
+            point.kernel.name(),
+            point.throughput.label()
+        );
+        assert_ne!(
+            measured,
+            Some(*reported),
+            "the reported latency is wrong for {} {}",
+            point.kernel.name(),
+            point.throughput.label()
+        );
+    }
+}
+
+#[test]
+fn one_ninth_design_needs_input_held_six_cycles() {
+    // Section 7.1: driving the 1/9 conv2d per its claimed TSeq type (input
+    // valid one cycle) produces garbage; holding it six cycles works.
+    let point = DesignPoint {
+        kernel: Kernel::Conv2d,
+        throughput: Throughput::Under(9),
+    };
+    let netlist = point.generate();
+    let stream = stream_for(&point, 6);
+    let inputs: Vec<Vec<Value>> = stream
+        .chunks(1)
+        .map(|c| vec![point.pack_input(c)])
+        .collect();
+    let expected = point.golden(&stream);
+    let claimed = discover_latency(&netlist, &point.claimed_spec(), &inputs, &expected, 40, 9)
+        .expect("harness ran");
+    assert_eq!(claimed, None, "claimed 1-cycle input interval is a lie");
+    let corrected =
+        discover_latency(&netlist, &point.corrected_spec(), &inputs, &expected, 40, 9)
+            .expect("harness ran");
+    assert_eq!(corrected, Some(21));
+}
+
+#[test]
+fn space_time_types_of_design_points() {
+    let t19 = DesignPoint {
+        kernel: Kernel::Conv2d,
+        throughput: Throughput::Under(9),
+    };
+    assert_eq!(t19.input_type().to_string(), "TSeq 1 8 (uint8)");
+    assert!((t19.input_type().throughput() - 1.0 / 9.0).abs() < 1e-9);
+    let t8 = DesignPoint {
+        kernel: Kernel::Conv2d,
+        throughput: Throughput::Full(8),
+    };
+    assert_eq!(t8.input_type().to_string(), "SSeq 8 (uint8)");
+    assert_eq!(t8.input_type().wire_bits(), 64);
+    assert_eq!(t8.input_type().elements(), 8);
+    let nested = SpaceTimeType::tseq(3, 0, SpaceTimeType::tseq(1, 1, SpaceTimeType::UInt8));
+    assert_eq!(nested.to_string(), "TSeq 3 0 (TSeq 1 1 (uint8))");
+    assert_eq!(nested.cycles(), 6);
+    assert_eq!(nested.elements(), 3);
+}
+
+#[test]
+fn table2_aetherling_row_resources() {
+    // The 1 px/clk conv2d is the Table 2 comparison point.
+    let point = DesignPoint {
+        kernel: Kernel::Conv2d,
+        throughput: Throughput::Full(1),
+    };
+    let netlist = point.generate();
+    let res = fil_area::resources(&netlist);
+    assert_eq!(res.dsps, 10, "nine taps + the normalization DSP");
+    assert_eq!(res.regs, 78, "bridging registers included");
+    assert!(
+        (100..=115).contains(&res.luts),
+        "LUTs near the paper's 104, got {}",
+        res.luts
+    );
+    let f = fil_area::fmax_mhz(&netlist);
+    assert!(
+        (760.0..=785.0).contains(&f),
+        "fmax near the paper's 769.2 MHz, got {f:.1}"
+    );
+}
+
+#[test]
+fn all_points_enumerate() {
+    let pts = all_design_points();
+    assert_eq!(pts.len(), 14);
+    assert_eq!(crate::throughputs().len(), 7);
+    assert_eq!(pts[0].throughput.label(), "16");
+    assert_eq!(pts[6].throughput.label(), "1/9");
+    assert_eq!(pts[6].throughput.period(), 9);
+    assert_eq!(pts[6].throughput.lanes(), 1);
+}
+
+#[test]
+fn golden_packs_lanes_low_byte_first() {
+    let point = DesignPoint {
+        kernel: Kernel::Conv2d,
+        throughput: Throughput::Full(2),
+    };
+    let stream: Vec<u8> = (0..8).collect();
+    let golden = point.golden(&stream);
+    assert_eq!(golden.len(), 4, "four 2-pixel transactions");
+    assert_eq!(golden[0][0].width(), 16);
+    let packed = point.pack_input(&[0xaa, 0xbb]);
+    assert_eq!(packed.to_u64(), 0xbbaa);
+}

@@ -1,0 +1,91 @@
+//! Aetherling's space–time types (Section 7.1).
+//!
+//! `TSeq n i t`: `n` valid elements followed by `i` invalid ones, in time.
+//! `SSeq n t`: `n` elements in space (parallel wires).
+
+use std::fmt;
+
+/// A space–time type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceTimeType {
+    /// An 8-bit pixel.
+    UInt8,
+    /// `n` elements over `n + i` cycles.
+    TSeq {
+        /// Valid element count.
+        n: u32,
+        /// Trailing invalid cycles.
+        i: u32,
+        /// Element type.
+        elem: Box<SpaceTimeType>,
+    },
+    /// `n` parallel elements.
+    SSeq {
+        /// Lane count.
+        n: u32,
+        /// Element type.
+        elem: Box<SpaceTimeType>,
+    },
+}
+
+impl SpaceTimeType {
+    /// `TSeq n i elem`.
+    pub fn tseq(n: u32, i: u32, elem: SpaceTimeType) -> Self {
+        SpaceTimeType::TSeq {
+            n,
+            i,
+            elem: Box::new(elem),
+        }
+    }
+
+    /// `SSeq n elem`.
+    pub fn sseq(n: u32, elem: SpaceTimeType) -> Self {
+        SpaceTimeType::SSeq {
+            n,
+            elem: Box::new(elem),
+        }
+    }
+
+    /// Total scalar elements carried per top-level period.
+    pub fn elements(&self) -> u64 {
+        match self {
+            SpaceTimeType::UInt8 => 1,
+            SpaceTimeType::TSeq { n, elem, .. } | SpaceTimeType::SSeq { n, elem } => {
+                u64::from(*n) * elem.elements()
+            }
+        }
+    }
+
+    /// Cycles per top-level period.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            SpaceTimeType::UInt8 => 1,
+            SpaceTimeType::SSeq { elem, .. } => elem.cycles(),
+            SpaceTimeType::TSeq { n, i, elem } => u64::from(n + i) * elem.cycles(),
+        }
+    }
+
+    /// Average throughput in elements per cycle.
+    pub fn throughput(&self) -> f64 {
+        self.elements() as f64 / self.cycles() as f64
+    }
+
+    /// Bits on the wire per cycle.
+    pub fn wire_bits(&self) -> u32 {
+        match self {
+            SpaceTimeType::UInt8 => 8,
+            SpaceTimeType::TSeq { elem, .. } => elem.wire_bits(),
+            SpaceTimeType::SSeq { n, elem } => n * elem.wire_bits(),
+        }
+    }
+}
+
+impl fmt::Display for SpaceTimeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceTimeType::UInt8 => write!(f, "uint8"),
+            SpaceTimeType::TSeq { n, i, elem } => write!(f, "TSeq {n} {i} ({elem})"),
+            SpaceTimeType::SSeq { n, elem } => write!(f, "SSeq {n} ({elem})"),
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! Analytical area and timing model — the reproduction's stand-in for
+//! Vivado synthesis (Table 2 of the paper reports LUTs, DSPs, Registers,
+//! and achieved frequency for each conv2d design).
+//!
+//! The model assigns every primitive cell a LUT/DSP/register cost and a
+//! combinational delay, then computes
+//!
+//! * [`resources`]: summed costs, with guarded-assignment fan-in counted as
+//!   multiplexer LUTs, and
+//! * [`fmax_mhz`]: `1000 / critical path (ns)`, where the critical path is
+//!   the longest register-to-register combinational path (clock-to-q +
+//!   cell delays + a fixed routing allowance + setup), floored by each
+//!   cell's intrinsic minimum period.
+//!
+//! Constants are calibrated to an UltraScale+-class device at a -2 speed
+//! grade: e.g. the DSP48E2 cascade path's intrinsic limit of ≈1.55 ns
+//! yields the familiar ≈645 MHz ceiling that Table 2's Reticle design runs
+//! at. The paper itself notes absolute synthesis numbers are not exactly
+//! reproducible; this model preserves the *shape* of the comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use fil_area::{fmax_mhz, resources};
+//! use rtl_sim::{CellKind, Netlist};
+//!
+//! let mut n = Netlist::new("adder");
+//! let a = n.add_input("a", 8);
+//! let b = n.add_input("b", 8);
+//! let o = n.add_signal("o", 8);
+//! n.add_cell("add", CellKind::Add { width: 8 }, vec![a, b], vec![o]);
+//! let r = resources(&n);
+//! assert_eq!(r.luts, 8);
+//! assert!(fmax_mhz(&n) > 100.0);
+//! ```
+
+use rtl_sim::{CellKind, Netlist};
+use std::fmt;
+
+/// FPGA resource usage: the three resource columns of Table 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Resources {
+    /// Look-up tables.
+    pub luts: u64,
+    /// DSP slices.
+    pub dsps: u64,
+    /// Register (sequential) cells. Table 2 counts register *instances*;
+    /// DSP-internal pipeline registers are free, which is exactly why the
+    /// Reticle design saves fabric registers.
+    pub regs: u64,
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} DSPs, {} registers",
+            self.luts, self.dsps, self.regs
+        )
+    }
+}
+
+/// Fixed routing allowance per register-to-register path, in ns.
+const NET_NS: f64 = 0.40;
+/// Flip-flop clock-to-q, in ns.
+const CLK_TO_Q_NS: f64 = 0.15;
+/// Flip-flop setup, in ns.
+const SETUP_NS: f64 = 0.10;
+
+/// Per-cell cost model.
+struct CellCost {
+    luts: u64,
+    dsps: u64,
+    regs: u64,
+    /// Combinational input→output delay (ns); `None` for sequential cells.
+    comb_ns: Option<f64>,
+    /// Clock-to-q of sequential outputs (ns).
+    cq_ns: f64,
+    /// Setup at sequential inputs (ns).
+    setup_ns: f64,
+    /// Intrinsic minimum clock period (ns), e.g. DSP internal paths.
+    min_period_ns: f64,
+}
+
+fn cost(kind: &CellKind) -> CellCost {
+    use CellKind::*;
+    let d = |comb_ns: f64, luts: u64| CellCost {
+        luts,
+        dsps: 0,
+        regs: 0,
+        comb_ns: Some(comb_ns),
+        cq_ns: 0.0,
+        setup_ns: 0.0,
+        min_period_ns: 0.0,
+    };
+    let seq = |regs: u64, luts: u64, dsps: u64, min_period_ns: f64| CellCost {
+        luts,
+        dsps,
+        regs,
+        comb_ns: None,
+        cq_ns: CLK_TO_Q_NS,
+        setup_ns: SETUP_NS,
+        min_period_ns,
+    };
+    match *kind {
+        Const { .. } => d(0.0, 0),
+        // Carry-chain adders: fast per-bit, one LUT per bit.
+        Add { width } | Sub { width } => d(0.067 + 0.013 * width as f64, width as u64),
+        And { width } | Or { width } | Xor { width } => d(0.12, width.div_ceil(2) as u64),
+        Not { .. } => d(0.05, 0),
+        Mux { width } => d(0.10, width.div_ceil(2) as u64),
+        Eq { width } | Lt { width } | Ge { width } => d(0.30, width.div_ceil(3) as u64),
+        ShlConst { .. } | ShrConst { .. } | Slice { .. } | Concat { .. } | ZeroExt { .. } => {
+            d(0.0, 0)
+        }
+        ShlDyn { width } | ShrDyn { width } => d(0.60, (width as u64) * 3 / 2),
+        ReduceOr { width } | ReduceAnd { width } => d(0.20, width.div_ceil(6) as u64),
+        Clz { width } => d(0.45, width as u64),
+        SBox => d(0.35, 32),
+        // Wide combinational multipliers infer an unpipelined DSP.
+        MulComb { width } => {
+            if width >= 8 {
+                CellCost {
+                    luts: 0,
+                    dsps: 1,
+                    regs: 0,
+                    comb_ns: Some(2.9),
+                    cq_ns: 0.0,
+                    setup_ns: 0.0,
+                    min_period_ns: 0.0,
+                }
+            } else {
+                d(0.9, (width as u64) * (width as u64) / 2)
+            }
+        }
+        Reg { .. } => seq(1, 0, 0, 0.0),
+        ShiftFsm { n } => seq(n.saturating_sub(1) as u64, 0, 0, 0.0),
+        // Sequential multiplier: a DSP plus a small control FSM.
+        MultSeq { .. } => seq(1, 4, 1, 2.0),
+        // Fully pipelined multiplier: DSP with internal A/M/P registers.
+        MultPipe { width, latency } => {
+            let fabric_regs = (latency as u64).saturating_sub(3) * ((width as u64) / 8).max(1);
+            seq(fabric_regs, 0, 1, 1.10)
+        }
+        // DSP48E2 cascade slice: everything internal; the cascade path sets
+        // the familiar ≈645 MHz ceiling.
+        Dsp48 { .. } => seq(0, 0, 1, 1.5504),
+    }
+}
+
+/// Sums the resource usage of a netlist, including multiplexing LUTs
+/// implied by multiple guarded assignments to one destination.
+pub fn resources(netlist: &Netlist) -> Resources {
+    let mut total = Resources::default();
+    for cell in netlist.cells() {
+        let c = cost(&cell.kind);
+        total.luts += c.luts;
+        total.dsps += c.dsps;
+        total.regs += c.regs;
+    }
+    // Guarded fan-in: k sources into one signal costs (k-1) 2:1 muxes.
+    let mut fanin = std::collections::HashMap::new();
+    for a in netlist.assigns() {
+        *fanin.entry(a.dst).or_insert(0u64) += 1;
+    }
+    for (dst, k) in fanin {
+        if k > 1 {
+            let w = netlist.signal(dst).width as u64;
+            total.luts += (k - 1) * w.div_ceil(2);
+        }
+    }
+    total
+}
+
+/// The critical path in nanoseconds: the longest
+/// launch→combinational→capture path plus the intrinsic minimum period of
+/// any cell.
+pub fn critical_path_ns(netlist: &Netlist) -> f64 {
+    // Arrival times per signal, propagated in topological order. The
+    // netlist is assumed acyclic through combinational logic (the simulator
+    // rejects loops); a bounded relaxation keeps this function total anyway.
+    let n = netlist.signals().len();
+    let mut arrival = vec![0.0f64; n];
+    let mut worst: f64 = 0.0;
+
+    // Seed: sequential cell outputs launch at clock-to-q.
+    for cell in netlist.cells() {
+        let c = cost(&cell.kind);
+        if c.comb_ns.is_none() {
+            worst = worst.max(c.min_period_ns);
+            for &out in &cell.outputs {
+                arrival[out.index()] = c.cq_ns;
+            }
+        }
+    }
+
+    // Relax combinational cells and assignments to a fixed point (bounded
+    // by the number of signals, enough for any DAG).
+    for _ in 0..n.max(1) {
+        let mut changed = false;
+        for cell in netlist.cells() {
+            let c = cost(&cell.kind);
+            let Some(delay) = c.comb_ns else { continue };
+            let input_max = cell
+                .inputs
+                .iter()
+                .map(|s| arrival[s.index()])
+                .fold(0.0, f64::max);
+            for &out in &cell.outputs {
+                let t = input_max + delay;
+                if t > arrival[out.index()] + 1e-12 {
+                    arrival[out.index()] = t;
+                    changed = true;
+                }
+            }
+        }
+        for a in netlist.assigns() {
+            let mut t = arrival[a.src.index()];
+            if let Some(g) = a.guard {
+                t = t.max(arrival[g.index()]).max(arrival[a.src.index()]) + 0.02;
+            }
+            if t > arrival[a.dst.index()] + 1e-12 {
+                arrival[a.dst.index()] = t;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Capture: sequential cell inputs and top-level outputs.
+    for cell in netlist.cells() {
+        let c = cost(&cell.kind);
+        if c.comb_ns.is_none() {
+            for &inp in &cell.inputs {
+                worst = worst.max(arrival[inp.index()] + NET_NS + c.setup_ns);
+            }
+        }
+    }
+    for out in netlist.outputs() {
+        worst = worst.max(arrival[out.index()] + NET_NS + SETUP_NS);
+    }
+    worst.max(CLK_TO_Q_NS + NET_NS + SETUP_NS)
+}
+
+/// Maximum clock frequency in MHz.
+pub fn fmax_mhz(netlist: &Netlist) -> f64 {
+    1000.0 / critical_path_ns(netlist)
+}
+
+/// A synthesis report row, as printed by the Table 2 harness.
+#[derive(Debug, Clone)]
+pub struct SynthesisReport {
+    /// Design name.
+    pub name: String,
+    /// Resource usage.
+    pub resources: Resources,
+    /// Achieved frequency (MHz).
+    pub fmax_mhz: f64,
+}
+
+impl SynthesisReport {
+    /// Runs the model over a netlist.
+    pub fn of(name: impl Into<String>, netlist: &Netlist) -> Self {
+        SynthesisReport {
+            name: name.into(),
+            resources: resources(netlist),
+            fmax_mhz: fmax_mhz(netlist),
+        }
+    }
+}
+
+impl fmt::Display for SynthesisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<18} {:>6} {:>5} {:>10} {:>10.1}",
+            self.name,
+            self.resources.luts,
+            self.resources.dsps,
+            self.resources.regs,
+            self.fmax_mhz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl_sim::{CellKind, Netlist};
+
+    fn reg_add_reg(width: u32) -> Netlist {
+        let mut n = Netlist::new("rar");
+        let x = n.add_input("x", width);
+        let q0 = n.add_signal("q0", width);
+        let sum = n.add_signal("sum", width);
+        let q1 = n.add_signal("q1", width);
+        n.add_cell(
+            "r0",
+            CellKind::Reg { width, init: 0, has_en: false },
+            vec![x],
+            vec![q0],
+        );
+        n.add_cell("a", CellKind::Add { width }, vec![q0, q0], vec![sum]);
+        n.add_cell(
+            "r1",
+            CellKind::Reg { width, init: 0, has_en: false },
+            vec![sum],
+            vec![q1],
+        );
+        n.mark_output(q1);
+        n
+    }
+
+    #[test]
+    fn reg_add_reg_path_is_calibrated() {
+        // cq 0.15 + add8 0.171 + net 0.40 + setup 0.10 = 0.821 ns.
+        let n = reg_add_reg(8);
+        let p = critical_path_ns(&n);
+        assert!((p - 0.821).abs() < 1e-9, "path = {p}");
+        assert!(fmax_mhz(&n) > 1000.0);
+    }
+
+    #[test]
+    fn reg_2x_add16_reg_is_the_833mhz_point() {
+        // The Filament conv2d pipeline stage: two 16-bit adds between
+        // registers → 0.15 + 2·0.275 + 0.40 + 0.10 = 1.20 ns = 833.3 MHz.
+        let mut n = Netlist::new("stage");
+        let x = n.add_input("x", 16);
+        let q0 = n.add_signal("q0", 16);
+        n.add_cell(
+            "r0",
+            CellKind::Reg { width: 16, init: 0, has_en: false },
+            vec![x],
+            vec![q0],
+        );
+        let s1 = n.add_signal("s1", 16);
+        n.add_cell("a1", CellKind::Add { width: 16 }, vec![q0, q0], vec![s1]);
+        let s2 = n.add_signal("s2", 16);
+        n.add_cell("a2", CellKind::Add { width: 16 }, vec![s1, s1], vec![s2]);
+        let q1 = n.add_signal("q1", 16);
+        n.add_cell(
+            "r1",
+            CellKind::Reg { width: 16, init: 0, has_en: false },
+            vec![s2],
+            vec![q1],
+        );
+        let f = fmax_mhz(&n);
+        assert!((f - 833.3).abs() < 0.1, "fmax = {f}");
+    }
+
+    #[test]
+    fn deeper_comb_lowers_fmax() {
+        // Chain of adders between registers.
+        let mut n = Netlist::new("deep");
+        let x = n.add_input("x", 8);
+        let q0 = n.add_signal("q0", 8);
+        n.add_cell(
+            "r0",
+            CellKind::Reg { width: 8, init: 0, has_en: false },
+            vec![x],
+            vec![q0],
+        );
+        let mut cur = q0;
+        for i in 0..4 {
+            let s = n.add_signal(format!("s{i}"), 8);
+            n.add_cell(format!("a{i}"), CellKind::Add { width: 8 }, vec![cur, cur], vec![s]);
+            cur = s;
+        }
+        let q1 = n.add_signal("q1", 8);
+        n.add_cell(
+            "r1",
+            CellKind::Reg { width: 8, init: 0, has_en: false },
+            vec![cur],
+            vec![q1],
+        );
+        let shallow = reg_add_reg(8);
+        assert!(fmax_mhz(&n) < fmax_mhz(&shallow));
+        // 0.15 + 4*0.171 + 0.4 + 0.1 = 1.334 ns.
+        let p = critical_path_ns(&n);
+        assert!((p - 1.334).abs() < 1e-9, "path = {p}");
+    }
+
+    #[test]
+    fn dsp_cascade_sets_645mhz_ceiling() {
+        let mut n = Netlist::new("dsp");
+        let a = n.add_input("a", 16);
+        let z = n.add_signal("z", 16);
+        n.add_cell(
+            "k",
+            CellKind::Const { value: fil_bits::Value::zero(16) },
+            vec![],
+            vec![z],
+        );
+        let p = n.add_signal("p", 16);
+        n.add_cell(
+            "d",
+            CellKind::Dsp48 { width: 16, use_c: false, use_pcin: true },
+            vec![a, a, z, z],
+            vec![p],
+        );
+        let f = fmax_mhz(&n);
+        assert!((f - 645.0).abs() < 1.0, "fmax = {f}");
+        let r = resources(&n);
+        assert_eq!(r.dsps, 1);
+        assert_eq!(r.regs, 0, "DSP-internal registers are free");
+    }
+
+    #[test]
+    fn resource_counting() {
+        let n = reg_add_reg(8);
+        let r = resources(&n);
+        assert_eq!(r, Resources { luts: 8, dsps: 0, regs: 2 });
+    }
+
+    #[test]
+    fn guarded_fanin_costs_muxes() {
+        let mut n = Netlist::new("mux");
+        let g0 = n.add_input("g0", 1);
+        let g1 = n.add_input("g1", 1);
+        let x = n.add_input("x", 8);
+        let o = n.add_signal("o", 8);
+        n.connect_guarded(o, x, g0);
+        n.connect_guarded(o, x, g1);
+        assert_eq!(resources(&n).luts, 4, "one 8-bit 2:1 mux = 4 LUTs");
+    }
+
+    #[test]
+    fn pipelined_mult_regs_are_internal_up_to_depth_3() {
+        let mut n = Netlist::new("mp");
+        let a = n.add_input("a", 16);
+        let o = n.add_signal("o", 16);
+        n.add_cell(
+            "m",
+            CellKind::MultPipe { width: 16, latency: 3 },
+            vec![a, a],
+            vec![o],
+        );
+        let r = resources(&n);
+        assert_eq!((r.dsps, r.regs), (1, 0));
+        // Deeper pipelines spill into fabric registers.
+        let mut n2 = Netlist::new("mp5");
+        let a2 = n2.add_input("a", 16);
+        let o2 = n2.add_signal("o", 16);
+        n2.add_cell(
+            "m",
+            CellKind::MultPipe { width: 16, latency: 5 },
+            vec![a2, a2],
+            vec![o2],
+        );
+        assert!(resources(&n2).regs > 0);
+    }
+
+    #[test]
+    fn report_formats_row() {
+        let n = reg_add_reg(8);
+        let rep = SynthesisReport::of("filament", &n);
+        let row = rep.to_string();
+        assert!(row.contains("filament"));
+        assert!(row.contains('8'));
+    }
+
+    #[test]
+    fn empty_netlist_has_floor_period() {
+        let n = Netlist::new("empty");
+        assert!(critical_path_ns(&n) > 0.0);
+        assert_eq!(resources(&n), Resources::default());
+    }
+}

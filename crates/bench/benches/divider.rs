@@ -1,0 +1,39 @@
+//! Criterion bench for the Figure 2 divider designs: simulated throughput
+//! of the pipelined (II=1) vs iterative (II=8) dividers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fil_bits::Value;
+
+fn bench_divider(c: &mut Criterion) {
+    let mut g = c.benchmark_group("divider");
+    g.sample_size(10);
+    let designs = [
+        ("pipelined_ii1", fil_designs::divider::pipelined_source(), "DivPipe"),
+        ("iterative_ii8", fil_designs::divider::iterative_source(), "DivIter"),
+    ];
+    let inputs: Vec<Vec<Value>> = (0..32u64)
+        .map(|i| {
+            vec![
+                Value::from_u64(8, (i * 37 + 11) & 0xff),
+                Value::from_u64(16, (i * 13 + 1) & 0xffff),
+            ]
+        })
+        .collect();
+    for (name, src, top) in designs {
+        let (netlist, spec) = fil_designs::build(&src, top).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                fil_harness::run_pipelined(
+                    std::hint::black_box(&netlist),
+                    std::hint::black_box(&spec),
+                    std::hint::black_box(&inputs),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_divider);
+criterion_main!(benches);

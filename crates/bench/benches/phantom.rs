@@ -1,0 +1,44 @@
+//! Ablation bench for phantom-event elision (Section 5.4): the same conv2d
+//! compiled as a continuous pipeline (phantom event, no FSM/guards) vs
+//! with a reified interface port.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fil_bits::Value;
+
+fn bench_phantom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phantom_elision");
+    g.sample_size(10);
+    let variants = [
+        ("phantom", fil_designs::conv2d::base_source()),
+        ("interfaced", fil_designs::conv2d::base_source_interfaced()),
+    ];
+    for (name, src) in variants {
+        let (netlist, spec) = fil_designs::build(&src, "Conv2d").unwrap();
+        let px: Vec<u8> = (0..64).map(|i| (i * 13 + 40) as u8).collect();
+        let inputs: Vec<Vec<Value>> = px
+            .iter()
+            .map(|&p| vec![Value::from_u64(8, p as u64)])
+            .collect();
+        // Report the area overhead once per variant.
+        eprintln!(
+            "phantom_elision/{name}: {} cells, {}, fmax {:.1} MHz",
+            netlist.cells().len(),
+            fil_area::resources(&netlist),
+            fil_area::fmax_mhz(&netlist),
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                fil_harness::run_pipelined(
+                    std::hint::black_box(&netlist),
+                    std::hint::black_box(&spec),
+                    std::hint::black_box(&inputs),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_phantom);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for the RTL simulator substrate: cycles per second on
+//! the compiled pipelined ALU and the 18-stage AES pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fil_bits::Value;
+use rtl_sim::Sim;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let cycles = 1000u64;
+    g.throughput(Throughput::Elements(cycles));
+
+    let program =
+        fil_stdlib::with_stdlib(&fil_designs::alu::source(fil_designs::alu::ALU_PIPELINED))
+            .unwrap();
+    let (alu, _) =
+        fil_harness::compile_for_test(&program, "ALU", &fil_stdlib::StdRegistry).unwrap();
+    g.bench_function("alu_1k_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(&alu).unwrap();
+            sim.poke_by_name("en", Value::from_u64(1, 1));
+            sim.poke_by_name("l", Value::from_u64(32, 3));
+            sim.poke_by_name("r", Value::from_u64(32, 4));
+            sim.poke_by_name("op", Value::from_u64(1, 1));
+            sim.run(cycles).unwrap();
+            sim.peek_by_name("o").to_u64()
+        })
+    });
+
+    let aes = pipelinec::aes::aes_netlist();
+    let aes_cycles = 100u64;
+    g.throughput(Throughput::Elements(aes_cycles));
+    g.bench_function("aes_100_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(&aes).unwrap();
+            sim.poke_by_name("state_words", Value::from_u64(64, 42).resize(128));
+            sim.poke_by_name("keys", Value::ones(1280));
+            sim.run(aes_cycles).unwrap();
+            sim.peek_by_name("out_words$out").to_u64()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Ablation bench for the difference-logic solver that discharges every
+//! timeline obligation (DESIGN.md design-decision #1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fil_solver::DiffSolver;
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+    // A register-file-sized constraint system: chains of where-clauses.
+    let mut s = DiffSolver::new();
+    let vars: Vec<_> = (0..64).map(|i| s.var(&format!("e{i}"))).collect();
+    for w in vars.windows(2) {
+        s.assume(w[1], w[0], 2);
+    }
+    g.bench_function("entailment_64_chain", |b| {
+        b.iter(|| s.entails(*vars.last().unwrap(), vars[0], 120))
+    });
+    g.bench_function("consistency_64_chain", |b| b.iter(|| s.is_consistent()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for the Table 1 pipeline: generating an Aetherling
+//! design and discovering its latency with the cycle-accurate harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for (label, point) in [
+        (
+            "conv2d_1",
+            aetherling::DesignPoint {
+                kernel: aetherling::Kernel::Conv2d,
+                throughput: aetherling::Throughput::Full(1),
+            },
+        ),
+        (
+            "conv2d_1_9",
+            aetherling::DesignPoint {
+                kernel: aetherling::Kernel::Conv2d,
+                throughput: aetherling::Throughput::Under(9),
+            },
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| fil_bench::measure_latency(std::hint::black_box(&point)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for the Table 2 pipeline: compile + analytical
+//! synthesis of the three conv2d designs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("all_three_designs", |b| b.iter(fil_bench::table2));
+    // Ablation: the synthesis model alone, on a prebuilt netlist.
+    let (netlist, _) =
+        fil_designs::build(&fil_designs::conv2d::base_source(), "Conv2d").unwrap();
+    g.bench_function("area_model_only", |b| {
+        b.iter(|| {
+            let r = fil_area::resources(std::hint::black_box(&netlist));
+            let f = fil_area::fmax_mhz(std::hint::black_box(&netlist));
+            (r, f)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

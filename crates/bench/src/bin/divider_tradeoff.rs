@@ -1,0 +1,6 @@
+//! Regenerates the Figure 2 divider area-throughput trade-off.
+
+fn main() {
+    let rows = fil_bench::divider_tradeoff();
+    println!("{}", fil_bench::render_divider(&rows));
+}

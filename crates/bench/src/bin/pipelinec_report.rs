@@ -1,0 +1,5 @@
+//! Summarizes the PipelineC imports of Appendix B.2.
+
+fn main() {
+    println!("{}", fil_bench::pipelinec_report());
+}

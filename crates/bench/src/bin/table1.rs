@@ -1,0 +1,9 @@
+//! Regenerates Table 1: reported vs actual latencies of the 14 Aetherling
+//! designs, measured with the cycle-accurate harness.
+
+fn main() {
+    for kernel in [aetherling::Kernel::Conv2d, aetherling::Kernel::Sharpen] {
+        let rows = fil_bench::table1(kernel);
+        println!("{}", fil_bench::render_table1(kernel, &rows));
+    }
+}

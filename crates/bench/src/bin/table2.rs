@@ -1,0 +1,7 @@
+//! Regenerates Table 2: resource usage and frequency of the three conv2d
+//! designs under the analytical synthesis model.
+
+fn main() {
+    let rows = fil_bench::table2();
+    println!("{}", fil_bench::render_table2(&rows));
+}

@@ -1,0 +1,387 @@
+//! Arithmetic, logical, shift, comparison, and structural operations.
+//!
+//! All binary operations panic on width mismatch: in a structural netlist a
+//! width mismatch is an elaboration bug, never a runtime condition, so the
+//! simulator treats it as a programming error rather than an `Err`.
+
+use crate::value::{limbs_for, Value, LIMB_BITS};
+use std::cmp::Ordering;
+
+fn assert_same_width(a: &Value, b: &Value, op: &str) {
+    assert_eq!(
+        a.width(),
+        b.width(),
+        "width mismatch in {op}: {} vs {}",
+        a.width(),
+        b.width()
+    );
+}
+
+pub(crate) fn shl_raw(v: &Value, amount: u32) -> Value {
+    let mut out = Value::zero(v.width());
+    if amount >= v.width() {
+        return out;
+    }
+    let limb_shift = (amount / LIMB_BITS) as usize;
+    let bit_shift = amount % LIMB_BITS;
+    let n = out.limbs().len();
+    for i in (0..n).rev() {
+        let mut limb = 0u64;
+        if i >= limb_shift {
+            limb = v.limbs()[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                limb |= v.limbs()[i - limb_shift - 1] >> (LIMB_BITS - bit_shift);
+            }
+        }
+        out.limbs_mut()[i] = limb;
+    }
+    out.mask_top();
+    out
+}
+
+pub(crate) fn or_raw(a: &Value, b: &Value) -> Value {
+    let mut out = a.clone();
+    for (o, &l) in out.limbs_mut().iter_mut().zip(b.limbs()) {
+        *o |= l;
+    }
+    out
+}
+
+impl Value {
+    /// Wrapping addition modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn add(&self, rhs: &Value) -> Value {
+        assert_same_width(self, rhs, "add");
+        let mut out = Value::zero(self.width());
+        let mut carry = 0u64;
+        for i in 0..self.limbs().len() {
+            let (s1, c1) = self.limbs()[i].overflowing_add(rhs.limbs()[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.limbs_mut()[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Wrapping subtraction modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn sub(&self, rhs: &Value) -> Value {
+        assert_same_width(self, rhs, "sub");
+        // a - b = a + !b + 1 in two's complement.
+        let one = Value::from_u64(self.width(), 1);
+        self.add(&rhs.not()).add(&one)
+    }
+
+    /// Wrapping multiplication modulo `2^width` (schoolbook over limbs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn mul(&self, rhs: &Value) -> Value {
+        assert_same_width(self, rhs, "mul");
+        let n = self.limbs().len();
+        let mut acc = vec![0u64; n];
+        for i in 0..n {
+            let a = self.limbs()[i] as u128;
+            if a == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for j in 0..(n - i) {
+                let b = rhs.limbs()[j] as u128;
+                let cur = acc[i + j] as u128 + a * b + carry;
+                acc[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+        }
+        let mut out = Value::from_limbs(self.width(), &acc);
+        out.mask_top();
+        out
+    }
+
+    /// Widening multiplication: the full `2 * width`-bit product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn mul_full(&self, rhs: &Value) -> Value {
+        assert_same_width(self, rhs, "mul_full");
+        let w2 = self.width() * 2;
+        self.resize(w2).mul(&rhs.resize(w2))
+    }
+
+    /// Unsigned division; returns all-ones on divide-by-zero (matching the
+    /// common FPGA divider IP convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn div(&self, rhs: &Value) -> Value {
+        assert_same_width(self, rhs, "div");
+        self.divmod(rhs).0
+    }
+
+    /// Unsigned remainder; returns the dividend on divide-by-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn rem(&self, rhs: &Value) -> Value {
+        assert_same_width(self, rhs, "rem");
+        self.divmod(rhs).1
+    }
+
+    /// Unsigned quotient and remainder via restoring long division — the same
+    /// algorithm as the paper's Section 2.5 divider designs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn divmod(&self, rhs: &Value) -> (Value, Value) {
+        assert_same_width(self, rhs, "divmod");
+        if rhs.is_zero() {
+            return (Value::ones(self.width()), self.clone());
+        }
+        let mut quotient = Value::zero(self.width());
+        let mut acc = Value::zero(self.width());
+        for i in (0..self.width()).rev() {
+            acc = shl_raw(&acc, 1).with_bit(0, self.bit(i));
+            if acc.ucmp(rhs) != Ordering::Less {
+                acc = acc.sub(rhs);
+                quotient = quotient.with_bit(i, true);
+            }
+        }
+        (quotient, acc)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Value {
+        let mut out = self.clone();
+        for limb in out.limbs_mut() {
+            *limb = !*limb;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn and(&self, rhs: &Value) -> Value {
+        assert_same_width(self, rhs, "and");
+        let mut out = self.clone();
+        for (o, &l) in out.limbs_mut().iter_mut().zip(rhs.limbs()) {
+            *o &= l;
+        }
+        out
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn or(&self, rhs: &Value) -> Value {
+        assert_same_width(self, rhs, "or");
+        or_raw(self, rhs)
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn xor(&self, rhs: &Value) -> Value {
+        assert_same_width(self, rhs, "xor");
+        let mut out = self.clone();
+        for (o, &l) in out.limbs_mut().iter_mut().zip(rhs.limbs()) {
+            *o ^= l;
+        }
+        out
+    }
+
+    /// Logical left shift by a constant amount; bits shifted past the width
+    /// are dropped.
+    pub fn shl(&self, amount: u32) -> Value {
+        shl_raw(self, amount)
+    }
+
+    /// Logical right shift by a constant amount.
+    pub fn shr(&self, amount: u32) -> Value {
+        let mut out = Value::zero(self.width());
+        if amount >= self.width() {
+            return out;
+        }
+        let limb_shift = (amount / LIMB_BITS) as usize;
+        let bit_shift = amount % LIMB_BITS;
+        let n = out.limbs().len();
+        for i in 0..n {
+            let src = i + limb_shift;
+            if src >= n {
+                break;
+            }
+            let mut limb = self.limbs()[src] >> bit_shift;
+            if bit_shift > 0 && src + 1 < n {
+                limb |= self.limbs()[src + 1] << (LIMB_BITS - bit_shift);
+            }
+            out.limbs_mut()[i] = limb;
+        }
+        out
+    }
+
+    /// Logical left shift by a dynamic amount (a `Value`); amounts at or
+    /// beyond the width produce zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ (RTL shifters take same-width operands).
+    pub fn shl_dyn(&self, amount: &Value) -> Value {
+        assert_same_width(self, amount, "shl_dyn");
+        match amount.try_to_u64() {
+            Some(amt) if amt < self.width() as u64 => self.shl(amt as u32),
+            _ => Value::zero(self.width()),
+        }
+    }
+
+    /// Logical right shift by a dynamic amount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn shr_dyn(&self, amount: &Value) -> Value {
+        assert_same_width(self, amount, "shr_dyn");
+        match amount.try_to_u64() {
+            Some(amt) if amt < self.width() as u64 => self.shr(amt as u32),
+            _ => Value::zero(self.width()),
+        }
+    }
+
+    /// Unsigned comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn ucmp(&self, rhs: &Value) -> Ordering {
+        assert_same_width(self, rhs, "ucmp");
+        for i in (0..self.limbs().len()).rev() {
+            match self.limbs()[i].cmp(&rhs.limbs()[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Extracts bits `[lo, hi]` inclusive (Verilog `v[hi:lo]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi >= self.width()`.
+    pub fn slice(&self, hi: u32, lo: u32) -> Value {
+        assert!(lo <= hi, "slice low index {lo} above high index {hi}");
+        assert!(
+            hi < self.width(),
+            "slice high index {hi} out of range for width {}",
+            self.width()
+        );
+        let width = hi - lo + 1;
+        let shifted = self.shr(lo);
+        shifted.resize(width)
+    }
+
+    /// Concatenation: `self` becomes the *high* bits (Verilog `{self, low}`).
+    pub fn concat(&self, low: &Value) -> Value {
+        let width = self.width() + low.width();
+        let hi = self.resize(width).shl(low.width());
+        or_raw(&hi, &low.resize(width))
+    }
+
+    /// Number of leading zeros within the declared width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use fil_bits::Value;
+    /// assert_eq!(Value::from_u64(8, 0b0001_0000).leading_zeros(), 3);
+    /// assert_eq!(Value::zero(8).leading_zeros(), 8);
+    /// ```
+    pub fn leading_zeros(&self) -> u32 {
+        self.width() - self.significant_bits()
+    }
+
+    /// OR-reduction: 1-bit result, set if any bit of `self` is set.
+    pub fn reduce_or(&self) -> Value {
+        Value::from_bool(!self.is_zero())
+    }
+
+    /// AND-reduction: 1-bit result, set if all bits of `self` are set.
+    pub fn reduce_and(&self) -> Value {
+        Value::from_bool(*self == Value::ones(self.width()))
+    }
+
+    /// Two's-complement negation modulo `2^width`.
+    pub fn neg(&self) -> Value {
+        Value::zero(self.width()).sub(self)
+    }
+
+    /// True if the value, read as a two's-complement signed number, is
+    /// negative (i.e. the top bit is set).
+    pub fn is_negative_signed(&self) -> bool {
+        self.bit(self.width() - 1)
+    }
+}
+
+/// Builds a value by concatenating fields from most significant to least.
+///
+/// This is the programmatic analogue of a Verilog concatenation literal
+/// `{a, b, c}` and is used heavily when assembling AES state and FP fields.
+///
+/// # Examples
+///
+/// ```
+/// use fil_bits::{concat_fields, Value};
+///
+/// let v = concat_fields(&[Value::from_u64(4, 0xa), Value::from_u64(4, 0xb)]);
+/// assert_eq!(v.to_u64(), 0xab);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `fields` is empty.
+pub fn concat_fields(fields: &[Value]) -> Value {
+    assert!(!fields.is_empty(), "concat_fields needs at least one field");
+    let mut iter = fields.iter();
+    let mut acc = iter.next().expect("nonempty").clone();
+    for f in iter {
+        acc = acc.concat(f);
+    }
+    acc
+}
+
+// Re-export at crate root for discoverability.
+pub use self::limbs_check::assert_invariants;
+
+mod limbs_check {
+    use super::*;
+
+    /// Debug helper: asserts the internal invariants of a [`Value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limb count or top-bit masking invariant is violated.
+    pub fn assert_invariants(v: &Value) {
+        assert_eq!(v.limbs().len(), limbs_for(v.width()));
+        let mut masked = v.clone();
+        masked.mask_top();
+        assert_eq!(&masked, v, "top bits above width must be zero");
+    }
+}

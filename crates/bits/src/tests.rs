@@ -1,0 +1,341 @@
+//! Unit and property tests for bit-vector values.
+//!
+//! Widths at or below 128 bits are checked against native `u128` arithmetic;
+//! wider values are checked via algebraic identities.
+
+use crate::ops::{assert_invariants, concat_fields};
+use crate::Value;
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+fn mask128(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+#[test]
+fn zero_and_ones() {
+    let z = Value::zero(70);
+    assert!(z.is_zero());
+    assert_eq!(z.width(), 70);
+    let o = Value::ones(70);
+    assert_eq!(o.significant_bits(), 70);
+    assert_eq!(o.not(), z);
+    assert_invariants(&o);
+}
+
+#[test]
+#[should_panic(expected = "width must be at least 1")]
+fn zero_width_rejected() {
+    let _ = Value::zero(0);
+}
+
+#[test]
+fn from_u64_truncates() {
+    let v = Value::from_u64(4, 0xff);
+    assert_eq!(v.to_u64(), 0xf);
+}
+
+#[test]
+fn from_u128_round_trips() {
+    let x = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128;
+    let v = Value::from_u128(128, x);
+    assert_eq!(v.to_u128(), x);
+}
+
+#[test]
+fn wrapping_add_8bit() {
+    let a = Value::from_u64(8, 200);
+    let b = Value::from_u64(8, 100);
+    assert_eq!(a.add(&b).to_u64(), 44);
+}
+
+#[test]
+fn sub_wraps() {
+    let a = Value::from_u64(8, 3);
+    let b = Value::from_u64(8, 5);
+    assert_eq!(a.sub(&b).to_u64(), 254);
+}
+
+#[test]
+fn mul_wide() {
+    // 2^64 * 2 at width 128 exercises cross-limb carries.
+    let a = Value::from_u128(128, 1u128 << 64);
+    let b = Value::from_u128(128, 2);
+    assert_eq!(a.mul(&b).to_u128(), 1u128 << 65);
+}
+
+#[test]
+fn mul_full_widens() {
+    let a = Value::from_u64(32, 0xffff_ffff);
+    let p = a.mul_full(&a);
+    assert_eq!(p.width(), 64);
+    assert_eq!(p.to_u64(), 0xffff_ffffu64 * 0xffff_ffffu64);
+}
+
+#[test]
+fn divmod_restoring() {
+    let a = Value::from_u64(8, 200);
+    let b = Value::from_u64(8, 7);
+    let (q, r) = a.divmod(&b);
+    assert_eq!(q.to_u64(), 28);
+    assert_eq!(r.to_u64(), 4);
+}
+
+#[test]
+fn div_by_zero_is_all_ones() {
+    let a = Value::from_u64(8, 42);
+    let z = Value::zero(8);
+    assert_eq!(a.div(&z), Value::ones(8));
+    assert_eq!(a.rem(&z), a);
+}
+
+#[test]
+fn slice_and_concat() {
+    let v = Value::from_u64(16, 0xabcd);
+    assert_eq!(v.slice(15, 8).to_u64(), 0xab);
+    assert_eq!(v.slice(7, 0).to_u64(), 0xcd);
+    assert_eq!(v.slice(11, 4).to_u64(), 0xbc);
+    let joined = v.slice(15, 8).concat(&v.slice(7, 0));
+    assert_eq!(joined, v);
+}
+
+#[test]
+fn concat_fields_order() {
+    let v = concat_fields(&[
+        Value::from_u64(1, 1),
+        Value::from_u64(8, 0x80),
+        Value::from_u64(23, 0),
+    ]);
+    assert_eq!(v.width(), 32);
+    assert_eq!(v.to_u64(), 0xc000_0000);
+}
+
+#[test]
+fn shifts() {
+    let v = Value::from_u64(8, 0b0000_1111);
+    assert_eq!(v.shl(2).to_u64(), 0b0011_1100);
+    assert_eq!(v.shr(2).to_u64(), 0b0000_0011);
+    assert_eq!(v.shl(8).to_u64(), 0);
+    assert_eq!(v.shr(9).to_u64(), 0);
+}
+
+#[test]
+fn dyn_shift_saturates() {
+    let v = Value::from_u64(8, 0xff);
+    let big = Value::from_u64(8, 200);
+    assert_eq!(v.shl_dyn(&big).to_u64(), 0);
+    assert_eq!(v.shr_dyn(&big).to_u64(), 0);
+    let two = Value::from_u64(8, 2);
+    assert_eq!(v.shr_dyn(&two).to_u64(), 0x3f);
+}
+
+#[test]
+fn cross_limb_shifts() {
+    let v = Value::from_u128(128, 1);
+    assert_eq!(v.shl(64).to_u128(), 1u128 << 64);
+    assert_eq!(v.shl(64).shr(64).to_u128(), 1);
+    assert_eq!(v.shl(127).bit(127), true);
+}
+
+#[test]
+fn comparison() {
+    let a = Value::from_u128(128, 1u128 << 100);
+    let b = Value::from_u128(128, u64::MAX as u128);
+    assert_eq!(a.ucmp(&b), Ordering::Greater);
+    assert_eq!(b.ucmp(&a), Ordering::Less);
+    assert_eq!(a.ucmp(&a), Ordering::Equal);
+}
+
+#[test]
+fn reductions() {
+    assert!(Value::from_u64(8, 1).reduce_or().as_bool());
+    assert!(!Value::zero(8).reduce_or().as_bool());
+    assert!(Value::ones(8).reduce_and().as_bool());
+    assert!(!Value::from_u64(8, 0xfe).reduce_and().as_bool());
+}
+
+#[test]
+fn leading_zeros_counts_within_width() {
+    assert_eq!(Value::from_u64(24, 1).leading_zeros(), 23);
+    assert_eq!(Value::zero(24).leading_zeros(), 24);
+    assert_eq!(Value::ones(24).leading_zeros(), 0);
+}
+
+#[test]
+fn hex_parse_and_display() {
+    let v = Value::from_hex_str(1280, "ff").unwrap();
+    assert_eq!(v.to_u64(), 0xff);
+    assert_eq!(format!("{v}"), "1280'hff");
+    assert!(Value::from_hex_str(4, "ff").is_err());
+    assert!(Value::from_hex_str(8, "").is_err());
+    assert!(Value::from_hex_str(8, "zz").is_err());
+}
+
+#[test]
+fn bin_parse() {
+    let v = Value::from_bin_str(5, "10_1_01").unwrap();
+    assert_eq!(v.to_u64(), 0b10101);
+    assert!(Value::from_bin_str(2, "111").is_err());
+    assert!(Value::from_bin_str(2, "2").is_err());
+}
+
+#[test]
+fn binary_format() {
+    let v = Value::from_u64(5, 0b10101);
+    assert_eq!(format!("{v:b}"), "10101");
+}
+
+#[test]
+fn hex_format_wide() {
+    let v = Value::from_u128(128, (1u128 << 64) | 0xf);
+    assert_eq!(format!("{v:x}"), "1000000000000000f");
+}
+
+#[test]
+fn neg_is_twos_complement() {
+    let v = Value::from_u64(8, 1);
+    assert_eq!(v.neg().to_u64(), 0xff);
+    assert!(v.neg().is_negative_signed());
+}
+
+#[test]
+fn with_bit_round_trip() {
+    let v = Value::zero(130).with_bit(129, true);
+    assert!(v.bit(129));
+    assert!(!v.with_bit(129, false).bit(129));
+    assert_invariants(&v);
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(width in 1u32..=128, a: u128, b: u128) {
+        let m = mask128(width);
+        let (a, b) = (a & m, b & m);
+        let va = Value::from_u128(width, a);
+        let vb = Value::from_u128(width, b);
+        let sum = va.add(&vb);
+        assert_invariants(&sum);
+        prop_assert_eq!(sum.to_u128(), a.wrapping_add(b) & m);
+    }
+
+    #[test]
+    fn sub_matches_u128(width in 1u32..=128, a: u128, b: u128) {
+        let m = mask128(width);
+        let (a, b) = (a & m, b & m);
+        let va = Value::from_u128(width, a);
+        let vb = Value::from_u128(width, b);
+        prop_assert_eq!(va.sub(&vb).to_u128(), a.wrapping_sub(b) & m);
+    }
+
+    #[test]
+    fn mul_matches_u128(width in 1u32..=64, a: u64, b: u64) {
+        let m = mask128(width);
+        let (a, b) = ((a as u128) & m, (b as u128) & m);
+        let va = Value::from_u128(width, a);
+        let vb = Value::from_u128(width, b);
+        prop_assert_eq!(va.mul(&vb).to_u128(), a.wrapping_mul(b) & m);
+    }
+
+    #[test]
+    fn divmod_matches_u128(width in 1u32..=128, a: u128, b: u128) {
+        let m = mask128(width);
+        let (a, b) = (a & m, b & m);
+        prop_assume!(b != 0);
+        let va = Value::from_u128(width, a);
+        let vb = Value::from_u128(width, b);
+        let (q, r) = va.divmod(&vb);
+        prop_assert_eq!(q.to_u128(), a / b);
+        prop_assert_eq!(r.to_u128(), a % b);
+    }
+
+    #[test]
+    fn divmod_reconstructs(width in 1u32..=96, a: u128, b: u128) {
+        let m = mask128(width);
+        let (a, b) = (a & m, b & m);
+        prop_assume!(b != 0);
+        let va = Value::from_u128(width, a);
+        let vb = Value::from_u128(width, b);
+        let (q, r) = va.divmod(&vb);
+        // a == q * b + r and r < b.
+        prop_assert_eq!(q.mul(&vb).add(&r), va);
+        prop_assert_eq!(r.ucmp(&vb), Ordering::Less);
+    }
+
+    #[test]
+    fn logic_matches_u128(width in 1u32..=128, a: u128, b: u128) {
+        let m = mask128(width);
+        let (a, b) = (a & m, b & m);
+        let va = Value::from_u128(width, a);
+        let vb = Value::from_u128(width, b);
+        prop_assert_eq!(va.and(&vb).to_u128(), a & b);
+        prop_assert_eq!(va.or(&vb).to_u128(), a | b);
+        prop_assert_eq!(va.xor(&vb).to_u128(), a ^ b);
+        prop_assert_eq!(va.not().to_u128(), !a & m);
+    }
+
+    #[test]
+    fn shifts_match_u128(width in 1u32..=128, a: u128, amt in 0u32..150) {
+        let m = mask128(width);
+        let a = a & m;
+        let va = Value::from_u128(width, a);
+        let expected_shl = if amt >= width { 0 } else { (a << amt) & m };
+        let expected_shr = if amt >= width { 0 } else { a >> amt };
+        prop_assert_eq!(va.shl(amt).to_u128(), expected_shl);
+        prop_assert_eq!(va.shr(amt).to_u128(), expected_shr);
+    }
+
+    #[test]
+    fn cmp_matches_u128(width in 1u32..=128, a: u128, b: u128) {
+        let m = mask128(width);
+        let (a, b) = (a & m, b & m);
+        let va = Value::from_u128(width, a);
+        let vb = Value::from_u128(width, b);
+        prop_assert_eq!(va.ucmp(&vb), a.cmp(&b));
+    }
+
+    #[test]
+    fn slice_concat_round_trip(a: u128, split in 1u32..127) {
+        let v = Value::from_u128(128, a);
+        let hi = v.slice(127, split);
+        let lo = v.slice(split - 1, 0);
+        prop_assert_eq!(hi.concat(&lo), v);
+    }
+
+    #[test]
+    fn resize_preserves_low_bits(width in 1u32..=200, new_width in 1u32..=200, a: u128) {
+        let v = Value::from_u128(width.min(128), a);
+        let r = v.resize(new_width);
+        assert_invariants(&r);
+        let keep = new_width.min(v.width());
+        for i in 0..keep {
+            prop_assert_eq!(r.bit(i), v.bit(i));
+        }
+        for i in keep..new_width {
+            prop_assert!(!r.bit(i));
+        }
+    }
+
+    #[test]
+    fn wide_add_commutes_and_associates(a: u128, b: u128, c: u128) {
+        // Algebraic identities at a width wider than any native integer.
+        let w = 300;
+        let va = Value::from_u128(128, a).resize(w);
+        let vb = Value::from_u128(128, b).resize(w).shl(100);
+        let vc = Value::from_u128(128, c).resize(w).shl(170);
+        prop_assert_eq!(va.add(&vb), vb.add(&va));
+        prop_assert_eq!(va.add(&vb).add(&vc), va.add(&vb.add(&vc)));
+        prop_assert_eq!(va.add(&vb).sub(&vb), va);
+    }
+
+    #[test]
+    fn hex_round_trip(width in 1u32..=256, a: u128) {
+        let v = Value::from_u128(width, a);
+        let s = format!("{v:x}");
+        let parsed = Value::from_hex_str(width, &s).unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+}

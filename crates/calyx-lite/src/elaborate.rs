@@ -1,0 +1,203 @@
+//! Hierarchical elaboration: flattening a component tree into a netlist.
+
+use crate::ir::{primitive_ports, CalyxError, CellProto, Component, Guard, PortRef, Program, Src};
+use rtl_sim::{CellKind, Netlist, SignalId};
+use std::collections::HashMap;
+
+/// Flattens the hierarchy rooted at `top` into a simulatable
+/// [`rtl_sim::Netlist`].
+///
+/// Top-level component ports become netlist inputs/outputs under their bare
+/// names; nested signals are named hierarchically (`sub.add0.out`).
+///
+/// # Errors
+///
+/// Returns a [`CalyxError`] for unresolved references, width mismatches, or
+/// recursive instantiation.
+pub fn elaborate(program: &Program, top: &str) -> Result<Netlist, CalyxError> {
+    let top_comp = program
+        .component(top)
+        .ok_or_else(|| CalyxError::UnknownComponent(top.to_owned()))?;
+    let mut ctx = Ctx {
+        program,
+        netlist: Netlist::new(top),
+        fresh: 0,
+    };
+    // Top-level ports.
+    let mut ports = HashMap::new();
+    for (name, width) in &top_comp.inputs {
+        let id = ctx.netlist.add_input(name.clone(), *width);
+        ports.insert(name.clone(), (id, *width));
+    }
+    for (name, width) in &top_comp.outputs {
+        let id = ctx.netlist.add_signal(name.clone(), *width);
+        ctx.netlist.mark_output(id);
+        ports.insert(name.clone(), (id, *width));
+    }
+    ctx.instantiate(top_comp, "", &ports, &mut vec![top.to_owned()])?;
+    Ok(ctx.netlist)
+}
+
+struct Ctx<'p> {
+    program: &'p Program,
+    netlist: Netlist,
+    fresh: u64,
+}
+
+type PortMap = HashMap<String, (SignalId, u32)>;
+
+impl<'p> Ctx<'p> {
+    fn fresh_name(&mut self, prefix: &str, base: &str) -> String {
+        self.fresh += 1;
+        if base.is_empty() {
+            format!("{prefix}${}", self.fresh)
+        } else {
+            format!("{base}.{prefix}${}", self.fresh)
+        }
+    }
+
+    /// Instantiates `comp` at hierarchical prefix `path` whose own ports are
+    /// pre-created in `own_ports`.
+    fn instantiate(
+        &mut self,
+        comp: &Component,
+        path: &str,
+        own_ports: &PortMap,
+        stack: &mut Vec<String>,
+    ) -> Result<(), CalyxError> {
+        // cell name -> (port name -> signal).
+        let mut cell_ports: HashMap<String, PortMap> = HashMap::new();
+
+        let join = |path: &str, rest: &str| {
+            if path.is_empty() {
+                rest.to_owned()
+            } else {
+                format!("{path}.{rest}")
+            }
+        };
+
+        // Create signals for every cell's ports; recurse into subcomponents.
+        for cell in &comp.cells {
+            let cell_path = join(path, &cell.name);
+            match &cell.proto {
+                CellProto::Primitive(kind) => {
+                    let (ins, outs) = primitive_ports(kind);
+                    let mut map = PortMap::new();
+                    let mut in_ids = Vec::new();
+                    let mut out_ids = Vec::new();
+                    for (pname, w) in &ins {
+                        let id = self.netlist.add_signal(join(&cell_path, pname), *w);
+                        map.insert(pname.clone(), (id, *w));
+                        in_ids.push(id);
+                    }
+                    for (pname, w) in &outs {
+                        let id = self.netlist.add_signal(join(&cell_path, pname), *w);
+                        map.insert(pname.clone(), (id, *w));
+                        out_ids.push(id);
+                    }
+                    self.netlist
+                        .add_cell(cell_path.clone(), kind.clone(), in_ids, out_ids);
+                    cell_ports.insert(cell.name.clone(), map);
+                }
+                CellProto::Component(sub_name) => {
+                    if stack.contains(sub_name) {
+                        return Err(CalyxError::RecursiveComponent(sub_name.clone()));
+                    }
+                    let sub = self
+                        .program
+                        .component(sub_name)
+                        .ok_or_else(|| CalyxError::UnknownComponent(sub_name.clone()))?;
+                    let mut map = PortMap::new();
+                    for (pname, w) in sub.inputs.iter().chain(&sub.outputs) {
+                        let id = self.netlist.add_signal(join(&cell_path, pname), *w);
+                        map.insert(pname.clone(), (id, *w));
+                    }
+                    stack.push(sub_name.clone());
+                    // Clone the port map to hand the child its own view.
+                    let child_ports = map.clone();
+                    cell_ports.insert(cell.name.clone(), map);
+                    self.instantiate(sub, &cell_path, &child_ports, stack)?;
+                    stack.pop();
+                }
+            }
+        }
+
+        let resolve = |r: &PortRef| -> Result<(SignalId, u32), CalyxError> {
+            let map = match &r.cell {
+                None => own_ports,
+                Some(c) => cell_ports.get(c).ok_or_else(|| CalyxError::UnknownCell {
+                    component: comp.name.clone(),
+                    cell: c.clone(),
+                })?,
+            };
+            map.get(&r.port)
+                .copied()
+                .ok_or_else(|| CalyxError::UnknownPort {
+                    component: comp.name.clone(),
+                    port: r.to_string(),
+                })
+        };
+
+        // Wire up the assignments.
+        for assign in &comp.assigns {
+            let (dst, dst_w) = resolve(&assign.dst)?;
+            let (src, src_w) = match &assign.src {
+                Src::Port(p) => resolve(p)?,
+                Src::Const(v) => {
+                    let name = self.fresh_name("const", path);
+                    let sig = self.netlist.add_signal(format!("{name}.out"), v.width());
+                    self.netlist.add_cell(
+                        name,
+                        CellKind::Const { value: v.clone() },
+                        vec![],
+                        vec![sig],
+                    );
+                    (sig, v.width())
+                }
+            };
+            if dst_w != src_w {
+                return Err(CalyxError::WidthMismatch {
+                    component: comp.name.clone(),
+                    site: format!("{} = {:?}", assign.dst, assign.src),
+                    dst: dst_w,
+                    src: src_w,
+                });
+            }
+            match &assign.guard {
+                Guard::True => self.netlist.connect(dst, src),
+                Guard::Any(ports) if ports.is_empty() => self.netlist.connect(dst, src),
+                Guard::Any(ports) => {
+                    let mut acc: Option<SignalId> = None;
+                    for p in ports {
+                        let (sig, w) = resolve(p)?;
+                        if w != 1 {
+                            return Err(CalyxError::WidthMismatch {
+                                component: comp.name.clone(),
+                                site: format!("guard {p}"),
+                                dst: 1,
+                                src: w,
+                            });
+                        }
+                        acc = Some(match acc {
+                            None => sig,
+                            Some(prev) => {
+                                let name = self.fresh_name("or", path);
+                                let out = self.netlist.add_signal(format!("{name}.out"), 1);
+                                self.netlist.add_cell(
+                                    name,
+                                    CellKind::Or { width: 1 },
+                                    vec![prev, sig],
+                                    vec![out],
+                                );
+                                out
+                            }
+                        });
+                    }
+                    self.netlist
+                        .connect_guarded(dst, src, acc.expect("nonempty guard"));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,49 @@
+//! A lightweight reimplementation of the Calyx intermediate language.
+//!
+//! Filament compiles to Calyx (Nigam et al., ASPLOS 2021 — reference `[40]`
+//! of the paper), whose programs are *components* containing *cells* and
+//! *guarded assignments* (`A.left = Gf._0 ? a`). This crate reproduces the
+//! structural subset of Calyx that Filament targets (the paper's Figure 6
+//! output has an empty `control` section — statically scheduled designs need
+//! no control program), plus:
+//!
+//! * well-formedness checking (port resolution, width agreement, the
+//!   "only one guard active per destination" discipline left to runtime),
+//! * hierarchical **elaboration** into a flat [`rtl_sim::Netlist`] for
+//!   simulation, and
+//! * structural Verilog emission for inspection.
+//!
+//! # Examples
+//!
+//! ```
+//! use calyx_lite::{Component, PortRef, Program, Src};
+//! use rtl_sim::CellKind;
+//!
+//! let mut c = Component::new("main");
+//! c.add_input("a", 8);
+//! c.add_input("b", 8);
+//! c.add_output("out", 8);
+//! c.add_primitive("add0", CellKind::Add { width: 8 });
+//! c.assign(PortRef::cell("add0", "left"), Src::this("a"));
+//! c.assign(PortRef::cell("add0", "right"), Src::this("b"));
+//! c.assign(PortRef::this("out"), Src::port(PortRef::cell("add0", "out")));
+//!
+//! let mut p = Program::new();
+//! p.add_component(c);
+//! let netlist = p.elaborate("main")?;
+//! assert_eq!(netlist.cells().len(), 1);
+//! # Ok::<(), calyx_lite::CalyxError>(())
+//! ```
+
+mod elaborate;
+mod ir;
+mod verilog;
+
+pub use elaborate::elaborate;
+pub use ir::{
+    primitive_ports, Assign, CalyxError, Cell, CellProto, Component, Guard, PortRef, Program, Src,
+};
+pub use verilog::emit_program;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,113 @@
+//! Structural Verilog emission for Calyx-lite programs.
+//!
+//! The output mirrors the shape of real Calyx's Verilog backend: one module
+//! per component, primitive instantiations, and ternary-muxed assignments.
+//! It is meant for inspection and for hand-off to external toolchains; our
+//! evaluation simulates the elaborated netlist directly.
+
+use crate::ir::{CellProto, Component, Guard, Program, Src};
+use std::fmt::Write as _;
+
+fn sanitize(name: &str) -> String {
+    name.replace(['.', '$', '<', '>', '[', ']'], "_")
+}
+
+/// Emits all components of a program as Verilog modules.
+pub fn emit_program(program: &Program) -> String {
+    let mut out = String::new();
+    for comp in program.components() {
+        emit_component(comp, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn emit_component(comp: &Component, out: &mut String) {
+    let mut ports = vec!["input wire clk".to_owned()];
+    for (n, w) in &comp.inputs {
+        ports.push(format!("input wire [{}:0] {}", w - 1, sanitize(n)));
+    }
+    for (n, w) in &comp.outputs {
+        ports.push(format!("output wire [{}:0] {}", w - 1, sanitize(n)));
+    }
+    writeln!(out, "module {}(", sanitize(&comp.name)).unwrap();
+    writeln!(out, "  {}", ports.join(",\n  ")).unwrap();
+    writeln!(out, ");").unwrap();
+
+    // Wires for every cell port.
+    for cell in &comp.cells {
+        match &cell.proto {
+            CellProto::Primitive(kind) => {
+                let (ins, outs) = crate::ir::primitive_ports(kind);
+                for (p, w) in ins.iter().chain(&outs) {
+                    writeln!(
+                        out,
+                        "  wire [{}:0] {}_{};",
+                        w - 1,
+                        sanitize(&cell.name),
+                        sanitize(p)
+                    )
+                    .unwrap();
+                }
+                writeln!(
+                    out,
+                    "  {} #() {} ({});",
+                    kind.verilog_module(),
+                    sanitize(&cell.name),
+                    ins.iter()
+                        .chain(&outs)
+                        .map(|(p, _)| format!(
+                            ".{}({}_{})",
+                            sanitize(p),
+                            sanitize(&cell.name),
+                            sanitize(p)
+                        ))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+                .unwrap();
+            }
+            CellProto::Component(sub) => {
+                writeln!(
+                    out,
+                    "  {} {} (.clk(clk) /* subcomponent ports elided */);",
+                    sanitize(sub),
+                    sanitize(&cell.name)
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    for assign in &comp.assigns {
+        let dst = match &assign.dst.cell {
+            Some(c) => format!("{}_{}", sanitize(c), sanitize(&assign.dst.port)),
+            None => sanitize(&assign.dst.port),
+        };
+        let src = match &assign.src {
+            Src::Port(p) => match &p.cell {
+                Some(c) => format!("{}_{}", sanitize(c), sanitize(&p.port)),
+                None => sanitize(&p.port),
+            },
+            Src::Const(v) => format!("{}'h{:x}", v.width(), v),
+        };
+        match &assign.guard {
+            Guard::True => writeln!(out, "  assign {dst} = {src};").unwrap(),
+            Guard::Any(ports) if ports.is_empty() => {
+                writeln!(out, "  assign {dst} = {src};").unwrap()
+            }
+            Guard::Any(ports) => {
+                let g = ports
+                    .iter()
+                    .map(|p| match &p.cell {
+                        Some(c) => format!("{}_{}", sanitize(c), sanitize(&p.port)),
+                        None => sanitize(&p.port),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" | ");
+                writeln!(out, "  assign {dst} = ({g}) ? {src} : 'x;").unwrap();
+            }
+        }
+    }
+    writeln!(out, "endmodule").unwrap();
+}

@@ -1,0 +1,652 @@
+//! Abstract syntax of Filament (the paper's Figure 3 and Figure 7a).
+//!
+//! A *program* is a sequence of components; a *component* couples a
+//! [`Signature`] — events with delays, interface ports, and ports with
+//! availability intervals — with a body of commands: instantiations,
+//! invocations, and connections.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An identifier (component, event, port, instance, or invocation name).
+pub type Id = String;
+
+/// A compile-time constant expression: a literal or a reference to one of
+/// the enclosing component's const parameters (`Prev[W, SAFE]`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ConstExpr {
+    /// A literal value.
+    Lit(u64),
+    /// A parameter of the enclosing component.
+    Param(Id),
+}
+
+impl ConstExpr {
+    /// Evaluates under a parameter environment.
+    pub fn eval(&self, env: &HashMap<Id, u64>) -> Option<u64> {
+        match self {
+            ConstExpr::Lit(n) => Some(*n),
+            ConstExpr::Param(p) => env.get(p).copied(),
+        }
+    }
+
+    /// Substitutes parameters, keeping the expression symbolic when unbound.
+    pub fn subst(&self, env: &HashMap<Id, u64>) -> ConstExpr {
+        match self {
+            ConstExpr::Lit(n) => ConstExpr::Lit(*n),
+            ConstExpr::Param(p) => match env.get(p) {
+                Some(n) => ConstExpr::Lit(*n),
+                None => self.clone(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for ConstExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstExpr::Lit(n) => write!(f, "{n}"),
+            ConstExpr::Param(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl From<u64> for ConstExpr {
+    fn from(n: u64) -> Self {
+        ConstExpr::Lit(n)
+    }
+}
+
+/// A time expression `E + n`: an event variable plus a constant cycle offset
+/// (Section 3.1 — sums of event variables are meaningless and unsupported).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Time {
+    /// The event variable.
+    pub event: Id,
+    /// The constant offset in cycles.
+    pub offset: u64,
+}
+
+impl Time {
+    /// `event + offset`.
+    pub fn new(event: impl Into<Id>, offset: u64) -> Self {
+        Time {
+            event: event.into(),
+            offset,
+        }
+    }
+
+    /// The bare event `E + 0`.
+    pub fn event(event: impl Into<Id>) -> Self {
+        Time::new(event, 0)
+    }
+
+    /// Shifts the time by additional cycles.
+    pub fn plus(&self, n: u64) -> Time {
+        Time::new(self.event.clone(), self.offset + n)
+    }
+
+    /// Substitutes the event variable per `map`, composing offsets: if
+    /// `map[E] = G + i` then `(E + k).subst = G + (i + k)`.
+    pub fn subst(&self, map: &HashMap<Id, Time>) -> Time {
+        match map.get(&self.event) {
+            Some(t) => t.plus(self.offset),
+            None => self.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == 0 {
+            write!(f, "{}", self.event)
+        } else {
+            write!(f, "{}+{}", self.event, self.offset)
+        }
+    }
+}
+
+/// A half-open availability interval `[start, end)` (Section 3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Range {
+    /// First cycle (inclusive).
+    pub start: Time,
+    /// Last cycle (exclusive).
+    pub end: Time,
+}
+
+impl Range {
+    /// `[start, end)`.
+    pub fn new(start: Time, end: Time) -> Self {
+        Range { start, end }
+    }
+
+    /// The single-cycle interval `[E+o, E+o+1)`.
+    pub fn cycle(event: impl Into<Id>, offset: u64) -> Self {
+        let s = Time::new(event, offset);
+        let e = s.plus(1);
+        Range::new(s, e)
+    }
+
+    /// Substitutes event variables in both endpoints.
+    pub fn subst(&self, map: &HashMap<Id, Time>) -> Range {
+        Range::new(self.start.subst(map), self.end.subst(map))
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// An event's delay (Section 3.1): constant for user-level components,
+/// possibly a difference of times (`L-(G+1)`) for externs (Section 3.6).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Delay {
+    /// A constant number of cycles.
+    Const(u64),
+    /// `lhs - rhs`, a parametric delay pinned down at invocation time.
+    Diff(Time, Time),
+}
+
+impl Delay {
+    /// Substitutes event variables.
+    pub fn subst(&self, map: &HashMap<Id, Time>) -> Delay {
+        match self {
+            Delay::Const(n) => Delay::Const(*n),
+            Delay::Diff(a, b) => Delay::Diff(a.subst(map), b.subst(map)),
+        }
+    }
+
+    /// Evaluates to a constant if possible: either already constant, or a
+    /// difference of times over the *same* event variable.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            Delay::Const(n) => Some(*n as i64),
+            Delay::Diff(a, b) if a.event == b.event => Some(a.offset as i64 - b.offset as i64),
+            Delay::Diff(..) => None,
+        }
+    }
+}
+
+impl fmt::Display for Delay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Delay::Const(n) => write!(f, "{n}"),
+            Delay::Diff(a, b) => write!(f, "{a}-({b})"),
+        }
+    }
+}
+
+/// An event binder `<E: delay>` in a signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventDecl {
+    /// The event variable.
+    pub name: Id,
+    /// Its delay.
+    pub delay: Delay,
+}
+
+/// An interface port `@interface[E] go: 1` (Section 3.2): the physical port
+/// by which event `E` is signalled at runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceDef {
+    /// Port name.
+    pub name: Id,
+    /// The event this port triggers.
+    pub event: Id,
+}
+
+/// A data port with its availability interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDef {
+    /// Port name.
+    pub name: Id,
+    /// Availability interval (guarantee for inputs, obligation for outputs).
+    pub liveness: Range,
+    /// Bit width.
+    pub width: ConstExpr,
+}
+
+/// The relational operator of a `where` constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// Strictly greater.
+    Gt,
+    /// Greater or equal.
+    Ge,
+    /// Equal.
+    Eq,
+}
+
+/// An ordering constraint between events: `where L > G+1` (Section 3.6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderConstraint {
+    /// Left time.
+    pub lhs: Time,
+    /// Operator.
+    pub op: ConstraintOp,
+    /// Right time.
+    pub rhs: Time,
+}
+
+impl fmt::Display for OrderConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            ConstraintOp::Gt => ">",
+            ConstraintOp::Ge => ">=",
+            ConstraintOp::Eq => "==",
+        };
+        write!(f, "{} {op} {}", self.lhs, self.rhs)
+    }
+}
+
+/// A component signature: name, const parameters, events, ports, and
+/// ordering constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Component name.
+    pub name: Id,
+    /// Const parameters (`[W, SAFE]`).
+    pub params: Vec<Id>,
+    /// Event binders with delays.
+    pub events: Vec<EventDecl>,
+    /// Interface ports (at most one per event).
+    pub interfaces: Vec<InterfaceDef>,
+    /// Input data ports.
+    pub inputs: Vec<PortDef>,
+    /// Output data ports.
+    pub outputs: Vec<PortDef>,
+    /// `where` clauses (externs only in well-typed programs; Section 4.4).
+    pub constraints: Vec<OrderConstraint>,
+}
+
+impl Signature {
+    /// The declared delay of an event.
+    pub fn delay_of(&self, event: &str) -> Option<&Delay> {
+        self.events
+            .iter()
+            .find(|e| e.name == event)
+            .map(|e| &e.delay)
+    }
+
+    /// The interface port of an event, if any. Events without one are
+    /// *phantom* (Section 3.6).
+    pub fn interface_of(&self, event: &str) -> Option<&InterfaceDef> {
+        self.interfaces.iter().find(|i| i.event == event)
+    }
+
+    /// True if `event` has no interface port.
+    pub fn is_phantom(&self, event: &str) -> bool {
+        self.interface_of(event).is_none()
+    }
+
+    /// Finds an input port by name.
+    pub fn input(&self, name: &str) -> Option<&PortDef> {
+        self.inputs.iter().find(|p| p.name == name)
+    }
+
+    /// Finds an output port by name.
+    pub fn output(&self, name: &str) -> Option<&PortDef> {
+        self.outputs.iter().find(|p| p.name == name)
+    }
+}
+
+/// A reference to a port in a command.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// A port of the enclosing component.
+    This(Id),
+    /// A port of a previous invocation: `m0.out`.
+    Inv {
+        /// The invocation name.
+        invocation: Id,
+        /// The port name in the callee's signature.
+        port: Id,
+    },
+    /// A constant literal (always semantically valid).
+    Lit(u64),
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Port::This(p) => write!(f, "{p}"),
+            Port::Inv { invocation, port } => write!(f, "{invocation}.{port}"),
+            Port::Lit(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A body command (Figure 7a).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `I := new C[p...]` — constructs a physical circuit (Section 3.3).
+    Instance {
+        /// Instance name.
+        name: Id,
+        /// The component being instantiated.
+        component: Id,
+        /// Const parameter bindings.
+        params: Vec<ConstExpr>,
+    },
+    /// `x := I<T1, ...>(a1, ...)` — a named, scheduled use of an instance
+    /// (Section 3.4).
+    Invoke {
+        /// Invocation name.
+        name: Id,
+        /// The instance being used.
+        instance: Id,
+        /// Event bindings, one per callee event.
+        events: Vec<Time>,
+        /// Arguments, one per callee input port.
+        args: Vec<Port>,
+    },
+    /// `dst = src` — a physical wire (Section 3.5).
+    Connect {
+        /// Destination (an output of the enclosing component).
+        dst: Port,
+        /// Source.
+        src: Port,
+    },
+}
+
+/// A component: signature plus body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// The signature.
+    pub sig: Signature,
+    /// The body commands.
+    pub body: Vec<Command>,
+}
+
+/// A full program: externs (signature-only, Section 3.6) and user components.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Extern (black-box) component signatures.
+    pub externs: Vec<Signature>,
+    /// User components with bodies.
+    pub components: Vec<Component>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up any signature (extern or user) by name.
+    pub fn sig(&self, name: &str) -> Option<&Signature> {
+        self.externs
+            .iter()
+            .find(|s| s.name == name)
+            .or_else(|| self.components.iter().map(|c| &c.sig).find(|s| s.name == name))
+    }
+
+    /// Looks up a user component by name.
+    pub fn component(&self, name: &str) -> Option<&Component> {
+        self.components.iter().find(|c| c.sig.name == name)
+    }
+
+    /// True if `name` names an extern.
+    pub fn is_extern(&self, name: &str) -> bool {
+        self.externs.iter().any(|s| s.name == name)
+    }
+
+    /// Merges another program's definitions into this one (used to combine
+    /// the standard library with user code).
+    pub fn extend(&mut self, other: Program) {
+        self.externs.extend(other.externs);
+        self.components.extend(other.components);
+    }
+}
+
+/// A linear expression over event variables with unit coefficients plus a
+/// constant: the common currency of the checker's obligations
+/// (`delay ≥ interval length` etc. — see `check`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinExpr {
+    /// Variable coefficients (non-zero entries only).
+    pub coeffs: HashMap<Id, i64>,
+    /// Constant term.
+    pub konst: i64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(n: i64) -> Self {
+        LinExpr {
+            coeffs: HashMap::new(),
+            konst: n,
+        }
+    }
+
+    /// The expression `t.event + t.offset`.
+    pub fn from_time(t: &Time) -> Self {
+        let mut e = LinExpr::constant(t.offset as i64);
+        e.add_var(&t.event, 1);
+        e
+    }
+
+    /// The interval length `end - start`.
+    pub fn range_len(r: &Range) -> Self {
+        let mut e = LinExpr::from_time(&r.end);
+        e.sub_assign(&LinExpr::from_time(&r.start));
+        e
+    }
+
+    /// The delay as a linear expression.
+    pub fn from_delay(d: &Delay) -> Self {
+        match d {
+            Delay::Const(n) => LinExpr::constant(*n as i64),
+            Delay::Diff(a, b) => {
+                let mut e = LinExpr::from_time(a);
+                e.sub_assign(&LinExpr::from_time(b));
+                e
+            }
+        }
+    }
+
+    /// Adds `k` to the coefficient of `var`, dropping zero entries.
+    pub fn add_var(&mut self, var: &str, k: i64) {
+        let c = self.coeffs.entry(var.to_owned()).or_insert(0);
+        *c += k;
+        if *c == 0 {
+            self.coeffs.remove(var);
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, other: &LinExpr) {
+        for (v, k) in &other.coeffs {
+            self.add_var(v, -k);
+        }
+        self.konst -= other.konst;
+    }
+
+    /// The constant value if no variables remain.
+    pub fn as_const(&self) -> Option<i64> {
+        if self.coeffs.is_empty() {
+            Some(self.konst)
+        } else {
+            None
+        }
+    }
+
+    /// Decomposes into `(pos_var, neg_var, konst)` when the expression is a
+    /// pure difference `x - y + konst` — the difference-logic fragment.
+    pub fn as_difference(&self) -> Option<(&str, &str, i64)> {
+        if self.coeffs.len() != 2 {
+            return None;
+        }
+        let mut pos = None;
+        let mut neg = None;
+        for (v, &k) in &self.coeffs {
+            match k {
+                1 => pos = Some(v.as_str()),
+                -1 => neg = Some(v.as_str()),
+                _ => return None,
+            }
+        }
+        Some((pos?, neg?, self.konst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_subst_composes_offsets() {
+        let mut map = HashMap::new();
+        map.insert("T".to_owned(), Time::new("G", 2));
+        assert_eq!(Time::new("T", 3).subst(&map), Time::new("G", 5));
+        assert_eq!(Time::new("U", 3).subst(&map), Time::new("U", 3));
+    }
+
+    #[test]
+    fn range_subst_and_display() {
+        let mut map = HashMap::new();
+        map.insert("T".to_owned(), Time::new("G", 1));
+        let r = Range::new(Time::event("T"), Time::new("T", 2));
+        let s = r.subst(&map);
+        assert_eq!(s.to_string(), "[G+1, G+3)");
+        assert_eq!(Range::cycle("G", 0).to_string(), "[G, G+1)");
+    }
+
+    #[test]
+    fn delay_as_const() {
+        assert_eq!(Delay::Const(3).as_const(), Some(3));
+        let d = Delay::Diff(Time::new("G", 3), Time::new("G", 1));
+        assert_eq!(d.as_const(), Some(2));
+        let d = Delay::Diff(Time::event("L"), Time::new("G", 1));
+        assert_eq!(d.as_const(), None);
+        // Parametric delay pinned by substitution (Section 3.6's example:
+        // A<G, G+3> gives the adder delay (G+3)-G = 3).
+        let mut map = HashMap::new();
+        map.insert("L".to_owned(), Time::new("T", 3));
+        map.insert("G".to_owned(), Time::event("T"));
+        let d = Delay::Diff(Time::event("L"), Time::event("G")).subst(&map);
+        assert_eq!(d.as_const(), Some(3));
+    }
+
+    #[test]
+    fn const_expr_eval_and_subst() {
+        let mut env = HashMap::new();
+        env.insert("W".to_owned(), 32u64);
+        assert_eq!(ConstExpr::Lit(8).eval(&env), Some(8));
+        assert_eq!(ConstExpr::Param("W".into()).eval(&env), Some(32));
+        assert_eq!(ConstExpr::Param("X".into()).eval(&env), None);
+        assert_eq!(ConstExpr::Param("W".into()).subst(&env), ConstExpr::Lit(32));
+        assert_eq!(
+            ConstExpr::Param("X".into()).subst(&env),
+            ConstExpr::Param("X".into())
+        );
+    }
+
+    #[test]
+    fn linexpr_cancellation() {
+        // Register delay L-(G+1) minus output length (L - (G+1)) cancels.
+        let delay = Delay::Diff(Time::event("L"), Time::new("G", 1));
+        let out = Range::new(Time::new("G", 1), Time::event("L"));
+        let mut e = LinExpr::from_delay(&delay);
+        e.sub_assign(&LinExpr::range_len(&out));
+        assert_eq!(e.as_const(), Some(0));
+    }
+
+    #[test]
+    fn linexpr_difference_form() {
+        // L - G - 2 >= 0 as a difference.
+        let mut e = LinExpr::from_time(&Time::event("L"));
+        e.sub_assign(&LinExpr::from_time(&Time::new("G", 2)));
+        let (p, n, k) = e.as_difference().unwrap();
+        assert_eq!((p, n, k), ("L", "G", -2));
+    }
+
+    #[test]
+    fn signature_queries() {
+        let sig = Signature {
+            name: "Reg".into(),
+            params: vec![],
+            events: vec![
+                EventDecl {
+                    name: "G".into(),
+                    delay: Delay::Diff(Time::event("L"), Time::new("G", 1)),
+                },
+                EventDecl {
+                    name: "L".into(),
+                    delay: Delay::Const(1),
+                },
+            ],
+            interfaces: vec![InterfaceDef {
+                name: "en".into(),
+                event: "G".into(),
+            }],
+            inputs: vec![PortDef {
+                name: "in".into(),
+                liveness: Range::cycle("G", 0),
+                width: 32.into(),
+            }],
+            outputs: vec![PortDef {
+                name: "out".into(),
+                liveness: Range::new(Time::new("G", 1), Time::event("L")),
+                width: 32.into(),
+            }],
+            constraints: vec![OrderConstraint {
+                lhs: Time::event("L"),
+                op: ConstraintOp::Gt,
+                rhs: Time::new("G", 1),
+            }],
+        };
+        assert!(sig.delay_of("G").is_some());
+        assert!(sig.delay_of("Z").is_none());
+        assert!(!sig.is_phantom("G"));
+        assert!(sig.is_phantom("L"));
+        assert!(sig.input("in").is_some());
+        assert!(sig.output("out").is_some());
+        assert!(sig.input("out").is_none());
+        assert_eq!(
+            sig.constraints[0].to_string(),
+            "L > G+1"
+        );
+    }
+
+    #[test]
+    fn program_lookup() {
+        let mut p = Program::new();
+        p.externs.push(Signature {
+            name: "Add".into(),
+            params: vec![],
+            events: vec![],
+            interfaces: vec![],
+            inputs: vec![],
+            outputs: vec![],
+            constraints: vec![],
+        });
+        assert!(p.is_extern("Add"));
+        assert!(p.sig("Add").is_some());
+        assert!(p.component("Add").is_none());
+        let mut q = Program::new();
+        q.components.push(Component {
+            sig: Signature {
+                name: "Main".into(),
+                params: vec![],
+                events: vec![],
+                interfaces: vec![],
+                inputs: vec![],
+                outputs: vec![],
+                constraints: vec![],
+            },
+            body: vec![],
+        });
+        p.extend(q);
+        assert!(p.component("Main").is_some());
+        assert!(!p.is_extern("Main"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Filament's timeline type system (Section 4 and Appendix A.3).
+//!
+//! Checking proceeds in two phases, mirroring the paper:
+//!
+//! 1. **Signature checking** ([`sig`]): binding hygiene, `where`-clause
+//!    consistency, interval well-formedness, and *delay well-formedness*
+//!    (Section 4.1: an event's delay covers every interval that mentions it).
+//! 2. **Body checking** ([`body`]): valid reads (availability ⊇ requirement,
+//!    Section 4.2), conflict-free instance reuse via disjoint busy intervals
+//!    (the separating split of Section 6.2), safe pipelining (Section 4.4:
+//!    subcomponent delays, shared-instance completion, single-event sharing),
+//!    and the phantom check (Definition 5.1).
+//!
+//! Every temporal obligation is reduced to a [`crate::ast::LinExpr`]
+//! inequality and discharged either by constant evaluation or by the
+//! difference-logic solver seeded with the signature's `where` clauses.
+
+mod body;
+mod sig;
+
+use crate::ast::{Id, Program};
+use std::fmt;
+
+/// The category of a type error — stable across message wording, so tests
+/// and tools can match on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Name resolution, arity, or duplicate-definition problems.
+    Binding,
+    /// Bit-width disagreement.
+    Width,
+    /// A value was read outside its availability interval (Section 4.2).
+    Availability,
+    /// An event's delay does not cover an interval that mentions it
+    /// (Section 4.1), or a malformed interval/delay.
+    DelayWellFormed,
+    /// Two uses of an instance overlap (Sections 4.2 and 6.2).
+    InstanceConflict,
+    /// A pipelining rule of Section 4.4 is violated.
+    SafePipelining,
+    /// A phantom event is misused (Definition 5.1).
+    Phantom,
+    /// Ordering constraints are inconsistent, or appear on a user-level
+    /// component (disallowed by Section 4.4).
+    Constraint,
+    /// The obligation falls outside the supported difference-logic fragment.
+    Unsupported,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::Binding => "binding",
+            ErrorKind::Width => "width",
+            ErrorKind::Availability => "availability",
+            ErrorKind::DelayWellFormed => "delay well-formedness",
+            ErrorKind::InstanceConflict => "instance conflict",
+            ErrorKind::SafePipelining => "safe pipelining",
+            ErrorKind::Phantom => "phantom event",
+            ErrorKind::Constraint => "constraint",
+            ErrorKind::Unsupported => "unsupported",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A type error: the component it occurred in, its category, and a
+/// paper-style diagnostic message (e.g. *"m0.out: available for [G+2, G+3)
+/// but required during [G, G+1)"*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// The enclosing component.
+    pub component: Id,
+    /// Error category.
+    pub kind: ErrorKind,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl CheckError {
+    pub(crate) fn new(component: impl Into<Id>, kind: ErrorKind, message: impl Into<String>) -> Self {
+        CheckError {
+            component: component.into(),
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} error: {}",
+            self.component, self.kind, self.message
+        )
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Type-checks a whole program: every signature (including externs) and
+/// every user component body.
+///
+/// # Errors
+///
+/// Returns all diagnostics found (the checker does not stop at the first).
+///
+/// # Examples
+///
+/// ```
+/// use filament_core::{check_program, parse_program};
+///
+/// let p = parse_program(
+///     "extern comp Add<T: 1>(@[T, T+1] l: 32, @[T, T+1] r: 32) -> (@[T, T+1] o: 32);
+///      comp Main<G: 1>(@interface[G] go: 1, @[G, G+1] x: 32) -> (@[G, G+1] o: 32) {
+///        a := new Add<G>(x, x);
+///        o = a.o;
+///      }",
+/// )?;
+/// assert!(check_program(&p).is_ok());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_program(program: &Program) -> Result<(), Vec<CheckError>> {
+    let mut errors = Vec::new();
+
+    // Duplicate component names.
+    let mut seen = std::collections::HashSet::new();
+    for name in program
+        .externs
+        .iter()
+        .map(|s| &s.name)
+        .chain(program.components.iter().map(|c| &c.sig.name))
+    {
+        if !seen.insert(name.clone()) {
+            errors.push(CheckError::new(
+                name.clone(),
+                ErrorKind::Binding,
+                format!("duplicate definition of component {name}"),
+            ));
+        }
+    }
+
+    for sig in &program.externs {
+        sig::check_signature(sig, true, &mut errors);
+    }
+    for comp in &program.components {
+        sig::check_signature(&comp.sig, false, &mut errors);
+    }
+    for comp in &program.components {
+        body::check_body(program, comp, &mut errors);
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Type-checks a single component against a program context (its externs
+/// and sibling components must be present in `program`).
+///
+/// # Errors
+///
+/// Returns the diagnostics for this component's signature and body.
+pub fn check_component(program: &Program, name: &str) -> Result<(), Vec<CheckError>> {
+    let mut errors = Vec::new();
+    match program.component(name) {
+        None => errors.push(CheckError::new(
+            name,
+            ErrorKind::Binding,
+            format!("unknown component {name}"),
+        )),
+        Some(comp) => {
+            sig::check_signature(&comp.sig, false, &mut errors);
+            body::check_body(program, comp, &mut errors);
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}

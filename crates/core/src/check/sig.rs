@@ -1,0 +1,305 @@
+//! Signature checking: hygiene, constraint consistency, interval
+//! well-formedness, and delay well-formedness (Section 4.1).
+
+use super::{CheckError, ErrorKind};
+use crate::ast::{ConstraintOp, Delay, LinExpr, Signature, Time};
+use fil_solver::DiffSolver;
+use std::collections::HashSet;
+
+/// The solver environment derived from a signature: one difference-logic
+/// variable per event, seeded with the `where` clauses.
+#[derive(Debug, Clone)]
+pub(crate) struct SigEnv {
+    pub solver: DiffSolver,
+}
+
+impl SigEnv {
+    /// Builds the environment for a signature. Unknown events in constraints
+    /// are reported by [`check_signature`]; here they are interned anyway so
+    /// entailment stays total.
+    pub fn new(sig: &Signature) -> Self {
+        let mut solver = DiffSolver::new();
+        for ev in &sig.events {
+            solver.var(&ev.name);
+        }
+        for c in &sig.constraints {
+            let l = solver.var(&c.lhs.event);
+            let r = solver.var(&c.rhs.event);
+            // lhs.event + lhs.off  OP  rhs.event + rhs.off
+            let base = c.rhs.offset as i64 - c.lhs.offset as i64;
+            match c.op {
+                ConstraintOp::Gt => solver.assume(l, r, base + 1),
+                ConstraintOp::Ge => solver.assume(l, r, base),
+                ConstraintOp::Eq => {
+                    solver.assume(l, r, base);
+                    solver.assume(r, l, -base);
+                }
+            }
+        }
+        SigEnv { solver }
+    }
+
+    /// Whether the constraints entail `e >= 0`.
+    ///
+    /// `Err(())` means the obligation falls outside the difference-logic
+    /// fragment (more than two event variables after cancellation).
+    pub fn entails_nonneg(&self, e: &LinExpr) -> Result<bool, ()> {
+        if let Some(k) = e.as_const() {
+            return Ok(k >= 0);
+        }
+        if e.coeffs.len() == 1 {
+            // x + k >= 0 or -x + k >= 0: a bound against a single variable
+            // is never derivable from pure difference facts unless trivial;
+            // treat the event variable as unbounded (events occur at
+            // arbitrary cycles), so this only holds vacuously when the
+            // constraints are inconsistent.
+            return Ok(!self.solver.is_consistent());
+        }
+        match e.as_difference() {
+            Some((pos, neg, k)) => {
+                let (Some(p), Some(n)) = (self.solver.lookup(pos), self.solver.lookup(neg)) else {
+                    return Ok(false);
+                };
+                // pos - neg + k >= 0  ⟺  pos - neg >= -k.
+                Ok(self.solver.entails(p, n, -k))
+            }
+            None => Err(()),
+        }
+    }
+
+    /// Whether `a <= b` is entailed.
+    pub fn time_le(&self, a: &Time, b: &Time) -> Result<bool, ()> {
+        let mut e = LinExpr::from_time(b);
+        e.sub_assign(&LinExpr::from_time(a));
+        self.entails_nonneg(&e)
+    }
+}
+
+/// Checks one signature, pushing diagnostics into `errors`.
+pub(crate) fn check_signature(sig: &Signature, is_extern: bool, errors: &mut Vec<CheckError>) {
+    let comp = sig.name.clone();
+    let err = |errors: &mut Vec<CheckError>, kind, msg: String| {
+        errors.push(CheckError::new(comp.clone(), kind, msg));
+    };
+
+    // Hygiene: unique events, ports, params.
+    let mut events = HashSet::new();
+    for ev in &sig.events {
+        if !events.insert(ev.name.clone()) {
+            err(
+                errors,
+                ErrorKind::Binding,
+                format!("duplicate event {}", ev.name),
+            );
+        }
+    }
+    if sig.events.is_empty() {
+        err(
+            errors,
+            ErrorKind::Binding,
+            "component must bind at least one event".into(),
+        );
+    }
+    let mut names = HashSet::new();
+    for name in sig
+        .interfaces
+        .iter()
+        .map(|i| &i.name)
+        .chain(sig.inputs.iter().map(|p| &p.name))
+        .chain(sig.outputs.iter().map(|p| &p.name))
+    {
+        if !names.insert(name.clone()) {
+            err(
+                errors,
+                ErrorKind::Binding,
+                format!("duplicate port {name}"),
+            );
+        }
+    }
+    let mut params = HashSet::new();
+    for p in &sig.params {
+        if !params.insert(p.clone()) {
+            err(
+                errors,
+                ErrorKind::Binding,
+                format!("duplicate parameter {p}"),
+            );
+        }
+    }
+
+    // Interface ports: event exists, at most one per event.
+    let mut iface_events = HashSet::new();
+    for iface in &sig.interfaces {
+        if !events.contains(&iface.event) {
+            err(
+                errors,
+                ErrorKind::Binding,
+                format!(
+                    "interface port {} names unknown event {}",
+                    iface.name, iface.event
+                ),
+            );
+        }
+        if !iface_events.insert(iface.event.clone()) {
+            err(
+                errors,
+                ErrorKind::Binding,
+                format!("event {} has more than one interface port", iface.event),
+            );
+        }
+    }
+
+    // All times reference declared events.
+    let check_time = |t: &Time, site: &str, errors: &mut Vec<CheckError>| {
+        if !events.contains(&t.event) {
+            errors.push(CheckError::new(
+                comp.clone(),
+                ErrorKind::Binding,
+                format!("{site} references unknown event {}", t.event),
+            ));
+        }
+    };
+    for p in sig.inputs.iter().chain(&sig.outputs) {
+        check_time(&p.liveness.start, &format!("port {}", p.name), errors);
+        check_time(&p.liveness.end, &format!("port {}", p.name), errors);
+        if let crate::ast::ConstExpr::Param(w) = &p.width {
+            if !params.contains(w) {
+                err(
+                    errors,
+                    ErrorKind::Binding,
+                    format!("port {} has unknown width parameter {w}", p.name),
+                );
+            }
+        }
+    }
+    for ev in &sig.events {
+        if let Delay::Diff(a, b) = &ev.delay {
+            check_time(a, &format!("delay of event {}", ev.name), errors);
+            check_time(b, &format!("delay of event {}", ev.name), errors);
+        }
+    }
+    for c in &sig.constraints {
+        check_time(&c.lhs, "where clause", errors);
+        check_time(&c.rhs, "where clause", errors);
+    }
+
+    // User-level components may not relate events (Section 4.4: delays must
+    // be compile-time constants and sharing uses a single event).
+    if !is_extern {
+        if !sig.constraints.is_empty() {
+            err(
+                errors,
+                ErrorKind::Constraint,
+                "ordering constraints between events are only allowed on extern components"
+                    .into(),
+            );
+        }
+        for ev in &sig.events {
+            if !matches!(ev.delay, Delay::Const(_)) {
+                err(
+                    errors,
+                    ErrorKind::Constraint,
+                    format!(
+                        "event {} of a user-level component must have a constant delay",
+                        ev.name
+                    ),
+                );
+            }
+        }
+    }
+
+    let env = SigEnv::new(sig);
+    if !env.solver.is_consistent() {
+        err(
+            errors,
+            ErrorKind::Constraint,
+            "ordering constraints are unsatisfiable".into(),
+        );
+        return; // Everything below would be vacuously true.
+    }
+
+    // Intervals are non-empty: end >= start + 1.
+    for p in sig.inputs.iter().chain(&sig.outputs) {
+        let mut e = LinExpr::from_time(&p.liveness.end);
+        e.sub_assign(&LinExpr::from_time(&p.liveness.start));
+        e.konst -= 1;
+        match env.entails_nonneg(&e) {
+            Ok(true) => {}
+            Ok(false) => err(
+                errors,
+                ErrorKind::DelayWellFormed,
+                format!(
+                    "interval {} of port {} may be empty",
+                    p.liveness, p.name
+                ),
+            ),
+            Err(()) => err(
+                errors,
+                ErrorKind::Unsupported,
+                format!(
+                    "cannot verify well-formedness of interval {} of port {}",
+                    p.liveness, p.name
+                ),
+            ),
+        }
+    }
+
+    // Delays are non-negative.
+    for ev in &sig.events {
+        let e = LinExpr::from_delay(&ev.delay);
+        match env.entails_nonneg(&e) {
+            Ok(true) => {}
+            Ok(false) => err(
+                errors,
+                ErrorKind::DelayWellFormed,
+                format!("delay {} of event {} may be negative", ev.delay, ev.name),
+            ),
+            Err(()) => err(
+                errors,
+                ErrorKind::Unsupported,
+                format!(
+                    "cannot verify non-negativity of delay {} of event {}",
+                    ev.delay, ev.name
+                ),
+            ),
+        }
+    }
+
+    // Delay well-formedness (Section 4.1): for each event, its delay is at
+    // least the length of every interval that mentions it. An interval is
+    // attributed to its *start* event: re-execution shifts the interval's
+    // start by that event's delay, so covering the length there is exactly
+    // what rules out overlap (the register's `out: [G+1, L)` is covered by
+    // `G`'s delay `L-(G+1)`, while `L`'s delay 1 governs intervals starting
+    // at `L`).
+    for ev in &sig.events {
+        for p in sig.inputs.iter().chain(&sig.outputs) {
+            if p.liveness.start.event == ev.name {
+                let mut oblig = LinExpr::from_delay(&ev.delay);
+                oblig.sub_assign(&LinExpr::range_len(&p.liveness));
+                match env.entails_nonneg(&oblig) {
+                    Ok(true) => {}
+                    Ok(false) => err(
+                        errors,
+                        ErrorKind::DelayWellFormed,
+                        format!(
+                            "event {} may retrigger every {} cycles but port {} is live for {} \
+                             — the delay of an event must be at least as long as any interval \
+                             that mentions it (Section 4.1)",
+                            ev.name, ev.delay, p.name, p.liveness
+                        ),
+                    ),
+                    Err(()) => err(
+                        errors,
+                        ErrorKind::Unsupported,
+                        format!(
+                            "cannot verify that delay {} of event {} covers interval {} of {}",
+                            ev.delay, ev.name, p.liveness, p.name
+                        ),
+                    ),
+                }
+            }
+        }
+    }
+}
+

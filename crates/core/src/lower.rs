@@ -1,0 +1,439 @@
+//! Compilation (Section 5): Filament → Low Filament → Calyx.
+//!
+//! The compiler reifies each non-phantom event as a pipelined shift-register
+//! FSM (`fsm F[n](go)`, Section 5.1), triggers invocation interface ports
+//! from FSM states (`A.go = Gf._0 || Gf._2`), and synthesizes disjoint
+//! guards for data-port assignments from the required availability intervals
+//! (`A.left = Gf._s || … || Gf._{e-1} ? src`, Section 5.2). Phantom events
+//! produce no FSM and unguarded wires (Section 5.4), so continuous pipelines
+//! compile to exactly the circuit an expert would write.
+//!
+//! Well-typedness (run [`crate::check_program`] first) guarantees the
+//! synthesized guards are disjoint, which the simulator additionally
+//! re-checks dynamically ([`rtl_sim::SimError::WriteConflict`]).
+
+use crate::ast::{Command, ConstExpr, Id, Port, Program, Signature, Time};
+use calyx_lite as cl;
+use fil_bits::Value;
+use rtl_sim::CellKind;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Maps extern component names (plus const parameters) to primitive cells.
+///
+/// The standard library implements this for its externs; the port names of
+/// the returned [`CellKind`] (per [`calyx_lite::primitive_ports`]) must match
+/// the extern signature's port names.
+pub trait PrimitiveRegistry {
+    /// The cell implementing extern `name` with the given parameter values,
+    /// or `None` if the extern is unknown.
+    fn primitive(&self, name: &str, params: &[u64]) -> Option<CellKind>;
+
+    /// A structural implementation for externs that are whole sub-circuits
+    /// rather than single cells — e.g. the Reticle-generated DSP cascade of
+    /// Section 7.2, imported as an `extern comp Tdot`. Consulted only when
+    /// [`PrimitiveRegistry::primitive`] returns `None`. The component's port
+    /// names must match the extern signature's.
+    fn structural(&self, name: &str, params: &[u64]) -> Option<cl::Component> {
+        let _ = (name, params);
+        None
+    }
+}
+
+/// Errors raised during lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// The requested top component does not exist.
+    UnknownComponent(String),
+    /// An extern has no primitive implementation in the registry.
+    NoPrimitive {
+        /// The extern's name.
+        name: String,
+    },
+    /// The extern signature's port names do not match the primitive's.
+    PortMismatch {
+        /// The extern's name.
+        name: String,
+        /// The offending port.
+        port: String,
+    },
+    /// A width or parameter did not evaluate to a constant.
+    NonConstant {
+        /// Where it happened.
+        site: String,
+    },
+    /// The program is not well-typed in a way lowering relies on; run the
+    /// checker first.
+    IllTyped {
+        /// Description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::UnknownComponent(c) => write!(f, "unknown component {c}"),
+            LowerError::NoPrimitive { name } => {
+                write!(f, "no primitive implementation registered for extern {name}")
+            }
+            LowerError::PortMismatch { name, port } => write!(
+                f,
+                "extern {name}: port {port} does not exist on the registered primitive"
+            ),
+            LowerError::NonConstant { site } => {
+                write!(f, "{site} does not evaluate to a constant")
+            }
+            LowerError::IllTyped { detail } => {
+                write!(f, "program is not well-typed: {detail} (run the checker first)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lowers `top` and every user component it transitively instantiates into
+/// a Calyx-lite program (Figure 6's full flow minus the final Verilog step,
+/// which [`calyx_lite::emit_program`] provides).
+///
+/// # Errors
+///
+/// Returns a [`LowerError`]; programs should be type-checked first.
+pub fn lower_program(
+    program: &Program,
+    top: &str,
+    registry: &dyn PrimitiveRegistry,
+) -> Result<cl::Program, LowerError> {
+    let mut out = cl::Program::new();
+    let mut done = HashSet::new();
+    lower_component(program, top, registry, &mut out, &mut done)?;
+    Ok(out)
+}
+
+fn const_eval(e: &ConstExpr, site: &str) -> Result<u64, LowerError> {
+    match e {
+        ConstExpr::Lit(n) => Ok(*n),
+        ConstExpr::Param(_) => Err(LowerError::NonConstant { site: site.into() }),
+    }
+}
+
+fn lower_component(
+    program: &Program,
+    name: &str,
+    registry: &dyn PrimitiveRegistry,
+    out: &mut cl::Program,
+    done: &mut HashSet<Id>,
+) -> Result<(), LowerError> {
+    if done.contains(name) {
+        return Ok(());
+    }
+    done.insert(name.to_owned());
+    let comp = program
+        .component(name)
+        .ok_or_else(|| LowerError::UnknownComponent(name.to_owned()))?;
+    let sig = &comp.sig;
+    let mut c = cl::Component::new(name);
+
+    for iface in &sig.interfaces {
+        c.add_input(iface.name.clone(), 1);
+    }
+    for p in &sig.inputs {
+        c.add_input(
+            p.name.clone(),
+            const_eval(&p.width, &format!("width of {}.{}", name, p.name))? as u32,
+        );
+    }
+    for p in &sig.outputs {
+        c.add_output(
+            p.name.clone(),
+            const_eval(&p.width, &format!("width of {}.{}", name, p.name))? as u32,
+        );
+    }
+
+    // ----------------------------------------------------------- instances
+    struct Inst<'p> {
+        sig: &'p Signature,
+        /// Calyx/primitive port names keyed by Filament port name (identity
+        /// mapping, validated for primitives).
+        params: HashMap<Id, u64>,
+    }
+    let mut insts: HashMap<Id, Inst<'_>> = HashMap::new();
+    for cmd in &comp.body {
+        if let Command::Instance {
+            name: iname,
+            component,
+            params,
+        } = cmd
+        {
+            let callee = program
+                .sig(component)
+                .ok_or_else(|| LowerError::UnknownComponent(component.clone()))?;
+            let values: Vec<u64> = params
+                .iter()
+                .map(|p| const_eval(p, &format!("parameter of instance {iname}")))
+                .collect::<Result<_, _>>()?;
+            if program.is_extern(component) {
+                if let Some(kind) = registry.primitive(component, &values) {
+                    // The signature's port names must exist on the primitive.
+                    let (pins, pouts) = cl::primitive_ports(&kind);
+                    let have: HashSet<&str> = pins
+                        .iter()
+                        .chain(&pouts)
+                        .map(|(n, _)| n.as_str())
+                        .collect();
+                    for port in sig_port_names(callee) {
+                        if !have.contains(port.as_str()) {
+                            return Err(LowerError::PortMismatch {
+                                name: component.clone(),
+                                port,
+                            });
+                        }
+                    }
+                    c.add_primitive(iname.clone(), kind);
+                } else if let Some(sub) = registry.structural(component, &values) {
+                    let have: HashSet<&str> = sub
+                        .inputs
+                        .iter()
+                        .chain(&sub.outputs)
+                        .map(|(n, _)| n.as_str())
+                        .collect();
+                    for port in sig_port_names(callee) {
+                        if !have.contains(port.as_str()) {
+                            return Err(LowerError::PortMismatch {
+                                name: component.clone(),
+                                port,
+                            });
+                        }
+                    }
+                    let mangled = sub.name.clone();
+                    if out.component(&mangled).is_none() {
+                        out.add_component(sub);
+                    }
+                    c.add_subcomponent(iname.clone(), mangled);
+                } else {
+                    return Err(LowerError::NoPrimitive {
+                        name: component.clone(),
+                    });
+                }
+            } else {
+                lower_component(program, component, registry, out, done)?;
+                c.add_subcomponent(iname.clone(), component.clone());
+            }
+            let env = callee
+                .params
+                .iter()
+                .cloned()
+                .zip(values.iter().copied())
+                .collect();
+            insts.insert(
+                iname.clone(),
+                Inst {
+                    sig: callee,
+                    params: env,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------ FSM sizing pass
+    // Per non-phantom own event: the highest state index any trigger or
+    // guard needs (Section 5.2 walks all `G + i` mentions).
+    let phantom: HashSet<&str> = sig
+        .events
+        .iter()
+        .filter(|e| sig.is_phantom(&e.name))
+        .map(|e| e.name.as_str())
+        .collect();
+    let own_event_names: HashSet<&str> = sig.events.iter().map(|e| e.name.as_str()).collect();
+    let mut max_state: HashMap<String, u64> = HashMap::new();
+    let note_state = |max_state: &mut HashMap<String, u64>, event: &str, state: u64| {
+        if !phantom.contains(event) && own_event_names.contains(event) {
+            let entry = max_state.entry(event.to_owned()).or_insert(0);
+            *entry = (*entry).max(state);
+        }
+    };
+
+    // Gather invocation info: binding plus resolved trigger/guard states.
+    struct Inv {
+        instance: Id,
+        binding: HashMap<Id, Time>,
+    }
+    let mut invs: HashMap<Id, Inv> = HashMap::new();
+    for cmd in &comp.body {
+        let Command::Invoke {
+            name: iname,
+            instance,
+            events,
+            args,
+        } = cmd
+        else {
+            continue;
+        };
+        let inst = insts.get(instance).ok_or_else(|| LowerError::IllTyped {
+            detail: format!("unknown instance {instance}"),
+        })?;
+        if events.len() != inst.sig.events.len() || args.len() != inst.sig.inputs.len() {
+            return Err(LowerError::IllTyped {
+                detail: format!("arity mismatch in invocation {iname}"),
+            });
+        }
+        let binding: HashMap<Id, Time> = inst
+            .sig
+            .events
+            .iter()
+            .map(|e| e.name.clone())
+            .zip(events.iter().cloned())
+            .collect();
+        // Triggers: callee events with interface ports.
+        for ev in &inst.sig.events {
+            if inst.sig.interface_of(&ev.name).is_some() {
+                let t = &binding[&ev.name];
+                note_state(&mut max_state, &t.event, t.offset);
+            }
+        }
+        // Data-arg guards: states start..end-1 of the required interval.
+        for pdef in &inst.sig.inputs {
+            let req = pdef.liveness.subst(&binding);
+            if req.start.event != req.end.event {
+                return Err(LowerError::IllTyped {
+                    detail: format!(
+                        "requirement {req} of invocation {iname} spans multiple events"
+                    ),
+                });
+            }
+            if req.end.offset > 0 {
+                note_state(&mut max_state, &req.start.event, req.end.offset - 1);
+            }
+        }
+        invs.insert(
+            iname.clone(),
+            Inv {
+                instance: instance.clone(),
+                binding,
+            },
+        );
+    }
+
+    // Instantiate one FSM per used non-phantom event and hook its trigger to
+    // the interface port.
+    let fsm_name = |event: &str| format!("{event}_fsm");
+    for ev in &sig.events {
+        let Some(&max) = max_state.get(ev.name.as_str()) else {
+            continue;
+        };
+        let iface = sig
+            .interface_of(&ev.name)
+            .expect("non-phantom events have interface ports");
+        let n = (max + 1) as u32;
+        c.add_primitive(fsm_name(&ev.name), CellKind::ShiftFsm { n });
+        c.assign(
+            cl::PortRef::cell(fsm_name(&ev.name), "go"),
+            cl::Src::this(iface.name.clone()),
+        );
+    }
+
+    // -------------------------------------------------------- assignments
+    let src_of = |p: &Port, width: u32| -> cl::Src {
+        match p {
+            Port::This(name) => cl::Src::this(name.clone()),
+            Port::Inv { invocation, port } => {
+                let inst = &invs[invocation].instance;
+                cl::Src::port(cl::PortRef::cell(inst.clone(), port.clone()))
+            }
+            Port::Lit(n) => cl::Src::konst(Value::from_u64(width, *n)),
+        }
+    };
+
+    // Interface triggers, merged per (instance, interface port) so pipelined
+    // uses OR together (Figure 6: `A.go = Gf._0 || Gf._2`).
+    let mut triggers: HashMap<(Id, Id), Vec<cl::PortRef>> = HashMap::new();
+    for (iname, inv) in &invs {
+        let inst = &insts[&inv.instance];
+        for ev in &inst.sig.events {
+            let Some(iface) = inst.sig.interface_of(&ev.name) else {
+                continue;
+            };
+            let t = &inv.binding[&ev.name];
+            if phantom.contains(t.event.as_str()) {
+                return Err(LowerError::IllTyped {
+                    detail: format!(
+                        "phantom event {} triggers interface port of invocation {iname}",
+                        t.event
+                    ),
+                });
+            }
+            triggers
+                .entry((inv.instance.clone(), iface.name.clone()))
+                .or_default()
+                .push(cl::PortRef::cell(fsm_name(&t.event), format!("_{}", t.offset)));
+        }
+    }
+    for ((inst, port), states) in triggers {
+        c.assign_guarded(
+            cl::PortRef::cell(inst, port),
+            cl::Src::konst(Value::from_u64(1, 1)),
+            cl::Guard::Any(states),
+        );
+    }
+
+    // Data arguments with synthesized guards (Section 5.2).
+    for cmd in &comp.body {
+        let Command::Invoke { name: iname, args, .. } = cmd else {
+            continue;
+        };
+        let inv = &invs[iname];
+        let inst = &insts[&inv.instance];
+        for (arg, pdef) in args.iter().zip(&inst.sig.inputs) {
+            let req = pdef.liveness.subst(&inv.binding);
+            let width = match pdef.width.subst(&inst.params) {
+                ConstExpr::Lit(w) => w as u32,
+                ConstExpr::Param(p) => {
+                    return Err(LowerError::NonConstant {
+                        site: format!("width parameter {p} of invocation {iname}"),
+                    })
+                }
+            };
+            let dst = cl::PortRef::cell(inv.instance.clone(), pdef.name.clone());
+            let src = src_of(arg, width);
+            if phantom.contains(req.start.event.as_str()) {
+                c.assign(dst, src);
+            } else {
+                let states: Vec<cl::PortRef> = (req.start.offset..req.end.offset)
+                    .map(|i| cl::PortRef::cell(fsm_name(&req.start.event), format!("_{i}")))
+                    .collect();
+                c.assign_guarded(dst, src, cl::Guard::Any(states));
+            }
+        }
+    }
+
+    // Connections: plain wires.
+    for cmd in &comp.body {
+        let Command::Connect { dst, src } = cmd else {
+            continue;
+        };
+        let Port::This(dname) = dst else {
+            return Err(LowerError::IllTyped {
+                detail: format!("connection target {dst} is not a component output"),
+            });
+        };
+        let width = sig
+            .output(dname)
+            .map(|p| const_eval(&p.width, "output width"))
+            .transpose()?
+            .unwrap_or(32) as u32;
+        c.assign(cl::PortRef::this(dname.clone()), src_of(src, width));
+    }
+
+    out.add_component(c);
+    Ok(())
+}
+
+fn sig_port_names(sig: &Signature) -> Vec<String> {
+    sig.interfaces
+        .iter()
+        .map(|i| i.name.clone())
+        .chain(sig.inputs.iter().map(|p| p.name.clone()))
+        .chain(sig.outputs.iter().map(|p| p.name.clone()))
+        .collect()
+}

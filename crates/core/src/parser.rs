@@ -1,0 +1,902 @@
+//! Lexer and recursive-descent parser for Filament's surface syntax.
+//!
+//! The grammar follows the paper's examples:
+//!
+//! ```text
+//! program    ::= (extern | component)*
+//! extern     ::= "extern" signature ";"
+//! component  ::= signature "{" command* "}"
+//! signature  ::= "comp" ident params? "<" event ("," event)* ">"
+//!                "(" port* ")" "->" "(" port* ")" ("where" constraint,*)?
+//! params     ::= "[" ident ("," ident)* "]"
+//! event      ::= ident ":" delay
+//! delay      ::= nat | time "-" ("(" time ")" | time)
+//! port       ::= "@interface" "[" ident "]" ident ":" width
+//!              | "@" "[" time "," time "]" ident ":" width
+//! command    ::= ident ":=" "new" ident args? invoke-sfx? ";"   (fused form)
+//!              | ident ":=" ident "<" time,* ">" "(" arg,* ")" ";"
+//!              | portref "=" portref ";"
+//! time       ::= ident ("+" nat)?
+//! ```
+//!
+//! `x := new C[p]<G>(a)` is sugar for an instantiation plus an invocation
+//! (used throughout Section 7.2 and Appendix B.1 of the paper).
+
+use crate::ast::*;
+use std::fmt;
+
+/// A parse failure, with 1-based line and column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    LBrace,
+    RBrace,
+    LAngle,
+    RAngle,
+    Comma,
+    Semi,
+    Colon,
+    ColonEq,
+    Eq,
+    EqEq,
+    Ge,
+    Arrow,
+    Plus,
+    Minus,
+    Dot,
+    At,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier {s:?}"),
+            Tok::Num(n) => write!(f, "number {n}"),
+            Tok::LParen => write!(f, "'('"),
+            Tok::RParen => write!(f, "')'"),
+            Tok::LBrack => write!(f, "'['"),
+            Tok::RBrack => write!(f, "']'"),
+            Tok::LBrace => write!(f, "'{{'"),
+            Tok::RBrace => write!(f, "'}}'"),
+            Tok::LAngle => write!(f, "'<'"),
+            Tok::RAngle => write!(f, "'>'"),
+            Tok::Comma => write!(f, "','"),
+            Tok::Semi => write!(f, "';'"),
+            Tok::Colon => write!(f, "':'"),
+            Tok::ColonEq => write!(f, "':='"),
+            Tok::Eq => write!(f, "'='"),
+            Tok::EqEq => write!(f, "'=='"),
+            Tok::Ge => write!(f, "'>='"),
+            Tok::Arrow => write!(f, "'->'"),
+            Tok::Plus => write!(f, "'+'"),
+            Tok::Minus => write!(f, "'-'"),
+            Tok::Dot => write!(f, "'.'"),
+            Tok::At => write!(f, "'@'"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek_byte()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek_byte() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(b) = self.bump() {
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek_byte() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<(Tok, u32, u32), ParseError> {
+        self.skip_trivia()?;
+        let (line, col) = (self.line, self.col);
+        let Some(b) = self.peek_byte() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        let tok = match b {
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'[' => {
+                self.bump();
+                Tok::LBrack
+            }
+            b']' => {
+                self.bump();
+                Tok::RBrack
+            }
+            b'{' => {
+                self.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            b'<' => {
+                self.bump();
+                Tok::LAngle
+            }
+            b'>' => {
+                self.bump();
+                if self.peek_byte() == Some(b'=') {
+                    self.bump();
+                    Tok::Ge
+                } else {
+                    Tok::RAngle
+                }
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b';' => {
+                self.bump();
+                Tok::Semi
+            }
+            b':' => {
+                self.bump();
+                if self.peek_byte() == Some(b'=') {
+                    self.bump();
+                    Tok::ColonEq
+                } else {
+                    Tok::Colon
+                }
+            }
+            b'=' => {
+                self.bump();
+                if self.peek_byte() == Some(b'=') {
+                    self.bump();
+                    Tok::EqEq
+                } else {
+                    Tok::Eq
+                }
+            }
+            b'-' => {
+                self.bump();
+                if self.peek_byte() == Some(b'>') {
+                    self.bump();
+                    Tok::Arrow
+                } else {
+                    Tok::Minus
+                }
+            }
+            b'+' => {
+                self.bump();
+                Tok::Plus
+            }
+            b'.' => {
+                self.bump();
+                Tok::Dot
+            }
+            b'@' => {
+                self.bump();
+                Tok::At
+            }
+            b'0'..=b'9' => {
+                let mut n: u64 = 0;
+                while let Some(d @ b'0'..=b'9') = self.peek_byte() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((d - b'0') as u64))
+                        .ok_or_else(|| self.error("number literal overflows u64"))?;
+                    self.bump();
+                }
+                Tok::Num(n)
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = self.pos;
+                while let Some(b) = self.peek_byte() {
+                    if b.is_ascii_alphanumeric() || b == b'_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+            }
+            other => {
+                return Err(self.error(format!("unexpected character {:?}", other as char)));
+            }
+        };
+        Ok((tok, line, col))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, u32, u32)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let mut toks = Vec::new();
+        loop {
+            let t = lexer.next_tok()?;
+            let eof = t.0 == Tok::Eof;
+            toks.push(t);
+            if eof {
+                break;
+            }
+        }
+        Ok(Parser { toks, pos: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].0
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.toks[self.pos];
+        (t.1, t.2)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: Tok) -> Result<(), ParseError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected keyword {kw:?}, found {other}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<Id, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        match *self.peek() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(n)
+            }
+            ref other => Err(self.error(format!("expected number, found {other}"))),
+        }
+    }
+
+    /// `ident ("+" nat)?`
+    fn time(&mut self) -> Result<Time, ParseError> {
+        let event = self.ident()?;
+        let offset = if *self.peek() == Tok::Plus {
+            self.bump();
+            self.number()?
+        } else {
+            0
+        };
+        Ok(Time::new(event, offset))
+    }
+
+    /// `nat | time "-" ("(" time ")" | time)`
+    fn delay(&mut self) -> Result<Delay, ParseError> {
+        if let Tok::Num(n) = *self.peek() {
+            self.bump();
+            return Ok(Delay::Const(n));
+        }
+        let lhs = self.time()?;
+        self.eat(Tok::Minus)?;
+        let rhs = if *self.peek() == Tok::LParen {
+            self.bump();
+            let t = self.time()?;
+            self.eat(Tok::RParen)?;
+            t
+        } else {
+            self.time()?
+        };
+        Ok(Delay::Diff(lhs, rhs))
+    }
+
+    fn width(&mut self) -> Result<ConstExpr, ParseError> {
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(ConstExpr::Lit(n))
+            }
+            Tok::Ident(p) => {
+                self.bump();
+                Ok(ConstExpr::Param(p))
+            }
+            other => Err(self.error(format!("expected width, found {other}"))),
+        }
+    }
+
+    /// Parses ports into (interfaces, data ports).
+    fn ports(&mut self) -> Result<(Vec<InterfaceDef>, Vec<PortDef>), ParseError> {
+        let mut interfaces = Vec::new();
+        let mut ports = Vec::new();
+        self.eat(Tok::LParen)?;
+        while *self.peek() != Tok::RParen {
+            self.eat(Tok::At)?;
+            if self.at_keyword("interface") {
+                self.bump();
+                self.eat(Tok::LBrack)?;
+                let event = self.ident()?;
+                self.eat(Tok::RBrack)?;
+                let name = self.ident()?;
+                self.eat(Tok::Colon)?;
+                let w = self.width()?;
+                if w != ConstExpr::Lit(1) {
+                    return Err(self.error("interface ports must have width 1"));
+                }
+                interfaces.push(InterfaceDef { name, event });
+            } else {
+                self.eat(Tok::LBrack)?;
+                let start = self.time()?;
+                self.eat(Tok::Comma)?;
+                let end = self.time()?;
+                self.eat(Tok::RBrack)?;
+                let name = self.ident()?;
+                self.eat(Tok::Colon)?;
+                let width = self.width()?;
+                ports.push(PortDef {
+                    name,
+                    liveness: Range::new(start, end),
+                    width,
+                });
+            }
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.eat(Tok::RParen)?;
+        Ok((interfaces, ports))
+    }
+
+    fn signature(&mut self) -> Result<Signature, ParseError> {
+        self.eat_keyword("comp")?;
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if *self.peek() == Tok::LBrack {
+            self.bump();
+            loop {
+                params.push(self.ident()?);
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.eat(Tok::RBrack)?;
+        }
+        self.eat(Tok::LAngle)?;
+        let mut events = Vec::new();
+        loop {
+            let ev = self.ident()?;
+            let delay = if *self.peek() == Tok::Colon {
+                self.bump();
+                self.delay()?
+            } else {
+                // `<G>` without a delay defaults to 1 (the paper's early
+                // examples elide delays before Section 2.4 introduces them).
+                Delay::Const(1)
+            };
+            events.push(EventDecl { name: ev, delay });
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.eat(Tok::RAngle)?;
+        let (mut interfaces, inputs) = self.ports()?;
+        self.eat(Tok::Arrow)?;
+        let (out_ifaces, outputs) = self.ports()?;
+        if !out_ifaces.is_empty() {
+            return Err(self.error("interface ports may not appear among outputs"));
+        }
+        interfaces.extend(out_ifaces);
+        let mut constraints = Vec::new();
+        if self.at_keyword("where") {
+            self.bump();
+            loop {
+                let lhs = self.time()?;
+                let op = match self.bump() {
+                    Tok::RAngle => ConstraintOp::Gt,
+                    Tok::Ge => ConstraintOp::Ge,
+                    Tok::EqEq => ConstraintOp::Eq,
+                    other => {
+                        return Err(self.error(format!(
+                            "expected '>', '>=' or '==' in constraint, found {other}"
+                        )))
+                    }
+                };
+                let rhs = self.time()?;
+                constraints.push(OrderConstraint { lhs, op, rhs });
+                if *self.peek() == Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(Signature {
+            name,
+            params,
+            events,
+            interfaces,
+            inputs,
+            outputs,
+            constraints,
+        })
+    }
+
+    /// `ident | ident "." ident | nat`
+    fn port_ref(&mut self) -> Result<Port, ParseError> {
+        if let Tok::Num(n) = *self.peek() {
+            self.bump();
+            return Ok(Port::Lit(n));
+        }
+        let first = self.ident()?;
+        if *self.peek() == Tok::Dot {
+            self.bump();
+            let port = self.ident()?;
+            Ok(Port::Inv {
+                invocation: first,
+                port,
+            })
+        } else {
+            Ok(Port::This(first))
+        }
+    }
+
+    fn invoke_suffix(
+        &mut self,
+        name: Id,
+        instance: Id,
+        out: &mut Vec<Command>,
+    ) -> Result<(), ParseError> {
+        self.eat(Tok::LAngle)?;
+        let mut events = Vec::new();
+        loop {
+            events.push(self.time()?);
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.eat(Tok::RAngle)?;
+        self.eat(Tok::LParen)?;
+        let mut args = Vec::new();
+        while *self.peek() != Tok::RParen {
+            args.push(self.port_ref()?);
+            if *self.peek() == Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.eat(Tok::RParen)?;
+        out.push(Command::Invoke {
+            name,
+            instance,
+            events,
+            args,
+        });
+        Ok(())
+    }
+
+    fn command(&mut self, out: &mut Vec<Command>) -> Result<(), ParseError> {
+        // Lookahead: `x := ...` vs `port = port`.
+        if matches!(self.peek(), Tok::Ident(_)) && *self.peek2() == Tok::ColonEq {
+            let name = self.ident()?;
+            self.eat(Tok::ColonEq)?;
+            if self.at_keyword("new") {
+                self.bump();
+                let component = self.ident()?;
+                let mut params = Vec::new();
+                if *self.peek() == Tok::LBrack {
+                    self.bump();
+                    loop {
+                        params.push(match self.peek().clone() {
+                            Tok::Num(n) => {
+                                self.bump();
+                                ConstExpr::Lit(n)
+                            }
+                            Tok::Ident(p) => {
+                                self.bump();
+                                ConstExpr::Param(p)
+                            }
+                            other => {
+                                return Err(
+                                    self.error(format!("expected const parameter, found {other}"))
+                                )
+                            }
+                        });
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.eat(Tok::RBrack)?;
+                }
+                if *self.peek() == Tok::LAngle {
+                    // Fused form: `x := new C[p]<G>(args)` — desugars to an
+                    // anonymous instance plus the invocation `x`.
+                    let inst_name = format!("{name}#inst");
+                    out.push(Command::Instance {
+                        name: inst_name.clone(),
+                        component,
+                        params,
+                    });
+                    self.invoke_suffix(name, inst_name, out)?;
+                } else {
+                    out.push(Command::Instance {
+                        name,
+                        component,
+                        params,
+                    });
+                }
+            } else {
+                let instance = self.ident()?;
+                self.invoke_suffix(name, instance, out)?;
+            }
+            self.eat(Tok::Semi)?;
+        } else {
+            let dst = self.port_ref()?;
+            self.eat(Tok::Eq)?;
+            let src = self.port_ref()?;
+            self.eat(Tok::Semi)?;
+            out.push(Command::Connect { dst, src });
+        }
+        Ok(())
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::new();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Ident(s) if s == "extern" => {
+                    self.bump();
+                    let sig = self.signature()?;
+                    self.eat(Tok::Semi)?;
+                    program.externs.push(sig);
+                }
+                Tok::Ident(s) if s == "comp" => {
+                    let sig = self.signature()?;
+                    self.eat(Tok::LBrace)?;
+                    let mut body = Vec::new();
+                    while *self.peek() != Tok::RBrace {
+                        self.command(&mut body)?;
+                    }
+                    self.eat(Tok::RBrace)?;
+                    program.components.push(Component { sig, body });
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected 'extern' or 'comp' at top level, found {other}"
+                    )))
+                }
+            }
+        }
+        Ok(program)
+    }
+}
+
+/// Parses a complete Filament program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let p = filament_core::parse_program(
+///     "extern comp Add<T: 1>(@[T, T+1] l: 32, @[T, T+1] r: 32) -> (@[T, T+1] o: 32);",
+/// )?;
+/// assert_eq!(p.externs.len(), 1);
+/// # Ok::<(), filament_core::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    Parser::new(src)?.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_extern_adder() {
+        let p = parse_program(
+            "extern comp Add<T: 1>(@interface[T] go: 1, @[T, T+1] left: 32, \
+             @[T, T+1] right: 32) -> (@[T, T+1] out: 32);",
+        )
+        .unwrap();
+        let sig = &p.externs[0];
+        assert_eq!(sig.name, "Add");
+        assert_eq!(sig.events[0].delay, Delay::Const(1));
+        assert_eq!(sig.interfaces[0].name, "go");
+        assert_eq!(sig.inputs.len(), 2);
+        assert_eq!(sig.outputs[0].liveness.to_string(), "[T, T+1)");
+    }
+
+    #[test]
+    fn parses_register_signature() {
+        // Section 3.6's register with parametric delay and ordering
+        // constraint.
+        let p = parse_program(
+            "extern comp Register<G: L-(G+1), L: 1>(@interface[G] en: 1, \
+             @[G, G+1] in: 32) -> (@[G+1, L] out: 32) where L > G+1;",
+        )
+        .unwrap();
+        let sig = &p.externs[0];
+        assert_eq!(
+            sig.events[0].delay,
+            Delay::Diff(Time::event("L"), Time::new("G", 1))
+        );
+        assert_eq!(sig.constraints.len(), 1);
+        assert_eq!(sig.constraints[0].op, ConstraintOp::Gt);
+        assert_eq!(sig.constraints[0].rhs, Time::new("G", 1));
+    }
+
+    #[test]
+    fn parses_component_with_body() {
+        let p = parse_program(
+            "comp Main<G: 1>(@interface[G] go: 1, @[G, G+1] a: 32) -> (@[G, G+1] o: 32) {
+               A := new Add;
+               a0 := A<G>(a, a);
+               o = a0.out;
+             }",
+        )
+        .unwrap();
+        let c = &p.components[0];
+        assert_eq!(c.body.len(), 3);
+        assert!(matches!(&c.body[0], Command::Instance { name, .. } if name == "A"));
+        assert!(matches!(
+            &c.body[1],
+            Command::Invoke { events, args, .. } if events.len() == 1 && args.len() == 2
+        ));
+        assert!(matches!(&c.body[2], Command::Connect { .. }));
+    }
+
+    #[test]
+    fn parses_fused_new_invoke() {
+        // Appendix B.1's systolic array style: `r := new Prev[32, 1]<G>(l0);`
+        let p = parse_program(
+            "comp M<G: 1>(@[G, G+1] l0: 32) -> (@[G, G+1] o: 32) {
+               r := new Prev[32, 1]<G>(l0);
+               o = r.prev;
+             }",
+        )
+        .unwrap();
+        let body = &p.components[0].body;
+        assert_eq!(body.len(), 3);
+        match &body[0] {
+            Command::Instance { name, params, .. } => {
+                assert_eq!(name, "r#inst");
+                assert_eq!(params, &vec![ConstExpr::Lit(32), ConstExpr::Lit(1)]);
+            }
+            other => panic!("expected instance, got {other:?}"),
+        }
+        match &body[1] {
+            Command::Invoke { name, instance, .. } => {
+                assert_eq!(name, "r");
+                assert_eq!(instance, "r#inst");
+            }
+            other => panic!("expected invoke, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_event_invocation_and_literal_args() {
+        let p = parse_program(
+            "comp M<G: 2>(@[G, G+1] x: 8) -> (@[G+1, G+2] o: 8) {
+               R := new Register;
+               r0 := R<G, G+2>(x);
+               mx := new Mux[8]<G+1>(r0.out, 0);
+               o = mx.out;
+             }",
+        )
+        .unwrap();
+        let body = &p.components[0].body;
+        match &body[1] {
+            Command::Invoke { events, .. } => {
+                assert_eq!(events, &vec![Time::event("G"), Time::new("G", 2)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &body[3] {
+            Command::Invoke { args, .. } => {
+                assert_eq!(args[1], Port::Lit(0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_param_widths() {
+        let p = parse_program(
+            "extern comp Add[W]<T: 1>(@[T, T+1] l: W, @[T, T+1] r: W) -> (@[T, T+1] o: W);",
+        )
+        .unwrap();
+        let sig = &p.externs[0];
+        assert_eq!(sig.params, vec!["W".to_owned()]);
+        assert_eq!(sig.inputs[0].width, ConstExpr::Param("W".into()));
+    }
+
+    #[test]
+    fn parses_comments() {
+        let p = parse_program(
+            "// line comment\n/* block\ncomment */ extern comp A<T: 1>() -> ();",
+        )
+        .unwrap();
+        assert_eq!(p.externs.len(), 1);
+    }
+
+    #[test]
+    fn default_delay_is_one() {
+        let p = parse_program("extern comp A<T>() -> ();").unwrap();
+        assert_eq!(p.externs[0].events[0].delay, Delay::Const(1));
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program("extern comp A<T: 1>() -> () ").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("';'"));
+    }
+
+    #[test]
+    fn error_on_wide_interface_port() {
+        let err =
+            parse_program("extern comp A<T: 1>(@interface[T] go: 2) -> ();").unwrap_err();
+        assert!(err.to_string().contains("width 1"));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_program("comp ? <>").is_err());
+        assert!(parse_program("module A;").is_err());
+        assert!(parse_program("extern comp A<T: 1>(@[T T+1] x: 1) -> ();").is_err());
+    }
+
+    #[test]
+    fn error_on_unterminated_comment() {
+        assert!(parse_program("/* never ends").is_err());
+    }
+
+    #[test]
+    fn number_overflow_is_reported() {
+        let err = parse_program("extern comp A<T: 99999999999999999999> () -> ();").unwrap_err();
+        assert!(err.to_string().contains("overflow"));
+    }
+}

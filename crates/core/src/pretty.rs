@@ -1,0 +1,158 @@
+//! Pretty-printing Filament programs back to surface syntax.
+//!
+//! The printer emits exactly the grammar [`crate::parser`] accepts, so
+//! `parse ∘ print` is the identity on ASTs — a property checked by the
+//! round-trip tests in `tests/roundtrip.rs`.
+
+use crate::ast::{
+    Command, Component, ConstExpr, ConstraintOp, Delay, PortDef, Program, Signature,
+};
+use std::fmt::Write as _;
+
+/// Renders a full program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for sig in &p.externs {
+        let _ = writeln!(out, "extern {};", print_signature(sig));
+    }
+    for comp in &p.components {
+        out.push_str(&print_component(comp));
+    }
+    out
+}
+
+/// Renders a component with its body. Fused `x := new C<G>(…)` forms (the
+/// parser desugars them into an instance named `x#inst` plus an invocation
+/// `x`) are re-fused on printing, so output is always re-parseable.
+pub fn print_component(c: &Component) -> String {
+    use std::collections::HashMap;
+    let mut fused: HashMap<&str, (&str, &Vec<ConstExpr>)> = HashMap::new();
+    for cmd in &c.body {
+        if let Command::Instance {
+            name,
+            component,
+            params,
+        } = cmd
+        {
+            if let Some(stripped) = name.strip_suffix("#inst") {
+                fused.insert(stripped, (component, params));
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {{", print_signature(&c.sig));
+    for cmd in &c.body {
+        match cmd {
+            Command::Instance { name, .. } if name.ends_with("#inst") => continue,
+            Command::Invoke {
+                name,
+                instance,
+                events,
+                args,
+            } if instance.strip_suffix("#inst") == Some(name) => {
+                let (component, params) = fused[name.as_str()];
+                let ps = if params.is_empty() {
+                    String::new()
+                } else {
+                    let items: Vec<String> =
+                        params.iter().map(ConstExpr::to_string).collect();
+                    format!("[{}]", items.join(", "))
+                };
+                let evs: Vec<String> = events.iter().map(|t| t.to_string()).collect();
+                let ars: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "  {name} := new {component}{ps}<{}>({});",
+                    evs.join(", "),
+                    ars.join(", ")
+                );
+            }
+            other => {
+                let _ = writeln!(out, "  {}", print_command(other));
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a signature (without a trailing `;` or body).
+pub fn print_signature(sig: &Signature) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "comp {}", sig.name);
+    if !sig.params.is_empty() {
+        let _ = write!(out, "[{}]", sig.params.join(", "));
+    }
+    let events: Vec<String> = sig
+        .events
+        .iter()
+        .map(|e| match &e.delay {
+            Delay::Const(n) => format!("{}: {n}", e.name),
+            Delay::Diff(a, b) => {
+                if b.offset == 0 {
+                    format!("{}: {a}-{}", e.name, b.event)
+                } else {
+                    format!("{}: {a}-({b})", e.name)
+                }
+            }
+        })
+        .collect();
+    let _ = write!(out, "<{}>", events.join(", "));
+
+    let port = |p: &PortDef| format!("@[{}, {}] {}: {}", p.liveness.start, p.liveness.end, p.name, p.width);
+    let mut inputs: Vec<String> = sig
+        .interfaces
+        .iter()
+        .map(|i| format!("@interface[{}] {}: 1", i.event, i.name))
+        .collect();
+    inputs.extend(sig.inputs.iter().map(port));
+    let outputs: Vec<String> = sig.outputs.iter().map(port).collect();
+    let _ = write!(out, "({}) -> ({})", inputs.join(", "), outputs.join(", "));
+
+    if !sig.constraints.is_empty() {
+        let cs: Vec<String> = sig
+            .constraints
+            .iter()
+            .map(|c| {
+                let op = match c.op {
+                    ConstraintOp::Gt => ">",
+                    ConstraintOp::Ge => ">=",
+                    ConstraintOp::Eq => "==",
+                };
+                format!("{} {op} {}", c.lhs, c.rhs)
+            })
+            .collect();
+        let _ = write!(out, " where {}", cs.join(", "));
+    }
+    out
+}
+
+/// Renders a single command.
+pub fn print_command(cmd: &Command) -> String {
+    match cmd {
+        Command::Instance {
+            name,
+            component,
+            params,
+        } => {
+            let ps = if params.is_empty() {
+                String::new()
+            } else {
+                let items: Vec<String> = params.iter().map(ConstExpr::to_string).collect();
+                format!("[{}]", items.join(", "))
+            };
+            format!("{name} := new {component}{ps};")
+        }
+        Command::Invoke {
+            name,
+            instance,
+            events,
+            args,
+        } => {
+            let evs: Vec<String> = events.iter().map(|t| t.to_string()).collect();
+            let ars: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            format!("{name} := {instance}<{}>({});", evs.join(", "), ars.join(", "))
+        }
+        Command::Connect { dst, src } => format!("{dst} = {src};"),
+    }
+}

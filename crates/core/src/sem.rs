@@ -1,0 +1,460 @@
+//! Log-based semantics of Filament (Section 6 and Appendix A).
+//!
+//! Every command denotes a transformation of a *log*: a map from cycles to
+//! the set of ports **read** and the multiset of ports **written** during
+//! that cycle. A log is *well-formed* (Definition 6.1) when no port is
+//! written twice in a cycle and every read is covered by a write; a
+//! component is *safely pipelined* (Definition 6.2) when the union of its
+//! log with any copy shifted by `n ≥ delay` cycles stays well-formed.
+//!
+//! The type system of [`crate::check`] is proved sound against this model in
+//! the paper (Theorem 6.3); here the model doubles as a test oracle — the
+//! property tests in this crate generate random programs and confirm that
+//! everything the checker accepts produces well-formed, safely-pipelined
+//! logs.
+
+use crate::ast::{Command, Id, Port, Program, Range, Time};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Reads and writes of a single cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CycleLog {
+    /// Ports read this cycle.
+    pub reads: BTreeSet<String>,
+    /// Ports written this cycle, with multiplicity (Section 6.1: the
+    /// multiset tracks conflicts).
+    pub writes: BTreeMap<String, u32>,
+}
+
+/// A component's execution log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Log {
+    entries: BTreeMap<i64, CycleLog>,
+}
+
+/// A well-formedness violation (Definition 6.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogViolation {
+    /// A port was written more than once in a cycle.
+    ConflictingWrites {
+        /// The cycle of the conflict.
+        cycle: i64,
+        /// The port written twice.
+        port: String,
+    },
+    /// A port was read in a cycle where nothing wrote it.
+    ReadWithoutWrite {
+        /// The cycle of the stale read.
+        cycle: i64,
+        /// The port read.
+        port: String,
+    },
+}
+
+impl fmt::Display for LogViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogViolation::ConflictingWrites { cycle, port } => {
+                write!(f, "conflicting writes to {port} in cycle {cycle}")
+            }
+            LogViolation::ReadWithoutWrite { cycle, port } => {
+                write!(f, "read of {port} in cycle {cycle} without a write")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogViolation {}
+
+impl Log {
+    /// The empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `port` over `[start, end)`.
+    pub fn read(&mut self, port: &str, start: i64, end: i64) {
+        for t in start..end {
+            self.entries
+                .entry(t)
+                .or_default()
+                .reads
+                .insert(port.to_owned());
+        }
+    }
+
+    /// Records a write of `port` over `[start, end)`.
+    pub fn write(&mut self, port: &str, start: i64, end: i64) {
+        for t in start..end {
+            *self
+                .entries
+                .entry(t)
+                .or_default()
+                .writes
+                .entry(port.to_owned())
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// The per-cycle entries.
+    pub fn entries(&self) -> &BTreeMap<i64, CycleLog> {
+        &self.entries
+    }
+
+    /// The last cycle with activity, if any.
+    pub fn max_cycle(&self) -> Option<i64> {
+        self.entries.keys().next_back().copied()
+    }
+
+    /// The log shifted `n` cycles into the future (a pipelined re-execution).
+    pub fn shift(&self, n: i64) -> Log {
+        Log {
+            entries: self
+                .entries
+                .iter()
+                .map(|(t, e)| (t + n, e.clone()))
+                .collect(),
+        }
+    }
+
+    /// Parallel composition (Section 6.1): union of reads, multiset-union of
+    /// writes.
+    pub fn union(&self, other: &Log) -> Log {
+        let mut out = self.clone();
+        for (t, e) in &other.entries {
+            let entry = out.entries.entry(*t).or_default();
+            entry.reads.extend(e.reads.iter().cloned());
+            for (p, n) in &e.writes {
+                *entry.writes.entry(p.clone()).or_insert(0) += n;
+            }
+        }
+        out
+    }
+
+    /// Checks Definition 6.1: writes are conflict-free and reads are covered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation in cycle order.
+    pub fn well_formed(&self) -> Result<(), LogViolation> {
+        for (t, e) in &self.entries {
+            for (p, n) in &e.writes {
+                if *n > 1 {
+                    return Err(LogViolation::ConflictingWrites {
+                        cycle: *t,
+                        port: p.clone(),
+                    });
+                }
+            }
+            for p in &e.reads {
+                if !e.writes.contains_key(p) {
+                    return Err(LogViolation::ReadWithoutWrite {
+                        cycle: *t,
+                        port: p.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn eval_time(t: &Time) -> i64 {
+    // All own events are bound to cycle 0 (Fig 9 elaborates a component's
+    // log with its event at a fixed base).
+    t.offset as i64
+}
+
+fn eval_range(r: &Range) -> (i64, i64) {
+    (eval_time(&r.start), eval_time(&r.end))
+}
+
+fn port_key(p: &Port) -> Option<String> {
+    match p {
+        Port::This(name) => Some(format!("this.{name}")),
+        Port::Inv { invocation, port } => Some(format!("{invocation}.{port}")),
+        Port::Lit(_) => None, // Constants are always valid; no log entry.
+    }
+}
+
+/// Builds the log of one execution of component `name`, with every event of
+/// the component bound to cycle 0 (Appendix A's `⟦M⟧`).
+///
+/// Per the paper's semantics:
+/// * the environment *writes* each component input over its availability,
+/// * each invocation *writes* its instance's busy token for the instance's
+///   delay (the `go` writes of Appendix A's multiplier example) and its
+///   output ports over their substituted availabilities, and *reads* each
+///   argument over the substituted input requirement,
+/// * each connection *reads* its source over the destination's requirement.
+///
+/// # Errors
+///
+/// Returns a message for binding problems (the semantics is defined on
+/// bind-correct programs; run [`crate::check_program`] first).
+pub fn component_log(program: &Program, name: &str) -> Result<Log, String> {
+    let comp = program
+        .component(name)
+        .ok_or_else(|| format!("unknown component {name}"))?;
+    let sig = &comp.sig;
+    let mut log = Log::new();
+
+    // Inputs are provided by the environment.
+    for p in &sig.inputs {
+        let (s, e) = eval_range(&p.liveness);
+        log.write(&format!("this.{}", p.name), s, e);
+    }
+
+    // Collect instances and invocation bindings.
+    let mut inst_sig: HashMap<Id, &crate::ast::Signature> = HashMap::new();
+    for cmd in &comp.body {
+        if let Command::Instance {
+            name, component, ..
+        } = cmd
+        {
+            let callee = program
+                .sig(component)
+                .ok_or_else(|| format!("unknown component {component}"))?;
+            inst_sig.insert(name.clone(), callee);
+        }
+    }
+
+    for cmd in &comp.body {
+        match cmd {
+            Command::Invoke {
+                name,
+                instance,
+                events,
+                args,
+            } => {
+                let callee = inst_sig
+                    .get(instance)
+                    .ok_or_else(|| format!("unknown instance {instance}"))?;
+                if events.len() != callee.events.len() {
+                    return Err(format!("invocation {name}: event arity mismatch"));
+                }
+                let binding: HashMap<Id, Time> = callee
+                    .events
+                    .iter()
+                    .map(|e| e.name.clone())
+                    .zip(events.iter().cloned())
+                    .collect();
+                // Busy token: the instance is used for `delay` cycles
+                // starting at its first event (the `go` writes of App A).
+                let first = &callee.events[0];
+                let start = eval_time(&Time::event(&first.name).subst(&binding));
+                let d = first
+                    .delay
+                    .subst(&binding)
+                    .as_const()
+                    .ok_or_else(|| format!("invocation {name}: non-constant delay"))?
+                    .max(1);
+                log.write(&format!("inst:{instance}"), start, start + d);
+                // Outputs become available.
+                for out in &callee.outputs {
+                    let (s, e) = eval_range(&out.liveness.subst(&binding));
+                    log.write(&format!("{name}.{}", out.name), s, e);
+                }
+                // Arguments are read over the substituted requirements.
+                if args.len() != callee.inputs.len() {
+                    return Err(format!("invocation {name}: argument arity mismatch"));
+                }
+                for (arg, pdef) in args.iter().zip(&callee.inputs) {
+                    if let Some(key) = port_key(arg) {
+                        let (s, e) = eval_range(&pdef.liveness.subst(&binding));
+                        log.read(&key, s, e);
+                    }
+                }
+            }
+            Command::Connect { dst, src } => {
+                if let (Port::This(d), Some(key)) = (dst, port_key(src)) {
+                    if let Some(out) = sig.output(d) {
+                        let (s, e) = eval_range(&out.liveness);
+                        log.read(&key, s, e);
+                    }
+                }
+            }
+            Command::Instance { .. } => {}
+        }
+    }
+    Ok(log)
+}
+
+/// The horizon beyond which shifted copies of a log cannot interact: one
+/// past its last active cycle.
+pub fn safe_pipelining_horizon(log: &Log) -> i64 {
+    log.max_cycle().map_or(0, |m| m + 1)
+}
+
+/// Checks Definition 6.2 on a bounded horizon: for every `n` with
+/// `delay ≤ n ≤ horizon`, the union `⟦M⟧ ∪ ⟦M⟧+n` must be well-formed.
+/// (Beyond the horizon the copies are disjoint, so the bound is exhaustive.)
+///
+/// # Errors
+///
+/// Returns the violating shift and the violation.
+pub fn check_safe_pipelining(log: &Log, delay: u64) -> Result<(), (i64, LogViolation)> {
+    let horizon = safe_pipelining_horizon(log);
+    let mut n = delay as i64;
+    while n <= horizon {
+        let union = log.union(&log.shift(n));
+        if let Err(v) = union.well_formed() {
+            return Err((n, v));
+        }
+        n += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const STDLIB: &str = r#"
+        extern comp Add<T: 1>(@[T, T+1] left: 32, @[T, T+1] right: 32)
+            -> (@[T, T+1] out: 32);
+        extern comp Mult<T: 3>(@interface[T] go: 1, @[T, T+1] left: 32,
+            @[T, T+1] right: 32) -> (@[T+2, T+3] out: 32);
+        extern comp Reg<G: 1>(@interface[G] en: 1, @[G, G+1] in: 32)
+            -> (@[G+1, G+2] out: 32);
+    "#;
+
+    fn log_of(body: &str) -> Log {
+        let src = format!("{STDLIB}{body}");
+        let p = parse_program(&src).unwrap();
+        component_log(&p, "main").unwrap()
+    }
+
+    #[test]
+    fn adder_log_shape() {
+        let log = log_of(
+            "comp main<G: 1>(@[G, G+1] a: 32) -> (@[G, G+1] o: 32) {
+               x := new Add<G>(a, a);
+               o = x.out;
+             }",
+        );
+        assert!(log.well_formed().is_ok());
+        let c0 = &log.entries()[&0];
+        assert!(c0.reads.contains("this.a"));
+        assert!(c0.reads.contains("x.out"));
+        assert!(c0.writes.contains_key("this.a"));
+        assert!(c0.writes.contains_key("x.out"));
+        assert!(c0.writes.contains_key("inst:x#inst"));
+    }
+
+    #[test]
+    fn multiplier_busy_writes_span_delay() {
+        // Appendix A: the multiplier writes its busy token for `delay`
+        // cycles.
+        let log = log_of(
+            "comp main<G: 3>(@interface[G] go: 1, @[G, G+1] a: 32) -> (@[G+2, G+3] o: 32) {
+               M := new Mult;
+               m0 := M<G>(a, a);
+               o = m0.out;
+             }",
+        );
+        for t in 0..3 {
+            assert!(
+                log.entries()[&t].writes.contains_key("inst:M"),
+                "busy at {t}"
+            );
+        }
+        assert!(!log.entries().contains_key(&3) || !log.entries()[&3].writes.contains_key("inst:M"));
+    }
+
+    #[test]
+    fn conflicting_instance_use_is_ill_formed() {
+        // Section 4.2's example: two overlapping uses of a 3-delay
+        // multiplier.
+        let log = log_of(
+            "comp main<G: 10>(@interface[G] go: 1, @[G, G+1] a: 32, @[G+1, G+2] b: 32)
+                 -> (@[G+3, G+4] o: 32) {
+               M := new Mult;
+               m0 := M<G>(a, a);
+               m1 := M<G+1>(b, b);
+               o = m1.out;
+             }",
+        );
+        assert!(matches!(
+            log.well_formed(),
+            Err(LogViolation::ConflictingWrites { port, .. }) if port == "inst:M"
+        ));
+    }
+
+    #[test]
+    fn stale_read_is_ill_formed() {
+        // Reading the multiplier's output in the wrong cycle.
+        let log = log_of(
+            "comp main<G: 3>(@interface[G] go: 1, @[G, G+1] a: 32) -> (@[G, G+1] o: 32) {
+               M := new Mult;
+               m0 := M<G>(a, a);
+               o = m0.out;
+             }",
+        );
+        assert!(matches!(
+            log.well_formed(),
+            Err(LogViolation::ReadWithoutWrite { port, cycle: 0 }) if port == "m0.out"
+        ));
+    }
+
+    #[test]
+    fn pipelining_overlapping_input_conflicts() {
+        // An input held for 3 cycles in a delay-1 pipeline overlaps with the
+        // next iteration's input (Section 2.4's `op` bug).
+        let log = log_of(
+            "comp main<G: 1>(@[G, G+3] op: 32) -> (@[G, G+1] o: 32) {
+               x := new Add<G>(op, op);
+               o = x.out;
+             }",
+        );
+        assert!(log.well_formed().is_ok(), "one execution is fine");
+        let err = check_safe_pipelining(&log, 1).unwrap_err();
+        assert!(matches!(
+            err.1,
+            LogViolation::ConflictingWrites { port, .. } if port == "this.op"
+        ));
+        // With delay 3 the executions tile cleanly.
+        assert!(check_safe_pipelining(&log, 3).is_ok());
+    }
+
+    #[test]
+    fn pipelined_alu_is_safe() {
+        let log = log_of(
+            "comp main<G: 1>(@[G, G+1] a: 32) -> (@[G+1, G+2] o: 32) {
+               x := new Add<G>(a, a);
+               R := new Reg;
+               r0 := R<G>(x.out);
+               o = r0.out;
+             }",
+        );
+        assert!(log.well_formed().is_ok());
+        assert!(check_safe_pipelining(&log, 1).is_ok());
+    }
+
+    #[test]
+    fn shift_and_union_algebra() {
+        let mut log = Log::new();
+        log.write("p", 0, 2);
+        log.read("p", 1, 2);
+        let shifted = log.shift(3);
+        assert_eq!(shifted.max_cycle(), Some(4));
+        let union = log.union(&shifted);
+        assert!(union.well_formed().is_ok());
+        // Overlapping shift conflicts.
+        let overlap = log.union(&log.shift(1));
+        assert!(matches!(
+            overlap.well_formed(),
+            Err(LogViolation::ConflictingWrites { cycle: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn horizon_of_empty_log() {
+        let log = Log::new();
+        assert_eq!(safe_pipelining_horizon(&log), 0);
+        assert!(check_safe_pipelining(&log, 5).is_ok());
+        assert_eq!(log.max_cycle(), None);
+    }
+}

@@ -1,0 +1,65 @@
+//! Parser robustness: arbitrary input never panics, near-miss programs
+//! produce positioned errors, and whitespace/comments are immaterial.
+
+use filament_core::parse_program;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary byte soup (as UTF-8 text) never panics the parser.
+    #[test]
+    fn arbitrary_text_never_panics(s in "\\PC*") {
+        let _ = parse_program(&s);
+    }
+
+    /// Arbitrary sequences of *valid tokens* never panic either.
+    #[test]
+    fn token_soup_never_panics(toks in prop::collection::vec(
+        prop::sample::select(vec![
+            "comp", "extern", "new", "where", "interface", "G", "T+1", "x",
+            "<", ">", "(", ")", "[", "]", "{", "}", ",", ";", ":", ":=",
+            "=", "->", "@", "+", "-", "1", "32",
+        ]),
+        0..40,
+    )) {
+        let src = toks.join(" ");
+        let _ = parse_program(&src);
+    }
+
+    /// Random whitespace insertion between tokens does not change the AST.
+    #[test]
+    fn whitespace_is_immaterial(pads in prop::collection::vec(prop::sample::select(vec![" ", "\n", "\t", "  ", " /*c*/ ", " //c\n "]), 24)) {
+        let toks = [
+            "extern", " ", "comp", " ", "Add", "<", "T", ":", "1", ">", "(",
+            "@", "[", "T", ",", "T+1", "]", " ", "l", ":", "32", ")", "->",
+            "(", ")", ";",
+        ];
+        let mut src = String::new();
+        for (i, t) in toks.iter().enumerate() {
+            src.push_str(t);
+            src.push_str(pads[i % pads.len()]);
+        }
+        let canonical = parse_program("extern comp Add<T: 1>(@[T, T+1] l: 32) -> ();").unwrap();
+        let padded = parse_program(&src).unwrap();
+        prop_assert_eq!(canonical, padded);
+    }
+}
+
+#[test]
+fn deeply_nested_input_is_fine() {
+    // No recursion blowups: long but flat bodies.
+    let mut body = String::new();
+    for i in 0..2000 {
+        body.push_str(&format!("x{i} := new C<G>(a);\n"));
+    }
+    let src = format!("comp M<G: 1>(@[G, G+1] a: 8) -> () {{ {body} }}");
+    let p = parse_program(&src).unwrap();
+    assert_eq!(p.components[0].body.len(), 4000, "instance + invoke each");
+}
+
+#[test]
+fn error_positions_point_into_the_source() {
+    let src = "comp M<G: 1>(@[G, G+1] a: 8) -> () {\n  x := new;\n}";
+    let err = parse_program(src).unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(err.col > 0);
+}

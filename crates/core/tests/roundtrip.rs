@@ -1,0 +1,159 @@
+//! Round-trip property: `parse ∘ print = id` on Filament ASTs, checked on
+//! every design in the repository and on randomly generated programs.
+
+use filament_core::ast::{
+    Command, Component, ConstExpr, Delay, EventDecl, InterfaceDef, Port, PortDef, Program,
+    Range, Signature, Time,
+};
+use filament_core::pretty::print_program;
+use filament_core::{check_program, parse_program};
+use proptest::prelude::*;
+
+#[test]
+fn stdlib_round_trips() {
+    let p = fil_stdlib::std_program();
+    let printed = print_program(&p);
+    let reparsed = parse_program(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+    assert_eq!(p, reparsed);
+}
+
+#[test]
+fn design_corpus_round_trips() {
+    for (name, src, _top) in fil_bench::design_corpus() {
+        let p = fil_stdlib::with_stdlib(&src).unwrap();
+        let printed = print_program(&p);
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("{name}: {e}\n{printed}"));
+        assert_eq!(p, reparsed, "{name}");
+        // And the reprint is stable (idempotent formatting).
+        assert_eq!(printed, print_program(&reparsed), "{name}");
+    }
+}
+
+#[test]
+fn fused_forms_refuse_on_print() {
+    let p = parse_program(
+        "comp M<G: 1>(@[G, G+1] a: 8) -> (@[G, G+1] o: 8) {
+           x := new Ghost[8]<G>(a);
+           o = x.out;
+         }",
+    )
+    .unwrap();
+    let printed = print_program(&p);
+    assert!(printed.contains("x := new Ghost[8]<G>(a);"), "{printed}");
+    assert!(!printed.contains("#inst"), "{printed}");
+    assert_eq!(parse_program(&printed).unwrap(), p);
+}
+
+// ------------------------------------------------------------ random ASTs
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("v_{s}"))
+}
+
+fn time(events: Vec<String>) -> impl Strategy<Value = Time> {
+    (0..events.len(), 0u64..6).prop_map(move |(i, off)| Time::new(events[i].clone(), off))
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    let events = prop::collection::vec(ident(), 1..3);
+    events.prop_flat_map(|evs| {
+        let evs: Vec<String> = {
+            let mut v = evs;
+            v.dedup();
+            v
+        };
+        let decls: Vec<EventDecl> = evs
+            .iter()
+            .map(|e| EventDecl {
+                name: e.clone(),
+                delay: Delay::Const(1),
+            })
+            .collect();
+        let port = (ident(), time(evs.clone()), 1u64..64).prop_map(|(name, start, w)| PortDef {
+            name,
+            liveness: Range::new(start.clone(), start.plus(1)),
+            width: ConstExpr::Lit(w),
+        });
+        let evs2 = evs.clone();
+        (
+            prop::collection::vec(port, 0..4),
+            prop::collection::vec((ident(), ident(), time(evs.clone())), 0..4),
+        )
+            .prop_map(move |(mut ports, uses)| {
+                // Unique port/definition names.
+                let mut seen = std::collections::HashSet::new();
+                ports.retain(|p| seen.insert(p.name.clone()));
+                let inputs: Vec<PortDef> = ports.clone();
+                let mut body = Vec::new();
+                let mut names = std::collections::HashSet::new();
+                for (inst, comp, t) in uses {
+                    let iname = format!("i_{inst}");
+                    let vname = format!("x_{inst}");
+                    if !names.insert(iname.clone()) {
+                        continue;
+                    }
+                    body.push(Command::Instance {
+                        name: iname.clone(),
+                        component: format!("C_{comp}"),
+                        params: vec![ConstExpr::Lit(8)],
+                    });
+                    body.push(Command::Invoke {
+                        name: vname,
+                        instance: iname,
+                        events: vec![t],
+                        args: inputs
+                            .first()
+                            .map(|p| vec![Port::This(p.name.clone())])
+                            .unwrap_or_else(|| vec![Port::Lit(3)]),
+                    });
+                }
+                let sig = Signature {
+                    name: "Main".into(),
+                    params: vec![],
+                    events: decls.clone(),
+                    interfaces: vec![InterfaceDef {
+                        name: "zz_go".into(),
+                        event: decls[0].name.clone(),
+                    }],
+                    inputs,
+                    outputs: vec![],
+                    constraints: vec![],
+                };
+                let mut p = Program::new();
+                p.components.push(Component { sig, body });
+                p
+            })
+    })
+}
+
+proptest! {
+    /// Printing any (bind-reasonable) AST and reparsing yields the same AST.
+    #[test]
+    fn print_parse_round_trip(p in arb_program()) {
+        let printed = print_program(&p);
+        match parse_program(&printed) {
+            Ok(reparsed) => prop_assert_eq!(p, reparsed),
+            Err(e) => prop_assert!(false, "printed program failed to parse: {e}\n{printed}"),
+        }
+    }
+}
+
+#[test]
+fn printed_programs_check_identically() {
+    // Printing must not change checkability: run the checker on both the
+    // original and the round-tripped ALU and compare verdicts.
+    for variant in [
+        fil_designs::alu::ALU_SEQUENTIAL,
+        fil_designs::alu::ALU_PIPELINED,
+        fil_designs::alu::ALU_BUGGY,
+    ] {
+        let p = fil_stdlib::with_stdlib(variant).unwrap();
+        let q = parse_program(&print_program(&p)).unwrap();
+        assert_eq!(
+            check_program(&p).is_ok(),
+            check_program(&q).is_ok(),
+            "verdict changed after round trip"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! The Section 2 ALU walkthrough, as reusable design sources.
+//!
+//! Three stations of the paper's narrative:
+//! * [`ALU_BUGGY`] — reads the multiplier's output two cycles too early
+//!   (rejected, Section 2.3),
+//! * [`ALU_SEQUENTIAL`] — registers delay the sum, `op` held three cycles,
+//!   initiation interval 3 (accepted, Section 2.3),
+//! * [`ALU_PIPELINED`] — `FastMult` swapped in, initiation interval 1
+//!   (accepted, Section 2.4).
+
+/// The broken ALU of Section 2.3: the multiplexer needs `m0.out` during
+/// `[G, G+1)` but it is only available during `[G+2, G+3)`.
+pub const ALU_BUGGY: &str = "
+comp ALU<G: 3>(@interface[G] en: 1, @[G, G+1] op: 1, @[G, G+1] l: 32,
+    @[G, G+1] r: 32) -> (@[G, G+1] o: 32) {
+  A := new Add[32]; M := new Mult[32]; Mx := new Mux[32];
+  a0 := A<G>(l, r);
+  m0 := M<G>(l, r);
+  mux := Mx<G>(op, a0.out, m0.out);
+  o = mux.out;
+}";
+
+/// The corrected sequential ALU: two registers delay the adder's result to
+/// the multiplier's timetable; the mux runs at `G+2`.
+pub const ALU_SEQUENTIAL: &str = "
+comp ALU<G: 3>(@interface[G] en: 1, @[G+2, G+3] op: 1, @[G, G+1] l: 32,
+    @[G, G+1] r: 32) -> (@[G+2, G+3] o: 32) {
+  A := new Add[32]; M := new Mult[32]; Mx := new Mux[32];
+  R0 := new Register[32]; R1 := new Register[32];
+  a0 := A<G>(l, r);
+  m0 := M<G>(l, r);
+  r0 := R0<G, G+2>(a0.out);
+  r1 := R1<G+1, G+3>(r0.out);
+  mux := Mx<G+2>(op, r1.out, m0.out);
+  o = mux.out;
+}";
+
+/// The fully pipelined ALU of Section 2.4: `FastMult` (initiation interval
+/// 1) replaces the sequential multiplier, and the whole ALU accepts a new
+/// transaction every cycle.
+pub const ALU_PIPELINED: &str = "
+comp ALU<G: 1>(@interface[G] en: 1, @[G+2, G+3] op: 1, @[G, G+1] l: 32,
+    @[G, G+1] r: 32) -> (@[G+2, G+3] o: 32) {
+  A := new Add[32]; FM := new FastMult[32]; Mx := new Mux[32];
+  R0 := new Register[32]; R1 := new Register[32];
+  a0 := A<G>(l, r);
+  m0 := FM<G>(l, r);
+  r0 := R0<G, G+2>(a0.out);
+  r1 := R1<G+1, G+3>(r0.out);
+  mux := Mx<G+2>(op, r1.out, m0.out);
+  o = mux.out;
+}";
+
+/// Full source of a given ALU variant (the standard library provides all
+/// externs, including the multi-event `Register`).
+pub fn source(variant: &str) -> String {
+    variant.to_owned()
+}
+
+/// The golden ALU function: `op = 0` adds, `op = 1` multiplies (wrapping,
+/// 32-bit).
+pub fn golden(op: u64, l: u32, r: u32) -> u32 {
+    if op == 0 {
+        l.wrapping_add(r)
+    } else {
+        l.wrapping_mul(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+    use fil_bits::Value;
+    use fil_harness::run_pipelined;
+    use fil_stdlib::with_stdlib;
+    use filament_core::check::ErrorKind;
+    use filament_core::check_program;
+
+    #[test]
+    fn buggy_alu_rejected_with_availability_error() {
+        let program = with_stdlib(&source(ALU_BUGGY)).unwrap();
+        let errors = check_program(&program).unwrap_err();
+        assert!(errors.iter().any(|e| e.kind == ErrorKind::Availability));
+    }
+
+    #[test]
+    fn sequential_alu_computes_both_ops() {
+        let program = with_stdlib(&source(ALU_SEQUENTIAL)).unwrap();
+        let (netlist, spec) =
+            fil_harness::compile_for_test(&program, "ALU", &fil_stdlib::StdRegistry).unwrap();
+        assert_eq!(spec.delay, 3);
+        let inputs = vec![
+            vec![Value::from_u64(1, 0), Value::from_u64(32, 10), Value::from_u64(32, 20)],
+            vec![Value::from_u64(1, 1), Value::from_u64(32, 10), Value::from_u64(32, 20)],
+        ];
+        let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
+        assert_eq!(outs[0][0].to_u64(), 30);
+        assert_eq!(outs[1][0].to_u64(), 200);
+    }
+
+    #[test]
+    fn pipelined_alu_streams_every_cycle() {
+        let program = with_stdlib(&source(ALU_PIPELINED)).unwrap();
+        let (netlist, spec) =
+            fil_harness::compile_for_test(&program, "ALU", &fil_stdlib::StdRegistry).unwrap();
+        assert_eq!(spec.delay, 1, "initiation interval 1");
+        let cases: Vec<(u64, u32, u32)> =
+            vec![(0, 1, 2), (1, 3, 4), (0, 5, 6), (1, 7, 8), (0, 9, 10)];
+        let inputs: Vec<Vec<Value>> = cases
+            .iter()
+            .map(|&(op, l, r)| {
+                vec![
+                    Value::from_u64(1, op),
+                    Value::from_u64(32, l as u64),
+                    Value::from_u64(32, r as u64),
+                ]
+            })
+            .collect();
+        let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
+        for (i, &(op, l, r)) in cases.iter().enumerate() {
+            assert_eq!(outs[i][0].to_u64(), golden(op, l, r) as u64, "case {i}");
+        }
+    }
+
+    #[test]
+    fn build_helper_reports_errors() {
+        assert!(crate::build("comp Broken<", "Broken").is_err());
+        assert!(build("comp X<G: 1>() -> () { }", "X").is_ok());
+    }
+}

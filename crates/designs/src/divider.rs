@@ -1,0 +1,238 @@
+//! Figure 2's area–throughput trade-off: 8-bit restoring division in three
+//! microarchitectures.
+//!
+//! The step component `Nxt` performs one iteration of restoring division
+//! over a 16-bit accumulator and an 8-bit quotient:
+//!
+//! ```text
+//! a1 = (a << 1) | q[7];  q1 = q << 1;
+//! if a1 >= div { AN = a1 - div; QN = q1 | 1 } else { AN = a1; QN = q1 }
+//! ```
+//!
+//! * [`DIV_COMB`] — all 8 steps in one cycle (latency 0, long critical
+//!   path; Figure 2b),
+//! * [`DIV_PIPE`] — one step per cycle with `Delay` registers between
+//!   stages, including a pipelined copy of the divisor (initiation
+//!   interval 1, latency 7; Figure 2c),
+//! * [`DIV_ITER`] — one shared `Nxt` instance reused over 8 cycles with
+//!   shared `Register`s, initiation interval 8 (Figure 2d).
+
+use std::fmt::Write as _;
+
+/// The shared step/init components.
+pub const DIV_LIB: &str = "
+comp Nxt<T: 1>(@[T, T+1] a: 16, @[T, T+1] q: 8, @[T, T+1] div: 16)
+    -> (@[T, T+1] AN: 16, @[T, T+1] QN: 8) {
+  sa := new ShlConst[16, 1]<T>(a);
+  qt := new Slice[8, 7, 7, 1]<T>(q);
+  qte := new ZExt[1, 16]<T>(qt.out);
+  a1 := new Or[16]<T>(sa.out, qte.out);
+  ge := new Ge[16]<T>(a1.out, div);
+  diff := new Sub[16]<T>(a1.out, div);
+  an := new Mux[16]<T>(ge.out, a1.out, diff.out);
+  qs := new ShlConst[8, 1]<T>(q);
+  geb := new ZExt[1, 8]<T>(ge.out);
+  qn := new Or[8]<T>(qs.out, geb.out);
+  AN = an.out;
+  QN = qn.out;
+}
+";
+
+/// Builds the combinational divider (Figure 2b): 8 `Nxt` instances all
+/// scheduled at `G`.
+pub fn comb_source() -> String {
+    let mut body = String::new();
+    writeln!(
+        body,
+        "comp DivComb<G: 1>(@[G, G+1] left: 8, @[G, G+1] div: 16) -> (@[G, G+1] q: 8) {{"
+    )
+    .unwrap();
+    writeln!(body, "  z := new ZExt[8, 16]<G>(left);").unwrap();
+    // Init: A = high half trick is unnecessary — A starts at 0, Q = left.
+    let mut a = "iza.out".to_owned();
+    let mut q = "left".to_owned();
+    writeln!(body, "  iza := new And[16]<G>(z.out, 0);").unwrap();
+    for i in 0..8 {
+        writeln!(body, "  n{i} := new Nxt<G>({a}, {q}, div);").unwrap();
+        a = format!("n{i}.AN");
+        q = format!("n{i}.QN");
+    }
+    writeln!(body, "  q = n7.QN;").unwrap();
+    writeln!(body, "}}").unwrap();
+    format!("{DIV_LIB}{body}")
+}
+
+/// Builds the pipelined divider (Figure 2c): one step per cycle, `Delay`
+/// registers carrying the accumulator, quotient, and divisor forward.
+pub fn pipelined_source() -> String {
+    let mut body = String::new();
+    writeln!(
+        body,
+        "comp DivPipe<G: 1>(@[G, G+1] left: 8, @[G, G+1] div: 16) -> (@[G+7, G+8] q: 8) {{"
+    )
+    .unwrap();
+    writeln!(body, "  z := new ZExt[8, 16]<G>(left);").unwrap();
+    writeln!(body, "  iza := new And[16]<G>(z.out, 0);").unwrap();
+    let mut a = "iza.out".to_owned();
+    let mut q = "left".to_owned();
+    let mut d = "div".to_owned();
+    for i in 0..8 {
+        writeln!(body, "  n{i} := new Nxt<G+{i}>({a}, {q}, {d});").unwrap();
+        if i < 7 {
+            writeln!(body, "  ra{i} := new Delay[16]<G+{i}>(n{i}.AN);").unwrap();
+            writeln!(body, "  rq{i} := new Delay[8]<G+{i}>(n{i}.QN);").unwrap();
+            writeln!(body, "  rd{i} := new Delay[16]<G+{i}>({d});").unwrap();
+            a = format!("ra{i}.out");
+            q = format!("rq{i}.out");
+            d = format!("rd{i}.out");
+        }
+    }
+    writeln!(body, "  q = n7.QN;").unwrap();
+    writeln!(body, "}}").unwrap();
+    format!("{DIV_LIB}{body}")
+}
+
+/// Builds the iterative divider (Figure 2d): one shared `Nxt` and shared
+/// registers, initiation interval 8.
+pub fn iterative_source() -> String {
+    let mut body = String::new();
+    writeln!(
+        body,
+        "comp DivIter<G: 8>(@interface[G] go: 1, @[G, G+1] left: 8, @[G, G+1] div: 16)
+             -> (@[G+7, G+8] q: 8) {{"
+    )
+    .unwrap();
+    writeln!(body, "  z := new ZExt[8, 16]<G>(left);").unwrap();
+    writeln!(body, "  iza := new And[16]<G>(z.out, 0);").unwrap();
+    writeln!(body, "  N := new Nxt; RA := new Register[16]; RQ := new Register[8];").unwrap();
+    // The divisor is captured once and held for the remaining 7 steps.
+    writeln!(body, "  RD := new Register[16];").unwrap();
+    writeln!(body, "  rd := RD<G, G+8>(div);").unwrap();
+    let mut a = "iza.out".to_owned();
+    let mut q = "left".to_owned();
+    for i in 0..8 {
+        let d = if i == 0 {
+            "div".to_owned()
+        } else {
+            "rd.out".to_owned()
+        };
+        writeln!(body, "  s{i} := N<G+{i}>({a}, {q}, {d});").unwrap();
+        if i < 7 {
+            writeln!(body, "  ra{i} := RA<G+{i}, G+{j}>(s{i}.AN);", j = i + 2).unwrap();
+            writeln!(body, "  rq{i} := RQ<G+{i}, G+{j}>(s{i}.QN);", j = i + 2).unwrap();
+            a = format!("ra{i}.out");
+            q = format!("rq{i}.out");
+        }
+    }
+    writeln!(body, "  q = s7.QN;").unwrap();
+    writeln!(body, "}}").unwrap();
+    format!("{DIV_LIB}{body}")
+}
+
+/// A *rejected* iterative divider: same-cycle sharing of the `Nxt` instance
+/// (the first Section 2.5 error).
+pub fn iterative_buggy_source() -> String {
+    format!(
+        "{DIV_LIB}
+comp DivBad<G: 1>(@[G, G+1] left: 8, @[G, G+1] div: 16) -> (@[G, G+1] q: 8) {{
+  z := new ZExt[8, 16]<G>(left);
+  iza := new And[16]<G>(z.out, 0);
+  N := new Nxt;
+  s0 := N<G>(iza.out, left, div);
+  s1 := N<G>(s0.AN, s0.QN, div);
+  q = s1.QN;
+}}"
+    )
+}
+
+/// Software restoring division, the golden model for all three designs.
+pub fn golden(left: u8, div: u16) -> u8 {
+    let mut a: u16 = 0;
+    let mut q: u8 = left;
+    for _ in 0..8 {
+        let a1 = (a << 1) | u16::from(q >> 7);
+        let q1 = q << 1;
+        if a1 >= div {
+            a = a1.wrapping_sub(div);
+            q = q1 | 1;
+        } else {
+            a = a1;
+            q = q1;
+        }
+    }
+    let _ = a; // remainder unused
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+    use fil_bits::Value;
+    use fil_harness::run_pipelined;
+
+    fn txn(left: u8, div: u16) -> Vec<Value> {
+        vec![Value::from_u64(8, left as u64), Value::from_u64(16, div as u64)]
+    }
+
+    #[test]
+    fn golden_matches_integer_division() {
+        for (l, d) in [(200u8, 7u16), (255, 1), (13, 13), (9, 100), (0, 5)] {
+            assert_eq!(golden(l, d) as u16, (l as u16) / d, "{l}/{d}");
+        }
+    }
+
+    #[test]
+    fn combinational_divider_divides() {
+        let (netlist, spec) = build(&comb_source(), "DivComb").unwrap();
+        let cases = [(200u8, 7u16), (144, 12), (255, 3), (17, 5)];
+        let inputs: Vec<Vec<Value>> = cases.iter().map(|&(l, d)| txn(l, d)).collect();
+        let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
+        for (i, &(l, d)) in cases.iter().enumerate() {
+            assert_eq!(outs[i][0].to_u64(), golden(l, d) as u64, "{l}/{d}");
+        }
+    }
+
+    #[test]
+    fn pipelined_divider_streams_every_cycle() {
+        let (netlist, spec) = build(&pipelined_source(), "DivPipe").unwrap();
+        assert_eq!(spec.delay, 1);
+        assert_eq!(spec.advertised_latency(), 7);
+        let cases: Vec<(u8, u16)> = (1..=10).map(|i| (200u8.wrapping_mul(i), 3 + i as u16)).collect();
+        let inputs: Vec<Vec<Value>> = cases.iter().map(|&(l, d)| txn(l, d)).collect();
+        let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
+        for (i, &(l, d)) in cases.iter().enumerate() {
+            assert_eq!(outs[i][0].to_u64(), golden(l, d) as u64, "{l}/{d}");
+        }
+    }
+
+    #[test]
+    fn iterative_divider_divides_every_eight_cycles() {
+        let (netlist, spec) = build(&iterative_source(), "DivIter").unwrap();
+        assert_eq!(spec.delay, 8, "initiation interval 8");
+        let cases = [(250u8, 9u16), (99, 11), (255, 255)];
+        let inputs: Vec<Vec<Value>> = cases.iter().map(|&(l, d)| txn(l, d)).collect();
+        let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
+        for (i, &(l, d)) in cases.iter().enumerate() {
+            assert_eq!(outs[i][0].to_u64(), golden(l, d) as u64, "{l}/{d}");
+        }
+    }
+
+    #[test]
+    fn buggy_iterative_divider_rejected() {
+        let err = build(&iterative_buggy_source(), "DivBad").unwrap_err();
+        assert!(err.contains("conflict"), "{err}");
+    }
+
+    #[test]
+    fn all_three_agree_with_each_other() {
+        let (nc, sc) = build(&comb_source(), "DivComb").unwrap();
+        let (np, sp) = build(&pipelined_source(), "DivPipe").unwrap();
+        let inputs: Vec<Vec<Value>> = (0..20u64)
+            .map(|i| txn((i * 37 + 11) as u8, (i * 13 + 1) as u16))
+            .collect();
+        let oc = run_pipelined(&nc, &sc, &inputs).unwrap();
+        let op = run_pipelined(&np, &sp, &inputs).unwrap();
+        assert_eq!(oc, op);
+    }
+}

@@ -1,0 +1,333 @@
+//! Appendix B.1's IEEE-754 single-precision floating-point adder.
+//!
+//! The paper translates a 5-stage pipelined Verilog FP adder into Filament
+//! and finds stage-crossing bugs in the original ("the adder attempts to
+//! use a value from the previous stage") that the type checker flags
+//! immediately. This module reproduces all three artifacts:
+//!
+//! * [`source`]`(Style::Combinational)` — the whole datapath in one cycle,
+//! * [`source`]`(Style::Pipelined)` — five stages, every value crossing a
+//!   stage boundary carried through a `Delay` register,
+//! * [`buggy_pipelined_source`] — the pipelined design with one stage-1
+//!   value read in stage 3 without its stage-2 register: rejected with
+//!   exactly the paper's *"available in [G+1, G+2) but required in
+//!   [G+2, G+3)"*-style diagnostic.
+//!
+//! Arithmetic domain: sign/magnitude addition of finite values with
+//! truncation (round-toward-zero) after a 3-bit guard; exponent over- and
+//! underflow wrap (no inf/NaN handling). The golden model implements the
+//! identical algorithm, and same-sign sums are additionally compared
+//! against native `f32` addition to within one ulp.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Which microarchitecture to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// Everything scheduled at `G` (latency 0).
+    Combinational,
+    /// Five stages at `G` … `G+4` (latency 4, initiation interval 1).
+    Pipelined,
+}
+
+struct Emitter {
+    body: String,
+    pipelined: bool,
+    fresh: u32,
+    /// Values carried across stage boundaries: name → (expr, width, stage).
+    live: HashMap<&'static str, (String, u32, u64)>,
+}
+
+impl Emitter {
+    fn new(pipelined: bool) -> Self {
+        Emitter {
+            body: String::new(),
+            pipelined,
+            fresh: 0,
+            live: HashMap::new(),
+        }
+    }
+
+    fn at(&self, stage: u64) -> String {
+        if self.pipelined && stage > 0 {
+            format!("G+{stage}")
+        } else {
+            "G".to_owned()
+        }
+    }
+
+    fn op(&mut self, line: String) {
+        writeln!(self.body, "  {line}").unwrap();
+    }
+
+    fn def(&mut self, name: &'static str, expr: String, width: u32, stage: u64) {
+        self.live.insert(name, (expr, width, stage));
+    }
+
+    /// Uses a live value at `stage`, inserting `Delay` registers for each
+    /// stage boundary it crosses (in pipelined mode).
+    fn get(&mut self, name: &str, stage: u64) -> String {
+        let (mut expr, width, mut at) = self.live[name].clone();
+        if !self.pipelined {
+            return expr;
+        }
+        while at < stage {
+            let d = format!("dly{}", self.fresh);
+            self.fresh += 1;
+            let sched = self.at(at);
+            self.op(format!("{d} := new Delay[{width}]<{sched}>({expr});"));
+            expr = format!("{d}.out");
+            at += 1;
+        }
+        let key: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        self.live.insert(key, (expr.clone(), width, at));
+        expr
+    }
+}
+
+fn emit(pipelined: bool, skip_delay_for: Option<&str>) -> String {
+    let mut e = Emitter::new(pipelined);
+    let latency = if pipelined { 4 } else { 0 };
+    let mut s = String::new();
+    writeln!(
+        s,
+        "comp FpAdd<G: 1>(@[G, G+1] x: 32, @[G, G+1] y: 32) -> (@[G+{latency}, G+{end}] out: 32) {{",
+        end = latency + 1
+    )
+    .unwrap();
+
+    // ------------------------------------------------------ stage 1: unpack
+    let g0 = e.at(0);
+    e.op(format!("mag_x := new Slice[32, 30, 0, 31]<{g0}>(x);"));
+    e.op(format!("mag_y := new Slice[32, 30, 0, 31]<{g0}>(y);"));
+    e.op(format!("x_ge := new Ge[31]<{g0}>(mag_x.out, mag_y.out);"));
+    e.op(format!("big := new Mux[32]<{g0}>(x_ge.out, y, x);"));
+    e.op(format!("small := new Mux[32]<{g0}>(x_ge.out, x, y);"));
+    e.op(format!("s_big := new Slice[32, 31, 31, 1]<{g0}>(big.out);"));
+    e.op(format!("s_small := new Slice[32, 31, 31, 1]<{g0}>(small.out);"));
+    e.op(format!("e_big := new Slice[32, 30, 23, 8]<{g0}>(big.out);"));
+    e.op(format!("e_small := new Slice[32, 30, 23, 8]<{g0}>(small.out);"));
+    e.op(format!("m_big := new Slice[32, 22, 0, 23]<{g0}>(big.out);"));
+    e.op(format!("m_small := new Slice[32, 22, 0, 23]<{g0}>(small.out);"));
+    e.op(format!("hid_big := new ReduceOr[8]<{g0}>(e_big.out);"));
+    e.op(format!("hid_small := new ReduceOr[8]<{g0}>(e_small.out);"));
+    e.op(format!("mb24 := new Concat[1, 23, 24]<{g0}>(hid_big.out, m_big.out);"));
+    e.op(format!("ms24 := new Concat[1, 23, 24]<{g0}>(hid_small.out, m_small.out);"));
+    e.op(format!("mb27 := new Concat[24, 3, 27]<{g0}>(mb24.out, 0);"));
+    e.op(format!("ms27 := new Concat[24, 3, 27]<{g0}>(ms24.out, 0);"));
+    e.op(format!("ediff := new Sub[8]<{g0}>(e_big.out, e_small.out);"));
+    e.op(format!("effsub := new Xor[1]<{g0}>(s_big.out, s_small.out);"));
+    e.def("s_big", "s_big.out".into(), 1, 0);
+    e.def("e_big", "e_big.out".into(), 8, 0);
+    e.def("mb27", "mb27.out".into(), 27, 0);
+    e.def("ms27", "ms27.out".into(), 27, 0);
+    e.def("ediff", "ediff.out".into(), 8, 0);
+    e.def("effsub", "effsub.out".into(), 1, 0);
+
+    // ------------------------------------------------------- stage 2: align
+    let g1 = e.at(1);
+    let ms27_1 = e.get("ms27", 1);
+    let ediff_1 = e.get("ediff", 1);
+    e.op(format!("diff27 := new ZExt[8, 27]<{g1}>({ediff_1});"));
+    e.op(format!("aligned := new Shr[27]<{g1}>({ms27_1}, diff27.out);"));
+    e.def("aligned", "aligned.out".into(), 27, 1);
+
+    // ----------------------------------------------------- stage 3: add/sub
+    let g2 = e.at(2);
+    // The injected bug: read a stage-`from` value while claiming it is
+    // still at its original stage, i.e. skip the carry registers.
+    let mb27_2 = if skip_delay_for == Some("mb27") {
+        "mb27.out".to_owned()
+    } else {
+        e.get("mb27", 2)
+    };
+    let aligned_2 = e.get("aligned", 2);
+    let effsub_2 = e.get("effsub", 2);
+    e.op(format!("mb28 := new ZExt[27, 28]<{g2}>({mb27_2});"));
+    e.op(format!("ms28 := new ZExt[27, 28]<{g2}>({aligned_2});"));
+    e.op(format!("ssum := new Add[28]<{g2}>(mb28.out, ms28.out);"));
+    e.op(format!("dsum := new Sub[28]<{g2}>(mb28.out, ms28.out);"));
+    e.op(format!("sum := new Mux[28]<{g2}>({effsub_2}, ssum.out, dsum.out);"));
+    e.def("sum", "sum.out".into(), 28, 2);
+
+    // --------------------------------------------------- stage 4: normalize
+    let g3 = e.at(3);
+    let sum_3 = e.get("sum", 3);
+    let e_big_3 = e.get("e_big", 3);
+    e.op(format!("lz := new Clz[28]<{g3}>({sum_3});"));
+    e.op(format!("is_zero := new Eq[28]<{g3}>({sum_3}, 0);"));
+    e.op(format!("is_carry := new Eq[28]<{g3}>(lz.out, 0);"));
+    e.op(format!("shl_amt := new Sub[28]<{g3}>(lz.out, 1);"));
+    e.op(format!("norml := new Shl[28]<{g3}>({sum_3}, shl_amt.out);"));
+    e.op(format!("normr := new ShrConst[28, 1]<{g3}>({sum_3});"));
+    e.op(format!("norm := new Mux[28]<{g3}>(is_carry.out, norml.out, normr.out);"));
+    e.op(format!("e10 := new ZExt[8, 10]<{g3}>({e_big_3});"));
+    e.op(format!("e10p1 := new Add[10]<{g3}>(e10.out, 1);"));
+    e.op(format!("lz10 := new Slice[28, 9, 0, 10]<{g3}>(lz.out);"));
+    e.op(format!("eout10 := new Sub[10]<{g3}>(e10p1.out, lz10.out);"));
+    e.op(format!("eout8 := new Slice[10, 7, 0, 8]<{g3}>(eout10.out);"));
+    e.def("norm", "norm.out".into(), 28, 3);
+    e.def("eout8", "eout8.out".into(), 8, 3);
+    e.def("is_zero", "is_zero.out".into(), 1, 3);
+
+    // -------------------------------------------------------- stage 5: pack
+    let g4 = e.at(4);
+    let norm_4 = e.get("norm", 4);
+    let eout8_4 = e.get("eout8", 4);
+    let s_big_4 = e.get("s_big", 4);
+    let is_zero_4 = e.get("is_zero", 4);
+    e.op(format!("mant := new Slice[28, 25, 3, 23]<{g4}>({norm_4});"));
+    e.op(format!("se := new Concat[1, 8, 9]<{g4}>({s_big_4}, {eout8_4});"));
+    e.op(format!("packed := new Concat[9, 23, 32]<{g4}>(se.out, mant.out);"));
+    e.op(format!("res := new Mux[32]<{g4}>({is_zero_4}, packed.out, 0);"));
+    e.op("out = res.out;".to_owned());
+
+    write!(s, "{}}}\n", e.body).unwrap();
+    s
+}
+
+/// Emits the adder in the requested style.
+pub fn source(style: Style) -> String {
+    emit(style == Style::Pipelined, None)
+}
+
+/// The pipelined adder with the Appendix B.1 stage-crossing bug injected:
+/// stage 3 reads the large mantissa from stage 1 directly.
+pub fn buggy_pipelined_source() -> String {
+    emit(true, Some("mb27"))
+}
+
+/// The golden model: bit-identical to the hardware algorithm.
+pub fn golden(x: u32, y: u32) -> u32 {
+    let mag = |v: u32| v & 0x7fff_ffff;
+    let (big, small) = if mag(x) >= mag(y) { (x, y) } else { (y, x) };
+    let s_big = big >> 31;
+    let e_big = (big >> 23) & 0xff;
+    let e_small = (small >> 23) & 0xff;
+    let significand = |v: u32| -> u64 {
+        let e = (v >> 23) & 0xff;
+        let hid = if e != 0 { 1u64 << 23 } else { 0 };
+        hid | u64::from(v & 0x7f_ffff)
+    };
+    let mb27 = significand(big) << 3;
+    let ms27 = significand(small) << 3;
+    let diff = e_big - e_small; // big has the larger magnitude
+    let aligned = if diff >= 27 { 0 } else { ms27 >> diff };
+    let effsub = ((big ^ small) >> 31) & 1 == 1;
+    let sum = if effsub {
+        mb27 - aligned
+    } else {
+        (mb27 + aligned) & 0xfff_ffff
+    };
+    if sum == 0 {
+        return 0;
+    }
+    let significant = 64 - sum.leading_zeros();
+    let clz = 28 - significant; // within the 28-bit lane
+    let norm = if clz == 0 {
+        sum >> 1
+    } else {
+        (sum << (clz - 1)) & 0xfff_ffff
+    };
+    let eout = (i64::from(e_big) + 1 - i64::from(clz)) as u64 & 0xff;
+    let mant = (norm >> 3) & 0x7f_ffff;
+    (s_big << 31) | ((eout as u32) << 23) | (mant as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+    use fil_bits::Value;
+    use fil_harness::{fuzz_equivalent, run_pipelined};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Random finite float with exponent in a safe band (no overflow, no
+    /// subnormal results for same-sign addition).
+    fn random_float(rng: &mut StdRng) -> u32 {
+        let sign = rng.random::<bool>() as u32;
+        let exp = rng.random_range(60u32..=190);
+        let mant = rng.random::<u32>() & 0x7f_ffff;
+        (sign << 31) | (exp << 23) | mant
+    }
+
+    #[test]
+    fn golden_matches_native_for_same_sign_adds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5000 {
+            let a = random_float(&mut rng) & 0x7fff_ffff;
+            let b = random_float(&mut rng) & 0x7fff_ffff;
+            let got = golden(a, b);
+            let native = (f32::from_bits(a) + f32::from_bits(b)).to_bits();
+            let ulp_diff = (got as i64 - native as i64).abs();
+            assert!(
+                ulp_diff <= 1,
+                "{a:08x} + {b:08x}: golden {got:08x} vs native {native:08x}"
+            );
+        }
+    }
+
+    #[test]
+    fn golden_handles_zero_and_cancellation() {
+        let one = 1.0f32.to_bits();
+        let neg_one = (-1.0f32).to_bits();
+        assert_eq!(golden(one, neg_one), 0, "x - x = +0");
+        assert_eq!(golden(0, 0), 0);
+        assert_eq!(f32::from_bits(golden(one, 0)), 1.0);
+    }
+
+    #[test]
+    fn combinational_adder_matches_golden() {
+        let (netlist, spec) = build(&source(Style::Combinational), "FpAdd").unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cases: Vec<(u32, u32)> = (0..40)
+            .map(|_| (random_float(&mut rng), random_float(&mut rng)))
+            .collect();
+        let inputs: Vec<Vec<Value>> = cases
+            .iter()
+            .map(|&(a, b)| vec![Value::from_u64(32, a as u64), Value::from_u64(32, b as u64)])
+            .collect();
+        let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
+        for (i, &(a, b)) in cases.iter().enumerate() {
+            assert_eq!(
+                outs[i][0].to_u64() as u32,
+                golden(a, b),
+                "{a:08x} + {b:08x}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_adder_streams_and_matches_combinational() {
+        let (nc, sc) = build(&source(Style::Combinational), "FpAdd").unwrap();
+        let (np, sp) = build(&source(Style::Pipelined), "FpAdd").unwrap();
+        assert_eq!(sp.delay, 1);
+        assert_eq!(sp.advertised_latency(), 4, "five stages");
+        // Structured differential fuzz with float-shaped operands.
+        let mut rng = StdRng::seed_from_u64(23);
+        let inputs: Vec<Vec<Value>> = (0..150)
+            .map(|_| {
+                vec![
+                    Value::from_u64(32, random_float(&mut rng) as u64),
+                    Value::from_u64(32, random_float(&mut rng) as u64),
+                ]
+            })
+            .collect();
+        let oc = run_pipelined(&nc, &sc, &inputs).unwrap();
+        let op = run_pipelined(&np, &sp, &inputs).unwrap();
+        assert_eq!(oc, op, "pipelining does not change results");
+        // And raw-bit differential fuzz through the harness fuzzer.
+        fuzz_equivalent((&nc, &sc), (&np, &sp), 100, 99).unwrap();
+    }
+
+    #[test]
+    fn stage_crossing_bug_is_caught() {
+        // Appendix B.1: "the adder attempts to use a value from the
+        // previous stage" — Filament reports the availability mismatch.
+        let err = build(&buggy_pipelined_source(), "FpAdd").unwrap_err();
+        assert!(err.contains("available"), "{err}");
+        assert!(err.contains("required"), "{err}");
+    }
+}

@@ -1,0 +1,51 @@
+//! The Filament designs of the paper's evaluation (Sections 2, 7.2 and
+//! Appendix B.1), written against the standard library and compiled/tested
+//! through the generic harness:
+//!
+//! * [`alu`] — the Section 2 walkthrough: the buggy ALU, the sequential
+//!   fix, and the fully pipelined version with `FastMult`,
+//! * [`divider`] — Figure 2's area–throughput trade-off: combinational,
+//!   pipelined, and iterative 8-bit restoring dividers,
+//! * [`conv2d`] — Section 7.2's convolution kernels: the base design with
+//!   pipelined multipliers and the Reticle DSP-cascade design (Table 2),
+//! * [`systolic`] — Appendix B.1's 2×2 matrix-multiply systolic array
+//!   built from `Prev` stream registers,
+//! * [`fp_add`] — Appendix B.1's IEEE-754 single-precision adder:
+//!   combinational, 5-stage pipelined, and the stage-crossing bug that the
+//!   type checker catches.
+
+pub mod alu;
+pub mod conv2d;
+pub mod divider;
+pub mod fp_add;
+pub mod systolic;
+
+use fil_harness::InterfaceSpec;
+use fil_stdlib::{with_stdlib, StdRegistry};
+use rtl_sim::Netlist;
+
+/// Compiles a design (standard library + the given source) to a netlist and
+/// interface spec for its top component.
+///
+/// # Errors
+///
+/// Returns a human-readable message on parse/check/lowering failure.
+pub fn build(source: &str, top: &str) -> Result<(Netlist, InterfaceSpec), String> {
+    let program = with_stdlib(source).map_err(|e| e.to_string())?;
+    fil_harness::compile_for_test(&program, top, &StdRegistry)
+}
+
+/// Like [`build`] but with a custom registry (used by the Reticle design,
+/// whose `Tdot` extern is a generated DSP cascade).
+///
+/// # Errors
+///
+/// Returns a human-readable message on parse/check/lowering failure.
+pub fn build_with(
+    source: &str,
+    top: &str,
+    registry: &dyn filament_core::PrimitiveRegistry,
+) -> Result<(Netlist, InterfaceSpec), String> {
+    let program = with_stdlib(source).map_err(|e| e.to_string())?;
+    fil_harness::compile_for_test(&program, top, registry)
+}

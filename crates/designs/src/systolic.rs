@@ -1,0 +1,153 @@
+//! Appendix B.1's 2×2 matrix-multiply systolic array.
+//!
+//! Each processing element performs a multiply-accumulate every cycle; the
+//! accumulator is a `Prev` stream register (readable the same cycle), and a
+//! `Prev` of the `go` control signal resets the accumulator at the start of
+//! a computation — reading the component's own interface port as data,
+//! exactly as the paper's listing does.
+//!
+//! Data movement between PEs also uses `Prev` registers: PE(0,1) sees row
+//! 0's stream one cycle late, etc. Inputs are fed in the standard skewed
+//! order.
+
+/// The processing element and the 2×2 array.
+pub const SYSTOLIC: &str = "
+comp Process<G: 1>(@interface[G] go: 1, @[G, G+1] left: 32, @[G, G+1] right: 32)
+    -> (@[G, G+1] out: 32) {
+  acc := new Prev[32, 0]<G>(add.out);
+  go_prev := new Prev[1, 1]<G>(go);
+  mux := new Mux[32]<G>(go_prev.out, 0, acc.out);
+  mul := new MultComb[32]<G>(left, right);
+  add := new Add[32]<G>(mux.out, mul.out);
+  out = add.out;
+}
+
+comp Systolic<G: 1>(
+  @interface[G] go: 1,
+  @[G, G+1] l0: 32, @[G, G+1] l1: 32,
+  @[G, G+1] t0: 32, @[G, G+1] t1: 32
+) -> (
+  @[G, G+1] out00: 32, @[G, G+1] out01: 32,
+  @[G, G+1] out10: 32, @[G, G+1] out11: 32
+) {
+  // Systolic registers moving data right and down.
+  r00_01 := new Prev[32, 1]<G>(l0);
+  r00_10 := new Prev[32, 1]<G>(t0);
+  r10_11 := new Prev[32, 1]<G>(l1);
+  r01_11 := new Prev[32, 1]<G>(t1);
+  pe00 := new Process<G>(l0, t0);
+  pe01 := new Process<G>(r00_01.out, t1);
+  pe10 := new Process<G>(l1, r00_10.out);
+  pe11 := new Process<G>(r10_11.out, r01_11.out);
+  out00 = pe00.out; out01 = pe01.out;
+  out10 = pe10.out; out11 = pe11.out;
+}";
+
+/// The faster variant from Appendix B.1: the PE uses a pipelined multiplier
+/// (`FastMult`), which shifts the PE's latency — note the output interval
+/// moves to `[G+3, G+4)` and the accumulator loop now includes the
+/// multiplier's latency, so the PE accumulates every third product of a
+/// stream; the appendix's point is that swapping the multiplier is a *type*
+/// change, caught and propagated by the checker, not a silent timing bug.
+pub const PROCESS_FAST_REJECTED: &str = "
+comp ProcessFast<G: 1>(@interface[G] go: 1, @[G, G+1] left: 32, @[G, G+1] right: 32)
+    -> (@[G, G+1] out: 32) {
+  acc := new Prev[32, 0]<G>(add.out);
+  go_prev := new Prev[1, 1]<G>(go);
+  mux := new Mux[32]<G>(go_prev.out, 0, acc.out);
+  mul := new FastMult[32]<G>(left, right);
+  add := new Add[32]<G>(mux.out, mul.out);
+  out = add.out;
+}";
+
+/// Software model of the skewed 2×2 systolic dataflow: returns the final
+/// accumulator values (the matrix product) after streaming `steps` cycles.
+///
+/// Feeds are the *port streams*: `l0[k], l1[k], t0[k], t1[k]` per cycle.
+pub fn golden(
+    l0: &[u32],
+    l1: &[u32],
+    t0: &[u32],
+    t1: &[u32],
+    steps: usize,
+) -> [u32; 4] {
+    let get = |s: &[u32], k: isize| -> u32 {
+        if k < 0 {
+            0
+        } else {
+            s.get(k as usize).copied().unwrap_or(0)
+        }
+    };
+    let mut acc = [0u32; 4];
+    for k in 0..steps as isize {
+        acc[0] = acc[0].wrapping_add(get(l0, k).wrapping_mul(get(t0, k)));
+        acc[1] = acc[1].wrapping_add(get(l0, k - 1).wrapping_mul(get(t1, k)));
+        acc[2] = acc[2].wrapping_add(get(l1, k).wrapping_mul(get(t0, k - 1)));
+        acc[3] = acc[3].wrapping_add(get(l1, k - 1).wrapping_mul(get(t1, k - 1)));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+    use fil_bits::Value;
+    use rtl_sim::Sim;
+
+    #[test]
+    fn array_computes_matrix_product() {
+        // C = A × B with A = [[1,2],[3,4]], B = [[5,6],[7,8]].
+        let a = [[1u32, 2], [3, 4]];
+        let b = [[5u32, 6], [7, 8]];
+        // Skewed feeds: row 1 and column 1 delayed by one cycle.
+        let l0 = vec![a[0][0], a[0][1], 0, 0];
+        let l1 = vec![0, a[1][0], a[1][1], 0];
+        let t0 = vec![b[0][0], b[1][0], 0, 0];
+        let t1 = vec![0, b[0][1], b[1][1], 0];
+
+        let (netlist, _spec) = build(SYSTOLIC, "Systolic").unwrap();
+        let mut sim = Sim::new(&netlist).unwrap();
+        let steps = 5;
+        let mut c = [0u32; 4];
+        for k in 0..steps {
+            sim.poke_by_name("go", Value::from_u64(1, 1));
+            let get = |s: &Vec<u32>| s.get(k).copied().unwrap_or(0) as u64;
+            sim.poke_by_name("l0", Value::from_u64(32, get(&l0)));
+            sim.poke_by_name("l1", Value::from_u64(32, get(&l1)));
+            sim.poke_by_name("t0", Value::from_u64(32, get(&t0)));
+            sim.poke_by_name("t1", Value::from_u64(32, get(&t1)));
+            sim.settle().unwrap();
+            // The outputs are valid during [G, G+1) of each active step;
+            // once the streams have drained they hold the matrix product.
+            c = [
+                sim.peek_by_name("out00").to_u64() as u32,
+                sim.peek_by_name("out01").to_u64() as u32,
+                sim.peek_by_name("out10").to_u64() as u32,
+                sim.peek_by_name("out11").to_u64() as u32,
+            ];
+            sim.tick().unwrap();
+        }
+        assert_eq!(c[0], 1 * 5 + 2 * 7);
+        assert_eq!(c[1], 1 * 6 + 2 * 8);
+        assert_eq!(c[2], 3 * 5 + 4 * 7);
+        assert_eq!(c[3], 3 * 6 + 4 * 8);
+        let want = golden(&l0, &l1, &t0, &t1, steps);
+        assert_eq!(c, want);
+    }
+
+    #[test]
+    fn golden_model_handles_padding() {
+        let out = golden(&[1], &[], &[2], &[], 3);
+        assert_eq!(out, [2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fast_multiplier_changes_the_pe_type() {
+        // Swapping in FastMult without fixing the schedule is a *type*
+        // error: the product is no longer available in the accumulation
+        // cycle (Appendix B.1's point about latency changes being caught).
+        let err = build(PROCESS_FAST_REJECTED, "ProcessFast").unwrap_err();
+        assert!(err.contains("available"), "{err}");
+    }
+}

@@ -1,0 +1,123 @@
+//! The `filament` command-line compiler driver.
+//!
+//! Mirrors the workflow the paper describes: type-check Filament sources
+//! (against the standard library), print a component's harness-facing
+//! interface ("The harness extracts the availability intervals and the
+//! event delays using a simple command-line flag provided to the
+//! compiler", Section 7.1), lower to Calyx/Verilog, or reformat.
+//!
+//! ```text
+//! filament check <file.fil>
+//! filament interface <file.fil> <component>
+//! filament compile <file.fil> <component>     # emits Verilog on stdout
+//! filament fmt <file.fil>
+//! ```
+
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: filament <check|interface|compile|fmt> <file.fil> [component]\n\
+         \n\
+         check      parse and type-check (standard library preloaded)\n\
+         interface  print a component's timing interface for the harness\n\
+         compile    lower a component and emit structural Verilog\n\
+         fmt        pretty-print the program"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<filament_core::Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    fil_stdlib::with_stdlib(&src).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file) = match (args.first(), args.get(1)) {
+        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
+        _ => return usage(),
+    };
+    let program = match load(file) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "check" => match filament_core::check_program(&program) {
+            Ok(()) => {
+                println!("ok: {file} is well-typed");
+                ExitCode::SUCCESS
+            }
+            Err(errors) => {
+                for e in errors {
+                    eprintln!("error: {e}");
+                }
+                ExitCode::FAILURE
+            }
+        },
+        "interface" => {
+            let Some(comp) = args.get(2) else { return usage() };
+            let Some(sig) = program.sig(comp) else {
+                eprintln!("error: unknown component {comp}");
+                return ExitCode::FAILURE;
+            };
+            match fil_harness::InterfaceSpec::from_signature(sig) {
+                Ok(spec) => {
+                    println!("component {comp}:");
+                    println!("  initiation interval (delay): {}", spec.delay);
+                    if let Some(go) = &spec.go {
+                        println!("  interface port: {go}");
+                    }
+                    for p in &spec.inputs {
+                        println!("  input  {:<12} width {:<4} @[G+{}, G+{})", p.name, p.width, p.start, p.end);
+                    }
+                    for p in &spec.outputs {
+                        println!("  output {:<12} width {:<4} @[G+{}, G+{})", p.name, p.width, p.start, p.end);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "compile" => {
+            let Some(comp) = args.get(2) else { return usage() };
+            if let Err(errors) = filament_core::check_program(&program) {
+                for e in errors {
+                    eprintln!("error: {e}");
+                }
+                return ExitCode::FAILURE;
+            }
+            match filament_core::lower_program(&program, comp, &fil_stdlib::StdRegistry) {
+                Ok(calyx) => {
+                    print!("{}", calyx_lite::emit_program(&calyx));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "fmt" => {
+            // Reformat only the user program, not the preloaded stdlib.
+            let src = std::fs::read_to_string(file).expect("readable above");
+            match filament_core::parse_program(&src) {
+                Ok(user) => {
+                    print!("{}", filament_core::pretty::print_program(&user));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

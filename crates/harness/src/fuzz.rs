@@ -1,0 +1,126 @@
+//! Differential fuzzing (Appendix B.1).
+//!
+//! The paper validates its floating-point adder translation by
+//! "differential testing of the combinational, pipelined, and Filament
+//! implementations" with a fuzzer on top of the cycle-accurate harness.
+
+use crate::spec::InterfaceSpec;
+use crate::txn::run_transactions;
+use fil_bits::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtl_sim::Netlist;
+use std::fmt;
+
+/// A counterexample found by fuzzing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Transaction index within the fuzz batch.
+    pub case: usize,
+    /// The inputs provoking the mismatch.
+    pub inputs: Vec<Value>,
+    /// What the design produced.
+    pub got: Vec<Value>,
+    /// What the reference produced.
+    pub want: Vec<Value>,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "case {}: inputs {:?} produced {:?}, expected {:?}",
+            self.case, self.inputs, self.got, self.want
+        )
+    }
+}
+
+fn random_inputs(spec: &InterfaceSpec, cases: usize, seed: u64) -> Vec<Vec<Value>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..cases)
+        .map(|_| {
+            spec.inputs
+                .iter()
+                .map(|p| {
+                    let limbs: Vec<u64> = (0..p.width.div_ceil(64))
+                        .map(|_| rng.random::<u64>())
+                        .collect();
+                    Value::from_limbs(p.width, &limbs)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Fuzzes a design against a software golden model, pipelined at the
+/// spec's delay.
+///
+/// # Errors
+///
+/// Returns the driving error or the first [`Mismatch`].
+pub fn fuzz_against_golden(
+    netlist: &Netlist,
+    spec: &InterfaceSpec,
+    golden: impl Fn(&[Value]) -> Vec<Value>,
+    cases: usize,
+    seed: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let inputs = random_inputs(spec, cases, seed);
+    let outs = run_transactions(netlist, spec, &inputs, spec.delay)?;
+    for (case, (input, got)) in inputs.iter().zip(&outs).enumerate() {
+        let want: Vec<Value> = golden(input)
+            .into_iter()
+            .zip(&spec.outputs)
+            .map(|(v, p)| v.resize(p.width))
+            .collect();
+        if *got != want {
+            return Err(Box::new(MismatchError(Mismatch {
+                case,
+                inputs: input.clone(),
+                got: got.clone(),
+                want,
+            })));
+        }
+    }
+    Ok(())
+}
+
+/// Fuzzes two designs against each other (same input ports, possibly
+/// different latencies — each is driven per its own spec).
+///
+/// # Errors
+///
+/// Returns the driving error or the first [`Mismatch`].
+pub fn fuzz_equivalent(
+    a: (&Netlist, &InterfaceSpec),
+    b: (&Netlist, &InterfaceSpec),
+    cases: usize,
+    seed: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let inputs = random_inputs(a.1, cases, seed);
+    let outs_a = run_transactions(a.0, a.1, &inputs, a.1.delay)?;
+    let outs_b = run_transactions(b.0, b.1, &inputs, b.1.delay)?;
+    for (case, (input, (ga, gb))) in inputs.iter().zip(outs_a.iter().zip(&outs_b)).enumerate() {
+        if ga != gb {
+            return Err(Box::new(MismatchError(Mismatch {
+                case,
+                inputs: input.clone(),
+                got: ga.clone(),
+                want: gb.clone(),
+            })));
+        }
+    }
+    Ok(())
+}
+
+/// Wrapper making [`Mismatch`] an error type.
+#[derive(Debug)]
+struct MismatchError(Mismatch);
+
+impl fmt::Display for MismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "differential mismatch: {}", self.0)
+    }
+}
+
+impl std::error::Error for MismatchError {}

@@ -1,0 +1,95 @@
+//! The generic cycle-accurate test harness of Section 7.1.
+//!
+//! The paper's harness (built on cocotb) does three things, all driven by
+//! the Filament signature alone:
+//!
+//! 1. provides the inputs for **exactly** the cycles specified in a
+//!    component's interface — and *poison* otherwise, which is how the
+//!    Aetherling interface bug is caught ("The Aetherling test harness does
+//!    not catch this bug because it always asserts all inputs for 9
+//!    cycles"),
+//! 2. **pipelines** the execution: a new transaction is launched every
+//!    `delay` cycles, and
+//! 3. captures output port values in the intervals given by the signature.
+//!
+//! On top of transaction driving this crate provides *latency discovery*
+//! ("we change the latency till we get the right answer", Section 7.1),
+//! *delay discovery* (the minimum initiation interval at which pipelined
+//! outputs stay correct), and a differential fuzzer (Appendix B.1's FP
+//! adder methodology).
+
+mod discover;
+mod fuzz;
+mod spec;
+mod txn;
+
+pub use discover::{discover_latency, discover_min_delay};
+pub use fuzz::{fuzz_against_golden, fuzz_equivalent, Mismatch};
+pub use spec::{InterfaceSpec, PortSpec, SpecError};
+pub use txn::{HarnessError, Transaction};
+
+use fil_bits::Value;
+use rtl_sim::Netlist;
+
+/// Compiles a checked Filament program down to a flat netlist plus the
+/// harness-facing interface spec of its top component.
+///
+/// # Errors
+///
+/// Returns a human-readable message for check, lowering, elaboration, or
+/// spec-extraction failures.
+///
+/// # Examples
+///
+/// ```
+/// use fil_harness::compile_for_test;
+/// use fil_stdlib::{with_stdlib, StdRegistry};
+///
+/// let program = with_stdlib(
+///     "comp Main<G: 1>(@interface[G] go: 1, @[G, G+1] x: 8) -> (@[G, G+1] o: 8) {
+///        a := new Add[8]<G>(x, x);
+///        o = a.out;
+///      }",
+/// )?;
+/// let (netlist, spec) = compile_for_test(&program, "Main", &StdRegistry)?;
+/// assert_eq!(spec.delay, 1);
+/// assert_eq!(netlist.name(), "Main");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile_for_test(
+    program: &filament_core::Program,
+    top: &str,
+    registry: &dyn filament_core::PrimitiveRegistry,
+) -> Result<(Netlist, InterfaceSpec), String> {
+    filament_core::check_program(program).map_err(|errs| {
+        errs.iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    })?;
+    let calyx = filament_core::lower_program(program, top, registry).map_err(|e| e.to_string())?;
+    let netlist = calyx.elaborate(top).map_err(|e| e.to_string())?;
+    let sig = program
+        .sig(top)
+        .ok_or_else(|| format!("unknown component {top}"))?;
+    let spec = InterfaceSpec::from_signature(sig).map_err(|e| e.to_string())?;
+    Ok((netlist, spec))
+}
+
+/// Runs `inputs` through the design as fully pipelined transactions (one
+/// every `spec.delay` cycles) and returns the captured outputs per
+/// transaction.
+///
+/// Convenience wrapper over [`Transaction`] driving; see that type for the
+/// exact protocol.
+///
+/// # Errors
+///
+/// Propagates [`HarnessError`].
+pub fn run_pipelined(
+    netlist: &Netlist,
+    spec: &InterfaceSpec,
+    inputs: &[Vec<Value>],
+) -> Result<Vec<Vec<Value>>, HarnessError> {
+    txn::run_transactions(netlist, spec, inputs, spec.delay)
+}

@@ -1,0 +1,226 @@
+//! Harness-facing interface specifications extracted from Filament
+//! signatures.
+//!
+//! The paper: "The harness extracts the availability intervals and the
+//! event delays using a simple command-line flag provided to the compiler"
+//! — here the extraction is a library call, [`InterfaceSpec::from_signature`].
+
+use filament_core::ast::{ConstExpr, Delay, Signature};
+use std::fmt;
+
+/// A data port with concrete cycle offsets relative to the transaction
+/// start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortSpec {
+    /// Port name (matches the compiled netlist's top-level signal).
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// First cycle the value is on the wire (inclusive).
+    pub start: u64,
+    /// First cycle the value is gone (exclusive).
+    pub end: u64,
+}
+
+impl PortSpec {
+    /// Creates a port spec.
+    pub fn new(name: impl Into<String>, width: u32, start: u64, end: u64) -> Self {
+        PortSpec {
+            name: name.into(),
+            width,
+            start,
+            end,
+        }
+    }
+}
+
+/// Errors extracting a spec from a signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The harness drives single-event components only.
+    MultiEvent,
+    /// The event delay is not a compile-time constant.
+    NonConstantDelay,
+    /// A port width is parametric.
+    NonConstantWidth(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::MultiEvent => {
+                write!(f, "the harness drives single-event components only")
+            }
+            SpecError::NonConstantDelay => write!(f, "event delay is not constant"),
+            SpecError::NonConstantWidth(p) => write!(f, "port {p} has a parametric width"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Everything the generic harness needs to drive a design: the interface
+/// port (if any), the event delay (initiation interval), and interval-exact
+/// port timings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceSpec {
+    /// The component name.
+    pub name: String,
+    /// The interface port pulsed at each transaction start (`None` for
+    /// continuous/phantom pipelines).
+    pub go: Option<String>,
+    /// The event's delay: the pipelined initiation interval.
+    pub delay: u64,
+    /// Input ports with drive windows.
+    pub inputs: Vec<PortSpec>,
+    /// Output ports with capture windows.
+    pub outputs: Vec<PortSpec>,
+}
+
+impl InterfaceSpec {
+    /// Extracts the spec from a single-event signature with constant
+    /// offsets and widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for multi-event signatures, parametric
+    /// delays, or parametric widths.
+    pub fn from_signature(sig: &Signature) -> Result<Self, SpecError> {
+        if sig.events.len() != 1 {
+            return Err(SpecError::MultiEvent);
+        }
+        let event = &sig.events[0];
+        let delay = match &event.delay {
+            Delay::Const(n) => *n,
+            other => other
+                .as_const()
+                .and_then(|d| u64::try_from(d).ok())
+                .ok_or(SpecError::NonConstantDelay)?,
+        };
+        let port = |p: &filament_core::ast::PortDef| -> Result<PortSpec, SpecError> {
+            let width = match &p.width {
+                ConstExpr::Lit(w) => *w as u32,
+                ConstExpr::Param(_) => return Err(SpecError::NonConstantWidth(p.name.clone())),
+            };
+            Ok(PortSpec::new(
+                p.name.clone(),
+                width,
+                p.liveness.start.offset,
+                p.liveness.end.offset,
+            ))
+        };
+        Ok(InterfaceSpec {
+            name: sig.name.clone(),
+            go: sig.interfaces.first().map(|i| i.name.clone()),
+            delay: delay.max(1),
+            inputs: sig.inputs.iter().map(&port).collect::<Result<_, _>>()?,
+            outputs: sig.outputs.iter().map(&port).collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// The last interesting cycle offset of a transaction (exclusive): the
+    /// max over all port interval ends.
+    pub fn horizon(&self) -> u64 {
+        self.inputs
+            .iter()
+            .chain(&self.outputs)
+            .map(|p| p.end)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// The component's latency as the signature advertises it: the offset
+    /// of the first output cycle.
+    pub fn advertised_latency(&self) -> u64 {
+        self.outputs.iter().map(|p| p.start).min().unwrap_or(0)
+    }
+
+    /// Returns a copy with every output window shifted to start at
+    /// `latency` (used by latency discovery to re-type a design).
+    pub fn with_output_latency(&self, latency: u64) -> InterfaceSpec {
+        let mut s = self.clone();
+        for p in &mut s.outputs {
+            let len = p.end - p.start;
+            p.start = latency;
+            p.end = latency + len;
+        }
+        s
+    }
+
+    /// Returns a copy with a different delay (initiation interval).
+    pub fn with_delay(&self, delay: u64) -> InterfaceSpec {
+        let mut s = self.clone();
+        s.delay = delay.max(1);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filament_core::parse_program;
+
+    fn spec_of(src: &str) -> Result<InterfaceSpec, SpecError> {
+        let p = parse_program(src).unwrap();
+        let sig = p
+            .externs
+            .first()
+            .cloned()
+            .unwrap_or_else(|| p.components[0].sig.clone());
+        InterfaceSpec::from_signature(&sig)
+    }
+
+    #[test]
+    fn extracts_conv2d_style_spec() {
+        // The paper's corrected Aetherling interface: input held 6 cycles,
+        // delay 9 (Section 7.1).
+        let s = spec_of(
+            "extern comp Conv2d<G: 9>(@[G, G+6] I: 8) -> (@[G+21, G+22] O: 8);",
+        )
+        .unwrap();
+        assert_eq!(s.delay, 9);
+        assert_eq!(s.go, None);
+        assert_eq!(s.inputs[0].start, 0);
+        assert_eq!(s.inputs[0].end, 6);
+        assert_eq!(s.outputs[0].start, 21);
+        assert_eq!(s.advertised_latency(), 21);
+        assert_eq!(s.horizon(), 22);
+    }
+
+    #[test]
+    fn interface_port_is_reported() {
+        let s = spec_of(
+            "extern comp M<T: 3>(@interface[T] go: 1, @[T, T+1] a: 8) -> (@[T+2, T+3] o: 8);",
+        )
+        .unwrap();
+        assert_eq!(s.go.as_deref(), Some("go"));
+        assert_eq!(s.delay, 3);
+    }
+
+    #[test]
+    fn multi_event_rejected() {
+        let e = spec_of(
+            "extern comp R<G: L-(G+1), L: 1>(@interface[G] en: 1, @[G, G+1] in: 8)
+                 -> (@[G+1, L] out: 8) where L > G+1;",
+        )
+        .unwrap_err();
+        assert_eq!(e, SpecError::MultiEvent);
+    }
+
+    #[test]
+    fn parametric_width_rejected() {
+        let e = spec_of("extern comp A[W]<T: 1>(@[T, T+1] a: W) -> (@[T, T+1] o: W);")
+            .unwrap_err();
+        assert!(matches!(e, SpecError::NonConstantWidth(_)));
+    }
+
+    #[test]
+    fn latency_and_delay_overrides() {
+        let s = spec_of("extern comp A<T: 2>(@[T, T+1] a: 8) -> (@[T+4, T+6] o: 8);").unwrap();
+        let s2 = s.with_output_latency(7);
+        assert_eq!(s2.outputs[0].start, 7);
+        assert_eq!(s2.outputs[0].end, 9, "window length preserved");
+        let s3 = s.with_delay(0);
+        assert_eq!(s3.delay, 1, "delay floors at 1");
+    }
+}

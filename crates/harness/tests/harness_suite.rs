@@ -1,0 +1,241 @@
+//! Integration tests for the cycle-accurate harness: interval-exact
+//! driving, poison outside windows, pipelining, latency discovery, delay
+//! discovery, and fuzzing.
+
+use fil_bits::Value;
+use fil_harness::{
+    compile_for_test, discover_latency, discover_min_delay, fuzz_against_golden,
+    fuzz_equivalent, run_pipelined, HarnessError, InterfaceSpec, PortSpec,
+};
+use fil_stdlib::{with_stdlib, StdRegistry};
+use rtl_sim::{CellKind, Netlist};
+
+fn v(w: u32, x: u64) -> Value {
+    Value::from_u64(w, x)
+}
+
+/// Filament source for a pipelined multiply-accumulate-style unit:
+/// o = (a + b) delayed a cycle.
+const ADD_DELAY: &str = "
+comp AddDelay<G: 1>(@interface[G] go: 1, @[G, G+1] a: 8, @[G, G+1] b: 8)
+    -> (@[G+1, G+2] o: 8) {
+  s := new Add[8]<G>(a, b);
+  d := new Delay[8]<G>(s.out);
+  o = d.out;
+}";
+
+#[test]
+fn pipelined_transactions_capture_outputs() {
+    let program = with_stdlib(ADD_DELAY).unwrap();
+    let (netlist, spec) = compile_for_test(&program, "AddDelay", &StdRegistry).unwrap();
+    let inputs: Vec<Vec<Value>> = (0..5u64).map(|k| vec![v(8, k), v(8, 10 * k)]).collect();
+    let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
+    let got: Vec<u64> = outs.iter().map(|o| o[0].to_u64()).collect();
+    assert_eq!(got, vec![0, 11, 22, 33, 44]);
+}
+
+#[test]
+fn poison_catches_interface_lies() {
+    // A design that *actually* samples its input one cycle late, but whose
+    // claimed spec says the input is only valid in cycle 0: the harness
+    // drives poison in cycle 1, so the captured outputs are garbage.
+    let mut n = Netlist::new("late");
+    let x = n.add_input("x", 8);
+    let q = n.add_signal("q", 8);
+    let qq = n.add_signal("qq", 8);
+    n.add_cell(
+        "r0",
+        CellKind::Reg { width: 8, init: 0, has_en: false },
+        vec![x],
+        vec![q],
+    );
+    n.add_cell(
+        "r1",
+        CellKind::Reg { width: 8, init: 0, has_en: false },
+        vec![x],
+        vec![qq],
+    );
+    n.mark_output(q);
+    // Claimed interface: input valid [0,1), output = input registered twice
+    // at cycle 2 — but the second register here samples x directly in
+    // cycle 1 (a "held input" assumption the spec does not license).
+    let spec = InterfaceSpec {
+        name: "late".into(),
+        go: None,
+        delay: 3,
+        inputs: vec![PortSpec::new("x", 8, 0, 1)],
+        outputs: vec![PortSpec::new("qq", 8, 2, 3)],
+    };
+    // qq at cycle 2 holds x as sampled during cycle 1 = poison, not 42.
+    let mut n2 = n.clone();
+    n2.mark_output(qq);
+    let outs =
+        fil_harness::discover_latency(&n2, &spec, &[vec![v(8, 42)]], &[vec![v(8, 42)]], 0, 3)
+            .unwrap();
+    assert_eq!(outs, None, "the lie is exposed by poison driving");
+}
+
+#[test]
+fn overlap_detected_when_interval_exceeds_period() {
+    // Input held for 3 cycles but transactions launched every cycle: the
+    // physical port cannot carry both values (Section 2.4).
+    let mut n = Netlist::new("hold");
+    let x = n.add_input("x", 8);
+    n.mark_output(x); // irrelevant; never driven
+    let x_out = n.add_signal("o", 8);
+    n.connect(x_out, x);
+    n.mark_output(x_out);
+    let spec = InterfaceSpec {
+        name: "hold".into(),
+        go: None,
+        delay: 1,
+        inputs: vec![PortSpec::new("x", 8, 0, 3)],
+        outputs: vec![PortSpec::new("o", 8, 0, 1)],
+    };
+    let inputs = vec![vec![v(8, 1)], vec![v(8, 2)]];
+    let err = run_pipelined(&n, &spec, &inputs).unwrap_err();
+    assert!(matches!(err, HarnessError::InterfaceOverlap { cycle: 1, .. }));
+    // Identical values do not clash.
+    let inputs = vec![vec![v(8, 7)], vec![v(8, 7)]];
+    assert!(run_pipelined(&n, &spec, &inputs).is_ok());
+}
+
+#[test]
+fn latency_discovery_finds_real_latency() {
+    // A 3-deep register chain claimed to have latency 1: discovery reports
+    // the actual latency 3 (the Table 1 methodology).
+    let mut n = Netlist::new("chain");
+    let x = n.add_input("x", 8);
+    let mut cur = x;
+    for i in 0..3 {
+        let nxt = n.add_signal(format!("s{i}"), 8);
+        n.add_cell(
+            format!("r{i}"),
+            CellKind::Reg { width: 8, init: 0, has_en: false },
+            vec![cur],
+            vec![nxt],
+        );
+        cur = nxt;
+    }
+    n.mark_output(cur);
+    let spec = InterfaceSpec {
+        name: "chain".into(),
+        go: None,
+        delay: 1,
+        inputs: vec![PortSpec::new("x", 8, 0, 1)],
+        outputs: vec![PortSpec::new("s2", 8, 1, 2)], // wrong claim: latency 1
+    };
+    let inputs: Vec<Vec<Value>> = (1..=4u64).map(|k| vec![v(8, k)]).collect();
+    let expected: Vec<Vec<Value>> = (1..=4u64).map(|k| vec![v(8, k)]).collect();
+    let found = discover_latency(&n, &spec, &inputs, &expected, 8, 1).unwrap();
+    assert_eq!(found, Some(3));
+}
+
+#[test]
+fn min_delay_discovery() {
+    // The sequential multiplier only works when transactions are spaced 3
+    // apart.
+    let program = with_stdlib(
+        "comp M<G: 3>(@interface[G] go: 1, @[G, G+1] a: 8, @[G, G+1] b: 8)
+             -> (@[G+2, G+3] o: 8) {
+           m := new Mult[8]<G>(a, b);
+           o = m.out;
+         }",
+    )
+    .unwrap();
+    let (netlist, spec) = compile_for_test(&program, "M", &StdRegistry).unwrap();
+    let inputs: Vec<Vec<Value>> = vec![
+        vec![v(8, 3), v(8, 5)],
+        vec![v(8, 7), v(8, 9)],
+        vec![v(8, 11), v(8, 13)],
+    ];
+    let expected: Vec<Vec<Value>> = vec![vec![v(8, 15)], vec![v(8, 63)], vec![v(8, 143)]];
+    let min = discover_min_delay(&netlist, &spec, &inputs, &expected, 6).unwrap();
+    assert_eq!(min, Some(3), "the multiplier's initiation interval is 3");
+    // And at its declared delay the outputs are correct.
+    let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
+    assert_eq!(outs[2][0].to_u64(), 143);
+}
+
+#[test]
+fn fuzz_against_software_model() {
+    let program = with_stdlib(ADD_DELAY).unwrap();
+    let (netlist, spec) = compile_for_test(&program, "AddDelay", &StdRegistry).unwrap();
+    fuzz_against_golden(
+        &netlist,
+        &spec,
+        |ins| vec![ins[0].add(&ins[1])],
+        200,
+        0xf11a,
+    )
+    .expect("adder matches the golden model");
+}
+
+#[test]
+fn fuzz_differential_between_designs() {
+    // Combinational vs pipelined implementations of the same function.
+    let comb = with_stdlib(
+        "comp C<G: 1>(@[G, G+1] a: 8, @[G, G+1] b: 8) -> (@[G, G+1] o: 8) {
+           s := new Add[8]<G>(a, b);
+           o = s.out;
+         }",
+    )
+    .unwrap();
+    let pipe = with_stdlib(ADD_DELAY).unwrap();
+    let (nc, sc) = compile_for_test(&comb, "C", &StdRegistry).unwrap();
+    let (np, sp) = compile_for_test(&pipe, "AddDelay", &StdRegistry).unwrap();
+    fuzz_equivalent((&nc, &sc), (&np, &sp), 200, 42).expect("designs agree");
+}
+
+#[test]
+fn fuzz_reports_mismatch() {
+    let comb = with_stdlib(
+        "comp C<G: 1>(@[G, G+1] a: 8, @[G, G+1] b: 8) -> (@[G, G+1] o: 8) {
+           s := new Add[8]<G>(a, b);
+           o = s.out;
+         }",
+    )
+    .unwrap();
+    let (nc, sc) = compile_for_test(&comb, "C", &StdRegistry).unwrap();
+    let err = fuzz_against_golden(&nc, &sc, |ins| vec![ins[0].sub(&ins[1])], 50, 7)
+        .expect_err("adder is not a subtractor");
+    assert!(err.to_string().contains("mismatch"));
+}
+
+#[test]
+fn arity_errors_are_reported() {
+    let program = with_stdlib(ADD_DELAY).unwrap();
+    let (netlist, spec) = compile_for_test(&program, "AddDelay", &StdRegistry).unwrap();
+    let err = run_pipelined(&netlist, &spec, &[vec![v(8, 1)]]).unwrap_err();
+    assert!(matches!(
+        err,
+        HarnessError::Arity { expected: 2, got: 1, .. }
+    ));
+}
+
+#[test]
+fn missing_port_is_reported() {
+    let n = Netlist::new("empty");
+    let spec = InterfaceSpec {
+        name: "empty".into(),
+        go: None,
+        delay: 1,
+        inputs: vec![PortSpec::new("ghost", 8, 0, 1)],
+        outputs: vec![],
+    };
+    let err = run_pipelined(&n, &spec, &[vec![v(8, 1)]]).unwrap_err();
+    assert!(matches!(err, HarnessError::MissingPort(_)));
+}
+
+#[test]
+fn compile_for_test_surfaces_type_errors() {
+    let program = with_stdlib(
+        "comp Bad<G: 1>(@[G, G+1] x: 8) -> (@[G, G+1] o: 8) {
+           m := new Mult[8]<G>(x, x);
+           o = m.out;
+         }",
+    )
+    .unwrap();
+    let err = compile_for_test(&program, "Bad", &StdRegistry).unwrap_err();
+    assert!(err.contains("error"), "{err}");
+}

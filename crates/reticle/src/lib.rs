@@ -1,0 +1,210 @@
+//! A miniature Reticle (Vega et al., PLDI 2021 — reference `[49]`):
+//! structural generation of DSP48E2 cascades.
+//!
+//! Section 7.2's second conv2d design imports a Reticle-generated
+//! dot-product unit: `y = c + Σ aᵢ·bᵢ` mapped onto three cascaded DSP48E2
+//! slices (Figure 8c). Unlike behavioral flows that hope the synthesizer
+//! infers DSPs, Reticle emits *structural* descriptions that map
+//! predictably — which is why the design uses an order of magnitude fewer
+//! logic resources (Table 2).
+//!
+//! The cascade's timing contract is inherently *staggered*: element `i`
+//! must arrive `i` cycles after element 0, and the result appears 5 cycles
+//! after the first element — exactly the `Tdot` timeline signature the
+//! paper gives Filament for it ("this is not implementation details leaking
+//! through").
+
+use calyx_lite::{Component, PortRef, Src};
+use fil_bits::Value;
+use filament_core::PrimitiveRegistry;
+use rtl_sim::CellKind;
+
+/// The Filament extern signature of the 3-element DSP-cascade dot product,
+/// as in Section 7.2 (width-parametric; `W` defaults to 12 for conv2d).
+///
+/// `y = c + a0·b0 + a1·b1 + a2·b2`, inputs staggered one cycle apart.
+pub const TDOT_SIG: &str = "
+extern comp Tdot[W]<G: 1>(
+    @[G, G+1] a0: W, @[G, G+1] b0: W,
+    @[G+1, G+2] a1: W, @[G+1, G+2] b1: W,
+    @[G+2, G+3] a2: W, @[G+2, G+3] b2: W,
+    @[G+2, G+3] c: W
+) -> (@[G+5, G+6] y: W);
+";
+
+/// Generates the structural DSP cascade implementing [`TDOT_SIG`] at the
+/// given width. The component is named `Tdot$<width>`.
+///
+/// Cascade timing (cycle offsets relative to `a0`):
+/// * DSP0 consumes `a0, b0` at 0 and `c` at its P-stage (offset 2),
+///   producing `PCOUT` at 3;
+/// * DSP1 consumes `a1, b1` at 1, accumulates `PCIN` at 3, produces at 4;
+/// * DSP2 consumes `a2, b2` at 2, accumulates at 4, produces `y` at 5.
+pub fn generate_tdot(width: u32) -> Component {
+    let mut c = Component::new(format!("Tdot${width}"));
+    for (name, _) in [
+        ("a0", 0),
+        ("b0", 0),
+        ("a1", 1),
+        ("b1", 1),
+        ("a2", 2),
+        ("b2", 2),
+        ("c", 2),
+    ] {
+        c.add_input(name, width);
+    }
+    c.add_output("y", width);
+
+    let dsp = |use_c: bool, use_pcin: bool| CellKind::Dsp48 {
+        width,
+        use_c,
+        use_pcin,
+    };
+    c.add_primitive("dsp0", dsp(true, false));
+    c.add_primitive("dsp1", dsp(false, true));
+    c.add_primitive("dsp2", dsp(false, true));
+
+    let zero = Src::konst(Value::zero(width));
+    for (cell, a, b) in [("dsp0", "a0", "b0"), ("dsp1", "a1", "b1"), ("dsp2", "a2", "b2")] {
+        c.assign(PortRef::cell(cell, "a"), Src::this(a));
+        c.assign(PortRef::cell(cell, "b"), Src::this(b));
+    }
+    c.assign(PortRef::cell("dsp0", "c"), Src::this("c"));
+    c.assign(PortRef::cell("dsp0", "pcin"), zero.clone());
+    c.assign(PortRef::cell("dsp1", "c"), zero.clone());
+    c.assign(
+        PortRef::cell("dsp1", "pcin"),
+        Src::port(PortRef::cell("dsp0", "p")),
+    );
+    c.assign(PortRef::cell("dsp2", "c"), zero);
+    c.assign(
+        PortRef::cell("dsp2", "pcin"),
+        Src::port(PortRef::cell("dsp1", "p")),
+    );
+    c.assign(PortRef::this("y"), Src::port(PortRef::cell("dsp2", "p")));
+    c
+}
+
+/// A registry layering the Reticle `Tdot` over the standard library.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReticleRegistry;
+
+impl PrimitiveRegistry for ReticleRegistry {
+    fn primitive(&self, name: &str, params: &[u64]) -> Option<CellKind> {
+        fil_stdlib::StdRegistry.primitive(name, params)
+    }
+
+    fn structural(&self, name: &str, params: &[u64]) -> Option<Component> {
+        if name == "Tdot" {
+            let width = params.first().copied().unwrap_or(12) as u32;
+            Some(generate_tdot(width))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calyx_lite::Program;
+    use rtl_sim::Sim;
+
+    fn v(w: u32, x: u64) -> Value {
+        Value::from_u64(w, x)
+    }
+
+    #[test]
+    fn cascade_computes_staggered_dot_product() {
+        let mut p = Program::new();
+        p.add_component(generate_tdot(12));
+        let n = p.elaborate("Tdot$12").unwrap();
+        let mut sim = Sim::new(&n).unwrap();
+        // Cycle 0: a0*b0 = 2*3; cycle 1: a1*b1 = 4*5; cycle 2: a2*b2 = 6*7
+        // and c = 100. Result at cycle 5: 100 + 6 + 20 + 42 = 168.
+        let feed: [(u64, u64, u64, u64, u64, u64, u64); 3] = [
+            (2, 3, 0, 0, 0, 0, 0),
+            (0, 0, 4, 5, 0, 0, 0),
+            (0, 0, 0, 0, 6, 7, 100),
+        ];
+        for (a0, b0, a1, b1, a2, b2, c) in feed {
+            sim.poke_by_name("a0", v(12, a0));
+            sim.poke_by_name("b0", v(12, b0));
+            sim.poke_by_name("a1", v(12, a1));
+            sim.poke_by_name("b1", v(12, b1));
+            sim.poke_by_name("a2", v(12, a2));
+            sim.poke_by_name("b2", v(12, b2));
+            sim.poke_by_name("c", v(12, c));
+            sim.step().unwrap();
+        }
+        for name in ["a0", "b0", "a1", "b1", "a2", "b2", "c"] {
+            sim.poke_by_name(name, v(12, 0));
+        }
+        sim.run(2).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.peek_by_name("y").to_u64(), 168);
+    }
+
+    #[test]
+    fn cascade_is_fully_pipelined() {
+        // Back-to-back dot products every cycle: results stream out 5
+        // cycles later.
+        let mut p = Program::new();
+        p.add_component(generate_tdot(16));
+        let n = p.elaborate("Tdot$16").unwrap();
+        let mut sim = Sim::new(&n).unwrap();
+        // Transaction k: a_i = k+i+1, b_i = 2, c = k → y = k + 2*(3k+6).
+        let want = |k: u64| k + 2 * ((k + 1) + (k + 2) + (k + 3));
+        let mut got = Vec::new();
+        for t in 0..12u64 {
+            // Port values: at cycle t, a0 belongs to txn t, a1 to txn t-1,
+            // a2 and c to txn t-2.
+            sim.poke_by_name("a0", v(16, t + 1));
+            sim.poke_by_name("b0", v(16, 2));
+            sim.poke_by_name("a1", v(16, t.wrapping_sub(1).wrapping_add(2)));
+            sim.poke_by_name("b1", v(16, 2));
+            sim.poke_by_name("a2", v(16, t.wrapping_sub(2).wrapping_add(3)));
+            sim.poke_by_name("b2", v(16, 2));
+            sim.poke_by_name("c", v(16, t.wrapping_sub(2)));
+            sim.settle().unwrap();
+            if t >= 5 {
+                got.push(sim.peek_by_name("y").to_u64());
+            }
+            sim.tick().unwrap();
+        }
+        let expect: Vec<u64> = (0..7).map(want).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn registry_serves_tdot_and_stdlib() {
+        let r = ReticleRegistry;
+        assert!(r.structural("Tdot", &[12]).is_some());
+        assert!(r.structural("Nope", &[]).is_none());
+        assert!(r.primitive("Add", &[8]).is_some());
+    }
+
+    #[test]
+    fn tdot_resources_are_three_dsps_no_fabric() {
+        let mut p = Program::new();
+        p.add_component(generate_tdot(12));
+        let n = p.elaborate("Tdot$12").unwrap();
+        let res = fil_area::resources(&n);
+        assert_eq!(res.dsps, 3);
+        assert_eq!(res.regs, 0, "pipeline registers live inside the DSPs");
+        assert_eq!(res.luts, 0);
+        // The cascade runs at the DSP's intrinsic ceiling.
+        let f = fil_area::fmax_mhz(&n);
+        assert!((f - 645.0).abs() < 1.0, "{f}");
+    }
+
+    #[test]
+    fn tdot_signature_parses_and_spec_extracts() {
+        let prog = filament_core::parse_program(TDOT_SIG).unwrap();
+        let spec = fil_harness::InterfaceSpec::from_signature(&prog.externs[0]);
+        // Parametric width: the harness spec needs monomorphic externs, so
+        // extraction fails gracefully here — designs bind W at use sites.
+        assert!(spec.is_err());
+        assert_eq!(prog.externs[0].inputs.len(), 7);
+    }
+}

@@ -1,0 +1,60 @@
+//! Cycle-accurate structural RTL simulation.
+//!
+//! The Filament paper evaluates compiled designs by simulating the generated
+//! Verilog with Verilator/cocotb and synthesizing with Vivado. This crate is
+//! the simulation substrate of our reproduction: a structural netlist IR of
+//! *primitive cells* connected by *guarded assignments* (the same shape as
+//! Calyx programs, Section 5.3 of the paper), plus a two-state cycle-accurate
+//! simulator.
+//!
+//! The primitive cell library ([`CellKind`]) plays the role of the paper's
+//! "341 lines of Verilog for the standard library primitives": adders,
+//! multiplexers, registers, the `Prev` stream register of Section 7.2, the
+//! pipelined/sequential multipliers of Section 2, the `fsm` shift register of
+//! Section 5.1, the DSP48E2 model used by the Reticle import, and the AES
+//! S-box used by the PipelineC import.
+//!
+//! Simulation semantics per clock cycle:
+//! 1. *Settle*: evaluate all combinational logic in topological order
+//!    (combinational cycles are rejected at elaboration).
+//! 2. *Observe*: testbench reads outputs, waveforms are recorded.
+//! 3. *Tick*: every sequential cell updates its internal state from the
+//!    settled signal values.
+//!
+//! Multiple simultaneously-active guarded assignments to one signal are a
+//! *write conflict* — the dynamic counterpart of the type system's
+//! conflict-freedom guarantee — and abort simulation with a diagnostic.
+//!
+//! # Examples
+//!
+//! ```
+//! use fil_bits::Value;
+//! use rtl_sim::{CellKind, Netlist, Sim};
+//!
+//! let mut n = Netlist::new("adder");
+//! let a = n.add_input("a", 8);
+//! let b = n.add_input("b", 8);
+//! let sum = n.add_signal("sum", 8);
+//! n.add_cell("add0", CellKind::Add { width: 8 }, vec![a, b], vec![sum]);
+//! n.mark_output(sum);
+//!
+//! let mut sim = Sim::new(&n)?;
+//! sim.poke(a, Value::from_u64(8, 30));
+//! sim.poke(b, Value::from_u64(8, 12));
+//! sim.settle()?;
+//! assert_eq!(sim.peek(sum).to_u64(), 42);
+//! # Ok::<(), rtl_sim::SimError>(())
+//! ```
+
+mod cell;
+mod netlist;
+mod sim;
+mod wave;
+
+pub use cell::{CellKind, CellState, AES_SBOX};
+pub use netlist::{Assign, CellId, CellInst, Netlist, NetlistError, PortDir, Signal, SignalId};
+pub use sim::{Sim, SimError};
+pub use wave::{AsciiWave, VcdWriter};
+
+#[cfg(test)]
+mod tests;

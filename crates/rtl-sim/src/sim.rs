@@ -1,0 +1,390 @@
+//! The cycle-accurate simulator.
+
+use crate::cell::CellState;
+use crate::netlist::{Netlist, NetlistError, PortDir, SignalId};
+use fil_bits::Value;
+use std::fmt;
+
+/// Errors raised while elaborating or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The netlist failed structural validation.
+    Netlist(NetlistError),
+    /// A combinational cycle exists through the listed signals.
+    CombLoop {
+        /// Names of signals on the cycle (unordered witness set).
+        signals: Vec<String>,
+    },
+    /// Two guarded assignments drove the same signal in the same cycle —
+    /// the dynamic manifestation of a structural hazard (Section 4 of the
+    /// paper: "Writes do not conflict").
+    WriteConflict {
+        /// The conflicted signal's name.
+        signal: String,
+        /// The cycle (since simulation start) of the conflict.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SimError::CombLoop { signals } => {
+                write!(f, "combinational loop through: {}", signals.join(", "))
+            }
+            SimError::WriteConflict { signal, cycle } => {
+                write!(f, "conflicting writes to {signal} in cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::Netlist(e)
+    }
+}
+
+/// What drives a signal, resolved at elaboration.
+#[derive(Debug, Clone, Copy)]
+enum Driver {
+    /// Top-level input or undriven internal wire.
+    External,
+    /// Output pin `pin` of cell `cell`.
+    Cell { cell: u32, pin: u32 },
+    /// A run of entries in `Sim::assign_lists` naming the (guarded)
+    /// assignments that may drive this signal.
+    Assigns { start: u32, len: u32 },
+}
+
+/// A running simulation over a borrowed [`Netlist`].
+///
+/// Drive inputs with [`Sim::poke`], evaluate combinational logic with
+/// [`Sim::settle`], observe with [`Sim::peek`], and advance the clock with
+/// [`Sim::tick`] (or use [`Sim::step`] for settle-then-tick).
+///
+/// # Examples
+///
+/// ```
+/// use fil_bits::Value;
+/// use rtl_sim::{CellKind, Netlist, Sim};
+///
+/// // A 1-cycle delay register.
+/// let mut n = Netlist::new("delay");
+/// let d = n.add_input("d", 4);
+/// let q = n.add_signal("q", 4);
+/// n.add_cell("r", CellKind::Reg { width: 4, init: 0, has_en: false }, vec![d], vec![q]);
+/// n.mark_output(q);
+///
+/// let mut sim = Sim::new(&n)?;
+/// sim.poke(d, Value::from_u64(4, 9));
+/// sim.step()?;                       // clock edge captures 9
+/// sim.settle()?;
+/// assert_eq!(sim.peek(q).to_u64(), 9);
+/// # Ok::<(), rtl_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Sim<'n> {
+    netlist: &'n Netlist,
+    values: Vec<Value>,
+    driven: Vec<bool>,
+    drivers: Vec<Driver>,
+    assign_lists: Vec<u32>,
+    /// Signal evaluation order (topological over combinational deps).
+    order: Vec<u32>,
+    states: Vec<CellState>,
+    /// Scratch buffer for cell input values.
+    scratch: Vec<Value>,
+    cycle: u64,
+    settled: bool,
+}
+
+impl<'n> Sim<'n> {
+    /// Elaborates a netlist: validates it, resolves drivers, and computes a
+    /// topological evaluation order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Netlist`] for structural problems and
+    /// [`SimError::CombLoop`] if the combinational dependency graph is
+    /// cyclic.
+    pub fn new(netlist: &'n Netlist) -> Result<Self, SimError> {
+        netlist.validate()?;
+        let n_sigs = netlist.signals().len();
+
+        // Group assignment indices by destination signal.
+        let mut per_sig: Vec<Vec<u32>> = vec![Vec::new(); n_sigs];
+        for (ai, assign) in netlist.assigns().iter().enumerate() {
+            per_sig[assign.dst.index()].push(ai as u32);
+        }
+        let mut drivers = vec![Driver::External; n_sigs];
+        let mut assign_lists: Vec<u32> = Vec::new();
+        for (si, list) in per_sig.iter().enumerate() {
+            if !list.is_empty() {
+                drivers[si] = Driver::Assigns {
+                    start: assign_lists.len() as u32,
+                    len: list.len() as u32,
+                };
+                assign_lists.extend_from_slice(list);
+            }
+        }
+        for (ci, cell) in netlist.cells().iter().enumerate() {
+            for (pin, &out) in cell.outputs.iter().enumerate() {
+                drivers[out.index()] = Driver::Cell {
+                    cell: ci as u32,
+                    pin: pin as u32,
+                };
+            }
+        }
+
+        // Combinational dependency edges between signals.
+        let mut edges: Vec<Vec<u32>> = vec![Vec::new(); n_sigs];
+        let mut indegree = vec![0usize; n_sigs];
+        let add_edge =
+            |edges: &mut Vec<Vec<u32>>, indeg: &mut Vec<usize>, from: SignalId, to: SignalId| {
+                edges[from.index()].push(to.0);
+                indeg[to.index()] += 1;
+            };
+        for cell in netlist.cells() {
+            for (ipin, opin) in cell.kind.comb_deps() {
+                add_edge(
+                    &mut edges,
+                    &mut indegree,
+                    cell.inputs[ipin],
+                    cell.outputs[opin],
+                );
+            }
+        }
+        for assign in netlist.assigns() {
+            add_edge(&mut edges, &mut indegree, assign.src, assign.dst);
+            if let Some(g) = assign.guard {
+                add_edge(&mut edges, &mut indegree, g, assign.dst);
+            }
+        }
+
+        // Kahn's algorithm.
+        let mut order: Vec<u32> = Vec::with_capacity(n_sigs);
+        let mut queue: Vec<u32> = (0..n_sigs as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
+        while let Some(s) = queue.pop() {
+            order.push(s);
+            for &t in &edges[s as usize] {
+                indegree[t as usize] -= 1;
+                if indegree[t as usize] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        if order.len() != n_sigs {
+            let signals = (0..n_sigs)
+                .filter(|&i| indegree[i] > 0)
+                .map(|i| netlist.signals()[i].name.clone())
+                .collect();
+            return Err(SimError::CombLoop { signals });
+        }
+
+        let values = netlist
+            .signals()
+            .iter()
+            .map(|s| Value::zero(s.width))
+            .collect();
+        let states = netlist
+            .cells()
+            .iter()
+            .map(|c| c.kind.initial_state())
+            .collect();
+        Ok(Sim {
+            netlist,
+            values,
+            driven: vec![false; n_sigs],
+            drivers,
+            assign_lists,
+            order,
+            states,
+            scratch: Vec::new(),
+            cycle: 0,
+            settled: false,
+        })
+    }
+
+    /// The current cycle count (number of clock edges so far).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Drives a top-level input (or any externally-driven signal) for the
+    /// current cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value width does not match the signal width.
+    pub fn poke(&mut self, sig: SignalId, value: Value) {
+        let want = self.netlist.signals()[sig.index()].width;
+        assert_eq!(
+            value.width(),
+            want,
+            "poke of {} with wrong width",
+            self.netlist.signals()[sig.index()].name
+        );
+        self.values[sig.index()] = value;
+        self.settled = false;
+    }
+
+    /// Convenience: poke by signal name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signal has this name.
+    pub fn poke_by_name(&mut self, name: &str, value: Value) {
+        let sig = self
+            .netlist
+            .signal_by_name(name)
+            .unwrap_or_else(|| panic!("no signal named {name}"));
+        self.poke(sig, value);
+    }
+
+    /// Reads a signal's settled value for the current cycle.
+    pub fn peek(&self, sig: SignalId) -> &Value {
+        &self.values[sig.index()]
+    }
+
+    /// Convenience: peek by signal name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signal has this name.
+    pub fn peek_by_name(&self, name: &str) -> &Value {
+        let sig = self
+            .netlist
+            .signal_by_name(name)
+            .unwrap_or_else(|| panic!("no signal named {name}"));
+        self.peek(sig)
+    }
+
+    /// True if the signal was actively driven (by a cell or an assignment
+    /// with a true guard) during the last [`Sim::settle`].
+    pub fn was_driven(&self, sig: SignalId) -> bool {
+        self.driven[sig.index()]
+    }
+
+    fn gather_inputs(&mut self, cell: u32) {
+        let netlist = self.netlist;
+        self.scratch.clear();
+        for &s in &netlist.cells()[cell as usize].inputs {
+            self.scratch.push(self.values[s.index()].clone());
+        }
+    }
+
+    /// Evaluates all combinational logic for the current cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WriteConflict`] if two active assignments drive
+    /// the same signal.
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        for idx in 0..self.order.len() {
+            let si = self.order[idx] as usize;
+            match self.drivers[si] {
+                Driver::External => {
+                    self.driven[si] = self.netlist.signals()[si].dir == PortDir::Input;
+                }
+                Driver::Cell { cell, pin } => {
+                    self.gather_inputs(cell);
+                    let c = &self.netlist.cells()[cell as usize];
+                    let outs = c.kind.eval(&self.scratch, &self.states[cell as usize]);
+                    self.values[si] = outs[pin as usize].clone();
+                    self.driven[si] = true;
+                }
+                Driver::Assigns { start, len } => {
+                    let mut chosen: Option<u32> = None;
+                    for k in start..start + len {
+                        let ai = self.assign_lists[k as usize];
+                        let a = self.netlist.assigns()[ai as usize];
+                        let active = match a.guard {
+                            None => true,
+                            Some(g) => self.values[g.index()].as_bool(),
+                        };
+                        if active {
+                            if chosen.is_some() {
+                                return Err(SimError::WriteConflict {
+                                    signal: self.netlist.signals()[si].name.clone(),
+                                    cycle: self.cycle,
+                                });
+                            }
+                            chosen = Some(ai);
+                        }
+                    }
+                    match chosen {
+                        Some(ai) => {
+                            let src = self.netlist.assigns()[ai as usize].src;
+                            self.values[si] = self.values[src.index()].clone();
+                            self.driven[si] = true;
+                        }
+                        None => {
+                            // Undriven this cycle: two-state zero.
+                            let w = self.netlist.signals()[si].width;
+                            self.values[si] = Value::zero(w);
+                            self.driven[si] = false;
+                        }
+                    }
+                }
+            }
+        }
+        self.settled = true;
+        Ok(())
+    }
+
+    /// Advances the clock: every sequential cell captures its settled
+    /// inputs. Settles first if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates settle errors.
+    pub fn tick(&mut self) -> Result<(), SimError> {
+        if !self.settled {
+            self.settle()?;
+        }
+        for ci in 0..self.netlist.cells().len() {
+            if self.netlist.cells()[ci].kind.is_sequential() {
+                self.gather_inputs(ci as u32);
+                let mut state = std::mem::take(&mut self.states[ci]);
+                self.netlist.cells()[ci].kind.tick(&self.scratch, &mut state);
+                self.states[ci] = state;
+            }
+        }
+        self.cycle += 1;
+        self.settled = false;
+        Ok(())
+    }
+
+    /// Settle then tick: one full clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates settle errors.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.settle()?;
+        self.tick()
+    }
+
+    /// Runs `n` full cycles with the currently poked inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates settle errors.
+    pub fn run(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,264 @@
+//! Difference-logic entailment for Filament's timeline type checker.
+//!
+//! Every obligation the Filament type system discharges — "the source port is
+//! available at least as long as the destination requires", "the event delay
+//! is at least the length of this interval", "these two uses of an instance do
+//! not overlap" — reduces to an inequality between *times* of the form
+//! `X + a ≤ Y + b`, where `X`, `Y` are event variables and `a`, `b` are
+//! constant cycle offsets (Section 3.1 of the paper). Components may assume
+//! ordering constraints from their `where` clauses (Section 3.6), e.g.
+//! `L > G + 1` in the register signature; obligations must then hold *under*
+//! those assumptions.
+//!
+//! This is exactly difference logic: conjunctions of `X - Y ≥ c` facts. We
+//! represent the assumption set as a weighted graph and answer entailment
+//! queries with shortest-path reasoning (Bellman–Ford), including detection of
+//! inconsistent assumption sets (negative cycles).
+//!
+//! # Examples
+//!
+//! ```
+//! use fil_solver::DiffSolver;
+//!
+//! let mut s = DiffSolver::new();
+//! let g = s.var("G");
+//! let l = s.var("L");
+//! // Assume L > G + 1, i.e. L - G >= 2.
+//! s.assume(l, g, 2);
+//! // Then L >= G + 1 certainly holds ...
+//! assert!(s.entails(l, g, 1));
+//! // ... but L >= G + 3 does not follow.
+//! assert!(!s.entails(l, g, 3));
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned difference-logic variable (a Filament event variable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// The raw interning index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single difference constraint `lhs - rhs ≥ gap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// Left-hand variable.
+    pub lhs: Var,
+    /// Right-hand variable.
+    pub rhs: Var,
+    /// Minimum value of `lhs - rhs`.
+    pub gap: i64,
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{} - v{} >= {}", self.lhs.0, self.rhs.0, self.gap)
+    }
+}
+
+/// A difference-logic solver: a set of assumptions plus entailment queries.
+///
+/// Assumptions are constraints of the form `x - y ≥ c`. The solver answers
+/// whether a query constraint is a logical consequence of the assumptions
+/// over the integers. An inconsistent assumption set entails everything (and
+/// is reported by [`DiffSolver::is_consistent`]).
+///
+/// # Examples
+///
+/// ```
+/// use fil_solver::DiffSolver;
+///
+/// let mut s = DiffSolver::new();
+/// let (g, l, m) = (s.var("G"), s.var("L"), s.var("M"));
+/// s.assume(l, g, 2); // L - G >= 2
+/// s.assume(m, l, 3); // M - L >= 3
+/// // Transitively, M - G >= 5.
+/// assert!(s.entails(m, g, 5));
+/// assert!(!s.entails(m, g, 6));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DiffSolver {
+    names: Vec<String>,
+    by_name: HashMap<String, Var>,
+    facts: Vec<Constraint>,
+}
+
+impl DiffSolver {
+    /// Creates a solver with no assumptions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a variable by name, returning the same [`Var`] for repeated
+    /// names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use fil_solver::DiffSolver;
+    /// let mut s = DiffSolver::new();
+    /// assert_eq!(s.var("G"), s.var("G"));
+    /// assert_ne!(s.var("G"), s.var("L"));
+    /// ```
+    pub fn var(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = Var(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Looks up a previously interned variable.
+    pub fn lookup(&self, name: &str) -> Option<Var> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name a variable was interned under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created by this solver.
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Number of interned variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Adds the assumption `lhs - rhs ≥ gap`.
+    pub fn assume(&mut self, lhs: Var, rhs: Var, gap: i64) {
+        self.facts.push(Constraint { lhs, rhs, gap });
+    }
+
+    /// Adds the assumption as a [`Constraint`] value.
+    pub fn assume_constraint(&mut self, c: Constraint) {
+        self.facts.push(c);
+    }
+
+    /// The current assumption set.
+    pub fn assumptions(&self) -> &[Constraint] {
+        &self.facts
+    }
+
+    /// Runs Bellman–Ford over the constraint graph. Edges go `lhs -> rhs`
+    /// with weight `-gap` (from `lhs - rhs ≥ gap ⇔ rhs ≤ lhs - gap`).
+    /// `source`: `None` starts every node at 0 (virtual source; used for
+    /// satisfiability), `Some(v)` computes single-source distances.
+    /// Returns `None` if a negative cycle is reachable.
+    fn bellman_ford(&self, source: Option<Var>) -> Option<Vec<i64>> {
+        let n = self.names.len();
+        let mut dist = match source {
+            None => vec![0i64; n],
+            Some(v) => {
+                let mut d = vec![i64::MAX; n];
+                d[v.index()] = 0;
+                d
+            }
+        };
+        for round in 0..=n {
+            let mut changed = false;
+            for c in &self.facts {
+                let (u, v, w) = (c.lhs.index(), c.rhs.index(), -c.gap);
+                if dist[u] != i64::MAX && dist[u].saturating_add(w) < dist[v] {
+                    dist[v] = dist[u].saturating_add(w);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Some(dist);
+            }
+            if round == n {
+                return None;
+            }
+        }
+        Some(dist)
+    }
+
+    /// True if the assumption set is satisfiable over the integers.
+    ///
+    /// An unsatisfiable set (e.g. `G - L ≥ 1` together with `L - G ≥ 1`)
+    /// entails every query; Filament reports such signatures as ill-formed
+    /// rather than vacuously accepting their bodies.
+    pub fn is_consistent(&self) -> bool {
+        self.bellman_ford(None).is_some()
+    }
+
+    /// True if the assumptions entail `lhs - rhs ≥ gap`.
+    ///
+    /// Always true when the assumption set is inconsistent.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use fil_solver::DiffSolver;
+    /// let mut s = DiffSolver::new();
+    /// let g = s.var("G");
+    /// // With no assumptions, only trivial self-differences are entailed.
+    /// assert!(s.entails(g, g, 0));
+    /// assert!(!s.entails(g, g, 1));
+    /// ```
+    pub fn entails(&self, lhs: Var, rhs: Var, gap: i64) -> bool {
+        if !self.is_consistent() {
+            return true;
+        }
+        if lhs == rhs {
+            return gap <= 0;
+        }
+        match self.implied_gap(lhs, rhs) {
+            Some(bound) => bound >= gap,
+            None => false,
+        }
+    }
+
+    /// True if the assumptions entail the given constraint.
+    pub fn entails_constraint(&self, c: Constraint) -> bool {
+        self.entails(c.lhs, c.rhs, c.gap)
+    }
+
+    /// The greatest `g` such that the assumptions entail `lhs - rhs ≥ g`, if
+    /// any bound exists (`None` when the difference is unbounded below or the
+    /// assumptions are inconsistent).
+    ///
+    /// This evaluates *parametric delays* (Section 3.6 of the paper): the
+    /// delay `L - G` of an invocation binding `G = T+i, L = T+k` evaluates to
+    /// the exact gap `k - i` implied by the bindings.
+    pub fn implied_gap(&self, lhs: Var, rhs: Var) -> Option<i64> {
+        if lhs == rhs {
+            return if self.is_consistent() { Some(0) } else { None };
+        }
+        // dist[rhs] from source lhs bounds rhs - lhs above, so lhs - rhs is
+        // bounded below by -dist[rhs].
+        let dist = self.bellman_ford(Some(lhs))?;
+        let d = dist[rhs.index()];
+        if d == i64::MAX {
+            None
+        } else {
+            Some(-d)
+        }
+    }
+
+    /// The exact value of `lhs - rhs` if the assumptions pin it to a single
+    /// integer.
+    pub fn exact_gap(&self, lhs: Var, rhs: Var) -> Option<i64> {
+        let lower = self.implied_gap(lhs, rhs)?;
+        let upper = self.implied_gap(rhs, lhs)?;
+        if lower == -upper {
+            Some(lower)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

