@@ -40,9 +40,9 @@ pub fn golden_pixels(kernel: Kernel, stream: &[u8]) -> Vec<u8> {
     (0..stream.len())
         .map(|t| {
             let mut acc = 0u64;
-            for r in 0..3 {
-                for c in 0..3 {
-                    acc += WEIGHTS[r][c] * get(t as isize - lag(r, c) as isize);
+            for (r, row) in WEIGHTS.iter().enumerate() {
+                for (c, &w) in row.iter().enumerate() {
+                    acc += w * get(t as isize - lag(r, c) as isize);
                 }
             }
             let blur = (acc >> 4) & 0xff;
@@ -197,12 +197,12 @@ pub fn generate(kernel: Kernel, lanes: u32) -> Netlist {
     for s in 0..lanes {
         // Nine weighted products (pipelined multipliers, latency 3).
         let mut prods = Vec::new();
-        for r in 0..3 {
-            for c in 0..3 {
+        for (r, row) in WEIGHTS.iter().enumerate() {
+            for (c, &weight) in row.iter().enumerate() {
                 let t = tap(&mut g, &history, &lane_values, s, lag(r, c));
                 let t12 = g.zext(8, 12, t);
                 g.shadow(8, t); // window bridging copy
-                let w = g.konst(12, WEIGHTS[r][c]);
+                let w = g.konst(12, weight);
                 let p = g.cell1(
                     "mul",
                     CellKind::MultPipe {

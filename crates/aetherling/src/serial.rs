@@ -169,10 +169,10 @@ pub fn generate(kernel: Kernel, n: u32) -> Netlist {
 
     let mut slot_products: Vec<(u32, SignalId)> = Vec::new(); // (cycle, slot sum)
     let weight_of = |l: usize| -> u64 {
-        for r in 0..3 {
-            for c in 0..3 {
+        for (r, row) in WEIGHTS.iter().enumerate() {
+            for (c, &w) in row.iter().enumerate() {
                 if lag(r, c) == l {
-                    return WEIGHTS[r][c];
+                    return w;
                 }
             }
         }

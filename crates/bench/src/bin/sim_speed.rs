@@ -1,0 +1,56 @@
+//! Criterion-free simulator speed probe, for recording perf trajectory
+//! across PRs: runs the pipelined-ALU and AES cycle loops and prints one
+//! line of JSON.
+//!
+//! ```text
+//! cargo run --release -p fil-bench --bin sim_speed
+//! {"alu_cycles_per_sec": 7241329.0, "aes_cycles_per_sec": 10891.2}
+//! ```
+
+use fil_bits::Value;
+use rtl_sim::Sim;
+use std::time::Instant;
+
+/// Repeats `run` (a full construct-poke-run loop over `cycles` cycles) until
+/// ~0.5 s of wall time is spent, returning simulated cycles per second.
+fn measure(cycles: u64, mut run: impl FnMut()) -> f64 {
+    // Warm-up.
+    run();
+    let start = Instant::now();
+    let mut reps = 0u64;
+    while start.elapsed().as_millis() < 500 {
+        run();
+        reps += 1;
+    }
+    (reps * cycles) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let cycles = 1000u64;
+    let program =
+        fil_stdlib::with_stdlib(&fil_designs::alu::source(fil_designs::alu::ALU_PIPELINED))
+            .expect("ALU parses");
+    let (alu, _) =
+        fil_harness::compile_for_test(&program, "ALU", &fil_stdlib::StdRegistry).expect("compiles");
+    let alu_rate = measure(cycles, || {
+        let mut sim = Sim::new(&alu).unwrap();
+        sim.poke_by_name("en", Value::from_u64(1, 1));
+        sim.poke_by_name("l", Value::from_u64(32, 3));
+        sim.poke_by_name("r", Value::from_u64(32, 4));
+        sim.poke_by_name("op", Value::from_u64(1, 1));
+        sim.run(cycles).unwrap();
+        std::hint::black_box(sim.peek_by_name("o").to_u64());
+    });
+
+    let aes = pipelinec::aes::aes_netlist();
+    let aes_cycles = 100u64;
+    let aes_rate = measure(aes_cycles, || {
+        let mut sim = Sim::new(&aes).unwrap();
+        sim.poke_by_name("state_words", Value::from_u64(64, 42).resize(128));
+        sim.poke_by_name("keys", Value::ones(1280));
+        sim.run(aes_cycles).unwrap();
+        std::hint::black_box(sim.peek_by_name("out_words$out").to_u64());
+    });
+
+    println!("{{\"alu_cycles_per_sec\": {alu_rate:.1}, \"aes_cycles_per_sec\": {aes_rate:.1}}}");
+}

@@ -3,8 +3,13 @@
 //! All binary operations panic on width mismatch: in a structural netlist a
 //! width mismatch is an elaboration bug, never a runtime condition, so the
 //! simulator treats it as a programming error rather than an `Err`.
+//!
+//! Every operation has an allocation-free fast path for the inline
+//! (`width <= 64`) representation — a direct `u64` computation — and falls
+//! back to the general limb loop only for wide values. The fast paths are
+//! what make the simulator's settle loop allocation-free on narrow designs.
 
-use crate::value::{limbs_for, Value, LIMB_BITS};
+use crate::value::{limbs_for, mask64, Value, LIMB_BITS};
 use std::cmp::Ordering;
 
 fn assert_same_width(a: &Value, b: &Value, op: &str) {
@@ -17,23 +22,40 @@ fn assert_same_width(a: &Value, b: &Value, op: &str) {
     );
 }
 
-pub(crate) fn shl_raw(v: &Value, amount: u32) -> Value {
-    let mut out = Value::zero(v.width());
-    if amount >= v.width() {
-        return out;
+/// Both operands' inline limbs, when both are narrow. Same-width operands
+/// are always the same representation, so this is just a checked unpack.
+#[inline]
+fn small_pair(a: &Value, b: &Value) -> Option<(u64, u64)> {
+    match (a.as_small(), b.as_small()) {
+        (Some(x), Some(y)) => Some((x, y)),
+        _ => None,
     }
+}
+
+pub(crate) fn shl_raw(v: &Value, amount: u32) -> Value {
+    let w = v.width();
+    if amount >= w {
+        return Value::zero(w);
+    }
+    if let Some(x) = v.as_small() {
+        // amount < w <= 64, so the shift is in range.
+        return Value::small(w, x << amount);
+    }
+    let mut out = Value::zero(w);
     let limb_shift = (amount / LIMB_BITS) as usize;
     let bit_shift = amount % LIMB_BITS;
-    let n = out.limbs().len();
+    let src = v.limbs();
+    let dst = out.limbs_mut();
+    let n = dst.len();
     for i in (0..n).rev() {
         let mut limb = 0u64;
         if i >= limb_shift {
-            limb = v.limbs()[i - limb_shift] << bit_shift;
+            limb = src[i - limb_shift] << bit_shift;
             if bit_shift > 0 && i > limb_shift {
-                limb |= v.limbs()[i - limb_shift - 1] >> (LIMB_BITS - bit_shift);
+                limb |= src[i - limb_shift - 1] >> (LIMB_BITS - bit_shift);
             }
         }
-        out.limbs_mut()[i] = limb;
+        dst[i] = limb;
     }
     out.mask_top();
     out
@@ -53,14 +75,24 @@ impl Value {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    #[inline]
     pub fn add(&self, rhs: &Value) -> Value {
         assert_same_width(self, rhs, "add");
+        if let Some((a, b)) = small_pair(self, rhs) {
+            return Value::small(self.width(), a.wrapping_add(b));
+        }
+        self.add_wide(rhs)
+    }
+
+    fn add_wide(&self, rhs: &Value) -> Value {
         let mut out = Value::zero(self.width());
+        let (a, b) = (self.limbs(), rhs.limbs());
+        let dst = out.limbs_mut();
         let mut carry = 0u64;
-        for i in 0..self.limbs().len() {
-            let (s1, c1) = self.limbs()[i].overflowing_add(rhs.limbs()[i]);
+        for i in 0..a.len() {
+            let (s1, c1) = a[i].overflowing_add(b[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out.limbs_mut()[i] = s2;
+            dst[i] = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         out.mask_top();
@@ -72,8 +104,12 @@ impl Value {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    #[inline]
     pub fn sub(&self, rhs: &Value) -> Value {
         assert_same_width(self, rhs, "sub");
+        if let Some((a, b)) = small_pair(self, rhs) {
+            return Value::small(self.width(), a.wrapping_sub(b));
+        }
         // a - b = a + !b + 1 in two's complement.
         let one = Value::from_u64(self.width(), 1);
         self.add(&rhs.not()).add(&one)
@@ -84,8 +120,16 @@ impl Value {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    #[inline]
     pub fn mul(&self, rhs: &Value) -> Value {
         assert_same_width(self, rhs, "mul");
+        if let Some((a, b)) = small_pair(self, rhs) {
+            return Value::small(self.width(), a.wrapping_mul(b));
+        }
+        self.mul_wide(rhs)
+    }
+
+    fn mul_wide(&self, rhs: &Value) -> Value {
         let n = self.limbs().len();
         let mut acc = vec![0u64; n];
         for i in 0..n {
@@ -114,6 +158,12 @@ impl Value {
     pub fn mul_full(&self, rhs: &Value) -> Value {
         assert_same_width(self, rhs, "mul_full");
         let w2 = self.width() * 2;
+        if let Some((a, b)) = small_pair(self, rhs) {
+            if w2 <= 64 {
+                return Value::small(w2, a.wrapping_mul(b));
+            }
+            return Value::from_u128(w2, (a as u128) * (b as u128));
+        }
         self.resize(w2).mul(&rhs.resize(w2))
     }
 
@@ -146,6 +196,13 @@ impl Value {
     /// Panics if the widths differ.
     pub fn divmod(&self, rhs: &Value) -> (Value, Value) {
         assert_same_width(self, rhs, "divmod");
+        if let Some((a, b)) = small_pair(self, rhs) {
+            let w = self.width();
+            return match a.checked_div(b) {
+                None => (Value::ones(w), self.clone()),
+                Some(q) => (Value::small(w, q), Value::small(w, a % b)),
+            };
+        }
         if rhs.is_zero() {
             return (Value::ones(self.width()), self.clone());
         }
@@ -162,7 +219,11 @@ impl Value {
     }
 
     /// Bitwise NOT.
+    #[inline]
     pub fn not(&self) -> Value {
+        if let Some(x) = self.as_small() {
+            return Value::small(self.width(), !x);
+        }
         let mut out = self.clone();
         for limb in out.limbs_mut() {
             *limb = !*limb;
@@ -176,8 +237,12 @@ impl Value {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    #[inline]
     pub fn and(&self, rhs: &Value) -> Value {
         assert_same_width(self, rhs, "and");
+        if let Some((a, b)) = small_pair(self, rhs) {
+            return Value::small(self.width(), a & b);
+        }
         let mut out = self.clone();
         for (o, &l) in out.limbs_mut().iter_mut().zip(rhs.limbs()) {
             *o &= l;
@@ -190,8 +255,12 @@ impl Value {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    #[inline]
     pub fn or(&self, rhs: &Value) -> Value {
         assert_same_width(self, rhs, "or");
+        if let Some((a, b)) = small_pair(self, rhs) {
+            return Value::small(self.width(), a | b);
+        }
         or_raw(self, rhs)
     }
 
@@ -200,8 +269,12 @@ impl Value {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    #[inline]
     pub fn xor(&self, rhs: &Value) -> Value {
         assert_same_width(self, rhs, "xor");
+        if let Some((a, b)) = small_pair(self, rhs) {
+            return Value::small(self.width(), a ^ b);
+        }
         let mut out = self.clone();
         for (o, &l) in out.limbs_mut().iter_mut().zip(rhs.limbs()) {
             *o ^= l;
@@ -211,29 +284,37 @@ impl Value {
 
     /// Logical left shift by a constant amount; bits shifted past the width
     /// are dropped.
+    #[inline]
     pub fn shl(&self, amount: u32) -> Value {
         shl_raw(self, amount)
     }
 
     /// Logical right shift by a constant amount.
+    #[inline]
     pub fn shr(&self, amount: u32) -> Value {
-        let mut out = Value::zero(self.width());
-        if amount >= self.width() {
-            return out;
+        let w = self.width();
+        if amount >= w {
+            return Value::zero(w);
         }
+        if let Some(x) = self.as_small() {
+            return Value::small(w, x >> amount);
+        }
+        let mut out = Value::zero(w);
         let limb_shift = (amount / LIMB_BITS) as usize;
         let bit_shift = amount % LIMB_BITS;
-        let n = out.limbs().len();
-        for i in 0..n {
-            let src = i + limb_shift;
-            if src >= n {
+        let src = self.limbs();
+        let dst = out.limbs_mut();
+        let n = dst.len();
+        for (i, d) in dst.iter_mut().enumerate() {
+            let s = i + limb_shift;
+            if s >= n {
                 break;
             }
-            let mut limb = self.limbs()[src] >> bit_shift;
-            if bit_shift > 0 && src + 1 < n {
-                limb |= self.limbs()[src + 1] << (LIMB_BITS - bit_shift);
+            let mut limb = src[s] >> bit_shift;
+            if bit_shift > 0 && s + 1 < n {
+                limb |= src[s + 1] << (LIMB_BITS - bit_shift);
             }
-            out.limbs_mut()[i] = limb;
+            *d = limb;
         }
         out
     }
@@ -270,10 +351,15 @@ impl Value {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    #[inline]
     pub fn ucmp(&self, rhs: &Value) -> Ordering {
         assert_same_width(self, rhs, "ucmp");
-        for i in (0..self.limbs().len()).rev() {
-            match self.limbs()[i].cmp(&rhs.limbs()[i]) {
+        if let Some((a, b)) = small_pair(self, rhs) {
+            return a.cmp(&b);
+        }
+        let (a, b) = (self.limbs(), rhs.limbs());
+        for i in (0..a.len()).rev() {
+            match a[i].cmp(&b[i]) {
                 Ordering::Equal => continue,
                 ord => return ord,
             }
@@ -286,6 +372,7 @@ impl Value {
     /// # Panics
     ///
     /// Panics if `lo > hi` or `hi >= self.width()`.
+    #[inline]
     pub fn slice(&self, hi: u32, lo: u32) -> Value {
         assert!(lo <= hi, "slice low index {lo} above high index {hi}");
         assert!(
@@ -294,13 +381,24 @@ impl Value {
             self.width()
         );
         let width = hi - lo + 1;
+        if let Some(x) = self.as_small() {
+            return Value::small(width, x >> lo);
+        }
         let shifted = self.shr(lo);
         shifted.resize(width)
     }
 
     /// Concatenation: `self` becomes the *high* bits (Verilog `{self, low}`).
+    #[inline]
     pub fn concat(&self, low: &Value) -> Value {
         let width = self.width() + low.width();
+        if width <= 64 {
+            // Same-width not required here: both parts are narrow whenever
+            // the result is.
+            let hi = self.as_small().expect("narrow by width arithmetic");
+            let lo = low.as_small().expect("narrow by width arithmetic");
+            return Value::small(width, (hi << low.width()) | lo);
+        }
         let hi = self.resize(width).shl(low.width());
         or_raw(&hi, &low.resize(width))
     }
@@ -314,27 +412,38 @@ impl Value {
     /// assert_eq!(Value::from_u64(8, 0b0001_0000).leading_zeros(), 3);
     /// assert_eq!(Value::zero(8).leading_zeros(), 8);
     /// ```
+    #[inline]
     pub fn leading_zeros(&self) -> u32 {
         self.width() - self.significant_bits()
     }
 
     /// OR-reduction: 1-bit result, set if any bit of `self` is set.
+    #[inline]
     pub fn reduce_or(&self) -> Value {
         Value::from_bool(!self.is_zero())
     }
 
     /// AND-reduction: 1-bit result, set if all bits of `self` are set.
+    #[inline]
     pub fn reduce_and(&self) -> Value {
+        if let Some(x) = self.as_small() {
+            return Value::from_bool(x == mask64(self.width()));
+        }
         Value::from_bool(*self == Value::ones(self.width()))
     }
 
     /// Two's-complement negation modulo `2^width`.
+    #[inline]
     pub fn neg(&self) -> Value {
+        if let Some(x) = self.as_small() {
+            return Value::small(self.width(), x.wrapping_neg());
+        }
         Value::zero(self.width()).sub(self)
     }
 
     /// True if the value, read as a two's-complement signed number, is
     /// negative (i.e. the top bit is set).
+    #[inline]
     pub fn is_negative_signed(&self) -> bool {
         self.bit(self.width() - 1)
     }
@@ -377,9 +486,17 @@ mod limbs_check {
     ///
     /// # Panics
     ///
-    /// Panics if the limb count or top-bit masking invariant is violated.
+    /// Panics if the limb count, top-bit masking, or inline-representation
+    /// invariant is violated.
     pub fn assert_invariants(v: &Value) {
         assert_eq!(v.limbs().len(), limbs_for(v.width()));
+        assert_eq!(
+            v.as_small().is_some(),
+            v.width() <= LIMB_BITS,
+            "width {} must {}use the inline representation",
+            v.width(),
+            if v.width() <= LIMB_BITS { "" } else { "not " },
+        );
         let mut masked = v.clone();
         masked.mask_top();
         assert_eq!(&masked, v, "top bits above width must be zero");

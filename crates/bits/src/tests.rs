@@ -138,7 +138,7 @@ fn cross_limb_shifts() {
     let v = Value::from_u128(128, 1);
     assert_eq!(v.shl(64).to_u128(), 1u128 << 64);
     assert_eq!(v.shl(64).shr(64).to_u128(), 1);
-    assert_eq!(v.shl(127).bit(127), true);
+    assert!(v.shl(127).bit(127));
 }
 
 #[test]
@@ -337,5 +337,197 @@ proptest! {
         let s = format!("{v:x}");
         let parsed = Value::from_hex_str(width, &s).unwrap();
         prop_assert_eq!(parsed, v);
+    }
+}
+
+// ---------------------------------------- inline/boxed representation split
+//
+// Widths of at most 64 bits store their limb inline; wider values box a
+// limb slice. These tests pin every operation at the boundary widths
+// (63/64/65), exercise genuinely wide (> 128 bit) values, and cross-check
+// the inline representation against the boxed one.
+
+/// Every binary op at one width, checked against u128 arithmetic.
+fn check_binops_at_width(width: u32, a: u128, b: u128) {
+    let m = mask128(width);
+    let (a, b) = (a & m, b & m);
+    let (va, vb) = (Value::from_u128(width, a), Value::from_u128(width, b));
+    for v in [&va, &vb] {
+        assert_invariants(v);
+    }
+    assert_eq!(va.add(&vb).to_u128(), a.wrapping_add(b) & m, "add @{width}");
+    assert_eq!(va.sub(&vb).to_u128(), a.wrapping_sub(b) & m, "sub @{width}");
+    assert_eq!(va.mul(&vb).to_u128(), a.wrapping_mul(b) & m, "mul @{width}");
+    assert_eq!(va.and(&vb).to_u128(), a & b, "and @{width}");
+    assert_eq!(va.or(&vb).to_u128(), a | b, "or @{width}");
+    assert_eq!(va.xor(&vb).to_u128(), a ^ b, "xor @{width}");
+    assert_eq!(va.not().to_u128(), !a & m, "not @{width}");
+    assert_eq!(va.neg().to_u128(), a.wrapping_neg() & m, "neg @{width}");
+    assert_eq!(va.ucmp(&vb), a.cmp(&b), "ucmp @{width}");
+    assert_eq!(va == vb, a == b, "eq @{width}");
+    assert_eq!(va.reduce_or().to_u64(), u64::from(a != 0), "reduce_or @{width}");
+    assert_eq!(va.reduce_and().to_u64(), u64::from(a == m), "reduce_and @{width}");
+    assert_eq!(
+        va.significant_bits(),
+        128 - a.leading_zeros(),
+        "significant_bits @{width}"
+    );
+    assert_eq!(va.leading_zeros(), width - (128 - a.leading_zeros()), "clz @{width}");
+    match a.checked_div(b) {
+        Some(want_q) => {
+            let (q, r) = va.divmod(&vb);
+            assert_eq!(q.to_u128(), want_q, "div @{width}");
+            assert_eq!(r.to_u128(), a % b, "rem @{width}");
+            assert_invariants(&q);
+            assert_invariants(&r);
+        }
+        None => {
+            assert_eq!(va.div(&vb), Value::ones(width), "div-by-0 @{width}");
+            assert_eq!(va.rem(&vb), va, "rem-by-0 @{width}");
+        }
+    }
+    for amt in [0, 1, width / 2, width - 1] {
+        assert_eq!(va.shl(amt).to_u128(), (a << amt) & m, "shl {amt} @{width}");
+        assert_eq!(va.shr(amt).to_u128(), a >> amt, "shr {amt} @{width}");
+        let vamt = Value::from_u128(width, amt as u128);
+        assert_eq!(va.shl_dyn(&vamt).to_u128(), (a << amt) & m, "shl_dyn @{width}");
+        assert_eq!(va.shr_dyn(&vamt).to_u128(), a >> amt, "shr_dyn @{width}");
+    }
+    // mul_full doubles the width (and may cross the representation split).
+    if width <= 64 {
+        let full = va.mul_full(&vb);
+        assert_eq!(full.width(), width * 2);
+        assert_eq!(full.to_u128(), a * b, "mul_full @{width}");
+        assert_invariants(&full);
+    }
+    // slice and concat at the split point.
+    if width >= 2 {
+        let hi = va.slice(width - 1, width / 2);
+        let lo = va.slice(width / 2 - 1, 0);
+        assert_eq!(hi.concat(&lo), va, "slice/concat round trip @{width}");
+        assert_invariants(&hi);
+        assert_invariants(&lo);
+    }
+    // resize across the boundary in both directions.
+    for new_width in [1, 63, 64, 65, 129, width] {
+        let r = va.resize(new_width);
+        assert_eq!(r.to_u128(), a & mask128(new_width.min(128)), "resize {new_width} @{width}");
+        assert_invariants(&r);
+    }
+}
+
+#[test]
+fn boundary_widths_63_64_65() {
+    let interesting = [
+        0u128,
+        1,
+        2,
+        (1 << 62) + 3,
+        (1 << 63) - 1,
+        1 << 63,
+        (1 << 63) + 1,
+        (1u128 << 64) - 1,
+        1u128 << 64,
+        (1u128 << 64) + 12345,
+        u128::MAX,
+    ];
+    for width in [63u32, 64, 65] {
+        for &a in &interesting {
+            for &b in &interesting {
+                check_binops_at_width(width, a, b);
+            }
+        }
+    }
+}
+
+#[test]
+fn beyond_128_bits_algebra() {
+    // Widths past two limbs: identities that don't need u128 oracles.
+    for width in [129u32, 192, 200, 256] {
+        let a = Value::ones(width);
+        let one = Value::from_u64(width, 1);
+        // ones + 1 wraps to zero.
+        assert!(a.add(&one).is_zero(), "wrap @{width}");
+        // x - x = 0; x ^ x = 0; x & x = x; x | x = x.
+        assert!(a.sub(&a).is_zero());
+        assert!(a.xor(&a).is_zero());
+        assert_eq!(a.and(&a), a);
+        assert_eq!(a.or(&a), a);
+        // !0 = ones, !ones = 0.
+        assert_eq!(Value::zero(width).not(), a);
+        assert!(a.not().is_zero());
+        // Shift a single bit across every limb boundary and back.
+        for pos in [0u32, 63, 64, 65, 127, 128, width - 1] {
+            let bit = one.shl(pos);
+            assert_eq!(bit.significant_bits(), pos + 1, "bit @{pos} width {width}");
+            assert_eq!(bit.shr(pos), one);
+            assert!(bit.shl(width - pos).is_zero(), "shifted out @{pos}");
+        }
+        // Division by a power of two is a shift.
+        let x = Value::from_u128(width, 0xfedc_ba98_7654_3210_0f1e_2d3c_4b5a_6978).shl(40);
+        let d = one.shl(64);
+        let (q, r) = x.divmod(&d);
+        assert_eq!(q, x.shr(64));
+        assert_eq!(r, x.and(&d.sub(&one)));
+        // mul distributes over the two halves: x * 2 = x + x.
+        let two = Value::from_u64(width, 2);
+        assert_eq!(x.mul(&two), x.add(&x));
+        assert_invariants(&x);
+    }
+}
+
+proptest! {
+    /// Cross-check of the inline representation against the boxed one: an
+    /// operation computed at a narrow width w (inline) must equal the same
+    /// operation computed on the zero-extended operands at width w + 64
+    /// (boxed), truncated back to w. Catches any divergence between the
+    /// u64 fast paths and the general limb loops.
+    #[test]
+    fn inline_matches_boxed(width in 1u32..=64, a: u64, b: u64, amt in 0u32..64) {
+        let m = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let (a, b) = (a & m, b & m);
+        let wide = width + 64;
+        let (ia, ib) = (Value::from_u64(width, a), Value::from_u64(width, b));
+        let (xa, xb) = (Value::from_u64(wide, a), Value::from_u64(wide, b));
+        prop_assert!(ia.limbs().len() == 1 && xa.limbs().len() == 2);
+
+        let trunc = |v: Value| v.resize(width);
+        prop_assert_eq!(ia.add(&ib), trunc(xa.add(&xb)));
+        prop_assert_eq!(ia.sub(&ib), trunc(xa.sub(&xb)));
+        prop_assert_eq!(ia.mul(&ib), trunc(xa.mul(&xb)));
+        prop_assert_eq!(ia.and(&ib), trunc(xa.and(&xb)));
+        prop_assert_eq!(ia.or(&ib), trunc(xa.or(&xb)));
+        prop_assert_eq!(ia.xor(&ib), trunc(xa.xor(&xb)));
+        prop_assert_eq!(ia.not(), trunc(xa.not()));
+        prop_assert_eq!(ia.neg(), trunc(xa.neg()));
+        prop_assert_eq!(ia.ucmp(&ib), xa.ucmp(&xb));
+        let amt = amt % width.max(1);
+        prop_assert_eq!(ia.shr(amt), trunc(xa.shr(amt)));
+        // shl at the narrow width drops bits the wide width keeps: mask first.
+        prop_assert_eq!(ia.shl(amt), trunc(xa.shl(amt)));
+        if b != 0 {
+            let (iq, ir) = ia.divmod(&ib);
+            let (xq, xr) = xa.divmod(&xb);
+            prop_assert_eq!(iq, trunc(xq));
+            prop_assert_eq!(ir, trunc(xr));
+        }
+        prop_assert_eq!(ia.reduce_or(), xa.reduce_or());
+        prop_assert_eq!(ia.is_zero(), xa.is_zero());
+        prop_assert_eq!(ia.significant_bits(), xa.significant_bits());
+    }
+
+    /// Wide (3-limb) add/sub/cmp sanity against split u128 halves.
+    #[test]
+    fn three_limb_add_sub_round_trip(a: u128, b: u128, hi in 0u64..1 << 27) {
+        let width = 155u32;
+        let va = Value::from_u128(width, a).or(&Value::from_u64(width, hi).shl(128));
+        let vb = Value::from_u128(width, b);
+        assert_invariants(&va);
+        // (a + b) - b == a at any width.
+        prop_assert_eq!(va.add(&vb).sub(&vb), va.clone());
+        // a - a == 0, and comparisons agree with subtraction.
+        prop_assert!(va.sub(&va).is_zero());
+        let diff_zero = va.sub(&vb).is_zero();
+        prop_assert_eq!(diff_zero, va == vb);
     }
 }

@@ -1,16 +1,36 @@
 //! The [`Value`] type: construction, access, and formatting.
+//!
+//! # Representation
+//!
+//! Signals in real designs are overwhelmingly narrow: every signal in the
+//! paper's ALU, divider, conv2d, and systolic designs is at most 64 bits.
+//! `Value` therefore stores widths of up to 64 bits as a single inline
+//! `u64` — no heap allocation on construction, `clone`, or any operation —
+//! and only widths above 64 bits as a boxed limb slice. The representation
+//! is an internal invariant (`width <= 64` ⇔ inline); the public API is
+//! unchanged and width-driven.
 
 use std::fmt;
 
 /// Number of bits per storage limb.
 pub(crate) const LIMB_BITS: u32 = 64;
 
+/// Storage: one inline limb for narrow values, boxed limbs for wide ones.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// All values with `width <= 64`.
+    Small(u64),
+    /// All values with `width > 64`; `len == ceil(width / 64)`.
+    Big(Box<[u64]>),
+}
+
 /// A fixed-width, two-state bit vector.
 ///
 /// Invariants maintained by every constructor and operation:
 /// * `width >= 1`,
-/// * `limbs.len() == ceil(width / 64)`,
-/// * all bits above `width` in the top limb are zero.
+/// * `limbs().len() == ceil(width / 64)`,
+/// * all bits above `width` in the top limb are zero,
+/// * widths of at most 64 bits are stored inline (allocation-free).
 ///
 /// # Examples
 ///
@@ -22,10 +42,32 @@ pub(crate) const LIMB_BITS: u32 = 64;
 /// assert_eq!(v.to_u64(), 0xabc);
 /// assert_eq!(format!("{v}"), "12'habc");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct Value {
     width: u32,
-    limbs: Vec<u64>,
+    repr: Repr,
+}
+
+impl Clone for Value {
+    #[inline]
+    fn clone(&self) -> Self {
+        Value {
+            width: self.width,
+            repr: self.repr.clone(),
+        }
+    }
+
+    /// Reuses the existing limb buffer when shapes match, so cloning into a
+    /// pre-sized slot (as the simulator does every cycle) never allocates.
+    #[inline]
+    fn clone_from(&mut self, source: &Self) {
+        self.width = source.width;
+        match (&mut self.repr, &source.repr) {
+            (Repr::Small(d), Repr::Small(s)) => *d = *s,
+            (Repr::Big(d), Repr::Big(s)) if d.len() == s.len() => d.copy_from_slice(s),
+            (d, s) => *d = s.clone(),
+        }
+    }
 }
 
 /// Error returned when parsing a [`Value`] from a string fails.
@@ -54,17 +96,65 @@ pub(crate) fn limbs_for(width: u32) -> usize {
     width.div_ceil(LIMB_BITS) as usize
 }
 
+/// The mask of valid bits for an inline value of `width <= 64` bits.
+#[inline]
+pub(crate) fn mask64(width: u32) -> u64 {
+    debug_assert!((1..=64).contains(&width));
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
 impl Value {
+    /// Creates an inline value, masking `bits` to `width` (which must be at
+    /// most 64).
+    #[inline]
+    pub(crate) fn small(width: u32, bits: u64) -> Self {
+        debug_assert!((1..=64).contains(&width));
+        Value {
+            width,
+            repr: Repr::Small(bits & mask64(width)),
+        }
+    }
+
+    /// The inline limb, if this value is narrow (`width <= 64`).
+    #[inline]
+    pub(crate) fn as_small(&self) -> Option<u64> {
+        match self.repr {
+            Repr::Small(x) => Some(x),
+            Repr::Big(_) => None,
+        }
+    }
+
     /// Creates an all-zero value of the given width.
     ///
     /// # Panics
     ///
     /// Panics if `width == 0`.
+    #[inline]
     pub fn zero(width: u32) -> Self {
         assert!(width > 0, "bit-vector width must be at least 1");
-        Value {
-            width,
-            limbs: vec![0; limbs_for(width)],
+        if width <= LIMB_BITS {
+            Value {
+                width,
+                repr: Repr::Small(0),
+            }
+        } else {
+            Value {
+                width,
+                repr: Repr::Big(vec![0; limbs_for(width)].into_boxed_slice()),
+            }
+        }
+    }
+
+    /// Resets every bit to zero in place, without reallocating.
+    #[inline]
+    pub fn set_zero(&mut self) {
+        match &mut self.repr {
+            Repr::Small(x) => *x = 0,
+            Repr::Big(b) => b.fill(0),
         }
     }
 
@@ -82,7 +172,7 @@ impl Value {
     /// Panics if `width == 0`.
     pub fn ones(width: u32) -> Self {
         let mut v = Value::zero(width);
-        for limb in &mut v.limbs {
+        for limb in v.limbs_mut() {
             *limb = u64::MAX;
         }
         v.mask_top();
@@ -94,11 +184,16 @@ impl Value {
     /// # Panics
     ///
     /// Panics if `width == 0`.
+    #[inline]
     pub fn from_u64(width: u32, bits: u64) -> Self {
-        let mut v = Value::zero(width);
-        v.limbs[0] = bits;
-        v.mask_top();
-        v
+        assert!(width > 0, "bit-vector width must be at least 1");
+        if width <= LIMB_BITS {
+            Value::small(width, bits)
+        } else {
+            let mut v = Value::zero(width);
+            v.limbs_mut()[0] = bits;
+            v
+        }
     }
 
     /// Creates a value from a `u128`, truncating to `width` bits.
@@ -107,11 +202,14 @@ impl Value {
     ///
     /// Panics if `width == 0`.
     pub fn from_u128(width: u32, bits: u128) -> Self {
-        let mut v = Value::zero(width);
-        v.limbs[0] = bits as u64;
-        if v.limbs.len() > 1 {
-            v.limbs[1] = (bits >> 64) as u64;
+        assert!(width > 0, "bit-vector width must be at least 1");
+        if width <= LIMB_BITS {
+            return Value::small(width, bits as u64);
         }
+        let mut v = Value::zero(width);
+        let limbs = v.limbs_mut();
+        limbs[0] = bits as u64;
+        limbs[1] = (bits >> 64) as u64;
         v.mask_top();
         v
     }
@@ -124,15 +222,17 @@ impl Value {
     /// Panics if `width == 0`.
     pub fn from_limbs(width: u32, limbs: &[u64]) -> Self {
         let mut v = Value::zero(width);
-        let n = v.limbs.len().min(limbs.len());
-        v.limbs[..n].copy_from_slice(&limbs[..n]);
+        let dst = v.limbs_mut();
+        let n = dst.len().min(limbs.len());
+        dst[..n].copy_from_slice(&limbs[..n]);
         v.mask_top();
         v
     }
 
     /// Creates a 1-bit value from a boolean.
+    #[inline]
     pub fn from_bool(b: bool) -> Self {
-        Value::from_u64(1, b as u64)
+        Value::small(1, b as u64)
     }
 
     /// Parses a hexadecimal string (without prefix) into a `width`-bit value.
@@ -216,25 +316,41 @@ impl Value {
     }
 
     /// The width of this value in bits.
+    #[inline]
     pub fn width(&self) -> u32 {
         self.width
     }
 
     /// The little-endian storage limbs.
+    #[inline]
     pub fn limbs(&self) -> &[u64] {
-        &self.limbs
+        match &self.repr {
+            Repr::Small(x) => std::slice::from_ref(x),
+            Repr::Big(b) => b,
+        }
     }
 
+    #[inline]
     pub(crate) fn limbs_mut(&mut self) -> &mut [u64] {
-        &mut self.limbs
+        match &mut self.repr {
+            Repr::Small(x) => std::slice::from_mut(x),
+            Repr::Big(b) => b,
+        }
     }
 
     /// Clears any bits above `width` in the top limb, restoring the invariant.
+    #[inline]
     pub(crate) fn mask_top(&mut self) {
-        let rem = self.width % LIMB_BITS;
-        if rem != 0 {
-            let last = self.limbs.len() - 1;
-            self.limbs[last] &= (1u64 << rem) - 1;
+        let width = self.width;
+        match &mut self.repr {
+            Repr::Small(x) => *x &= mask64(width),
+            Repr::Big(b) => {
+                let rem = width % LIMB_BITS;
+                if rem != 0 {
+                    let last = b.len() - 1;
+                    b[last] &= (1u64 << rem) - 1;
+                }
+            }
         }
     }
 
@@ -243,9 +359,13 @@ impl Value {
     /// # Panics
     ///
     /// Panics if `i >= self.width()`.
+    #[inline]
     pub fn bit(&self, i: u32) -> bool {
         assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
-        (self.limbs[(i / LIMB_BITS) as usize] >> (i % LIMB_BITS)) & 1 == 1
+        match &self.repr {
+            Repr::Small(x) => (x >> i) & 1 == 1,
+            Repr::Big(b) => (b[(i / LIMB_BITS) as usize] >> (i % LIMB_BITS)) & 1 == 1,
+        }
     }
 
     /// Returns a copy with bit `i` set to `b`.
@@ -259,53 +379,63 @@ impl Value {
         let limb = (i / LIMB_BITS) as usize;
         let mask = 1u64 << (i % LIMB_BITS);
         if b {
-            v.limbs[limb] |= mask;
+            v.limbs_mut()[limb] |= mask;
         } else {
-            v.limbs[limb] &= !mask;
+            v.limbs_mut()[limb] &= !mask;
         }
         v
     }
 
     /// True if every bit is zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
-        self.limbs.iter().all(|&l| l == 0)
+        match &self.repr {
+            Repr::Small(x) => *x == 0,
+            Repr::Big(b) => b.iter().all(|&l| l == 0),
+        }
     }
 
     /// The low 64 bits of this value (truncating; see [`Value::try_to_u64`]
     /// for the checked variant).
+    #[inline]
     pub fn to_u64(&self) -> u64 {
-        self.limbs[0]
+        self.limbs()[0]
     }
 
     /// The full value as a `u64` if it fits.
+    #[inline]
     pub fn try_to_u64(&self) -> Option<u64> {
-        if self.limbs[1..].iter().all(|&l| l == 0) {
-            Some(self.limbs[0])
-        } else {
-            None
+        match &self.repr {
+            Repr::Small(x) => Some(*x),
+            Repr::Big(b) => {
+                if b[1..].iter().all(|&l| l == 0) {
+                    Some(b[0])
+                } else {
+                    None
+                }
+            }
         }
     }
 
     /// The low 128 bits of this value (truncating).
     pub fn to_u128(&self) -> u128 {
-        let lo = self.limbs[0] as u128;
-        let hi = if self.limbs.len() > 1 {
-            self.limbs[1] as u128
-        } else {
-            0
-        };
+        let limbs = self.limbs();
+        let lo = limbs[0] as u128;
+        let hi = if limbs.len() > 1 { limbs[1] as u128 } else { 0 };
         (hi << 64) | lo
     }
 
     /// Interprets a 1-bit value as a boolean; wider values are "truthy" when
     /// nonzero (matching Verilog's implicit boolean coercion of guards).
+    #[inline]
     pub fn as_bool(&self) -> bool {
         !self.is_zero()
     }
 
     /// Number of significant bits (position of highest set bit + 1; 0 if zero).
     pub fn significant_bits(&self) -> u32 {
-        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+        let limbs = self.limbs();
+        for (i, &limb) in limbs.iter().enumerate().rev() {
             if limb != 0 {
                 return i as u32 * LIMB_BITS + (64 - limb.leading_zeros());
             }
@@ -319,9 +449,15 @@ impl Value {
     ///
     /// Panics if `width == 0`.
     pub fn resize(&self, width: u32) -> Self {
+        assert!(width > 0, "bit-vector width must be at least 1");
+        if width <= LIMB_BITS {
+            return Value::small(width, self.limbs()[0]);
+        }
         let mut v = Value::zero(width);
-        let n = v.limbs.len().min(self.limbs.len());
-        v.limbs[..n].copy_from_slice(&self.limbs[..n]);
+        let src = self.limbs();
+        let dst = v.limbs_mut();
+        let n = dst.len().min(src.len());
+        dst[..n].copy_from_slice(&src[..n]);
         v.mask_top();
         v
     }
@@ -342,11 +478,12 @@ impl fmt::Display for Value {
 
 impl fmt::LowerHex for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.limbs.iter().rposition(|&l| l != 0) {
+        let limbs = self.limbs();
+        match limbs.iter().rposition(|&l| l != 0) {
             None => write!(f, "0"),
             Some(top) => {
-                write!(f, "{:x}", self.limbs[top])?;
-                for &limb in self.limbs[..top].iter().rev() {
+                write!(f, "{:x}", limbs[top])?;
+                for &limb in limbs[..top].iter().rev() {
                     write!(f, "{limb:016x}")?;
                 }
                 Ok(())

@@ -73,10 +73,13 @@ impl fmt::Display for CalyxError {
 
 impl std::error::Error for CalyxError {}
 
+/// A pin list: `(port_name, width)` pairs in pin order.
+pub type PortList = Vec<(String, u32)>;
+
 /// Canonical port names and widths for a primitive cell: `(inputs, outputs)`.
 ///
 /// These are the names Low Filament assignments use (`A.left`, `Gf._0`, …).
-pub fn primitive_ports(kind: &CellKind) -> (Vec<(String, u32)>, Vec<(String, u32)>) {
+pub fn primitive_ports(kind: &CellKind) -> (PortList, PortList) {
     use CellKind::*;
     let named = |names: &[&str], widths: Vec<u32>| -> Vec<(String, u32)> {
         names

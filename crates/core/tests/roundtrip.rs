@@ -75,7 +75,6 @@ fn arb_program() -> impl Strategy<Value = Program> {
             liveness: Range::new(start.clone(), start.plus(1)),
             width: ConstExpr::Lit(w),
         });
-        let evs2 = evs.clone();
         (
             prop::collection::vec(port, 0..4),
             prop::collection::vec((ident(), ident(), time(evs.clone())), 0..4),

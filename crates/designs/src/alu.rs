@@ -35,9 +35,9 @@ comp ALU<G: 3>(@interface[G] en: 1, @[G+2, G+3] op: 1, @[G, G+1] l: 32,
   o = mux.out;
 }";
 
-/// The fully pipelined ALU of Section 2.4: `FastMult` (initiation interval
-/// 1) replaces the sequential multiplier, and the whole ALU accepts a new
-/// transaction every cycle.
+/// The fully pipelined ALU of Section 2.4: `FastMult` (initiation
+/// interval 1) replaces the sequential multiplier, and the whole ALU
+/// accepts a new transaction every cycle.
 pub const ALU_PIPELINED: &str = "
 comp ALU<G: 1>(@interface[G] en: 1, @[G+2, G+3] op: 1, @[G, G+1] l: 32,
     @[G, G+1] r: 32) -> (@[G+2, G+3] o: 32) {

@@ -95,17 +95,12 @@ fn base_source_impl(phantom: bool) -> String {
     writeln!(s, "  st := new Stencil<G>(pixel);").unwrap();
     // Nine weighted products at 16 bits.
     let mut prods = Vec::new();
-    for r in 0..3 {
-        for c in 0..3 {
+    for (r, row) in WEIGHTS.iter().enumerate() {
+        for (c, &w) in row.iter().enumerate() {
             let i = r * 3 + c;
             let tap = tap_index(r, c);
             writeln!(s, "  z{i} := new ZExt[8, 16]<G>(st.tap{tap});").unwrap();
-            writeln!(
-                s,
-                "  m{i} := new LogiMult[16]<G>(z{i}.out, {});",
-                WEIGHTS[r][c]
-            )
-            .unwrap();
+            writeln!(s, "  m{i} := new LogiMult[16]<G>(z{i}.out, {w});").unwrap();
             prods.push(format!("m{i}.out"));
         }
     }
@@ -162,7 +157,7 @@ pub fn reticle_source() -> String {
     .unwrap();
     writeln!(s, "  st := new Stencil<G>(pixel);").unwrap();
     let mut partials = Vec::new();
-    for r in 0..3 {
+    for (r, wrow) in WEIGHTS.iter().enumerate() {
         // Column 0: direct at G.
         let t0 = tap_index(r, 0);
         writeln!(s, "  x{r}0 := new ZExt[8, 12]<G>(st.tap{t0});").unwrap();
@@ -178,7 +173,7 @@ pub fn reticle_source() -> String {
         writeln!(
             s,
             "  td{r} := new Tdot[12]<G>(x{r}0.out, {}, s{r}1.out, {}, s{r}2b.out, {}, 0);",
-            WEIGHTS[r][0], WEIGHTS[r][1], WEIGHTS[r][2]
+            wrow[0], wrow[1], wrow[2]
         )
         .unwrap();
         partials.push(format!("td{r}.y"));
@@ -213,10 +208,10 @@ pub fn golden_stream(pixels: &[u8]) -> Vec<u8> {
     (0..pixels.len())
         .map(|t| {
             let mut acc = 0u64;
-            for r in 0..3 {
-                for c in 0..3 {
+            for (r, row) in WEIGHTS.iter().enumerate() {
+                for (c, &w) in row.iter().enumerate() {
                     let lag = tap_index(r, c) as isize;
-                    acc += WEIGHTS[r][c] * get(t as isize - lag);
+                    acc += w * get(t as isize - lag);
                 }
             }
             ((acc >> 4) & 0xff) as u8

@@ -183,7 +183,7 @@ fn emit(pipelined: bool, skip_delay_for: Option<&str>) -> String {
     e.op(format!("res := new Mux[32]<{g4}>({is_zero_4}, packed.out, 0);"));
     e.op("out = res.out;".to_owned());
 
-    write!(s, "{}}}\n", e.body).unwrap();
+    writeln!(s, "{}}}", e.body).unwrap();
     s
 }
 

@@ -128,8 +128,8 @@ mod tests {
             ];
             sim.tick().unwrap();
         }
-        assert_eq!(c[0], 1 * 5 + 2 * 7);
-        assert_eq!(c[1], 1 * 6 + 2 * 8);
+        assert_eq!(c[0], 5 + 2 * 7);
+        assert_eq!(c[1], 6 + 2 * 8);
         assert_eq!(c[2], 3 * 5 + 4 * 7);
         assert_eq!(c[3], 3 * 6 + 4 * 8);
         let want = golden(&l0, &l1, &t0, &t1, steps);

@@ -182,7 +182,7 @@ pub fn aes_golden(state: [u8; 16], round_keys: &[[u8; 16]; 10]) -> [u8; 16] {
     const SBOX: [u8; 256] = rtl_sim::AES_SBOX;
     let xtime = |b: u8| -> u8 { (b << 1) ^ if b & 0x80 != 0 { 0x1b } else { 0 } };
     let mut s = state;
-    for round in 0..10 {
+    for (round, round_key) in round_keys.iter().enumerate() {
         let mut t = [0u8; 16];
         for i in 0..16 {
             t[i] = SBOX[s[i] as usize];
@@ -209,7 +209,7 @@ pub fn aes_golden(state: [u8; 16], round_keys: &[[u8; 16]; 10]) -> [u8; 16] {
             sh
         };
         for i in 0..16 {
-            s[i] = mixed[i] ^ round_keys[round][i];
+            s[i] = mixed[i] ^ round_key[i];
         }
     }
     s

@@ -3,7 +3,7 @@
 //! This is the reproduction's counterpart of the paper's Verilog standard
 //! library (Section 7: "341 lines of Verilog for the standard library
 //! primitives"). Each [`CellKind`] defines its pin widths, combinational
-//! behavior ([`CellKind::eval`]), sequential behavior ([`CellKind::tick`]),
+//! behavior ([`CellKind::eval_into`]), sequential behavior ([`CellKind::tick`]),
 //! and which output pins depend combinationally on which input pins (used
 //! for topological scheduling and combinational-loop detection).
 
@@ -38,10 +38,10 @@ pub const AES_SBOX: [u8; 256] = [
 
 /// A primitive circuit: the leaves of every netlist.
 ///
-/// Pin conventions are documented per variant; `eval` computes output pin
-/// values from input pin values and state, `tick` advances state at a clock
-/// edge (with standard nonblocking semantics: all new state is computed from
-/// *old* state and the settled input values).
+/// Pin conventions are documented per variant; `eval_into` computes output
+/// pin values from input pin values and state, `tick` advances state at a
+/// clock edge (with standard nonblocking semantics: all new state is computed
+/// from *old* state and the settled input values).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CellKind {
     /// Constant driver. Pins: `[] -> [out]`.
@@ -357,74 +357,84 @@ impl CellKind {
         }
     }
 
-    /// Computes all output pin values from input pin values and state.
+    /// Maximum number of *input* pins any primitive has (`Dsp48`'s 4), so
+    /// the simulator can gather borrowed inputs into a fixed-size on-stack
+    /// array. Output pin counts are unbounded (`ShiftFsm` has `n`) and go
+    /// through a dynamically sized buffer instead.
+    pub const MAX_INPUT_PINS: usize = 4;
+
+    /// Computes all output pin values from input pin values and state,
+    /// writing them into `outs` (one slot per output pin, pre-sized to the
+    /// correct widths by the caller).
+    ///
+    /// This is the simulator's per-signal hot path: for designs whose
+    /// signals are at most 64 bits wide it performs no heap allocation —
+    /// inputs are borrowed, results land in the caller's buffer, and all
+    /// `fil_bits` operations stay in their inline representation.
     ///
     /// # Panics
     ///
     /// Panics if pin counts or widths disagree with the cell definition
     /// (callers are expected to have validated the netlist).
-    pub fn eval(&self, inputs: &[Value], state: &CellState) -> Vec<Value> {
+    pub fn eval_into(&self, inputs: &[&Value], state: &CellState, outs: &mut [Value]) {
         use CellKind::*;
         match *self {
-            Const { ref value } => vec![value.clone()],
-            Add { .. } => vec![inputs[0].add(&inputs[1])],
-            Sub { .. } => vec![inputs[0].sub(&inputs[1])],
-            MulComb { .. } => vec![inputs[0].mul(&inputs[1])],
-            And { .. } => vec![inputs[0].and(&inputs[1])],
-            Or { .. } => vec![inputs[0].or(&inputs[1])],
-            Xor { .. } => vec![inputs[0].xor(&inputs[1])],
-            Not { .. } => vec![inputs[0].not()],
-            ShlDyn { .. } => vec![inputs[0].shl_dyn(&inputs[1])],
-            ShrDyn { .. } => vec![inputs[0].shr_dyn(&inputs[1])],
-            ShlConst { amount, .. } => vec![inputs[0].shl(amount)],
-            ShrConst { amount, .. } => vec![inputs[0].shr(amount)],
-            Eq { .. } => vec![Value::from_bool(inputs[0] == inputs[1])],
-            Lt { .. } => vec![Value::from_bool(
-                inputs[0].ucmp(&inputs[1]) == std::cmp::Ordering::Less,
-            )],
-            Ge { .. } => vec![Value::from_bool(
-                inputs[0].ucmp(&inputs[1]) != std::cmp::Ordering::Less,
-            )],
+            Const { ref value } => outs[0].clone_from(value),
+            Add { .. } => outs[0] = inputs[0].add(inputs[1]),
+            Sub { .. } => outs[0] = inputs[0].sub(inputs[1]),
+            MulComb { .. } => outs[0] = inputs[0].mul(inputs[1]),
+            And { .. } => outs[0] = inputs[0].and(inputs[1]),
+            Or { .. } => outs[0] = inputs[0].or(inputs[1]),
+            Xor { .. } => outs[0] = inputs[0].xor(inputs[1]),
+            Not { .. } => outs[0] = inputs[0].not(),
+            ShlDyn { .. } => outs[0] = inputs[0].shl_dyn(inputs[1]),
+            ShrDyn { .. } => outs[0] = inputs[0].shr_dyn(inputs[1]),
+            ShlConst { amount, .. } => outs[0] = inputs[0].shl(amount),
+            ShrConst { amount, .. } => outs[0] = inputs[0].shr(amount),
+            Eq { .. } => outs[0] = Value::from_bool(inputs[0] == inputs[1]),
+            Lt { .. } => {
+                outs[0] = Value::from_bool(inputs[0].ucmp(inputs[1]) == std::cmp::Ordering::Less)
+            }
+            Ge { .. } => {
+                outs[0] = Value::from_bool(inputs[0].ucmp(inputs[1]) != std::cmp::Ordering::Less)
+            }
             Mux { .. } => {
                 let sel = inputs[0].as_bool();
-                vec![if sel { inputs[2].clone() } else { inputs[1].clone() }]
+                outs[0].clone_from(if sel { inputs[2] } else { inputs[1] });
             }
-            Slice { hi, lo, .. } => vec![inputs[0].slice(hi, lo)],
-            Concat { .. } => vec![inputs[0].concat(&inputs[1])],
-            ZeroExt { out_width, .. } => vec![inputs[0].resize(out_width)],
-            ReduceOr { .. } => vec![inputs[0].reduce_or()],
-            ReduceAnd { .. } => vec![inputs[0].reduce_and()],
-            Clz { width } => vec![Value::from_u64(width, inputs[0].leading_zeros() as u64)],
-            SBox => vec![Value::from_u64(
-                8,
-                AES_SBOX[inputs[0].to_u64() as usize] as u64,
-            )],
-            Reg { .. } => vec![state[0].clone()],
+            Slice { hi, lo, .. } => outs[0] = inputs[0].slice(hi, lo),
+            Concat { .. } => outs[0] = inputs[0].concat(inputs[1]),
+            ZeroExt { out_width, .. } => outs[0] = inputs[0].resize(out_width),
+            ReduceOr { .. } => outs[0] = inputs[0].reduce_or(),
+            ReduceAnd { .. } => outs[0] = inputs[0].reduce_and(),
+            Clz { width } => outs[0] = Value::from_u64(width, inputs[0].leading_zeros() as u64),
+            SBox => outs[0] = Value::from_u64(8, AES_SBOX[inputs[0].to_u64() as usize] as u64),
+            Reg { .. } => outs[0].clone_from(&state[0]),
             ShiftFsm { .. } => {
-                let mut outs = Vec::with_capacity(state.len() + 1);
-                outs.push(inputs[0].clone());
-                outs.extend(state.iter().cloned());
-                outs
+                outs[0].clone_from(inputs[0]);
+                for (o, s) in outs[1..].iter_mut().zip(state.iter()) {
+                    o.clone_from(s);
+                }
             }
-            MultSeq { .. } => vec![state[2].clone()],
-            MultPipe { .. } => vec![state.last().expect("latency >= 1").clone()],
-            Dsp48 { .. } => vec![state[3].clone()],
+            MultSeq { .. } => outs[0].clone_from(&state[2]),
+            MultPipe { .. } => outs[0].clone_from(state.last().expect("latency >= 1")),
+            Dsp48 { .. } => outs[0].clone_from(&state[3]),
         }
     }
 
     /// Advances state at a clock edge. New state is computed from old state
     /// and the settled input values (nonblocking semantics).
-    pub fn tick(&self, inputs: &[Value], state: &mut CellState) {
+    pub fn tick(&self, inputs: &[&Value], state: &mut CellState) {
         use CellKind::*;
         match *self {
             Reg { has_en, .. } => {
                 let (en, data) = if has_en {
-                    (inputs[0].as_bool(), &inputs[1])
+                    (inputs[0].as_bool(), inputs[1])
                 } else {
-                    (true, &inputs[0])
+                    (true, inputs[0])
                 };
                 if en {
-                    state[0] = data.clone();
+                    state[0].clone_from(data);
                 }
             }
             ShiftFsm { .. } => {
@@ -433,7 +443,7 @@ impl CellKind {
                     state[i] = state[i - 1].clone();
                 }
                 if !state.is_empty() {
-                    state[0] = inputs[0].clone();
+                    state[0].clone_from(inputs[0]);
                 }
             }
             MultSeq { latency, .. } => {
@@ -451,8 +461,8 @@ impl CellKind {
                         state[0] = inputs[1].xor(&state[0]);
                         state[1] = inputs[2].xor(&state[1]);
                     } else {
-                        state[0] = inputs[1].clone();
-                        state[1] = inputs[2].clone();
+                        state[0].clone_from(inputs[1]);
+                        state[1].clone_from(inputs[2]);
                     }
                     if latency == 1 {
                         state[2] = state[0].mul(&state[1]);
@@ -472,7 +482,7 @@ impl CellKind {
                 for i in (1..state.len()).rev() {
                     state[i] = state[i - 1].clone();
                 }
-                state[0] = inputs[0].mul(&inputs[1]);
+                state[0] = inputs[0].mul(inputs[1]);
             }
             Dsp48 {
                 width,
@@ -481,10 +491,10 @@ impl CellKind {
             } => {
                 let mut p = state[2].clone();
                 if use_c {
-                    p = p.add(&inputs[2]);
+                    p = p.add(inputs[2]);
                 }
                 if use_pcin {
-                    p = p.add(&inputs[3]);
+                    p = p.add(inputs[3]);
                 }
                 state[3] = p;
                 state[2] = state[0].mul(&state[1]);

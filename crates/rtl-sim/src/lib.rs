@@ -25,6 +25,30 @@
 //! *write conflict* — the dynamic counterpart of the type system's
 //! conflict-freedom guarantee — and abort simulation with a diagnostic.
 //!
+//! # Driving protocol: poke, settle, peek, tick
+//!
+//! A testbench interacts with a [`Sim`] through four verbs whose ordering
+//! matters:
+//!
+//! * **Combinational observation** — `poke → settle → peek`. After
+//!   [`Sim::settle`] returns, every signal holds its settled value for the
+//!   *current* cycle, so [`Sim::peek`] on a purely combinational path sees
+//!   the effect of the poke in the same cycle.
+//! * **Registered observation** — `poke → step → settle → peek`.
+//!   [`Sim::step`] is settle-then-[`tick`](Sim::tick): the clock edge
+//!   captures the settled inputs into sequential state, and the *next*
+//!   settle makes that new state visible on register outputs. Peeking a
+//!   register output immediately after `step` (without the second settle)
+//!   reads a **stale** value: tick invalidates the settled state.
+//!
+//! The `settled` cache is invalidated by [`Sim::poke`] (even when the poked
+//! value is unchanged) and by [`Sim::tick`] (sequential state changed).
+//! [`Sim::settle`] on an already-settled simulation is a no-op, and settling
+//! twice in a row without an intervening poke/tick is always safe:
+//! re-settling never changes any value. [`Sim::run`]`(n)` is exactly `n`
+//! repetitions of [`Sim::step`], so after `run` returns the simulation is
+//! *not* settled — settle once more before peeking outputs.
+//!
 //! # Examples
 //!
 //! ```

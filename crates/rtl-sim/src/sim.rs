@@ -1,6 +1,24 @@
 //! The cycle-accurate simulator.
+//!
+//! # Hot-path architecture
+//!
+//! Elaboration ([`Sim::new`]) flattens the netlist into CSR index arrays:
+//! per-signal dependent lists, per-cell input/output pin lists, and
+//! per-signal assignment candidate lists. The settle loop then runs over
+//! flat `u32` arrays and a flat pre-sized output-value buffer — no
+//! per-cycle allocation for designs whose signals are at most 64 bits wide
+//! (see `fil_bits::Value`'s inline representation).
+//!
+//! Settling is *change-propagating*: a signal is re-evaluated only when
+//! marked dirty (an input changed, or a sequential cell ticked), and a
+//! recomputed value equal to the previous one does not mark its dependents
+//! dirty. Steady-state regions of deep pipelines therefore cost almost
+//! nothing per cycle. [`Sim::set_force_full_settle`] disables the
+//! optimization (every settle re-evaluates everything) as a debugging
+//! cross-check; both modes produce identical values, [`Sim::was_driven`]
+//! flags, and [`SimError::WriteConflict`] errors.
 
-use crate::cell::CellState;
+use crate::cell::{CellKind, CellState};
 use crate::netlist::{Netlist, NetlistError, PortDir, SignalId};
 use fil_bits::Value;
 use std::fmt;
@@ -60,6 +78,24 @@ enum Driver {
     Assigns { start: u32, len: u32 },
 }
 
+/// Copies `values[src]` into `values[dst]` without allocating, returning
+/// whether `dst`'s value changed.
+fn copy_signal(values: &mut [Value], src: usize, dst: usize) -> bool {
+    debug_assert_ne!(src, dst, "self-assignment is a comb loop");
+    let (s, d) = if src < dst {
+        let (a, b) = values.split_at_mut(dst);
+        (&a[src], &mut b[0])
+    } else {
+        let (a, b) = values.split_at_mut(src);
+        (&b[0], &mut a[dst])
+    };
+    if *d == *s {
+        return false;
+    }
+    d.clone_from(s);
+    true
+}
+
 /// A running simulation over a borrowed [`Netlist`].
 ///
 /// Drive inputs with [`Sim::poke`], evaluate combinational logic with
@@ -91,20 +127,47 @@ pub struct Sim<'n> {
     netlist: &'n Netlist,
     values: Vec<Value>,
     driven: Vec<bool>,
+    /// Signals needing re-evaluation in the next settle pass.
+    dirty: Vec<bool>,
     drivers: Vec<Driver>,
+    /// CSR payload for [`Driver::Assigns`] runs.
     assign_lists: Vec<u32>,
+    /// CSR: `dep_list[dep_start[s]..dep_start[s+1]]` are the signals that
+    /// combinationally depend on signal `s`.
+    dep_start: Vec<u32>,
+    dep_list: Vec<u32>,
+    /// CSR: `cin_list[cin_start[c]..cin_start[c+1]]` are cell `c`'s input
+    /// pin signals.
+    cin_start: Vec<u32>,
+    cin_list: Vec<u32>,
+    /// CSR: cell `c`'s output pins occupy `cout_start[c]..cout_start[c+1]`
+    /// in `out_buf`, `cout_sigs`, and `comb_out`.
+    cout_start: Vec<u32>,
+    /// Output pin signal ids, parallel to `out_buf`.
+    cout_sigs: Vec<u32>,
+    /// True for output pins that depend combinationally on an input pin
+    /// (these bypass the per-pass eval cache; see `settle`).
+    comb_out: Vec<bool>,
+    /// Flat pre-sized per-cell output value buffers.
+    out_buf: Vec<Value>,
+    /// Settle-pass stamp per cell: cell already evaluated this pass.
+    cell_stamp: Vec<u64>,
+    pass: u64,
+    /// Sequential cell indices, for the tick loop.
+    seq_cells: Vec<u32>,
     /// Signal evaluation order (topological over combinational deps).
     order: Vec<u32>,
     states: Vec<CellState>,
-    /// Scratch buffer for cell input values.
-    scratch: Vec<Value>,
+    /// Placeholder borrow target for the fixed-size input-pin buffer.
+    dummy: Value,
+    force_full: bool,
     cycle: u64,
     settled: bool,
 }
 
 impl<'n> Sim<'n> {
-    /// Elaborates a netlist: validates it, resolves drivers, and computes a
-    /// topological evaluation order.
+    /// Elaborates a netlist: validates it, resolves drivers, flattens the
+    /// graph into CSR arrays, and computes a topological evaluation order.
     ///
     /// # Errors
     ///
@@ -114,8 +177,9 @@ impl<'n> Sim<'n> {
     pub fn new(netlist: &'n Netlist) -> Result<Self, SimError> {
         netlist.validate()?;
         let n_sigs = netlist.signals().len();
+        let n_cells = netlist.cells().len();
 
-        // Group assignment indices by destination signal.
+        // Group assignment indices by destination signal (CSR).
         let mut per_sig: Vec<Vec<u32>> = vec![Vec::new(); n_sigs];
         for (ai, assign) in netlist.assigns().iter().enumerate() {
             per_sig[assign.dst.index()].push(ai as u32);
@@ -140,39 +204,44 @@ impl<'n> Sim<'n> {
             }
         }
 
-        // Combinational dependency edges between signals.
-        let mut edges: Vec<Vec<u32>> = vec![Vec::new(); n_sigs];
-        let mut indegree = vec![0usize; n_sigs];
-        let add_edge =
-            |edges: &mut Vec<Vec<u32>>, indeg: &mut Vec<usize>, from: SignalId, to: SignalId| {
-                edges[from.index()].push(to.0);
-                indeg[to.index()] += 1;
-            };
-        for cell in netlist.cells() {
-            for (ipin, opin) in cell.kind.comb_deps() {
-                add_edge(
-                    &mut edges,
-                    &mut indegree,
-                    cell.inputs[ipin],
-                    cell.outputs[opin],
-                );
+        // Combinational dependency edges between signals, twice over the
+        // netlist: count, then fill (CSR without intermediate Vec<Vec<_>>).
+        let mut dep_start = vec![0u32; n_sigs + 1];
+        let for_each_edge = |mut f: Box<dyn FnMut(SignalId, SignalId) + '_>| {
+            for cell in netlist.cells() {
+                for (ipin, opin) in cell.kind.comb_deps() {
+                    f(cell.inputs[ipin], cell.outputs[opin]);
+                }
             }
-        }
-        for assign in netlist.assigns() {
-            add_edge(&mut edges, &mut indegree, assign.src, assign.dst);
-            if let Some(g) = assign.guard {
-                add_edge(&mut edges, &mut indegree, g, assign.dst);
+            for assign in netlist.assigns() {
+                f(assign.src, assign.dst);
+                if let Some(g) = assign.guard {
+                    f(g, assign.dst);
+                }
             }
+        };
+        for_each_edge(Box::new(|from, _| dep_start[from.index() + 1] += 1));
+        for i in 0..n_sigs {
+            dep_start[i + 1] += dep_start[i];
         }
+        let mut cursor = dep_start.clone();
+        let mut dep_list = vec![0u32; dep_start[n_sigs] as usize];
+        let mut indegree = vec![0u32; n_sigs];
+        for_each_edge(Box::new(|from, to| {
+            dep_list[cursor[from.index()] as usize] = to.0;
+            cursor[from.index()] += 1;
+            indegree[to.index()] += 1;
+        }));
 
-        // Kahn's algorithm.
+        // Kahn's algorithm over the CSR edges.
         let mut order: Vec<u32> = Vec::with_capacity(n_sigs);
         let mut queue: Vec<u32> = (0..n_sigs as u32)
             .filter(|&i| indegree[i as usize] == 0)
             .collect();
         while let Some(s) = queue.pop() {
             order.push(s);
-            for &t in &edges[s as usize] {
+            let (d0, d1) = (dep_start[s as usize] as usize, dep_start[s as usize + 1] as usize);
+            for &t in &dep_list[d0..d1] {
                 indegree[t as usize] -= 1;
                 if indegree[t as usize] == 0 {
                     queue.push(t);
@@ -185,6 +254,37 @@ impl<'n> Sim<'n> {
                 .map(|i| netlist.signals()[i].name.clone())
                 .collect();
             return Err(SimError::CombLoop { signals });
+        }
+
+        // Per-cell input/output pin CSR, pre-sized output buffers, and the
+        // comb-dependent-pin marks.
+        let mut cin_start = Vec::with_capacity(n_cells + 1);
+        let mut cin_list = Vec::new();
+        let mut cout_start = Vec::with_capacity(n_cells + 1);
+        let mut cout_sigs = Vec::new();
+        let mut comb_out = Vec::new();
+        let mut out_buf = Vec::new();
+        let mut seq_cells = Vec::new();
+        cin_start.push(0u32);
+        cout_start.push(0u32);
+        for (ci, cell) in netlist.cells().iter().enumerate() {
+            assert!(
+                cell.inputs.len() <= CellKind::MAX_INPUT_PINS,
+                "cell {} has more input pins than the fixed eval buffer",
+                cell.name
+            );
+            cin_list.extend(cell.inputs.iter().map(|s| s.0));
+            cin_start.push(cin_list.len() as u32);
+            let comb_pins: Vec<usize> = cell.kind.comb_deps().iter().map(|&(_, o)| o).collect();
+            for (pin, &out) in cell.outputs.iter().enumerate() {
+                cout_sigs.push(out.0);
+                comb_out.push(comb_pins.contains(&pin));
+                out_buf.push(Value::zero(netlist.signals()[out.index()].width));
+            }
+            cout_start.push(cout_sigs.len() as u32);
+            if cell.kind.is_sequential() {
+                seq_cells.push(ci as u32);
+            }
         }
 
         let values = netlist
@@ -201,11 +301,24 @@ impl<'n> Sim<'n> {
             netlist,
             values,
             driven: vec![false; n_sigs],
+            dirty: vec![true; n_sigs],
             drivers,
             assign_lists,
+            dep_start,
+            dep_list,
+            cin_start,
+            cin_list,
+            cout_start,
+            cout_sigs,
+            comb_out,
+            out_buf,
+            cell_stamp: vec![0; n_cells],
+            pass: 0,
+            seq_cells,
             order,
             states,
-            scratch: Vec::new(),
+            dummy: Value::zero(1),
+            force_full: false,
             cycle: 0,
             settled: false,
         })
@@ -221,8 +334,21 @@ impl<'n> Sim<'n> {
         self.netlist
     }
 
+    /// Disables (or re-enables) change propagation: with `on == true` every
+    /// [`Sim::settle`] re-evaluates every signal, exactly like the
+    /// pre-optimization simulator. Useful as a debugging cross-check; both
+    /// modes are observably identical.
+    pub fn set_force_full_settle(&mut self, on: bool) {
+        self.force_full = on;
+        self.settled = false;
+    }
+
     /// Drives a top-level input (or any externally-driven signal) for the
     /// current cycle.
+    ///
+    /// Poking a value equal to the signal's current value is a no-op for
+    /// change propagation but still invalidates [`Sim::settle`]'s cache
+    /// conservatively.
     ///
     /// # Panics
     ///
@@ -235,7 +361,11 @@ impl<'n> Sim<'n> {
             "poke of {} with wrong width",
             self.netlist.signals()[sig.index()].name
         );
-        self.values[sig.index()] = value;
+        let idx = sig.index();
+        if self.values[idx] != value {
+            self.values[idx] = value;
+            self.dirty[idx] = true;
+        }
         self.settled = false;
     }
 
@@ -276,32 +406,74 @@ impl<'n> Sim<'n> {
         self.driven[sig.index()]
     }
 
-    fn gather_inputs(&mut self, cell: u32) {
-        let netlist = self.netlist;
-        self.scratch.clear();
-        for &s in &netlist.cells()[cell as usize].inputs {
-            self.scratch.push(self.values[s.index()].clone());
-        }
-    }
-
-    /// Evaluates all combinational logic for the current cycle.
+    /// Evaluates combinational logic for the current cycle, re-evaluating
+    /// only signals whose inputs changed (unless
+    /// [`Sim::set_force_full_settle`] is on).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::WriteConflict`] if two active assignments drive
-    /// the same signal.
+    /// the same signal. The conflicting signal stays dirty, so a retried
+    /// settle reports the same conflict until an input changes.
     pub fn settle(&mut self) -> Result<(), SimError> {
+        self.pass += 1;
+        if self.force_full {
+            self.dirty.fill(true);
+        }
         for idx in 0..self.order.len() {
             let si = self.order[idx] as usize;
+            if !self.dirty[si] {
+                continue;
+            }
+            let changed;
             match self.drivers[si] {
                 Driver::External => {
+                    // Poke only marks dirty on an actual change, so the
+                    // value is (conservatively) treated as changed.
                     self.driven[si] = self.netlist.signals()[si].dir == PortDir::Input;
+                    changed = true;
                 }
                 Driver::Cell { cell, pin } => {
-                    self.gather_inputs(cell);
-                    let c = &self.netlist.cells()[cell as usize];
-                    let outs = c.kind.eval(&self.scratch, &self.states[cell as usize]);
-                    self.values[si] = outs[pin as usize].clone();
+                    let c = cell as usize;
+                    let o0 = self.cout_start[c] as usize;
+                    let slot = o0 + pin as usize;
+                    // State-driven pins reuse this pass's evaluation;
+                    // comb-dependent pins re-evaluate, because the cell may
+                    // have been evaluated (for a state-driven sibling pin)
+                    // before this pin's inputs settled.
+                    if self.comb_out[slot] || self.cell_stamp[c] != self.pass {
+                        self.cell_stamp[c] = self.pass;
+                        let o1 = self.cout_start[c + 1] as usize;
+                        let Sim {
+                            values,
+                            out_buf,
+                            states,
+                            cin_start,
+                            cin_list,
+                            netlist,
+                            dummy,
+                            ..
+                        } = self;
+                        let pins =
+                            &cin_list[cin_start[c] as usize..cin_start[c + 1] as usize];
+                        let mut inputs: [&Value; CellKind::MAX_INPUT_PINS] =
+                            [&*dummy; CellKind::MAX_INPUT_PINS];
+                        for (k, &s) in pins.iter().enumerate() {
+                            inputs[k] = &values[s as usize];
+                        }
+                        netlist.cells()[c].kind.eval_into(
+                            &inputs[..pins.len()],
+                            &states[c],
+                            &mut out_buf[o0..o1],
+                        );
+                    }
+                    let Sim { values, out_buf, .. } = self;
+                    let out = &out_buf[slot];
+                    let dst = &mut values[si];
+                    changed = *dst != *out;
+                    if changed {
+                        dst.clone_from(out);
+                    }
                     self.driven[si] = true;
                 }
                 Driver::Assigns { start, len } => {
@@ -315,6 +487,7 @@ impl<'n> Sim<'n> {
                         };
                         if active {
                             if chosen.is_some() {
+                                // Leaves the signal dirty: see Errors above.
                                 return Err(SimError::WriteConflict {
                                     signal: self.netlist.signals()[si].name.clone(),
                                     cycle: self.cycle,
@@ -326,16 +499,25 @@ impl<'n> Sim<'n> {
                     match chosen {
                         Some(ai) => {
                             let src = self.netlist.assigns()[ai as usize].src;
-                            self.values[si] = self.values[src.index()].clone();
+                            changed = copy_signal(&mut self.values, src.index(), si);
                             self.driven[si] = true;
                         }
                         None => {
                             // Undriven this cycle: two-state zero.
-                            let w = self.netlist.signals()[si].width;
-                            self.values[si] = Value::zero(w);
+                            changed = !self.values[si].is_zero();
+                            if changed {
+                                self.values[si].set_zero();
+                            }
                             self.driven[si] = false;
                         }
                     }
+                }
+            }
+            self.dirty[si] = false;
+            if changed {
+                let (d0, d1) = (self.dep_start[si] as usize, self.dep_start[si + 1] as usize);
+                for &t in &self.dep_list[d0..d1] {
+                    self.dirty[t as usize] = true;
                 }
             }
         }
@@ -353,12 +535,33 @@ impl<'n> Sim<'n> {
         if !self.settled {
             self.settle()?;
         }
-        for ci in 0..self.netlist.cells().len() {
-            if self.netlist.cells()[ci].kind.is_sequential() {
-                self.gather_inputs(ci as u32);
-                let mut state = std::mem::take(&mut self.states[ci]);
-                self.netlist.cells()[ci].kind.tick(&self.scratch, &mut state);
-                self.states[ci] = state;
+        let Sim {
+            values,
+            states,
+            netlist,
+            cin_start,
+            cin_list,
+            seq_cells,
+            cout_start,
+            cout_sigs,
+            dirty,
+            dummy,
+            ..
+        } = self;
+        for &ci in seq_cells.iter() {
+            let c = ci as usize;
+            let pins = &cin_list[cin_start[c] as usize..cin_start[c + 1] as usize];
+            let mut inputs: [&Value; CellKind::MAX_INPUT_PINS] =
+                [&*dummy; CellKind::MAX_INPUT_PINS];
+            for (k, &s) in pins.iter().enumerate() {
+                inputs[k] = &values[s as usize];
+            }
+            netlist.cells()[c]
+                .kind
+                .tick(&inputs[..pins.len()], &mut states[c]);
+            // New state may surface on the cell's outputs next settle.
+            for &sig in &cout_sigs[cout_start[c] as usize..cout_start[c + 1] as usize] {
+                dirty[sig as usize] = true;
             }
         }
         self.cycle += 1;

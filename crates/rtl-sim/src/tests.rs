@@ -697,3 +697,165 @@ proptest! {
         prop_assert_eq!(outs, want);
     }
 }
+
+// ------------------------------------------------- driving-protocol contract
+
+/// The module-docs ordering contract: poke → settle → peek observes
+/// combinational paths in the same cycle; registered outputs need
+/// poke → step → settle; tick and poke both invalidate the settled state.
+#[test]
+fn ordering_contract_comb_vs_registered() {
+    let mut n = Netlist::new("contract");
+    let a = n.add_input("a", 8);
+    let b = n.add_input("b", 8);
+    let sum = n.add_signal("sum", 8);
+    let q = n.add_signal("q", 8);
+    n.add_cell("add", CellKind::Add { width: 8 }, vec![a, b], vec![sum]);
+    n.add_cell(
+        "r",
+        CellKind::Reg { width: 8, init: 0, has_en: false },
+        vec![sum],
+        vec![q],
+    );
+    n.mark_output(sum);
+    n.mark_output(q);
+
+    let mut sim = Sim::new(&n).unwrap();
+    // Combinational: poke → settle → peek, same cycle.
+    sim.poke(a, v(8, 30));
+    sim.poke(b, v(8, 12));
+    sim.settle().unwrap();
+    assert_eq!(sim.peek(sum).to_u64(), 42);
+    // The register still shows power-on state before any edge.
+    assert_eq!(sim.peek(q).to_u64(), 0);
+
+    // Registered: poke → step → settle → peek.
+    sim.step().unwrap();
+    // After tick but before the re-settle, the register output is stale.
+    assert_eq!(sim.peek(q).to_u64(), 0, "tick invalidates settle; peek is stale");
+    sim.settle().unwrap();
+    assert_eq!(sim.peek(q).to_u64(), 42);
+
+    // Settle is idempotent: re-settling without poke/tick changes nothing.
+    sim.settle().unwrap();
+    assert_eq!(sim.peek(sum).to_u64(), 42);
+    assert_eq!(sim.peek(q).to_u64(), 42);
+
+    // run(n) leaves the sim un-settled: outputs lag until the final settle.
+    sim.poke(a, v(8, 1));
+    sim.poke(b, v(8, 2));
+    sim.run(1).unwrap();
+    sim.settle().unwrap();
+    assert_eq!(sim.peek(sum).to_u64(), 3);
+    assert_eq!(sim.peek(q).to_u64(), 3);
+}
+
+// ------------------------------------------------- change propagation modes
+
+/// Drives the same netlist with the same stimulus in propagating and
+/// force-full-settle modes, asserting every signal value and `was_driven`
+/// flag is identical each cycle.
+fn assert_modes_agree(
+    n: &Netlist,
+    stimulus: impl Fn(u64) -> Vec<(crate::SignalId, Value)>,
+    cycles: u64,
+) {
+    let mut fast = Sim::new(n).unwrap();
+    let mut full = Sim::new(n).unwrap();
+    full.set_force_full_settle(true);
+    for t in 0..cycles {
+        for (sig, val) in stimulus(t) {
+            fast.poke(sig, val.clone());
+            full.poke(sig, val);
+        }
+        fast.settle().unwrap();
+        full.settle().unwrap();
+        for si in 0..n.signals().len() {
+            let sig = crate::SignalId(si as u32);
+            assert_eq!(
+                fast.peek(sig),
+                full.peek(sig),
+                "cycle {t}: value of {} diverges",
+                n.signals()[si].name
+            );
+            assert_eq!(
+                fast.was_driven(sig),
+                full.was_driven(sig),
+                "cycle {t}: was_driven of {} diverges",
+                n.signals()[si].name
+            );
+        }
+        fast.tick().unwrap();
+        full.tick().unwrap();
+    }
+}
+
+#[test]
+fn change_propagation_matches_full_settle_on_guarded_pipeline() {
+    // Registers, guarded assignments (including undriven cycles), muxes,
+    // and an FSM: every driver kind the settle loop distinguishes.
+    let mut n = Netlist::new("modes");
+    let go = n.add_input("go", 1);
+    let x = n.add_input("x", 8);
+    let y = n.add_input("y", 8);
+    let fsm0 = n.add_signal("fsm0", 1);
+    let fsm1 = n.add_signal("fsm1", 1);
+    let fsm2 = n.add_signal("fsm2", 1);
+    n.add_cell("fsm", CellKind::ShiftFsm { n: 3 }, vec![go], vec![fsm0, fsm1, fsm2]);
+    let sum = n.add_signal("sum", 8);
+    n.add_cell("add", CellKind::Add { width: 8 }, vec![x, y], vec![sum]);
+    let q = n.add_signal("q", 8);
+    n.add_cell(
+        "r",
+        CellKind::Reg { width: 8, init: 7, has_en: true },
+        vec![fsm1, sum],
+        vec![q],
+    );
+    let o = n.add_signal("o", 8);
+    n.connect_guarded(o, q, fsm1);
+    n.connect_guarded(o, sum, fsm2);
+    n.mark_output(o);
+
+    assert_modes_agree(
+        &n,
+        |t| {
+            vec![
+                (go, v(1, u64::from(t % 3 == 0))),
+                (x, v(8, (t * 37) & 0xff)),
+                // Constant input: exercises the "nothing changed" path.
+                (y, v(8, 5)),
+            ]
+        },
+        24,
+    );
+}
+
+#[test]
+fn write_conflict_identical_in_both_modes() {
+    let mut n = Netlist::new("conflict_modes");
+    let g0 = n.add_input("g0", 1);
+    let g1 = n.add_input("g1", 1);
+    let x = n.add_input("x", 8);
+    let o = n.add_signal("o", 8);
+    n.connect_guarded(o, x, g0);
+    n.connect_guarded(o, x, g1);
+
+    let mut fast = Sim::new(&n).unwrap();
+    let mut full = Sim::new(&n).unwrap();
+    full.set_force_full_settle(true);
+    for sim in [&mut fast, &mut full] {
+        sim.poke(g0, v(1, 1));
+        sim.poke(g1, v(1, 1));
+        sim.poke(x, v(8, 3));
+        let err = sim.settle().unwrap_err();
+        assert!(matches!(err, SimError::WriteConflict { .. }), "{err}");
+        // The conflict persists across retries until an input changes...
+        let err = sim.settle().unwrap_err();
+        assert!(matches!(err, SimError::WriteConflict { .. }), "{err}");
+        // ...and clears once one guard drops, in both modes.
+        sim.poke(g1, v(1, 0));
+        sim.settle().unwrap();
+        assert_eq!(sim.peek(o).to_u64(), 3);
+        assert!(sim.was_driven(o));
+    }
+}

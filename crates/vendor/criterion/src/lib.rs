@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! small wall-clock benchmark harness with the `criterion` API surface its
+//! benches use: [`Criterion::benchmark_group`], `sample_size`, `throughput`,
+//! `bench_function`, `finish`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Methodology: each benchmark is warmed up for ~0.3 s, then measured over
+//! `sample_size` samples, each sample timing a batch of iterations sized so
+//! a sample takes ~50 ms. The median sample is reported (median is robust
+//! to scheduler noise), plus min/max, and throughput if configured. One
+//! line per benchmark, machine-greppable:
+//!
+//! ```text
+//! bench: simulator/alu_1k_cycles  median 1.234 ms  min 1.200 ms  max 1.400 ms  thrpt 810.4 Kelem/s
+//! ```
+//!
+//! Pass a substring as the first non-flag CLI argument to run only matching
+//! benchmarks (`cargo bench --bench simulator -- alu`).
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark context (holds the CLI filter).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a context, reading the filter from the command line.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its report line.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&full, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Per-iteration times, one entry per sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, which is called many times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Estimate the cost of one iteration.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let mut est = t0.elapsed();
+        if est.is_zero() {
+            est = Duration::from_nanos(1);
+        }
+        // Warm up for ~0.3 s.
+        let warm_end = Instant::now() + Duration::from_millis(300);
+        while Instant::now() < warm_end {
+            std::hint::black_box(f());
+        }
+        // Batch so each sample takes ~50 ms (min 1 iteration).
+        let batch = (Duration::from_millis(50).as_nanos() / est.as_nanos()).clamp(1, 1 << 24) as u32;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("bench: {name}  (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
+        let thrpt = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt {}", rate(n as f64 / median.as_secs_f64(), "elem/s"))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt {}", rate(n as f64 / median.as_secs_f64(), "B/s"))
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench: {name}  median {}  min {}  max {}{thrpt}",
+            pretty(median),
+            pretty(min),
+            pretty(max),
+        );
+    }
+}
+
+fn pretty(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

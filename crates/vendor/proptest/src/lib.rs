@@ -1,0 +1,214 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! small, deterministic property-testing harness exposing the subset of the
+//! real `proptest` API its test suites use: the [`proptest!`] macro (with
+//! mixed `name in strategy` / `name: Type` arguments and an optional
+//! `#![proptest_config(..)]` header), integer-range and string-regex
+//! strategies, tuple strategies, [`collection::vec`], [`sample::select`],
+//! `prop_map` / `prop_flat_map`, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from the real crate, by design:
+//! * no shrinking — a failing case reports its inputs and seed, unreduced;
+//! * generation is seeded deterministically from the test name, so runs are
+//!   reproducible without a persistence file;
+//! * regex strategies support the tiny dialect the suites use (character
+//!   classes, `\PC`, and the `* + ? {m,n}` quantifiers), not full regex.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-importable surface, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    /// The real crate re-exports itself as `prop` inside the prelude so
+    /// tests can say `prop::collection::vec(..)`.
+    pub use crate as prop;
+}
+
+/// Deterministic generator threaded through every strategy.
+///
+/// SplitMix64, seeded per test case from the test name and case index.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for case number `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// The next 64 uniformly-distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+}
+
+/// Runs one property-test body over `config.cases` generated cases.
+///
+/// This is the engine behind the [`proptest!`] macro; `body` receives a
+/// per-case [`TestRng`] and returns `Ok(())`, a rejection (which skips the
+/// case), or a failure (which panics with the case's seed info).
+///
+/// # Panics
+///
+/// Panics if any case fails.
+pub fn run_cases(
+    test_name: &str,
+    config: &test_runner::ProptestConfig,
+    mut body: impl FnMut(&mut TestRng) -> test_runner::TestCaseResult,
+) {
+    let mut rejected = 0u64;
+    for case in 0..config.cases as u64 {
+        let mut rng = TestRng::for_case(test_name, case);
+        match body(&mut rng) {
+            Ok(()) => {}
+            Err(test_runner::TestCaseError::Reject) => {
+                rejected += 1;
+                // Mirror real proptest's global rejection cap so a
+                // never-satisfiable prop_assume! cannot loop forever.
+                assert!(
+                    rejected < 4 * config.cases as u64 + 256,
+                    "{test_name}: too many prop_assume! rejections"
+                );
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case {case} failed: {msg}")
+            }
+        }
+    }
+}
+
+/// The `proptest!` macro: see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn` inside a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($args:tt)*) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), &config, |__proptest_rng| {
+                $crate::__proptest_bind!{ __proptest_rng $($args)* }
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: binds one `proptest!` argument list entry at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident) => {};
+    ($rng:ident $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!{ $rng $($rest)* }
+    };
+    ($rng:ident $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary($rng);
+    };
+    ($rng:ident $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::arbitrary::Arbitrary>::arbitrary($rng);
+        $crate::__proptest_bind!{ $rng $($rest)* }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{:?} == {:?}", a, b);
+    }};
+}
+
+/// Rejects (skips) the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,136 @@
+//! A miniature regex-to-generator used by `&str` strategies.
+//!
+//! Supports exactly the dialect this workspace's suites use: literal
+//! characters, character classes `[a-z0-9_]`, the "printable" escape `\PC`,
+//! and the quantifiers `*`, `+`, `?`, and `{m,n}` / `{n}`. Unbounded
+//! quantifiers cap at 8 repetitions.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Piece {
+    /// One char drawn uniformly from this alphabet.
+    Class(Vec<char>),
+}
+
+fn printable_alphabet() -> Vec<char> {
+    // ASCII printable plus a few multibyte characters so parsers see
+    // non-ASCII UTF-8 too.
+    let mut v: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+    v.extend(['é', 'λ', '→', '𝔘', '中']);
+    v
+}
+
+fn parse(pattern: &str) -> Vec<(Piece, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out: Vec<(Piece, usize, usize)> = Vec::new();
+    while i < chars.len() {
+        let piece = match chars[i] {
+            '[' => {
+                let mut alphabet = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        assert!(lo <= hi, "bad class range in {pattern}");
+                        alphabet.extend((lo..=hi).filter_map(char::from_u32));
+                        i += 3;
+                    } else {
+                        alphabet.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern}");
+                i += 1; // consume ']'
+                Piece::Class(alphabet)
+            }
+            '\\' => {
+                // Only `\PC` (printable) and escaped literals.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Piece::Class(printable_alphabet())
+                } else {
+                    let c = *chars.get(i + 1).expect("dangling backslash");
+                    i += 2;
+                    Piece::Class(vec![c])
+                }
+            }
+            c => {
+                i += 1;
+                Piece::Class(vec![c])
+            }
+        };
+        // Quantifier?
+        let (lo, hi) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad quantifier"),
+                        n.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        out.push((piece, lo, hi));
+    }
+    out
+}
+
+/// Generates one string matching `pattern` (see module docs for dialect).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (piece, lo, hi) in parse(pattern) {
+        let reps = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..reps {
+            let Piece::Class(ref alphabet) = piece;
+            if alphabet.is_empty() {
+                continue;
+            }
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_pattern_shape() {
+        let mut rng = TestRng::for_case("ident", 0);
+        for case in 0..200 {
+            let mut rng2 = TestRng::for_case("ident", case);
+            let s = generate_matching("[a-z][a-z0-9_]{0,6}", &mut rng2);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        let _ = generate_matching("\\PC*", &mut rng);
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the tiny slice of the `rand 0.9` API its tests and fuzzers actually use:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::random`], and
+//! [`Rng::random_range`]. The generator is SplitMix64 — deterministic,
+//! seedable, and statistically fine for test-input generation (it is not,
+//! and does not claim to be, cryptographically secure).
+
+/// Types that can be sampled uniformly from an `Rng`.
+pub trait Distribution: Sized {
+    /// Draws one uniformly-distributed value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_distribution_int {
+    ($($t:ty),*) => {$(
+        impl Distribution for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+impl_distribution_int!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+impl Distribution for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Distribution for u128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution for i128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Distribution for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled to produce a `T` (the `rand` crate's
+/// `SampleRange` shape, for `Rng::random_range`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (u128::sample(rng) % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (u128::sample(rng) % span) as i128) as $t
+            }
+        }
+    )*}
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing random-sampling interface.
+pub trait Rng {
+    /// The raw generator step: the next 64 uniformly-distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a uniformly-distributed value of type `T`.
+    fn random<T: Distribution>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Seedable construction (the `rand` crate's trait of the same name).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    /// Deterministic SplitMix64 generator, standing in for `rand`'s
+    /// `StdRng` (same name, same seeding API, different — simpler —
+    /// stream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_sampling_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..1000 {
+            let x: u32 = rng.random_range(60u32..=190);
+            assert!((60..=190).contains(&x));
+            let y: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bool_and_ints_sample() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen_true = false;
+        let mut seen_false = false;
+        for _ in 0..64 {
+            if rng.random::<bool>() {
+                seen_true = true;
+            } else {
+                seen_false = true;
+            }
+        }
+        assert!(seen_true && seen_false);
+        let _: u32 = rng.random();
+        let _: u64 = rng.random();
+    }
+}

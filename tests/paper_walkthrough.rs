@@ -39,7 +39,7 @@ fn section2_walkthrough() {
     let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
     for (k, out) in outs.iter().enumerate() {
         let k = k as u64;
-        let want = if k % 2 == 0 { 2 * k + 3 } else { (k + 1) * (k + 2) };
+        let want = if k.is_multiple_of(2) { 2 * k + 3 } else { (k + 1) * (k + 2) };
         assert_eq!(out[0].to_u64(), want);
     }
 }
