@@ -1,11 +1,16 @@
 //! Criterion-free simulator speed probe, for recording perf trajectory
-//! across PRs: runs the pipelined-ALU and AES cycle loops and prints one
+//! across PRs: runs the pipelined-ALU and AES cycle loops plus an N-sweep
+//! over the generator-produced `Systolic[N, 32]` arrays, and prints one
 //! line of JSON.
 //!
 //! ```text
 //! cargo run --release -p fil-bench --bin sim_speed
-//! {"alu_cycles_per_sec": 7241329.0, "aes_cycles_per_sec": 10891.2}
+//! {"alu_cycles_per_sec": 7241329.0, "aes_cycles_per_sec": 10891.2,
+//!  "systolic": [{"n": 2, "cycles_per_sec": ..., "pe_cells_per_sec": ...}, ...]}
 //! ```
+//!
+//! `pe_cells_per_sec` is `N² × cycles/sec` — processing-element updates per
+//! wall-clock second, comparable across array sizes.
 
 use fil_bits::Value;
 use rtl_sim::Sim;
@@ -52,5 +57,32 @@ fn main() {
         std::hint::black_box(sim.peek_by_name("out_words$out").to_u64());
     });
 
-    println!("{{\"alu_cycles_per_sec\": {alu_rate:.1}, \"aes_cycles_per_sec\": {aes_rate:.1}}}");
+    // Generator sweep: the parametric systolic array at N = 2, 4, 8.
+    let systolic: Vec<String> = [2u64, 4, 8]
+        .iter()
+        .map(|&n| {
+            let src = fil_designs::systolic::source(n, 32);
+            let top = fil_designs::systolic::top_name(n);
+            let (netlist, _) = fil_designs::build(&src, &top).expect("systolic compiles");
+            let sys_cycles = 200u64;
+            let rate = measure(sys_cycles, || {
+                let mut sim = Sim::new(&netlist).unwrap();
+                sim.poke_by_name("go", Value::from_u64(1, 1));
+                sim.poke_by_name("left", Value::from_u64(64.min(32 * n as u32), 7).resize(32 * n as u32));
+                sim.poke_by_name("top", Value::from_u64(64.min(32 * n as u32), 3).resize(32 * n as u32));
+                sim.run(sys_cycles).unwrap();
+                std::hint::black_box(sim.peek_by_name("out").to_u64());
+            });
+            format!(
+                "{{\"n\": {n}, \"cycles_per_sec\": {rate:.1}, \"pe_cells_per_sec\": {:.1}}}",
+                rate * (n * n) as f64
+            )
+        })
+        .collect();
+
+    println!(
+        "{{\"alu_cycles_per_sec\": {alu_rate:.1}, \"aes_cycles_per_sec\": {aes_rate:.1}, \
+         \"systolic\": [{}]}}",
+        systolic.join(", ")
+    );
 }

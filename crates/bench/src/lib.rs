@@ -220,7 +220,13 @@ pub fn design_corpus() -> Vec<(String, String, &'static str)> {
             fil_designs::conv2d::reticle_source(),
             "Conv2dReticle",
         ),
-        ("systolic".into(), fil_designs::systolic::SYSTOLIC.to_owned(), "Systolic"),
+        // Generator-produced designs at several sizes: one parametric
+        // source each, monomorphized per entry.
+        ("systolic-2".into(), fil_designs::systolic::source(2, 32), "Sys2"),
+        ("systolic-4".into(), fil_designs::systolic::source(4, 32), "Sys4"),
+        ("systolic-8".into(), fil_designs::systolic::source(8, 32), "Sys8"),
+        ("chain-8x16".into(), fil_designs::shift::source(8, 16), "Chain8x16"),
+        ("alu-param-16".into(), fil_designs::alu::param_source(16), "Alu16"),
         ("fp-add-comb".into(), fp(Style::Combinational), "FpAdd"),
         ("fp-add-pipe".into(), fp(Style::Pipelined), "FpAdd"),
     ]

@@ -11,26 +11,174 @@ use std::fmt;
 /// An identifier (component, event, port, instance, or invocation name).
 pub type Id = String;
 
-/// A compile-time constant expression: a literal or a reference to one of
-/// the enclosing component's const parameters (`Prev[W, SAFE]`).
+/// A binary operator in a compile-time constant expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstOp {
+    /// Addition.
+    Add,
+    /// Subtraction (checked; underflow is an evaluation error).
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Integer division (division by zero is an evaluation error).
+    Div,
+    /// Remainder.
+    Mod,
+}
+
+impl ConstOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            ConstOp::Add => "+",
+            ConstOp::Sub => "-",
+            ConstOp::Mul => "*",
+            ConstOp::Div => "/",
+            ConstOp::Mod => "%",
+        }
+    }
+
+    /// Binding strength: additive < multiplicative.
+    fn prec(self) -> u8 {
+        match self {
+            ConstOp::Add | ConstOp::Sub => 1,
+            ConstOp::Mul | ConstOp::Div | ConstOp::Mod => 2,
+        }
+    }
+
+    fn apply(self, l: u64, r: u64) -> Result<u64, ConstEvalError> {
+        let arith = |msg: String| ConstEvalError::Arith(msg);
+        match self {
+            ConstOp::Add => l
+                .checked_add(r)
+                .ok_or_else(|| arith(format!("{l} + {r} overflows"))),
+            ConstOp::Sub => l
+                .checked_sub(r)
+                .ok_or_else(|| arith(format!("{l} - {r} underflows"))),
+            ConstOp::Mul => l
+                .checked_mul(r)
+                .ok_or_else(|| arith(format!("{l} * {r} overflows"))),
+            ConstOp::Div => l
+                .checked_div(r)
+                .ok_or_else(|| arith(format!("{l} / {r}: division by zero"))),
+            ConstOp::Mod => l
+                .checked_rem(r)
+                .ok_or_else(|| arith(format!("{l} % {r}: division by zero"))),
+        }
+    }
+}
+
+/// Why a [`ConstExpr`] failed to evaluate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstEvalError {
+    /// A parameter had no binding in the environment.
+    Unbound(Id),
+    /// An arithmetic failure (overflow, underflow, division by zero,
+    /// `log2(0)`).
+    Arith(String),
+}
+
+impl fmt::Display for ConstEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstEvalError::Unbound(p) => write!(f, "parameter {p} is unbound"),
+            ConstEvalError::Arith(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConstEvalError {}
+
+/// A compile-time constant expression over the enclosing component's const
+/// parameters (and, inside `for`-generate bodies, the loop variables):
+/// literals, parameters, `+ - * / %`, `pow2`, and `log2`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ConstExpr {
     /// A literal value.
     Lit(u64),
-    /// A parameter of the enclosing component.
+    /// A parameter of the enclosing component (or a generate-loop variable).
     Param(Id),
+    /// A binary operation.
+    Bin(ConstOp, Box<ConstExpr>, Box<ConstExpr>),
+    /// `pow2(e)` = 2^e.
+    Pow2(Box<ConstExpr>),
+    /// `log2(e)` = ceil(log2(e)); `log2(0)` is an evaluation error.
+    Log2(Box<ConstExpr>),
 }
 
 impl ConstExpr {
+    /// Builds `lhs op rhs`, constant-folding when both sides are literals
+    /// and the operation succeeds.
+    pub fn bin(op: ConstOp, lhs: ConstExpr, rhs: ConstExpr) -> ConstExpr {
+        if let (ConstExpr::Lit(l), ConstExpr::Lit(r)) = (&lhs, &rhs) {
+            if let Ok(n) = op.apply(*l, *r) {
+                return ConstExpr::Lit(n);
+            }
+        }
+        ConstExpr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
     /// Evaluates under a parameter environment.
-    pub fn eval(&self, env: &HashMap<Id, u64>) -> Option<u64> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConstEvalError::Unbound`] naming the first parameter with
+    /// no binding, or [`ConstEvalError::Arith`] on arithmetic failure.
+    pub fn eval(&self, env: &HashMap<Id, u64>) -> Result<u64, ConstEvalError> {
         match self {
-            ConstExpr::Lit(n) => Some(*n),
-            ConstExpr::Param(p) => env.get(p).copied(),
+            ConstExpr::Lit(n) => Ok(*n),
+            ConstExpr::Param(p) => env
+                .get(p)
+                .copied()
+                .ok_or_else(|| ConstEvalError::Unbound(p.clone())),
+            ConstExpr::Bin(op, l, r) => op.apply(l.eval(env)?, r.eval(env)?),
+            ConstExpr::Pow2(e) => {
+                let n = e.eval(env)?;
+                if n >= 64 {
+                    Err(ConstEvalError::Arith(format!("pow2({n}) overflows u64")))
+                } else {
+                    Ok(1u64 << n)
+                }
+            }
+            ConstExpr::Log2(e) => {
+                let n = e.eval(env)?;
+                if n == 0 {
+                    Err(ConstEvalError::Arith("log2(0) is undefined".into()))
+                } else {
+                    Ok((64 - (n - 1).leading_zeros()) as u64)
+                }
+            }
         }
     }
 
-    /// Substitutes parameters, keeping the expression symbolic when unbound.
+    /// Evaluates with no parameters in scope (closed expressions only).
+    ///
+    /// # Errors
+    ///
+    /// As [`ConstExpr::eval`].
+    pub fn eval_closed(&self) -> Result<u64, ConstEvalError> {
+        self.eval(&HashMap::new())
+    }
+
+    /// The literal value of an already-evaluated expression.
+    pub fn as_lit(&self) -> Option<u64> {
+        match self {
+            ConstExpr::Lit(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Normalizes to a literal when the expression is closed; otherwise
+    /// returns the expression unchanged (used for width comparison, so
+    /// `2*16` and `32` agree).
+    pub fn norm(&self) -> ConstExpr {
+        match self.eval_closed() {
+            Ok(n) => ConstExpr::Lit(n),
+            Err(_) => self.clone(),
+        }
+    }
+
+    /// Substitutes parameters, constant-folding fully resolved
+    /// subexpressions and keeping unbound parameters symbolic.
     pub fn subst(&self, env: &HashMap<Id, u64>) -> ConstExpr {
         match self {
             ConstExpr::Lit(n) => ConstExpr::Lit(*n),
@@ -38,16 +186,90 @@ impl ConstExpr {
                 Some(n) => ConstExpr::Lit(*n),
                 None => self.clone(),
             },
+            ConstExpr::Bin(op, l, r) => ConstExpr::bin(*op, l.subst(env), r.subst(env)),
+            ConstExpr::Pow2(e) => ConstExpr::Pow2(Box::new(e.subst(env))).norm(),
+            ConstExpr::Log2(e) => ConstExpr::Log2(Box::new(e.subst(env))).norm(),
+        }
+    }
+
+    /// Substitutes parameters by *expressions* (the checker's
+    /// caller-to-callee width propagation: a callee width `N*W` under
+    /// `{N ↦ 4, W ↦ M}` becomes `4*M`), constant-folding resolved
+    /// subexpressions.
+    pub fn subst_exprs(&self, env: &HashMap<Id, ConstExpr>) -> ConstExpr {
+        match self {
+            ConstExpr::Lit(n) => ConstExpr::Lit(*n),
+            ConstExpr::Param(p) => env.get(p).cloned().unwrap_or_else(|| self.clone()),
+            ConstExpr::Bin(op, l, r) => {
+                ConstExpr::bin(*op, l.subst_exprs(env), r.subst_exprs(env))
+            }
+            ConstExpr::Pow2(e) => ConstExpr::Pow2(Box::new(e.subst_exprs(env))).norm(),
+            ConstExpr::Log2(e) => ConstExpr::Log2(Box::new(e.subst_exprs(env))).norm(),
+        }
+    }
+
+    /// The parameters this expression mentions, in first-occurrence order.
+    pub fn params(&self) -> Vec<Id> {
+        fn walk(e: &ConstExpr, out: &mut Vec<Id>) {
+            match e {
+                ConstExpr::Lit(_) => {}
+                ConstExpr::Param(p) => {
+                    if !out.contains(p) {
+                        out.push(p.clone());
+                    }
+                }
+                ConstExpr::Bin(_, l, r) => {
+                    walk(l, out);
+                    walk(r, out);
+                }
+                ConstExpr::Pow2(e) | ConstExpr::Log2(e) => walk(e, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Precedence-aware rendering: parenthesizes a subexpression only when
+    /// it binds looser than its context, so output re-parses to the same
+    /// tree.
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, ctx: u8) -> fmt::Result {
+        match self {
+            ConstExpr::Lit(n) => write!(f, "{n}"),
+            ConstExpr::Param(p) => write!(f, "{p}"),
+            ConstExpr::Bin(op, l, r) => {
+                let p = op.prec();
+                let need = p < ctx;
+                if need {
+                    write!(f, "(")?;
+                }
+                l.fmt_prec(f, p)?;
+                write!(f, " {} ", op.symbol())?;
+                // Right operand of a left-associative chain needs parens at
+                // equal precedence: `a - (b - c)`.
+                r.fmt_prec(f, p + 1)?;
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            ConstExpr::Pow2(e) => {
+                write!(f, "pow2(")?;
+                e.fmt_prec(f, 0)?;
+                write!(f, ")")
+            }
+            ConstExpr::Log2(e) => {
+                write!(f, "log2(")?;
+                e.fmt_prec(f, 0)?;
+                write!(f, ")")
+            }
         }
     }
 }
 
 impl fmt::Display for ConstExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ConstExpr::Lit(n) => write!(f, "{n}"),
-            ConstExpr::Param(p) => write!(f, "{p}"),
-        }
+        self.fmt_prec(f, 0)
     }
 }
 
@@ -57,19 +279,116 @@ impl From<u64> for ConstExpr {
     }
 }
 
-/// A time expression `E + n`: an event variable plus a constant cycle offset
+/// A possibly-indexed name in a generate context: `pe[i][j]`. Outside
+/// `for`-generate bodies the index list is empty and the name is just its
+/// base identifier. The monomorphizer flattens indexed names into plain
+/// identifiers (`pe_1_2`) while unrolling.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IName {
+    /// The base identifier.
+    pub base: Id,
+    /// Index expressions, evaluated at elaboration time.
+    pub idx: Vec<ConstExpr>,
+}
+
+impl IName {
+    /// An un-indexed name.
+    pub fn plain(base: impl Into<Id>) -> Self {
+        IName {
+            base: base.into(),
+            idx: Vec::new(),
+        }
+    }
+
+    /// An indexed name.
+    pub fn indexed(base: impl Into<Id>, idx: Vec<ConstExpr>) -> Self {
+        IName {
+            base: base.into(),
+            idx,
+        }
+    }
+
+    /// The plain identifier, if un-indexed.
+    pub fn flat(&self) -> Option<&Id> {
+        if self.idx.is_empty() {
+            Some(&self.base)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates the indices under `env` and flattens to `base_i0_i1`.
+    /// A `#inst` suffix (the parser's fused-form convention) is preserved
+    /// at the end so pretty-printing can re-fuse: `pe#inst` with indices
+    /// `[1, 2]` flattens to `pe_1_2#inst`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-evaluation failures.
+    pub fn mangle(&self, env: &HashMap<Id, u64>) -> Result<Id, ConstEvalError> {
+        if self.idx.is_empty() {
+            return Ok(self.base.clone());
+        }
+        let (stem, suffix) = match self.base.strip_suffix("#inst") {
+            Some(stem) => (stem, "#inst"),
+            None => (self.base.as_str(), ""),
+        };
+        let mut out = stem.to_owned();
+        for e in &self.idx {
+            out.push('_');
+            out.push_str(&e.eval(env)?.to_string());
+        }
+        out.push_str(suffix);
+        Ok(out)
+    }
+}
+
+impl fmt::Display for IName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for e in &self.idx {
+            write!(f, "[{e}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&str> for IName {
+    fn from(s: &str) -> Self {
+        IName::plain(s)
+    }
+}
+
+impl From<String> for IName {
+    fn from(s: String) -> Self {
+        IName::plain(s)
+    }
+}
+
+/// A time expression `E + n`: an event variable plus a cycle offset
 /// (Section 3.1 — sums of event variables are meaningless and unsupported).
+/// The offset is a [`ConstExpr`] so generators can schedule at `G + i`
+/// inside `for`-generate loops; outside generator code (and always after
+/// monomorphization) it is a literal.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Time {
     /// The event variable.
     pub event: Id,
-    /// The constant offset in cycles.
-    pub offset: u64,
+    /// The cycle offset.
+    pub offset: ConstExpr,
 }
 
 impl Time {
     /// `event + offset`.
     pub fn new(event: impl Into<Id>, offset: u64) -> Self {
+        Time {
+            event: event.into(),
+            offset: ConstExpr::Lit(offset),
+        }
+    }
+
+    /// `event + offset` with a symbolic offset.
+    pub fn at(event: impl Into<Id>, offset: ConstExpr) -> Self {
         Time {
             event: event.into(),
             offset,
@@ -81,16 +400,42 @@ impl Time {
         Time::new(event, 0)
     }
 
-    /// Shifts the time by additional cycles.
+    /// The concrete offset of an elaborated time, evaluating closed
+    /// arithmetic. `None` when the offset still mentions parameters.
+    pub fn offset_val(&self) -> Option<u64> {
+        self.offset.eval_closed().ok()
+    }
+
+    /// The concrete offset of a time that has passed concreteness
+    /// validation ([`offset_val`](Time::offset_val) for the fallible form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset still mentions parameters — callers in the
+    /// checker and compiler run after the concreteness pre-pass (or after
+    /// monomorphization), which rules that out.
+    pub fn off(&self) -> u64 {
+        self.offset_val()
+            .unwrap_or_else(|| panic!("time offset {self} is not concrete; run mono::expand first"))
+    }
+
+    /// Shifts the time by additional cycles (constant-folded when the
+    /// offset is already concrete).
     pub fn plus(&self, n: u64) -> Time {
-        Time::new(self.event.clone(), self.offset + n)
+        Time::at(
+            self.event.clone(),
+            ConstExpr::bin(ConstOp::Add, self.offset.clone(), ConstExpr::Lit(n)),
+        )
     }
 
     /// Substitutes the event variable per `map`, composing offsets: if
     /// `map[E] = G + i` then `(E + k).subst = G + (i + k)`.
     pub fn subst(&self, map: &HashMap<Id, Time>) -> Time {
         match map.get(&self.event) {
-            Some(t) => t.plus(self.offset),
+            Some(t) => Time::at(
+                t.event.clone(),
+                ConstExpr::bin(ConstOp::Add, t.offset.clone(), self.offset.clone()),
+            ),
             None => self.clone(),
         }
     }
@@ -98,10 +443,15 @@ impl Time {
 
 impl fmt::Display for Time {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.offset == 0 {
-            write!(f, "{}", self.event)
-        } else {
-            write!(f, "{}+{}", self.event, self.offset)
+        match &self.offset {
+            ConstExpr::Lit(0) => write!(f, "{}", self.event),
+            // The offset grammar excludes top-level +/- (they would be
+            // ambiguous with the `time - time` delay form), so additive
+            // offsets print parenthesized: `G+(i + 1)` re-parses exactly.
+            e @ ConstExpr::Bin(ConstOp::Add | ConstOp::Sub, ..) => {
+                write!(f, "{}+({e})", self.event)
+            }
+            e => write!(f, "{}+{e}", self.event),
         }
     }
 }
@@ -160,11 +510,14 @@ impl Delay {
     }
 
     /// Evaluates to a constant if possible: either already constant, or a
-    /// difference of times over the *same* event variable.
+    /// difference of times over the *same* event variable with concrete
+    /// offsets.
     pub fn as_const(&self) -> Option<i64> {
         match self {
             Delay::Const(n) => Some(*n as i64),
-            Delay::Diff(a, b) if a.event == b.event => Some(a.offset as i64 - b.offset as i64),
+            Delay::Diff(a, b) if a.event == b.event => {
+                Some(a.offset_val()? as i64 - b.offset_val()? as i64)
+            }
             Delay::Diff(..) => None,
         }
     }
@@ -298,10 +651,11 @@ impl Signature {
 pub enum Port {
     /// A port of the enclosing component.
     This(Id),
-    /// A port of a previous invocation: `m0.out`.
+    /// A port of a previous invocation: `m0.out` (possibly indexed inside a
+    /// generate loop: `pe[i][j].out`).
     Inv {
         /// The invocation name.
-        invocation: Id,
+        invocation: IName,
         /// The port name in the callee's signature.
         port: Id,
     },
@@ -319,13 +673,13 @@ impl fmt::Display for Port {
     }
 }
 
-/// A body command (Figure 7a).
+/// A body command (Figure 7a, extended with the `for`-generate construct).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
     /// `I := new C[p...]` — constructs a physical circuit (Section 3.3).
     Instance {
         /// Instance name.
-        name: Id,
+        name: IName,
         /// The component being instantiated.
         component: Id,
         /// Const parameter bindings.
@@ -335,9 +689,9 @@ pub enum Command {
     /// (Section 3.4).
     Invoke {
         /// Invocation name.
-        name: Id,
+        name: IName,
         /// The instance being used.
-        instance: Id,
+        instance: IName,
         /// Event bindings, one per callee event.
         events: Vec<Time>,
         /// Arguments, one per callee input port.
@@ -349,6 +703,21 @@ pub enum Command {
         dst: Port,
         /// Source.
         src: Port,
+    },
+    /// `for i in lo..hi { ... }` — generator sugar over unrolled
+    /// instantiation/invocation/connection. The loop variable is usable in
+    /// parameter positions, name indices, and time offsets; the
+    /// monomorphizer ([`crate::mono`]) unrolls the loop before checking or
+    /// lowering.
+    ForGen {
+        /// The loop variable.
+        var: Id,
+        /// Lower bound (inclusive).
+        lo: ConstExpr,
+        /// Upper bound (exclusive).
+        hi: ConstExpr,
+        /// The commands repeated per iteration.
+        body: Vec<Command>,
     },
 }
 
@@ -428,8 +797,13 @@ impl LinExpr {
     }
 
     /// The expression `t.event + t.offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on symbolic offsets (see [`Time::off`]); the checker's
+    /// concreteness pre-pass rules those out before any `LinExpr` is built.
     pub fn from_time(t: &Time) -> Self {
-        let mut e = LinExpr::constant(t.offset as i64);
+        let mut e = LinExpr::constant(t.off() as i64);
         e.add_var(&t.event, 1);
         e
     }
@@ -540,14 +914,145 @@ mod tests {
     fn const_expr_eval_and_subst() {
         let mut env = HashMap::new();
         env.insert("W".to_owned(), 32u64);
-        assert_eq!(ConstExpr::Lit(8).eval(&env), Some(8));
-        assert_eq!(ConstExpr::Param("W".into()).eval(&env), Some(32));
-        assert_eq!(ConstExpr::Param("X".into()).eval(&env), None);
+        assert_eq!(ConstExpr::Lit(8).eval(&env), Ok(8));
+        assert_eq!(ConstExpr::Param("W".into()).eval(&env), Ok(32));
+        assert_eq!(
+            ConstExpr::Param("X".into()).eval(&env),
+            Err(ConstEvalError::Unbound("X".into()))
+        );
         assert_eq!(ConstExpr::Param("W".into()).subst(&env), ConstExpr::Lit(32));
         assert_eq!(
             ConstExpr::Param("X".into()).subst(&env),
             ConstExpr::Param("X".into())
         );
+    }
+
+    #[test]
+    fn const_expr_arithmetic() {
+        let mut env = HashMap::new();
+        env.insert("W".to_owned(), 8u64);
+        env.insert("N".to_owned(), 3u64);
+        let w = || ConstExpr::Param("W".into());
+        let n = || ConstExpr::Param("N".into());
+        // W*N + W - 1 = 31.
+        let e = ConstExpr::bin(
+            ConstOp::Sub,
+            ConstExpr::bin(
+                ConstOp::Add,
+                ConstExpr::bin(ConstOp::Mul, w(), n()),
+                w(),
+            ),
+            ConstExpr::Lit(1),
+        );
+        assert_eq!(e.eval(&env), Ok(31));
+        assert_eq!(e.subst(&env), ConstExpr::Lit(31));
+        assert_eq!(e.params(), vec!["W".to_owned(), "N".to_owned()]);
+        // pow2 / log2.
+        assert_eq!(ConstExpr::Pow2(Box::new(n())).eval(&env), Ok(8));
+        assert_eq!(ConstExpr::Log2(Box::new(w())).eval(&env), Ok(3));
+        assert_eq!(
+            ConstExpr::Log2(Box::new(ConstExpr::Lit(9))).eval_closed(),
+            Ok(4),
+            "ceiling log2"
+        );
+        // Errors carry the cause.
+        assert!(matches!(
+            ConstExpr::bin(ConstOp::Div, w(), ConstExpr::Lit(0)).eval(&env),
+            Err(ConstEvalError::Arith(_))
+        ));
+        assert!(matches!(
+            ConstExpr::bin(ConstOp::Sub, ConstExpr::Lit(1), ConstExpr::Lit(2)).eval_closed(),
+            Err(ConstEvalError::Arith(_))
+        ));
+        assert!(matches!(
+            ConstExpr::Log2(Box::new(ConstExpr::Lit(0))).eval_closed(),
+            Err(ConstEvalError::Arith(_))
+        ));
+    }
+
+    #[test]
+    fn const_expr_display_has_minimal_parens() {
+        let p = |s: &str| ConstExpr::Param(s.into());
+        let mul = ConstExpr::Bin(
+            ConstOp::Mul,
+            Box::new(ConstExpr::Bin(
+                ConstOp::Add,
+                Box::new(p("A")),
+                Box::new(p("B")),
+            )),
+            Box::new(p("C")),
+        );
+        assert_eq!(mul.to_string(), "(A + B) * C");
+        let sub = ConstExpr::Bin(
+            ConstOp::Sub,
+            Box::new(p("A")),
+            Box::new(ConstExpr::Bin(
+                ConstOp::Sub,
+                Box::new(p("B")),
+                Box::new(p("C")),
+            )),
+        );
+        assert_eq!(sub.to_string(), "A - (B - C)");
+        let flat = ConstExpr::Bin(
+            ConstOp::Add,
+            Box::new(ConstExpr::Bin(
+                ConstOp::Mul,
+                Box::new(p("W")),
+                Box::new(p("I")),
+            )),
+            Box::new(p("W")),
+        );
+        assert_eq!(flat.to_string(), "W * I + W");
+        assert_eq!(
+            ConstExpr::Pow2(Box::new(p("N"))).to_string(),
+            "pow2(N)"
+        );
+    }
+
+    #[test]
+    fn iname_mangling() {
+        let mut env = HashMap::new();
+        env.insert("i".to_owned(), 1u64);
+        env.insert("j".to_owned(), 2u64);
+        let plain = IName::plain("pe");
+        assert_eq!(plain.flat(), Some(&"pe".to_owned()));
+        assert_eq!(plain.mangle(&env).unwrap(), "pe");
+        let idx = IName::indexed(
+            "pe",
+            vec![ConstExpr::Param("i".into()), ConstExpr::Param("j".into())],
+        );
+        assert_eq!(idx.flat(), None);
+        assert_eq!(idx.to_string(), "pe[i][j]");
+        assert_eq!(idx.mangle(&env).unwrap(), "pe_1_2");
+        // The fused-form suffix stays at the end.
+        let fused = IName::indexed("pe#inst", vec![ConstExpr::Param("i".into())]);
+        assert_eq!(fused.mangle(&env).unwrap(), "pe_1#inst");
+        // Unbound index propagates.
+        let bad = IName::indexed("pe", vec![ConstExpr::Param("k".into())]);
+        assert_eq!(
+            bad.mangle(&env),
+            Err(ConstEvalError::Unbound("k".into()))
+        );
+    }
+
+    #[test]
+    fn symbolic_time_offsets() {
+        let t = Time::at("G", ConstExpr::Param("i".into()));
+        assert_eq!(t.to_string(), "G+i");
+        assert_eq!(t.offset_val(), None);
+        // Closed arithmetic offsets count as concrete.
+        let c = Time::at(
+            "G",
+            ConstExpr::Bin(
+                ConstOp::Add,
+                Box::new(ConstExpr::Lit(2)),
+                Box::new(ConstExpr::Lit(3)),
+            ),
+        );
+        assert_eq!(c.offset_val(), Some(5));
+        assert_eq!(c.off(), 5);
+        // plus() folds concrete offsets.
+        assert_eq!(Time::new("G", 2).plus(3), Time::new("G", 5));
     }
 
     #[test]

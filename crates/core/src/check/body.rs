@@ -30,14 +30,14 @@ struct InvokeInfo {
     binding: HashMap<Id, Time>,
 }
 
-fn subst_width(w: &ConstExpr, env: &HashMap<Id, ConstExpr>) -> ConstExpr {
-    match w {
-        ConstExpr::Lit(n) => ConstExpr::Lit(*n),
-        ConstExpr::Param(p) => env.get(p).cloned().unwrap_or_else(|| w.clone()),
-    }
-}
-
 pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<CheckError>) {
+    // The temporal passes need concrete offsets and flat names; residual
+    // generate constructs were already reported (for the signature) by
+    // check_signature, so use a scratch buffer there to avoid duplicates.
+    let sig_ok = super::signature_is_concrete(&comp.sig, &mut Vec::new());
+    if !super::body_is_concrete(comp, errors) || !sig_ok {
+        return;
+    }
     let sig = &comp.sig;
     let cname = sig.name.clone();
     let env = SigEnv::new(sig);
@@ -72,6 +72,7 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                 component,
                 params,
             } => {
+                let name = &name.base;
                 if !defined.insert(name.clone()) {
                     err(
                         errors,
@@ -96,6 +97,19 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                     );
                     continue;
                 }
+                if !super::signature_is_concrete(callee, &mut Vec::new()) {
+                    // The callee reports its own diagnostics; here we only
+                    // refuse to reason about symbolic intervals.
+                    err(
+                        errors,
+                        ErrorKind::Unelaborated,
+                        format!(
+                            "instance {name} instantiates {component}, whose signature \
+                             contains unelaborated parameter arithmetic"
+                        ),
+                    );
+                    continue;
+                }
                 if params.len() != callee.params.len() {
                     err(
                         errors,
@@ -109,8 +123,8 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                     continue;
                 }
                 for p in params {
-                    if let ConstExpr::Param(q) = p {
-                        if !sig.params.contains(q) {
+                    for q in p.params() {
+                        if !sig.params.contains(&q) {
                             err(
                                 errors,
                                 ErrorKind::Binding,
@@ -140,6 +154,8 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                 events,
                 ..
             } => {
+                let name = &name.base;
+                let instance = &instance.base;
                 if !defined.insert(name.clone()) {
                     err(
                         errors,
@@ -203,6 +219,8 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                 uses.entry(instance.clone()).or_default().push(name.clone());
             }
             Command::Connect { .. } => {}
+            // Ruled out by the concreteness pre-pass.
+            Command::ForGen { .. } => {}
         }
     }
 
@@ -223,7 +241,7 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
             }
             Port::Inv { invocation, port } => {
                 let inv = invokes
-                    .get(invocation)
+                    .get(&invocation.base)
                     .ok_or_else(|| format!("unknown invocation {invocation}"))?;
                 let info = &instances[&inv.instance];
                 let def = info
@@ -237,7 +255,7 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                     })?;
                 Ok((
                     Avail::Range(def.liveness.subst(&inv.binding)),
-                    subst_width(&def.width, &info.params),
+                    def.width.subst_exprs(&info.params),
                 ))
             }
         }
@@ -271,8 +289,8 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                        errors: &mut Vec<CheckError>| {
         if let Port::Lit(n) = port {
             // A literal adapts to the required width if it fits.
-            if let ConstExpr::Lit(w) = want {
-                if *w < 64 && *n >= (1u64 << w) {
+            if let ConstExpr::Lit(w) = want.norm() {
+                if w < 64 && *n >= (1u64 << w) {
                     errors.push(CheckError::new(
                         cname.clone(),
                         ErrorKind::Width,
@@ -282,7 +300,9 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
             }
             return;
         }
-        if have != want {
+        // Compare normalized forms so closed arithmetic (`2*16`) agrees
+        // with its value (`32`); symbolic widths must match structurally.
+        if have.norm() != want.norm() {
             errors.push(CheckError::new(
                 cname.clone(),
                 ErrorKind::Width,
@@ -302,7 +322,10 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                 args,
                 ..
             } => {
-                let (Some(inv), Some(info)) = (invokes.get(name), instances.get(instance)) else {
+                let name = &name.base;
+                let (Some(inv), Some(info)) =
+                    (invokes.get(name), instances.get(&instance.base))
+                else {
                     continue;
                 };
                 if args.len() != info.sig.inputs.len() {
@@ -320,7 +343,7 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                 }
                 for (arg, pdef) in args.iter().zip(&info.sig.inputs) {
                     let req = pdef.liveness.subst(&inv.binding);
-                    let want = subst_width(&pdef.width, &info.params);
+                    let want = pdef.width.subst_exprs(&info.params);
                     let site = format!("{name}.{} (argument {arg})", pdef.name);
                     match avail_of(arg) {
                         Ok((avail, have)) => {
@@ -400,6 +423,7 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                 }
             }
             Command::Instance { .. } => {}
+            Command::ForGen { .. } => {}
         }
     }
 
@@ -438,7 +462,7 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
         let d = first.delay.subst(&inv.binding);
         match d.as_const() {
             Some(d) if d >= 0 => {
-                busy.insert(name.clone(), (start.event.clone(), start.offset, d as u64));
+                busy.insert(name.clone(), (start.event.clone(), start.off(), d as u64));
             }
             Some(d) => err(
                 errors,

@@ -2,10 +2,10 @@
 //!
 //! Checking proceeds in two phases, mirroring the paper:
 //!
-//! 1. **Signature checking** ([`sig`]): binding hygiene, `where`-clause
+//! 1. **Signature checking** (`sig`): binding hygiene, `where`-clause
 //!    consistency, interval well-formedness, and *delay well-formedness*
 //!    (Section 4.1: an event's delay covers every interval that mentions it).
-//! 2. **Body checking** ([`body`]): valid reads (availability ⊇ requirement,
+//! 2. **Body checking** (`body`): valid reads (availability ⊇ requirement,
 //!    Section 4.2), conflict-free instance reuse via disjoint busy intervals
 //!    (the separating split of Section 6.2), safe pipelining (Section 4.4:
 //!    subcomponent delays, shared-instance completion, single-event sharing),
@@ -18,7 +18,7 @@
 mod body;
 mod sig;
 
-use crate::ast::{Id, Program};
+use crate::ast::{Command, Component, Delay, Id, Program, Signature, Time};
 use std::fmt;
 
 /// The category of a type error — stable across message wording, so tests
@@ -45,6 +45,10 @@ pub enum ErrorKind {
     Constraint,
     /// The obligation falls outside the supported difference-logic fragment.
     Unsupported,
+    /// The component still contains generate constructs (`for` loops,
+    /// indexed names, or symbolic parameter arithmetic in time offsets);
+    /// run [`crate::mono::expand`] before checking.
+    Unelaborated,
 }
 
 impl fmt::Display for ErrorKind {
@@ -59,6 +63,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Phantom => "phantom event",
             ErrorKind::Constraint => "constraint",
             ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Unelaborated => "unelaborated generate construct",
         };
         write!(f, "{s}")
     }
@@ -98,6 +103,108 @@ impl fmt::Display for CheckError {
 }
 
 impl std::error::Error for CheckError {}
+
+/// The checker operates on *elaborated* programs — concrete time offsets,
+/// flat names, no `for`-generate loops. These pre-passes report anything
+/// [`crate::mono::expand`] would have removed, so the main passes can rely
+/// on concrete offsets ([`Time::off`]) without panicking.
+fn concrete_time(t: &Time, site: &str, comp: &Id, errors: &mut Vec<CheckError>) -> bool {
+    if t.offset_val().is_some() {
+        true
+    } else {
+        errors.push(CheckError::new(
+            comp.clone(),
+            ErrorKind::Unelaborated,
+            format!("{site}: time offset {t} mentions parameters; run mono::expand first"),
+        ));
+        false
+    }
+}
+
+/// Checks every time in a signature for concreteness.
+pub(crate) fn signature_is_concrete(sig: &Signature, errors: &mut Vec<CheckError>) -> bool {
+    let comp = &sig.name;
+    let mut ok = true;
+    for p in sig.inputs.iter().chain(&sig.outputs) {
+        let site = format!("port {}", p.name);
+        ok &= concrete_time(&p.liveness.start, &site, comp, errors);
+        ok &= concrete_time(&p.liveness.end, &site, comp, errors);
+    }
+    for ev in &sig.events {
+        if let Delay::Diff(a, b) = &ev.delay {
+            let site = format!("delay of event {}", ev.name);
+            ok &= concrete_time(a, &site, comp, errors);
+            ok &= concrete_time(b, &site, comp, errors);
+        }
+    }
+    for c in &sig.constraints {
+        ok &= concrete_time(&c.lhs, "where clause", comp, errors);
+        ok &= concrete_time(&c.rhs, "where clause", comp, errors);
+    }
+    ok
+}
+
+/// Checks a body for residual generate constructs: loops, indexed names,
+/// symbolic time offsets.
+pub(crate) fn body_is_concrete(comp: &Component, errors: &mut Vec<CheckError>) -> bool {
+    fn walk(cmds: &[Command], cname: &Id, errors: &mut Vec<CheckError>) -> bool {
+        let mut ok = true;
+        for cmd in cmds {
+            match cmd {
+                Command::ForGen { var, .. } => {
+                    errors.push(CheckError::new(
+                        cname.clone(),
+                        ErrorKind::Unelaborated,
+                        format!("for-generate loop over {var} not unrolled; run mono::expand first"),
+                    ));
+                    ok = false;
+                }
+                Command::Instance { name, .. } => {
+                    ok &= flat(&[name], cname, errors);
+                }
+                Command::Invoke {
+                    name,
+                    instance,
+                    events,
+                    args,
+                } => {
+                    ok &= flat(&[name, instance], cname, errors);
+                    for t in events {
+                        ok &= concrete_time(t, &format!("schedule of {name}"), cname, errors);
+                    }
+                    for a in args {
+                        if let crate::ast::Port::Inv { invocation, .. } = a {
+                            ok &= flat(&[invocation], cname, errors);
+                        }
+                    }
+                }
+                Command::Connect { dst, src } => {
+                    for p in [dst, src] {
+                        if let crate::ast::Port::Inv { invocation, .. } = p {
+                            ok &= flat(&[invocation], cname, errors);
+                        }
+                    }
+                }
+            }
+        }
+        ok
+    }
+    fn flat(names: &[&crate::ast::IName], cname: &Id, errors: &mut Vec<CheckError>) -> bool {
+        let mut ok = true;
+        for n in names {
+            if n.flat().is_none() {
+                errors.push(CheckError::new(
+                    cname.clone(),
+                    ErrorKind::Unelaborated,
+                    format!("indexed name {n} not flattened; run mono::expand first"),
+                ));
+                ok = false;
+            }
+        }
+        ok
+    }
+    walk(&comp.body, &comp.sig.name, errors)
+}
 
 /// Type-checks a whole program: every signature (including externs) and
 /// every user component body.

@@ -16,7 +16,9 @@ pub(crate) struct SigEnv {
 impl SigEnv {
     /// Builds the environment for a signature. Unknown events in constraints
     /// are reported by [`check_signature`]; here they are interned anyway so
-    /// entailment stays total.
+    /// entailment stays total. Callers run the concreteness pre-pass
+    /// ([`super::signature_is_concrete`]) first, so constraint offsets are
+    /// evaluable.
     pub fn new(sig: &Signature) -> Self {
         let mut solver = DiffSolver::new();
         for ev in &sig.events {
@@ -26,7 +28,7 @@ impl SigEnv {
             let l = solver.var(&c.lhs.event);
             let r = solver.var(&c.rhs.event);
             // lhs.event + lhs.off  OP  rhs.event + rhs.off
-            let base = c.rhs.offset as i64 - c.lhs.offset as i64;
+            let base = c.rhs.off() as i64 - c.lhs.off() as i64;
             match c.op {
                 ConstraintOp::Gt => solver.assume(l, r, base + 1),
                 ConstraintOp::Ge => solver.assume(l, r, base),
@@ -77,6 +79,11 @@ impl SigEnv {
 
 /// Checks one signature, pushing diagnostics into `errors`.
 pub(crate) fn check_signature(sig: &Signature, is_extern: bool, errors: &mut Vec<CheckError>) {
+    // Temporal checks need concrete offsets; generate-time arithmetic must
+    // have been discharged by mono::expand.
+    if !super::signature_is_concrete(sig, errors) {
+        return;
+    }
     let comp = sig.name.clone();
     let err = |errors: &mut Vec<CheckError>, kind, msg: String| {
         errors.push(CheckError::new(comp.clone(), kind, msg));
@@ -162,8 +169,8 @@ pub(crate) fn check_signature(sig: &Signature, is_extern: bool, errors: &mut Vec
     for p in sig.inputs.iter().chain(&sig.outputs) {
         check_time(&p.liveness.start, &format!("port {}", p.name), errors);
         check_time(&p.liveness.end, &format!("port {}", p.name), errors);
-        if let crate::ast::ConstExpr::Param(w) = &p.width {
-            if !params.contains(w) {
+        for w in p.width.params() {
+            if !params.contains(&w) {
                 err(
                     errors,
                     ErrorKind::Binding,

@@ -16,11 +16,50 @@
 //!
 //! | Module | Paper section | Contents |
 //! |--------|---------------|----------|
-//! | [`ast`] | §3, §6 (Fig 7a) | components, events, intervals, invocations |
+//! | [`ast`] | §3, §6 (Fig 7a) | components, events, intervals, invocations, const exprs |
 //! | [`parser`] | §3 | lexer + recursive-descent parser for the surface syntax |
+//! | [`mono`] | §3.3 | parameter arithmetic, `for`-generate unrolling, monomorphization |
 //! | [`check`] | §4, App A.3 | bind / interval / delay / safe-pipelining / phantom checks |
 //! | [`sem`] | §6, App A | log-based semantics, Def 6.1/6.2, soundness testing |
 //! | [`lower`] | §5 | Low Filament, FSM generation, guard synthesis, Calyx emission |
+//!
+//! # The generate sublanguage
+//!
+//! Components are *generators*: const parameters (`comp Systolic[N, W]`)
+//! appear in arbitrary arithmetic (`+ - * / %`, `pow2`, `log2`) wherever a
+//! width or parameter is expected, and `for i in lo..hi { ... }` repeats
+//! instantiations/invocations/connections with the loop variable usable in
+//! parameter positions, name indices (`pe[i][j]`), and time offsets
+//! (`<G+i>`). The [`mono`] stage elaborates a parametric program into a
+//! concrete one — resolving the arithmetic, unrolling the loops, and
+//! instantiating each `(component, params)` pair exactly once — after which
+//! checking and lowering run unchanged:
+//!
+//! ```
+//! use filament_core::{check_program, mono, parse_program};
+//!
+//! let program = parse_program(
+//!     "extern comp Delay[W]<G: 1>(@[G, G+1] in: W) -> (@[G+1, G+2] out: W);
+//!
+//!      // A depth-D delay line: stage i runs at G+i.
+//!      comp Chain[W, D]<G: 1>(@[G, G+1] in: W) -> (@[G+D, G+(D+1)] out: W) {
+//!        s[0] := new Delay[W]<G>(in);
+//!        for i in 1..D {
+//!          s[i] := new Delay[W]<G+i>(s[i-1].out);
+//!        }
+//!        out = s[D-1].out;
+//!      }
+//!
+//!      comp Main<G: 1>(@[G, G+1] x: 16) -> (@[G+4, G+5] o: 16) {
+//!        c := new Chain[16, 4]<G>(x);
+//!        o = c.out;
+//!      }",
+//! )?;
+//! let expanded = mono::expand(&program)?;
+//! assert!(expanded.component("Chain_16_4").is_some());
+//! check_program(&expanded).map_err(|e| format!("{e:?}"))?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 //!
 //! # Examples
 //!
@@ -57,6 +96,7 @@
 pub mod ast;
 pub mod check;
 pub mod lower;
+pub mod mono;
 pub mod parser;
 pub mod pretty;
 pub mod sem;
@@ -64,5 +104,6 @@ pub mod sem;
 pub use ast::{Component, Program, Signature};
 pub use check::{check_component, check_program, CheckError};
 pub use lower::{lower_program, PrimitiveRegistry};
+pub use mono::{expand, expand_with_stats, MonoError, MonoStats};
 pub use parser::{parse_program, ParseError};
 pub use sem::{component_log, safe_pipelining_horizon, Log, LogViolation};

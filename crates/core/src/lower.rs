@@ -59,8 +59,23 @@ pub enum LowerError {
     },
     /// A width or parameter did not evaluate to a constant.
     NonConstant {
+        /// The enclosing component.
+        component: String,
         /// Where it happened.
         site: String,
+        /// The unresolved parameter, when the failure is an unbound
+        /// parameter (as opposed to an arithmetic error).
+        param: Option<String>,
+        /// The underlying evaluation failure.
+        cause: String,
+    },
+    /// The component still contains generate constructs; run
+    /// [`crate::mono::expand`] before lowering.
+    Unelaborated {
+        /// The enclosing component.
+        component: String,
+        /// The residual construct.
+        construct: String,
     },
     /// The program is not well-typed in a way lowering relies on; run the
     /// checker first.
@@ -81,9 +96,33 @@ impl fmt::Display for LowerError {
                 f,
                 "extern {name}: port {port} does not exist on the registered primitive"
             ),
-            LowerError::NonConstant { site } => {
-                write!(f, "{site} does not evaluate to a constant")
+            LowerError::NonConstant {
+                component,
+                site,
+                param,
+                cause,
+            } => {
+                write!(
+                    f,
+                    "in component {component}: {site} does not evaluate to a constant ({cause})"
+                )?;
+                if let Some(p) = param {
+                    write!(
+                        f,
+                        " — parameter {p} is unresolved; monomorphize the program first \
+                         (mono::expand / `filament expand`)"
+                    )?;
+                }
+                Ok(())
             }
+            LowerError::Unelaborated {
+                component,
+                construct,
+            } => write!(
+                f,
+                "in component {component}: {construct} was not elaborated; run mono::expand \
+                 (`filament expand`) before lowering"
+            ),
             LowerError::IllTyped { detail } => {
                 write!(f, "program is not well-typed: {detail} (run the checker first)")
             }
@@ -111,11 +150,42 @@ pub fn lower_program(
     Ok(out)
 }
 
-fn const_eval(e: &ConstExpr, site: &str) -> Result<u64, LowerError> {
-    match e {
-        ConstExpr::Lit(n) => Ok(*n),
-        ConstExpr::Param(_) => Err(LowerError::NonConstant { site: site.into() }),
-    }
+fn const_eval(e: &ConstExpr, component: &str, site: &str) -> Result<u64, LowerError> {
+    const_eval_env(e, &HashMap::new(), component, site)
+}
+
+fn const_eval_env(
+    e: &ConstExpr,
+    env: &HashMap<Id, u64>,
+    component: &str,
+    site: &str,
+) -> Result<u64, LowerError> {
+    e.eval(env).map_err(|cause| LowerError::NonConstant {
+        component: component.into(),
+        site: site.into(),
+        param: match &cause {
+            crate::ast::ConstEvalError::Unbound(p) => Some(p.clone()),
+            crate::ast::ConstEvalError::Arith(_) => None,
+        },
+        cause: cause.to_string(),
+    })
+}
+
+/// The concrete offset of a time, or a [`LowerError::Unelaborated`] naming
+/// the residual construct.
+fn time_off(t: &Time, component: &str, site: &str) -> Result<u64, LowerError> {
+    t.offset_val().ok_or_else(|| LowerError::Unelaborated {
+        component: component.into(),
+        construct: format!("symbolic time offset {t} in {site}"),
+    })
+}
+
+/// The flat identifier of a name, or an error if it still carries indices.
+fn flat_name<'n>(n: &'n crate::ast::IName, component: &str) -> Result<&'n Id, LowerError> {
+    n.flat().ok_or_else(|| LowerError::Unelaborated {
+        component: component.into(),
+        construct: format!("indexed name {n}"),
+    })
 }
 
 fn lower_component(
@@ -133,6 +203,17 @@ fn lower_component(
         .component(name)
         .ok_or_else(|| LowerError::UnknownComponent(name.to_owned()))?;
     let sig = &comp.sig;
+    // Generate loops must have been unrolled by mono::expand.
+    if let Some(Command::ForGen { var, .. }) = comp
+        .body
+        .iter()
+        .find(|c| matches!(c, Command::ForGen { .. }))
+    {
+        return Err(LowerError::Unelaborated {
+            component: name.to_owned(),
+            construct: format!("for-generate loop over {var}"),
+        });
+    }
     let mut c = cl::Component::new(name);
 
     for iface in &sig.interfaces {
@@ -141,13 +222,13 @@ fn lower_component(
     for p in &sig.inputs {
         c.add_input(
             p.name.clone(),
-            const_eval(&p.width, &format!("width of {}.{}", name, p.name))? as u32,
+            const_eval(&p.width, name, &format!("width of port {}", p.name))? as u32,
         );
     }
     for p in &sig.outputs {
         c.add_output(
             p.name.clone(),
-            const_eval(&p.width, &format!("width of {}.{}", name, p.name))? as u32,
+            const_eval(&p.width, name, &format!("width of port {}", p.name))? as u32,
         );
     }
 
@@ -166,12 +247,13 @@ fn lower_component(
             params,
         } = cmd
         {
+            let iname = flat_name(iname, name)?;
             let callee = program
                 .sig(component)
                 .ok_or_else(|| LowerError::UnknownComponent(component.clone()))?;
             let values: Vec<u64> = params
                 .iter()
-                .map(|p| const_eval(p, &format!("parameter of instance {iname}")))
+                .map(|p| const_eval(p, name, &format!("parameter of instance {iname}")))
                 .collect::<Result<_, _>>()?;
             if program.is_extern(component) {
                 if let Some(kind) = registry.primitive(component, &values) {
@@ -270,6 +352,8 @@ fn lower_component(
         else {
             continue;
         };
+        let iname = flat_name(iname, name)?;
+        let instance = flat_name(instance, name)?;
         let inst = insts.get(instance).ok_or_else(|| LowerError::IllTyped {
             detail: format!("unknown instance {instance}"),
         })?;
@@ -289,7 +373,8 @@ fn lower_component(
         for ev in &inst.sig.events {
             if inst.sig.interface_of(&ev.name).is_some() {
                 let t = &binding[&ev.name];
-                note_state(&mut max_state, &t.event, t.offset);
+                let off = time_off(t, name, &format!("schedule of invocation {iname}"))?;
+                note_state(&mut max_state, &t.event, off);
             }
         }
         // Data-arg guards: states start..end-1 of the required interval.
@@ -302,8 +387,10 @@ fn lower_component(
                     ),
                 });
             }
-            if req.end.offset > 0 {
-                note_state(&mut max_state, &req.start.event, req.end.offset - 1);
+            let site = format!("requirement of invocation {iname}");
+            let end = time_off(&req.end, name, &site)?;
+            if end > 0 {
+                note_state(&mut max_state, &req.start.event, end - 1);
             }
         }
         invs.insert(
@@ -338,7 +425,7 @@ fn lower_component(
         match p {
             Port::This(name) => cl::Src::this(name.clone()),
             Port::Inv { invocation, port } => {
-                let inst = &invs[invocation].instance;
+                let inst = &invs[&invocation.base].instance;
                 cl::Src::port(cl::PortRef::cell(inst.clone(), port.clone()))
             }
             Port::Lit(n) => cl::Src::konst(Value::from_u64(width, *n)),
@@ -363,10 +450,11 @@ fn lower_component(
                     ),
                 });
             }
+            let off = time_off(t, name, &format!("trigger of invocation {iname}"))?;
             triggers
                 .entry((inv.instance.clone(), iface.name.clone()))
                 .or_default()
-                .push(cl::PortRef::cell(fsm_name(&t.event), format!("_{}", t.offset)));
+                .push(cl::PortRef::cell(fsm_name(&t.event), format!("_{off}")));
         }
     }
     for ((inst, port), states) in triggers {
@@ -382,24 +470,29 @@ fn lower_component(
         let Command::Invoke { name: iname, args, .. } = cmd else {
             continue;
         };
+        let iname = flat_name(iname, name)?;
         let inv = &invs[iname];
         let inst = &insts[&inv.instance];
         for (arg, pdef) in args.iter().zip(&inst.sig.inputs) {
             let req = pdef.liveness.subst(&inv.binding);
-            let width = match pdef.width.subst(&inst.params) {
-                ConstExpr::Lit(w) => w as u32,
-                ConstExpr::Param(p) => {
-                    return Err(LowerError::NonConstant {
-                        site: format!("width parameter {p} of invocation {iname}"),
-                    })
-                }
-            };
+            let width = const_eval_env(
+                &pdef.width,
+                &inst.params,
+                name,
+                &format!("width of argument {} of invocation {iname}", pdef.name),
+            )? as u32;
+            if let Port::Inv { invocation, .. } = arg {
+                flat_name(invocation, name)?;
+            }
             let dst = cl::PortRef::cell(inv.instance.clone(), pdef.name.clone());
             let src = src_of(arg, width);
             if phantom.contains(req.start.event.as_str()) {
                 c.assign(dst, src);
             } else {
-                let states: Vec<cl::PortRef> = (req.start.offset..req.end.offset)
+                let site = format!("requirement of invocation {iname}");
+                let start = time_off(&req.start, name, &site)?;
+                let end = time_off(&req.end, name, &site)?;
+                let states: Vec<cl::PortRef> = (start..end)
                     .map(|i| cl::PortRef::cell(fsm_name(&req.start.event), format!("_{i}")))
                     .collect();
                 c.assign_guarded(dst, src, cl::Guard::Any(states));
@@ -417,9 +510,12 @@ fn lower_component(
                 detail: format!("connection target {dst} is not a component output"),
             });
         };
+        if let Port::Inv { invocation, .. } = src {
+            flat_name(invocation, name)?;
+        }
         let width = sig
             .output(dname)
-            .map(|p| const_eval(&p.width, "output width"))
+            .map(|p| const_eval(&p.width, name, &format!("width of output {dname}")))
             .transpose()?
             .unwrap_or(32) as u32;
         c.assign(cl::PortRef::this(dname.clone()), src_of(src, width));

@@ -1,0 +1,842 @@
+//! Monomorphization: elaborating a parametric Filament program into a
+//! concrete one.
+//!
+//! The paper's instantiation form `I := new C[p...]` (Section 3.3) threads
+//! const parameters through signatures; this module is the compilation
+//! stage that *discharges* them. Starting from every parameter-free
+//! component (the roots), [`expand`]:
+//!
+//! 1. **resolves parameter arithmetic** — every [`ConstExpr`] in widths,
+//!    instance parameters, name indices, and time offsets is evaluated
+//!    under the parameter environment,
+//! 2. **unrolls `for`-generate loops** — `for i in lo..hi { ... }` bodies
+//!    are repeated once per iteration with the loop variable bound, and
+//!    indexed names (`pe[i][j]`) are flattened to plain identifiers
+//!    (`pe_1_2`),
+//! 3. **monomorphizes instantiations** — each `(component, params)` pair is
+//!    elaborated exactly once through a content-keyed cache; `Process[32]`
+//!    instantiated from a hundred sites yields a single concrete
+//!    `Process_32` component.
+//!
+//! The output program contains the original externs (they stay parametric;
+//! the primitive registry consumes their parameter *values* during
+//! lowering) plus only concrete components, so the existing
+//! checking/lowering pipeline runs on it unchanged. Expansion is
+//! idempotent: expanding an already-concrete program reproduces it.
+//!
+//! Recursive generators (a component instantiating itself at *smaller*
+//! parameters) are supported up to a fixed elaboration depth; instantiating
+//! the exact same `(component, params)` key while it is still being
+//! elaborated is reported as divergence.
+
+use crate::ast::{
+    Command, Component, ConstEvalError, ConstExpr, Delay, EventDecl, Id, IName, Port, PortDef,
+    Program, Range, Signature, Time,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum depth of nested `(component, params)` elaborations: deep enough
+/// for any reasonable recursive generator, small enough to catch divergence
+/// quickly.
+const MAX_DEPTH: usize = 64;
+
+/// Ceiling on commands emitted per component, so a mistyped bound
+/// (`for i in 0..pow2(60)`) fails fast instead of exhausting memory.
+const MAX_COMMANDS: usize = 1 << 20;
+
+/// Elaboration statistics, chiefly for observing the monomorphization
+/// cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonoStats {
+    /// `(component, params)` instantiations answered from the cache.
+    pub cache_hits: u64,
+    /// Instantiations that required a fresh elaboration.
+    pub cache_misses: u64,
+    /// `for`-generate loops unrolled (counted once per syntactic loop per
+    /// enclosing elaboration).
+    pub loops_unrolled: u64,
+    /// Total concrete commands emitted across all elaborated components.
+    pub commands_emitted: u64,
+}
+
+/// Errors raised during monomorphization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonoError {
+    /// An instantiated component does not exist.
+    UnknownComponent {
+        /// The component being elaborated.
+        component: Id,
+        /// The missing callee.
+        callee: Id,
+    },
+    /// Two user components share a name (elaboration would silently merge
+    /// them).
+    DuplicateComponent(Id),
+    /// A constant expression failed to evaluate.
+    Eval {
+        /// The component being elaborated.
+        component: Id,
+        /// Where in the component.
+        site: String,
+        /// Why evaluation failed.
+        cause: ConstEvalError,
+    },
+    /// Parameter-count mismatch at an instantiation.
+    Arity {
+        /// The component being elaborated.
+        component: Id,
+        /// The callee.
+        callee: Id,
+        /// Parameters the callee declares.
+        want: usize,
+        /// Parameters supplied.
+        got: usize,
+    },
+    /// A loop variable shadows a component parameter or an enclosing loop
+    /// variable.
+    Shadow {
+        /// The component being elaborated.
+        component: Id,
+        /// The shadowing variable.
+        var: Id,
+    },
+    /// A `(component, params)` key was re-entered while still being
+    /// elaborated — an unboundedly recursive generator.
+    Recursive {
+        /// The diverging component.
+        component: Id,
+        /// The parameter values of the repeated key.
+        params: Vec<u64>,
+    },
+    /// Elaboration exceeded the nested-instantiation depth limit.
+    TooDeep {
+        /// The component that exceeded the limit.
+        component: Id,
+    },
+    /// A single component expanded past the command-count ceiling.
+    TooLarge {
+        /// The oversized component.
+        component: Id,
+    },
+}
+
+impl fmt::Display for MonoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonoError::UnknownComponent { component, callee } => {
+                write!(f, "in component {component}: unknown component {callee}")
+            }
+            MonoError::DuplicateComponent(name) => {
+                write!(f, "duplicate definition of component {name}")
+            }
+            MonoError::Eval {
+                component,
+                site,
+                cause,
+            } => write!(f, "in component {component}: {site}: {cause}"),
+            MonoError::Arity {
+                component,
+                callee,
+                want,
+                got,
+            } => write!(
+                f,
+                "in component {component}: {callee} takes {want} parameters, got {got}"
+            ),
+            MonoError::Shadow { component, var } => write!(
+                f,
+                "in component {component}: loop variable {var} shadows a parameter or an \
+                 enclosing loop variable"
+            ),
+            MonoError::Recursive { component, params } => write!(
+                f,
+                "component {component}[{}] recursively instantiates itself with the same \
+                 parameters",
+                params
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            MonoError::TooDeep { component } => write!(
+                f,
+                "elaborating {component} exceeds {MAX_DEPTH} nested instantiations"
+            ),
+            MonoError::TooLarge { component } => write!(
+                f,
+                "component {component} expands to more than {MAX_COMMANDS} commands"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MonoError {}
+
+/// Elaborates `program` into a concrete program: parameter arithmetic
+/// resolved, `for`-generate loops unrolled, and every instantiated
+/// `(component, params)` pair monomorphized exactly once.
+///
+/// Every parameter-free user component is treated as a root and kept under
+/// its own name; monomorphized instances are named `C_v0_v1`; parametric
+/// components that are never instantiated are dropped. Externs pass through
+/// untouched (their parameter values are resolved to literals at each
+/// instantiation site).
+///
+/// # Errors
+///
+/// Returns a [`MonoError`] naming the component and site of the failure.
+///
+/// # Examples
+///
+/// ```
+/// use filament_core::{mono, parse_program};
+///
+/// let p = parse_program(
+///     "extern comp Delay[W]<G: 1>(@[G, G+1] in: W) -> (@[G+1, G+2] out: W);
+///      comp Chain[W, D]<G: 1>(@[G, G+1] in: W) -> (@[G+D, G+(D+1)] out: W) {
+///        s[0] := new Delay[W]<G>(in);
+///        for i in 1..D {
+///          s[i] := new Delay[W]<G+i>(s[i-1].out);
+///        }
+///        out = s[D-1].out;
+///      }
+///      comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G+3, G+4] o: 8) {
+///        c := new Chain[8, 3]<G>(x);
+///        o = c.out;
+///      }",
+/// )?;
+/// let expanded = mono::expand(&p)?;
+/// // `Chain[8, 3]` became the concrete component `Chain_8_3` ...
+/// let chain = expanded.component("Chain_8_3").expect("monomorphized");
+/// assert_eq!(chain.sig.outputs[0].liveness.to_string(), "[G+3, G+4)");
+/// // ... with the loop unrolled into three flattened Delay stages.
+/// assert_eq!(
+///     chain.body.iter().filter(|c| matches!(c,
+///         filament_core::ast::Command::Instance { .. })).count(),
+///     3,
+/// );
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn expand(program: &Program) -> Result<Program, MonoError> {
+    expand_with_stats(program).map(|(p, _)| p)
+}
+
+/// Like [`expand`], also returning [`MonoStats`] (cache behavior, unroll
+/// counts).
+///
+/// # Errors
+///
+/// As [`expand`].
+pub fn expand_with_stats(program: &Program) -> Result<(Program, MonoStats), MonoError> {
+    let mut seen = std::collections::HashSet::new();
+    for comp in &program.components {
+        if !seen.insert(comp.sig.name.clone()) {
+            return Err(MonoError::DuplicateComponent(comp.sig.name.clone()));
+        }
+    }
+    // Every name already claimed by the source program: monomorph names
+    // must not collide with user components or externs (a user-written
+    // `Inner_8` next to `Inner[W]` instantiated at 8 would otherwise merge
+    // silently).
+    let taken = program
+        .components
+        .iter()
+        .map(|c| c.sig.name.clone())
+        .chain(program.externs.iter().map(|s| s.name.clone()))
+        .collect();
+    let mut m = Mono {
+        program,
+        out: Vec::new(),
+        cache: HashMap::new(),
+        stack: Vec::new(),
+        taken,
+        stats: MonoStats::default(),
+    };
+    for comp in &program.components {
+        if comp.sig.params.is_empty() {
+            m.instantiate(&comp.sig.name, Vec::new())?;
+        }
+    }
+    Ok((
+        Program {
+            externs: program.externs.clone(),
+            components: m.out,
+        },
+        m.stats,
+    ))
+}
+
+struct Mono<'p> {
+    program: &'p Program,
+    out: Vec<Component>,
+    /// `(component, params)` → concrete component name.
+    cache: HashMap<(Id, Vec<u64>), Id>,
+    /// Keys currently being elaborated (cycle detection).
+    stack: Vec<(Id, Vec<u64>)>,
+    /// Names already claimed (source components, externs, and emitted
+    /// monomorphs) — fresh monomorph names are disambiguated against this.
+    taken: std::collections::HashSet<Id>,
+    stats: MonoStats,
+}
+
+impl Mono<'_> {
+    /// Returns the concrete name for `component` instantiated at `values`,
+    /// elaborating it first unless cached.
+    fn instantiate(&mut self, component: &str, values: Vec<u64>) -> Result<Id, MonoError> {
+        let key = (component.to_owned(), values.clone());
+        if let Some(name) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return Ok(name.clone());
+        }
+        self.stats.cache_misses += 1;
+        if self.stack.contains(&key) {
+            return Err(MonoError::Recursive {
+                component: component.to_owned(),
+                params: values,
+            });
+        }
+        if self.stack.len() >= MAX_DEPTH {
+            return Err(MonoError::TooDeep {
+                component: component.to_owned(),
+            });
+        }
+        let comp = self
+            .program
+            .component(component)
+            .ok_or_else(|| MonoError::UnknownComponent {
+                component: self
+                    .stack
+                    .last()
+                    .map(|(c, _)| c.clone())
+                    .unwrap_or_default(),
+                callee: component.to_owned(),
+            })?;
+        if values.len() != comp.sig.params.len() {
+            return Err(MonoError::Arity {
+                component: self
+                    .stack
+                    .last()
+                    .map(|(c, _)| c.clone())
+                    .unwrap_or_else(|| component.to_owned()),
+                callee: component.to_owned(),
+                want: comp.sig.params.len(),
+                got: values.len(),
+            });
+        }
+        let mono_name = if values.is_empty() {
+            // Roots keep their own (already claimed) name.
+            component.to_owned()
+        } else {
+            let mut n = component.to_owned();
+            for v in &values {
+                n.push('_');
+                n.push_str(&v.to_string());
+            }
+            // Disambiguate against user-written components/externs and
+            // previously emitted monomorphs.
+            while self.taken.contains(&n) {
+                n.push('_');
+            }
+            self.taken.insert(n.clone());
+            n
+        };
+        self.stack.push(key.clone());
+        let env: HashMap<Id, u64> = comp
+            .sig
+            .params
+            .iter()
+            .cloned()
+            .zip(values.iter().copied())
+            .collect();
+        let sig = self.elab_sig(&comp.sig, &env, &mono_name)?;
+        let mut env = env;
+        let mut body = Vec::new();
+        self.elab_commands(&comp.body, &mut env, &comp.sig.name, &mut body)?;
+        self.stack.pop();
+        self.stats.commands_emitted += body.len() as u64;
+        self.out.push(Component { sig, body });
+        self.cache.insert(key, mono_name.clone());
+        Ok(mono_name)
+    }
+
+    fn eval(
+        &self,
+        e: &ConstExpr,
+        env: &HashMap<Id, u64>,
+        component: &str,
+        site: &str,
+    ) -> Result<u64, MonoError> {
+        e.eval(env).map_err(|cause| MonoError::Eval {
+            component: component.to_owned(),
+            site: site.to_owned(),
+            cause,
+        })
+    }
+
+    fn elab_time(
+        &self,
+        t: &Time,
+        env: &HashMap<Id, u64>,
+        component: &str,
+        site: &str,
+    ) -> Result<Time, MonoError> {
+        Ok(Time::new(
+            t.event.clone(),
+            self.eval(&t.offset, env, component, site)?,
+        ))
+    }
+
+    fn elab_range(
+        &self,
+        r: &Range,
+        env: &HashMap<Id, u64>,
+        component: &str,
+        site: &str,
+    ) -> Result<Range, MonoError> {
+        Ok(Range::new(
+            self.elab_time(&r.start, env, component, site)?,
+            self.elab_time(&r.end, env, component, site)?,
+        ))
+    }
+
+    fn elab_sig(
+        &self,
+        sig: &Signature,
+        env: &HashMap<Id, u64>,
+        mono_name: &str,
+    ) -> Result<Signature, MonoError> {
+        let cname = &sig.name;
+        let port = |p: &PortDef, dir: &str| -> Result<PortDef, MonoError> {
+            let site = format!("width of {dir} port {}", p.name);
+            Ok(PortDef {
+                name: p.name.clone(),
+                liveness: self.elab_range(
+                    &p.liveness,
+                    env,
+                    cname,
+                    &format!("liveness of {dir} port {}", p.name),
+                )?,
+                width: ConstExpr::Lit(self.eval(&p.width, env, cname, &site)?),
+            })
+        };
+        Ok(Signature {
+            name: mono_name.to_owned(),
+            params: Vec::new(),
+            events: sig
+                .events
+                .iter()
+                .map(|e| {
+                    let site = format!("delay of event {}", e.name);
+                    let delay = match &e.delay {
+                        Delay::Const(n) => Delay::Const(*n),
+                        Delay::Diff(a, b) => Delay::Diff(
+                            self.elab_time(a, env, cname, &site)?,
+                            self.elab_time(b, env, cname, &site)?,
+                        ),
+                    };
+                    Ok(EventDecl {
+                        name: e.name.clone(),
+                        delay,
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+            interfaces: sig.interfaces.clone(),
+            inputs: sig
+                .inputs
+                .iter()
+                .map(|p| port(p, "input"))
+                .collect::<Result<_, _>>()?,
+            outputs: sig
+                .outputs
+                .iter()
+                .map(|p| port(p, "output"))
+                .collect::<Result<_, _>>()?,
+            constraints: sig
+                .constraints
+                .iter()
+                .map(|c| {
+                    Ok(crate::ast::OrderConstraint {
+                        lhs: self.elab_time(&c.lhs, env, cname, "where clause")?,
+                        op: c.op,
+                        rhs: self.elab_time(&c.rhs, env, cname, "where clause")?,
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    fn elab_name(
+        &self,
+        n: &IName,
+        env: &HashMap<Id, u64>,
+        component: &str,
+    ) -> Result<IName, MonoError> {
+        n.mangle(env)
+            .map(IName::plain)
+            .map_err(|cause| MonoError::Eval {
+                component: component.to_owned(),
+                site: format!("index of {n}"),
+                cause,
+            })
+    }
+
+    fn elab_port(
+        &self,
+        p: &Port,
+        env: &HashMap<Id, u64>,
+        component: &str,
+    ) -> Result<Port, MonoError> {
+        Ok(match p {
+            Port::This(name) => Port::This(name.clone()),
+            Port::Lit(n) => Port::Lit(*n),
+            Port::Inv { invocation, port } => Port::Inv {
+                invocation: self.elab_name(invocation, env, component)?,
+                port: port.clone(),
+            },
+        })
+    }
+
+    fn elab_commands(
+        &mut self,
+        cmds: &[Command],
+        env: &mut HashMap<Id, u64>,
+        component: &str,
+        out: &mut Vec<Command>,
+    ) -> Result<(), MonoError> {
+        for cmd in cmds {
+            if out.len() >= MAX_COMMANDS {
+                return Err(MonoError::TooLarge {
+                    component: component.to_owned(),
+                });
+            }
+            match cmd {
+                Command::Instance {
+                    name,
+                    component: callee,
+                    params,
+                } => {
+                    let name = self.elab_name(name, env, component)?;
+                    let values: Vec<u64> = params
+                        .iter()
+                        .map(|p| {
+                            self.eval(p, env, component, &format!("parameter of instance {name}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if self.program.is_extern(callee) {
+                        // Externs stay parametric; resolve the values so the
+                        // lowering registry sees literals.
+                        out.push(Command::Instance {
+                            name,
+                            component: callee.clone(),
+                            params: values.into_iter().map(ConstExpr::Lit).collect(),
+                        });
+                    } else {
+                        let mono_name = self.instantiate(callee, values)?;
+                        out.push(Command::Instance {
+                            name,
+                            component: mono_name,
+                            params: Vec::new(),
+                        });
+                    }
+                }
+                Command::Invoke {
+                    name,
+                    instance,
+                    events,
+                    args,
+                } => {
+                    let name = self.elab_name(name, env, component)?;
+                    let site = format!("schedule of invocation {name}");
+                    out.push(Command::Invoke {
+                        instance: self.elab_name(instance, env, component)?,
+                        events: events
+                            .iter()
+                            .map(|t| self.elab_time(t, env, component, &site))
+                            .collect::<Result<_, _>>()?,
+                        args: args
+                            .iter()
+                            .map(|a| self.elab_port(a, env, component))
+                            .collect::<Result<_, _>>()?,
+                        name,
+                    });
+                }
+                Command::Connect { dst, src } => {
+                    out.push(Command::Connect {
+                        dst: self.elab_port(dst, env, component)?,
+                        src: self.elab_port(src, env, component)?,
+                    });
+                }
+                Command::ForGen { var, lo, hi, body } => {
+                    let lo = self.eval(lo, env, component, "loop lower bound")?;
+                    let hi = self.eval(hi, env, component, "loop upper bound")?;
+                    if env.contains_key(var) {
+                        return Err(MonoError::Shadow {
+                            component: component.to_owned(),
+                            var: var.clone(),
+                        });
+                    }
+                    self.stats.loops_unrolled += 1;
+                    for i in lo..hi {
+                        env.insert(var.clone(), i);
+                        self.elab_commands(body, env, component, out)?;
+                    }
+                    env.remove(var);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const DELAY_EXT: &str =
+        "extern comp Delay[W]<G: 1>(@[G, G+1] in: W) -> (@[G+1, G+2] out: W);";
+
+    fn expand_src(src: &str) -> Result<(Program, MonoStats), MonoError> {
+        expand_with_stats(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn concrete_programs_expand_to_themselves() {
+        let p = parse_program(&format!(
+            "{DELAY_EXT}
+             comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G+1, G+2] o: 8) {{
+               d := new Delay[8]<G>(x);
+               o = d.out;
+             }}"
+        ))
+        .unwrap();
+        let (q, stats) = expand_with_stats(&p).unwrap();
+        assert_eq!(p, q, "expansion is the identity on concrete programs");
+        let (r, _) = expand_with_stats(&q).unwrap();
+        assert_eq!(q, r, "expansion is idempotent");
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.loops_unrolled, 0);
+    }
+
+    #[test]
+    fn loop_unrolls_to_hand_written_form() {
+        let looped = expand_src(&format!(
+            "{DELAY_EXT}
+             comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G+2, G+3] o: 8) {{
+               s[0] := new Delay[8]<G>(x);
+               for i in 1..2 {{
+                 s[i] := new Delay[8]<G+i>(s[i-1].out);
+               }}
+               o = s[1].out;
+             }}"
+        ))
+        .unwrap()
+        .0;
+        let hand = parse_program(&format!(
+            "{DELAY_EXT}
+             comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G+2, G+3] o: 8) {{
+               s_0 := new Delay[8]<G>(x);
+               s_1 := new Delay[8]<G+1>(s_0.out);
+               o = s_1.out;
+             }}"
+        ))
+        .unwrap();
+        assert_eq!(looped, hand);
+    }
+
+    #[test]
+    fn cache_deduplicates_instantiations() {
+        let (p, stats) = expand_src(&format!(
+            "{DELAY_EXT}
+             comp Inner[W]<G: 1>(@[G, G+1] x: W) -> (@[G+1, G+2] o: W) {{
+               d := new Delay[W]<G>(x);
+               o = d.out;
+             }}
+             comp A<G: 1>(@[G, G+1] x: 8) -> (@[G+1, G+2] o: 8) {{
+               i := new Inner[8]<G>(x);
+               o = i.o;
+             }}
+             comp B<G: 1>(@[G, G+1] x: 8) -> (@[G+1, G+2] o: 8) {{
+               i := new Inner[8]<G>(x);
+               o = i.o;
+             }}"
+        ))
+        .unwrap();
+        let inners: Vec<_> = p
+            .components
+            .iter()
+            .filter(|c| c.sig.name.starts_with("Inner"))
+            .collect();
+        assert_eq!(inners.len(), 1, "one monomorphized copy");
+        assert_eq!(inners[0].sig.name, "Inner_8");
+        assert_eq!(stats.cache_hits, 1, "second instantiation was a hit");
+        // Different parameters yield a different copy.
+        let (p2, _) = expand_src(&format!(
+            "{DELAY_EXT}
+             comp Inner[W]<G: 1>(@[G, G+1] x: W) -> (@[G+1, G+2] o: W) {{
+               d := new Delay[W]<G>(x);
+               o = d.out;
+             }}
+             comp A<G: 1>(@[G, G+1] x: 8) -> (@[G+1, G+2] o: 8) {{
+               i := new Inner[8]<G>(x);
+               o = i.o;
+             }}
+             comp B<G: 1>(@[G, G+1] x: 16) -> (@[G+1, G+2] o: 16) {{
+               i := new Inner[16]<G>(x);
+               o = i.o;
+             }}"
+        ))
+        .unwrap();
+        assert!(p2.component("Inner_8").is_some());
+        assert!(p2.component("Inner_16").is_some());
+    }
+
+    #[test]
+    fn signature_arithmetic_is_resolved() {
+        let (p, _) = expand_src(
+            "comp Wide[N, W]<G: 1>(@[G, G+(N-1+1)] x: N*W) -> () { }
+             comp Main<G: 4>(@[G, G+4] x: 24) -> () {
+               w := new Wide[4, 6]<G>(x);
+             }",
+        )
+        .unwrap();
+        let wide = p.component("Wide_4_6").unwrap();
+        assert_eq!(wide.sig.inputs[0].width, ConstExpr::Lit(24));
+        assert_eq!(wide.sig.inputs[0].liveness.to_string(), "[G, G+4)");
+        // Parametric originals are dropped from the concrete program.
+        assert!(p.component("Wide").is_none());
+    }
+
+    #[test]
+    fn unused_parametric_components_are_dropped() {
+        let (p, _) = expand_src(
+            "comp Unused[W]<G: 1>(@[G, G+1] x: W) -> () { }
+             comp Main<G: 1>(@[G, G+1] x: 8) -> () { }",
+        )
+        .unwrap();
+        assert_eq!(p.components.len(), 1);
+        assert_eq!(p.components[0].sig.name, "Main");
+    }
+
+    #[test]
+    fn errors_name_component_and_site() {
+        // Unbound parameter in a root component.
+        let err = expand_src("comp Main<G: 1>(@[G, G+1] x: W) -> () { }").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("Main"), "{msg}");
+        assert!(msg.contains('W'), "{msg}");
+        // Division by zero in a loop bound.
+        let err = expand_src(
+            "comp Main<G: 1>(@[G, G+1] x: 8) -> () {
+               for i in 0..8/0 { }
+             }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MonoError::Eval { .. }), "{err}");
+        // Loop variable shadowing.
+        let err = expand_src(
+            "comp Main<G: 1>(@[G, G+1] x: 8) -> () {
+               for i in 0..2 { for i in 0..2 { } }
+             }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MonoError::Shadow { .. }), "{err}");
+        // Parameter arity.
+        let err = expand_src(
+            "comp Two[A, B]<G: 1>() -> () { }
+             comp Main<G: 1>() -> () { t := new Two[1]; }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MonoError::Arity { want: 2, got: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn same_key_recursion_is_divergence() {
+        let err = expand_src(
+            "comp Loop[N]<G: 1>() -> () { x := new Loop[N]; }
+             comp Main<G: 1>() -> () { l := new Loop[3]; }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MonoError::Recursive { .. }), "{err}");
+    }
+
+    #[test]
+    fn decreasing_recursion_elaborates() {
+        // A recursive generator: a depth-N unary chain.
+        let p = expand_src(&format!(
+            "{DELAY_EXT}
+             comp Rec[N]<G: 1>(@[G, G+1] x: 8) -> (@[G+N, G+(N+1)] o: 8) {{
+               d := new Delay[8]<G>(x);
+               r := new Rec[N-1]<G+1>(d.out);
+               o = r.o;
+             }}
+             comp Rec0<G: 1>(@[G, G+1] x: 8) -> (@[G, G+1] o: 8) {{ o = x; }}
+             comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G+2, G+3] o: 8) {{
+               r := new Rec[2]<G>(x);
+               o = r.o;
+             }}"
+        ))
+        .unwrap_err();
+        // Rec[0] still references Rec[-1]: underflow is reported, proving
+        // the recursion actually descended through distinct keys.
+        assert!(matches!(p, MonoError::Eval { .. }), "{p:?}");
+    }
+
+    #[test]
+    fn mono_names_dodge_user_components() {
+        // A user component literally named `Inner_8` must not be merged
+        // with the monomorph of `Inner[W]` at 8.
+        let (p, _) = expand_src(
+            "comp Inner[W]<G: 1>(@[G, G+1] x: W) -> () { }
+             comp Inner_8<G: 2>(@[G, G+2] y: 4) -> () { }
+             comp Main<G: 2>(@[G, G+1] x: 8, @[G, G+2] y: 4) -> () {
+               a := new Inner[8]<G>(x);
+               b := new Inner_8<G>(y);
+             }",
+        )
+        .unwrap();
+        // The user's Inner_8 survives untouched; the monomorph gets a
+        // disambiguated name that instance `a` references.
+        let user = p.component("Inner_8").unwrap();
+        assert_eq!(user.sig.inputs[0].name, "y");
+        let monomorph = p.component("Inner_8_").unwrap();
+        assert_eq!(monomorph.sig.inputs[0].name, "x");
+        assert_eq!(monomorph.sig.inputs[0].width, ConstExpr::Lit(8));
+        let main = p.component("Main").unwrap();
+        let callee_of = |inst: &str| {
+            main.body.iter().find_map(|c| match c {
+                Command::Instance { name, component, .. } if name.base == inst => {
+                    Some(component.clone())
+                }
+                _ => None,
+            })
+        };
+        assert_eq!(callee_of("a#inst").as_deref(), Some("Inner_8_"));
+        assert_eq!(callee_of("b#inst").as_deref(), Some("Inner_8"));
+        crate::check_program(&p).unwrap_or_else(|e| panic!("{e:#?}"));
+    }
+
+    #[test]
+    fn duplicate_components_are_rejected() {
+        let err = expand_src(
+            "comp A<G: 1>() -> () { }
+             comp A<G: 1>() -> () { }",
+        )
+        .unwrap_err();
+        assert_eq!(err, MonoError::DuplicateComponent("A".into()));
+    }
+
+    #[test]
+    fn empty_and_reversed_ranges_unroll_to_nothing() {
+        let (p, stats) = expand_src(
+            "comp Main<G: 1>(@[G, G+1] x: 8) -> () {
+               for i in 3..3 { d[i] := new Nope[8]; }
+               for i in 5..2 { d[i] := new Nope[8]; }
+             }",
+        )
+        .unwrap();
+        assert!(p.components[0].body.is_empty());
+        assert_eq!(stats.loops_unrolled, 2);
+    }
+}

@@ -11,16 +11,25 @@
 //! params     ::= "[" ident ("," ident)* "]"
 //! event      ::= ident ":" delay
 //! delay      ::= nat | time "-" ("(" time ")" | time)
-//! port       ::= "@interface" "[" ident "]" ident ":" width
-//!              | "@" "[" time "," time "]" ident ":" width
-//! command    ::= ident ":=" "new" ident args? invoke-sfx? ";"   (fused form)
-//!              | ident ":=" ident "<" time,* ">" "(" arg,* ")" ";"
+//! port       ::= "@interface" "[" ident "]" ident ":" cexpr
+//!              | "@" "[" time "," time "]" ident ":" cexpr
+//! command    ::= iname ":=" "new" ident cargs? invoke-sfx? ";"  (fused form)
+//!              | iname ":=" iname "<" time,* ">" "(" arg,* ")" ";"
 //!              | portref "=" portref ";"
-//! time       ::= ident ("+" nat)?
+//!              | "for" ident "in" cexpr ".." cexpr "{" command* "}"
+//! iname      ::= ident ("[" cexpr "]")*
+//! cargs      ::= "[" cexpr ("," cexpr)* "]"
+//! time       ::= ident ("+" cexpr)?
+//! cexpr      ::= cterm (("+" | "-") cterm)*
+//! cterm      ::= cfactor (("*" | "/" | "%") cfactor)*
+//! cfactor    ::= nat | ident | "pow2" "(" cexpr ")" | "log2" "(" cexpr ")"
+//!              | "(" cexpr ")"
 //! ```
 //!
 //! `x := new C[p]<G>(a)` is sugar for an instantiation plus an invocation
-//! (used throughout Section 7.2 and Appendix B.1 of the paper).
+//! (used throughout Section 7.2 and Appendix B.1 of the paper), and
+//! `for i in lo..hi { ... }` is the generate construct unrolled by
+//! [`crate::mono`].
 
 use crate::ast::*;
 use std::fmt;
@@ -67,7 +76,11 @@ enum Tok {
     Arrow,
     Plus,
     Minus,
+    Star,
+    Slash,
+    Percent,
     Dot,
+    DotDot,
     At,
     Eof,
 }
@@ -95,7 +108,11 @@ impl fmt::Display for Tok {
             Tok::Arrow => write!(f, "'->'"),
             Tok::Plus => write!(f, "'+'"),
             Tok::Minus => write!(f, "'-'"),
+            Tok::Star => write!(f, "'*'"),
+            Tok::Slash => write!(f, "'/'"),
+            Tok::Percent => write!(f, "'%'"),
             Tok::Dot => write!(f, "'.'"),
+            Tok::DotDot => write!(f, "'..'"),
             Tok::At => write!(f, "'@'"),
             Tok::Eof => write!(f, "end of input"),
         }
@@ -258,9 +275,28 @@ impl<'s> Lexer<'s> {
                 self.bump();
                 Tok::Plus
             }
+            b'*' => {
+                self.bump();
+                Tok::Star
+            }
+            // Comment forms were consumed by `skip_trivia`, so a surviving
+            // '/' is the division operator.
+            b'/' => {
+                self.bump();
+                Tok::Slash
+            }
+            b'%' => {
+                self.bump();
+                Tok::Percent
+            }
             b'.' => {
                 self.bump();
-                Tok::Dot
+                if self.peek_byte() == Some(b'.') {
+                    self.bump();
+                    Tok::DotDot
+                } else {
+                    Tok::Dot
+                }
             }
             b'@' => {
                 self.bump();
@@ -379,26 +415,93 @@ impl Parser {
         }
     }
 
-    fn number(&mut self) -> Result<u64, ParseError> {
-        match *self.peek() {
+    /// `cfactor ::= nat | ident | pow2/log2 "(" cexpr ")" | "(" cexpr ")"`
+    fn const_factor(&mut self) -> Result<ConstExpr, ParseError> {
+        match self.peek().clone() {
             Tok::Num(n) => {
                 self.bump();
-                Ok(n)
+                Ok(ConstExpr::Lit(n))
             }
-            ref other => Err(self.error(format!("expected number, found {other}"))),
+            Tok::LParen => {
+                self.bump();
+                let e = self.const_expr()?;
+                self.eat(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) if (name == "pow2" || name == "log2") && *self.peek2() == Tok::LParen => {
+                self.bump();
+                self.eat(Tok::LParen)?;
+                let e = self.const_expr()?;
+                self.eat(Tok::RParen)?;
+                Ok(if name == "pow2" {
+                    ConstExpr::Pow2(Box::new(e))
+                } else {
+                    ConstExpr::Log2(Box::new(e))
+                })
+            }
+            Tok::Ident(p) => {
+                self.bump();
+                Ok(ConstExpr::Param(p))
+            }
+            other => Err(self.error(format!("expected constant expression, found {other}"))),
         }
     }
 
-    /// `ident ("+" nat)?`
+    /// `cterm ::= cfactor (("*" | "/" | "%") cfactor)*`
+    fn const_term(&mut self) -> Result<ConstExpr, ParseError> {
+        let mut lhs = self.const_factor()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => ConstOp::Mul,
+                Tok::Slash => ConstOp::Div,
+                Tok::Percent => ConstOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.const_factor()?;
+            lhs = ConstExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    /// `cexpr ::= cterm (("+" | "-") cterm)*`
+    fn const_expr(&mut self) -> Result<ConstExpr, ParseError> {
+        let mut lhs = self.const_term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => ConstOp::Add,
+                Tok::Minus => ConstOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.const_term()?;
+            lhs = ConstExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    /// `ident ("[" cexpr "]")*`
+    fn iname(&mut self) -> Result<IName, ParseError> {
+        let base = self.ident()?;
+        let mut idx = Vec::new();
+        while *self.peek() == Tok::LBrack {
+            self.bump();
+            idx.push(self.const_expr()?);
+            self.eat(Tok::RBrack)?;
+        }
+        Ok(IName { base, idx })
+    }
+
+    /// `ident ("+" cterm)?` — the offset expression deliberately excludes
+    /// top-level `+`/`-` so that the `time "-" time` delay form stays
+    /// unambiguous; write `G+(N-1)` for additive offset arithmetic.
     fn time(&mut self) -> Result<Time, ParseError> {
         let event = self.ident()?;
-        let offset = if *self.peek() == Tok::Plus {
+        if *self.peek() == Tok::Plus {
             self.bump();
-            self.number()?
+            let offset = self.const_term()?;
+            Ok(Time::at(event, offset))
         } else {
-            0
-        };
-        Ok(Time::new(event, offset))
+            Ok(Time::event(event))
+        }
     }
 
     /// `nat | time "-" ("(" time ")" | time)`
@@ -421,17 +524,7 @@ impl Parser {
     }
 
     fn width(&mut self) -> Result<ConstExpr, ParseError> {
-        match self.peek().clone() {
-            Tok::Num(n) => {
-                self.bump();
-                Ok(ConstExpr::Lit(n))
-            }
-            Tok::Ident(p) => {
-                self.bump();
-                Ok(ConstExpr::Param(p))
-            }
-            other => Err(self.error(format!("expected width, found {other}"))),
-        }
+        self.const_expr()
     }
 
     /// Parses ports into (interfaces, data ports).
@@ -449,7 +542,7 @@ impl Parser {
                 let name = self.ident()?;
                 self.eat(Tok::Colon)?;
                 let w = self.width()?;
-                if w != ConstExpr::Lit(1) {
+                if w.norm() != ConstExpr::Lit(1) {
                     return Err(self.error("interface ports must have width 1"));
                 }
                 interfaces.push(InterfaceDef { name, event });
@@ -556,13 +649,18 @@ impl Parser {
         })
     }
 
-    /// `ident | ident "." ident | nat`
+    /// `iname "." ident | ident | nat`
     fn port_ref(&mut self) -> Result<Port, ParseError> {
         if let Tok::Num(n) = *self.peek() {
             self.bump();
             return Ok(Port::Lit(n));
         }
-        let first = self.ident()?;
+        let first = self.iname()?;
+        self.port_ref_rest(first)
+    }
+
+    /// Continues a port reference whose leading name is already parsed.
+    fn port_ref_rest(&mut self, first: IName) -> Result<Port, ParseError> {
         if *self.peek() == Tok::Dot {
             self.bump();
             let port = self.ident()?;
@@ -570,15 +668,19 @@ impl Parser {
                 invocation: first,
                 port,
             })
+        } else if first.idx.is_empty() {
+            Ok(Port::This(first.base))
         } else {
-            Ok(Port::This(first))
+            Err(self.error(format!(
+                "indexed name {first} must be followed by '.port' (only invocations are indexed)"
+            )))
         }
     }
 
     fn invoke_suffix(
         &mut self,
-        name: Id,
-        instance: Id,
+        name: IName,
+        instance: IName,
         out: &mut Vec<Command>,
     ) -> Result<(), ParseError> {
         self.eat(Tok::LAngle)?;
@@ -613,10 +715,39 @@ impl Parser {
     }
 
     fn command(&mut self, out: &mut Vec<Command>) -> Result<(), ParseError> {
-        // Lookahead: `x := ...` vs `port = port`.
-        if matches!(self.peek(), Tok::Ident(_)) && *self.peek2() == Tok::ColonEq {
-            let name = self.ident()?;
-            self.eat(Tok::ColonEq)?;
+        // `for i in lo..hi { command* }` — the generate construct.
+        if self.at_keyword("for") {
+            self.bump();
+            let var = self.ident()?;
+            self.eat_keyword("in")?;
+            let lo = self.const_expr()?;
+            self.eat(Tok::DotDot)?;
+            let hi = self.const_expr()?;
+            self.eat(Tok::LBrace)?;
+            let mut body = Vec::new();
+            while *self.peek() != Tok::RBrace {
+                self.command(&mut body)?;
+            }
+            self.eat(Tok::RBrace)?;
+            out.push(Command::ForGen { var, lo, hi, body });
+            return Ok(());
+        }
+        // A literal can only start a connect source, never a definition, so
+        // a leading number is a (rejected-by-the-checker) connect target.
+        if matches!(self.peek(), Tok::Num(_)) {
+            let dst = self.port_ref()?;
+            self.eat(Tok::Eq)?;
+            let src = self.port_ref()?;
+            self.eat(Tok::Semi)?;
+            out.push(Command::Connect { dst, src });
+            return Ok(());
+        }
+        // `x[i]* := ...` (definition) vs `port = port` (connection): parse
+        // the leading, possibly indexed, name and dispatch on what follows.
+        let first = self.iname()?;
+        if *self.peek() == Tok::ColonEq {
+            let name = first;
+            self.bump();
             if self.at_keyword("new") {
                 self.bump();
                 let component = self.ident()?;
@@ -624,21 +755,7 @@ impl Parser {
                 if *self.peek() == Tok::LBrack {
                     self.bump();
                     loop {
-                        params.push(match self.peek().clone() {
-                            Tok::Num(n) => {
-                                self.bump();
-                                ConstExpr::Lit(n)
-                            }
-                            Tok::Ident(p) => {
-                                self.bump();
-                                ConstExpr::Param(p)
-                            }
-                            other => {
-                                return Err(
-                                    self.error(format!("expected const parameter, found {other}"))
-                                )
-                            }
-                        });
+                        params.push(self.const_expr()?);
                         if *self.peek() == Tok::Comma {
                             self.bump();
                         } else {
@@ -650,7 +767,10 @@ impl Parser {
                 if *self.peek() == Tok::LAngle {
                     // Fused form: `x := new C[p]<G>(args)` — desugars to an
                     // anonymous instance plus the invocation `x`.
-                    let inst_name = format!("{name}#inst");
+                    let inst_name = IName {
+                        base: format!("{}#inst", name.base),
+                        idx: name.idx.clone(),
+                    };
                     out.push(Command::Instance {
                         name: inst_name.clone(),
                         component,
@@ -665,12 +785,12 @@ impl Parser {
                     });
                 }
             } else {
-                let instance = self.ident()?;
+                let instance = self.iname()?;
                 self.invoke_suffix(name, instance, out)?;
             }
             self.eat(Tok::Semi)?;
         } else {
-            let dst = self.port_ref()?;
+            let dst = self.port_ref_rest(first)?;
             self.eat(Tok::Eq)?;
             let src = self.port_ref()?;
             self.eat(Tok::Semi)?;
@@ -780,7 +900,7 @@ mod tests {
         .unwrap();
         let c = &p.components[0];
         assert_eq!(c.body.len(), 3);
-        assert!(matches!(&c.body[0], Command::Instance { name, .. } if name == "A"));
+        assert!(matches!(&c.body[0], Command::Instance { name, .. } if name.base == "A"));
         assert!(matches!(
             &c.body[1],
             Command::Invoke { events, args, .. } if events.len() == 1 && args.len() == 2
@@ -802,18 +922,131 @@ mod tests {
         assert_eq!(body.len(), 3);
         match &body[0] {
             Command::Instance { name, params, .. } => {
-                assert_eq!(name, "r#inst");
+                assert_eq!(name.base, "r#inst");
                 assert_eq!(params, &vec![ConstExpr::Lit(32), ConstExpr::Lit(1)]);
             }
             other => panic!("expected instance, got {other:?}"),
         }
         match &body[1] {
             Command::Invoke { name, instance, .. } => {
-                assert_eq!(name, "r");
-                assert_eq!(instance, "r#inst");
+                assert_eq!(name.base, "r");
+                assert_eq!(instance.base, "r#inst");
             }
             other => panic!("expected invoke, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_param_arithmetic_widths() {
+        let p = parse_program(
+            "extern comp Pack[N, W]<T: 1>(@[T, T+1] a: N*W) -> (@[T, T+1] o: N*W+1);",
+        )
+        .unwrap();
+        let sig = &p.externs[0];
+        assert_eq!(
+            sig.inputs[0].width,
+            ConstExpr::Bin(
+                ConstOp::Mul,
+                Box::new(ConstExpr::Param("N".into())),
+                Box::new(ConstExpr::Param("W".into())),
+            )
+        );
+        assert_eq!(sig.outputs[0].width.to_string(), "N * W + 1");
+        // pow2/log2 call syntax.
+        let p = parse_program(
+            "extern comp Dec[N]<T: 1>(@[T, T+1] a: log2(N)) -> (@[T, T+1] o: pow2(N));",
+        )
+        .unwrap();
+        assert_eq!(p.externs[0].inputs[0].width.to_string(), "log2(N)");
+        assert_eq!(p.externs[0].outputs[0].width.to_string(), "pow2(N)");
+        // An identifier named pow2 *not* followed by '(' is still a param.
+        let p = parse_program("extern comp A[pow2]<T: 1>(@[T, T+1] a: pow2) -> ();").unwrap();
+        assert_eq!(p.externs[0].inputs[0].width, ConstExpr::Param("pow2".into()));
+    }
+
+    #[test]
+    fn parses_for_generate_with_indexed_names() {
+        let p = parse_program(
+            "comp Chain[W, D]<G: 1>(@[G, G+1] in: W) -> (@[G+D, G+(D+1)] out: W) {
+               s[0] := new Delay[W]<G>(in);
+               for i in 1..D {
+                 s[i] := new Delay[W]<G+i>(s[i-1].out);
+               }
+               out = s[D-1].out;
+             }",
+        )
+        .unwrap();
+        let c = &p.components[0];
+        // Signature offsets are symbolic.
+        assert_eq!(c.sig.outputs[0].liveness.start.to_string(), "G+D");
+        // Body: fused instance + invoke for s[0], then the loop, then the
+        // connection.
+        assert_eq!(c.body.len(), 4);
+        match &c.body[2] {
+            Command::ForGen { var, lo, hi, body } => {
+                assert_eq!(var, "i");
+                assert_eq!(lo, &ConstExpr::Lit(1));
+                assert_eq!(hi, &ConstExpr::Param("D".into()));
+                assert_eq!(body.len(), 2, "fused form inside the loop");
+                match &body[1] {
+                    Command::Invoke { name, events, args, .. } => {
+                        assert_eq!(name.base, "s");
+                        assert_eq!(name.idx, vec![ConstExpr::Param("i".into())]);
+                        assert_eq!(events[0].to_string(), "G+i");
+                        match &args[0] {
+                            Port::Inv { invocation, port } => {
+                                assert_eq!(invocation.to_string(), "s[i - 1]");
+                                assert_eq!(port, "out");
+                            }
+                            other => panic!("{other:?}"),
+                        }
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("expected for-generate, got {other:?}"),
+        }
+        match &c.body[3] {
+            Command::Connect { src: Port::Inv { invocation, .. }, .. } => {
+                assert_eq!(invocation.base, "s");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_for_generate() {
+        let p = parse_program(
+            "comp M[N]<G: 1>(@[G, G+1] a: 8) -> () {
+               for i in 0..N {
+                 for j in 0..N {
+                   pe[i][j] := new P[8];
+                 }
+               }
+             }",
+        )
+        .unwrap();
+        match &p.components[0].body[0] {
+            Command::ForGen { body, .. } => match &body[0] {
+                Command::ForGen { body, .. } => match &body[0] {
+                    Command::Instance { name, .. } => {
+                        assert_eq!(name.to_string(), "pe[i][j]");
+                    }
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexed_connect_target_is_rejected() {
+        let err = parse_program(
+            "comp M<G: 1>(@[G, G+1] a: 8) -> (@[G, G+1] o: 8) { o[1] = a; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("indexed"), "{err}");
     }
 
     #[test]

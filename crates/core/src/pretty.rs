@@ -23,34 +23,49 @@ pub fn print_program(p: &Program) -> String {
 
 /// Renders a component with its body. Fused `x := new C<G>(…)` forms (the
 /// parser desugars them into an instance named `x#inst` plus an invocation
-/// `x`) are re-fused on printing, so output is always re-parseable.
+/// `x`) are re-fused on printing, so output is always re-parseable;
+/// `for`-generate bodies print nested with increasing indentation.
 pub fn print_component(c: &Component) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {{", print_signature(&c.sig));
+    print_commands(&c.body, 1, &mut out);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// True when `instance` is the parser-generated fused partner of the
+/// invocation named `name`: same indices, base suffixed with `#inst`.
+fn is_fused_pair(name: &crate::ast::IName, instance: &crate::ast::IName) -> bool {
+    instance.base.strip_suffix("#inst") == Some(name.base.as_str()) && instance.idx == name.idx
+}
+
+fn print_commands(cmds: &[Command], depth: usize, out: &mut String) {
     use std::collections::HashMap;
-    let mut fused: HashMap<&str, (&str, &Vec<ConstExpr>)> = HashMap::new();
-    for cmd in &c.body {
+    let indent = "  ".repeat(depth);
+    // Fused instances at this nesting level, keyed by display name.
+    let mut fused: HashMap<String, (&str, &Vec<ConstExpr>)> = HashMap::new();
+    for cmd in cmds {
         if let Command::Instance {
             name,
             component,
             params,
         } = cmd
         {
-            if let Some(stripped) = name.strip_suffix("#inst") {
-                fused.insert(stripped, (component, params));
+            if name.base.ends_with("#inst") {
+                fused.insert(name.to_string(), (component, params));
             }
         }
     }
-    let mut out = String::new();
-    let _ = writeln!(out, "{} {{", print_signature(&c.sig));
-    for cmd in &c.body {
+    for cmd in cmds {
         match cmd {
-            Command::Instance { name, .. } if name.ends_with("#inst") => continue,
+            Command::Instance { name, .. } if name.base.ends_with("#inst") => continue,
             Command::Invoke {
                 name,
                 instance,
                 events,
                 args,
-            } if instance.strip_suffix("#inst") == Some(name) => {
-                let (component, params) = fused[name.as_str()];
+            } if is_fused_pair(name, instance) && fused.contains_key(&instance.to_string()) => {
+                let (component, params) = fused[&instance.to_string()];
                 let ps = if params.is_empty() {
                     String::new()
                 } else {
@@ -62,18 +77,21 @@ pub fn print_component(c: &Component) -> String {
                 let ars: Vec<String> = args.iter().map(|a| a.to_string()).collect();
                 let _ = writeln!(
                     out,
-                    "  {name} := new {component}{ps}<{}>({});",
+                    "{indent}{name} := new {component}{ps}<{}>({});",
                     evs.join(", "),
                     ars.join(", ")
                 );
             }
+            Command::ForGen { var, lo, hi, body } => {
+                let _ = writeln!(out, "{indent}for {var} in {lo}..{hi} {{");
+                print_commands(body, depth + 1, out);
+                let _ = writeln!(out, "{indent}}}");
+            }
             other => {
-                let _ = writeln!(out, "  {}", print_command(other));
+                let _ = writeln!(out, "{indent}{}", print_command(other));
             }
         }
     }
-    let _ = writeln!(out, "}}");
-    out
 }
 
 /// Renders a signature (without a trailing `;` or body).
@@ -89,7 +107,7 @@ pub fn print_signature(sig: &Signature) -> String {
         .map(|e| match &e.delay {
             Delay::Const(n) => format!("{}: {n}", e.name),
             Delay::Diff(a, b) => {
-                if b.offset == 0 {
+                if b.offset == ConstExpr::Lit(0) {
                     format!("{}: {a}-{}", e.name, b.event)
                 } else {
                     format!("{}: {a}-({b})", e.name)
@@ -154,5 +172,12 @@ pub fn print_command(cmd: &Command) -> String {
             format!("{name} := {instance}<{}>({});", evs.join(", "), ars.join(", "))
         }
         Command::Connect { dst, src } => format!("{dst} = {src};"),
+        Command::ForGen { var, lo, hi, body } => {
+            let mut out = String::new();
+            let _ = writeln!(out, "for {var} in {lo}..{hi} {{");
+            print_commands(body, 1, &mut out);
+            out.push('}');
+            out
+        }
     }
 }

@@ -160,14 +160,27 @@ impl Log {
     }
 }
 
-fn eval_time(t: &Time) -> i64 {
+fn eval_time(t: &Time) -> Result<i64, String> {
     // All own events are bound to cycle 0 (Fig 9 elaborates a component's
     // log with its event at a fixed base).
-    t.offset as i64
+    t.offset_val()
+        .map(|n| n as i64)
+        .ok_or_else(|| format!("time offset {t} mentions parameters; run mono::expand first"))
 }
 
-fn eval_range(r: &Range) -> (i64, i64) {
-    (eval_time(&r.start), eval_time(&r.end))
+fn eval_range(r: &Range) -> Result<(i64, i64), String> {
+    Ok((eval_time(&r.start)?, eval_time(&r.end)?))
+}
+
+/// Rejects ports that still reference indexed invocations — their keys
+/// would never match the flat names recorded by Instance/Invoke.
+fn flat_port(p: &Port) -> Result<(), String> {
+    if let Port::Inv { invocation, .. } = p {
+        if invocation.flat().is_none() {
+            return Err(format!("indexed name {invocation}; run mono::expand first"));
+        }
+    }
+    Ok(())
 }
 
 fn port_key(p: &Port) -> Option<String> {
@@ -202,7 +215,7 @@ pub fn component_log(program: &Program, name: &str) -> Result<Log, String> {
 
     // Inputs are provided by the environment.
     for p in &sig.inputs {
-        let (s, e) = eval_range(&p.liveness);
+        let (s, e) = eval_range(&p.liveness)?;
         log.write(&format!("this.{}", p.name), s, e);
     }
 
@@ -213,6 +226,9 @@ pub fn component_log(program: &Program, name: &str) -> Result<Log, String> {
             name, component, ..
         } = cmd
         {
+            let name = name
+                .flat()
+                .ok_or_else(|| format!("indexed name {name}; run mono::expand first"))?;
             let callee = program
                 .sig(component)
                 .ok_or_else(|| format!("unknown component {component}"))?;
@@ -228,6 +244,12 @@ pub fn component_log(program: &Program, name: &str) -> Result<Log, String> {
                 events,
                 args,
             } => {
+                let name = name
+                    .flat()
+                    .ok_or_else(|| format!("indexed name {name}; run mono::expand first"))?;
+                let instance = instance
+                    .flat()
+                    .ok_or_else(|| format!("indexed name {instance}; run mono::expand first"))?;
                 let callee = inst_sig
                     .get(instance)
                     .ok_or_else(|| format!("unknown instance {instance}"))?;
@@ -243,7 +265,7 @@ pub fn component_log(program: &Program, name: &str) -> Result<Log, String> {
                 // Busy token: the instance is used for `delay` cycles
                 // starting at its first event (the `go` writes of App A).
                 let first = &callee.events[0];
-                let start = eval_time(&Time::event(&first.name).subst(&binding));
+                let start = eval_time(&Time::event(&first.name).subst(&binding))?;
                 let d = first
                     .delay
                     .subst(&binding)
@@ -253,7 +275,7 @@ pub fn component_log(program: &Program, name: &str) -> Result<Log, String> {
                 log.write(&format!("inst:{instance}"), start, start + d);
                 // Outputs become available.
                 for out in &callee.outputs {
-                    let (s, e) = eval_range(&out.liveness.subst(&binding));
+                    let (s, e) = eval_range(&out.liveness.subst(&binding))?;
                     log.write(&format!("{name}.{}", out.name), s, e);
                 }
                 // Arguments are read over the substituted requirements.
@@ -261,21 +283,27 @@ pub fn component_log(program: &Program, name: &str) -> Result<Log, String> {
                     return Err(format!("invocation {name}: argument arity mismatch"));
                 }
                 for (arg, pdef) in args.iter().zip(&callee.inputs) {
+                    flat_port(arg)?;
                     if let Some(key) = port_key(arg) {
-                        let (s, e) = eval_range(&pdef.liveness.subst(&binding));
+                        let (s, e) = eval_range(&pdef.liveness.subst(&binding))?;
                         log.read(&key, s, e);
                     }
                 }
             }
             Command::Connect { dst, src } => {
+                flat_port(dst)?;
+                flat_port(src)?;
                 if let (Port::This(d), Some(key)) = (dst, port_key(src)) {
                     if let Some(out) = sig.output(d) {
-                        let (s, e) = eval_range(&out.liveness);
+                        let (s, e) = eval_range(&out.liveness)?;
                         log.read(&key, s, e);
                     }
                 }
             }
             Command::Instance { .. } => {}
+            Command::ForGen { .. } => {
+                return Err("for-generate loop; run mono::expand first".into());
+            }
         }
     }
     Ok(log)

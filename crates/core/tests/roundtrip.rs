@@ -45,6 +45,110 @@ fn fused_forms_refuse_on_print() {
     assert_eq!(parse_program(&printed).unwrap(), p);
 }
 
+// ------------------------------------------- parametric generator sources
+
+#[test]
+fn parametric_sources_round_trip() {
+    // The *pre-expansion* generator sources: params, param arithmetic,
+    // for-generate loops, indexed names, symbolic time offsets.
+    for (name, src) in [
+        ("systolic", fil_designs::systolic::SYSTOLIC.to_owned()),
+        ("chain", fil_designs::shift::CHAIN.to_owned()),
+        ("alu-param", fil_designs::alu::ALU_PARAM.to_owned()),
+        ("systolic-multi", fil_designs::systolic::multi_source(&[2, 4, 8], 32)),
+    ] {
+        let p = parse_program(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let printed = print_program(&p);
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("{name}: {e}\n{printed}"));
+        assert_eq!(p, reparsed, "{name}");
+        assert_eq!(printed, print_program(&reparsed), "{name}: printing is stable");
+    }
+    // The printed systolic generator keeps its loops and indices.
+    let printed = print_program(&parse_program(fil_designs::systolic::SYSTOLIC).unwrap());
+    assert!(printed.contains("for i in 0..N {"), "{printed}");
+    assert!(printed.contains("pe[i][j] := new Process[W]<G>"), "{printed}");
+}
+
+#[test]
+fn expansion_of_generators_round_trips() {
+    // mono output (mangled names, resolved arithmetic) must stay printable
+    // and re-parseable — `filament expand` relies on this.
+    let p = fil_stdlib::with_stdlib(&fil_designs::systolic::source(4, 32)).unwrap();
+    let printed = print_program(&p);
+    let reparsed = parse_program(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+    assert_eq!(p, reparsed);
+    assert!(printed.contains("pe_3_3 := new Process_32<G>"), "{printed}");
+}
+
+// --------------------------------------------------- random constant exprs
+
+/// Builds a random constant-expression tree from a seed (the vendored
+/// proptest has no recursion combinators, so recursion lives here).
+fn rand_cexpr(seed: u64, depth: u32) -> ConstExpr {
+    use filament_core::ast::ConstOp;
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    fn go(next: &mut impl FnMut() -> u64, depth: u32) -> ConstExpr {
+        let choice = if depth == 0 { next() % 2 } else { next() % 8 };
+        match choice {
+            0 => ConstExpr::Lit(next() % 100),
+            1 => ConstExpr::Param(format!("p{}", next() % 4)),
+            2..=4 => {
+                let op = match next() % 5 {
+                    0 => ConstOp::Add,
+                    1 => ConstOp::Sub,
+                    2 => ConstOp::Mul,
+                    3 => ConstOp::Div,
+                    _ => ConstOp::Mod,
+                };
+                ConstExpr::Bin(
+                    op,
+                    Box::new(go(next, depth - 1)),
+                    Box::new(go(next, depth - 1)),
+                )
+            }
+            5 => ConstExpr::Pow2(Box::new(go(next, depth - 1))),
+            6 => ConstExpr::Log2(Box::new(go(next, depth - 1))),
+            _ => ConstExpr::Lit(next() % 8),
+        }
+    }
+    go(&mut next, depth)
+}
+
+proptest! {
+    /// Any constant-expression tree survives printing in a width position
+    /// and a time-offset position.
+    #[test]
+    fn const_exprs_round_trip(seed in proptest::prelude::any::<u64>(), depth in 0u32..5) {
+        let e = rand_cexpr(seed, depth);
+        let mut p = Program::new();
+        p.externs.push(Signature {
+            name: "A".into(),
+            params: (0..4).map(|i| format!("p{i}")).collect(),
+            events: vec![EventDecl { name: "T".into(), delay: Delay::Const(1) }],
+            interfaces: vec![],
+            inputs: vec![PortDef {
+                name: "x".into(),
+                liveness: Range::new(Time::event("T"), Time::at("T", e.clone())),
+                width: e.clone(),
+            }],
+            outputs: vec![],
+            constraints: vec![],
+        });
+        let printed = print_program(&p);
+        match parse_program(&printed) {
+            Ok(reparsed) => prop_assert_eq!(p, reparsed, "printed:\n{}", printed),
+            Err(err) => prop_assert!(false, "failed to reparse: {err}\n{printed}"),
+        }
+    }
+}
+
 // ------------------------------------------------------------ random ASTs
 
 fn ident() -> impl Strategy<Value = String> {
@@ -93,13 +197,13 @@ fn arb_program() -> impl Strategy<Value = Program> {
                         continue;
                     }
                     body.push(Command::Instance {
-                        name: iname.clone(),
+                        name: iname.clone().into(),
                         component: format!("C_{comp}"),
                         params: vec![ConstExpr::Lit(8)],
                     });
                     body.push(Command::Invoke {
-                        name: vname,
-                        instance: iname,
+                        name: vname.into(),
+                        instance: iname.into(),
                         events: vec![t],
                         args: inputs
                             .first()

@@ -68,7 +68,7 @@ fn build(steps: &[Step], delay: u64) -> Program {
             _ => {
                 let name = format!("i{i}");
                 body.push(Command::Instance {
-                    name: name.clone(),
+                    name: name.clone().into(),
                     component: kind.into(),
                     params: vec![],
                 });
@@ -85,8 +85,8 @@ fn build(steps: &[Step], delay: u64) -> Program {
             ],
         };
         body.push(Command::Invoke {
-            name: inv.clone(),
-            instance: inst,
+            name: inv.clone().into(),
+            instance: inst.into(),
             events: vec![Time::new("G", step.off)],
             args,
         });
@@ -98,7 +98,7 @@ fn build(steps: &[Step], delay: u64) -> Program {
         };
         out_avail = Range::new(Time::new("G", s), Time::new("G", e));
         produced.push(Port::Inv {
-            invocation: inv,
+            invocation: inv.into(),
             port: "out".into(),
         });
     }

@@ -51,6 +51,36 @@ comp ALU<G: 1>(@interface[G] en: 1, @[G+2, G+3] op: 1, @[G, G+1] l: 32,
   o = mux.out;
 }";
 
+/// The pipelined ALU as a *parametric generator*: one `AluCore[W]` source
+/// serves every operand width. Wrappers pin the width (see
+/// [`param_source`]); the monomorphizer produces `AluCore_8`, `AluCore_16`,
+/// ... on demand and caches repeats.
+pub const ALU_PARAM: &str = "
+comp AluCore[W]<G: 1>(@interface[G] en: 1, @[G+2, G+3] op: 1, @[G, G+1] l: W,
+    @[G, G+1] r: W) -> (@[G+2, G+3] o: W) {
+  A := new Add[W]; FM := new FastMult[W]; Mx := new Mux[W];
+  R0 := new Register[W]; R1 := new Register[W];
+  a0 := A<G>(l, r);
+  m0 := FM<G>(l, r);
+  r0 := R0<G, G+2>(a0.out);
+  r1 := R1<G+1, G+3>(r0.out);
+  mux := Mx<G+2>(op, r1.out, m0.out);
+  o = mux.out;
+}";
+
+/// The generator plus a concrete `Alu{w}` wrapper instantiating
+/// `AluCore[w]`.
+pub fn param_source(w: u64) -> String {
+    format!(
+        "{ALU_PARAM}
+comp Alu{w}<G: 1>(@interface[G] en: 1, @[G+2, G+3] op: 1, @[G, G+1] l: {w},
+    @[G, G+1] r: {w}) -> (@[G+2, G+3] o: {w}) {{
+  core := new AluCore[{w}]<G>(op, l, r);
+  o = core.o;
+}}"
+    )
+}
+
 /// Full source of a given ALU variant (the standard library provides all
 /// externs, including the multi-event `Register`).
 pub fn source(variant: &str) -> String {
@@ -64,6 +94,21 @@ pub fn golden(op: u64, l: u32, r: u32) -> u32 {
         l.wrapping_add(r)
     } else {
         l.wrapping_mul(r)
+    }
+}
+
+/// Width-parametric golden ALU: wrapping add/multiply truncated to `w`
+/// bits.
+pub fn golden_w(op: u64, l: u64, r: u64, w: u32) -> u64 {
+    let raw = if op == 0 {
+        l.wrapping_add(r)
+    } else {
+        l.wrapping_mul(r)
+    };
+    if w >= 64 {
+        raw
+    } else {
+        raw & ((1u64 << w) - 1)
     }
 }
 
@@ -120,6 +165,42 @@ mod tests {
         let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
         for (i, &(op, l, r)) in cases.iter().enumerate() {
             assert_eq!(outs[i][0].to_u64(), golden(op, l, r) as u64, "case {i}");
+        }
+    }
+
+    #[test]
+    fn parametric_alu_family_streams_at_8_16_32() {
+        for w in [8u64, 16, 32] {
+            let program = with_stdlib(&param_source(w)).unwrap();
+            let (netlist, spec) = fil_harness::compile_for_test(
+                &program,
+                &format!("Alu{w}"),
+                &fil_stdlib::StdRegistry,
+            )
+            .unwrap();
+            assert_eq!(spec.delay, 1, "fully pipelined at width {w}");
+            let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+            let cases: Vec<(u64, u64, u64)> = (0..6)
+                .map(|i| (i % 2, (i * 97 + 13) & mask, (i * 61 + 7) & mask))
+                .collect();
+            let inputs: Vec<Vec<Value>> = cases
+                .iter()
+                .map(|&(op, l, r)| {
+                    vec![
+                        Value::from_u64(1, op),
+                        Value::from_u64(w as u32, l),
+                        Value::from_u64(w as u32, r),
+                    ]
+                })
+                .collect();
+            let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
+            for (i, &(op, l, r)) in cases.iter().enumerate() {
+                assert_eq!(
+                    outs[i][0].to_u64(),
+                    golden_w(op, l, r, w as u32),
+                    "case {i} at width {w}"
+                );
+            }
         }
     }
 

@@ -9,13 +9,13 @@
 //! if a1 >= div { AN = a1 - div; QN = q1 | 1 } else { AN = a1; QN = q1 }
 //! ```
 //!
-//! * [`DIV_COMB`] — all 8 steps in one cycle (latency 0, long critical
+//! * [`comb_source`] — all 8 steps in one cycle (latency 0, long critical
 //!   path; Figure 2b),
-//! * [`DIV_PIPE`] — one step per cycle with `Delay` registers between
-//!   stages, including a pipelined copy of the divisor (initiation
+//! * [`pipelined_source`] — one step per cycle with `Delay` registers
+//!   between stages, including a pipelined copy of the divisor (initiation
 //!   interval 1, latency 7; Figure 2c),
-//! * [`DIV_ITER`] — one shared `Nxt` instance reused over 8 cycles with
-//!   shared `Register`s, initiation interval 8 (Figure 2d).
+//! * [`iterative_source`] — one shared `Nxt` instance reused over 8 cycles
+//!   with shared `Register`s, initiation interval 8 (Figure 2d).
 
 use std::fmt::Write as _;
 

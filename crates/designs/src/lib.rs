@@ -8,8 +8,11 @@
 //!   pipelined, and iterative 8-bit restoring dividers,
 //! * [`conv2d`] — Section 7.2's convolution kernels: the base design with
 //!   pipelined multipliers and the Reticle DSP-cascade design (Table 2),
-//! * [`systolic`] — Appendix B.1's 2×2 matrix-multiply systolic array
-//!   built from `Prev` stream registers,
+//! * [`systolic`] — Appendix B.1's matrix-multiply systolic array, grown
+//!   into the parametric generator family `Systolic[N, W]` (`for`-generate
+//!   grid, packed lane buses, one monomorphized PE),
+//! * [`shift`] — a parametric delay line `Chain[W, D]` whose stages are
+//!   scheduled at `G+i` by the generate loop,
 //! * [`fp_add`] — Appendix B.1's IEEE-754 single-precision adder:
 //!   combinational, 5-stage pipelined, and the stage-crossing bug that the
 //!   type checker catches.
@@ -18,10 +21,11 @@ pub mod alu;
 pub mod conv2d;
 pub mod divider;
 pub mod fp_add;
+pub mod shift;
 pub mod systolic;
 
 use fil_harness::InterfaceSpec;
-use fil_stdlib::{with_stdlib, StdRegistry};
+use fil_stdlib::StdRegistry;
 use rtl_sim::Netlist;
 
 /// Compiles a design (standard library + the given source) to a netlist and
@@ -31,7 +35,9 @@ use rtl_sim::Netlist;
 ///
 /// Returns a human-readable message on parse/check/lowering failure.
 pub fn build(source: &str, top: &str) -> Result<(Netlist, InterfaceSpec), String> {
-    let program = with_stdlib(source).map_err(|e| e.to_string())?;
+    // Parse-only combine: compile_for_test runs the monomorphizer itself,
+    // so expanding here (via `with_stdlib`) would elaborate twice.
+    let program = fil_stdlib::with_stdlib_raw(source).map_err(|e| e.to_string())?;
     fil_harness::compile_for_test(&program, top, &StdRegistry)
 }
 
@@ -46,6 +52,6 @@ pub fn build_with(
     top: &str,
     registry: &dyn filament_core::PrimitiveRegistry,
 ) -> Result<(Netlist, InterfaceSpec), String> {
-    let program = with_stdlib(source).map_err(|e| e.to_string())?;
+    let program = fil_stdlib::with_stdlib_raw(source).map_err(|e| e.to_string())?;
     fil_harness::compile_for_test(&program, top, registry)
 }

@@ -1,4 +1,5 @@
-//! Appendix B.1's 2×2 matrix-multiply systolic array.
+//! Appendix B.1's matrix-multiply systolic array — as a *parametric
+//! generator family* `Systolic[N, W]`.
 //!
 //! Each processing element performs a multiply-accumulate every cycle; the
 //! accumulator is a `Prev` stream register (readable the same cycle), and a
@@ -6,41 +7,61 @@
 //! a computation — reading the component's own interface port as data,
 //! exactly as the paper's listing does.
 //!
-//! Data movement between PEs also uses `Prev` registers: PE(0,1) sees row
-//! 0's stream one cycle late, etc. Inputs are fed in the standard skewed
-//! order.
+//! Where the seed repository unrolled a 2×2 array by hand, the generator
+//! below expresses the whole family: row/column streams arrive packed into
+//! `N*W`-bit buses, `for`-generate loops place `Slice` lane extractors, the
+//! `Prev` skew registers moving data right and down (PE(i,j) sees row i's
+//! stream j cycles late and column j's stream i cycles late), and the N×N
+//! PE grid, and a `Concat` chain packs the N² accumulators into the output
+//! bus. The monomorphizer instantiates `Process[W]` exactly once however
+//! many PEs reference it.
 
-/// The processing element and the 2×2 array.
+/// The parametric processing element and N×N array. Instantiate with
+/// `new Systolic[N, W]`; see [`source`] for ready-made wrappers.
 pub const SYSTOLIC: &str = "
-comp Process<G: 1>(@interface[G] go: 1, @[G, G+1] left: 32, @[G, G+1] right: 32)
-    -> (@[G, G+1] out: 32) {
-  acc := new Prev[32, 0]<G>(add.out);
+comp Process[W]<G: 1>(@interface[G] go: 1, @[G, G+1] left: W, @[G, G+1] right: W)
+    -> (@[G, G+1] out: W) {
+  acc := new Prev[W, 0]<G>(add.out);
   go_prev := new Prev[1, 1]<G>(go);
-  mux := new Mux[32]<G>(go_prev.out, 0, acc.out);
-  mul := new MultComb[32]<G>(left, right);
-  add := new Add[32]<G>(mux.out, mul.out);
+  mux := new Mux[W]<G>(go_prev.out, 0, acc.out);
+  mul := new MultComb[W]<G>(left, right);
+  add := new Add[W]<G>(mux.out, mul.out);
   out = add.out;
 }
 
-comp Systolic<G: 1>(
+comp Systolic[N, W]<G: 1>(
   @interface[G] go: 1,
-  @[G, G+1] l0: 32, @[G, G+1] l1: 32,
-  @[G, G+1] t0: 32, @[G, G+1] t1: 32
-) -> (
-  @[G, G+1] out00: 32, @[G, G+1] out01: 32,
-  @[G, G+1] out10: 32, @[G, G+1] out11: 32
-) {
-  // Systolic registers moving data right and down.
-  r00_01 := new Prev[32, 1]<G>(l0);
-  r00_10 := new Prev[32, 1]<G>(t0);
-  r10_11 := new Prev[32, 1]<G>(l1);
-  r01_11 := new Prev[32, 1]<G>(t1);
-  pe00 := new Process<G>(l0, t0);
-  pe01 := new Process<G>(r00_01.out, t1);
-  pe10 := new Process<G>(l1, r00_10.out);
-  pe11 := new Process<G>(r10_11.out, r01_11.out);
-  out00 = pe00.out; out01 = pe01.out;
-  out10 = pe10.out; out11 = pe11.out;
+  @[G, G+1] left: N*W, @[G, G+1] top: N*W
+) -> (@[G, G+1] out: N*N*W) {
+  // Lane extraction from the packed row/column buses, and the bus entry
+  // points of the skew-register chains (ZExt at equal widths is a wire).
+  for i in 0..N {
+    ls[i] := new Slice[N*W, W*i+W-1, W*i, W]<G>(left);
+    ts[i] := new Slice[N*W, W*i+W-1, W*i, W]<G>(top);
+    hw[i][0] := new ZExt[W, W]<G>(ls[i].out);
+    vw[0][i] := new ZExt[W, W]<G>(ts[i].out);
+  }
+  // Systolic registers moving data right (hw) and down (vw): hw[i][j]
+  // holds row i's stream delayed j cycles, vw[i][j] column j's stream
+  // delayed i cycles.
+  for i in 0..N {
+    for j in 1..N {
+      hw[i][j] := new Prev[W, 1]<G>(hw[i][j-1].out);
+      vw[j][i] := new Prev[W, 1]<G>(vw[j-1][i].out);
+    }
+  }
+  // The PE grid.
+  for i in 0..N {
+    for j in 0..N {
+      pe[i][j] := new Process[W]<G>(hw[i][j].out, vw[i][j].out);
+    }
+  }
+  // Pack accumulator k = i*N + j into output bits [W*k, W*k+W).
+  cc[0] := new ZExt[W, W]<G>(pe[0][0].out);
+  for k in 1..N*N {
+    cc[k] := new Concat[W, W*k, W*k+W]<G>(pe[k/N][k%N].out, cc[k-1].out);
+  }
+  out = cc[N*N-1].out;
 }";
 
 /// The faster variant from Appendix B.1: the PE uses a pipelined multiplier
@@ -60,17 +81,50 @@ comp ProcessFast<G: 1>(@interface[G] go: 1, @[G, G+1] left: 32, @[G, G+1] right:
   out = add.out;
 }";
 
-/// Software model of the skewed 2×2 systolic dataflow: returns the final
-/// accumulator values (the matrix product) after streaming `steps` cycles.
+/// The generator plus a concrete wrapper `Sys{n}` instantiating
+/// `Systolic[n, w]` — a complete program whose top component is
+/// [`top_name`]`(n)`.
+pub fn source(n: u64, w: u64) -> String {
+    format!(
+        "{SYSTOLIC}
+comp Sys{n}<G: 1>(@interface[G] go: 1, @[G, G+1] left: {n}*{w}, @[G, G+1] top: {n}*{w})
+    -> (@[G, G+1] out: {n}*{n}*{w}) {{
+  s := new Systolic[{n}, {w}]<G>(left, top);
+  out = s.out;
+}}"
+    )
+}
+
+/// The top component name [`source`]`(n, _)` generates.
+pub fn top_name(n: u64) -> String {
+    format!("Sys{n}")
+}
+
+/// One program containing wrappers at every requested size — exercises the
+/// monomorphization cache across sizes (every wrapper shares one
+/// `Process_{w}`).
+pub fn multi_source(sizes: &[u64], w: u64) -> String {
+    let mut out = SYSTOLIC.to_owned();
+    for n in sizes {
+        out.push_str(&format!(
+            "
+comp Sys{n}<G: 1>(@interface[G] go: 1, @[G, G+1] left: {n}*{w}, @[G, G+1] top: {n}*{w})
+    -> (@[G, G+1] out: {n}*{n}*{w}) {{
+  s := new Systolic[{n}, {w}]<G>(left, top);
+  out = s.out;
+}}"
+        ));
+    }
+    out
+}
+
+/// Software model of the skewed N×N systolic dataflow (`W = 32`): returns
+/// the N² accumulator values (row-major) after streaming `steps` cycles.
 ///
-/// Feeds are the *port streams*: `l0[k], l1[k], t0[k], t1[k]` per cycle.
-pub fn golden(
-    l0: &[u32],
-    l1: &[u32],
-    t0: &[u32],
-    t1: &[u32],
-    steps: usize,
-) -> [u32; 4] {
+/// `left[i]` is the packed-lane stream of row i, `top[j]` of column j; the
+/// array internally delays row i's stream by j cycles at PE(i,j) and column
+/// j's by i cycles, so `acc[i*n+j] += left[i][k-j] * top[j][k-i]`.
+pub fn golden_n(n: usize, left: &[Vec<u32>], top: &[Vec<u32>], steps: usize) -> Vec<u32> {
     let get = |s: &[u32], k: isize| -> u32 {
         if k < 0 {
             0
@@ -78,14 +132,63 @@ pub fn golden(
             s.get(k as usize).copied().unwrap_or(0)
         }
     };
-    let mut acc = [0u32; 4];
+    let mut acc = vec![0u32; n * n];
     for k in 0..steps as isize {
-        acc[0] = acc[0].wrapping_add(get(l0, k).wrapping_mul(get(t0, k)));
-        acc[1] = acc[1].wrapping_add(get(l0, k - 1).wrapping_mul(get(t1, k)));
-        acc[2] = acc[2].wrapping_add(get(l1, k).wrapping_mul(get(t0, k - 1)));
-        acc[3] = acc[3].wrapping_add(get(l1, k - 1).wrapping_mul(get(t1, k - 1)));
+        for i in 0..n {
+            for j in 0..n {
+                acc[i * n + j] = acc[i * n + j].wrapping_add(
+                    get(&left[i], k - j as isize).wrapping_mul(get(&top[j], k - i as isize)),
+                );
+            }
+        }
     }
     acc
+}
+
+/// The 2×2 special case of [`golden_n`], kept for the seed tests' shape.
+pub fn golden(l0: &[u32], l1: &[u32], t0: &[u32], t1: &[u32], steps: usize) -> [u32; 4] {
+    let acc = golden_n(
+        2,
+        &[l0.to_vec(), l1.to_vec()],
+        &[t0.to_vec(), t1.to_vec()],
+        steps,
+    );
+    [acc[0], acc[1], acc[2], acc[3]]
+}
+
+/// Packs cycle `k` of `n` lane streams into one `n*32`-bit bus value
+/// (lane i at bits `[32*i, 32*i+32)`), the convention of the generated
+/// `left`/`top` ports.
+pub fn pack_lanes(n: usize, streams: &[Vec<u32>], k: usize) -> fil_bits::Value {
+    let lanes: Vec<fil_bits::Value> = (0..n)
+        .rev()
+        .map(|i| fil_bits::Value::from_u64(32, streams[i].get(k).copied().unwrap_or(0) as u64))
+        .collect();
+    fil_bits::concat_fields(&lanes)
+}
+
+/// Unpacks a `lanes*32`-bit bus value (the generated `out` port) into its
+/// 32-bit lanes, lowest lane first.
+pub fn unpack_lanes(v: &fil_bits::Value, lanes: usize) -> Vec<u32> {
+    (0..lanes)
+        .map(|k| v.slice((32 * k + 31) as u32, 32 * k as u32).to_u64() as u32)
+        .collect()
+}
+
+/// The skewed feed streams for computing `A × B` on an N×N array: row i of
+/// `A` delayed i cycles, column j of `B` delayed j cycles (the array adds
+/// the intra-grid skew itself).
+pub fn matrix_feeds(a: &[Vec<u32>], b: &[Vec<u32>]) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    let n = a.len();
+    let mut left = vec![Vec::new(); n];
+    let mut top = vec![Vec::new(); n];
+    for i in 0..n {
+        left[i] = vec![0; i];
+        left[i].extend(&a[i]);
+        top[i] = vec![0; i];
+        top[i].extend((0..n).map(|m| b[m][i]));
+    }
+    (left, top)
 }
 
 #[cfg(test)]
@@ -95,45 +198,93 @@ mod tests {
     use fil_bits::Value;
     use rtl_sim::Sim;
 
-    #[test]
-    fn array_computes_matrix_product() {
-        // C = A × B with A = [[1,2],[3,4]], B = [[5,6],[7,8]].
-        let a = [[1u32, 2], [3, 4]];
-        let b = [[5u32, 6], [7, 8]];
-        // Skewed feeds: row 1 and column 1 delayed by one cycle.
-        let l0 = vec![a[0][0], a[0][1], 0, 0];
-        let l1 = vec![0, a[1][0], a[1][1], 0];
-        let t0 = vec![b[0][0], b[1][0], 0, 0];
-        let t1 = vec![0, b[0][1], b[1][1], 0];
-
-        let (netlist, _spec) = build(SYSTOLIC, "Systolic").unwrap();
+    /// Drives `Sys{n}` with the packed feeds and returns the final
+    /// accumulators, row-major.
+    fn run_array(n: usize, left: &[Vec<u32>], top: &[Vec<u32>], steps: usize) -> Vec<u32> {
+        let (netlist, _spec) = build(&source(n as u64, 32), &top_name(n as u64)).unwrap();
         let mut sim = Sim::new(&netlist).unwrap();
-        let steps = 5;
-        let mut c = [0u32; 4];
+        let mut out = vec![0u32; n * n];
         for k in 0..steps {
             sim.poke_by_name("go", Value::from_u64(1, 1));
-            let get = |s: &Vec<u32>| s.get(k).copied().unwrap_or(0) as u64;
-            sim.poke_by_name("l0", Value::from_u64(32, get(&l0)));
-            sim.poke_by_name("l1", Value::from_u64(32, get(&l1)));
-            sim.poke_by_name("t0", Value::from_u64(32, get(&t0)));
-            sim.poke_by_name("t1", Value::from_u64(32, get(&t1)));
+            sim.poke_by_name("left", pack_lanes(n, left, k));
+            sim.poke_by_name("top", pack_lanes(n, top, k));
             sim.settle().unwrap();
-            // The outputs are valid during [G, G+1) of each active step;
-            // once the streams have drained they hold the matrix product.
-            c = [
-                sim.peek_by_name("out00").to_u64() as u32,
-                sim.peek_by_name("out01").to_u64() as u32,
-                sim.peek_by_name("out10").to_u64() as u32,
-                sim.peek_by_name("out11").to_u64() as u32,
-            ];
+            out = unpack_lanes(sim.peek_by_name("out"), n * n);
             sim.tick().unwrap();
         }
-        assert_eq!(c[0], 5 + 2 * 7);
-        assert_eq!(c[1], 6 + 2 * 8);
-        assert_eq!(c[2], 3 * 5 + 4 * 7);
-        assert_eq!(c[3], 3 * 6 + 4 * 8);
-        let want = golden(&l0, &l1, &t0, &t1, steps);
-        assert_eq!(c, want);
+        out
+    }
+
+    #[test]
+    fn array_computes_matrix_product_at_2() {
+        // C = A × B with A = [[1,2],[3,4]], B = [[5,6],[7,8]].
+        let a = vec![vec![1u32, 2], vec![3, 4]];
+        let b = vec![vec![5u32, 6], vec![7, 8]];
+        let (left, top) = matrix_feeds(&a, &b);
+        let steps = 5;
+        let c = run_array(2, &left, &top, steps);
+        assert_eq!(c, vec![5 + 2 * 7, 6 + 2 * 8, 3 * 5 + 4 * 7, 3 * 6 + 4 * 8]);
+        assert_eq!(c, golden_n(2, &left, &top, steps));
+    }
+
+    #[test]
+    fn array_matches_golden_at_4_and_8() {
+        for n in [4usize, 8] {
+            // Deterministic pseudo-random matrices.
+            let mut x = 0x2545f49_u32;
+            let mut next = || {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x % 1000
+            };
+            let a: Vec<Vec<u32>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+            let b: Vec<Vec<u32>> = (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+            let (left, top) = matrix_feeds(&a, &b);
+            let steps = 3 * n + 1;
+            let c = run_array(n, &left, &top, steps);
+            assert_eq!(c, golden_n(n, &left, &top, steps), "N = {n}");
+            // Spot-check against the direct product definition.
+            for i in 0..n {
+                for j in 0..n {
+                    let want: u32 = (0..n)
+                        .map(|m| a[i][m].wrapping_mul(b[m][j]))
+                        .fold(0, u32::wrapping_add);
+                    assert_eq!(c[i * n + j], want, "C[{i}][{j}] at N = {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mono_cache_deduplicates_process_across_sizes() {
+        let program = fil_stdlib::with_stdlib_raw(&multi_source(&[2, 4, 8], 32)).unwrap();
+        let (expanded, stats) =
+            filament_core::mono::expand_with_stats(&program).expect("elaborates");
+        // One PE component serves all three arrays (4 + 16 + 64 sites).
+        let pe_copies = expanded
+            .components
+            .iter()
+            .filter(|c| c.sig.name.starts_with("Process"))
+            .count();
+        assert_eq!(pe_copies, 1, "Process[32] monomorphized once");
+        assert_eq!(
+            expanded.component("Process_32").unwrap().sig.inputs[0]
+                .width
+                .to_string(),
+            "32"
+        );
+        // 84 PE instantiations, one miss.
+        assert!(stats.cache_hits >= 83, "hits: {}", stats.cache_hits);
+        // The three array sizes are distinct monomorphs.
+        for n in [2u64, 4, 8] {
+            assert!(
+                expanded.component(&format!("Systolic_{n}_32")).is_some(),
+                "Systolic_{n}_32 missing"
+            );
+        }
+        // And the whole expanded program type-checks.
+        filament_core::check_program(&expanded).unwrap_or_else(|e| panic!("{e:#?}"));
     }
 
     #[test]

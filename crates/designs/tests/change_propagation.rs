@@ -77,6 +77,8 @@ fn divider_comb_modes_agree() {
 
 #[test]
 fn systolic_modes_agree() {
-    let (netlist, _) = fil_designs::build(fil_designs::systolic::SYSTOLIC, "Systolic").unwrap();
+    // The generator-produced 4×4 array: 16 PEs plus skew-register chains.
+    let (netlist, _) =
+        fil_designs::build(&fil_designs::systolic::source(4, 32), "Sys4").unwrap();
     lockstep(&netlist, 48, 0xace5);
 }

@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! filament check <file.fil>
+//! filament expand <file.fil>                  # monomorphized program on stdout
 //! filament interface <file.fil> <component>
 //! filament compile <file.fil> <component>     # emits Verilog on stdout
 //! filament fmt <file.fil>
@@ -17,9 +18,11 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: filament <check|interface|compile|fmt> <file.fil> [component]\n\
+        "usage: filament <check|expand|interface|compile|fmt> <file.fil> [component]\n\
          \n\
          check      parse and type-check (standard library preloaded)\n\
+         expand     elaborate generators (param arithmetic, for-loops,\n\
+                    monomorphization) and print the concrete program\n\
          interface  print a component's timing interface for the harness\n\
          compile    lower a component and emit structural Verilog\n\
          fmt        pretty-print the program"
@@ -38,6 +41,28 @@ fn main() -> ExitCode {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
         _ => return usage(),
     };
+    // `fmt` is parse-only by design: it must reformat any syntactically
+    // valid program, including parametric generators whose elaboration
+    // would fail (that is `check`'s job).
+    if cmd == "fmt" {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match filament_core::parse_program(&src) {
+            Ok(user) => {
+                print!("{}", filament_core::pretty::print_program(&user));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let program = match load(file) {
         Ok(p) => p,
         Err(e) => {
@@ -104,19 +129,25 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "fmt" => {
-            // Reformat only the user program, not the preloaded stdlib.
-            let src = std::fs::read_to_string(file).expect("readable above");
-            match filament_core::parse_program(&src) {
-                Ok(user) => {
-                    print!("{}", filament_core::pretty::print_program(&user));
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
-            }
+        "expand" => {
+            // `load` already ran the monomorphizer over stdlib + user code;
+            // print the concrete program minus the preloaded stdlib externs.
+            let std_names: std::collections::HashSet<String> = fil_stdlib::std_program()
+                .externs
+                .into_iter()
+                .map(|s| s.name)
+                .collect();
+            let user = filament_core::Program {
+                externs: program
+                    .externs
+                    .iter()
+                    .filter(|s| !std_names.contains(&s.name))
+                    .cloned()
+                    .collect(),
+                components: program.components.clone(),
+            };
+            print!("{}", filament_core::pretty::print_program(&user));
+            ExitCode::SUCCESS
         }
         _ => usage(),
     }

@@ -61,6 +61,9 @@ pub fn compile_for_test(
     top: &str,
     registry: &dyn filament_core::PrimitiveRegistry,
 ) -> Result<(Netlist, InterfaceSpec), String> {
+    // Elaborate generators first (idempotent on already-concrete programs),
+    // so callers may hand in parametric sources directly.
+    let program = &filament_core::mono::expand(program).map_err(|e| e.to_string())?;
     filament_core::check_program(program).map_err(|errs| {
         errs.iter()
             .map(|e| e.to_string())

@@ -43,6 +43,9 @@ pub enum SpecError {
     NonConstantDelay,
     /// A port width is parametric.
     NonConstantWidth(String),
+    /// A port interval offset is parametric (the program was not
+    /// monomorphized).
+    NonConstantOffset(String),
 }
 
 impl fmt::Display for SpecError {
@@ -53,6 +56,10 @@ impl fmt::Display for SpecError {
             }
             SpecError::NonConstantDelay => write!(f, "event delay is not constant"),
             SpecError::NonConstantWidth(p) => write!(f, "port {p} has a parametric width"),
+            SpecError::NonConstantOffset(p) => write!(
+                f,
+                "port {p} has a parametric interval offset (run mono::expand first)"
+            ),
         }
     }
 }
@@ -98,15 +105,19 @@ impl InterfaceSpec {
                 .ok_or(SpecError::NonConstantDelay)?,
         };
         let port = |p: &filament_core::ast::PortDef| -> Result<PortSpec, SpecError> {
-            let width = match &p.width {
-                ConstExpr::Lit(w) => *w as u32,
-                ConstExpr::Param(_) => return Err(SpecError::NonConstantWidth(p.name.clone())),
+            let width = match p.width.norm() {
+                ConstExpr::Lit(w) => w as u32,
+                _ => return Err(SpecError::NonConstantWidth(p.name.clone())),
+            };
+            let off = |t: &filament_core::ast::Time| {
+                t.offset_val()
+                    .ok_or_else(|| SpecError::NonConstantOffset(p.name.clone()))
             };
             Ok(PortSpec::new(
                 p.name.clone(),
                 width,
-                p.liveness.start.offset,
-                p.liveness.end.offset,
+                off(&p.liveness.start)?,
+                off(&p.liveness.end)?,
             ))
         };
         Ok(InterfaceSpec {

@@ -42,6 +42,41 @@
 
 use filament_core::{parse_program, PrimitiveRegistry, Program};
 use rtl_sim::CellKind;
+use std::fmt;
+
+/// Errors loading user source against the standard library: parsing, or
+/// monomorphization of the combined program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The user source failed to parse.
+    Parse(filament_core::ParseError),
+    /// Generator elaboration failed (unbound parameter, bad loop bound,
+    /// divergent recursion, ...).
+    Mono(filament_core::MonoError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Parse(e) => write!(f, "{e}"),
+            LoadError::Mono(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<filament_core::ParseError> for LoadError {
+    fn from(e: filament_core::ParseError) -> Self {
+        LoadError::Parse(e)
+    }
+}
+
+impl From<filament_core::MonoError> for LoadError {
+    fn from(e: filament_core::MonoError) -> Self {
+        LoadError::Mono(e)
+    }
+}
 
 /// The standard library's Filament source text.
 ///
@@ -142,12 +177,26 @@ pub fn std_program() -> Program {
     parse_program(STDLIB_SOURCE).expect("standard library parses")
 }
 
-/// Convenience: the standard library extended with user source.
+/// Convenience: the standard library extended with user source, elaborated
+/// through the monomorphizer ([`filament_core::mono::expand`]) so parametric
+/// generators arrive at the checker fully concrete.
+///
+/// # Errors
+///
+/// Returns the parse error of the user source or the elaboration error of
+/// the combined program.
+pub fn with_stdlib(user_src: &str) -> Result<Program, LoadError> {
+    Ok(filament_core::mono::expand(&with_stdlib_raw(user_src)?)?)
+}
+
+/// The standard library extended with user source *without* elaboration —
+/// for callers that drive [`filament_core::mono`] themselves (e.g. to
+/// observe cache statistics or print the expansion).
 ///
 /// # Errors
 ///
 /// Returns the parse error of the user source.
-pub fn with_stdlib(user_src: &str) -> Result<Program, filament_core::ParseError> {
+pub fn with_stdlib_raw(user_src: &str) -> Result<Program, filament_core::ParseError> {
     let mut p = std_program();
     p.extend(parse_program(user_src)?);
     Ok(p)

@@ -1,5 +1,6 @@
-//! Appendix B.1's 2×2 matrix-multiply systolic array built from `Prev`
-//! stream registers, computing C = A × B with skewed feeds.
+//! Appendix B.1's matrix-multiply systolic array — generated from the
+//! parametric `Systolic[N, W]` source at two sizes, computing C = A × B
+//! with skewed feeds over packed lane buses.
 //!
 //! Run with `cargo run --example systolic_array`.
 
@@ -7,47 +8,45 @@ use fil_bits::Value;
 use fil_designs::systolic;
 use rtl_sim::Sim;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let a = [[2u32, 3], [5, 7]];
-    let b = [[11u32, 13], [17, 19]];
+fn multiply(n: usize) -> Result<Vec<u32>, Box<dyn std::error::Error>> {
+    // Deterministic test matrices.
+    let a: Vec<Vec<u32>> = (0..n)
+        .map(|i| (0..n).map(|j| (2 * i + j + 1) as u32).collect())
+        .collect();
+    let b: Vec<Vec<u32>> = (0..n)
+        .map(|i| (0..n).map(|j| (3 * i + 2 * j + 5) as u32).collect())
+        .collect();
+    let (left, top) = systolic::matrix_feeds(&a, &b);
 
-    // Skewed feeds: row 1 / column 1 delayed by one cycle.
-    let l0 = [a[0][0], a[0][1], 0, 0];
-    let l1 = [0, a[1][0], a[1][1], 0];
-    let t0 = [b[0][0], b[1][0], 0, 0];
-    let t1 = [0, b[0][1], b[1][1], 0];
-
-    let (netlist, _) = fil_designs::build(systolic::SYSTOLIC, "Systolic")
-        .map_err(|e| format!("compile: {e}"))?;
+    let (netlist, _) = fil_designs::build(
+        &systolic::source(n as u64, 32),
+        &systolic::top_name(n as u64),
+    )
+    .map_err(|e| format!("compile: {e}"))?;
     let mut sim = Sim::new(&netlist)?;
-    let mut c = [0u64; 4];
-    for k in 0..5 {
+    let mut c = vec![0u32; n * n];
+    for k in 0..3 * n + 1 {
         sim.poke_by_name("go", Value::from_u64(1, 1));
-        let get = |s: &[u32; 4]| s.get(k).copied().unwrap_or(0) as u64;
-        sim.poke_by_name("l0", Value::from_u64(32, get(&l0)));
-        sim.poke_by_name("l1", Value::from_u64(32, get(&l1)));
-        sim.poke_by_name("t0", Value::from_u64(32, get(&t0)));
-        sim.poke_by_name("t1", Value::from_u64(32, get(&t1)));
+        sim.poke_by_name("left", systolic::pack_lanes(n, &left, k));
+        sim.poke_by_name("top", systolic::pack_lanes(n, &top, k));
         sim.settle()?;
-        c = [
-            sim.peek_by_name("out00").to_u64(),
-            sim.peek_by_name("out01").to_u64(),
-            sim.peek_by_name("out10").to_u64(),
-            sim.peek_by_name("out11").to_u64(),
-        ];
+        c = systolic::unpack_lanes(sim.peek_by_name("out"), n * n);
         sim.tick()?;
     }
-
-    println!("A = {a:?}");
-    println!("B = {b:?}");
-    println!("C = [[{}, {}], [{}, {}]]", c[0], c[1], c[2], c[3]);
-    for i in 0..2 {
-        for j in 0..2 {
-            let want = (a[i][0] * b[0][j] + a[i][1] * b[1][j]) as u64;
-            assert_eq!(c[2 * i + j], want);
+    for i in 0..n {
+        for j in 0..n {
+            let want: u32 = (0..n).map(|m| a[i][m] * b[m][j]).sum();
+            assert_eq!(c[i * n + j], want, "C[{i}][{j}] at N = {n}");
         }
     }
-    println!("matches A x B");
+    println!("N = {n}: A x B matches ({} PEs, one Process_32 monomorph)", n * n);
+    Ok(c)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let c2 = multiply(2)?;
+    println!("C(2x2) = [[{}, {}], [{}, {}]]", c2[0], c2[1], c2[2], c2[3]);
+    multiply(4)?;
 
     // The PE with a pipelined multiplier is a *type* change (Appendix B.1):
     // the accumulator no longer sees the product in time.
