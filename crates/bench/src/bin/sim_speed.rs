@@ -68,10 +68,13 @@ fn main() {
             let rate = measure(sys_cycles, || {
                 let mut sim = Sim::new(&netlist).unwrap();
                 sim.poke_by_name("go", Value::from_u64(1, 1));
-                sim.poke_by_name("left", Value::from_u64(64.min(32 * n as u32), 7).resize(32 * n as u32));
-                sim.poke_by_name("top", Value::from_u64(64.min(32 * n as u32), 3).resize(32 * n as u32));
+                // Per-lane bundle ports: left_i / top_i, W = 32 each.
+                for i in 0..n {
+                    sim.poke_by_name(&format!("left_{i}"), Value::from_u64(32, 7 + i));
+                    sim.poke_by_name(&format!("top_{i}"), Value::from_u64(32, 3 + i));
+                }
                 sim.run(sys_cycles).unwrap();
-                std::hint::black_box(sim.peek_by_name("out").to_u64());
+                std::hint::black_box(sim.peek_by_name("out_0").to_u64());
             });
             format!(
                 "{{\"n\": {n}, \"cycles_per_sec\": {rate:.1}, \"pe_cells_per_sec\": {:.1}}}",

@@ -226,6 +226,9 @@ pub fn design_corpus() -> Vec<(String, String, &'static str)> {
         ("systolic-4".into(), fil_designs::systolic::source(4, 32), "Sys4"),
         ("systolic-8".into(), fil_designs::systolic::source(8, 32), "Sys8"),
         ("chain-8x16".into(), fil_designs::shift::source(8, 16), "Chain8x16"),
+        // The tap-bundle wrapper: per-index availability windows survive
+        // flattening into the spec.
+        ("chain-taps-8x4".into(), fil_designs::shift::taps_source(8, 4), "Taps8x4"),
         ("alu-param-16".into(), fil_designs::alu::param_source(16), "Alu16"),
         ("fp-add-comb".into(), fp(Style::Combinational), "FpAdd"),
         ("fp-add-pipe".into(), fp(Style::Pipelined), "FpAdd"),

@@ -551,6 +551,46 @@ pub struct InterfaceDef {
     pub event: Id,
 }
 
+/// The index binder of a *bundle port* `name[i: lo..hi]`: a length-indexed
+/// family of ports whose width and interval offsets may mention the index
+/// variable. The monomorphizer ([`crate::mono`]) flattens a bundle of
+/// extent `lo..hi` into `hi - lo` concrete ports `name_lo .. name_{hi-1}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bundle {
+    /// The index variable, scoped over the port's width and liveness.
+    pub var: Id,
+    /// Lower bound (inclusive).
+    pub lo: ConstExpr,
+    /// Upper bound (exclusive).
+    pub hi: ConstExpr,
+}
+
+impl Bundle {
+    /// A bundle `var: 0..len`.
+    pub fn upto(var: impl Into<Id>, len: ConstExpr) -> Self {
+        Bundle {
+            var: var.into(),
+            lo: ConstExpr::Lit(0),
+            hi: len,
+        }
+    }
+
+    /// The concrete index range, if both bounds evaluate under `env`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first bound-evaluation failure.
+    pub fn extent(&self, env: &HashMap<Id, u64>) -> Result<std::ops::Range<u64>, ConstEvalError> {
+        Ok(self.lo.eval(env)?..self.hi.eval(env)?)
+    }
+}
+
+impl fmt::Display for Bundle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}: {}..{}]", self.var, self.lo, self.hi)
+    }
+}
+
 /// A data port with its availability interval.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortDef {
@@ -560,6 +600,27 @@ pub struct PortDef {
     pub liveness: Range,
     /// Bit width.
     pub width: ConstExpr,
+    /// The index binder when this is a bundle port (`name[i: lo..hi]`);
+    /// `None` for ordinary scalar ports.
+    pub bundle: Option<Bundle>,
+}
+
+impl PortDef {
+    /// A scalar (non-bundle) port.
+    pub fn scalar(name: impl Into<Id>, liveness: Range, width: ConstExpr) -> Self {
+        PortDef {
+            name: name.into(),
+            liveness,
+            width,
+            bundle: None,
+        }
+    }
+
+    /// The flattened name of element `k` of this port, `name_k` (bundle
+    /// elements are plain ports after monomorphization).
+    pub fn element_name(&self, k: u64) -> Id {
+        format!("{}_{k}", self.name)
+    }
 }
 
 /// The relational operator of a `where` constraint.
@@ -651,6 +712,15 @@ impl Signature {
 pub enum Port {
     /// A port of the enclosing component.
     This(Id),
+    /// One element of a bundle port of the enclosing component: `left[i]`.
+    /// The monomorphizer resolves the index and flattens this to
+    /// [`Port::This`] (`left_2`).
+    Bundle {
+        /// The bundle port's name.
+        port: Id,
+        /// The element index, evaluated at elaboration time.
+        idx: ConstExpr,
+    },
     /// A port of a previous invocation: `m0.out` (possibly indexed inside a
     /// generate loop: `pe[i][j].out`).
     Inv {
@@ -658,6 +728,17 @@ pub enum Port {
         invocation: IName,
         /// The port name in the callee's signature.
         port: Id,
+    },
+    /// One element of a bundle output of a previous invocation:
+    /// `s.out[k]`. Flattened to [`Port::Inv`] (`s.out_4`) by the
+    /// monomorphizer.
+    InvBundle {
+        /// The invocation name.
+        invocation: IName,
+        /// The bundle port name in the callee's signature.
+        port: Id,
+        /// The element index, evaluated at elaboration time.
+        idx: ConstExpr,
     },
     /// A constant literal (always semantically valid).
     Lit(u64),
@@ -667,9 +748,64 @@ impl fmt::Display for Port {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Port::This(p) => write!(f, "{p}"),
+            Port::Bundle { port, idx } => write!(f, "{port}[{idx}]"),
             Port::Inv { invocation, port } => write!(f, "{invocation}.{port}"),
+            Port::InvBundle {
+                invocation,
+                port,
+                idx,
+            } => write!(f, "{invocation}.{port}[{idx}]"),
             Port::Lit(n) => write!(f, "{n}"),
         }
+    }
+}
+
+/// The comparison operator of an `if`-generate condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates `l op r`.
+    pub fn holds(self, l: u64, r: u64) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+
+    /// The surface-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
     }
 }
 
@@ -718,6 +854,22 @@ pub enum Command {
         hi: ConstExpr,
         /// The commands repeated per iteration.
         body: Vec<Command>,
+    },
+    /// `if l op r { ... } else { ... }` — a compile-time conditional over
+    /// const expressions. The monomorphizer evaluates the condition and
+    /// keeps exactly one arm; the other never reaches checking or lowering
+    /// (so the arms may instantiate different components).
+    IfGen {
+        /// Left operand of the condition.
+        lhs: ConstExpr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand of the condition.
+        rhs: ConstExpr,
+        /// Commands kept when the condition holds.
+        then_body: Vec<Command>,
+        /// Commands kept otherwise (empty when there is no `else`).
+        else_body: Vec<Command>,
     },
 }
 
@@ -1093,16 +1245,12 @@ mod tests {
                 name: "en".into(),
                 event: "G".into(),
             }],
-            inputs: vec![PortDef {
-                name: "in".into(),
-                liveness: Range::cycle("G", 0),
-                width: 32.into(),
-            }],
-            outputs: vec![PortDef {
-                name: "out".into(),
-                liveness: Range::new(Time::new("G", 1), Time::event("L")),
-                width: 32.into(),
-            }],
+            inputs: vec![PortDef::scalar("in", Range::cycle("G", 0), 32.into())],
+            outputs: vec![PortDef::scalar(
+                "out",
+                Range::new(Time::new("G", 1), Time::event("L")),
+                32.into(),
+            )],
             constraints: vec![OrderConstraint {
                 lhs: Time::event("L"),
                 op: ConstraintOp::Gt,
@@ -1120,6 +1268,52 @@ mod tests {
             sig.constraints[0].to_string(),
             "L > G+1"
         );
+    }
+
+    #[test]
+    fn bundle_extent_and_display() {
+        let b = Bundle::upto("i", ConstExpr::Param("N".into()));
+        assert_eq!(b.to_string(), "[i: 0..N]");
+        let mut env = HashMap::new();
+        env.insert("N".to_owned(), 4u64);
+        assert_eq!(b.extent(&env).unwrap(), 0..4);
+        assert_eq!(
+            b.extent(&HashMap::new()),
+            Err(ConstEvalError::Unbound("N".into()))
+        );
+        let p = PortDef {
+            name: "left".into(),
+            liveness: Range::cycle("G", 0),
+            width: ConstExpr::Param("W".into()),
+            bundle: Some(b),
+        };
+        assert_eq!(p.element_name(2), "left_2");
+    }
+
+    #[test]
+    fn bundle_port_refs_display() {
+        let e = Port::Bundle {
+            port: "left".into(),
+            idx: ConstExpr::Param("i".into()),
+        };
+        assert_eq!(e.to_string(), "left[i]");
+        let e = Port::InvBundle {
+            invocation: "s".into(),
+            port: "out".into(),
+            idx: ConstExpr::Lit(3),
+        };
+        assert_eq!(e.to_string(), "s.out[3]");
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Eq.holds(3, 3) && !CmpOp::Eq.holds(3, 4));
+        assert!(CmpOp::Ne.holds(3, 4) && !CmpOp::Ne.holds(3, 3));
+        assert!(CmpOp::Lt.holds(1, 2) && !CmpOp::Lt.holds(2, 2));
+        assert!(CmpOp::Le.holds(2, 2) && !CmpOp::Le.holds(3, 2));
+        assert!(CmpOp::Gt.holds(2, 1) && !CmpOp::Gt.holds(2, 2));
+        assert!(CmpOp::Ge.holds(2, 2) && !CmpOp::Ge.holds(1, 2));
+        assert_eq!(CmpOp::Ne.to_string(), "!=");
     }
 
     #[test]

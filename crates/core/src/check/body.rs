@@ -220,7 +220,7 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
             }
             Command::Connect { .. } => {}
             // Ruled out by the concreteness pre-pass.
-            Command::ForGen { .. } => {}
+            Command::ForGen { .. } | Command::IfGen { .. } => {}
         }
     }
 
@@ -228,6 +228,11 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
     let avail_of = |port: &Port| -> Result<(Avail, ConstExpr), String> {
         match port {
             Port::Lit(_) => Ok((Avail::Always, ConstExpr::Lit(0))),
+            // Ruled out by the concreteness pre-pass; kept total for direct
+            // callers that skip it.
+            Port::Bundle { .. } | Port::InvBundle { .. } => Err(format!(
+                "bundle element {port} not flattened; run mono::expand first"
+            )),
             Port::This(p) => {
                 if let Some(def) = sig.input(p) {
                     Ok((Avail::Range(def.liveness.clone()), def.width.clone()))
@@ -423,7 +428,7 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                 }
             }
             Command::Instance { .. } => {}
-            Command::ForGen { .. } => {}
+            Command::ForGen { .. } | Command::IfGen { .. } => {}
         }
     }
 

@@ -126,6 +126,18 @@ pub(crate) fn signature_is_concrete(sig: &Signature, errors: &mut Vec<CheckError
     let comp = &sig.name;
     let mut ok = true;
     for p in sig.inputs.iter().chain(&sig.outputs) {
+        if p.bundle.is_some() {
+            // The bundle's liveness legitimately mentions the index
+            // variable; report the bundle itself rather than per-offset
+            // noise. (sig::check_bundles validates its shape symbolically.)
+            errors.push(CheckError::new(
+                comp.clone(),
+                ErrorKind::Unelaborated,
+                format!("bundle port {} not flattened; run mono::expand first", p.name),
+            ));
+            ok = false;
+            continue;
+        }
         let site = format!("port {}", p.name);
         ok &= concrete_time(&p.liveness.start, &site, comp, errors);
         ok &= concrete_time(&p.liveness.end, &site, comp, errors);
@@ -147,6 +159,20 @@ pub(crate) fn signature_is_concrete(sig: &Signature, errors: &mut Vec<CheckError
 /// Checks a body for residual generate constructs: loops, indexed names,
 /// symbolic time offsets.
 pub(crate) fn body_is_concrete(comp: &Component, errors: &mut Vec<CheckError>) -> bool {
+    fn port_ok(p: &crate::ast::Port, cname: &Id, errors: &mut Vec<CheckError>) -> bool {
+        match p {
+            crate::ast::Port::Inv { invocation, .. } => flat(&[invocation], cname, errors),
+            crate::ast::Port::Bundle { .. } | crate::ast::Port::InvBundle { .. } => {
+                errors.push(CheckError::new(
+                    cname.clone(),
+                    ErrorKind::Unelaborated,
+                    format!("bundle element {p} not flattened; run mono::expand first"),
+                ));
+                false
+            }
+            crate::ast::Port::This(_) | crate::ast::Port::Lit(_) => true,
+        }
+    }
     fn walk(cmds: &[Command], cname: &Id, errors: &mut Vec<CheckError>) -> bool {
         let mut ok = true;
         for cmd in cmds {
@@ -156,6 +182,17 @@ pub(crate) fn body_is_concrete(comp: &Component, errors: &mut Vec<CheckError>) -
                         cname.clone(),
                         ErrorKind::Unelaborated,
                         format!("for-generate loop over {var} not unrolled; run mono::expand first"),
+                    ));
+                    ok = false;
+                }
+                Command::IfGen { lhs, op, rhs, .. } => {
+                    errors.push(CheckError::new(
+                        cname.clone(),
+                        ErrorKind::Unelaborated,
+                        format!(
+                            "if-generate conditional `{lhs} {op} {rhs}` not resolved; run \
+                             mono::expand first"
+                        ),
                     ));
                     ok = false;
                 }
@@ -173,16 +210,12 @@ pub(crate) fn body_is_concrete(comp: &Component, errors: &mut Vec<CheckError>) -
                         ok &= concrete_time(t, &format!("schedule of {name}"), cname, errors);
                     }
                     for a in args {
-                        if let crate::ast::Port::Inv { invocation, .. } = a {
-                            ok &= flat(&[invocation], cname, errors);
-                        }
+                        ok &= port_ok(a, cname, errors);
                     }
                 }
                 Command::Connect { dst, src } => {
                     for p in [dst, src] {
-                        if let crate::ast::Port::Inv { invocation, .. } = p {
-                            ok &= flat(&[invocation], cname, errors);
-                        }
+                        ok &= port_ok(p, cname, errors);
                     }
                 }
             }

@@ -77,8 +77,114 @@ impl SigEnv {
     }
 }
 
+/// Ceiling on per-index interval validation of a closed bundle range: large
+/// bundles are validated on a prefix (elaboration re-validates every index).
+const MAX_BUNDLE_SCAN: u64 = 1024;
+
+/// Validates bundle ports *symbolically*, before elaboration: the index
+/// binder must not shadow a component parameter, the index bounds may only
+/// mention component parameters, width and interval offsets may additionally
+/// mention the index variable — and when the index range is closed, every
+/// element's interval is checked non-empty wherever its offsets evaluate.
+pub(crate) fn check_bundles(sig: &Signature, errors: &mut Vec<CheckError>) {
+    let params: HashSet<&str> = sig.params.iter().map(String::as_str).collect();
+    for p in sig.inputs.iter().chain(&sig.outputs) {
+        let Some(b) = &p.bundle else { continue };
+        let err = |errors: &mut Vec<CheckError>, kind, msg: String| {
+            errors.push(CheckError::new(sig.name.clone(), kind, msg));
+        };
+        if params.contains(b.var.as_str()) {
+            err(
+                errors,
+                ErrorKind::Binding,
+                format!(
+                    "bundle port {}: index variable {} shadows a component parameter",
+                    p.name, b.var
+                ),
+            );
+        }
+        for bound in [&b.lo, &b.hi] {
+            for q in bound.params() {
+                if !params.contains(q.as_str()) {
+                    err(
+                        errors,
+                        ErrorKind::Binding,
+                        format!(
+                            "bundle port {}: index bound mentions unknown parameter {q}",
+                            p.name
+                        ),
+                    );
+                }
+            }
+        }
+        let in_scope = |q: &str| params.contains(q) || q == b.var;
+        for q in p.width.params() {
+            if !in_scope(&q) {
+                err(
+                    errors,
+                    ErrorKind::Binding,
+                    format!("bundle port {} has unknown width parameter {q}", p.name),
+                );
+            }
+        }
+        for t in [&p.liveness.start, &p.liveness.end] {
+            for q in t.offset.params() {
+                if !in_scope(&q) {
+                    err(
+                        errors,
+                        ErrorKind::Binding,
+                        format!(
+                            "bundle port {}: interval offset mentions unknown parameter {q}",
+                            p.name
+                        ),
+                    );
+                }
+            }
+        }
+        // Closed index ranges: shape plus per-index interval checks.
+        let (Ok(lo), Ok(hi)) = (b.lo.eval_closed(), b.hi.eval_closed()) else {
+            continue;
+        };
+        if hi <= lo {
+            err(
+                errors,
+                ErrorKind::DelayWellFormed,
+                format!("bundle port {} has an empty index range {lo}..{hi}", p.name),
+            );
+            continue;
+        }
+        for k in lo..hi.min(lo + MAX_BUNDLE_SCAN) {
+            let mut env = std::collections::HashMap::new();
+            env.insert(b.var.clone(), k);
+            // Offsets mentioning component parameters stay symbolic here;
+            // the intervals that *do* evaluate must be non-empty (the
+            // "non-negative interval for every index" obligation — an
+            // end-before-start offset pair subtracts below zero).
+            let (Ok(s), Ok(e)) = (
+                p.liveness.start.offset.eval(&env),
+                p.liveness.end.offset.eval(&env),
+            ) else {
+                continue;
+            };
+            if p.liveness.start.event == p.liveness.end.event && e < s + 1 {
+                err(
+                    errors,
+                    ErrorKind::DelayWellFormed,
+                    format!(
+                        "interval of bundle element {}[{k}] is empty: [{}+{s}, {}+{e})",
+                        p.name, p.liveness.start.event, p.liveness.end.event
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// Checks one signature, pushing diagnostics into `errors`.
 pub(crate) fn check_signature(sig: &Signature, is_extern: bool, errors: &mut Vec<CheckError>) {
+    // Bundle shape is validated symbolically first — the temporal passes
+    // below only run on flattened (concrete) signatures.
+    check_bundles(sig, errors);
     // Temporal checks need concrete offsets; generate-time arithmetic must
     // have been discharged by mono::expand.
     if !super::signature_is_concrete(sig, errors) {

@@ -35,6 +35,49 @@
 //! instantiating each `(component, params)` pair exactly once — after which
 //! checking and lowering run unchanged:
 //!
+//! ## Bundle ports
+//!
+//! A signature port may be a *bundle* — a length-indexed family of ports
+//! whose width and availability interval can mention the index:
+//!
+//! ```text
+//! comp Systolic[N, W]<G: 1>(@[G, G+1] left[i: 0..N]: W, ...)
+//!     -> (@[G, G+1] out[k: 0..N*N]: W) { ... }
+//! comp Chain[W, D]<G: 1>(...) -> (@[G+(k+1), G+(k+2)] tap[k: 0..D]: W) { ... }
+//! ```
+//!
+//! `name[i: N]` abbreviates `name[i: 0..N]`. Bodies read one element with
+//! `left[e]` (or `inv.out[e]` for a callee's bundle output), drive output
+//! elements with `out[e] = ...`, and pass a *whole* bundle to a callee's
+//! bundle input by its bare name. [`mono::expand`] flattens a bundle of
+//! extent `lo..hi` into concrete ports `name_lo .. name_{hi-1}` — the
+//! interface of a parametric component scales with its parameters instead
+//! of being packed into one wide bus and sliced apart by hand. Bundle shape
+//! is validated symbolically by the checker ([`check`]) before elaboration:
+//! index binders must not shadow parameters, bounds may only mention
+//! component parameters, and closed ranges get a per-index non-empty
+//! interval check.
+//!
+//! ## `if`-generate
+//!
+//! `if l op r { ... } else { ... }` (with `op` one of `== != < <= > >=`
+//! over const expressions) is a compile-time conditional: [`mono::expand`]
+//! evaluates the condition and keeps exactly one arm, so the arms may
+//! instantiate different components — the idiom for edge cases in generate
+//! loops (`if j == 0 { /* chain entry */ } else { /* register */ }`).
+//!
+//! # The `filament` CLI
+//!
+//! The `fil-harness` crate ships the compiler driver binary:
+//!
+//! | Subcommand | Meaning |
+//! |---|---|
+//! | `filament check <f.fil>` | parse + elaborate + type-check against the stdlib |
+//! | `filament expand <f.fil>` | run [`mono::expand`] and print the concrete program (loops unrolled, `if`s resolved, bundles flattened, monomorph names like `Chain_8_4`) |
+//! | `filament interface <f.fil> <comp>` | print a component's harness-facing timing interface |
+//! | `filament compile <f.fil> <comp>` | lower to Calyx-lite and emit structural Verilog |
+//! | `filament fmt <f.fil>` | parse-only pretty-print; idempotent over any valid source (CI pins this as a fixpoint gate, alongside golden `expand` snapshots of the design corpus) |
+//!
 //! ```
 //! use filament_core::{check_program, mono, parse_program};
 //!

@@ -188,6 +188,58 @@ fn flat_name<'n>(n: &'n crate::ast::IName, component: &str) -> Result<&'n Id, Lo
     })
 }
 
+/// Rejects residual generate constructs — `for`/`if` commands, bundle ports
+/// in the signature, and bundle-element references in the body — with an
+/// [`LowerError::Unelaborated`] naming the construct.
+fn reject_generate_constructs(comp: &crate::ast::Component) -> Result<(), LowerError> {
+    let name = &comp.sig.name;
+    let unelab = |construct: String| LowerError::Unelaborated {
+        component: name.clone(),
+        construct,
+    };
+    if let Some(p) = comp
+        .sig
+        .inputs
+        .iter()
+        .chain(&comp.sig.outputs)
+        .find(|p| p.bundle.is_some())
+    {
+        return Err(unelab(format!("bundle port {}", p.name)));
+    }
+    fn walk(cmds: &[Command], unelab: &dyn Fn(String) -> LowerError) -> Result<(), LowerError> {
+        let port_ok = |p: &Port| -> Result<(), LowerError> {
+            match p {
+                Port::Bundle { .. } | Port::InvBundle { .. } => {
+                    Err(unelab(format!("bundle element {p}")))
+                }
+                _ => Ok(()),
+            }
+        };
+        for cmd in cmds {
+            match cmd {
+                Command::ForGen { var, .. } => {
+                    return Err(unelab(format!("for-generate loop over {var}")));
+                }
+                Command::IfGen { lhs, op, rhs, .. } => {
+                    return Err(unelab(format!("if-generate conditional `{lhs} {op} {rhs}`")));
+                }
+                Command::Invoke { args, .. } => {
+                    for a in args {
+                        port_ok(a)?;
+                    }
+                }
+                Command::Connect { dst, src } => {
+                    port_ok(dst)?;
+                    port_ok(src)?;
+                }
+                Command::Instance { .. } => {}
+            }
+        }
+        Ok(())
+    }
+    walk(&comp.body, &unelab)
+}
+
 fn lower_component(
     program: &Program,
     name: &str,
@@ -203,17 +255,9 @@ fn lower_component(
         .component(name)
         .ok_or_else(|| LowerError::UnknownComponent(name.to_owned()))?;
     let sig = &comp.sig;
-    // Generate loops must have been unrolled by mono::expand.
-    if let Some(Command::ForGen { var, .. }) = comp
-        .body
-        .iter()
-        .find(|c| matches!(c, Command::ForGen { .. }))
-    {
-        return Err(LowerError::Unelaborated {
-            component: name.to_owned(),
-            construct: format!("for-generate loop over {var}"),
-        });
-    }
+    // Generate constructs (loops, conditionals, bundle ports/elements) must
+    // have been discharged by mono::expand.
+    reject_generate_constructs(comp)?;
     let mut c = cl::Component::new(name);
 
     for iface in &sig.interfaces {
@@ -429,6 +473,9 @@ fn lower_component(
                 cl::Src::port(cl::PortRef::cell(inst.clone(), port.clone()))
             }
             Port::Lit(n) => cl::Src::konst(Value::from_u64(width, *n)),
+            Port::Bundle { .. } | Port::InvBundle { .. } => {
+                unreachable!("bundle elements rejected by reject_generate_constructs")
+            }
         }
     };
 

@@ -12,11 +12,15 @@
 //! event      ::= ident ":" delay
 //! delay      ::= nat | time "-" ("(" time ")" | time)
 //! port       ::= "@interface" "[" ident "]" ident ":" cexpr
-//!              | "@" "[" time "," time "]" ident ":" cexpr
+//!              | "@" "[" time "," time "]" ident bundle? ":" cexpr
+//! bundle     ::= "[" ident ":" (cexpr ".." cexpr | cexpr) "]"
 //! command    ::= iname ":=" "new" ident cargs? invoke-sfx? ";"  (fused form)
 //!              | iname ":=" iname "<" time,* ">" "(" arg,* ")" ";"
 //!              | portref "=" portref ";"
 //!              | "for" ident "in" cexpr ".." cexpr "{" command* "}"
+//!              | "if" cexpr cmpop cexpr "{" command* "}" ("else" "{" command* "}")?
+//! portref    ::= iname "." ident ("[" cexpr "]")? | ident ("[" cexpr "]")? | nat
+//! cmpop      ::= "==" | "!=" | "<" | "<=" | ">" | ">="
 //! iname      ::= ident ("[" cexpr "]")*
 //! cargs      ::= "[" cexpr ("," cexpr)* "]"
 //! time       ::= ident ("+" cexpr)?
@@ -72,7 +76,9 @@ enum Tok {
     ColonEq,
     Eq,
     EqEq,
+    Ne,
     Ge,
+    Le,
     Arrow,
     Plus,
     Minus,
@@ -104,7 +110,9 @@ impl fmt::Display for Tok {
             Tok::ColonEq => write!(f, "':='"),
             Tok::Eq => write!(f, "'='"),
             Tok::EqEq => write!(f, "'=='"),
+            Tok::Ne => write!(f, "'!='"),
             Tok::Ge => write!(f, "'>='"),
+            Tok::Le => write!(f, "'<='"),
             Tok::Arrow => write!(f, "'->'"),
             Tok::Plus => write!(f, "'+'"),
             Tok::Minus => write!(f, "'-'"),
@@ -225,7 +233,21 @@ impl<'s> Lexer<'s> {
             }
             b'<' => {
                 self.bump();
-                Tok::LAngle
+                if self.peek_byte() == Some(b'=') {
+                    self.bump();
+                    Tok::Le
+                } else {
+                    Tok::LAngle
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek_byte() == Some(b'=') {
+                    self.bump();
+                    Tok::Ne
+                } else {
+                    return Err(self.error("expected '=' after '!'"));
+                }
             }
             b'>' => {
                 self.bump();
@@ -553,12 +575,18 @@ impl Parser {
                 let end = self.time()?;
                 self.eat(Tok::RBrack)?;
                 let name = self.ident()?;
+                let bundle = if *self.peek() == Tok::LBrack {
+                    Some(self.bundle_binder(&name)?)
+                } else {
+                    None
+                };
                 self.eat(Tok::Colon)?;
                 let width = self.width()?;
                 ports.push(PortDef {
                     name,
                     liveness: Range::new(start, end),
                     width,
+                    bundle,
                 });
             }
             if *self.peek() == Tok::Comma {
@@ -569,6 +597,38 @@ impl Parser {
         }
         self.eat(Tok::RParen)?;
         Ok((interfaces, ports))
+    }
+
+    /// `"[" ident ":" (cexpr ".." cexpr | cexpr) "]"` — the index binder of
+    /// a bundle port `name[i: lo..hi]` (`name[i: N]` is sugar for `0..N`).
+    /// Literal-empty index ranges are rejected here so the error span points
+    /// at the range, not at a downstream elaboration site.
+    fn bundle_binder(&mut self, port: &str) -> Result<Bundle, ParseError> {
+        self.eat(Tok::LBrack)?;
+        let var = self.ident()?;
+        self.eat(Tok::Colon)?;
+        let (range_line, range_col) = self.here();
+        let first = self.const_expr()?;
+        let (lo, hi) = if *self.peek() == Tok::DotDot {
+            self.bump();
+            let hi = self.const_expr()?;
+            (first, hi)
+        } else {
+            (ConstExpr::Lit(0), first)
+        };
+        if let (Ok(l), Ok(h)) = (lo.eval_closed(), hi.eval_closed()) {
+            if h <= l {
+                return Err(ParseError {
+                    message: format!(
+                        "bundle port {port} has an empty index range {lo}..{hi}"
+                    ),
+                    line: range_line,
+                    col: range_col,
+                });
+            }
+        }
+        self.eat(Tok::RBrack)?;
+        Ok(Bundle { var, lo, hi })
     }
 
     fn signature(&mut self) -> Result<Signature, ParseError> {
@@ -664,15 +724,33 @@ impl Parser {
         if *self.peek() == Tok::Dot {
             self.bump();
             let port = self.ident()?;
+            // `inv.port[idx]` — one element of a callee bundle output.
+            if *self.peek() == Tok::LBrack {
+                self.bump();
+                let idx = self.const_expr()?;
+                self.eat(Tok::RBrack)?;
+                return Ok(Port::InvBundle {
+                    invocation: first,
+                    port,
+                    idx,
+                });
+            }
             Ok(Port::Inv {
                 invocation: first,
                 port,
             })
         } else if first.idx.is_empty() {
             Ok(Port::This(first.base))
+        } else if first.idx.len() == 1 {
+            // `left[i]` — one element of an own bundle port.
+            Ok(Port::Bundle {
+                port: first.base,
+                idx: first.idx.into_iter().next().expect("len checked"),
+            })
         } else {
             Err(self.error(format!(
-                "indexed name {first} must be followed by '.port' (only invocations are indexed)"
+                "indexed name {first} must be followed by '.port' (bundle ports have a \
+                 single index)"
             )))
         }
     }
@@ -730,6 +808,50 @@ impl Parser {
             }
             self.eat(Tok::RBrace)?;
             out.push(Command::ForGen { var, lo, hi, body });
+            return Ok(());
+        }
+        // `if l op r { command* } (else { command* })?` — the compile-time
+        // conditional, resolved by mono::expand.
+        if self.at_keyword("if") {
+            self.bump();
+            let lhs = self.const_expr()?;
+            let op = match self.bump() {
+                Tok::EqEq => CmpOp::Eq,
+                Tok::Ne => CmpOp::Ne,
+                Tok::LAngle => CmpOp::Lt,
+                Tok::Le => CmpOp::Le,
+                Tok::RAngle => CmpOp::Gt,
+                Tok::Ge => CmpOp::Ge,
+                other => {
+                    return Err(self.error(format!(
+                        "expected a comparison ('==', '!=', '<', '<=', '>', '>=') in \
+                         if-generate condition, found {other}"
+                    )))
+                }
+            };
+            let rhs = self.const_expr()?;
+            self.eat(Tok::LBrace)?;
+            let mut then_body = Vec::new();
+            while *self.peek() != Tok::RBrace {
+                self.command(&mut then_body)?;
+            }
+            self.eat(Tok::RBrace)?;
+            let mut else_body = Vec::new();
+            if self.at_keyword("else") {
+                self.bump();
+                self.eat(Tok::LBrace)?;
+                while *self.peek() != Tok::RBrace {
+                    self.command(&mut else_body)?;
+                }
+                self.eat(Tok::RBrace)?;
+            }
+            out.push(Command::IfGen {
+                lhs,
+                op,
+                rhs,
+                then_body,
+                else_body,
+            });
             return Ok(());
         }
         // A literal can only start a connect source, never a definition, so
@@ -1041,12 +1163,187 @@ mod tests {
     }
 
     #[test]
-    fn indexed_connect_target_is_rejected() {
+    fn indexed_connect_target_is_a_bundle_element() {
+        // A singly-indexed bare name is a bundle-element reference (the
+        // checker rejects it if the port is not a bundle); only multi-index
+        // names remain parse errors without a '.port'.
+        let p = parse_program(
+            "comp M<G: 1>(@[G, G+1] a: 8) -> (@[G, G+1] o[k: 0..2]: 8) { o[1] = a; }",
+        )
+        .unwrap();
+        match &p.components[0].body[0] {
+            Command::Connect { dst, .. } => {
+                assert_eq!(
+                    dst,
+                    &Port::Bundle {
+                        port: "o".into(),
+                        idx: ConstExpr::Lit(1)
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
         let err = parse_program(
-            "comp M<G: 1>(@[G, G+1] a: 8) -> (@[G, G+1] o: 8) { o[1] = a; }",
+            "comp M<G: 1>(@[G, G+1] a: 8) -> (@[G, G+1] o: 8) { o[1][2] = a; }",
         )
         .unwrap_err();
-        assert!(err.to_string().contains("indexed"), "{err}");
+        assert!(err.to_string().contains("single index"), "{err}");
+    }
+
+    #[test]
+    fn parses_bundle_ports() {
+        let p = parse_program(
+            "comp M[N, W]<G: 1>(@[G, G+1] left[i: 0..N]: W) \
+             -> (@[G+k, G+(k+1)] out[k: N*N]: W) { }",
+        )
+        .unwrap();
+        let sig = &p.components[0].sig;
+        let b = sig.inputs[0].bundle.as_ref().unwrap();
+        assert_eq!(b.var, "i");
+        assert_eq!(b.lo, ConstExpr::Lit(0));
+        assert_eq!(b.hi, ConstExpr::Param("N".into()));
+        // `[k: N*N]` is sugar for `[k: 0..N*N]`.
+        let ob = sig.outputs[0].bundle.as_ref().unwrap();
+        assert_eq!(ob.lo, ConstExpr::Lit(0));
+        assert_eq!(ob.hi.to_string(), "N * N");
+        assert_eq!(sig.outputs[0].liveness.start.to_string(), "G+k");
+    }
+
+    #[test]
+    fn parses_bundle_element_references() {
+        let p = parse_program(
+            "comp M[N]<G: 1>(@[G, G+1] in[i: 0..N]: 8) -> (@[G, G+1] out[i: 0..N]: 8) {
+               s := new Sub[N]<G>(in);
+               for i in 0..N {
+                 out[i] = s.res[i];
+               }
+             }",
+        )
+        .unwrap();
+        // Fused form desugars to Instance + Invoke, so the loop is body[2].
+        match &p.components[0].body[2] {
+            Command::ForGen { body, .. } => match &body[0] {
+                Command::Connect { dst, src } => {
+                    assert_eq!(dst.to_string(), "out[i]");
+                    assert_eq!(
+                        src,
+                        &Port::InvBundle {
+                            invocation: "s".into(),
+                            port: "res".into(),
+                            idx: ConstExpr::Param("i".into()),
+                        }
+                    );
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        // A whole bundle passed by name stays a plain This reference.
+        match &p.components[0].body[1] {
+            Command::Invoke { args, .. } => assert_eq!(args[0], Port::This("in".into())),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_generate() {
+        let p = parse_program(
+            "comp M[N]<G: 1>(@[G, G+1] a: 8) -> () {
+               for i in 0..N {
+                 if i == 0 {
+                   z[i] := new First[8];
+                 } else {
+                   z[i] := new Rest[8];
+                 }
+                 if i != N - 1 { }
+               }
+             }",
+        )
+        .unwrap();
+        match &p.components[0].body[0] {
+            Command::ForGen { body, .. } => {
+                match &body[0] {
+                    Command::IfGen {
+                        lhs,
+                        op,
+                        rhs,
+                        then_body,
+                        else_body,
+                    } => {
+                        assert_eq!(lhs, &ConstExpr::Param("i".into()));
+                        assert_eq!(*op, CmpOp::Eq);
+                        assert_eq!(rhs, &ConstExpr::Lit(0));
+                        assert_eq!(then_body.len(), 1);
+                        assert_eq!(else_body.len(), 1);
+                    }
+                    other => panic!("{other:?}"),
+                }
+                match &body[1] {
+                    Command::IfGen { op, else_body, .. } => {
+                        assert_eq!(*op, CmpOp::Ne);
+                        assert!(else_body.is_empty());
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_generate_all_comparisons_parse() {
+        for op in ["==", "!=", "<", "<=", ">", ">="] {
+            let src = format!(
+                "comp M[N]<G: 1>() -> () {{ if N {op} 4 {{ }} }}"
+            );
+            let p = parse_program(&src).unwrap_or_else(|e| panic!("{op}: {e}"));
+            assert!(matches!(&p.components[0].body[0], Command::IfGen { .. }));
+        }
+    }
+
+    #[test]
+    fn bundle_syntax_errors_have_spans() {
+        // Empty literal index range: the span points at the range tokens.
+        let err = parse_program(
+            "comp M<G: 1>(@[G, G+1] in[i: 5..2]: 8) -> () { }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("empty index range"), "{err}");
+        assert_eq!((err.line, err.col), (1, 30), "{err}");
+        // Zero-size bundle via the length-sugar form.
+        let err = parse_program("comp M<G: 1>(@[G, G+1] in[i: 0]: 8) -> () { }").unwrap_err();
+        assert!(err.to_string().contains("empty index range"), "{err}");
+        assert_eq!((err.line, err.col), (1, 30), "{err}");
+        // Bad index range: '..' with no lower bound is not a cexpr.
+        let err = parse_program(
+            "comp M<G: 1>(@[G, G+1] in[i: ..4]: 8) -> () { }",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("expected constant expression"),
+            "{err}"
+        );
+        assert_eq!((err.line, err.col), (1, 30), "{err}");
+        // Missing width after the binder: the error points at the token
+        // where ':' was expected.
+        let err = parse_program(
+            "comp M<G: 1>(@[G, G+1] in[i: 0..4]) -> () { }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("':'"), "{err}");
+        assert_eq!((err.line, err.col), (1, 35), "{err}");
+        // Missing binder variable.
+        let err = parse_program(
+            "comp M<G: 1>(@[G, G+1] in[: 0..4]: 8) -> () { }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("identifier"), "{err}");
+    }
+
+    #[test]
+    fn stray_bang_is_rejected() {
+        let err = parse_program("comp M<G: 1>() -> () { if 1 ! 2 { } }").unwrap_err();
+        assert!(err.to_string().contains("'='"), "{err}");
     }
 
     #[test]

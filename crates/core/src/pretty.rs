@@ -87,6 +87,23 @@ fn print_commands(cmds: &[Command], depth: usize, out: &mut String) {
                 print_commands(body, depth + 1, out);
                 let _ = writeln!(out, "{indent}}}");
             }
+            Command::IfGen {
+                lhs,
+                op,
+                rhs,
+                then_body,
+                else_body,
+            } => {
+                let _ = writeln!(out, "{indent}if {lhs} {op} {rhs} {{");
+                print_commands(then_body, depth + 1, out);
+                if else_body.is_empty() {
+                    let _ = writeln!(out, "{indent}}}");
+                } else {
+                    let _ = writeln!(out, "{indent}}} else {{");
+                    print_commands(else_body, depth + 1, out);
+                    let _ = writeln!(out, "{indent}}}");
+                }
+            }
             other => {
                 let _ = writeln!(out, "{indent}{}", print_command(other));
             }
@@ -117,7 +134,17 @@ pub fn print_signature(sig: &Signature) -> String {
         .collect();
     let _ = write!(out, "<{}>", events.join(", "));
 
-    let port = |p: &PortDef| format!("@[{}, {}] {}: {}", p.liveness.start, p.liveness.end, p.name, p.width);
+    let port = |p: &PortDef| {
+        let bundle = p
+            .bundle
+            .as_ref()
+            .map(|b| b.to_string())
+            .unwrap_or_default();
+        format!(
+            "@[{}, {}] {}{bundle}: {}",
+            p.liveness.start, p.liveness.end, p.name, p.width
+        )
+    };
     let mut inputs: Vec<String> = sig
         .interfaces
         .iter()
@@ -177,6 +204,25 @@ pub fn print_command(cmd: &Command) -> String {
             let _ = writeln!(out, "for {var} in {lo}..{hi} {{");
             print_commands(body, 1, &mut out);
             out.push('}');
+            out
+        }
+        Command::IfGen {
+            lhs,
+            op,
+            rhs,
+            then_body,
+            else_body,
+        } => {
+            let mut out = String::new();
+            let _ = writeln!(out, "if {lhs} {op} {rhs} {{");
+            print_commands(then_body, 1, &mut out);
+            if else_body.is_empty() {
+                out.push('}');
+            } else {
+                out.push_str("} else {\n");
+                print_commands(else_body, 1, &mut out);
+                out.push('}');
+            }
             out
         }
     }

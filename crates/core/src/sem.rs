@@ -172,21 +172,32 @@ fn eval_range(r: &Range) -> Result<(i64, i64), String> {
     Ok((eval_time(&r.start)?, eval_time(&r.end)?))
 }
 
-/// Rejects ports that still reference indexed invocations — their keys
-/// would never match the flat names recorded by Instance/Invoke.
+/// Rejects ports that still reference indexed invocations or bundle
+/// elements — their keys would never match the flat names recorded by
+/// Instance/Invoke.
 fn flat_port(p: &Port) -> Result<(), String> {
-    if let Port::Inv { invocation, .. } = p {
-        if invocation.flat().is_none() {
-            return Err(format!("indexed name {invocation}; run mono::expand first"));
+    match p {
+        Port::Inv { invocation, .. } if invocation.flat().is_none() => {
+            Err(format!("indexed name {invocation}; run mono::expand first"))
         }
+        Port::Bundle { .. } | Port::InvBundle { .. } => {
+            Err(format!("bundle element {p}; run mono::expand first"))
+        }
+        _ => Ok(()),
     }
-    Ok(())
 }
 
 fn port_key(p: &Port) -> Option<String> {
     match p {
         Port::This(name) => Some(format!("this.{name}")),
         Port::Inv { invocation, port } => Some(format!("{invocation}.{port}")),
+        // Rejected by flat_port before any key is taken; keep the map total.
+        Port::Bundle { port, idx } => Some(format!("this.{port}[{idx}]")),
+        Port::InvBundle {
+            invocation,
+            port,
+            idx,
+        } => Some(format!("{invocation}.{port}[{idx}]")),
         Port::Lit(_) => None, // Constants are always valid; no log entry.
     }
 }
@@ -303,6 +314,9 @@ pub fn component_log(program: &Program, name: &str) -> Result<Log, String> {
             Command::Instance { .. } => {}
             Command::ForGen { .. } => {
                 return Err("for-generate loop; run mono::expand first".into());
+            }
+            Command::IfGen { .. } => {
+                return Err("if-generate conditional; run mono::expand first".into());
             }
         }
     }

@@ -678,3 +678,81 @@ fn error_display_includes_component_and_kind() {
     assert!(msg.contains("[B]"), "{msg}");
     assert!(msg.contains("binding"), "{msg}");
 }
+
+// ------------------------------------------------------ bundles + if-generate
+
+#[test]
+fn unelaborated_bundles_and_ifs_are_reported() {
+    // A structurally valid bundle signature that was never run through
+    // mono::expand: the checker points at the elaboration step rather than
+    // reporting offset noise.
+    let errors = check(
+        "comp B<G: 1>(@[G, G+1] in[i: 0..4]: 32) -> (@[G, G+1] o: 32) { o = in[0]; }",
+    )
+    .unwrap_err();
+    assert!(
+        errors.iter().any(|e| e.kind == ErrorKind::Unelaborated
+            && e.message.contains("bundle port in")),
+        "{errors:#?}"
+    );
+    assert!(
+        errors.iter().any(|e| e.kind == ErrorKind::Unelaborated
+            && e.message.contains("bundle element in[0]")),
+        "{errors:#?}"
+    );
+    let errors = check(
+        "comp B<G: 1>(@[G, G+1] a: 32) -> () { if 1 == 1 { } }",
+    )
+    .unwrap_err();
+    assert!(
+        errors.iter().any(|e| e.kind == ErrorKind::Unelaborated
+            && e.message.contains("if-generate")),
+        "{errors:#?}"
+    );
+}
+
+#[test]
+fn bundle_shape_is_validated_symbolically() {
+    // Index variable shadowing a component parameter.
+    let errors = check(
+        "comp B[N]<G: 1>(@[G, G+1] in[N: 0..2]: 32) -> () { }",
+    )
+    .unwrap_err();
+    assert!(
+        errors.iter().any(|e| e.kind == ErrorKind::Binding
+            && e.message.contains("shadows a component parameter")),
+        "{errors:#?}"
+    );
+    // Index bounds may only mention component parameters.
+    let errors = check(
+        "comp B[N]<G: 1>(@[G, G+1] in[i: 0..M]: 32) -> () { }",
+    )
+    .unwrap_err();
+    assert!(
+        errors.iter().any(|e| e.kind == ErrorKind::Binding
+            && e.message.contains("unknown parameter M")),
+        "{errors:#?}"
+    );
+    // Widths may mention the index variable; anything else is unknown.
+    let errors = check(
+        "comp B[N]<G: 1>(@[G, G+1] in[i: 0..N]: i + Q) -> () { }",
+    )
+    .unwrap_err();
+    assert!(
+        errors.iter().any(|e| e.kind == ErrorKind::Binding
+            && e.message.contains("unknown width parameter Q")),
+        "{errors:#?}"
+    );
+    // Per-index interval validation on closed ranges: [G+i, G+2) is
+    // non-empty for i = 0, 1 but empty from element 2 on.
+    let errors = check(
+        "comp B<G: 4>(@[G+i, G+2] in[i: 0..4]: 32) -> () { }",
+    )
+    .unwrap_err();
+    assert!(
+        errors.iter().any(|e| e.kind == ErrorKind::DelayWellFormed
+            && e.message.contains("in[2]")
+            && e.message.contains("empty")),
+        "{errors:#?}"
+    );
+}

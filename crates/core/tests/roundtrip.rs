@@ -64,10 +64,49 @@ fn parametric_sources_round_trip() {
         assert_eq!(p, reparsed, "{name}");
         assert_eq!(printed, print_program(&reparsed), "{name}: printing is stable");
     }
-    // The printed systolic generator keeps its loops and indices.
+    // The printed systolic generator keeps its loops, bundle ports,
+    // if-generate arms, and indices.
     let printed = print_program(&parse_program(fil_designs::systolic::SYSTOLIC).unwrap());
     assert!(printed.contains("for i in 0..N {"), "{printed}");
     assert!(printed.contains("pe[i][j] := new Process[W]<G>"), "{printed}");
+    assert!(printed.contains("left[i: 0..N]: W"), "{printed}");
+    assert!(printed.contains("out[k: 0..N * N]: W"), "{printed}");
+    assert!(printed.contains("if j == 0 {"), "{printed}");
+    assert!(printed.contains("} else {"), "{printed}");
+    assert!(printed.contains("out[i * N + j] = pe[i][j].out;"), "{printed}");
+    // The chain keeps its per-index tap bundle.
+    let printed = print_program(&parse_program(fil_designs::shift::CHAIN).unwrap());
+    assert!(printed.contains("tap[k: 0..D]: W"), "{printed}");
+    assert!(printed.contains("tap[k] = s[k].out;"), "{printed}");
+}
+
+#[test]
+fn bundle_and_if_generate_round_trip() {
+    // Hand-written forms exercising every new construct in one program:
+    // length sugar, explicit lo..hi, element reads on both sides, bundle
+    // outputs of invocations, and if/else vs if-without-else.
+    let src = "comp A[N, W]<G: 1>(@[G, G+1] xs[i: N]: W, @[G+i, G+(i+2)] ys[i: 3..N]: W * i)
+    -> (@[G, G+1] o[k: 0..N * N]: W) {
+  s := new Inner[N]<G>(xs);
+  for k in 0..N {
+    if k != N - 1 {
+      o[k] = s.out[k];
+    } else {
+      o[k] = ys[3];
+    }
+    if k <= 2 {
+      q[k] := new Thing[W]<G+k>(s.out[k]);
+    }
+  }
+}
+";
+    let p = parse_program(src).unwrap();
+    let printed = print_program(&p);
+    let reparsed = parse_program(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+    assert_eq!(p, reparsed);
+    assert_eq!(printed, print_program(&reparsed), "printing is stable");
+    // Length sugar normalizes to the explicit range form.
+    assert!(printed.contains("xs[i: 0..N]: W"), "{printed}");
 }
 
 #[test]
@@ -137,6 +176,7 @@ proptest! {
                 name: "x".into(),
                 liveness: Range::new(Time::event("T"), Time::at("T", e.clone())),
                 width: e.clone(),
+                bundle: None,
             }],
             outputs: vec![],
             constraints: vec![],
@@ -178,6 +218,7 @@ fn arb_program() -> impl Strategy<Value = Program> {
             name,
             liveness: Range::new(start.clone(), start.plus(1)),
             width: ConstExpr::Lit(w),
+            bundle: None,
         });
         (
             prop::collection::vec(port, 0..4),

@@ -4,22 +4,31 @@
 //! The smallest interesting generator: the loop variable appears in a
 //! *time offset* (`<G+i>` — stage i fires i cycles after the trigger), the
 //! signature's output interval is parameter arithmetic (`@[G+D, G+(D+1)]`),
-//! and indexed names (`s[i]`, `s[i-1]`) chain the stages. Everything runs
-//! on the phantom event `G`, so the compiled circuit is registers and wires
-//! with no control logic — exactly what an expert would write for a shift
-//! chain of depth `D`.
+//! and indexed names (`s[i]`, `s[i-1]`) chain the stages. Besides the final
+//! `out`, the signature exposes every intermediate stage through a *bundle*
+//! output `tap[k: 0..D]` whose availability interval depends on the bundle
+//! index — stage k's value exists during `[G+k+1, G+k+2)` and the signature
+//! says exactly that, per element. Everything runs on the phantom event
+//! `G`, so the compiled circuit is registers and wires with no control
+//! logic — exactly what an expert would write for a shift chain of depth
+//! `D`.
 
 /// The parametric chain; instantiate with `new Chain[W, D]` (`D ≥ 1`).
 pub const CHAIN: &str = "
-comp Chain[W, D]<G: 1>(@[G, G+1] in: W) -> (@[G+D, G+(D+1)] out: W) {
+comp Chain[W, D]<G: 1>(@[G, G+1] in: W)
+    -> (@[G+D, G+(D+1)] out: W, @[G+(k+1), G+(k+2)] tap[k: 0..D]: W) {
   s[0] := new Delay[W]<G>(in);
   for i in 1..D {
     s[i] := new Delay[W]<G+i>(s[i-1].out);
   }
   out = s[D-1].out;
+  for k in 0..D {
+    tap[k] = s[k].out;
+  }
 }";
 
-/// The generator plus a concrete `Chain{w}x{d}` wrapper.
+/// The generator plus a concrete `Chain{w}x{d}` wrapper (scalar interface:
+/// only the final stage is exposed).
 pub fn source(w: u64, d: u64) -> String {
     format!(
         "{CHAIN}
@@ -33,6 +42,26 @@ comp Chain{w}x{d}<G: 1>(@[G, G+1] in: {w}) -> (@[G+{d}, G+({d}+1)] out: {w}) {{
 /// The top component name [`source`]`(w, d)` generates.
 pub fn top_name(w: u64, d: u64) -> String {
     format!("Chain{w}x{d}")
+}
+
+/// The generator plus a `Taps{w}x{d}` wrapper that re-exports the whole tap
+/// bundle: element k of the callee's `tap` feeds element k of its own
+/// bundle output, each with its per-index availability window.
+pub fn taps_source(w: u64, d: u64) -> String {
+    format!(
+        "{CHAIN}
+comp Taps{w}x{d}<G: 1>(@[G, G+1] in: {w}) -> (@[G+(k+1), G+(k+2)] tap[k: 0..{d}]: {w}) {{
+  c := new Chain[{w}, {d}]<G>(in);
+  for k in 0..{d} {{
+    tap[k] = c.tap[k];
+  }}
+}}"
+    )
+}
+
+/// The top component name [`taps_source`]`(w, d)` generates.
+pub fn taps_top_name(w: u64, d: u64) -> String {
+    format!("Taps{w}x{d}")
 }
 
 #[cfg(test)]
@@ -68,6 +97,46 @@ mod tests {
         let program = fil_stdlib::with_stdlib(&source(8, 5)).unwrap();
         let chain = program.component("Chain_8_5").expect("monomorphized");
         assert_eq!(chain.sig.outputs[0].liveness.to_string(), "[G+5, G+6)");
-        assert_eq!(chain.body.len(), 11, "5 fused stages + connect");
+        // The tap bundle flattened into 5 stage outputs, each with its own
+        // per-index availability window.
+        assert_eq!(chain.sig.outputs.len(), 6, "out + 5 taps");
+        for k in 0..5 {
+            let tap = &chain.sig.outputs[k + 1];
+            assert_eq!(tap.name, format!("tap_{k}"));
+            assert_eq!(
+                tap.liveness.to_string(),
+                format!("[G+{}, G+{})", k + 1, k + 2)
+            );
+        }
+        assert_eq!(chain.body.len(), 16, "5 fused stages + out + 5 taps");
+    }
+
+    #[test]
+    fn taps_expose_every_stage_with_exact_windows() {
+        let d = 3u64;
+        let (netlist, spec) = build(&taps_source(8, d), &taps_top_name(8, d)).unwrap();
+        // Spec extraction sees the flattened tap bundle with shifted
+        // capture windows.
+        assert_eq!(spec.outputs.len(), d as usize);
+        for (k, p) in spec.outputs.iter().enumerate() {
+            assert_eq!(p.name, format!("tap_{k}"));
+            assert_eq!((p.start, p.end), (k as u64 + 1, k as u64 + 2));
+        }
+        let mut sim = Sim::new(&netlist).unwrap();
+        let feed = |k: usize| ((k * 17 + 5) % 251) as u64;
+        for k in 0..(d as usize + 6) {
+            sim.poke_by_name("in", Value::from_u64(8, feed(k)));
+            sim.settle().unwrap();
+            for t in 0..d as usize {
+                if k > t {
+                    assert_eq!(
+                        sim.peek_by_name(&format!("tap_{t}")).to_u64(),
+                        feed(k - t - 1),
+                        "tap {t} at cycle {k}"
+                    );
+                }
+            }
+            sim.tick().unwrap();
+        }
     }
 }

@@ -7,14 +7,17 @@
 //! a computation — reading the component's own interface port as data,
 //! exactly as the paper's listing does.
 //!
-//! Where the seed repository unrolled a 2×2 array by hand, the generator
-//! below expresses the whole family: row/column streams arrive packed into
-//! `N*W`-bit buses, `for`-generate loops place `Slice` lane extractors, the
-//! `Prev` skew registers moving data right and down (PE(i,j) sees row i's
-//! stream j cycles late and column j's stream i cycles late), and the N×N
-//! PE grid, and a `Concat` chain packs the N² accumulators into the output
-//! bus. The monomorphizer instantiates `Process[W]` exactly once however
-//! many PEs reference it.
+//! Where the seed repository unrolled a 2×2 array by hand — and PR 2's
+//! generator still packed the row/column streams into `N*W`-bit buses
+//! sliced apart by `Slice`/`Concat` scaffolding — the generator below has a
+//! *bundle* interface: `left[i: 0..N]` and `top[i: 0..N]` are length-indexed
+//! families of `W`-bit lanes, and `out[k: 0..N*N]` exposes the N²
+//! accumulators directly, so the monomorphizer flattens the IO instead of
+//! the design slicing buses by hand. One `if`-generate per skew chain picks
+//! the bus entry wire (`j == 0`) or the `Prev` register moving data right
+//! and down (PE(i,j) sees row i's stream j cycles late and column j's
+//! stream i cycles late). The monomorphizer instantiates `Process[W]`
+//! exactly once however many PEs reference it.
 
 /// The parametric processing element and N×N array. Instantiate with
 /// `new Systolic[N, W]`; see [`source`] for ready-made wrappers.
@@ -31,37 +34,29 @@ comp Process[W]<G: 1>(@interface[G] go: 1, @[G, G+1] left: W, @[G, G+1] right: W
 
 comp Systolic[N, W]<G: 1>(
   @interface[G] go: 1,
-  @[G, G+1] left: N*W, @[G, G+1] top: N*W
-) -> (@[G, G+1] out: N*N*W) {
-  // Lane extraction from the packed row/column buses, and the bus entry
-  // points of the skew-register chains (ZExt at equal widths is a wire).
-  for i in 0..N {
-    ls[i] := new Slice[N*W, W*i+W-1, W*i, W]<G>(left);
-    ts[i] := new Slice[N*W, W*i+W-1, W*i, W]<G>(top);
-    hw[i][0] := new ZExt[W, W]<G>(ls[i].out);
-    vw[0][i] := new ZExt[W, W]<G>(ts[i].out);
-  }
-  // Systolic registers moving data right (hw) and down (vw): hw[i][j]
-  // holds row i's stream delayed j cycles, vw[i][j] column j's stream
-  // delayed i cycles.
-  for i in 0..N {
-    for j in 1..N {
-      hw[i][j] := new Prev[W, 1]<G>(hw[i][j-1].out);
-      vw[j][i] := new Prev[W, 1]<G>(vw[j-1][i].out);
-    }
-  }
-  // The PE grid.
+  @[G, G+1] left[i: 0..N]: W, @[G, G+1] top[i: 0..N]: W
+) -> (@[G, G+1] out[k: 0..N*N]: W) {
+  // Skew registers and the PE grid in one pass: hw[i][j] holds row i's
+  // stream delayed j cycles, vw[i][j] column j's stream delayed i cycles.
+  // The if-generate picks the chain entry (a ZExt wire off the lane
+  // bundle) at the array edge and a Prev register everywhere else;
+  // accumulator k = i*N + j drives output lane k.
   for i in 0..N {
     for j in 0..N {
+      if j == 0 {
+        hw[i][j] := new ZExt[W, W]<G>(left[i]);
+      } else {
+        hw[i][j] := new Prev[W, 1]<G>(hw[i][j-1].out);
+      }
+      if i == 0 {
+        vw[i][j] := new ZExt[W, W]<G>(top[j]);
+      } else {
+        vw[i][j] := new Prev[W, 1]<G>(vw[i-1][j].out);
+      }
       pe[i][j] := new Process[W]<G>(hw[i][j].out, vw[i][j].out);
+      out[i*N+j] = pe[i][j].out;
     }
   }
-  // Pack accumulator k = i*N + j into output bits [W*k, W*k+W).
-  cc[0] := new ZExt[W, W]<G>(pe[0][0].out);
-  for k in 1..N*N {
-    cc[k] := new Concat[W, W*k, W*k+W]<G>(pe[k/N][k%N].out, cc[k-1].out);
-  }
-  out = cc[N*N-1].out;
 }";
 
 /// The faster variant from Appendix B.1: the PE uses a pipelined multiplier
@@ -83,14 +78,18 @@ comp ProcessFast<G: 1>(@interface[G] go: 1, @[G, G+1] left: 32, @[G, G+1] right:
 
 /// The generator plus a concrete wrapper `Sys{n}` instantiating
 /// `Systolic[n, w]` — a complete program whose top component is
-/// [`top_name`]`(n)`.
+/// [`top_name`]`(n)`. The wrapper passes its own lane bundles through
+/// whole-bundle arguments and fans the accumulator bundle back out
+/// element-by-element.
 pub fn source(n: u64, w: u64) -> String {
     format!(
         "{SYSTOLIC}
-comp Sys{n}<G: 1>(@interface[G] go: 1, @[G, G+1] left: {n}*{w}, @[G, G+1] top: {n}*{w})
-    -> (@[G, G+1] out: {n}*{n}*{w}) {{
+comp Sys{n}<G: 1>(@interface[G] go: 1, @[G, G+1] left[i: 0..{n}]: {w}, @[G, G+1] top[i: 0..{n}]: {w})
+    -> (@[G, G+1] out[k: 0..{n}*{n}]: {w}) {{
   s := new Systolic[{n}, {w}]<G>(left, top);
-  out = s.out;
+  for k in 0..{n}*{n} {{
+    out[k] = s.out[k];
+  }}
 }}"
     )
 }
@@ -108,10 +107,12 @@ pub fn multi_source(sizes: &[u64], w: u64) -> String {
     for n in sizes {
         out.push_str(&format!(
             "
-comp Sys{n}<G: 1>(@interface[G] go: 1, @[G, G+1] left: {n}*{w}, @[G, G+1] top: {n}*{w})
-    -> (@[G, G+1] out: {n}*{n}*{w}) {{
+comp Sys{n}<G: 1>(@interface[G] go: 1, @[G, G+1] left[i: 0..{n}]: {w}, @[G, G+1] top[i: 0..{n}]: {w})
+    -> (@[G, G+1] out[k: 0..{n}*{n}]: {w}) {{
   s := new Systolic[{n}, {w}]<G>(left, top);
-  out = s.out;
+  for k in 0..{n}*{n} {{
+    out[k] = s.out[k];
+  }}
 }}"
         ));
     }
@@ -156,22 +157,23 @@ pub fn golden(l0: &[u32], l1: &[u32], t0: &[u32], t1: &[u32], steps: usize) -> [
     [acc[0], acc[1], acc[2], acc[3]]
 }
 
-/// Packs cycle `k` of `n` lane streams into one `n*32`-bit bus value
-/// (lane i at bits `[32*i, 32*i+32)`), the convention of the generated
-/// `left`/`top` ports.
-pub fn pack_lanes(n: usize, streams: &[Vec<u32>], k: usize) -> fil_bits::Value {
-    let lanes: Vec<fil_bits::Value> = (0..n)
-        .rev()
-        .map(|i| fil_bits::Value::from_u64(32, streams[i].get(k).copied().unwrap_or(0) as u64))
-        .collect();
-    fil_bits::concat_fields(&lanes)
+/// Pokes cycle `k` of `n` 32-bit lane streams into the flattened bundle
+/// ports `{port}_0 .. {port}_{n-1}` (the names `mono::expand` gives the
+/// generated `left`/`top` bundles).
+pub fn poke_lanes(sim: &mut rtl_sim::Sim, port: &str, n: usize, streams: &[Vec<u32>], k: usize) {
+    for (i, stream) in streams.iter().enumerate().take(n) {
+        sim.poke_by_name(
+            &format!("{port}_{i}"),
+            fil_bits::Value::from_u64(32, stream.get(k).copied().unwrap_or(0) as u64),
+        );
+    }
 }
 
-/// Unpacks a `lanes*32`-bit bus value (the generated `out` port) into its
-/// 32-bit lanes, lowest lane first.
-pub fn unpack_lanes(v: &fil_bits::Value, lanes: usize) -> Vec<u32> {
+/// Reads the flattened accumulator bundle `out_0 .. out_{lanes-1}`, lowest
+/// lane first.
+pub fn peek_lanes(sim: &rtl_sim::Sim, lanes: usize) -> Vec<u32> {
     (0..lanes)
-        .map(|k| v.slice((32 * k + 31) as u32, 32 * k as u32).to_u64() as u32)
+        .map(|k| sim.peek_by_name(&format!("out_{k}")).to_u64() as u32)
         .collect()
 }
 
@@ -198,18 +200,22 @@ mod tests {
     use fil_bits::Value;
     use rtl_sim::Sim;
 
-    /// Drives `Sys{n}` with the packed feeds and returns the final
+    /// Drives `Sys{n}` with the per-lane feeds and returns the final
     /// accumulators, row-major.
     fn run_array(n: usize, left: &[Vec<u32>], top: &[Vec<u32>], steps: usize) -> Vec<u32> {
-        let (netlist, _spec) = build(&source(n as u64, 32), &top_name(n as u64)).unwrap();
+        let (netlist, spec) = build(&source(n as u64, 32), &top_name(n as u64)).unwrap();
+        // The bundle interface arrives flattened: N lane inputs per side,
+        // N² accumulator outputs.
+        assert_eq!(spec.inputs.len(), 2 * n, "left_i/top_i lanes");
+        assert_eq!(spec.outputs.len(), n * n, "out_k accumulators");
         let mut sim = Sim::new(&netlist).unwrap();
         let mut out = vec![0u32; n * n];
         for k in 0..steps {
             sim.poke_by_name("go", Value::from_u64(1, 1));
-            sim.poke_by_name("left", pack_lanes(n, left, k));
-            sim.poke_by_name("top", pack_lanes(n, top, k));
+            poke_lanes(&mut sim, "left", n, left, k);
+            poke_lanes(&mut sim, "top", n, top, k);
             sim.settle().unwrap();
-            out = unpack_lanes(sim.peek_by_name("out"), n * n);
+            out = peek_lanes(&sim, n * n);
             sim.tick().unwrap();
         }
         out
@@ -276,12 +282,38 @@ mod tests {
         );
         // 84 PE instantiations, one miss.
         assert!(stats.cache_hits >= 83, "hits: {}", stats.cache_hits);
-        // The three array sizes are distinct monomorphs.
-        for n in [2u64, 4, 8] {
-            assert!(
-                expanded.component(&format!("Systolic_{n}_32")).is_some(),
-                "Systolic_{n}_32 missing"
-            );
+        // Every edge decision is an if-generate resolution: 2 per grid cell.
+        let cells: u64 = [2u64, 4, 8].iter().map(|n| n * n).sum();
+        assert_eq!(stats.ifs_resolved, 2 * cells);
+        // The three array sizes are distinct monomorphs with flattened
+        // bundle IO: 2N lane inputs, N² accumulator outputs, no bundles.
+        for n in [2usize, 4, 8] {
+            let sys = expanded
+                .component(&format!("Systolic_{n}_32"))
+                .unwrap_or_else(|| panic!("Systolic_{n}_32 missing"));
+            assert_eq!(sys.sig.inputs.len(), 2 * n);
+            assert_eq!(sys.sig.outputs.len(), n * n);
+            assert!(sys
+                .sig
+                .inputs
+                .iter()
+                .chain(&sys.sig.outputs)
+                .all(|p| p.bundle.is_none()));
+            assert_eq!(sys.sig.inputs[0].name, "left_0");
+            assert_eq!(sys.sig.outputs[n * n - 1].name, format!("out_{}", n * n - 1));
+        }
+        // No packed-bus scaffolding survives anywhere in the source: the
+        // expansion contains no Slice or Concat instances.
+        for comp in &expanded.components {
+            for cmd in &comp.body {
+                if let filament_core::ast::Command::Instance { component, .. } = cmd {
+                    assert!(
+                        component != "Slice" && component != "Concat",
+                        "packed-bus scaffolding in {}: {component}",
+                        comp.sig.name
+                    );
+                }
+            }
         }
         // And the whole expanded program type-checks.
         filament_core::check_program(&expanded).unwrap_or_else(|e| panic!("{e:#?}"));

@@ -63,6 +63,28 @@ fn main() -> ExitCode {
             }
         };
     }
+    // `expand` renders through the shared helper (the same text the
+    // golden-corpus snapshots pin down), so it skips `load` — going through
+    // it would elaborate the program a second time.
+    if cmd == "expand" {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match fil_stdlib::expand_source(&src) {
+            Ok(printed) => {
+                print!("{printed}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let program = match load(file) {
         Ok(p) => p,
         Err(e) => {
@@ -128,26 +150,6 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
-        }
-        "expand" => {
-            // `load` already ran the monomorphizer over stdlib + user code;
-            // print the concrete program minus the preloaded stdlib externs.
-            let std_names: std::collections::HashSet<String> = fil_stdlib::std_program()
-                .externs
-                .into_iter()
-                .map(|s| s.name)
-                .collect();
-            let user = filament_core::Program {
-                externs: program
-                    .externs
-                    .iter()
-                    .filter(|s| !std_names.contains(&s.name))
-                    .cloned()
-                    .collect(),
-                components: program.components.clone(),
-            };
-            print!("{}", filament_core::pretty::print_program(&user));
-            ExitCode::SUCCESS
         }
         _ => usage(),
     }

@@ -46,6 +46,9 @@ pub enum SpecError {
     /// A port interval offset is parametric (the program was not
     /// monomorphized).
     NonConstantOffset(String),
+    /// A port is still a bundle (the program was not monomorphized); the
+    /// harness drives the flattened element ports.
+    BundlePort(String),
 }
 
 impl fmt::Display for SpecError {
@@ -59,6 +62,10 @@ impl fmt::Display for SpecError {
             SpecError::NonConstantOffset(p) => write!(
                 f,
                 "port {p} has a parametric interval offset (run mono::expand first)"
+            ),
+            SpecError::BundlePort(p) => write!(
+                f,
+                "port {p} is an unflattened bundle (run mono::expand first)"
             ),
         }
     }
@@ -105,6 +112,9 @@ impl InterfaceSpec {
                 .ok_or(SpecError::NonConstantDelay)?,
         };
         let port = |p: &filament_core::ast::PortDef| -> Result<PortSpec, SpecError> {
+            if p.bundle.is_some() {
+                return Err(SpecError::BundlePort(p.name.clone()));
+            }
             let width = match p.width.norm() {
                 ConstExpr::Lit(w) => w as u32,
                 _ => return Err(SpecError::NonConstantWidth(p.name.clone())),
@@ -223,6 +233,16 @@ mod tests {
         let e = spec_of("extern comp A[W]<T: 1>(@[T, T+1] a: W) -> (@[T, T+1] o: W);")
             .unwrap_err();
         assert!(matches!(e, SpecError::NonConstantWidth(_)));
+    }
+
+    #[test]
+    fn bundle_port_rejected_until_flattened() {
+        let e = spec_of(
+            "comp A<G: 1>(@[G, G+1] in[i: 0..4]: 8) -> (@[G, G+1] o: 8) { o = in[0]; }",
+        )
+        .unwrap_err();
+        assert_eq!(e, SpecError::BundlePort("in".into()));
+        assert!(e.to_string().contains("mono::expand"), "{e}");
     }
 
     #[test]

@@ -202,6 +202,35 @@ pub fn with_stdlib_raw(user_src: &str) -> Result<Program, filament_core::ParseEr
     Ok(p)
 }
 
+/// The `filament expand` view of a user source: elaborated against the
+/// standard library (parameter arithmetic resolved, `for`-generate loops
+/// unrolled, `if`-generate arms selected, bundle ports flattened, each
+/// `(component, params)` pair monomorphized once), printed back to surface
+/// syntax with the preloaded stdlib externs stripped. This is the exact
+/// text the CLI emits — and what the golden-corpus snapshots pin down.
+///
+/// # Errors
+///
+/// As [`with_stdlib`].
+pub fn expand_source(user_src: &str) -> Result<String, LoadError> {
+    let program = with_stdlib(user_src)?;
+    let std_names: std::collections::HashSet<String> = std_program()
+        .externs
+        .into_iter()
+        .map(|s| s.name)
+        .collect();
+    let user = Program {
+        externs: program
+            .externs
+            .iter()
+            .filter(|s| !std_names.contains(&s.name))
+            .cloned()
+            .collect(),
+        components: program.components,
+    };
+    Ok(filament_core::pretty::print_program(&user))
+}
+
 /// Maps the standard library externs onto simulator cells.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StdRegistry;

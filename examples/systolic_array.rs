@@ -1,6 +1,6 @@
 //! Appendix B.1's matrix-multiply systolic array — generated from the
 //! parametric `Systolic[N, W]` source at two sizes, computing C = A × B
-//! with skewed feeds over packed lane buses.
+//! with skewed feeds over per-lane bundle ports.
 //!
 //! Run with `cargo run --example systolic_array`.
 
@@ -27,10 +27,10 @@ fn multiply(n: usize) -> Result<Vec<u32>, Box<dyn std::error::Error>> {
     let mut c = vec![0u32; n * n];
     for k in 0..3 * n + 1 {
         sim.poke_by_name("go", Value::from_u64(1, 1));
-        sim.poke_by_name("left", systolic::pack_lanes(n, &left, k));
-        sim.poke_by_name("top", systolic::pack_lanes(n, &top, k));
+        systolic::poke_lanes(&mut sim, "left", n, &left, k);
+        systolic::poke_lanes(&mut sim, "top", n, &top, k);
         sim.settle()?;
-        c = systolic::unpack_lanes(sim.peek_by_name("out"), n * n);
+        c = systolic::peek_lanes(&sim, n * n);
         sim.tick()?;
     }
     for i in 0..n {
