@@ -226,6 +226,10 @@ pub fn design_corpus() -> Vec<(String, String, &'static str)> {
         ("systolic-4".into(), fil_designs::systolic::source(4, 32), "Sys4"),
         ("systolic-8".into(), fil_designs::systolic::source(8, 32), "Sys8"),
         ("chain-8x16".into(), fil_designs::shift::source(8, 16), "Chain8x16"),
+        // Derived-parameter designs: the encoder's output width is
+        // `some W = log2(N)` and the wrapper reads it back as `e.W`.
+        ("encoder-8".into(), fil_designs::encoder::source(8), "EncTop8"),
+        ("encoder-16".into(), fil_designs::encoder::source(16), "EncTop16"),
         // The tap-bundle wrapper: per-index availability windows survive
         // flattening into the spec.
         ("chain-taps-8x4".into(), fil_designs::shift::taps_source(8, 4), "Taps8x4"),

@@ -97,6 +97,12 @@ pub enum ConstExpr {
     Lit(u64),
     /// A parameter of the enclosing component (or a generate-loop variable).
     Param(Id),
+    /// A parameter of a previously declared instance, read by the caller:
+    /// `enc.W`. The monomorphizer binds every parameter of every
+    /// instantiation (including [derived](ParamDecl) ones) under the
+    /// composite key [`ConstExpr::inst_key`], so the callee's interface
+    /// equation — not its body — is what the caller computes with.
+    InstParam(Id, Id),
     /// A binary operation.
     Bin(ConstOp, Box<ConstExpr>, Box<ConstExpr>),
     /// `pow2(e)` = 2^e.
@@ -106,6 +112,13 @@ pub enum ConstExpr {
 }
 
 impl ConstExpr {
+    /// The environment key an instance-parameter read resolves under:
+    /// `"{instance}.{param}"`. Parsed identifiers can never contain a dot,
+    /// so composite keys cannot collide with ordinary parameters.
+    pub fn inst_key(instance: &str, param: &str) -> Id {
+        format!("{instance}.{param}")
+    }
+
     /// Builds `lhs op rhs`, constant-folding when both sides are literals
     /// and the operation succeeds.
     pub fn bin(op: ConstOp, lhs: ConstExpr, rhs: ConstExpr) -> ConstExpr {
@@ -130,6 +143,12 @@ impl ConstExpr {
                 .get(p)
                 .copied()
                 .ok_or_else(|| ConstEvalError::Unbound(p.clone())),
+            ConstExpr::InstParam(i, p) => {
+                let key = ConstExpr::inst_key(i, p);
+                env.get(&key)
+                    .copied()
+                    .ok_or(ConstEvalError::Unbound(key))
+            }
             ConstExpr::Bin(op, l, r) => op.apply(l.eval(env)?, r.eval(env)?),
             ConstExpr::Pow2(e) => {
                 let n = e.eval(env)?;
@@ -186,6 +205,10 @@ impl ConstExpr {
                 Some(n) => ConstExpr::Lit(*n),
                 None => self.clone(),
             },
+            ConstExpr::InstParam(i, p) => match env.get(&ConstExpr::inst_key(i, p)) {
+                Some(n) => ConstExpr::Lit(*n),
+                None => self.clone(),
+            },
             ConstExpr::Bin(op, l, r) => ConstExpr::bin(*op, l.subst(env), r.subst(env)),
             ConstExpr::Pow2(e) => ConstExpr::Pow2(Box::new(e.subst(env))).norm(),
             ConstExpr::Log2(e) => ConstExpr::Log2(Box::new(e.subst(env))).norm(),
@@ -200,6 +223,10 @@ impl ConstExpr {
         match self {
             ConstExpr::Lit(n) => ConstExpr::Lit(*n),
             ConstExpr::Param(p) => env.get(p).cloned().unwrap_or_else(|| self.clone()),
+            ConstExpr::InstParam(i, p) => env
+                .get(&ConstExpr::inst_key(i, p))
+                .cloned()
+                .unwrap_or_else(|| self.clone()),
             ConstExpr::Bin(op, l, r) => {
                 ConstExpr::bin(*op, l.subst_exprs(env), r.subst_exprs(env))
             }
@@ -209,15 +236,21 @@ impl ConstExpr {
     }
 
     /// The parameters this expression mentions, in first-occurrence order.
+    /// Instance-parameter reads contribute their composite
+    /// [`inst_key`](ConstExpr::inst_key) (`"enc.W"`), which a signature's
+    /// parameter set never contains — so scope checks reject them in
+    /// positions where no instance is in scope.
     pub fn params(&self) -> Vec<Id> {
         fn walk(e: &ConstExpr, out: &mut Vec<Id>) {
+            let mut push = |p: Id| {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            };
             match e {
                 ConstExpr::Lit(_) => {}
-                ConstExpr::Param(p) => {
-                    if !out.contains(p) {
-                        out.push(p.clone());
-                    }
-                }
+                ConstExpr::Param(p) => push(p.clone()),
+                ConstExpr::InstParam(i, p) => push(ConstExpr::inst_key(i, p)),
                 ConstExpr::Bin(_, l, r) => {
                     walk(l, out);
                     walk(r, out);
@@ -237,6 +270,7 @@ impl ConstExpr {
         match self {
             ConstExpr::Lit(n) => write!(f, "{n}"),
             ConstExpr::Param(p) => write!(f, "{p}"),
+            ConstExpr::InstParam(i, p) => write!(f, "{i}.{p}"),
             ConstExpr::Bin(op, l, r) => {
                 let p = op.prec();
                 let need = p < ctx;
@@ -656,14 +690,115 @@ impl fmt::Display for OrderConstraint {
     }
 }
 
+/// A const-parameter binder in a signature.
+///
+/// *Free* parameters (`W`) are supplied by the caller at instantiation;
+/// *derived* (existential) parameters (`some W = log2(N)`) are computed by
+/// the signature itself from earlier parameters, so a component can expose
+/// a width it derives — `comp Enc[N, some W = log2(N)]` publishes the
+/// interface equation `W = log2(N)` that clients typecheck against without
+/// ever seeing the body. Derivations may chain (`some D = W / 2`) but may
+/// only reference parameters declared earlier, which rules out cycles by
+/// construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDecl {
+    /// The parameter name.
+    pub name: Id,
+    /// The derivation equation for a `some` parameter; `None` for a free
+    /// parameter.
+    pub derive: Option<ConstExpr>,
+}
+
+impl ParamDecl {
+    /// A free (caller-supplied) parameter.
+    pub fn free(name: impl Into<Id>) -> Self {
+        ParamDecl {
+            name: name.into(),
+            derive: None,
+        }
+    }
+
+    /// A derived parameter `some name = expr`.
+    pub fn derived(name: impl Into<Id>, expr: ConstExpr) -> Self {
+        ParamDecl {
+            name: name.into(),
+            derive: Some(expr),
+        }
+    }
+
+    /// True for `some` parameters.
+    pub fn is_derived(&self) -> bool {
+        self.derive.is_some()
+    }
+}
+
+impl fmt::Display for ParamDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.derive {
+            None => write!(f, "{}", self.name),
+            Some(e) => write!(f, "some {} = {e}", self.name),
+        }
+    }
+}
+
+/// Why [`Signature::resolve_param_values`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamResolveError {
+    /// The wrong number of values was supplied (`want` counts the *free*
+    /// parameters only — derived ones are never supplied by callers).
+    Arity {
+        /// Free parameters the signature declares.
+        want: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A derivation failed to evaluate.
+    Eval {
+        /// The derived parameter.
+        param: Id,
+        /// The underlying failure.
+        cause: ConstEvalError,
+    },
+    /// An explicitly supplied derived value contradicts its derivation
+    /// (only possible when a full-length value vector is passed through).
+    Mismatch {
+        /// The derived parameter.
+        param: Id,
+        /// The value its derivation computes.
+        want: u64,
+        /// The value supplied.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ParamResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamResolveError::Arity { want, got } => {
+                write!(f, "takes {want} parameters, got {got}")
+            }
+            ParamResolveError::Eval { param, cause } => {
+                write!(f, "derived parameter {param}: {cause}")
+            }
+            ParamResolveError::Mismatch { param, want, got } => write!(
+                f,
+                "derived parameter {param} must equal {want} per its derivation, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParamResolveError {}
+
 /// A component signature: name, const parameters, events, ports, and
 /// ordering constraints.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Signature {
     /// Component name.
     pub name: Id,
-    /// Const parameters (`[W, SAFE]`).
-    pub params: Vec<Id>,
+    /// Const parameters (`[N, some W = log2(N)]`), free and derived, in
+    /// declaration order.
+    pub params: Vec<ParamDecl>,
     /// Event binders with delays.
     pub events: Vec<EventDecl>,
     /// Interface ports (at most one per event).
@@ -677,6 +812,130 @@ pub struct Signature {
 }
 
 impl Signature {
+    /// The names of all parameters (free and derived) in declaration order.
+    pub fn param_names(&self) -> impl Iterator<Item = &Id> {
+        self.params.iter().map(|p| &p.name)
+    }
+
+    /// The names of the free (caller-supplied) parameters in declaration
+    /// order.
+    pub fn free_params(&self) -> impl Iterator<Item = &Id> {
+        self.params
+            .iter()
+            .filter(|p| !p.is_derived())
+            .map(|p| &p.name)
+    }
+
+    /// How many values an instantiation of this signature supplies.
+    pub fn free_param_count(&self) -> usize {
+        self.params.iter().filter(|p| !p.is_derived()).count()
+    }
+
+    /// True when a value vector of length `n` is the *full* (elaborated)
+    /// form — one entry per parameter, derived included — rather than the
+    /// caller-supplied free form. The single source of truth for the
+    /// free-vs-full convention shared by [`resolve_param_values`]
+    /// (Self::resolve_param_values), [`param_exprs`](Self::param_exprs),
+    /// and the checker.
+    pub fn is_full_value_count(&self, n: usize) -> bool {
+        n == self.params.len() && self.free_param_count() != self.params.len()
+    }
+
+    /// True if `name` is a parameter (free or derived) of this signature.
+    pub fn has_param(&self, name: &str) -> bool {
+        self.params.iter().any(|p| p.name == name)
+    }
+
+    /// Resolves the values supplied at an instantiation site into one value
+    /// per parameter, in declaration order.
+    ///
+    /// `values` is either one value per *free* parameter (the source form —
+    /// each derivation is evaluated under the earlier parameters) or one
+    /// per parameter (the already-elaborated form, as `mono::expand` emits
+    /// for externs — each derivation is re-evaluated and checked for
+    /// consistency, which keeps expansion idempotent and catches hand-edited
+    /// derived values).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamResolveError`] on an arity mismatch, a derivation
+    /// that fails to evaluate, or an inconsistent supplied value.
+    pub fn resolve_param_values(&self, values: &[u64]) -> Result<Vec<u64>, ParamResolveError> {
+        let free = self.free_param_count();
+        let total = self.params.len();
+        let pass_through = self.is_full_value_count(values.len());
+        if values.len() != free && !pass_through {
+            return Err(ParamResolveError::Arity {
+                want: free,
+                got: values.len(),
+            });
+        }
+        let mut env: HashMap<Id, u64> = HashMap::with_capacity(total);
+        let mut out = Vec::with_capacity(total);
+        let mut supplied = values.iter().copied();
+        for decl in &self.params {
+            let v = match &decl.derive {
+                None => supplied.next().expect("arity checked above"),
+                Some(expr) => {
+                    let want = expr.eval(&env).map_err(|cause| ParamResolveError::Eval {
+                        param: decl.name.clone(),
+                        cause,
+                    })?;
+                    if pass_through {
+                        let got = supplied.next().expect("arity checked above");
+                        if got != want {
+                            return Err(ParamResolveError::Mismatch {
+                                param: decl.name.clone(),
+                                want,
+                                got,
+                            });
+                        }
+                    }
+                    want
+                }
+            };
+            env.insert(decl.name.clone(), v);
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// The parameter environment for a full value vector (one entry per
+    /// parameter, as [`resolve_param_values`](Self::resolve_param_values)
+    /// returns).
+    pub fn param_env(&self, full: &[u64]) -> HashMap<Id, u64> {
+        self.param_names()
+            .cloned()
+            .zip(full.iter().copied())
+            .collect()
+    }
+
+    /// The symbolic parameter environment at an instantiation site: free
+    /// parameters bound to the caller's expressions, derived parameters to
+    /// their derivations with earlier parameters substituted — so a callee
+    /// width `W` under `Enc[N, some W = log2(N)]` instantiated at `[8]`
+    /// propagates as `log2(8)` (which constant-folds to `3`).
+    ///
+    /// `given` holds either one expression per free parameter or one per
+    /// parameter (the elaborated form); other lengths yield an environment
+    /// built from however many expressions are available, leaving the rest
+    /// symbolic (the caller reports the arity error).
+    pub fn param_exprs(&self, given: &[ConstExpr]) -> HashMap<Id, ConstExpr> {
+        let mut env: HashMap<Id, ConstExpr> = HashMap::with_capacity(self.params.len());
+        let full = self.is_full_value_count(given.len());
+        let mut supplied = given.iter();
+        for decl in &self.params {
+            let e = match (&decl.derive, full) {
+                (Some(expr), false) => Some(expr.subst_exprs(&env).norm()),
+                _ => supplied.next().cloned(),
+            };
+            if let Some(e) = e {
+                env.insert(decl.name.clone(), e);
+            }
+        }
+        env
+    }
+
     /// The declared delay of an event.
     pub fn delay_of(&self, event: &str) -> Option<&Delay> {
         self.events
@@ -1268,6 +1527,89 @@ mod tests {
             sig.constraints[0].to_string(),
             "L > G+1"
         );
+    }
+
+    #[test]
+    fn inst_param_reads() {
+        let e = ConstExpr::InstParam("enc".into(), "W".into());
+        assert_eq!(e.to_string(), "enc.W");
+        assert_eq!(e.params(), vec!["enc.W".to_owned()]);
+        let mut env = HashMap::new();
+        assert_eq!(
+            e.eval(&env),
+            Err(ConstEvalError::Unbound("enc.W".into()))
+        );
+        env.insert(ConstExpr::inst_key("enc", "W"), 3u64);
+        assert_eq!(e.eval(&env), Ok(3));
+        assert_eq!(e.subst(&env), ConstExpr::Lit(3));
+        // Unbound reads stay symbolic under substitution.
+        let f = ConstExpr::InstParam("other".into(), "W".into());
+        assert_eq!(f.subst(&env), f);
+    }
+
+    #[test]
+    fn param_decl_display_and_queries() {
+        let free = ParamDecl::free("N");
+        assert_eq!(free.to_string(), "N");
+        assert!(!free.is_derived());
+        let derived = ParamDecl::derived(
+            "W",
+            ConstExpr::Log2(Box::new(ConstExpr::Param("N".into()))),
+        );
+        assert_eq!(derived.to_string(), "some W = log2(N)");
+        assert!(derived.is_derived());
+    }
+
+    #[test]
+    fn resolve_param_values_evaluates_and_verifies() {
+        let sig = Signature {
+            name: "Enc".into(),
+            params: vec![
+                ParamDecl::free("N"),
+                ParamDecl::derived(
+                    "W",
+                    ConstExpr::Log2(Box::new(ConstExpr::Param("N".into()))),
+                ),
+                ParamDecl::derived(
+                    "D",
+                    ConstExpr::bin(
+                        ConstOp::Add,
+                        ConstExpr::Param("W".into()),
+                        ConstExpr::Lit(1),
+                    ),
+                ),
+            ],
+            events: vec![],
+            interfaces: vec![],
+            inputs: vec![],
+            outputs: vec![],
+            constraints: vec![],
+        };
+        assert_eq!(sig.free_param_count(), 1);
+        assert!(sig.has_param("W") && !sig.has_param("Q"));
+        // Free-length input: derivations (chained) are evaluated.
+        assert_eq!(sig.resolve_param_values(&[8]), Ok(vec![8, 3, 4]));
+        // Full-length input: verified pass-through.
+        assert_eq!(sig.resolve_param_values(&[8, 3, 4]), Ok(vec![8, 3, 4]));
+        assert_eq!(
+            sig.resolve_param_values(&[8, 5, 6]),
+            Err(ParamResolveError::Mismatch {
+                param: "W".into(),
+                want: 3,
+                got: 5
+            })
+        );
+        // Anything else is an arity error counted in free params.
+        assert_eq!(
+            sig.resolve_param_values(&[8, 3]),
+            Err(ParamResolveError::Arity { want: 1, got: 2 })
+        );
+        // The symbolic form substitutes derivations for the checker.
+        let exprs = sig.param_exprs(&[ConstExpr::Lit(8)]);
+        assert_eq!(exprs["W"], ConstExpr::Lit(3));
+        assert_eq!(exprs["D"], ConstExpr::Lit(4));
+        let sym = sig.param_exprs(&[ConstExpr::Param("M".into())]);
+        assert_eq!(sym["W"].to_string(), "log2(M)");
     }
 
     #[test]

@@ -110,13 +110,17 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                     );
                     continue;
                 }
-                if params.len() != callee.params.len() {
+                // An instantiation supplies one value per *free* parameter;
+                // mono::expand's output for externs carries the full list
+                // (derived values appended), which is equally valid.
+                let free = callee.free_param_count();
+                if params.len() != free && !callee.is_full_value_count(params.len()) {
                     err(
                         errors,
                         ErrorKind::Binding,
                         format!(
-                            "instance {name}: component {component} takes {} parameters, got {}",
-                            callee.params.len(),
+                            "instance {name}: component {component} takes {free} parameters, \
+                             got {}",
                             params.len()
                         ),
                     );
@@ -124,7 +128,19 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                 }
                 for p in params {
                     for q in p.params() {
-                        if !sig.params.contains(&q) {
+                        if sig.has_param(&q) {
+                            continue;
+                        }
+                        if q.contains('.') {
+                            err(
+                                errors,
+                                ErrorKind::Unelaborated,
+                                format!(
+                                    "instance {name}: instance parameter {q} not resolved; \
+                                     run mono::expand first"
+                                ),
+                            );
+                        } else {
                             err(
                                 errors,
                                 ErrorKind::Binding,
@@ -133,12 +149,10 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                         }
                     }
                 }
-                let bound = callee
-                    .params
-                    .iter()
-                    .cloned()
-                    .zip(params.iter().cloned())
-                    .collect();
+                // Free params bind to the caller's expressions; derived
+                // params to their derivations with those substituted, so
+                // callee widths propagate through the interface equation.
+                let bound = callee.param_exprs(params);
                 instances.insert(
                     name.clone(),
                     InstanceInfo {

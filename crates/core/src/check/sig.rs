@@ -81,13 +81,57 @@ impl SigEnv {
 /// bundles are validated on a prefix (elaboration re-validates every index).
 const MAX_BUNDLE_SCAN: u64 = 1024;
 
+/// Validates derived (`some`) parameter declarations *symbolically*, before
+/// any elaboration: a derivation may only reference parameters declared
+/// earlier in the list (which makes cycles impossible by construction), may
+/// not reference itself, and may not read instance parameters (no instance
+/// is in scope in a signature).
+pub(crate) fn check_derived_params(sig: &Signature, errors: &mut Vec<CheckError>) {
+    let mut earlier: HashSet<&str> = HashSet::new();
+    for decl in &sig.params {
+        if let Some(expr) = &decl.derive {
+            for q in expr.params() {
+                let msg = if q == decl.name {
+                    Some(format!(
+                        "derivation of parameter {} is cyclic: it references itself",
+                        decl.name
+                    ))
+                } else if q.contains('.') {
+                    Some(format!(
+                        "derivation of parameter {} reads instance parameter {q}; \
+                         instance parameters are only meaningful in component bodies",
+                        decl.name
+                    ))
+                } else if earlier.contains(q.as_str()) {
+                    None
+                } else if sig.has_param(&q) {
+                    Some(format!(
+                        "derivation of parameter {} uses {q} before its definition; \
+                         derivations may only reference earlier parameters",
+                        decl.name
+                    ))
+                } else {
+                    Some(format!(
+                        "derivation of parameter {} references unknown parameter {q}",
+                        decl.name
+                    ))
+                };
+                if let Some(msg) = msg {
+                    errors.push(CheckError::new(sig.name.clone(), ErrorKind::Binding, msg));
+                }
+            }
+        }
+        earlier.insert(decl.name.as_str());
+    }
+}
+
 /// Validates bundle ports *symbolically*, before elaboration: the index
 /// binder must not shadow a component parameter, the index bounds may only
 /// mention component parameters, width and interval offsets may additionally
 /// mention the index variable — and when the index range is closed, every
 /// element's interval is checked non-empty wherever its offsets evaluate.
 pub(crate) fn check_bundles(sig: &Signature, errors: &mut Vec<CheckError>) {
-    let params: HashSet<&str> = sig.params.iter().map(String::as_str).collect();
+    let params: HashSet<&str> = sig.params.iter().map(|p| p.name.as_str()).collect();
     for p in sig.inputs.iter().chain(&sig.outputs) {
         let Some(b) = &p.bundle else { continue };
         let err = |errors: &mut Vec<CheckError>, kind, msg: String| {
@@ -182,8 +226,10 @@ pub(crate) fn check_bundles(sig: &Signature, errors: &mut Vec<CheckError>) {
 
 /// Checks one signature, pushing diagnostics into `errors`.
 pub(crate) fn check_signature(sig: &Signature, is_extern: bool, errors: &mut Vec<CheckError>) {
-    // Bundle shape is validated symbolically first — the temporal passes
-    // below only run on flattened (concrete) signatures.
+    // Bundle shape and derived-parameter declarations are validated
+    // symbolically first — the temporal passes below only run on flattened
+    // (concrete) signatures.
+    check_derived_params(sig, errors);
     check_bundles(sig, errors);
     // Temporal checks need concrete offsets; generate-time arithmetic must
     // have been discharged by mono::expand.
@@ -231,11 +277,11 @@ pub(crate) fn check_signature(sig: &Signature, is_extern: bool, errors: &mut Vec
     }
     let mut params = HashSet::new();
     for p in &sig.params {
-        if !params.insert(p.clone()) {
+        if !params.insert(p.name.clone()) {
             err(
                 errors,
                 ErrorKind::Binding,
-                format!("duplicate parameter {p}"),
+                format!("duplicate parameter {}", p.name),
             );
         }
     }
@@ -276,7 +322,20 @@ pub(crate) fn check_signature(sig: &Signature, is_extern: bool, errors: &mut Vec
         check_time(&p.liveness.start, &format!("port {}", p.name), errors);
         check_time(&p.liveness.end, &format!("port {}", p.name), errors);
         for w in p.width.params() {
-            if !params.contains(&w) {
+            if params.contains(&w) {
+                continue;
+            }
+            if w.contains('.') {
+                err(
+                    errors,
+                    ErrorKind::Unelaborated,
+                    format!(
+                        "port {} reads instance parameter {w} in its width; run \
+                         mono::expand first",
+                        p.name
+                    ),
+                );
+            } else {
                 err(
                     errors,
                     ErrorKind::Binding,

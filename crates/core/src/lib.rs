@@ -66,6 +66,21 @@
 //! instantiate different components — the idiom for edge cases in generate
 //! loops (`if j == 0 { /* chain entry */ } else { /* register */ }`).
 //!
+//! ## Derived (existential) parameters
+//!
+//! A signature may bind parameters by *equation* over earlier ones —
+//! `comp Enc[N, some W = log2(N)]` — and use them anywhere a parameter is
+//! legal (widths, intervals, bundle ranges). Callers never supply a
+//! derived parameter; they read it back through the instance name
+//! (`new Delay[e.W]`, `for k in 0..s.NN`), so clients typecheck against
+//! the interface equation without seeing the body. Derivations may chain
+//! but may only reference *earlier* parameters (validated symbolically by
+//! [`check`]; cycles are impossible by construction); [`mono::expand`]
+//! evaluates each derivation at instantiation time and feeds the result
+//! into the monomorphization cache key. Externs declare them too — the
+//! standard library's `Slice[W, HI, LO, some OW = HI - LO + 1]` derives
+//! its output width instead of trusting the caller to supply it.
+//!
 //! # The `filament` CLI
 //!
 //! The `fil-harness` crate ships the compiler driver binary:
@@ -73,7 +88,8 @@
 //! | Subcommand | Meaning |
 //! |---|---|
 //! | `filament check <f.fil>` | parse + elaborate + type-check against the stdlib |
-//! | `filament expand <f.fil>` | run [`mono::expand`] and print the concrete program (loops unrolled, `if`s resolved, bundles flattened, monomorph names like `Chain_8_4`) |
+//! | `filament expand <f.fil>` | run [`mono::expand`] and print the concrete program (loops unrolled, `if`s resolved, bundles flattened, derivations evaluated, monomorph names like `Chain_8_4`) |
+//! | `filament expand --stats <f.fil>` | print [`MonoStats`] as JSON instead of the program |
 //! | `filament interface <f.fil> <comp>` | print a component's harness-facing timing interface |
 //! | `filament compile <f.fil> <comp>` | lower to Calyx-lite and emit structural Verilog |
 //! | `filament fmt <f.fil>` | parse-only pretty-print; idempotent over any valid source (CI pins this as a fixpoint gate, alongside golden `expand` snapshots of the design corpus) |
@@ -144,7 +160,7 @@ pub mod parser;
 pub mod pretty;
 pub mod sem;
 
-pub use ast::{Component, Program, Signature};
+pub use ast::{Component, ParamDecl, Program, Signature};
 pub use check::{check_component, check_program, CheckError};
 pub use lower::{lower_program, PrimitiveRegistry};
 pub use mono::{expand, expand_with_stats, MonoError, MonoStats};

@@ -197,6 +197,9 @@ fn reject_generate_constructs(comp: &crate::ast::Component) -> Result<(), LowerE
         component: name.clone(),
         construct,
     };
+    if let Some(p) = comp.sig.params.iter().find(|p| p.is_derived()) {
+        return Err(unelab(format!("derived parameter `some {}`", p.name)));
+    }
     if let Some(p) = comp
         .sig
         .inputs
@@ -295,10 +298,30 @@ fn lower_component(
             let callee = program
                 .sig(component)
                 .ok_or_else(|| LowerError::UnknownComponent(component.clone()))?;
-            let values: Vec<u64> = params
+            let given: Vec<u64> = params
                 .iter()
                 .map(|p| const_eval(p, name, &format!("parameter of instance {iname}")))
                 .collect::<Result<_, _>>()?;
+            // One value per callee parameter: derivations evaluated when the
+            // site carries free values only, verified when it carries the
+            // full (already-elaborated) list.
+            let values = callee.resolve_param_values(&given).map_err(|e| match e {
+                crate::ast::ParamResolveError::Arity { .. } => LowerError::IllTyped {
+                    detail: format!("instance {iname}: {} {e}", callee.name),
+                },
+                _ => LowerError::NonConstant {
+                    component: name.into(),
+                    site: format!("parameters of instance {iname}"),
+                    param: match &e {
+                        crate::ast::ParamResolveError::Eval {
+                            cause: crate::ast::ConstEvalError::Unbound(p),
+                            ..
+                        } => Some(p.clone()),
+                        _ => None,
+                    },
+                    cause: format!("{} of {}", e, callee.name),
+                },
+            })?;
             if program.is_extern(component) {
                 if let Some(kind) = registry.primitive(component, &values) {
                     // The signature's port names must exist on the primitive.
@@ -346,12 +369,7 @@ fn lower_component(
                 lower_component(program, component, registry, out, done)?;
                 c.add_subcomponent(iname.clone(), component.clone());
             }
-            let env = callee
-                .params
-                .iter()
-                .cloned()
-                .zip(values.iter().copied())
-                .collect();
+            let env = callee.param_env(&values);
             insts.insert(
                 iname.clone(),
                 Inst {

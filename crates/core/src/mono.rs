@@ -20,11 +20,27 @@
 //!    substituted into each element's width and interval offsets; bundle
 //!    element reads (`in[e]`, `s.out[e]`) become plain port references, and
 //!    a whole bundle passed as an invocation argument is expanded
-//!    positionally into its elements,
-//! 5. **monomorphizes instantiations** — each `(component, params)` pair is
+//!    positionally into its elements — a best-effort pre-scan of each body
+//!    records every declaration first, so bundle arguments may reference
+//!    invocations defined *later* in the body (forward references), with
+//!    element indices bounds-checked either way,
+//! 5. **evaluates derived parameters** — a signature may bind existential
+//!    parameters via equations over earlier ones
+//!    (`comp Enc[N, some W = log2(N)]`); each derivation is evaluated at
+//!    instantiation time, feeds the monomorphization cache key, and is
+//!    published to the caller's environment as `inst.W`, so callers can use
+//!    a callee's derived widths in their own widths, offsets, and bundle
+//!    ranges without ever seeing the callee's body,
+//! 6. **monomorphizes instantiations** — each `(component, params)` pair is
 //!    elaborated exactly once through a content-keyed cache; `Process[32]`
 //!    instantiated from a hundred sites yields a single concrete
 //!    `Process_32` component.
+//!
+//! Inside generate code, a bare parameter or loop variable in a *data*
+//! position (an invocation argument or connection source) denotes its value
+//! as a constant — `new Mux[W]<G>(sel.out, m.out, i)` feeds the literal
+//! value of `i`. Signature ports shadow: a name that is also a port of the
+//! enclosing component keeps referring to the port.
 //!
 //! The output program contains the original externs (they stay parametric;
 //! the primitive registry consumes their parameter *values* during
@@ -38,10 +54,10 @@
 //! elaborated is reported as divergence.
 
 use crate::ast::{
-    Command, Component, ConstEvalError, ConstExpr, Delay, EventDecl, Id, IName, Port, PortDef,
-    Program, Range, Signature, Time,
+    Command, Component, ConstEvalError, ConstExpr, Delay, EventDecl, Id, IName, ParamResolveError,
+    Port, PortDef, Program, Range, Signature, Time,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Maximum depth of nested `(component, params)` elaborations: deep enough
@@ -71,6 +87,10 @@ pub struct MonoStats {
     pub ifs_resolved: u64,
     /// Signature bundle ports flattened into concrete element ports.
     pub bundles_flattened: u64,
+    /// Derived (`some`) parameter equations evaluated at instantiation
+    /// sites (pass-through re-verification of already-elaborated extern
+    /// instances counts too).
+    pub derivations_evaluated: u64,
     /// Total concrete commands emitted across all elaborated components.
     pub commands_emitted: u64,
 }
@@ -144,6 +164,21 @@ pub enum MonoError {
         /// What went wrong.
         message: String,
     },
+    /// An explicitly supplied derived-parameter value contradicts its
+    /// derivation (possible only in already-elaborated programs, whose
+    /// extern instances carry the full parameter list).
+    Derived {
+        /// The component being elaborated.
+        component: Id,
+        /// The callee declaring the derived parameter.
+        callee: Id,
+        /// The derived parameter.
+        param: Id,
+        /// The value its derivation computes.
+        want: u64,
+        /// The value supplied.
+        got: u64,
+    },
 }
 
 impl fmt::Display for MonoError {
@@ -197,6 +232,17 @@ impl fmt::Display for MonoError {
                 site,
                 message,
             } => write!(f, "in component {component}: {site}: {message}"),
+            MonoError::Derived {
+                component,
+                callee,
+                param,
+                want,
+                got,
+            } => write!(
+                f,
+                "in component {component}: derived parameter {param} of {callee} must equal \
+                 {want} per its derivation, got {got}"
+            ),
         }
     }
 }
@@ -331,15 +377,21 @@ struct Mono<'p> {
 type BundleExtents = HashMap<Id, (u64, u64)>;
 
 /// Per-component elaboration context: what the body's port references can
-/// resolve against. Populated in command order, so bundle-typed *arguments*
-/// may only reference the enclosing signature or previously defined
-/// invocations (scalar feedback references like `add.out` are unaffected —
-/// they flatten without needing the callee's signature).
+/// resolve against. A best-effort pre-scan ([`Mono::scan_commands`]) fills
+/// it with every declaration in the body before the main pass runs, so
+/// bundle-typed *arguments* may reference the enclosing signature or any
+/// invocation of the body — including ones defined later (forward
+/// references) — and element indices are bounds-checked in every case.
 struct BodyCtx<'p> {
+    /// Ports of the enclosing (original) signature, by base name. A body
+    /// name that is *not* a port but is bound in the parameter environment
+    /// denotes its constant value in data positions.
+    own_ports: HashSet<Id>,
     /// Own signature bundles: port name → concrete `(lo, hi)` extent.
     own_bundles: BundleExtents,
     /// Flattened instance name → the callee's *original* signature (with
-    /// its bundles intact) and the callee's parameter environment.
+    /// its bundles intact) and the callee's parameter environment
+    /// (including derived parameters).
     instances: HashMap<Id, (&'p Signature, HashMap<Id, u64>)>,
     /// Flattened invocation name → flattened instance name.
     invokes: HashMap<Id, Id>,
@@ -347,8 +399,8 @@ struct BodyCtx<'p> {
 
 impl BodyCtx<'_> {
     /// The concrete `(lo, hi)` extent of bundle output `port` of invocation
-    /// `inv`, when the invocation, its instance's callee, and the bundle are
-    /// all known (i.e. the invocation was defined earlier in the body).
+    /// `inv`, when the invocation, its instance's callee, and the bundle
+    /// are all known (forward references resolve via the pre-scan).
     fn callee_output_extent(&self, inv: &str, port: &str) -> Option<(u64, u64)> {
         let inst = self.invokes.get(inv)?;
         let (sig, env) = self.instances.get(inst)?;
@@ -357,10 +409,102 @@ impl BodyCtx<'_> {
     }
 }
 
+/// The user-visible stem of an instance name: the parser's fused-form
+/// `#inst` suffix stripped, so `e := new Enc[8]<G>(x)` publishes its
+/// parameters as `e.N` / `e.W`.
+fn inst_stem(base: &str) -> &str {
+    base.strip_suffix("#inst").unwrap_or(base)
+}
+
 impl<'p> Mono<'p> {
-    /// Returns the concrete name for `component` instantiated at `values`,
-    /// elaborating it first unless cached.
+    /// Resolves the values supplied at an instantiation site into one value
+    /// per callee parameter (derivations evaluated, or re-verified when the
+    /// full list was passed through), reporting failures against the
+    /// enclosing `component`.
+    fn resolve_values(
+        &mut self,
+        callee: &Signature,
+        given: &[u64],
+        component: &str,
+        inst: &IName,
+    ) -> Result<Vec<u64>, MonoError> {
+        let derived = callee.params.len() - callee.free_param_count();
+        let full = callee.resolve_param_values(given).map_err(|e| match e {
+            ParamResolveError::Arity { want, got } => MonoError::Arity {
+                component: component.to_owned(),
+                callee: callee.name.clone(),
+                want,
+                got,
+            },
+            ParamResolveError::Eval { param, cause } => MonoError::Eval {
+                component: component.to_owned(),
+                site: format!(
+                    "derived parameter {param} of instance {inst} ({})",
+                    callee.name
+                ),
+                cause,
+            },
+            ParamResolveError::Mismatch { param, want, got } => MonoError::Derived {
+                component: component.to_owned(),
+                callee: callee.name.clone(),
+                param,
+                want,
+                got,
+            },
+        })?;
+        self.stats.derivations_evaluated += derived as u64;
+        Ok(full)
+    }
+
+    /// Returns the concrete name for `component` instantiated at `values`
+    /// (one value per parameter as [`resolve_values`](Self::resolve_values)
+    /// returns, or one per free parameter — both forms normalize to the
+    /// same cache key), elaborating it first unless cached.
     fn instantiate(&mut self, component: &str, values: Vec<u64>) -> Result<Id, MonoError> {
+        let comp = self
+            .program
+            .component(component)
+            .ok_or_else(|| MonoError::UnknownComponent {
+                component: self
+                    .stack
+                    .last()
+                    .map(|(c, _)| c.clone())
+                    .unwrap_or_default(),
+                callee: component.to_owned(),
+            })?;
+        // Normalize to the full value vector *before* forming the cache key
+        // so free-length and full-length calls of the same instantiation
+        // share one monomorph (instantiation sites pre-resolve; this also
+        // gives direct callers real arity/derivation diagnostics).
+        let enclosing = || {
+            self.stack
+                .last()
+                .map(|(c, _)| c.clone())
+                .unwrap_or_else(|| component.to_owned())
+        };
+        let values = comp
+            .sig
+            .resolve_param_values(&values)
+            .map_err(|e| match e {
+                ParamResolveError::Arity { want, got } => MonoError::Arity {
+                    component: enclosing(),
+                    callee: component.to_owned(),
+                    want,
+                    got,
+                },
+                ParamResolveError::Eval { param, cause } => MonoError::Eval {
+                    component: enclosing(),
+                    site: format!("derived parameter {param} of {component}"),
+                    cause,
+                },
+                ParamResolveError::Mismatch { param, want, got } => MonoError::Derived {
+                    component: enclosing(),
+                    callee: component.to_owned(),
+                    param,
+                    want,
+                    got,
+                },
+            })?;
         let key = (component.to_owned(), values.clone());
         if let Some(name) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
@@ -378,35 +522,22 @@ impl<'p> Mono<'p> {
                 component: component.to_owned(),
             });
         }
-        let comp = self
-            .program
-            .component(component)
-            .ok_or_else(|| MonoError::UnknownComponent {
-                component: self
-                    .stack
-                    .last()
-                    .map(|(c, _)| c.clone())
-                    .unwrap_or_default(),
-                callee: component.to_owned(),
-            })?;
-        if values.len() != comp.sig.params.len() {
-            return Err(MonoError::Arity {
-                component: self
-                    .stack
-                    .last()
-                    .map(|(c, _)| c.clone())
-                    .unwrap_or_else(|| component.to_owned()),
-                callee: component.to_owned(),
-                want: comp.sig.params.len(),
-                got: values.len(),
-            });
-        }
+        // Monomorph names carry the caller-supplied (free) values only —
+        // derived values are a function of them.
+        let free_values: Vec<u64> = comp
+            .sig
+            .params
+            .iter()
+            .zip(&values)
+            .filter(|(d, _)| !d.is_derived())
+            .map(|(_, v)| *v)
+            .collect();
         let mono_name = if values.is_empty() {
             // Roots keep their own (already claimed) name.
             component.to_owned()
         } else {
             let mut n = component.to_owned();
-            for v in &values {
+            for v in &free_values {
                 n.push('_');
                 n.push_str(&v.to_string());
             }
@@ -419,20 +550,32 @@ impl<'p> Mono<'p> {
             n
         };
         self.stack.push(key.clone());
-        let env: HashMap<Id, u64> = comp
-            .sig
-            .params
-            .iter()
-            .cloned()
-            .zip(values.iter().copied())
-            .collect();
+        let mut env: HashMap<Id, u64> = comp.sig.param_env(&values);
         let (sig, own_bundles) = self.elab_sig(&comp.sig, &env, &mono_name)?;
+        let own_ports: HashSet<Id> = comp
+            .sig
+            .interfaces
+            .iter()
+            .map(|i| i.name.clone())
+            .chain(comp.sig.inputs.iter().map(|p| p.name.clone()))
+            .chain(comp.sig.outputs.iter().map(|p| p.name.clone()))
+            .collect();
         let mut ctx = BodyCtx {
+            own_ports,
             own_bundles,
             instances: HashMap::new(),
             invokes: HashMap::new(),
         };
-        let mut env = env;
+        // Best-effort pre-scan: record every declaration so forward
+        // references resolve. A second pass runs only when the first had to
+        // skip something — that is when a forward constant read
+        // (`d := new X[e.W]` before `e`) may now feed a later declaration;
+        // fully-resolved bodies (the common case) are walked once.
+        let mut budget = MAX_COMMANDS;
+        if !self.scan_commands(&comp.body, &mut env, &mut ctx, &mut budget) {
+            let mut budget = MAX_COMMANDS;
+            self.scan_commands(&comp.body, &mut env, &mut ctx, &mut budget);
+        }
         let mut body = Vec::new();
         self.elab_commands(&comp.body, &mut env, &comp.sig.name, &mut ctx, &mut body)?;
         self.stack.pop();
@@ -440,6 +583,111 @@ impl<'p> Mono<'p> {
         self.out.push(Component { sig, body });
         self.cache.insert(key, mono_name.clone());
         Ok(mono_name)
+    }
+
+    /// Best-effort pre-scan of a body: mirrors the control flow of
+    /// [`elab_commands`](Self::elab_commands) — loops unrolled,
+    /// conditionals resolved — but only *records* declarations (instance
+    /// signatures with parameter values, invocation links, and `inst.P`
+    /// environment entries) without emitting commands or monomorphizing
+    /// callees. Anything that fails to evaluate is silently skipped (the
+    /// main pass re-evaluates everything and is the sole reporter of
+    /// errors); returns `false` when something was skipped or the budget
+    /// ran out, signalling that a second pass might record more.
+    fn scan_commands(
+        &self,
+        cmds: &[Command],
+        env: &mut HashMap<Id, u64>,
+        ctx: &mut BodyCtx<'p>,
+        budget: &mut usize,
+    ) -> bool {
+        let mut complete = true;
+        for cmd in cmds {
+            if *budget == 0 {
+                return false;
+            }
+            *budget -= 1;
+            match cmd {
+                Command::Instance {
+                    name,
+                    component: callee,
+                    params,
+                } => {
+                    let (Ok(name), Some(csig)) = (name.mangle(env), self.program.sig(callee))
+                    else {
+                        complete = false;
+                        continue;
+                    };
+                    let given: Vec<u64> = match params
+                        .iter()
+                        .map(|p| p.eval(env))
+                        .collect::<Result<_, _>>()
+                    {
+                        Ok(v) => v,
+                        Err(_) => {
+                            complete = false;
+                            continue;
+                        }
+                    };
+                    let Ok(full) = csig.resolve_param_values(&given) else {
+                        complete = false;
+                        continue;
+                    };
+                    let cenv = csig.param_env(&full);
+                    let stem = inst_stem(&name);
+                    for (pname, v) in &cenv {
+                        env.insert(ConstExpr::inst_key(stem, pname), *v);
+                    }
+                    ctx.instances.insert(name.clone(), (csig, cenv));
+                }
+                Command::Invoke { name, instance, .. } => {
+                    let (Ok(name), Ok(instance)) = (name.mangle(env), instance.mangle(env))
+                    else {
+                        complete = false;
+                        continue;
+                    };
+                    match ctx.instances.get(&instance) {
+                        Some((_, cenv)) => {
+                            for (pname, v) in cenv.clone() {
+                                env.insert(ConstExpr::inst_key(&name, &pname), v);
+                            }
+                        }
+                        None => complete = false,
+                    }
+                    ctx.invokes.insert(name, instance);
+                }
+                Command::Connect { .. } => {}
+                Command::ForGen { var, lo, hi, body } => {
+                    let (Ok(lo), Ok(hi)) = (lo.eval(env), hi.eval(env)) else {
+                        complete = false;
+                        continue;
+                    };
+                    if env.contains_key(var) {
+                        continue; // Shadowing: the main pass reports it.
+                    }
+                    for i in lo..hi {
+                        env.insert(var.clone(), i);
+                        complete &= self.scan_commands(body, env, ctx, budget);
+                    }
+                    env.remove(var);
+                }
+                Command::IfGen {
+                    lhs,
+                    op,
+                    rhs,
+                    then_body,
+                    else_body,
+                } => {
+                    let (Ok(l), Ok(r)) = (lhs.eval(env), rhs.eval(env)) else {
+                        complete = false;
+                        continue;
+                    };
+                    let arm = if op.holds(l, r) { then_body } else { else_body };
+                    complete &= self.scan_commands(arm, env, ctx, budget);
+                }
+            }
+        }
+        complete
     }
 
     fn eval(
@@ -630,7 +878,17 @@ impl<'p> Mono<'p> {
         ctx: &BodyCtx<'_>,
     ) -> Result<Port, MonoError> {
         Ok(match p {
-            Port::This(name) => Port::This(name.clone()),
+            Port::This(name) => {
+                // A bare parameter, loop variable, or instance-parameter
+                // stem in a data position denotes a compile-time constant;
+                // signature ports shadow.
+                if !ctx.own_ports.contains(name) {
+                    if let Some(&v) = env.get(name) {
+                        return Ok(Port::Lit(v));
+                    }
+                }
+                Port::This(name.clone())
+            }
             Port::Lit(n) => Port::Lit(*n),
             Port::Inv { invocation, port } => Port::Inv {
                 invocation: self.elab_name(invocation, env, component)?,
@@ -666,9 +924,10 @@ impl<'p> Mono<'p> {
                     component,
                     &format!("index of {invocation}.{port}[{idx}]"),
                 )?;
-                // Bounds-check when the invocation's callee is already
-                // known; forward references flatten unchecked and are
-                // validated by the checker against the flattened signature.
+                // Bounds-check against the callee's bundle — the pre-scan
+                // registers forward invocations too, so this covers
+                // references in either direction (unknown invocation names
+                // still fall through to the checker's binding pass).
                 if let Some((lo, hi)) = ctx.callee_output_extent(&invocation.base, port) {
                     if k < lo || k >= hi {
                         return Err(MonoError::Bundle {
@@ -691,8 +950,9 @@ impl<'p> Mono<'p> {
     /// Expands invocation arguments against the callee's (original)
     /// signature: scalar inputs elaborate one-to-one, and each bundle input
     /// of extent `K` consumes one whole-bundle argument — the name of an
-    /// own-signature bundle or a previous invocation's bundle output —
-    /// expanded into its `K` element ports positionally.
+    /// own-signature bundle or any invocation's bundle output (forward
+    /// references included, via the pre-scan) — expanded into its `K`
+    /// element ports positionally.
     #[allow(clippy::too_many_arguments)] // Elaboration context + both envs.
     fn expand_args(
         &self,
@@ -750,8 +1010,8 @@ impl<'p> Mono<'p> {
                     let Some((lo, hi)) = ctx.callee_output_extent(&invocation.base, port)
                     else {
                         return Err(bundle_err(format!(
-                            "{invocation}.{port} is not a bundle output of an earlier \
-                             invocation, but {} of {} takes {want} elements",
+                            "{invocation}.{port} is not a bundle output of an invocation in \
+                             this body, but {} of {} takes {want} elements",
                             pdef.name, callee.name
                         )));
                     };
@@ -802,27 +1062,34 @@ impl<'p> Mono<'p> {
                     params,
                 } => {
                     let name = self.elab_name(name, env, component)?;
-                    let values: Vec<u64> = params
+                    let given: Vec<u64> = params
                         .iter()
                         .map(|p| {
                             self.eval(p, env, component, &format!("parameter of instance {name}"))
                         })
                         .collect::<Result<_, _>>()?;
-                    // Record the callee's *original* signature (bundles
-                    // intact) so later invocations can expand bundle
-                    // arguments against it.
-                    if let Some(csig) = self.program.sig(callee) {
-                        let cenv = csig
-                            .params
-                            .iter()
-                            .cloned()
-                            .zip(values.iter().copied())
-                            .collect();
-                        ctx.instances.insert(name.base.clone(), (csig, cenv));
-                    }
+                    // Resolve derived parameters, record the callee's
+                    // *original* signature (bundles intact) so invocations
+                    // can expand bundle arguments against it, and publish
+                    // every parameter value to the caller as `stem.P`.
+                    let values = match self.program.sig(callee) {
+                        Some(csig) => {
+                            let full = self.resolve_values(csig, &given, component, &name)?;
+                            let cenv = csig.param_env(&full);
+                            let stem = inst_stem(&name.base);
+                            for (pname, v) in &cenv {
+                                env.insert(ConstExpr::inst_key(stem, pname), *v);
+                            }
+                            ctx.instances.insert(name.base.clone(), (csig, cenv));
+                            full
+                        }
+                        // Unknown callee: instantiate() reports it below.
+                        None => given,
+                    };
                     if self.program.is_extern(callee) {
-                        // Externs stay parametric; resolve the values so the
-                        // lowering registry sees literals.
+                        // Externs stay parametric; emit the full resolved
+                        // value list (free then derived, in declaration
+                        // order) so the lowering registry sees literals.
                         out.push(Command::Instance {
                             name,
                             component: callee.clone(),
@@ -846,6 +1113,13 @@ impl<'p> Mono<'p> {
                     let name = self.elab_name(name, env, component)?;
                     let instance = self.elab_name(instance, env, component)?;
                     ctx.invokes.insert(name.base.clone(), instance.base.clone());
+                    // The instance's parameters are also readable through
+                    // the invocation's name (`x := I<G>(...)` → `x.W`).
+                    if let Some((_, cenv)) = ctx.instances.get(&instance.base) {
+                        for (pname, v) in cenv.clone() {
+                            env.insert(ConstExpr::inst_key(&name.base, &pname), v);
+                        }
+                    }
                     let site = format!("schedule of invocation {name}");
                     let args = match ctx.instances.get(&instance.base) {
                         Some((csig, cenv)) => {
@@ -1330,6 +1604,227 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, MonoError::Shadow { .. }), "{err}");
+    }
+
+    #[test]
+    fn derived_params_resolve_and_feed_the_cache_key() {
+        let (p, stats) = expand_src(&format!(
+            "{DELAY_EXT}
+             comp Enc[N, some W = log2(N), some HALF = W * 2 - W]<G: 1>(@[G, G+1] x: N)
+                 -> (@[G, G+1] o: W) {{ o = 0; }}
+             comp A<G: 1>(@[G, G+1] x: 8) -> (@[G, G+1] o: 3) {{
+               e := new Enc[8]<G>(x);
+               o = e.o;
+             }}
+             comp B<G: 1>(@[G, G+1] x: 8) -> (@[G, G+1] o: 3) {{
+               e := new Enc[8]<G>(x);
+               o = e.o;
+             }}"
+        ))
+        .unwrap();
+        // Named by the free value only; derived values resolved in widths.
+        let enc = p.component("Enc_8").expect("monomorphized once");
+        assert_eq!(enc.sig.outputs[0].width, ConstExpr::Lit(3));
+        assert_eq!(stats.cache_hits, 1, "same free values share the key");
+        // Two derivations per resolution (W and the chained HALF), and the
+        // second instantiation re-resolves before hitting the cache.
+        assert_eq!(stats.derivations_evaluated, 4);
+    }
+
+    #[test]
+    fn callers_read_derived_params() {
+        let (p, _) = expand_src(&format!(
+            "{DELAY_EXT}
+             comp Enc[N, some W = log2(N)]<G: 1>(@[G, G+1] x: N) -> (@[G, G+1] o: W) {{
+               o = 0;
+             }}
+             comp Top<G: 1>(@[G, G+1] x: 16) -> (@[G+1, G+2] o: 4) {{
+               e := new Enc[16]<G>(x);
+               d := new Delay[e.W]<G>(e.o);
+               o = d.out;
+             }}"
+        ))
+        .unwrap();
+        let top = p.component("Top").unwrap();
+        let delay_params = top
+            .body
+            .iter()
+            .find_map(|c| match c {
+                Command::Instance {
+                    component, params, ..
+                } if component == "Delay" => Some(params.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(delay_params, vec![ConstExpr::Lit(4)], "e.W = log2(16)");
+        crate::check_program(&p).unwrap_or_else(|e| panic!("{e:#?}"));
+        // Free parameters are readable too, through a non-fused invocation
+        // name, and usable in time offsets and loop bounds.
+        let (p, _) = expand_src(&format!(
+            "{DELAY_EXT}
+             comp Top<G: 1>(@[G, G+1] x: 8) -> (@[G+2, G+3] o: 8) {{
+               I := new Delay[8];
+               a := I<G+(I.W-8)>(x);
+               b := new Delay[a.W]<G+1>(a.out);
+               o = b.out;
+             }}"
+        ))
+        .unwrap();
+        let top = p.component("Top").unwrap();
+        match &top.body[1] {
+            Command::Invoke { events, .. } => assert_eq!(events[0], Time::new("G", 0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_param_failures_are_reported() {
+        // Derivation that cannot evaluate at this instantiation.
+        let err = expand_src(
+            "comp E[N, some W = log2(N - 1)]<G: 1>(@[G, G+1] x: N) -> () {  }
+             comp Main<G: 1>(@[G, G+1] x: 1) -> () { e := new E[1]<G>(x); }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MonoError::Eval { .. }), "{err}");
+        assert!(err.to_string().contains("derived parameter W"), "{err}");
+        // An explicitly supplied derived value must match its derivation.
+        let err = expand_src(
+            "extern comp Sel[W, HI, LO, some OW = HI - LO + 1]<G: 1>(@[G, G+1] in: W)
+                 -> (@[G, G+1] out: OW);
+             comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G, G+1] o: 4) {
+               s := new Sel[8, 3, 0, 5]<G>(x);
+               o = s.out;
+             }",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, MonoError::Derived { want: 4, got: 5, .. }),
+            "{err}"
+        );
+        // Supplying a value for a derived parameter (wrong arity) is an
+        // arity error counted in *free* parameters.
+        let err = expand_src(
+            "comp E[N, some W = log2(N)]<G: 1>(@[G, G+1] x: N) -> () { }
+             comp Main<G: 1>(@[G, G+1] x: 8) -> () { e := new E[8, 3, 9]<G>(x); }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MonoError::Arity { want: 1, got: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn expansion_of_derived_extern_instances_is_idempotent() {
+        let (p, _) = expand_src(
+            "extern comp Sel[W, HI, LO, some OW = HI - LO + 1]<G: 1>(@[G, G+1] in: W)
+                 -> (@[G, G+1] out: OW);
+             comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G, G+1] o: 4) {
+               s := new Sel[8, 3, 0]<G>(x);
+               o = s.out;
+             }",
+        )
+        .unwrap();
+        // The emitted instance carries the full value list (OW appended).
+        match &p.component("Main").unwrap().body[0] {
+            Command::Instance { params, .. } => {
+                assert_eq!(
+                    params,
+                    &vec![
+                        ConstExpr::Lit(8),
+                        ConstExpr::Lit(3),
+                        ConstExpr::Lit(0),
+                        ConstExpr::Lit(4)
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        let (q, _) = expand_with_stats(&p).unwrap();
+        assert_eq!(p, q, "expansion is idempotent on the full-value form");
+    }
+
+    #[test]
+    fn whole_bundle_forward_references_resolve() {
+        // `a` consumes `b.out` as a whole-bundle argument although `b` is
+        // defined later in the body (and `b` reads its input from `a`).
+        let (p, _) = expand_src(
+            "comp Pass[N]<G: 1>(@[G, G+1] in[i: 0..N]: 8) -> (@[G, G+1] out[i: 0..N]: 8) {
+               for i in 0..N { out[i] = in[i]; }
+             }
+             comp Fwd[N]<G: 1>(@[G, G+1] xs[i: 0..N]: 8) -> (@[G, G+1] ys[i: 0..N]: 8) {
+               a := new Pass[N]<G>(b.out);
+               b := new Pass[N]<G>(xs);
+               for i in 0..N { ys[i] = a.out[i]; }
+             }
+             comp Main<G: 1>(@[G, G+1] p: 8, @[G, G+1] q: 8) -> () {
+               f := new Fwd[2]<G>(p, q);
+             }",
+        )
+        .unwrap();
+        let fwd = p.component("Fwd_2").unwrap();
+        match &fwd.body[1] {
+            Command::Invoke { args, .. } => {
+                assert_eq!(
+                    args,
+                    &vec![
+                        Port::Inv {
+                            invocation: "b".into(),
+                            port: "out_0".into()
+                        },
+                        Port::Inv {
+                            invocation: "b".into(),
+                            port: "out_1".into()
+                        },
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        crate::check_program(&p).unwrap_or_else(|e| panic!("{e:#?}"));
+        // Forward *element* references are bounds-checked, not silently
+        // flattened.
+        let err = expand_src(
+            "comp Pass[N]<G: 1>(@[G, G+1] in[i: 0..N]: 8) -> (@[G, G+1] out[i: 0..N]: 8) {
+               for i in 0..N { out[i] = in[i]; }
+             }
+             comp Fwd<G: 1>(@[G, G+1] x: 8) -> (@[G, G+1] y: 8) {
+               y = b.out[7];
+               b := new Pass[2]<G>(x, x);
+             }
+             comp Main<G: 1>(@[G, G+1] p: 8) -> () { f := new Fwd<G>(p); }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("outside the bundle's range"), "{err}");
+    }
+
+    #[test]
+    fn generate_constants_in_data_positions_become_literals() {
+        let (p, _) = expand_src(
+            "extern comp Mux[W]<G: 1>(@[G, G+1] sel: 1, @[G, G+1] in0: W, @[G, G+1] in1: W)
+                 -> (@[G, G+1] out: W);
+             comp Pick[N]<G: 1>(@[G, G+1] sel: 1) -> (@[G, G+1] o: 8) {
+               for i in 2..3 {
+                 m[i] := new Mux[8]<G>(sel, i, N);
+               }
+               o = m[2].out;
+             }
+             comp Main<G: 1>(@[G, G+1] s: 1) -> (@[G, G+1] o: 8) {
+               p := new Pick[9]<G>(s);
+               o = p.o;
+             }",
+        )
+        .unwrap();
+        let pick = p.component("Pick_9").unwrap();
+        match &pick.body[1] {
+            Command::Invoke { args, .. } => {
+                // `sel` is a port and stays one; the loop variable and the
+                // component parameter become literal values.
+                assert_eq!(
+                    args,
+                    &vec![Port::This("sel".into()), Port::Lit(2), Port::Lit(9)]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        crate::check_program(&p).unwrap_or_else(|e| panic!("{e:#?}"));
     }
 
     #[test]

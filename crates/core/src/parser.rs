@@ -8,7 +8,8 @@
 //! component  ::= signature "{" command* "}"
 //! signature  ::= "comp" ident params? "<" event ("," event)* ">"
 //!                "(" port* ")" "->" "(" port* ")" ("where" constraint,*)?
-//! params     ::= "[" ident ("," ident)* "]"
+//! params     ::= "[" param ("," param)* "]"
+//! param      ::= ident | "some" ident "=" cexpr
 //! event      ::= ident ":" delay
 //! delay      ::= nat | time "-" ("(" time ")" | time)
 //! port       ::= "@interface" "[" ident "]" ident ":" cexpr
@@ -26,8 +27,8 @@
 //! time       ::= ident ("+" cexpr)?
 //! cexpr      ::= cterm (("+" | "-") cterm)*
 //! cterm      ::= cfactor (("*" | "/" | "%") cfactor)*
-//! cfactor    ::= nat | ident | "pow2" "(" cexpr ")" | "log2" "(" cexpr ")"
-//!              | "(" cexpr ")"
+//! cfactor    ::= nat | ident ("." ident)? | "pow2" "(" cexpr ")"
+//!              | "log2" "(" cexpr ")" | "(" cexpr ")"
 //! ```
 //!
 //! `x := new C[p]<G>(a)` is sugar for an instantiation plus an invocation
@@ -463,6 +464,13 @@ impl Parser {
             }
             Tok::Ident(p) => {
                 self.bump();
+                // `inst.P` — a parameter of a previously declared instance,
+                // resolved by the monomorphizer.
+                if *self.peek() == Tok::Dot {
+                    self.bump();
+                    let field = self.ident()?;
+                    return Ok(ConstExpr::InstParam(p, field));
+                }
                 Ok(ConstExpr::Param(p))
             }
             other => Err(self.error(format!("expected constant expression, found {other}"))),
@@ -638,7 +646,17 @@ impl Parser {
         if *self.peek() == Tok::LBrack {
             self.bump();
             loop {
-                params.push(self.ident()?);
+                // `some W = expr` — a derived (existential) parameter the
+                // signature computes from earlier ones.
+                if self.at_keyword("some") {
+                    self.bump();
+                    let pname = self.ident()?;
+                    self.eat(Tok::Eq)?;
+                    let expr = self.const_expr()?;
+                    params.push(ParamDecl::derived(pname, expr));
+                } else {
+                    params.push(ParamDecl::free(self.ident()?));
+                }
                 if *self.peek() == Tok::Comma {
                     self.bump();
                 } else {
@@ -1379,8 +1397,86 @@ mod tests {
         )
         .unwrap();
         let sig = &p.externs[0];
-        assert_eq!(sig.params, vec!["W".to_owned()]);
+        assert_eq!(sig.params, vec![ParamDecl::free("W")]);
         assert_eq!(sig.inputs[0].width, ConstExpr::Param("W".into()));
+    }
+
+    #[test]
+    fn parses_derived_params() {
+        let p = parse_program(
+            "comp Enc[N, some W = log2(N), some D = W / 2]<G: 1>(@[G, G+1] in: N)
+                 -> (@[G, G+1] out: W) { }",
+        )
+        .unwrap();
+        let sig = &p.components[0].sig;
+        assert_eq!(sig.params.len(), 3);
+        assert_eq!(sig.params[0], ParamDecl::free("N"));
+        assert_eq!(
+            sig.params[1],
+            ParamDecl::derived("W", ConstExpr::Log2(Box::new(ConstExpr::Param("N".into()))))
+        );
+        assert_eq!(sig.params[2].name, "D");
+        assert_eq!(sig.params[2].derive.as_ref().unwrap().to_string(), "W / 2");
+        assert_eq!(sig.free_param_count(), 1);
+        assert_eq!(sig.outputs[0].width, ConstExpr::Param("W".into()));
+        // Externs may declare derived parameters too.
+        let p = parse_program(
+            "extern comp Sel[W, HI, LO, some OW = HI - LO + 1]<G: 1>(@[G, G+1] in: W)
+                 -> (@[G, G+1] out: OW);",
+        )
+        .unwrap();
+        assert_eq!(p.externs[0].free_param_count(), 3);
+        assert_eq!(
+            p.externs[0].params[3].derive.as_ref().unwrap().to_string(),
+            "HI - LO + 1"
+        );
+        // An identifier named `some` still works outside the binder position
+        // (e.g. as a width parameter reference).
+        let p = parse_program("extern comp A[W]<T: 1>(@[T, T+1] some: W) -> ();").unwrap();
+        assert_eq!(p.externs[0].inputs[0].name, "some");
+    }
+
+    #[test]
+    fn derived_param_syntax_errors_have_spans() {
+        // Missing '=' after the derived name.
+        let err = parse_program("comp A[N, some W]<G: 1>() -> () { }").unwrap_err();
+        assert!(err.to_string().contains("'='"), "{err}");
+        assert_eq!((err.line, err.col), (1, 17), "{err}");
+        // Missing name after `some`.
+        let err = parse_program("comp A[N, some = 3]<G: 1>() -> () { }").unwrap_err();
+        assert!(err.to_string().contains("identifier"), "{err}");
+        assert_eq!((err.line, err.col), (1, 16), "{err}");
+        // Missing derivation expression.
+        let err = parse_program("comp A[N, some W = ]<G: 1>() -> () { }").unwrap_err();
+        assert!(err.to_string().contains("constant expression"), "{err}");
+        assert_eq!((err.line, err.col), (1, 20), "{err}");
+    }
+
+    #[test]
+    fn parses_instance_param_reads() {
+        let p = parse_program(
+            "comp Top<G: 1>(@[G, G+1] x: 8) -> (@[G+1, G+2] o: 3) {
+               e := new Enc[8]<G>(x);
+               d := new Delay[e.W]<G+e.W>(e.out);
+               o = d.out;
+             }",
+        )
+        .unwrap();
+        let body = &p.components[0].body;
+        // Fused form: Instance(e#inst), Invoke(e), Instance(d#inst), ...
+        match &body[2] {
+            Command::Instance { params, .. } => {
+                assert_eq!(params, &vec![ConstExpr::InstParam("e".into(), "W".into())]);
+                assert_eq!(params[0].to_string(), "e.W");
+            }
+            other => panic!("{other:?}"),
+        }
+        match &body[3] {
+            Command::Invoke { events, .. } => {
+                assert_eq!(events[0].to_string(), "G+e.W");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

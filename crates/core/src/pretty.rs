@@ -116,7 +116,8 @@ pub fn print_signature(sig: &Signature) -> String {
     let mut out = String::new();
     let _ = write!(out, "comp {}", sig.name);
     if !sig.params.is_empty() {
-        let _ = write!(out, "[{}]", sig.params.join(", "));
+        let items: Vec<String> = sig.params.iter().map(|p| p.to_string()).collect();
+        let _ = write!(out, "[{}]", items.join(", "));
     }
     let events: Vec<String> = sig
         .events

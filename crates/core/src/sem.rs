@@ -222,6 +222,12 @@ pub fn component_log(program: &Program, name: &str) -> Result<Log, String> {
         .component(name)
         .ok_or_else(|| format!("unknown component {name}"))?;
     let sig = &comp.sig;
+    if let Some(p) = sig.params.iter().find(|p| p.is_derived()) {
+        return Err(format!(
+            "derived parameter `some {}`; run mono::expand first",
+            p.name
+        ));
+    }
     let mut log = Log::new();
 
     // Inputs are provided by the environment.

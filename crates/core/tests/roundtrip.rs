@@ -2,8 +2,8 @@
 //! every design in the repository and on randomly generated programs.
 
 use filament_core::ast::{
-    Command, Component, ConstExpr, Delay, EventDecl, InterfaceDef, Port, PortDef, Program,
-    Range, Signature, Time,
+    Command, Component, ConstExpr, Delay, EventDecl, InterfaceDef, ParamDecl, Port, PortDef,
+    Program, Range, Signature, Time,
 };
 use filament_core::pretty::print_program;
 use filament_core::{check_program, parse_program};
@@ -70,7 +70,11 @@ fn parametric_sources_round_trip() {
     assert!(printed.contains("for i in 0..N {"), "{printed}");
     assert!(printed.contains("pe[i][j] := new Process[W]<G>"), "{printed}");
     assert!(printed.contains("left[i: 0..N]: W"), "{printed}");
-    assert!(printed.contains("out[k: 0..N * N]: W"), "{printed}");
+    assert!(
+        printed.contains("comp Systolic[N, W, some NN = N * N]"),
+        "{printed}"
+    );
+    assert!(printed.contains("out[k: 0..NN]: W"), "{printed}");
     assert!(printed.contains("if j == 0 {"), "{printed}");
     assert!(printed.contains("} else {"), "{printed}");
     assert!(printed.contains("out[i * N + j] = pe[i][j].out;"), "{printed}");
@@ -169,7 +173,7 @@ proptest! {
         let mut p = Program::new();
         p.externs.push(Signature {
             name: "A".into(),
-            params: (0..4).map(|i| format!("p{i}")).collect(),
+            params: (0..4).map(|i| ParamDecl::free(format!("p{i}"))).collect(),
             events: vec![EventDecl { name: "T".into(), delay: Delay::Const(1) }],
             interfaces: vec![],
             inputs: vec![PortDef {

@@ -136,7 +136,7 @@ fn base_source_impl(phantom: bool) -> String {
     assert_eq!(level.len(), 1);
     // Scale by 1/16 and truncate to 8 bits.
     writeln!(s, "  sh := new ShrConst[16, 4]<G+4>({});", level[0]).unwrap();
-    writeln!(s, "  tr := new Slice[16, 7, 0, 8]<G+4>(sh.out);").unwrap();
+    writeln!(s, "  tr := new Slice[16, 7, 0]<G+4>(sh.out);").unwrap();
     writeln!(s, "  out = tr.out;").unwrap();
     writeln!(s, "}}").unwrap();
     s
@@ -186,7 +186,7 @@ pub fn reticle_source() -> String {
     .unwrap();
     writeln!(s, "  sum := new Add[12]<G+5>(sum01.out, {});", partials[2]).unwrap();
     writeln!(s, "  sh := new ShrConst[12, 4]<G+5>(sum.out);").unwrap();
-    writeln!(s, "  tr := new Slice[12, 7, 0, 8]<G+5>(sh.out);").unwrap();
+    writeln!(s, "  tr := new Slice[12, 7, 0]<G+5>(sh.out);").unwrap();
     writeln!(s, "  out = tr.out;").unwrap();
     writeln!(s, "}}").unwrap();
     s

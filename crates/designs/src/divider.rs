@@ -24,7 +24,7 @@ pub const DIV_LIB: &str = "
 comp Nxt<T: 1>(@[T, T+1] a: 16, @[T, T+1] q: 8, @[T, T+1] div: 16)
     -> (@[T, T+1] AN: 16, @[T, T+1] QN: 8) {
   sa := new ShlConst[16, 1]<T>(a);
-  qt := new Slice[8, 7, 7, 1]<T>(q);
+  qt := new Slice[8, 7, 7]<T>(q);
   qte := new ZExt[1, 16]<T>(qt.out);
   a1 := new Or[16]<T>(sa.out, qte.out);
   ge := new Ge[16]<T>(a1.out, div);

@@ -99,23 +99,23 @@ fn emit(pipelined: bool, skip_delay_for: Option<&str>) -> String {
 
     // ------------------------------------------------------ stage 1: unpack
     let g0 = e.at(0);
-    e.op(format!("mag_x := new Slice[32, 30, 0, 31]<{g0}>(x);"));
-    e.op(format!("mag_y := new Slice[32, 30, 0, 31]<{g0}>(y);"));
+    e.op(format!("mag_x := new Slice[32, 30, 0]<{g0}>(x);"));
+    e.op(format!("mag_y := new Slice[32, 30, 0]<{g0}>(y);"));
     e.op(format!("x_ge := new Ge[31]<{g0}>(mag_x.out, mag_y.out);"));
     e.op(format!("big := new Mux[32]<{g0}>(x_ge.out, y, x);"));
     e.op(format!("small := new Mux[32]<{g0}>(x_ge.out, x, y);"));
-    e.op(format!("s_big := new Slice[32, 31, 31, 1]<{g0}>(big.out);"));
-    e.op(format!("s_small := new Slice[32, 31, 31, 1]<{g0}>(small.out);"));
-    e.op(format!("e_big := new Slice[32, 30, 23, 8]<{g0}>(big.out);"));
-    e.op(format!("e_small := new Slice[32, 30, 23, 8]<{g0}>(small.out);"));
-    e.op(format!("m_big := new Slice[32, 22, 0, 23]<{g0}>(big.out);"));
-    e.op(format!("m_small := new Slice[32, 22, 0, 23]<{g0}>(small.out);"));
+    e.op(format!("s_big := new Slice[32, 31, 31]<{g0}>(big.out);"));
+    e.op(format!("s_small := new Slice[32, 31, 31]<{g0}>(small.out);"));
+    e.op(format!("e_big := new Slice[32, 30, 23]<{g0}>(big.out);"));
+    e.op(format!("e_small := new Slice[32, 30, 23]<{g0}>(small.out);"));
+    e.op(format!("m_big := new Slice[32, 22, 0]<{g0}>(big.out);"));
+    e.op(format!("m_small := new Slice[32, 22, 0]<{g0}>(small.out);"));
     e.op(format!("hid_big := new ReduceOr[8]<{g0}>(e_big.out);"));
     e.op(format!("hid_small := new ReduceOr[8]<{g0}>(e_small.out);"));
-    e.op(format!("mb24 := new Concat[1, 23, 24]<{g0}>(hid_big.out, m_big.out);"));
-    e.op(format!("ms24 := new Concat[1, 23, 24]<{g0}>(hid_small.out, m_small.out);"));
-    e.op(format!("mb27 := new Concat[24, 3, 27]<{g0}>(mb24.out, 0);"));
-    e.op(format!("ms27 := new Concat[24, 3, 27]<{g0}>(ms24.out, 0);"));
+    e.op(format!("mb24 := new Concat[1, 23]<{g0}>(hid_big.out, m_big.out);"));
+    e.op(format!("ms24 := new Concat[1, 23]<{g0}>(hid_small.out, m_small.out);"));
+    e.op(format!("mb27 := new Concat[24, 3]<{g0}>(mb24.out, 0);"));
+    e.op(format!("ms27 := new Concat[24, 3]<{g0}>(ms24.out, 0);"));
     e.op(format!("ediff := new Sub[8]<{g0}>(e_big.out, e_small.out);"));
     e.op(format!("effsub := new Xor[1]<{g0}>(s_big.out, s_small.out);"));
     e.def("s_big", "s_big.out".into(), 1, 0);
@@ -164,9 +164,9 @@ fn emit(pipelined: bool, skip_delay_for: Option<&str>) -> String {
     e.op(format!("norm := new Mux[28]<{g3}>(is_carry.out, norml.out, normr.out);"));
     e.op(format!("e10 := new ZExt[8, 10]<{g3}>({e_big_3});"));
     e.op(format!("e10p1 := new Add[10]<{g3}>(e10.out, 1);"));
-    e.op(format!("lz10 := new Slice[28, 9, 0, 10]<{g3}>(lz.out);"));
+    e.op(format!("lz10 := new Slice[28, 9, 0]<{g3}>(lz.out);"));
     e.op(format!("eout10 := new Sub[10]<{g3}>(e10p1.out, lz10.out);"));
-    e.op(format!("eout8 := new Slice[10, 7, 0, 8]<{g3}>(eout10.out);"));
+    e.op(format!("eout8 := new Slice[10, 7, 0]<{g3}>(eout10.out);"));
     e.def("norm", "norm.out".into(), 28, 3);
     e.def("eout8", "eout8.out".into(), 8, 3);
     e.def("is_zero", "is_zero.out".into(), 1, 3);
@@ -177,9 +177,9 @@ fn emit(pipelined: bool, skip_delay_for: Option<&str>) -> String {
     let eout8_4 = e.get("eout8", 4);
     let s_big_4 = e.get("s_big", 4);
     let is_zero_4 = e.get("is_zero", 4);
-    e.op(format!("mant := new Slice[28, 25, 3, 23]<{g4}>({norm_4});"));
-    e.op(format!("se := new Concat[1, 8, 9]<{g4}>({s_big_4}, {eout8_4});"));
-    e.op(format!("packed := new Concat[9, 23, 32]<{g4}>(se.out, mant.out);"));
+    e.op(format!("mant := new Slice[28, 25, 3]<{g4}>({norm_4});"));
+    e.op(format!("se := new Concat[1, 8]<{g4}>({s_big_4}, {eout8_4});"));
+    e.op(format!("packed := new Concat[9, 23]<{g4}>(se.out, mant.out);"));
     e.op(format!("res := new Mux[32]<{g4}>({is_zero_4}, packed.out, 0);"));
     e.op("out = res.out;".to_owned());
 

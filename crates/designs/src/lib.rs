@@ -13,6 +13,8 @@
 //!   grid, packed lane buses, one monomorphized PE),
 //! * [`shift`] — a parametric delay line `Chain[W, D]` whose stages are
 //!   scheduled at `G+i` by the generate loop,
+//! * [`encoder`] — a priority encoder `Enc[N, some W = log2(N)]` whose
+//!   output width is a *derived* parameter the caller reads back (`e.W`),
 //! * [`fp_add`] — Appendix B.1's IEEE-754 single-precision adder:
 //!   combinational, 5-stage pipelined, and the stage-crossing bug that the
 //!   type checker catches.
@@ -20,6 +22,7 @@
 pub mod alu;
 pub mod conv2d;
 pub mod divider;
+pub mod encoder;
 pub mod fp_add;
 pub mod shift;
 pub mod systolic;

@@ -46,13 +46,15 @@ pub fn top_name(w: u64, d: u64) -> String {
 
 /// The generator plus a `Taps{w}x{d}` wrapper that re-exports the whole tap
 /// bundle: element k of the callee's `tap` feeds element k of its own
-/// bundle output, each with its per-index availability window.
+/// bundle output, each with its per-index availability window. The fan-out
+/// loop reads the chain's depth back from the instance (`c.D`) instead of
+/// repeating the constant.
 pub fn taps_source(w: u64, d: u64) -> String {
     format!(
         "{CHAIN}
 comp Taps{w}x{d}<G: 1>(@[G, G+1] in: {w}) -> (@[G+(k+1), G+(k+2)] tap[k: 0..{d}]: {w}) {{
   c := new Chain[{w}, {d}]<G>(in);
-  for k in 0..{d} {{
+  for k in 0..c.D {{
     tap[k] = c.tap[k];
   }}
 }}"

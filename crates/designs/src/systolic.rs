@@ -11,9 +11,10 @@
 //! generator still packed the row/column streams into `N*W`-bit buses
 //! sliced apart by `Slice`/`Concat` scaffolding — the generator below has a
 //! *bundle* interface: `left[i: 0..N]` and `top[i: 0..N]` are length-indexed
-//! families of `W`-bit lanes, and `out[k: 0..N*N]` exposes the N²
-//! accumulators directly, so the monomorphizer flattens the IO instead of
-//! the design slicing buses by hand. One `if`-generate per skew chain picks
+//! families of `W`-bit lanes, and `out[k: 0..NN]` — with the accumulator
+//! count a *derived* parameter `some NN = N * N` that wrappers read back as
+//! `s.NN` — exposes the N² accumulators directly, so the monomorphizer
+//! flattens the IO instead of the design slicing buses by hand. One `if`-generate per skew chain picks
 //! the bus entry wire (`j == 0`) or the `Prev` register moving data right
 //! and down (PE(i,j) sees row i's stream j cycles late and column j's
 //! stream i cycles late). The monomorphizer instantiates `Process[W]`
@@ -32,10 +33,10 @@ comp Process[W]<G: 1>(@interface[G] go: 1, @[G, G+1] left: W, @[G, G+1] right: W
   out = add.out;
 }
 
-comp Systolic[N, W]<G: 1>(
+comp Systolic[N, W, some NN = N * N]<G: 1>(
   @interface[G] go: 1,
   @[G, G+1] left[i: 0..N]: W, @[G, G+1] top[i: 0..N]: W
-) -> (@[G, G+1] out[k: 0..N*N]: W) {
+) -> (@[G, G+1] out[k: 0..NN]: W) {
   // Skew registers and the PE grid in one pass: hw[i][j] holds row i's
   // stream delayed j cycles, vw[i][j] column j's stream delayed i cycles.
   // The if-generate picks the chain entry (a ZExt wire off the lane
@@ -80,14 +81,15 @@ comp ProcessFast<G: 1>(@interface[G] go: 1, @[G, G+1] left: 32, @[G, G+1] right:
 /// `Systolic[n, w]` — a complete program whose top component is
 /// [`top_name`]`(n)`. The wrapper passes its own lane bundles through
 /// whole-bundle arguments and fans the accumulator bundle back out
-/// element-by-element.
+/// element-by-element; the fan-out loop is bounded by the *callee's
+/// derived* accumulator count `s.NN` instead of re-deriving `n*n` by hand.
 pub fn source(n: u64, w: u64) -> String {
     format!(
         "{SYSTOLIC}
 comp Sys{n}<G: 1>(@interface[G] go: 1, @[G, G+1] left[i: 0..{n}]: {w}, @[G, G+1] top[i: 0..{n}]: {w})
     -> (@[G, G+1] out[k: 0..{n}*{n}]: {w}) {{
   s := new Systolic[{n}, {w}]<G>(left, top);
-  for k in 0..{n}*{n} {{
+  for k in 0..s.NN {{
     out[k] = s.out[k];
   }}
 }}"
@@ -110,7 +112,7 @@ pub fn multi_source(sizes: &[u64], w: u64) -> String {
 comp Sys{n}<G: 1>(@interface[G] go: 1, @[G, G+1] left[i: 0..{n}]: {w}, @[G, G+1] top[i: 0..{n}]: {w})
     -> (@[G, G+1] out[k: 0..{n}*{n}]: {w}) {{
   s := new Systolic[{n}, {w}]<G>(left, top);
-  for k in 0..{n}*{n} {{
+  for k in 0..s.NN {{
     out[k] = s.out[k];
   }}
 }}"

@@ -9,6 +9,7 @@
 //! ```text
 //! filament check <file.fil>
 //! filament expand <file.fil>                  # monomorphized program on stdout
+//! filament expand --stats <file.fil>          # elaboration statistics as JSON
 //! filament interface <file.fil> <component>
 //! filament compile <file.fil> <component>     # emits Verilog on stdout
 //! filament fmt <file.fil>
@@ -22,12 +23,32 @@ fn usage() -> ExitCode {
          \n\
          check      parse and type-check (standard library preloaded)\n\
          expand     elaborate generators (param arithmetic, for-loops,\n\
-                    monomorphization) and print the concrete program\n\
+                    derived params, monomorphization) and print the\n\
+                    concrete program; with --stats, print elaboration\n\
+                    statistics as JSON instead\n\
          interface  print a component's timing interface for the harness\n\
          compile    lower a component and emit structural Verilog\n\
          fmt        pretty-print the program"
     );
     ExitCode::from(2)
+}
+
+/// The `expand --stats` JSON payload (hand-rendered: every field is a
+/// number, and the repo's perf probes already follow this no-serde style).
+fn stats_json(stats: &filament_core::MonoStats) -> String {
+    format!(
+        "{{\n  \"components_monomorphized\": {},\n  \"cache_hits\": {},\n  \
+         \"loops_unrolled\": {},\n  \"ifs_resolved\": {},\n  \
+         \"bundles_flattened\": {},\n  \"derivations_evaluated\": {},\n  \
+         \"commands_emitted\": {}\n}}",
+        stats.cache_misses,
+        stats.cache_hits,
+        stats.loops_unrolled,
+        stats.ifs_resolved,
+        stats.bundles_flattened,
+        stats.derivations_evaluated,
+        stats.commands_emitted,
+    )
 }
 
 fn load(path: &str) -> Result<filament_core::Program, String> {
@@ -36,11 +57,17 @@ fn load(path: &str) -> Result<filament_core::Program, String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let want_stats = args.iter().any(|a| a == "--stats");
+    args.retain(|a| a != "--stats");
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
         _ => return usage(),
     };
+    if want_stats && cmd != "expand" {
+        eprintln!("error: --stats is only meaningful with `filament expand`");
+        return usage();
+    }
     // `fmt` is parse-only by design: it must reformat any syntactically
     // valid program, including parametric generators whose elaboration
     // would fail (that is `check`'s job).
@@ -74,9 +101,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        return match fil_stdlib::expand_source(&src) {
-            Ok(printed) => {
-                print!("{printed}");
+        return match fil_stdlib::expand_source_with_stats(&src) {
+            Ok((printed, stats)) => {
+                if want_stats {
+                    println!("{}", stats_json(&stats));
+                } else {
+                    print!("{printed}");
+                }
                 ExitCode::SUCCESS
             }
             Err(e) => {

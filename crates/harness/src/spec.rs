@@ -49,6 +49,9 @@ pub enum SpecError {
     /// A port is still a bundle (the program was not monomorphized); the
     /// harness drives the flattened element ports.
     BundlePort(String),
+    /// The signature declares a derived (`some`) parameter, so it is still
+    /// parametric (the program was not monomorphized).
+    DerivedParam(String),
 }
 
 impl fmt::Display for SpecError {
@@ -66,6 +69,10 @@ impl fmt::Display for SpecError {
             SpecError::BundlePort(p) => write!(
                 f,
                 "port {p} is an unflattened bundle (run mono::expand first)"
+            ),
+            SpecError::DerivedParam(p) => write!(
+                f,
+                "signature declares derived parameter `some {p}` (run mono::expand first)"
             ),
         }
     }
@@ -100,6 +107,9 @@ impl InterfaceSpec {
     /// Returns a [`SpecError`] for multi-event signatures, parametric
     /// delays, or parametric widths.
     pub fn from_signature(sig: &Signature) -> Result<Self, SpecError> {
+        if let Some(p) = sig.params.iter().find(|p| p.is_derived()) {
+            return Err(SpecError::DerivedParam(p.name.clone()));
+        }
         if sig.events.len() != 1 {
             return Err(SpecError::MultiEvent);
         }
@@ -242,6 +252,18 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(e, SpecError::BundlePort("in".into()));
+        assert!(e.to_string().contains("mono::expand"), "{e}");
+    }
+
+    #[test]
+    fn derived_param_rejected_until_resolved() {
+        let e = spec_of(
+            "comp A[N, some W = log2(N)]<G: 1>(@[G, G+1] in: N) -> (@[G, G+1] o: W) {
+               o = 0;
+             }",
+        )
+        .unwrap_err();
+        assert_eq!(e, SpecError::DerivedParam("W".into()));
         assert!(e.to_string().contains("mono::expand"), "{e}");
     }
 

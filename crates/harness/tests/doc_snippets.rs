@@ -1,0 +1,111 @@
+//! Docs gate: every fenced ` ```filament ` snippet in `docs/*.md` must be a
+//! complete program that parses, elaborates, and type-checks against the
+//! standard library — so the language reference cannot rot.
+//!
+//! A snippet whose first line is `// expect-error: <substring>` is a
+//! deliberate counter-example: it must still *parse*, but elaboration or
+//! checking must fail with a diagnostic containing the substring.
+
+use std::path::PathBuf;
+
+fn docs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs")
+}
+
+/// Extracts `(file, start_line, body)` of every ```filament fence.
+fn filament_snippets() -> Vec<(String, usize, String)> {
+    let mut out = Vec::new();
+    let dir = docs_dir();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("docs/ missing at {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no markdown files under docs/");
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("read doc");
+        let fname = path.file_name().unwrap().to_string_lossy().into_owned();
+        let mut body: Option<(usize, String)> = None;
+        for (i, line) in text.lines().enumerate() {
+            match &mut body {
+                None if line.trim_end() == "```filament" => body = Some((i + 2, String::new())),
+                Some((start, acc)) => {
+                    if line.trim_end() == "```" {
+                        out.push((fname.clone(), *start, std::mem::take(acc)));
+                        body = None;
+                    } else {
+                        acc.push_str(line);
+                        acc.push('\n');
+                    }
+                }
+                None => {}
+            }
+        }
+        assert!(body.is_none(), "{fname}: unterminated ```filament fence");
+    }
+    out
+}
+
+#[test]
+fn every_filament_snippet_parses_and_checks() {
+    let snippets = filament_snippets();
+    assert!(
+        snippets.len() >= 8,
+        "suspiciously few snippets ({}): extraction broken?",
+        snippets.len()
+    );
+    let mut failures = Vec::new();
+    for (file, line, src) in &snippets {
+        let at = format!("{file}:{line}");
+        let expect_error = src
+            .lines()
+            .next()
+            .and_then(|l| l.trim().strip_prefix("// expect-error:"))
+            .map(|s| s.trim().to_owned());
+        // Parsing must succeed either way.
+        let raw = match fil_stdlib::with_stdlib_raw(src) {
+            Ok(p) => p,
+            Err(e) => {
+                failures.push(format!("{at}: does not parse: {e}"));
+                continue;
+            }
+        };
+        // Collect diagnostics from elaboration, the expanded check, and the
+        // symbolic pre-expansion check.
+        let mut diags: Vec<String> = Vec::new();
+        match filament_core::mono::expand(&raw) {
+            Err(e) => diags.push(e.to_string()),
+            Ok(expanded) => {
+                if let Err(errs) = filament_core::check_program(&expanded) {
+                    diags.extend(errs.iter().map(|e| e.to_string()));
+                }
+            }
+        }
+        match expect_error {
+            None => {
+                if !diags.is_empty() {
+                    failures.push(format!("{at}: should check but fails:\n  {}", diags.join("\n  ")));
+                }
+            }
+            Some(want) => {
+                // Counter-examples may fail at elaboration, at the expanded
+                // check, or already in the symbolic pre-expansion check.
+                if let Err(errs) = filament_core::check_program(&raw) {
+                    diags.extend(errs.iter().map(|e| e.to_string()));
+                }
+                if diags.is_empty() {
+                    failures.push(format!(
+                        "{at}: marked `expect-error: {want}` but checks cleanly"
+                    ));
+                } else if !diags.iter().any(|d| d.contains(&want)) {
+                    failures.push(format!(
+                        "{at}: expected a diagnostic containing {want:?}, got:\n  {}",
+                        diags.join("\n  ")
+                    ));
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}

@@ -135,10 +135,12 @@ extern comp Shl[W]<G: 1>(@[G, G+1] left: W, @[G, G+1] right: W)
     -> (@[G, G+1] out: W);
 extern comp Shr[W]<G: 1>(@[G, G+1] left: W, @[G, G+1] right: W)
     -> (@[G, G+1] out: W);
-// Bit-field extraction in[HI:LO]; OW must equal HI-LO+1.
-extern comp Slice[W, HI, LO, OW]<G: 1>(@[G, G+1] in: W) -> (@[G, G+1] out: OW);
-// Concatenation {hi, lo}; OW must equal WH+WL.
-extern comp Concat[WH, WL, OW]<G: 1>(@[G, G+1] hi: WH, @[G, G+1] lo: WL)
+// Bit-field extraction in[HI:LO]; the output width is *derived* from the
+// field bounds — callers never supply (or get wrong) OW.
+extern comp Slice[W, HI, LO, some OW = HI - LO + 1]<G: 1>(@[G, G+1] in: W)
+    -> (@[G, G+1] out: OW);
+// Concatenation {hi, lo}; the output width is derived.
+extern comp Concat[WH, WL, some OW = WH + WL]<G: 1>(@[G, G+1] hi: WH, @[G, G+1] lo: WL)
     -> (@[G, G+1] out: OW);
 extern comp ZExt[WI, WO]<G: 1>(@[G, G+1] in: WI) -> (@[G, G+1] out: WO);
 extern comp ReduceOr[W]<G: 1>(@[G, G+1] in: W) -> (@[G, G+1] out: 1);
@@ -213,7 +215,21 @@ pub fn with_stdlib_raw(user_src: &str) -> Result<Program, filament_core::ParseEr
 ///
 /// As [`with_stdlib`].
 pub fn expand_source(user_src: &str) -> Result<String, LoadError> {
-    let program = with_stdlib(user_src)?;
+    expand_source_with_stats(user_src).map(|(s, _)| s)
+}
+
+/// Like [`expand_source`], also returning the monomorphizer's
+/// [`filament_core::MonoStats`] (cache behavior, unroll counts, derivations
+/// evaluated) — the numbers `filament expand --stats` reports.
+///
+/// # Errors
+///
+/// As [`with_stdlib`].
+pub fn expand_source_with_stats(
+    user_src: &str,
+) -> Result<(String, filament_core::MonoStats), LoadError> {
+    let raw = with_stdlib_raw(user_src)?;
+    let (program, stats) = filament_core::mono::expand_with_stats(&raw)?;
     let std_names: std::collections::HashSet<String> = std_program()
         .externs
         .into_iter()
@@ -228,7 +244,7 @@ pub fn expand_source(user_src: &str) -> Result<String, LoadError> {
             .collect(),
         components: program.components,
     };
-    Ok(filament_core::pretty::print_program(&user))
+    Ok((filament_core::pretty::print_program(&user), stats))
 }
 
 /// Maps the standard library externs onto simulator cells.
@@ -338,7 +354,7 @@ mod tests {
             let params: Vec<u64> = sig
                 .params
                 .iter()
-                .map(|p| match p.as_str() {
+                .map(|p| match p.name.as_str() {
                     "HI" => 7,
                     "LO" => 0,
                     "OW" => 8,
