@@ -6,7 +6,11 @@
 //! | Table 1a/1b (Aetherling latencies) | [`table1`] | `table1` | `benches/table1.rs` |
 //! | Table 2 (conv2d area/frequency) | [`table2`] | `table2` | `benches/table2.rs` |
 //! | Figure 2 (divider trade-off) | [`divider_tradeoff`] | `divider_tradeoff` | `benches/divider.rs` |
-//! | §7 "compile in under a second" | [`compile_times`] | `compile_time` | `benches/compile.rs` |
+//! | §7 "compile in under a second" | [`compile_times`] | (unit test `all_designs_compile_in_under_a_second`) | `benches/compile.rs` |
+//!
+//! The `compile_time` binary is the build-driver probe: cold-vs-warm
+//! artifact-cache wall times over the corpus and the systolic/encoder
+//! sweeps, as JSON (see `PERF.md` and the CI gate).
 //! | App B.1/B.2 FP + AES imports | [`pipelinec_report`] | `pipelinec_report` | `benches/simulator.rs` |
 
 use aetherling::{DesignPoint, Kernel, Throughput};

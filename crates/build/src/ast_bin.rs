@@ -1,0 +1,440 @@
+//! A binary codec for *concrete* (fully elaborated) Filament components.
+//!
+//! Artifacts carry the expanded component both as pretty-printed `.fil`
+//! text (the authoritative, human-inspectable form — what `filament
+//! expand` prints) and, as a fast path, in this binary encoding: warm
+//! loads decode it directly instead of re-parsing the text, which is the
+//! single biggest cost of a cache hit. The codec covers exactly the
+//! monomorphizer's output language — literal widths and offsets, flat
+//! names, scalar ports, no generate constructs — and [`encode`] returns
+//! `None` for anything outside it (the loader then falls back to parsing
+//! the text). Decoding is corruption-safe like the rest of the artifact:
+//! every tag and length is validated, and any failure is a cache miss,
+//! never a panic.
+//!
+//! The encoding is versioned by [`crate::artifact::ARTIFACT_VERSION`]
+//! (this module is artifact-internal, not a standalone format).
+
+use filament_core::ast::{
+    Command, Component, ConstExpr, ConstraintOp, Delay, EventDecl, IName, InterfaceDef,
+    OrderConstraint, Port, PortDef, Range, Signature, Time,
+};
+
+// --------------------------------------------------------------- encoding
+
+struct W {
+    out: Vec<u8>,
+}
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.out.extend_from_slice(s.as_bytes());
+    }
+    fn lit(&mut self, e: &ConstExpr) -> Option<()> {
+        match e {
+            ConstExpr::Lit(v) => {
+                self.u64(*v);
+                Some(())
+            }
+            _ => None,
+        }
+    }
+    fn flat(&mut self, n: &IName) -> Option<()> {
+        let id = n.flat()?;
+        self.str(id);
+        Some(())
+    }
+    fn time(&mut self, t: &Time) -> Option<()> {
+        self.str(&t.event);
+        self.lit(&t.offset)
+    }
+    fn range(&mut self, r: &Range) -> Option<()> {
+        self.time(&r.start)?;
+        self.time(&r.end)
+    }
+    fn port(&mut self, p: &Port) -> Option<()> {
+        match p {
+            Port::This(name) => {
+                self.u8(0);
+                self.str(name);
+            }
+            Port::Lit(v) => {
+                self.u8(1);
+                self.u64(*v);
+            }
+            Port::Inv { invocation, port } => {
+                self.u8(2);
+                self.flat(invocation)?;
+                self.str(port);
+            }
+            Port::Bundle { .. } | Port::InvBundle { .. } => return None,
+        }
+        Some(())
+    }
+}
+
+/// Encodes a concrete component, or `None` if it falls outside the
+/// concrete subset (residual parameters, bundles, generate constructs,
+/// indexed names, symbolic offsets).
+pub fn encode(c: &Component) -> Option<Vec<u8>> {
+    let mut w = W { out: Vec::new() };
+    let sig = &c.sig;
+    if !sig.params.is_empty() {
+        return None;
+    }
+    w.str(&sig.name);
+    w.u32(sig.events.len() as u32);
+    for e in &sig.events {
+        w.str(&e.name);
+        match &e.delay {
+            Delay::Const(n) => {
+                w.u8(0);
+                w.u64(*n);
+            }
+            Delay::Diff(a, b) => {
+                w.u8(1);
+                w.time(a)?;
+                w.time(b)?;
+            }
+        }
+    }
+    w.u32(sig.interfaces.len() as u32);
+    for i in &sig.interfaces {
+        w.str(&i.name);
+        w.str(&i.event);
+    }
+    for ports in [&sig.inputs, &sig.outputs] {
+        w.u32(ports.len() as u32);
+        for p in ports {
+            if p.bundle.is_some() {
+                return None;
+            }
+            w.str(&p.name);
+            w.range(&p.liveness)?;
+            w.lit(&p.width)?;
+        }
+    }
+    w.u32(sig.constraints.len() as u32);
+    for c in &sig.constraints {
+        w.time(&c.lhs)?;
+        w.u8(match c.op {
+            ConstraintOp::Gt => 0,
+            ConstraintOp::Ge => 1,
+            ConstraintOp::Eq => 2,
+        });
+        w.time(&c.rhs)?;
+    }
+    w.u32(c.body.len() as u32);
+    for cmd in &c.body {
+        match cmd {
+            Command::Instance {
+                name,
+                component,
+                params,
+            } => {
+                w.u8(0);
+                w.flat(name)?;
+                w.str(component);
+                w.u32(params.len() as u32);
+                for p in params {
+                    w.lit(p)?;
+                }
+            }
+            Command::Invoke {
+                name,
+                instance,
+                events,
+                args,
+            } => {
+                w.u8(1);
+                w.flat(name)?;
+                w.flat(instance)?;
+                w.u32(events.len() as u32);
+                for t in events {
+                    w.time(t)?;
+                }
+                w.u32(args.len() as u32);
+                for a in args {
+                    w.port(a)?;
+                }
+            }
+            Command::Connect { dst, src } => {
+                w.u8(2);
+                w.port(dst)?;
+                w.port(src)?;
+            }
+            Command::ForGen { .. } | Command::IfGen { .. } => return None,
+        }
+    }
+    Some(w.out)
+}
+
+// --------------------------------------------------------------- decoding
+
+struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl R<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], &'static str> {
+        let end = self.pos.checked_add(n).ok_or("length overflow")?;
+        if end > self.buf.len() {
+            return Err("truncated ast");
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, &'static str> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, &'static str> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, &'static str> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn count(&mut self, min_elem: usize) -> Result<usize, &'static str> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem) > self.buf.len() - self.pos {
+            return Err("ast sequence length");
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<String, &'static str> {
+        let n = self.u32()? as usize;
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_owned)
+            .map_err(|_| "ast string")
+    }
+    fn time(&mut self) -> Result<Time, &'static str> {
+        let event = self.str()?;
+        let offset = self.u64()?;
+        Ok(Time::new(event, offset))
+    }
+    fn range(&mut self) -> Result<Range, &'static str> {
+        Ok(Range::new(self.time()?, self.time()?))
+    }
+    fn port(&mut self) -> Result<Port, &'static str> {
+        Ok(match self.u8()? {
+            0 => Port::This(self.str()?),
+            1 => Port::Lit(self.u64()?),
+            2 => Port::Inv {
+                invocation: IName::plain(self.str()?),
+                port: self.str()?,
+            },
+            _ => return Err("port tag"),
+        })
+    }
+    fn port_defs(&mut self) -> Result<Vec<PortDef>, &'static str> {
+        let n = self.count(5)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.str()?;
+            let liveness = self.range()?;
+            let width = ConstExpr::Lit(self.u64()?);
+            out.push(PortDef {
+                name,
+                liveness,
+                width,
+                bundle: None,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Decodes a concrete component. Any failure means "fall back to parsing
+/// the artifact's expanded text".
+///
+/// # Errors
+///
+/// Returns a static description of the first validation failure; never
+/// panics on any byte sequence.
+pub fn decode(bytes: &[u8]) -> Result<Component, &'static str> {
+    let mut r = R { buf: bytes, pos: 0 };
+    let name = r.str()?;
+    let n = r.count(5)?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let delay = match r.u8()? {
+            0 => Delay::Const(r.u64()?),
+            1 => Delay::Diff(r.time()?, r.time()?),
+            _ => return Err("delay tag"),
+        };
+        events.push(EventDecl { name, delay });
+    }
+    let n = r.count(5)?;
+    let mut interfaces = Vec::with_capacity(n);
+    for _ in 0..n {
+        interfaces.push(InterfaceDef {
+            name: r.str()?,
+            event: r.str()?,
+        });
+    }
+    let inputs = r.port_defs()?;
+    let outputs = r.port_defs()?;
+    let n = r.count(5)?;
+    let mut constraints = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lhs = r.time()?;
+        let op = match r.u8()? {
+            0 => ConstraintOp::Gt,
+            1 => ConstraintOp::Ge,
+            2 => ConstraintOp::Eq,
+            _ => return Err("constraint tag"),
+        };
+        constraints.push(OrderConstraint {
+            lhs,
+            op,
+            rhs: r.time()?,
+        });
+    }
+    let n = r.count(1)?;
+    let mut body = Vec::with_capacity(n);
+    for _ in 0..n {
+        body.push(match r.u8()? {
+            0 => {
+                let name = IName::plain(r.str()?);
+                let component = r.str()?;
+                let np = r.count(8)?;
+                let mut params = Vec::with_capacity(np);
+                for _ in 0..np {
+                    params.push(ConstExpr::Lit(r.u64()?));
+                }
+                Command::Instance {
+                    name,
+                    component,
+                    params,
+                }
+            }
+            1 => {
+                let name = IName::plain(r.str()?);
+                let instance = IName::plain(r.str()?);
+                let ne = r.count(5)?;
+                let mut events = Vec::with_capacity(ne);
+                for _ in 0..ne {
+                    events.push(r.time()?);
+                }
+                let na = r.count(1)?;
+                let mut args = Vec::with_capacity(na);
+                for _ in 0..na {
+                    args.push(r.port()?);
+                }
+                Command::Invoke {
+                    name,
+                    instance,
+                    events,
+                    args,
+                }
+            }
+            2 => Command::Connect {
+                dst: r.port()?,
+                src: r.port()?,
+            },
+            _ => return Err("command tag"),
+        });
+    }
+    if r.pos != r.buf.len() {
+        return Err("trailing ast bytes");
+    }
+    Ok(Component {
+        sig: Signature {
+            name,
+            params: Vec::new(),
+            events,
+            interfaces,
+            inputs,
+            outputs,
+            constraints,
+        },
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filament_core::{mono, parse_program};
+
+    /// Every concrete component in the expansion of a representative
+    /// program must roundtrip exactly — and match what parsing the pretty
+    /// text yields.
+    #[test]
+    fn roundtrips_expanded_components_exactly() {
+        let p = parse_program(
+            "extern comp Delay[W]<G: 1>(@[G, G+1] in: W) -> (@[G+1, G+2] out: W);
+             extern comp Register[W]<G: L-(G+1), L: 1>(@interface[G] en: 1,
+                 @[G, G+1] in: W) -> (@[G+1, L] out: W) where L > G+1;
+             comp Chain[W, D]<G: 1>(@[G, G+1] in: W) -> (@[G+D, G+(D+1)] out: W) {
+               s[0] := new Delay[W]<G>(in);
+               for i in 1..D {
+                 s[i] := new Delay[W]<G+i>(s[i-1].out);
+               }
+               out = s[D-1].out;
+             }
+             comp Main<G: 4>(@interface[G] go: 1, @[G, G+1] x: 8) -> (@[G+3, G+4] o: 8) {
+               c := new Chain[8, 3]<G>(x);
+               r := new Register[8]<G+3, G+5>(c.out);
+               o = c.out;
+             }",
+        )
+        .unwrap();
+        let expanded = mono::expand(&p).unwrap();
+        for comp in &expanded.components {
+            let bytes = encode(comp).expect("expanded components are concrete");
+            let back = decode(&bytes).unwrap();
+            assert_eq!(&back, comp);
+            // Agreement with the text path.
+            let text = filament_core::pretty::print_component(comp);
+            let parsed = parse_program(&text).unwrap().components.remove(0);
+            assert_eq!(back, parsed);
+        }
+    }
+
+    #[test]
+    fn non_concrete_components_refuse_to_encode() {
+        let p = parse_program(
+            "comp A[W]<G: 1>(@[G, G+1] x: W) -> () {
+               for i in 0..W { }
+             }",
+        )
+        .unwrap();
+        assert!(encode(&p.components[0]).is_none(), "parametric sig + loop");
+    }
+
+    #[test]
+    fn truncation_and_corruption_never_panic() {
+        let p = parse_program(
+            "extern comp Delay[W]<G: 1>(@[G, G+1] in: W) -> (@[G+1, G+2] out: W);
+             comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G+1, G+2] o: 8) {
+               d := new Delay[8]<G>(x);
+               o = d.out;
+             }",
+        )
+        .unwrap();
+        let expanded = mono::expand(&p).unwrap();
+        let bytes = encode(&expanded.components[0]).unwrap();
+        for n in 0..bytes.len() {
+            assert!(decode(&bytes[..n]).is_err(), "prefix {n} decoded");
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x20;
+            let _ = decode(&bad); // must not panic; mis-decodes are caught
+                                  // by the artifact checksum upstream
+        }
+    }
+}

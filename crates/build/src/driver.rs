@@ -1,0 +1,952 @@
+//! The build driver: schedules per-component compile units over the
+//! monomorph dependency DAG, with an in-session dedup cache, an optional
+//! cross-session artifact cache, and an optional worker pool.
+//!
+//! # Units
+//!
+//! A *unit* is one `(source component, resolved parameter vector)` pair —
+//! exactly the monomorphizer's cache key. Processing a unit:
+//!
+//! 1. **probe** the artifact cache (when `cache_dir` is set) by the unit's
+//!    content hash; a valid artifact supplies the expanded component, the
+//!    dependency list, and (for full builds) the lowered component — no
+//!    expand/check/lower work at all;
+//! 2. otherwise **expand** the unit through
+//!    [`filament_core::mono::elaborate_component`], recording each callee
+//!    instantiation as a dependency edge instead of recursing;
+//! 3. for full builds, **check** and **lower** it against a miniature
+//!    program holding just the externs plus the concrete signatures of its
+//!    direct dependencies (reconstructed from their source signatures —
+//!    no dependency bodies needed, the paper's modular-compilation story);
+//! 4. **store** the artifact.
+//!
+//! Dependencies discovered in step 1/2 are pushed onto the shared queue;
+//! workers drain it until the transitive closure of the parameter-free
+//! roots is built.
+//!
+//! # Determinism
+//!
+//! Unit processing is a pure function of `(program, unit)`: callee
+//! references are emitted as content-addressed placeholder names, so no
+//! unit ever depends on scheduling order. The final **merge** is serial
+//! and deterministic — it walks the recorded dependency graph in the exact
+//! order the recursive monomorphizer would have (roots in declaration
+//! order, dependencies in body order, names claimed pre-order, components
+//! emitted post-order) and rewrites placeholders to final names. `-j1` and
+//! `-jN`, cold and warm, therefore produce byte-identical expanded
+//! programs, Calyx, and Verilog — and the expanded program is byte-equal
+//! to [`filament_core::mono::expand`]'s output.
+
+use crate::artifact::{self, Artifact, ARTIFACT_VERSION};
+use crate::ast_bin;
+use crate::key::{fnv64, structural_hash, ContentHash, KeySpace};
+use calyx_lite as cl;
+use filament_core::ast::{Command, Component, Id, Program};
+use filament_core::mono::{self, CalleeResolver, MAX_DEPTH};
+use filament_core::{
+    check_component, check_program, lower_component_unit, CheckError, MonoError, MonoStats,
+    PrimitiveRegistry,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Worker threads. `0` means one per available core; `1` runs on the
+    /// calling thread.
+    pub jobs: usize,
+    /// Cross-session artifact cache directory. `None` disables the disk
+    /// cache (in-session dedup still applies).
+    pub cache_dir: Option<PathBuf>,
+    /// Fingerprint of the primitive registry, mixed into every cache key:
+    /// artifacts lowered against different registries must never collide.
+    pub salt: String,
+    /// Materialize [`BuildOutput::expanded`]. Verilog-only consumers
+    /// (`filament build`) turn this off: on a warm cache the expanded
+    /// components then never leave their artifacts, trimming the load
+    /// path further. When `false`, `expanded` comes back empty.
+    pub emit_expanded: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            jobs: 1,
+            cache_dir: None,
+            salt: String::new(),
+            emit_expanded: true,
+        }
+    }
+}
+
+/// Counters describing what a build actually did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildStats {
+    /// Distinct units in the build graph.
+    pub units: u64,
+    /// Units elaborated from source this session.
+    pub expanded: u64,
+    /// Units type-checked this session.
+    pub checked: u64,
+    /// Units lowered this session.
+    pub lowered: u64,
+    /// Instantiations answered by the in-session unit graph (the mono
+    /// cache's hits, driver-side).
+    pub session_hits: u64,
+    /// Units loaded from the artifact cache (zero expand/check/lower).
+    pub cache_loads: u64,
+    /// Cache probes that found no usable artifact (absent, truncated,
+    /// corrupted, version-skewed, or missing the needed lowered half).
+    pub cache_misses: u64,
+    /// Artifacts written this session.
+    pub cache_stores: u64,
+    /// Merged elaboration counters (for units expanded this session, plus
+    /// cache accounting equivalent to [`filament_core::mono::expand`]'s on
+    /// a cold run).
+    pub mono: MonoStats,
+}
+
+/// A failed build.
+#[derive(Debug)]
+pub enum BuildError {
+    /// Elaboration failed.
+    Mono(MonoError),
+    /// A unit failed to type-check.
+    Check(Vec<CheckError>),
+    /// A unit failed to lower.
+    Lower(filament_core::lower::LowerError),
+    /// The artifact cache directory could not be created.
+    Io(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Mono(e) => write!(f, "{e}"),
+            BuildError::Check(errs) => {
+                let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+                write!(f, "{}", msgs.join("\n"))
+            }
+            BuildError::Lower(e) => write!(f, "{e}"),
+            BuildError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<MonoError> for BuildError {
+    fn from(e: MonoError) -> Self {
+        BuildError::Mono(e)
+    }
+}
+
+/// A finished build.
+#[derive(Debug)]
+pub struct BuildOutput {
+    /// The expanded (concrete) program: original externs plus every built
+    /// unit, in the monomorphizer's emission order — byte-identical to
+    /// [`filament_core::mono::expand`]'s output when pretty-printed.
+    pub expanded: Program,
+    /// The lowered program (every unit plus structural extern
+    /// implementations), present for full builds.
+    pub lowered: Option<cl::Program>,
+    /// What the build did.
+    pub stats: BuildStats,
+}
+
+/// Expands a program through the driver without checking or lowering —
+/// the parallel, cacheable equivalent of [`filament_core::mono::expand`].
+///
+/// # Errors
+///
+/// Returns the first elaboration failure, or an IO error for an unusable
+/// cache directory.
+pub fn expand_program(program: &Program, opts: &BuildOptions) -> Result<BuildOutput, BuildError> {
+    run(program, None, opts, effective_jobs(opts))
+}
+
+/// Full build: expand, check, and lower every unit reachable from the
+/// parameter-free roots, in parallel per `opts.jobs`.
+///
+/// # Errors
+///
+/// Returns the first unit failure (elaboration, check, or lowering) or an
+/// IO error for an unusable cache directory.
+pub fn build_program(
+    program: &Program,
+    registry: &(dyn PrimitiveRegistry + Sync),
+    opts: &BuildOptions,
+) -> Result<BuildOutput, BuildError> {
+    run(program, Some(registry), opts, effective_jobs(opts))
+}
+
+/// [`build_program`] restricted to the calling thread, for registries that
+/// are not [`Sync`]. `opts.jobs` is ignored.
+///
+/// # Errors
+///
+/// As [`build_program`].
+pub fn build_program_serial(
+    program: &Program,
+    registry: &dyn PrimitiveRegistry,
+    opts: &BuildOptions,
+) -> Result<BuildOutput, BuildError> {
+    let externs = extern_set(program);
+    externs.ensure_checked(program)?;
+    let ctx = Ctx::new(program, opts, &externs)?;
+    worker(&ctx, Some(registry));
+    finish(program, ctx, true)
+}
+
+fn effective_jobs(opts: &BuildOptions) -> usize {
+    match opts.jobs {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    }
+}
+
+fn run(
+    program: &Program,
+    registry: Option<&(dyn PrimitiveRegistry + Sync)>,
+    opts: &BuildOptions,
+    jobs: usize,
+) -> Result<BuildOutput, BuildError> {
+    let externs = extern_set(program);
+    if registry.is_some() {
+        externs.ensure_checked(program)?;
+    }
+    let ctx = Ctx::new(program, opts, &externs)?;
+    if jobs <= 1 {
+        worker(&ctx, registry.map(|r| r as &dyn PrimitiveRegistry));
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| worker(&ctx, registry.map(|r| r as &dyn PrimitiveRegistry)));
+            }
+        });
+    }
+    finish(program, ctx, registry.is_some())
+}
+
+// ------------------------------------------------------------------ units
+
+/// The monomorphizer's cache key: one compile unit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct UnitKey {
+    component: Id,
+    values: Vec<u64>,
+}
+
+/// The session-stable placeholder name a unit's component carries until
+/// the merge assigns final names. A pure function of the key, so units
+/// built in any order — or in an earlier session — agree on it.
+fn placeholder(key: &UnitKey) -> Id {
+    let mut bytes = Vec::with_capacity(8 * key.values.len());
+    for v in &key.values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    format!(
+        "U_{:016x}",
+        fnv64(&[b"unit", key.component.as_bytes(), &bytes])
+    )
+}
+
+/// The human-readable name a unit will (almost always) receive at merge:
+/// the component plus its free parameter values. Used to rewrite
+/// placeholder names out of diagnostics.
+fn provisional(program: &Program, key: &UnitKey) -> Id {
+    if key.values.is_empty() {
+        return key.component.clone();
+    }
+    let mut name = key.component.clone();
+    let decls = program.component(&key.component).map(|c| &c.sig.params);
+    for (i, v) in key.values.iter().enumerate() {
+        if decls.is_some_and(|d| d.get(i).is_some_and(|p| p.is_derived())) {
+            continue;
+        }
+        name.push('_');
+        name.push_str(&v.to_string());
+    }
+    name
+}
+
+/// A processed unit, placeholder-named throughout.
+struct UnitDone {
+    /// The expanded component; `None` for cache loads when the caller
+    /// asked for no expanded output (the component then never leaves its
+    /// artifact).
+    component: Option<Component>,
+    deps: Vec<UnitKey>,
+    lowered: Option<cl::Component>,
+    structural: Vec<cl::Component>,
+    mono: MonoStats,
+    /// Repeat instantiation sites within this unit's body.
+    local_hits: u64,
+    /// Loaded from the artifact cache (zero work done).
+    loaded: bool,
+    /// The cache was probed and had no usable artifact.
+    cache_missed: bool,
+    /// An artifact was written.
+    stored: bool,
+}
+
+// -------------------------------------------------------------- scheduler
+
+struct Shared {
+    queue: VecDeque<(UnitKey, usize)>,
+    scheduled: HashSet<UnitKey>,
+    done: HashMap<UnitKey, UnitDone>,
+    running: usize,
+    error: Option<BuildError>,
+    session_hits: u64,
+}
+
+struct Ctx<'p> {
+    program: &'p Program,
+    opts: &'p BuildOptions,
+    /// Closure hashes, computed only when the disk cache is enabled.
+    keys: Option<KeySpace>,
+    cache_dir: Option<PathBuf>,
+    shared: Mutex<Shared>,
+    cv: Condvar,
+}
+
+/// Process-wide information about one extern *set* (keyed by its
+/// structural hash): per-extern hashes for [`KeySpace`] and whether the
+/// set's signatures have already been validated. The standard library's
+/// externs are identical across builds, so this work happens once per
+/// session instead of once per build.
+struct ExternSet {
+    hashes: HashMap<Id, ContentHash>,
+    checked: AtomicBool,
+}
+
+impl ExternSet {
+    /// Validates the extern signatures once; failures are not memoized.
+    fn ensure_checked(&self, program: &Program) -> Result<(), BuildError> {
+        if self.checked.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        check_externs(program).map_err(BuildError::Check)?;
+        self.checked.store(true, Ordering::Release);
+        Ok(())
+    }
+}
+
+type ExternSets = Mutex<HashMap<(u64, u64), Arc<ExternSet>>>;
+
+fn extern_set(program: &Program) -> Arc<ExternSet> {
+    static SETS: OnceLock<ExternSets> = OnceLock::new();
+    let h = structural_hash(&program.externs);
+    let sets = SETS.get_or_init(|| Mutex::new(HashMap::new()));
+    sets.lock()
+        .unwrap()
+        .entry((h.a, h.b))
+        .or_insert_with(|| {
+            Arc::new(ExternSet {
+                hashes: program
+                    .externs
+                    .iter()
+                    .map(|s| (s.name.clone(), structural_hash(s)))
+                    .collect(),
+                checked: AtomicBool::new(false),
+            })
+        })
+        .clone()
+}
+
+impl<'p> Ctx<'p> {
+    fn new(
+        program: &'p Program,
+        opts: &'p BuildOptions,
+        externs: &ExternSet,
+    ) -> Result<Self, BuildError> {
+        mono::validate(program)?;
+        let cache_dir = match &opts.cache_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| BuildError::Io(format!("cache dir {}: {e}", dir.display())))?;
+                Some(dir.clone())
+            }
+            None => None,
+        };
+        let keys = cache_dir
+            .is_some()
+            .then(|| KeySpace::with_extern_hashes(program, &externs.hashes));
+        let mut shared = Shared {
+            queue: VecDeque::new(),
+            scheduled: HashSet::new(),
+            done: HashMap::new(),
+            running: 0,
+            error: None,
+            session_hits: 0,
+        };
+        for comp in &program.components {
+            if comp.sig.params.is_empty() {
+                let key = UnitKey {
+                    component: comp.sig.name.clone(),
+                    values: Vec::new(),
+                };
+                if shared.scheduled.insert(key.clone()) {
+                    shared.queue.push_back((key, 0));
+                }
+            }
+        }
+        Ok(Ctx {
+            program,
+            opts,
+            keys,
+            cache_dir,
+            shared: Mutex::new(shared),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+fn worker(ctx: &Ctx<'_>, registry: Option<&dyn PrimitiveRegistry>) {
+    loop {
+        let (key, depth) = {
+            let mut s = ctx.shared.lock().unwrap();
+            loop {
+                if s.error.is_some() {
+                    return;
+                }
+                if let Some(item) = s.queue.pop_front() {
+                    s.running += 1;
+                    break item;
+                }
+                if s.running == 0 {
+                    // Nothing queued and nobody producing: the graph is
+                    // complete.
+                    return;
+                }
+                s = ctx.cv.wait(s).unwrap();
+            }
+        };
+        // A panic inside unit processing must not strand the other
+        // workers: `running` would stay elevated and everyone else would
+        // wait on the condvar forever while the scope blocks joining the
+        // dead thread. Catch it and surface it as the build's error.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_unit(ctx, registry, &key)
+        }))
+        .unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".into());
+            Err(BuildError::Io(format!(
+                "building {}: internal panic: {msg}",
+                provisional(ctx.program, &key)
+            )))
+        });
+        let mut s = ctx.shared.lock().unwrap();
+        s.running -= 1;
+        match result {
+            Ok(unit) => {
+                for dep in &unit.deps {
+                    if s.scheduled.contains(dep) {
+                        s.session_hits += 1;
+                    } else if depth + 1 >= MAX_DEPTH {
+                        s.error.get_or_insert(BuildError::Mono(MonoError::TooDeep {
+                            component: dep.component.clone(),
+                        }));
+                    } else {
+                        s.scheduled.insert(dep.clone());
+                        s.queue.push_back((dep.clone(), depth + 1));
+                    }
+                }
+                s.done.insert(key, unit);
+            }
+            Err(e) => {
+                s.error.get_or_insert(e);
+            }
+        }
+        drop(s);
+        ctx.cv.notify_all();
+    }
+}
+
+// --------------------------------------------------------- unit processing
+
+/// Records callee instantiations as dependency edges instead of recursing.
+struct Recorder<'p> {
+    self_key: &'p UnitKey,
+    deps: Vec<UnitKey>,
+    seen: HashSet<UnitKey>,
+    local_hits: u64,
+}
+
+impl CalleeResolver for Recorder<'_> {
+    fn resolve(&mut self, callee: &str, values: Vec<u64>) -> Result<Id, MonoError> {
+        let key = UnitKey {
+            component: callee.to_owned(),
+            values,
+        };
+        if key == *self.self_key {
+            return Err(MonoError::Recursive {
+                component: key.component,
+                params: key.values,
+            });
+        }
+        let name = placeholder(&key);
+        if self.seen.insert(key.clone()) {
+            self.deps.push(key);
+        } else {
+            self.local_hits += 1;
+        }
+        Ok(name)
+    }
+}
+
+fn process_unit(
+    ctx: &Ctx<'_>,
+    registry: Option<&dyn PrimitiveRegistry>,
+    key: &UnitKey,
+) -> Result<UnitDone, BuildError> {
+    // Cache probe.
+    let path = ctx.keys.as_ref().and_then(|keys| {
+        let hash = keys.unit_hash(ARTIFACT_VERSION, &ctx.opts.salt, &key.component, &key.values)?;
+        Some(ctx.cache_dir.as_ref().unwrap().join(format!("{hash}.unit")))
+    });
+    let mut cache_missed = false;
+    if let Some(path) = &path {
+        match try_load(path, key, registry.is_some(), ctx.opts.emit_expanded) {
+            Some(unit) => return Ok(unit),
+            None => cache_missed = true,
+        }
+    }
+
+    // Expand.
+    let self_name = placeholder(key);
+    let mut rec = Recorder {
+        self_key: key,
+        deps: Vec::new(),
+        seen: HashSet::new(),
+        local_hits: 0,
+    };
+    let (component, mono_stats) = mono::elaborate_component(
+        ctx.program,
+        &key.component,
+        &key.values,
+        &self_name,
+        &mut rec,
+    )?;
+
+    // Check + lower against a mini program: externs plus the concrete
+    // signatures of the direct dependencies (bodies not needed).
+    let (lowered, structural) = match registry {
+        None => (None, Vec::new()),
+        Some(registry) => {
+            let mini = mini_program(ctx.program, &component, &rec.deps)?;
+            let names = readable_names(ctx.program, key, &rec.deps);
+            check_component(&mini, &self_name)
+                .map_err(|errs| BuildError::Check(rewrite_check(errs, &names)))?;
+            let unit = lower_component_unit(&mini, &self_name, registry)
+                .map_err(|e| BuildError::Lower(rewrite_lower(e, &names)))?;
+            (Some(unit.component), unit.structural)
+        }
+    };
+
+    // Store.
+    let mut stored = false;
+    if let Some(path) = &path {
+        let art = Artifact {
+            component: key.component.clone(),
+            values: key.values.clone(),
+            deps: rec
+                .deps
+                .iter()
+                .map(|d| (d.component.clone(), d.values.clone()))
+                .collect(),
+            expanded_text: filament_core::pretty::print_component(&component),
+            expanded_ast: ast_bin::encode(&component),
+            lowered: lowered
+                .as_ref()
+                .map(|l| (l.clone(), structural.clone())),
+        };
+        stored = store_atomic(path, &artifact::encode(&art));
+    }
+
+    Ok(UnitDone {
+        component: Some(component),
+        deps: rec.deps,
+        lowered,
+        structural,
+        mono: mono_stats,
+        local_hits: rec.local_hits,
+        loaded: false,
+        cache_missed,
+        stored,
+    })
+}
+
+/// Loads and validates one artifact; any failure at all (IO, corruption,
+/// version skew, wrong unit, unparseable text, missing lowered half) is a
+/// miss.
+fn try_load(
+    path: &std::path::Path,
+    key: &UnitKey,
+    want_lowered: bool,
+    want_expanded: bool,
+) -> Option<UnitDone> {
+    let bytes = std::fs::read(path).ok()?;
+    let art = artifact::decode(&bytes).ok()?;
+    if art.component != key.component || art.values != key.values {
+        return None;
+    }
+    if want_lowered && art.lowered.is_none() {
+        return None;
+    }
+    // Fast path: the binary AST. Fall back to parsing the pretty text (the
+    // two agree — pinned by the ast_bin roundtrip tests). When the caller
+    // wants no expanded output, the component never leaves the artifact.
+    let component = if want_expanded {
+        let c = match art.expanded_ast.as_deref().and_then(|b| ast_bin::decode(b).ok()) {
+            Some(c) => c,
+            None => {
+                let parsed = filament_core::parse_program(&art.expanded_text).ok()?;
+                if !parsed.externs.is_empty() || parsed.components.len() != 1 {
+                    return None;
+                }
+                parsed.components.into_iter().next().unwrap()
+            }
+        };
+        if c.sig.name != placeholder(key) {
+            return None;
+        }
+        Some(c)
+    } else {
+        None
+    };
+    let (lowered, structural) = match art.lowered {
+        Some((l, s)) if want_lowered => (Some(l), s),
+        _ => (None, Vec::new()),
+    };
+    Some(UnitDone {
+        component,
+        deps: art
+            .deps
+            .into_iter()
+            .map(|(component, values)| UnitKey { component, values })
+            .collect(),
+        lowered,
+        structural,
+        mono: MonoStats::default(),
+        local_hits: 0,
+        loaded: true,
+        cache_missed: false,
+        stored: false,
+    })
+}
+
+/// Writes via a temp file + rename so concurrent builds never observe a
+/// torn artifact. Failures are swallowed: an unwritable cache costs time,
+/// not correctness.
+fn store_atomic(path: &std::path::Path, bytes: &[u8]) -> bool {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, bytes).is_err() {
+        return false;
+    }
+    if std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return false;
+    }
+    true
+}
+
+/// Externs plus this unit's component plus the concrete signatures of its
+/// direct dependencies (as body-less components): everything checking and
+/// lowering need to resolve names against.
+fn mini_program(
+    program: &Program,
+    component: &Component,
+    deps: &[UnitKey],
+) -> Result<Program, BuildError> {
+    let mut mini = Program {
+        externs: program.externs.clone(),
+        components: vec![component.clone()],
+    };
+    for dep in deps {
+        let src = program
+            .component(&dep.component)
+            .expect("recorded deps exist in the source program");
+        let sig = mono::elaborate_signature(&src.sig, &dep.values, &placeholder(dep))?;
+        mini.components.push(Component {
+            sig,
+            body: Vec::new(),
+        });
+    }
+    Ok(mini)
+}
+
+/// Placeholder → human-readable name map for diagnostics.
+fn readable_names(program: &Program, key: &UnitKey, deps: &[UnitKey]) -> HashMap<Id, Id> {
+    let mut names = HashMap::new();
+    names.insert(placeholder(key), provisional(program, key));
+    for dep in deps {
+        names.insert(placeholder(dep), provisional(program, dep));
+    }
+    names
+}
+
+fn rewrite_str(s: &str, names: &HashMap<Id, Id>) -> String {
+    let mut out = s.to_owned();
+    for (ph, name) in names {
+        if out.contains(ph.as_str()) {
+            out = out.replace(ph.as_str(), name);
+        }
+    }
+    out
+}
+
+fn rewrite_check(errs: Vec<CheckError>, names: &HashMap<Id, Id>) -> Vec<CheckError> {
+    errs.into_iter()
+        .map(|e| CheckError {
+            component: rewrite_str(&e.component, names),
+            kind: e.kind,
+            message: rewrite_str(&e.message, names),
+        })
+        .collect()
+}
+
+fn rewrite_lower(
+    e: filament_core::lower::LowerError,
+    names: &HashMap<Id, Id>,
+) -> filament_core::lower::LowerError {
+    use filament_core::lower::LowerError::*;
+    match e {
+        UnknownComponent(c) => UnknownComponent(rewrite_str(&c, names)),
+        NoPrimitive { name } => NoPrimitive {
+            name: rewrite_str(&name, names),
+        },
+        PortMismatch { name, port } => PortMismatch {
+            name: rewrite_str(&name, names),
+            port,
+        },
+        NonConstant {
+            component,
+            site,
+            param,
+            cause,
+        } => NonConstant {
+            component: rewrite_str(&component, names),
+            site: rewrite_str(&site, names),
+            param,
+            cause,
+        },
+        Unelaborated {
+            component,
+            construct,
+        } => Unelaborated {
+            component: rewrite_str(&component, names),
+            construct: rewrite_str(&construct, names),
+        },
+        IllTyped { detail } => IllTyped {
+            detail: rewrite_str(&detail, names),
+        },
+    }
+}
+
+// ------------------------------------------------------------------ merge
+
+fn finish(program: &Program, ctx: Ctx<'_>, lowering: bool) -> Result<BuildOutput, BuildError> {
+    let emit_expanded = ctx.opts.emit_expanded;
+    let shared = ctx.shared.into_inner().unwrap();
+    if let Some(e) = shared.error {
+        return Err(e);
+    }
+    merge(program, shared, lowering, emit_expanded)
+}
+
+/// Serial, deterministic merge: assigns final names and emission order by
+/// replaying the recursive monomorphizer's traversal over the recorded
+/// dependency graph, then rewrites placeholders everywhere.
+fn merge(
+    program: &Program,
+    shared: Shared,
+    lowering: bool,
+    emit_expanded: bool,
+) -> Result<BuildOutput, BuildError> {
+    let mut done = shared.done;
+    // Name claiming replicates `mono::expand`: source names are taken;
+    // monomorphs claim `Comp_v0_v1` (free values only) pre-order,
+    // disambiguating with trailing underscores.
+    let mut taken: HashSet<Id> = program
+        .components
+        .iter()
+        .map(|c| c.sig.name.clone())
+        .chain(program.externs.iter().map(|s| s.name.clone()))
+        .collect();
+    let mut final_names: HashMap<Id, Id> = HashMap::new(); // placeholder → final
+    let mut order: Vec<UnitKey> = Vec::new();
+    // Iterative DFS with an explicit stack (grey-marking for cycle
+    // detection); dependency edges are visited in recorded (body) order.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Grey,
+        Black,
+    }
+    let mut marks: HashMap<UnitKey, Mark> = HashMap::new();
+    enum Step {
+        Enter(UnitKey),
+        Exit(UnitKey),
+    }
+    let roots: Vec<UnitKey> = program
+        .components
+        .iter()
+        .filter(|c| c.sig.params.is_empty())
+        .map(|c| UnitKey {
+            component: c.sig.name.clone(),
+            values: Vec::new(),
+        })
+        .collect();
+    for root in roots {
+        let mut stack = vec![Step::Enter(root)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Enter(key) => {
+                    match marks.get(&key) {
+                        Some(Mark::Black) => continue,
+                        Some(Mark::Grey) => {
+                            return Err(BuildError::Mono(MonoError::Recursive {
+                                component: key.component,
+                                params: key.values,
+                            }));
+                        }
+                        None => {}
+                    }
+                    // Claim the final name (pre-order, like mono::expand).
+                    let name = if key.values.is_empty() {
+                        key.component.clone()
+                    } else {
+                        let mut n = provisional(program, &key);
+                        while taken.contains(&n) {
+                            n.push('_');
+                        }
+                        taken.insert(n.clone());
+                        n
+                    };
+                    final_names.insert(placeholder(&key), name);
+                    marks.insert(key.clone(), Mark::Grey);
+                    let unit = done
+                        .get(&key)
+                        .expect("every scheduled unit completed before merge");
+                    stack.push(Step::Exit(key.clone()));
+                    // Reverse so the first recorded dep is processed first.
+                    for dep in unit.deps.iter().rev() {
+                        stack.push(Step::Enter(dep.clone()));
+                    }
+                }
+                Step::Exit(key) => {
+                    marks.insert(key.clone(), Mark::Black);
+                    order.push(key);
+                }
+            }
+        }
+    }
+
+    // Emit, rewriting placeholders to final names.
+    let mut expanded = if emit_expanded {
+        Program {
+            externs: program.externs.clone(),
+            components: Vec::with_capacity(order.len()),
+        }
+    } else {
+        Program::new()
+    };
+    let mut lowered_out = lowering.then(cl::Program::new);
+    let mut stats = BuildStats {
+        units: order.len() as u64,
+        session_hits: shared.session_hits,
+        ..BuildStats::default()
+    };
+    stats.mono.cache_hits = shared.session_hits;
+    stats.mono.cache_misses = order.len() as u64;
+    for key in &order {
+        let unit = done.remove(key).expect("unit emitted exactly once");
+        if unit.loaded {
+            stats.cache_loads += 1;
+        } else {
+            stats.expanded += 1;
+            stats.mono.absorb(&unit.mono);
+            stats.mono.cache_hits += unit.local_hits;
+            if unit.lowered.is_some() {
+                stats.checked += 1;
+                stats.lowered += 1;
+            }
+        }
+        stats.cache_misses += u64::from(unit.cache_missed);
+        stats.cache_stores += u64::from(unit.stored);
+        if emit_expanded {
+            let mut comp = unit
+                .component
+                .expect("expanded components are materialized when requested");
+            rename_expanded(&mut comp, &final_names);
+            expanded.components.push(comp);
+        }
+        if let Some(out) = &mut lowered_out {
+            for s in unit.structural {
+                if out.component(&s.name).is_none() {
+                    out.add_component(s);
+                }
+            }
+            if let Some(mut lc) = unit.lowered {
+                rename_lowered(&mut lc, &final_names);
+                out.add_component(lc);
+            }
+        }
+    }
+    Ok(BuildOutput {
+        expanded,
+        lowered: lowered_out,
+        stats,
+    })
+}
+
+fn rename_expanded(c: &mut Component, names: &HashMap<Id, Id>) {
+    if let Some(n) = names.get(&c.sig.name) {
+        c.sig.name = n.clone();
+    }
+    for cmd in &mut c.body {
+        if let Command::Instance { component, .. } = cmd {
+            if let Some(n) = names.get(component) {
+                *component = n.clone();
+            }
+        }
+    }
+}
+
+fn rename_lowered(c: &mut cl::Component, names: &HashMap<Id, Id>) {
+    if let Some(n) = names.get(&c.name) {
+        c.name = n.clone();
+    }
+    for cell in &mut c.cells {
+        if let cl::CellProto::Component(sub) = &mut cell.proto {
+            if let Some(n) = names.get(sub) {
+                *sub = n.clone();
+            }
+        }
+    }
+}
+
+/// Program-wide validation shared by full builds: extern signatures and
+/// cross-extern duplicate names, checked once (per-unit checks only see
+/// externs as instantiation targets).
+///
+/// # Errors
+///
+/// Returns the extern-signature diagnostics.
+pub fn check_externs(program: &Program) -> Result<(), Vec<CheckError>> {
+    check_program(&Program {
+        externs: program.externs.clone(),
+        components: Vec::new(),
+    })
+}
+

@@ -1,0 +1,61 @@
+//! `fil-build`: a content-addressed, incremental, parallel build driver
+//! for the Filament compiler.
+//!
+//! The paper's modular checking story — each component is verified against
+//! its timeline-typed signature once and composed freely — makes
+//! *compilation* modular too: a component's expansion, type-check, and
+//! lowering depend only on its own source, its resolved parameters, and
+//! its dependencies' signatures. This crate exploits that:
+//!
+//! * **Units.** The pipeline is split into per-`(component, params)`
+//!   compile units, the monomorphizer's own cache key
+//!   ([`filament_core::mono::elaborate_component`] elaborates one unit;
+//!   [`filament_core::lower_component_unit`] lowers one).
+//! * **Content-addressed caching.** Each unit is keyed by a 128-bit hash
+//!   of its component's pretty-printed source, the pretty-printed sources
+//!   of everything it can statically reach, its resolved parameter
+//!   vector, the artifact format version, and a registry salt
+//!   ([`key::KeySpace`]). Artifacts — the expanded `.fil` text plus a
+//!   versioned binary encoding of the lowered [`calyx_lite::Component`] —
+//!   persist in a `--cache-dir` across sessions ([`artifact`]); hits skip
+//!   expand/check/lower entirely, and corrupted or stale files are
+//!   detected (magic, version, checksum, length validation) and fall back
+//!   to a clean rebuild.
+//! * **Parallel scheduling.** Units run on a `std::thread` worker pool
+//!   (`--jobs N`) over the dynamically discovered dependency DAG.
+//! * **Determinism.** Unit outputs are order-independent
+//!   (content-addressed placeholder names) and the final merge replays
+//!   the recursive monomorphizer's traversal, so `-j1`/`-jN` and
+//!   cold/warm builds produce byte-identical expanded programs and
+//!   Verilog — the expanded program matches
+//!   [`filament_core::mono::expand`] exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use fil_build::{expand_program, BuildOptions};
+//! use filament_core::parse_program;
+//!
+//! let program = parse_program(
+//!     "extern comp Delay[W]<G: 1>(@[G, G+1] in: W) -> (@[G+1, G+2] out: W);
+//!      comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G+1, G+2] o: 8) {
+//!        d := new Delay[8]<G>(x);
+//!        o = d.out;
+//!      }",
+//! )?;
+//! let out = expand_program(&program, &BuildOptions::default())?;
+//! assert_eq!(out.stats.units, 1);
+//! assert_eq!(out.expanded, filament_core::mono::expand(&program)?);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod artifact;
+pub mod ast_bin;
+pub mod driver;
+pub mod key;
+
+pub use artifact::ARTIFACT_VERSION;
+pub use driver::{
+    build_program, build_program_serial, check_externs, expand_program, BuildError, BuildOptions,
+    BuildOutput, BuildStats,
+};

@@ -37,12 +37,14 @@
 
 mod elaborate;
 mod ir;
+pub mod serial;
 mod verilog;
 
 pub use elaborate::elaborate;
 pub use ir::{
     primitive_ports, Assign, CalyxError, Cell, CellProto, Component, Guard, PortRef, Program, Src,
 };
+pub use serial::{decode_component, encode_component, DecodeError};
 pub use verilog::emit_program;
 
 #[cfg(test)]

@@ -567,7 +567,7 @@ impl fmt::Display for Delay {
 }
 
 /// An event binder `<E: delay>` in a signature.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EventDecl {
     /// The event variable.
     pub name: Id,
@@ -577,7 +577,7 @@ pub struct EventDecl {
 
 /// An interface port `@interface[E] go: 1` (Section 3.2): the physical port
 /// by which event `E` is signalled at runtime.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct InterfaceDef {
     /// Port name.
     pub name: Id,
@@ -589,7 +589,7 @@ pub struct InterfaceDef {
 /// family of ports whose width and interval offsets may mention the index
 /// variable. The monomorphizer ([`crate::mono`]) flattens a bundle of
 /// extent `lo..hi` into `hi - lo` concrete ports `name_lo .. name_{hi-1}`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Bundle {
     /// The index variable, scoped over the port's width and liveness.
     pub var: Id,
@@ -626,7 +626,7 @@ impl fmt::Display for Bundle {
 }
 
 /// A data port with its availability interval.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PortDef {
     /// Port name.
     pub name: Id,
@@ -658,7 +658,7 @@ impl PortDef {
 }
 
 /// The relational operator of a `where` constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConstraintOp {
     /// Strictly greater.
     Gt,
@@ -669,7 +669,7 @@ pub enum ConstraintOp {
 }
 
 /// An ordering constraint between events: `where L > G+1` (Section 3.6).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct OrderConstraint {
     /// Left time.
     pub lhs: Time,
@@ -700,7 +700,7 @@ impl fmt::Display for OrderConstraint {
 /// ever seeing the body. Derivations may chain (`some D = W / 2`) but may
 /// only reference parameters declared earlier, which rules out cycles by
 /// construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ParamDecl {
     /// The parameter name.
     pub name: Id,
@@ -792,7 +792,7 @@ impl std::error::Error for ParamResolveError {}
 
 /// A component signature: name, const parameters, events, ports, and
 /// ordering constraints.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Signature {
     /// Component name.
     pub name: Id,
@@ -834,9 +834,9 @@ impl Signature {
     /// True when a value vector of length `n` is the *full* (elaborated)
     /// form — one entry per parameter, derived included — rather than the
     /// caller-supplied free form. The single source of truth for the
-    /// free-vs-full convention shared by [`resolve_param_values`]
-    /// (Self::resolve_param_values), [`param_exprs`](Self::param_exprs),
-    /// and the checker.
+    /// free-vs-full convention shared by
+    /// [`resolve_param_values`](Self::resolve_param_values),
+    /// [`param_exprs`](Self::param_exprs), and the checker.
     pub fn is_full_value_count(&self, n: usize) -> bool {
         n == self.params.len() && self.free_param_count() != self.params.len()
     }
@@ -1069,7 +1069,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// A body command (Figure 7a, extended with the `for`-generate construct).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Command {
     /// `I := new C[p...]` — constructs a physical circuit (Section 3.3).
     Instance {
@@ -1133,7 +1133,7 @@ pub enum Command {
 }
 
 /// A component: signature plus body.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Component {
     /// The signature.
     pub sig: Signature,
@@ -1142,7 +1142,7 @@ pub struct Component {
 }
 
 /// A full program: externs (signature-only, Section 3.6) and user components.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Program {
     /// Extern (black-box) component signatures.
     pub externs: Vec<Signature>,

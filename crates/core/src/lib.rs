@@ -92,6 +92,7 @@
 //! | `filament expand --stats <f.fil>` | print [`MonoStats`] as JSON instead of the program |
 //! | `filament interface <f.fil> <comp>` | print a component's harness-facing timing interface |
 //! | `filament compile <f.fil> <comp>` | lower to Calyx-lite and emit structural Verilog |
+//! | `filament build <f.fil> [--cache-dir D] [--jobs N]` | incremental whole-program build through the `fil-build` driver: per-component compile units over a worker pool, artifacts cached across sessions (a warm cache does zero expand/check/lower work), deterministic Verilog out |
 //! | `filament fmt <f.fil>` | parse-only pretty-print; idempotent over any valid source (CI pins this as a fixpoint gate, alongside golden `expand` snapshots of the design corpus) |
 //!
 //! ```
@@ -162,7 +163,10 @@ pub mod sem;
 
 pub use ast::{Component, ParamDecl, Program, Signature};
 pub use check::{check_component, check_program, CheckError};
-pub use lower::{lower_program, PrimitiveRegistry};
-pub use mono::{expand, expand_with_stats, MonoError, MonoStats};
+pub use lower::{lower_component_unit, lower_program, LoweredUnit, PrimitiveRegistry};
+pub use mono::{
+    elaborate_component, elaborate_signature, expand, expand_with_stats, CalleeResolver,
+    MonoError, MonoStats,
+};
 pub use parser::{parse_program, ParseError};
 pub use sem::{component_log, safe_pipelining_horizon, Log, LogViolation};

@@ -150,6 +150,65 @@ pub fn lower_program(
     Ok(out)
 }
 
+/// A single component lowered in isolation: the Calyx-lite component plus
+/// any structural extern implementations its instances pulled in (deduped
+/// by name; sub-*component* dependencies are referenced by name only and
+/// must be lowered as their own units).
+#[derive(Debug, Clone)]
+pub struct LoweredUnit {
+    /// The lowered component itself.
+    pub component: cl::Component,
+    /// Structural implementations of externs it instantiates (e.g. a
+    /// Reticle-generated DSP cascade), in first-reference order.
+    pub structural: Vec<cl::Component>,
+}
+
+/// Lowers exactly one component — without recursing into the user
+/// components it instantiates, which are expected to be lowered separately
+/// and merged by name. This is the per-unit lowering API the `fil-build`
+/// driver schedules over the monomorph dependency DAG; [`lower_program`]
+/// remains the whole-program entry point and produces identical components.
+///
+/// # Errors
+///
+/// As [`lower_program`], for failures inside this component.
+pub fn lower_component_unit(
+    program: &Program,
+    name: &str,
+    registry: &dyn PrimitiveRegistry,
+) -> Result<LoweredUnit, LowerError> {
+    struct Collect {
+        structural: Vec<cl::Component>,
+    }
+    impl LowerSink for Collect {
+        fn structural(&mut self, c: cl::Component) {
+            if !self.structural.iter().any(|s| s.name == c.name) {
+                self.structural.push(c);
+            }
+        }
+        fn user_dep(&mut self, _name: &str) -> Result<(), LowerError> {
+            Ok(())
+        }
+    }
+    let mut sink = Collect {
+        structural: Vec::new(),
+    };
+    let component = lower_one(program, name, registry, &mut sink)?;
+    Ok(LoweredUnit {
+        component,
+        structural: sink.structural,
+    })
+}
+
+/// What a single-component lowering reports upward: structural extern
+/// implementations to include in the output program, and user subcomponent
+/// dependencies (which the whole-program path lowers recursively and the
+/// unit path leaves to the driver).
+trait LowerSink {
+    fn structural(&mut self, c: cl::Component);
+    fn user_dep(&mut self, name: &str) -> Result<(), LowerError>;
+}
+
 fn const_eval(e: &ConstExpr, component: &str, site: &str) -> Result<u64, LowerError> {
     const_eval_env(e, &HashMap::new(), component, site)
 }
@@ -254,6 +313,39 @@ fn lower_component(
         return Ok(());
     }
     done.insert(name.to_owned());
+    struct Recurse<'a> {
+        program: &'a Program,
+        registry: &'a dyn PrimitiveRegistry,
+        out: &'a mut cl::Program,
+        done: &'a mut HashSet<Id>,
+    }
+    impl LowerSink for Recurse<'_> {
+        fn structural(&mut self, c: cl::Component) {
+            if self.out.component(&c.name).is_none() {
+                self.out.add_component(c);
+            }
+        }
+        fn user_dep(&mut self, dep: &str) -> Result<(), LowerError> {
+            lower_component(self.program, dep, self.registry, self.out, self.done)
+        }
+    }
+    let mut sink = Recurse {
+        program,
+        registry,
+        out: &mut *out,
+        done: &mut *done,
+    };
+    let c = lower_one(program, name, registry, &mut sink)?;
+    out.add_component(c);
+    Ok(())
+}
+
+fn lower_one(
+    program: &Program,
+    name: &str,
+    registry: &dyn PrimitiveRegistry,
+    sink: &mut dyn LowerSink,
+) -> Result<cl::Component, LowerError> {
     let comp = program
         .component(name)
         .ok_or_else(|| LowerError::UnknownComponent(name.to_owned()))?;
@@ -356,9 +448,7 @@ fn lower_component(
                         }
                     }
                     let mangled = sub.name.clone();
-                    if out.component(&mangled).is_none() {
-                        out.add_component(sub);
-                    }
+                    sink.structural(sub);
                     c.add_subcomponent(iname.clone(), mangled);
                 } else {
                     return Err(LowerError::NoPrimitive {
@@ -366,7 +456,7 @@ fn lower_component(
                     });
                 }
             } else {
-                lower_component(program, component, registry, out, done)?;
+                sink.user_dep(component)?;
                 c.add_subcomponent(iname.clone(), component.clone());
             }
             let env = callee.param_env(&values);
@@ -498,9 +588,18 @@ fn lower_component(
     };
 
     // Interface triggers, merged per (instance, interface port) so pipelined
-    // uses OR together (Figure 6: `A.go = Gf._0 || Gf._2`).
-    let mut triggers: HashMap<(Id, Id), Vec<cl::PortRef>> = HashMap::new();
-    for (iname, inv) in &invs {
+    // uses OR together (Figure 6: `A.go = Gf._0 || Gf._2`). Invocations are
+    // walked in body order and the merged map is ordered, so the emitted
+    // assignments (and the state order inside each guard) are deterministic
+    // — a requirement for byte-identical `-j1`/`-jN` driver builds.
+    let mut triggers: std::collections::BTreeMap<(Id, Id), Vec<cl::PortRef>> =
+        std::collections::BTreeMap::new();
+    for cmd in &comp.body {
+        let Command::Invoke { name: iname, .. } = cmd else {
+            continue;
+        };
+        let iname = flat_name(iname, name)?;
+        let inv = &invs[iname];
         let inst = &insts[&inv.instance];
         for ev in &inst.sig.events {
             let Some(iface) = inst.sig.interface_of(&ev.name) else {
@@ -586,8 +685,7 @@ fn lower_component(
         c.assign(cl::PortRef::this(dname.clone()), src_of(src, width));
     }
 
-    out.add_component(c);
-    Ok(())
+    Ok(c)
 }
 
 fn sig_port_names(sig: &Signature) -> Vec<String> {

@@ -62,8 +62,9 @@ use std::fmt;
 
 /// Maximum depth of nested `(component, params)` elaborations: deep enough
 /// for any reasonable recursive generator, small enough to catch divergence
-/// quickly.
-const MAX_DEPTH: usize = 64;
+/// quickly. Public so external drivers scheduling units over the monomorph
+/// DAG can enforce the same bound.
+pub const MAX_DEPTH: usize = 64;
 
 /// Ceiling on commands emitted per component, so a mistyped bound
 /// (`for i in 0..pow2(60)`) fails fast instead of exhausting memory.
@@ -94,6 +95,21 @@ pub struct MonoStats {
     /// Total concrete commands emitted across all elaborated components.
     pub commands_emitted: u64,
 }
+
+impl MonoStats {
+    /// Adds another stats record into this one, field by field (used to
+    /// merge per-component elaboration counters into a program-wide total).
+    pub fn absorb(&mut self, other: &MonoStats) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.loops_unrolled += other.loops_unrolled;
+        self.ifs_resolved += other.ifs_resolved;
+        self.bundles_flattened += other.bundles_flattened;
+        self.derivations_evaluated += other.derivations_evaluated;
+        self.commands_emitted += other.commands_emitted;
+    }
+}
+
 
 /// Errors raised during monomorphization.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -305,29 +321,7 @@ pub fn expand(program: &Program) -> Result<Program, MonoError> {
 ///
 /// As [`expand`].
 pub fn expand_with_stats(program: &Program) -> Result<(Program, MonoStats), MonoError> {
-    let mut seen = std::collections::HashSet::new();
-    for comp in &program.components {
-        if !seen.insert(comp.sig.name.clone()) {
-            return Err(MonoError::DuplicateComponent(comp.sig.name.clone()));
-        }
-    }
-    // Externs pass through elaboration untouched, so a bundle port on one
-    // could never be flattened — reject it here with a direct message
-    // rather than letting the checker report a residual-construct error.
-    for sig in &program.externs {
-        if let Some(p) = sig
-            .inputs
-            .iter()
-            .chain(&sig.outputs)
-            .find(|p| p.bundle.is_some())
-        {
-            return Err(MonoError::Bundle {
-                component: sig.name.clone(),
-                site: format!("port {}", p.name),
-                message: "bundle ports are not supported on extern components".into(),
-            });
-        }
-    }
+    validate(program)?;
     // Every name already claimed by the source program: monomorph names
     // must not collide with user components or externs (a user-written
     // `Inner_8` next to `Inner[W]` instantiated at 8 would otherwise merge
@@ -360,6 +354,166 @@ pub fn expand_with_stats(program: &Program) -> Result<(Program, MonoStats), Mono
     ))
 }
 
+/// Pre-elaboration validation shared by [`expand`] and external drivers:
+/// duplicate user components and bundle ports on externs are structural
+/// errors that no per-component elaboration could recover from.
+///
+/// # Errors
+///
+/// Returns the first [`MonoError::DuplicateComponent`] or
+/// [`MonoError::Bundle`] found.
+pub fn validate(program: &Program) -> Result<(), MonoError> {
+    let mut seen = std::collections::HashSet::new();
+    for comp in &program.components {
+        if !seen.insert(comp.sig.name.clone()) {
+            return Err(MonoError::DuplicateComponent(comp.sig.name.clone()));
+        }
+    }
+    // Externs pass through elaboration untouched, so a bundle port on one
+    // could never be flattened — reject it here with a direct message
+    // rather than letting the checker report a residual-construct error.
+    for sig in &program.externs {
+        if let Some(p) = sig
+            .inputs
+            .iter()
+            .chain(&sig.outputs)
+            .find(|p| p.bundle.is_some())
+        {
+            return Err(MonoError::Bundle {
+                component: sig.name.clone(),
+                site: format!("port {}", p.name),
+                message: "bundle ports are not supported on extern components".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// How a body elaboration turns a user-component instantiation into the
+/// name of the concrete component the emitted `new` command references.
+///
+/// [`expand`] resolves recursively (elaborating the callee on the spot,
+/// through the monomorphization cache). An incremental build driver can
+/// instead *record* the `(callee, values)` pair as a dependency edge and
+/// hand back a deterministic placeholder, elaborating each unit exactly
+/// once — possibly in parallel, possibly from a cross-session artifact
+/// cache — and renaming placeholders when the units are merged.
+pub trait CalleeResolver {
+    /// Resolves instantiating `callee` at `values` (one value per callee
+    /// parameter, derived parameters included) to a concrete component
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MonoError`] — typically [`MonoError::Recursive`] or
+    /// [`MonoError::TooDeep`] from the resolver's own cycle accounting, or
+    /// any elaboration error of the callee when resolving recursively.
+    fn resolve(&mut self, callee: &str, values: Vec<u64>) -> Result<Id, MonoError>;
+}
+
+/// Elaborates a single `(component, values)` unit: the signature and body
+/// of `component` under the parameter environment of `values`, with every
+/// user-component instantiation routed through `resolver` (externs are
+/// emitted in place with literal parameter lists). The produced component
+/// is named `mono_name`.
+///
+/// `values` must carry one value per parameter of `component` (derived
+/// parameters included), as [`Signature::resolve_param_values`] returns.
+///
+/// This is the per-unit engine behind [`expand`] — and the entry point the
+/// `fil-build` driver uses to elaborate units independently.
+///
+/// # Errors
+///
+/// Returns a [`MonoError`] naming the component and site of the failure.
+pub fn elaborate_component(
+    program: &Program,
+    component: &str,
+    values: &[u64],
+    mono_name: &str,
+    resolver: &mut dyn CalleeResolver,
+) -> Result<(Component, MonoStats), MonoError> {
+    let comp = program
+        .component(component)
+        .ok_or_else(|| MonoError::UnknownComponent {
+            component: component.to_owned(),
+            callee: component.to_owned(),
+        })?;
+    let mut elab = Elab {
+        program,
+        resolver,
+        stats: MonoStats::default(),
+    };
+    let mut env: HashMap<Id, u64> = comp.sig.param_env(values);
+    let (sig, own_bundles) = elab.elab_sig(&comp.sig, &env, mono_name)?;
+    let own_ports: HashSet<Id> = comp
+        .sig
+        .interfaces
+        .iter()
+        .map(|i| i.name.clone())
+        .chain(comp.sig.inputs.iter().map(|p| p.name.clone()))
+        .chain(comp.sig.outputs.iter().map(|p| p.name.clone()))
+        .collect();
+    let mut ctx = BodyCtx {
+        own_ports,
+        own_bundles,
+        instances: HashMap::new(),
+        invokes: HashMap::new(),
+    };
+    // Best-effort pre-scan: record every declaration so forward references
+    // resolve. Each pass can resolve one more hop of forward constant
+    // reads (`d := new X[e.W]` before `e`, whose own parameters read a yet
+    // later instance), so iterate to a fixpoint: stop as soon as a pass
+    // completes, or when a pass records nothing new (the remaining
+    // unresolved sites are genuine errors for the main pass to report).
+    // Fully-resolved bodies (the common case) are walked once.
+    loop {
+        let mut budget = MAX_COMMANDS;
+        let before = (env.len(), ctx.instances.len(), ctx.invokes.len());
+        if elab.scan_commands(&comp.body, &mut env, &mut ctx, &mut budget)
+            || (env.len(), ctx.instances.len(), ctx.invokes.len()) == before
+        {
+            break;
+        }
+    }
+    let mut body = Vec::new();
+    elab.elab_commands(&comp.body, &mut env, &comp.sig.name, &mut ctx, &mut body)?;
+    elab.stats.commands_emitted += body.len() as u64;
+    let stats = elab.stats;
+    Ok((Component { sig, body }, stats))
+}
+
+/// Elaborates just a signature under a concrete parameter vector: widths
+/// and offsets evaluated, bundles flattened, the result named `mono_name`
+/// with an empty parameter list.
+///
+/// Used by build drivers to reconstruct the interface a dependency's
+/// monomorph will have without elaborating its body.
+///
+/// # Errors
+///
+/// As [`elaborate_component`], for failures inside the signature.
+pub fn elaborate_signature(
+    sig: &Signature,
+    values: &[u64],
+    mono_name: &str,
+) -> Result<Signature, MonoError> {
+    struct NoCallees;
+    impl CalleeResolver for NoCallees {
+        fn resolve(&mut self, _: &str, _: Vec<u64>) -> Result<Id, MonoError> {
+            unreachable!("signature elaboration never instantiates components")
+        }
+    }
+    static EMPTY: std::sync::OnceLock<Program> = std::sync::OnceLock::new();
+    let mut elab = Elab {
+        program: EMPTY.get_or_init(Program::new),
+        resolver: &mut NoCallees,
+        stats: MonoStats::default(),
+    };
+    let env = sig.param_env(values);
+    elab.elab_sig(sig, &env, mono_name).map(|(s, _)| s)
+}
+
 struct Mono<'p> {
     program: &'p Program,
     out: Vec<Component>,
@@ -373,11 +527,21 @@ struct Mono<'p> {
     stats: MonoStats,
 }
 
+/// The elaboration engine for one component body: every method is a pure
+/// function of the source program and the parameter environment, except
+/// that user-component instantiations go through the pluggable
+/// [`CalleeResolver`].
+struct Elab<'p, 'r> {
+    program: &'p Program,
+    resolver: &'r mut dyn CalleeResolver,
+    stats: MonoStats,
+}
+
 /// Concrete `(lo, hi)` extents of a signature's bundle ports, by name.
 type BundleExtents = HashMap<Id, (u64, u64)>;
 
 /// Per-component elaboration context: what the body's port references can
-/// resolve against. A best-effort pre-scan ([`Mono::scan_commands`]) fills
+/// resolve against. A best-effort pre-scan ([`Elab::scan_commands`]) fills
 /// it with every declaration in the body before the main pass runs, so
 /// bundle-typed *arguments* may reference the enclosing signature or any
 /// invocation of the body — including ones defined later (forward
@@ -416,7 +580,13 @@ fn inst_stem(base: &str) -> &str {
     base.strip_suffix("#inst").unwrap_or(base)
 }
 
-impl<'p> Mono<'p> {
+impl CalleeResolver for Mono<'_> {
+    fn resolve(&mut self, callee: &str, values: Vec<u64>) -> Result<Id, MonoError> {
+        self.instantiate(callee, values)
+    }
+}
+
+impl Elab<'_, '_> {
     /// Resolves the values supplied at an instantiation site into one value
     /// per callee parameter (derivations evaluated, or re-verified when the
     /// full list was passed through), reporting failures against the
@@ -455,7 +625,9 @@ impl<'p> Mono<'p> {
         self.stats.derivations_evaluated += derived as u64;
         Ok(full)
     }
+}
 
+impl<'p> Mono<'p> {
     /// Returns the concrete name for `component` instantiated at `values`
     /// (one value per parameter as [`resolve_values`](Self::resolve_values)
     /// returns, or one per free parameter — both forms normalize to the
@@ -550,41 +722,18 @@ impl<'p> Mono<'p> {
             n
         };
         self.stack.push(key.clone());
-        let mut env: HashMap<Id, u64> = comp.sig.param_env(&values);
-        let (sig, own_bundles) = self.elab_sig(&comp.sig, &env, &mono_name)?;
-        let own_ports: HashSet<Id> = comp
-            .sig
-            .interfaces
-            .iter()
-            .map(|i| i.name.clone())
-            .chain(comp.sig.inputs.iter().map(|p| p.name.clone()))
-            .chain(comp.sig.outputs.iter().map(|p| p.name.clone()))
-            .collect();
-        let mut ctx = BodyCtx {
-            own_ports,
-            own_bundles,
-            instances: HashMap::new(),
-            invokes: HashMap::new(),
-        };
-        // Best-effort pre-scan: record every declaration so forward
-        // references resolve. A second pass runs only when the first had to
-        // skip something — that is when a forward constant read
-        // (`d := new X[e.W]` before `e`) may now feed a later declaration;
-        // fully-resolved bodies (the common case) are walked once.
-        let mut budget = MAX_COMMANDS;
-        if !self.scan_commands(&comp.body, &mut env, &mut ctx, &mut budget) {
-            let mut budget = MAX_COMMANDS;
-            self.scan_commands(&comp.body, &mut env, &mut ctx, &mut budget);
-        }
-        let mut body = Vec::new();
-        self.elab_commands(&comp.body, &mut env, &comp.sig.name, &mut ctx, &mut body)?;
+        let program = self.program;
+        let (elaborated, stats) =
+            elaborate_component(program, component, &values, &mono_name, self)?;
         self.stack.pop();
-        self.stats.commands_emitted += body.len() as u64;
-        self.out.push(Component { sig, body });
+        self.stats.absorb(&stats);
+        self.out.push(elaborated);
         self.cache.insert(key, mono_name.clone());
         Ok(mono_name)
     }
+}
 
+impl<'p> Elab<'p, '_> {
     /// Best-effort pre-scan of a body: mirrors the control flow of
     /// [`elab_commands`](Self::elab_commands) — loops unrolled,
     /// conditionals resolved — but only *records* declarations (instance
@@ -1072,20 +1221,19 @@ impl<'p> Mono<'p> {
                     // *original* signature (bundles intact) so invocations
                     // can expand bundle arguments against it, and publish
                     // every parameter value to the caller as `stem.P`.
-                    let values = match self.program.sig(callee) {
-                        Some(csig) => {
-                            let full = self.resolve_values(csig, &given, component, &name)?;
-                            let cenv = csig.param_env(&full);
-                            let stem = inst_stem(&name.base);
-                            for (pname, v) in &cenv {
-                                env.insert(ConstExpr::inst_key(stem, pname), *v);
-                            }
-                            ctx.instances.insert(name.base.clone(), (csig, cenv));
-                            full
-                        }
-                        // Unknown callee: instantiate() reports it below.
-                        None => given,
+                    let Some(csig) = self.program.sig(callee) else {
+                        return Err(MonoError::UnknownComponent {
+                            component: component.to_owned(),
+                            callee: callee.clone(),
+                        });
                     };
+                    let values = self.resolve_values(csig, &given, component, &name)?;
+                    let cenv = csig.param_env(&values);
+                    let stem = inst_stem(&name.base);
+                    for (pname, v) in &cenv {
+                        env.insert(ConstExpr::inst_key(stem, pname), *v);
+                    }
+                    ctx.instances.insert(name.base.clone(), (csig, cenv));
                     if self.program.is_extern(callee) {
                         // Externs stay parametric; emit the full resolved
                         // value list (free then derived, in declaration
@@ -1096,7 +1244,7 @@ impl<'p> Mono<'p> {
                             params: values.into_iter().map(ConstExpr::Lit).collect(),
                         });
                     } else {
-                        let mono_name = self.instantiate(callee, values)?;
+                        let mono_name = self.resolver.resolve(callee, values)?;
                         out.push(Command::Instance {
                             name,
                             component: mono_name,
@@ -1409,6 +1557,111 @@ mod tests {
         assert_eq!(callee_of("a#inst").as_deref(), Some("Inner_8_"));
         assert_eq!(callee_of("b#inst").as_deref(), Some("Inner_8"));
         crate::check_program(&p).unwrap_or_else(|e| panic!("{e:#?}"));
+    }
+
+    #[test]
+    fn forward_constant_reads_chain_to_fixpoint() {
+        // Three hops of forward `inst.P` reads: d's parameter comes from a,
+        // whose parameter comes from b, whose parameter comes from c — each
+        // declared *after* its reader. One pre-scan pass resolves one hop,
+        // so the scan must iterate to a fixpoint for the chain to elaborate
+        // (the old two-pass scan resolved only `b` and failed on `a.W`).
+        let (p, _) = expand_src(&format!(
+            "{DELAY_EXT}
+             comp Id[W]<G: 1>(@[G, G+1] in: W) -> (@[G, G+1] out: W) {{ out = in; }}
+             comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G+1, G+2] o: 8) {{
+               d := new Delay[a.W]<G>(x);
+               a := new Id[b.W]<G>(x);
+               b := new Id[c.W]<G>(x);
+               c := new Id[8]<G>(x);
+               o = d.out;
+             }}"
+        ))
+        .unwrap_or_else(|e| panic!("forward chain failed to elaborate: {e}"));
+        // Every hop resolved to the literal 8 that `c` pins down.
+        assert!(p.component("Id_8").is_some());
+        let main = p.component("Main").unwrap();
+        let delay_params: Vec<_> = main
+            .body
+            .iter()
+            .filter_map(|c| match c {
+                Command::Instance { component, params, .. } if component == "Delay" => {
+                    Some(params.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delay_params, vec![vec![ConstExpr::Lit(8)]]);
+        crate::check_program(&p).unwrap_or_else(|e| panic!("{e:#?}"));
+    }
+
+    #[test]
+    fn scan_fixpoint_terminates_on_unresolvable_chains() {
+        // A genuinely unresolvable forward read (the cycle a -> b -> a)
+        // must not loop the pre-scan: progress stalls, the scan stops, and
+        // the main pass reports the unbound parameter.
+        let err = expand_src(&format!(
+            "{DELAY_EXT}
+             comp Id[W]<G: 1>(@[G, G+1] in: W) -> (@[G, G+1] out: W) {{ out = in; }}
+             comp Main<G: 1>(@[G, G+1] x: 8) -> () {{
+               a := new Id[b.W]<G>(x);
+               b := new Id[a.W]<G>(x);
+             }}"
+        ))
+        .unwrap_err();
+        assert!(matches!(err, MonoError::Eval { .. }), "{err}");
+    }
+
+    #[test]
+    fn elaborate_component_records_deps_via_resolver() {
+        // The per-unit entry point: callee instantiations go through the
+        // resolver instead of being elaborated recursively.
+        struct Recorder(Vec<(String, Vec<u64>)>);
+        impl CalleeResolver for Recorder {
+            fn resolve(&mut self, callee: &str, values: Vec<u64>) -> Result<Id, MonoError> {
+                let name = format!("UNIT_{}_{}", callee, self.0.len());
+                self.0.push((callee.to_owned(), values));
+                Ok(name)
+            }
+        }
+        let p = parse_program(&format!(
+            "{DELAY_EXT}
+             comp Inner[W]<G: 1>(@[G, G+1] x: W) -> (@[G+1, G+2] o: W) {{
+               d := new Delay[W]<G>(x);
+               o = d.out;
+             }}
+             comp Pair[W]<G: 1>(@[G, G+1] x: W) -> (@[G+1, G+2] o: W) {{
+               a := new Inner[W]<G>(x);
+               b := new Inner[W*2]<G>(x);
+               o = a.o;
+             }}"
+        ))
+        .unwrap();
+        let mut rec = Recorder(Vec::new());
+        let (comp, stats) =
+            elaborate_component(&p, "Pair", &[8], "Pair_8", &mut rec).unwrap();
+        assert_eq!(comp.sig.name, "Pair_8");
+        assert_eq!(
+            rec.0,
+            vec![("Inner".to_owned(), vec![8]), ("Inner".to_owned(), vec![16])]
+        );
+        // The emitted instances reference the resolver's names.
+        let callees: Vec<_> = comp
+            .body
+            .iter()
+            .filter_map(|c| match c {
+                Command::Instance { component, .. } => Some(component.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(callees, vec!["UNIT_Inner_0", "UNIT_Inner_1"]);
+        // Two fused instance+invoke pairs plus the output connection.
+        assert_eq!(stats.commands_emitted, 5);
+        // The dependency's concrete interface is reconstructible without
+        // its body.
+        let sig = elaborate_signature(&p.component("Inner").unwrap().sig, &[8], "X").unwrap();
+        assert_eq!(sig.name, "X");
+        assert_eq!(sig.inputs[0].width, ConstExpr::Lit(8));
     }
 
     #[test]

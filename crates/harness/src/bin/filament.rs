@@ -12,14 +12,23 @@
 //! filament expand --stats <file.fil>          # elaboration statistics as JSON
 //! filament interface <file.fil> <component>
 //! filament compile <file.fil> <component>     # emits Verilog on stdout
+//! filament build <file.fil> [--cache-dir D] [--jobs N] [--stats]
 //! filament fmt <file.fil>
 //! ```
+//!
+//! `build` is the incremental driver: it expands, checks, and lowers every
+//! component as an independent compile unit over a worker pool, reusing
+//! per-unit artifacts from `--cache-dir` across sessions (a warm cache
+//! does zero expand/check/lower work), and emits deterministic
+//! whole-program Verilog. `expand` accepts the same `--cache-dir`/`--jobs`
+//! flags, and with `--stats` reports the session-cache load/miss/store
+//! counters alongside the elaboration numbers.
 
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: filament <check|expand|interface|compile|fmt> <file.fil> [component]\n\
+        "usage: filament <check|expand|interface|compile|build|fmt> <file.fil> [component]\n\
          \n\
          check      parse and type-check (standard library preloaded)\n\
          expand     elaborate generators (param arithmetic, for-loops,\n\
@@ -28,26 +37,46 @@ fn usage() -> ExitCode {
                     statistics as JSON instead\n\
          interface  print a component's timing interface for the harness\n\
          compile    lower a component and emit structural Verilog\n\
-         fmt        pretty-print the program"
+         build      incremental whole-program build: per-component units,\n\
+                    parallel (--jobs N), cached across sessions\n\
+                    (--cache-dir DIR); emits Verilog, or counters with\n\
+                    --stats\n\
+         fmt        pretty-print the program\n\
+         \n\
+         options (expand/build): --stats --jobs N --cache-dir DIR"
     );
     ExitCode::from(2)
 }
 
-/// The `expand --stats` JSON payload (hand-rendered: every field is a
-/// number, and the repo's perf probes already follow this no-serde style).
-fn stats_json(stats: &filament_core::MonoStats) -> String {
+/// The `--stats` JSON payload (hand-rendered: every field is a number, and
+/// the repo's perf probes already follow this no-serde style). The first
+/// seven fields are the elaboration counters `expand --stats` has always
+/// reported; the `units_*` / `session_cache_*` block is the build driver's
+/// session accounting (loads are artifacts reused from `--cache-dir`,
+/// skipping expand/check/lower entirely).
+fn stats_json(stats: &fil_build::BuildStats) -> String {
     format!(
         "{{\n  \"components_monomorphized\": {},\n  \"cache_hits\": {},\n  \
          \"loops_unrolled\": {},\n  \"ifs_resolved\": {},\n  \
          \"bundles_flattened\": {},\n  \"derivations_evaluated\": {},\n  \
-         \"commands_emitted\": {}\n}}",
+         \"commands_emitted\": {},\n  \"units\": {},\n  \
+         \"units_expanded\": {},\n  \"units_checked\": {},\n  \
+         \"units_lowered\": {},\n  \"session_cache_loads\": {},\n  \
+         \"session_cache_misses\": {},\n  \"session_cache_stores\": {}\n}}",
+        stats.mono.cache_misses,
+        stats.mono.cache_hits,
+        stats.mono.loops_unrolled,
+        stats.mono.ifs_resolved,
+        stats.mono.bundles_flattened,
+        stats.mono.derivations_evaluated,
+        stats.mono.commands_emitted,
+        stats.units,
+        stats.expanded,
+        stats.checked,
+        stats.lowered,
+        stats.cache_loads,
         stats.cache_misses,
-        stats.cache_hits,
-        stats.loops_unrolled,
-        stats.ifs_resolved,
-        stats.bundles_flattened,
-        stats.derivations_evaluated,
-        stats.commands_emitted,
+        stats.cache_stores,
     )
 }
 
@@ -56,16 +85,57 @@ fn load(path: &str) -> Result<filament_core::Program, String> {
     fil_stdlib::with_stdlib(&src).map_err(|e| e.to_string())
 }
 
+/// Pulls `--stats`, `--jobs N`, and `--cache-dir DIR` out of the argument
+/// list, returning the driver options and whether stats were requested.
+fn parse_driver_flags(args: &mut Vec<String>) -> Result<(fil_build::BuildOptions, bool), String> {
+    let mut opts = fil_build::BuildOptions::default();
+    let mut want_stats = false;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.drain(..);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stats" => want_stats = true,
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs needs a number")?;
+                opts.jobs = v.parse().map_err(|_| format!("--jobs: bad number {v:?}"))?;
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a directory")?;
+                opts.cache_dir = Some(std::path::PathBuf::from(v));
+            }
+            _ => rest.push(a),
+        }
+    }
+    drop(it);
+    *args = rest;
+    Ok((opts, want_stats))
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let want_stats = args.iter().any(|a| a == "--stats");
-    args.retain(|a| a != "--stats");
+    let (opts, want_stats) = match parse_driver_flags(&mut args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
         _ => return usage(),
     };
-    if want_stats && cmd != "expand" {
-        eprintln!("error: --stats is only meaningful with `filament expand`");
+    if want_stats && cmd != "expand" && cmd != "build" {
+        eprintln!("error: --stats is only meaningful with `filament expand` or `filament build`");
+        return usage();
+    }
+    if (opts.jobs != fil_build::BuildOptions::default().jobs || opts.cache_dir.is_some())
+        && cmd != "expand"
+        && cmd != "build"
+    {
+        eprintln!(
+            "error: --jobs/--cache-dir are only meaningful with `filament expand` or \
+             `filament build`"
+        );
         return usage();
     }
     // `fmt` is parse-only by design: it must reformat any syntactically
@@ -90,10 +160,10 @@ fn main() -> ExitCode {
             }
         };
     }
-    // `expand` renders through the shared helper (the same text the
-    // golden-corpus snapshots pin down), so it skips `load` — going through
-    // it would elaborate the program a second time.
-    if cmd == "expand" {
+    // `expand` and `build` run through the build driver (per-component
+    // units, session cache, worker pool). `expand` renders through the
+    // shared helper — the same text the golden-corpus snapshots pin down.
+    if cmd == "expand" || cmd == "build" {
         let src = match std::fs::read_to_string(file) {
             Ok(s) => s,
             Err(e) => {
@@ -101,12 +171,34 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        return match fil_stdlib::expand_source_with_stats(&src) {
-            Ok((printed, stats)) => {
+        if cmd == "expand" {
+            return match fil_stdlib::expand_source_opts(&src, &opts) {
+                Ok((printed, stats)) => {
+                    if want_stats {
+                        println!("{}", stats_json(&stats));
+                    } else {
+                        print!("{printed}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        // Verilog/stats only: skip materializing the expanded program.
+        let opts = fil_build::BuildOptions {
+            emit_expanded: false,
+            ..opts
+        };
+        return match fil_stdlib::build_source(&src, &opts) {
+            Ok(out) => {
                 if want_stats {
-                    println!("{}", stats_json(&stats));
+                    println!("{}", stats_json(&out.stats));
                 } else {
-                    print!("{printed}");
+                    let lowered = out.lowered.expect("full builds lower every unit");
+                    print!("{}", calyx_lite::emit_program(&lowered));
                 }
                 ExitCode::SUCCESS
             }

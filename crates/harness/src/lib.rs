@@ -61,18 +61,15 @@ pub fn compile_for_test(
     top: &str,
     registry: &dyn filament_core::PrimitiveRegistry,
 ) -> Result<(Netlist, InterfaceSpec), String> {
-    // Elaborate generators first (idempotent on already-concrete programs),
-    // so callers may hand in parametric sources directly.
-    let program = &filament_core::mono::expand(program).map_err(|e| e.to_string())?;
-    filament_core::check_program(program).map_err(|errs| {
-        errs.iter()
-            .map(|e| e.to_string())
-            .collect::<Vec<_>>()
-            .join("\n")
-    })?;
-    let calyx = filament_core::lower_program(program, top, registry).map_err(|e| e.to_string())?;
+    // The build driver elaborates, checks, and lowers per compile unit
+    // (idempotent on already-concrete programs, so callers may hand in
+    // parametric sources directly), then merges deterministically.
+    let out = fil_build::build_program_serial(program, registry, &fil_build::BuildOptions::default())
+        .map_err(|e| e.to_string())?;
+    let calyx = out.lowered.expect("full builds produce a lowered program");
     let netlist = calyx.elaborate(top).map_err(|e| e.to_string())?;
-    let sig = program
+    let sig = out
+        .expanded
         .sig(top)
         .ok_or_else(|| format!("unknown component {top}"))?;
     let spec = InterfaceSpec::from_signature(sig).map_err(|e| e.to_string())?;

@@ -44,8 +44,9 @@ use filament_core::{parse_program, PrimitiveRegistry, Program};
 use rtl_sim::CellKind;
 use std::fmt;
 
-/// Errors loading user source against the standard library: parsing, or
-/// monomorphization of the combined program.
+/// Errors loading user source against the standard library: parsing,
+/// elaboration of the combined program, or (when a session cache is in
+/// play) a build-driver failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LoadError {
     /// The user source failed to parse.
@@ -53,6 +54,9 @@ pub enum LoadError {
     /// Generator elaboration failed (unbound parameter, bad loop bound,
     /// divergent recursion, ...).
     Mono(filament_core::MonoError),
+    /// The build driver failed outside elaboration (an unusable cache
+    /// directory, or a check/lower failure in a full build).
+    Driver(String),
 }
 
 impl fmt::Display for LoadError {
@@ -60,6 +64,7 @@ impl fmt::Display for LoadError {
         match self {
             LoadError::Parse(e) => write!(f, "{e}"),
             LoadError::Mono(e) => write!(f, "{e}"),
+            LoadError::Driver(e) => write!(f, "{e}"),
         }
     }
 }
@@ -75,6 +80,15 @@ impl From<filament_core::ParseError> for LoadError {
 impl From<filament_core::MonoError> for LoadError {
     fn from(e: filament_core::MonoError) -> Self {
         LoadError::Mono(e)
+    }
+}
+
+impl From<fil_build::BuildError> for LoadError {
+    fn from(e: fil_build::BuildError) -> Self {
+        match e {
+            fil_build::BuildError::Mono(e) => LoadError::Mono(e),
+            other => LoadError::Driver(other.to_string()),
+        }
     }
 }
 
@@ -180,15 +194,18 @@ pub fn std_program() -> Program {
 }
 
 /// Convenience: the standard library extended with user source, elaborated
-/// through the monomorphizer ([`filament_core::mono::expand`]) so parametric
-/// generators arrive at the checker fully concrete.
+/// per-component through the build driver ([`fil_build::expand_program`],
+/// which produces exactly [`filament_core::mono::expand`]'s output) so
+/// parametric generators arrive at the checker fully concrete.
 ///
 /// # Errors
 ///
 /// Returns the parse error of the user source or the elaboration error of
 /// the combined program.
 pub fn with_stdlib(user_src: &str) -> Result<Program, LoadError> {
-    Ok(filament_core::mono::expand(&with_stdlib_raw(user_src)?)?)
+    let raw = with_stdlib_raw(user_src)?;
+    let out = fil_build::expand_program(&raw, &fil_build::BuildOptions::default())?;
+    Ok(out.expanded)
 }
 
 /// The standard library extended with user source *without* elaboration —
@@ -218,33 +235,81 @@ pub fn expand_source(user_src: &str) -> Result<String, LoadError> {
     expand_source_with_stats(user_src).map(|(s, _)| s)
 }
 
-/// Like [`expand_source`], also returning the monomorphizer's
-/// [`filament_core::MonoStats`] (cache behavior, unroll counts, derivations
-/// evaluated) — the numbers `filament expand --stats` reports.
+/// Like [`expand_source`], also returning the driver's
+/// [`fil_build::BuildStats`] — the elaboration counters (cache behavior,
+/// unroll counts, derivations evaluated) plus the session-cache
+/// hit/miss/load numbers `filament expand --stats` reports.
 ///
 /// # Errors
 ///
 /// As [`with_stdlib`].
 pub fn expand_source_with_stats(
     user_src: &str,
-) -> Result<(String, filament_core::MonoStats), LoadError> {
+) -> Result<(String, fil_build::BuildStats), LoadError> {
+    expand_source_opts(user_src, &fil_build::BuildOptions::default())
+}
+
+/// [`expand_source_with_stats`] with explicit driver options: worker count
+/// and a cross-session artifact cache directory (`filament expand` and
+/// `filament build` pass their `--jobs`/`--cache-dir` flags through here).
+///
+/// # Errors
+///
+/// As [`with_stdlib`].
+pub fn expand_source_opts(
+    user_src: &str,
+    opts: &fil_build::BuildOptions,
+) -> Result<(String, fil_build::BuildStats), LoadError> {
     let raw = with_stdlib_raw(user_src)?;
-    let (program, stats) = filament_core::mono::expand_with_stats(&raw)?;
+    // Same salt as [`build_source`], so expand sessions reuse full-build
+    // artifacts (ignoring their lowered half) and vice versa (a full build
+    // treats an expand-only artifact as a miss and upgrades it in place).
+    let opts = fil_build::BuildOptions {
+        salt: "std".into(),
+        ..opts.clone()
+    };
+    let out = fil_build::expand_program(&raw, &opts)?;
     let std_names: std::collections::HashSet<String> = std_program()
         .externs
         .into_iter()
         .map(|s| s.name)
         .collect();
     let user = Program {
-        externs: program
+        externs: out
+            .expanded
             .externs
             .iter()
             .filter(|s| !std_names.contains(&s.name))
             .cloned()
             .collect(),
-        components: program.components,
+        components: out.expanded.components,
     };
-    Ok((filament_core::pretty::print_program(&user), stats))
+    Ok((filament_core::pretty::print_program(&user), out.stats))
+}
+
+/// Full driver build of a user source against the standard library:
+/// expand, check, and lower every unit (cacheable and parallel per
+/// `opts`), lowering through [`StdRegistry`]. This is what `filament
+/// build` runs.
+///
+/// The registry is fixed, so the cache salt is forced to `"std"` —
+/// artifacts from [`expand_source_opts`] sessions (same salt) are reused,
+/// and registries with different primitive mappings can never collide.
+///
+/// # Errors
+///
+/// As [`with_stdlib`], plus check/lower failures as
+/// [`LoadError::Driver`].
+pub fn build_source(
+    user_src: &str,
+    opts: &fil_build::BuildOptions,
+) -> Result<fil_build::BuildOutput, LoadError> {
+    let raw = with_stdlib_raw(user_src)?;
+    let opts = fil_build::BuildOptions {
+        salt: "std".into(),
+        ..opts.clone()
+    };
+    Ok(fil_build::build_program(&raw, &StdRegistry, &opts)?)
 }
 
 /// Maps the standard library externs onto simulator cells.

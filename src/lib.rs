@@ -39,6 +39,9 @@
 //!
 //! * [`lang`] — the Filament language: AST, parser, type checker
 //!   (Section 4), log semantics (Section 6), compiler (Section 5),
+//! * [`build`] — the content-addressed build driver: per-component compile
+//!   units scheduled in parallel over the monomorph DAG, with a
+//!   cross-session artifact cache (`filament build`),
 //! * [`stdlib`] — timeline-typed extern signatures + primitive registry,
 //! * [`calyx`] — the Calyx-lite IR Filament compiles to,
 //! * [`sim`] — the structural netlist and cycle-accurate simulator,
@@ -55,6 +58,7 @@
 pub use calyx_lite as calyx;
 pub use fil_area as area;
 pub use fil_bits as bits;
+pub use fil_build as build;
 pub use fil_designs as designs;
 pub use fil_harness as harness;
 pub use fil_solver as solver;
