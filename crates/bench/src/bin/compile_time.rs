@@ -39,6 +39,7 @@ fn opts(cache: &Path) -> BuildOptions {
         // Verilog-only: `filament build` does not materialize the
         // expanded program.
         emit_expanded: false,
+        cache_limit: None,
     }
 }
 

@@ -1,29 +1,43 @@
 //! Criterion-free simulator speed probe, for recording perf trajectory
 //! across PRs: runs the pipelined-ALU and AES cycle loops plus an N-sweep
-//! over the generator-produced `Systolic[N, 32]` arrays, and prints one
-//! line of JSON.
+//! over the generator-produced `Systolic[N, 32]` arrays, a shard-count
+//! sweep (`-j1/-j2/-j4`) and a batched-lanes run over `Systolic[8, 32]`,
+//! and prints one line of JSON.
 //!
 //! ```text
 //! cargo run --release -p fil-bench --bin sim_speed
 //! {"alu_cycles_per_sec": 7241329.0, "aes_cycles_per_sec": 10891.2,
-//!  "systolic": [{"n": 2, "cycles_per_sec": ..., "pe_cells_per_sec": ...}, ...]}
+//!  "systolic": [{"n": 2, "cycles_per_sec": ..., "pe_cells_per_sec": ...}, ...],
+//!  "systolic8_pe_cells_per_sec_j1": ..., "systolic8_pe_cells_per_sec_j2": ...,
+//!  "systolic8_pe_cells_per_sec_j4": ..., "systolic8_seq_traces_per_sec": ...,
+//!  "systolic8_batch_traces_per_sec": ...}
 //! ```
 //!
 //! `pe_cells_per_sec` is `N² × cycles/sec` — processing-element updates per
-//! wall-clock second, comparable across array sizes.
+//! wall-clock second, comparable across array sizes. The `_j{K}` keys time
+//! the sharded settle engine at K worker shards; the `_traces_per_sec`
+//! pair compares one 128-lane `BatchSim` pass against 128 back-to-back
+//! scalar runs of the same stimulus.
 
 use fil_bits::Value;
-use rtl_sim::Sim;
+use rtl_sim::{BatchSim, Sim};
 use std::time::Instant;
 
 /// Repeats `run` (a full construct-poke-run loop over `cycles` cycles) until
 /// ~0.5 s of wall time is spent, returning simulated cycles per second.
-fn measure(cycles: u64, mut run: impl FnMut()) -> f64 {
+fn measure(cycles: u64, run: impl FnMut()) -> f64 {
+    measure_for(500, cycles, run)
+}
+
+/// [`measure`] with an explicit wall-time window: the trace-throughput
+/// pair below runs one full batch per rep (~0.5 s), so it needs a longer
+/// window to average over several reps.
+fn measure_for(window_ms: u128, cycles: u64, mut run: impl FnMut()) -> f64 {
     // Warm-up.
     run();
     let start = Instant::now();
     let mut reps = 0u64;
-    while start.elapsed().as_millis() < 500 {
+    while start.elapsed().as_millis() < window_ms {
         run();
         reps += 1;
     }
@@ -83,9 +97,63 @@ fn main() {
         })
         .collect();
 
+    // Shard sweep and lane-batched throughput, both on Systolic[8, 32]
+    // (64 PEs — the largest array in the N-sweep above).
+    let n8 = 8u64;
+    let src8 = fil_designs::systolic::source(n8, 32);
+    let (net8, _) =
+        fil_designs::build(&src8, &fil_designs::systolic::top_name(n8)).expect("systolic compiles");
+    let sys_cycles = 200u64;
+    let poke_lane = |sim: &mut Sim, salt: u64| {
+        sim.poke_by_name("go", Value::from_u64(1, 1));
+        for i in 0..n8 {
+            sim.poke_by_name(&format!("left_{i}"), Value::from_u64(32, 7 + i + salt));
+            sim.poke_by_name(&format!("top_{i}"), Value::from_u64(32, 3 + i + salt));
+        }
+    };
+    let jrate = |jobs: usize| {
+        measure(sys_cycles, || {
+            let mut sim = Sim::new_with_jobs(&net8, jobs).unwrap();
+            poke_lane(&mut sim, 0);
+            sim.run(sys_cycles).unwrap();
+            std::hint::black_box(sim.peek_by_name("out_0").to_u64());
+        }) * (n8 * n8) as f64
+    };
+    let (j1, j2, j4) = (jrate(1), jrate(2), jrate(4));
+
+    // Traces/second: B independent stimulus lanes, each simulated for
+    // `sys_cycles` cycles — one BatchSim pass vs B scalar runs.
+    let lanes = 128u32;
+    let seq_traces = measure_for(2000, u64::from(lanes), || {
+        for l in 0..u64::from(lanes) {
+            let mut sim = Sim::new(&net8).unwrap();
+            poke_lane(&mut sim, l);
+            sim.run(sys_cycles).unwrap();
+            std::hint::black_box(sim.peek_by_name("out_0").to_u64());
+        }
+    });
+    let batch_traces = measure_for(2000, u64::from(lanes), || {
+        let mut sim = BatchSim::new(&net8, lanes).unwrap();
+        for l in 0..lanes {
+            sim.poke_by_name("go", l, Value::from_u64(1, 1));
+            for i in 0..n8 {
+                let salt = u64::from(l);
+                sim.poke_by_name(&format!("left_{i}"), l, Value::from_u64(32, 7 + i + salt));
+                sim.poke_by_name(&format!("top_{i}"), l, Value::from_u64(32, 3 + i + salt));
+            }
+        }
+        sim.run(sys_cycles).unwrap();
+        std::hint::black_box(sim.peek_by_name("out_0", 0).to_u64());
+    });
+
     println!(
         "{{\"alu_cycles_per_sec\": {alu_rate:.1}, \"aes_cycles_per_sec\": {aes_rate:.1}, \
-         \"systolic\": [{}]}}",
+         \"systolic\": [{}], \
+         \"systolic8_pe_cells_per_sec_j1\": {j1:.1}, \
+         \"systolic8_pe_cells_per_sec_j2\": {j2:.1}, \
+         \"systolic8_pe_cells_per_sec_j4\": {j4:.1}, \
+         \"systolic8_seq_traces_per_sec\": {seq_traces:.1}, \
+         \"systolic8_batch_traces_per_sec\": {batch_traces:.1}}}",
         systolic.join(", ")
     );
 }

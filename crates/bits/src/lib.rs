@@ -21,9 +21,11 @@
 //! assert_eq!(a.add(&b).to_u64(), 44);
 //! ```
 
+pub mod lanes;
 mod ops;
 mod value;
 
+pub use lanes::LaneBuf;
 pub use ops::{assert_invariants, concat_fields};
 pub use value::{ParseValueError, Value};
 

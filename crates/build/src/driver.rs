@@ -70,6 +70,11 @@ pub struct BuildOptions {
     /// components then never leave their artifacts, trimming the load
     /// path further. When `false`, `expanded` comes back empty.
     pub emit_expanded: bool,
+    /// Artifact-cache size budget in bytes. After a build, `*.unit` files
+    /// are evicted oldest-access-first until the cache fits (hits refresh
+    /// an artifact's modification time, so recency tracks use, not
+    /// creation). `None` lets the cache grow without bound.
+    pub cache_limit: Option<u64>,
 }
 
 impl Default for BuildOptions {
@@ -79,6 +84,7 @@ impl Default for BuildOptions {
             cache_dir: None,
             salt: String::new(),
             emit_expanded: true,
+            cache_limit: None,
         }
     }
 }
@@ -104,6 +110,8 @@ pub struct BuildStats {
     pub cache_misses: u64,
     /// Artifacts written this session.
     pub cache_stores: u64,
+    /// Artifacts evicted by the post-build cache GC (`cache_limit`).
+    pub cache_evictions: u64,
     /// Merged elaboration counters (for units expanded this session, plus
     /// cache accounting equivalent to [`filament_core::mono::expand`]'s on
     /// a cold run).
@@ -200,7 +208,10 @@ pub fn build_program_serial(
     externs.ensure_checked(program)?;
     let ctx = Ctx::new(program, opts, &externs)?;
     worker(&ctx, Some(registry));
-    finish(program, ctx, true)
+    let evicted = maybe_gc(opts);
+    let mut out = finish(program, ctx, true)?;
+    out.stats.cache_evictions = evicted;
+    Ok(out)
 }
 
 fn effective_jobs(opts: &BuildOptions) -> usize {
@@ -230,7 +241,64 @@ fn run(
             }
         });
     }
-    finish(program, ctx, registry.is_some())
+    let evicted = maybe_gc(opts);
+    let mut out = finish(program, ctx, registry.is_some())?;
+    out.stats.cache_evictions = evicted;
+    Ok(out)
+}
+
+/// Runs the cache GC when both a cache directory and a size budget are
+/// configured. Called after the workers drain, so this session's stores
+/// are on disk and carry fresh modification times.
+fn maybe_gc(opts: &BuildOptions) -> u64 {
+    match (&opts.cache_dir, opts.cache_limit) {
+        (Some(dir), Some(limit)) => gc_cache(dir, limit),
+        _ => 0,
+    }
+}
+
+/// Evicts `*.unit` artifacts oldest-modification-time-first until the
+/// cache directory's artifact bytes fit under `limit`. Loads touch their
+/// artifact's mtime, so eviction order is least-recently-*used*, not
+/// least-recently-written. Unreadable entries and failed removals are
+/// skipped — an unruly cache costs capacity, never correctness. Returns
+/// the number of artifacts removed.
+fn gc_cache(dir: &std::path::Path, limit: u64) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+    let mut total = 0u64;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "unit") {
+            continue;
+        }
+        let Ok(md) = entry.metadata() else { continue };
+        if !md.is_file() {
+            continue;
+        }
+        let mtime = md.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        total += md.len();
+        // The path tie-breaks equal mtimes, keeping eviction deterministic
+        // on filesystems with coarse timestamps.
+        files.push((mtime, md.len(), path));
+    }
+    if total <= limit {
+        return 0;
+    }
+    files.sort();
+    let mut evicted = 0;
+    for (_, len, path) in files {
+        if total <= limit {
+            break;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total -= len;
+            evicted += 1;
+        }
+    }
+    evicted
 }
 
 // ------------------------------------------------------------------ units
@@ -629,6 +697,11 @@ fn try_load(
         Some((l, s)) if want_lowered => (Some(l), s),
         _ => (None, Vec::new()),
     };
+    // LRU touch: a hit refreshes the artifact's recency so `cache_limit`
+    // eviction removes stale units first. Best-effort, like stores.
+    if let Ok(f) = std::fs::OpenOptions::new().append(true).open(path) {
+        let _ = f.set_modified(std::time::SystemTime::now());
+    }
     Some(UnitDone {
         component,
         deps: art

@@ -12,7 +12,7 @@
 //! filament expand --stats <file.fil>          # elaboration statistics as JSON
 //! filament interface <file.fil> <component>
 //! filament compile <file.fil> <component>     # emits Verilog on stdout
-//! filament build <file.fil> [--cache-dir D] [--jobs N] [--stats]
+//! filament build <file.fil> [--cache-dir D] [--cache-limit S] [--jobs N] [--stats]
 //! filament fmt <file.fil>
 //! ```
 //!
@@ -43,7 +43,9 @@ fn usage() -> ExitCode {
                     --stats\n\
          fmt        pretty-print the program\n\
          \n\
-         options (expand/build): --stats --jobs N --cache-dir DIR"
+         options (expand/build): --stats --jobs N --cache-dir DIR\n\
+                    --cache-limit SIZE   evict least-recently-used artifacts\n\
+                    once the cache exceeds SIZE bytes (k/m/g suffixes)"
     );
     ExitCode::from(2)
 }
@@ -62,7 +64,8 @@ fn stats_json(stats: &fil_build::BuildStats) -> String {
          \"commands_emitted\": {},\n  \"units\": {},\n  \
          \"units_expanded\": {},\n  \"units_checked\": {},\n  \
          \"units_lowered\": {},\n  \"session_cache_loads\": {},\n  \
-         \"session_cache_misses\": {},\n  \"session_cache_stores\": {}\n}}",
+         \"session_cache_misses\": {},\n  \"session_cache_stores\": {},\n  \
+         \"session_cache_evictions\": {}\n}}",
         stats.mono.cache_misses,
         stats.mono.cache_hits,
         stats.mono.loops_unrolled,
@@ -77,6 +80,7 @@ fn stats_json(stats: &fil_build::BuildStats) -> String {
         stats.cache_loads,
         stats.cache_misses,
         stats.cache_stores,
+        stats.cache_evictions,
     )
 }
 
@@ -85,8 +89,21 @@ fn load(path: &str) -> Result<filament_core::Program, String> {
     fil_stdlib::with_stdlib(&src).map_err(|e| e.to_string())
 }
 
-/// Pulls `--stats`, `--jobs N`, and `--cache-dir DIR` out of the argument
-/// list, returning the driver options and whether stats were requested.
+/// Parses a byte size with an optional `k`/`m`/`g` suffix (powers of
+/// 1024, case-insensitive): `"512k"` → 524288.
+fn parse_size(s: &str) -> Option<u64> {
+    let (digits, unit) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 1u64 << 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 1 << 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(unit)
+}
+
+/// Pulls `--stats`, `--jobs N`, `--cache-dir DIR`, and `--cache-limit SIZE`
+/// out of the argument list, returning the driver options and whether
+/// stats were requested.
 fn parse_driver_flags(args: &mut Vec<String>) -> Result<(fil_build::BuildOptions, bool), String> {
     let mut opts = fil_build::BuildOptions::default();
     let mut want_stats = false;
@@ -102,6 +119,12 @@ fn parse_driver_flags(args: &mut Vec<String>) -> Result<(fil_build::BuildOptions
             "--cache-dir" => {
                 let v = it.next().ok_or("--cache-dir needs a directory")?;
                 opts.cache_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--cache-limit" => {
+                let v = it.next().ok_or("--cache-limit needs a size")?;
+                opts.cache_limit = Some(
+                    parse_size(&v).ok_or_else(|| format!("--cache-limit: bad size {v:?}"))?,
+                );
             }
             _ => rest.push(a),
         }
@@ -128,13 +151,15 @@ fn main() -> ExitCode {
         eprintln!("error: --stats is only meaningful with `filament expand` or `filament build`");
         return usage();
     }
-    if (opts.jobs != fil_build::BuildOptions::default().jobs || opts.cache_dir.is_some())
+    if (opts.jobs != fil_build::BuildOptions::default().jobs
+        || opts.cache_dir.is_some()
+        || opts.cache_limit.is_some())
         && cmd != "expand"
         && cmd != "build"
     {
         eprintln!(
-            "error: --jobs/--cache-dir are only meaningful with `filament expand` or \
-             `filament build`"
+            "error: --jobs/--cache-dir/--cache-limit are only meaningful with \
+             `filament expand` or `filament build`"
         );
         return usage();
     }

@@ -184,3 +184,93 @@ fn stale_cache_entries_coexist_with_fresh_ones() {
     assert_eq!(again.stats.cache_loads, again.stats.units);
     let _ = std::fs::remove_dir_all(&cache);
 }
+
+#[test]
+fn cache_limit_evicts_oldest_artifacts_first() {
+    // Two disjoint artifact sets (different params, different keys), the
+    // first aged to the epoch so eviction order is unambiguous even on
+    // filesystems with coarse timestamps.
+    let src_a = fil_designs::shift::source(8, 4);
+    let src_b = fil_designs::shift::source(16, 4);
+    let cache = temp_cache("gc");
+    let a = build(&src_a, &opts(1, &cache)).unwrap();
+    let names_a = artifact_names(&cache);
+    assert!(a.stats.cache_stores >= 2);
+    for name in &names_a {
+        let f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(cache.join(name))
+            .unwrap();
+        f.set_modified(std::time::SystemTime::UNIX_EPOCH).unwrap();
+    }
+    build(&src_b, &opts(1, &cache)).unwrap();
+    let names_b: Vec<String> = artifact_names(&cache)
+        .into_iter()
+        .filter(|n| !names_a.contains(n))
+        .collect();
+    assert!(!names_b.is_empty(), "second build stored new artifacts");
+    let fresh_bytes: u64 = names_b
+        .iter()
+        .map(|n| std::fs::metadata(cache.join(n)).unwrap().len())
+        .sum();
+
+    // A warm rebuild under a budget that only fits the fresh set must
+    // evict exactly the aged artifacts.
+    let limited = BuildOptions {
+        cache_limit: Some(fresh_bytes),
+        ..opts(1, &cache)
+    };
+    let gc = build(&src_b, &limited).unwrap();
+    assert_eq!(gc.stats.cache_loads, gc.stats.units, "still fully warm");
+    assert_eq!(
+        gc.stats.cache_evictions,
+        names_a.len() as u64,
+        "every aged artifact evicted, nothing else"
+    );
+    assert_eq!(artifact_names(&cache), names_b, "fresh set survives intact");
+
+    // The evicted design rebuilds cleanly from source.
+    let again = build(&src_a, &limited).unwrap();
+    assert_eq!(again.stats.cache_loads, 0, "its artifacts are gone");
+    assert_eq!(
+        filament_core::pretty::print_program(&again.expanded),
+        filament_core::pretty::print_program(&a.expanded),
+        "eviction never changes build output"
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn cache_limit_keeps_recently_used_artifacts() {
+    // A hit refreshes recency: after warming design A, an aged design B
+    // is the eviction victim even though it was written later.
+    let src_a = fil_designs::shift::source(8, 4);
+    let src_b = fil_designs::shift::source(16, 4);
+    let cache = temp_cache("gc-lru");
+    build(&src_a, &opts(1, &cache)).unwrap();
+    let names_a = artifact_names(&cache);
+    build(&src_b, &opts(1, &cache)).unwrap();
+    // Age everything, then re-warm only A: the loads' LRU touch must
+    // bring A's artifacts back to "recent".
+    for name in artifact_names(&cache) {
+        let f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(cache.join(&name))
+            .unwrap();
+        f.set_modified(std::time::SystemTime::UNIX_EPOCH).unwrap();
+    }
+    let warm = build(&src_a, &opts(1, &cache)).unwrap();
+    assert_eq!(warm.stats.cache_loads, warm.stats.units);
+    let a_bytes: u64 = names_a
+        .iter()
+        .map(|n| std::fs::metadata(cache.join(n)).unwrap().len())
+        .sum();
+    let limited = BuildOptions {
+        cache_limit: Some(a_bytes),
+        ..opts(1, &cache)
+    };
+    let gc = build(&src_a, &limited).unwrap();
+    assert!(gc.stats.cache_evictions > 0, "over budget: B must go");
+    assert_eq!(artifact_names(&cache), names_a, "used artifacts survive");
+    let _ = std::fs::remove_dir_all(&cache);
+}

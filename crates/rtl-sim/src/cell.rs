@@ -7,7 +7,7 @@
 //! and which output pins depend combinationally on which input pins (used
 //! for topological scheduling and combinational-loop detection).
 
-use fil_bits::Value;
+use fil_bits::{lanes, LaneBuf, Value};
 
 /// Internal state of a sequential cell instance (empty for combinational
 /// cells). Layout is defined per [`CellKind`]; use [`CellKind::initial_state`]
@@ -500,6 +500,146 @@ impl CellKind {
                 state[2] = state[0].mul(&state[1]);
                 state[0] = inputs[0].resize(width);
                 state[1] = inputs[1].resize(width);
+            }
+            _ => {}
+        }
+    }
+
+    /// Lane-parallel [`CellKind::eval_into`]: one call settles the cell for
+    /// every batch lane at once. `inputs`, `state`, and `outs` hold
+    /// [`LaneBuf`]s with matching lane counts; semantics per lane are
+    /// exactly those of `eval_into` (the batched engine is cross-checked
+    /// against the scalar one lane by lane).
+    ///
+    /// Only defined for cells whose pins are at most 64 bits wide — the
+    /// batched simulator rejects wider designs at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pin counts or widths disagree with the cell definition.
+    pub fn eval_lanes(&self, inputs: &[&LaneBuf], state: &[LaneBuf], outs: &mut [LaneBuf]) {
+        use CellKind::*;
+        match *self {
+            Const { ref value } => outs[0].broadcast(value.to_u64()),
+            Add { .. } => lanes::add(inputs[0], inputs[1], &mut outs[0]),
+            Sub { .. } => lanes::sub(inputs[0], inputs[1], &mut outs[0]),
+            MulComb { .. } => lanes::mul(inputs[0], inputs[1], &mut outs[0]),
+            And { .. } => lanes::and(inputs[0], inputs[1], &mut outs[0]),
+            Or { .. } => lanes::or(inputs[0], inputs[1], &mut outs[0]),
+            Xor { .. } => lanes::xor(inputs[0], inputs[1], &mut outs[0]),
+            Not { .. } => lanes::not(inputs[0], &mut outs[0]),
+            ShlDyn { .. } => lanes::shl_dyn(inputs[0], inputs[1], &mut outs[0]),
+            ShrDyn { .. } => lanes::shr_dyn(inputs[0], inputs[1], &mut outs[0]),
+            ShlConst { amount, .. } => lanes::shl_const(inputs[0], amount, &mut outs[0]),
+            ShrConst { amount, .. } => lanes::shr_const(inputs[0], amount, &mut outs[0]),
+            Eq { .. } => lanes::eq(inputs[0], inputs[1], &mut outs[0]),
+            Lt { .. } => lanes::lt(inputs[0], inputs[1], &mut outs[0]),
+            Ge { .. } => lanes::ge(inputs[0], inputs[1], &mut outs[0]),
+            // Scalar pin order is [sel, in0, in1] with out = sel ? in1 : in0;
+            // lanes::mux(sel, a, b) picks b where sel is set.
+            Mux { .. } => lanes::mux(inputs[0], inputs[1], inputs[2], &mut outs[0]),
+            Slice { hi, lo, .. } => lanes::slice(inputs[0], hi, lo, &mut outs[0]),
+            Concat { .. } => lanes::concat(inputs[0], inputs[1], &mut outs[0]),
+            ZeroExt { .. } => lanes::resize(inputs[0], &mut outs[0]),
+            ReduceOr { .. } => lanes::reduce_or(inputs[0], &mut outs[0]),
+            ReduceAnd { .. } => lanes::reduce_and(inputs[0], &mut outs[0]),
+            Clz { .. } => lanes::clz(inputs[0], &mut outs[0]),
+            SBox => lanes::lut8(&AES_SBOX, inputs[0], &mut outs[0]),
+            Reg { .. } => outs[0].copy_from(&state[0]),
+            ShiftFsm { .. } => {
+                outs[0].copy_from(inputs[0]);
+                for (o, s) in outs[1..].iter_mut().zip(state.iter()) {
+                    o.copy_from(s);
+                }
+            }
+            MultSeq { .. } => outs[0].copy_from(&state[2]),
+            MultPipe { .. } => outs[0].copy_from(state.last().expect("latency >= 1")),
+            Dsp48 { .. } => outs[0].copy_from(&state[3]),
+        }
+    }
+
+    /// Lane-parallel [`CellKind::tick`]: advances every lane's state at a
+    /// clock edge, with per-lane semantics identical to `tick`.
+    pub fn tick_lanes(&self, inputs: &[&LaneBuf], state: &mut [LaneBuf]) {
+        use CellKind::*;
+        match *self {
+            Reg { has_en, .. } => {
+                if has_en {
+                    // A register with enable is exactly a masked lane copy.
+                    lanes::copy_masked(&mut state[0], inputs[1], inputs[0].words());
+                } else {
+                    state[0].copy_from(inputs[0]);
+                }
+            }
+            ShiftFsm { .. } => {
+                for i in (1..state.len()).rev() {
+                    let (lo, hi) = state.split_at_mut(i);
+                    hi[0].copy_from(&lo[i - 1]);
+                }
+                if !state.is_empty() {
+                    state[0].copy_from(inputs[0]);
+                }
+            }
+            MultSeq { width, latency, .. } => {
+                // The retrigger/countdown control flow diverges per lane, so
+                // this cell ticks lane-at-a-time (it is rare and already
+                // slow by design).
+                let m = if width == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << width) - 1
+                };
+                for l in 0..state[3].lanes() {
+                    let go = inputs[0].get(l) != 0;
+                    let count = state[3].get(l);
+                    if go {
+                        if count > 0 {
+                            state[0].set(l, inputs[1].get(l) ^ state[0].get(l));
+                            state[1].set(l, inputs[2].get(l) ^ state[1].get(l));
+                        } else {
+                            state[0].set(l, inputs[1].get(l));
+                            state[1].set(l, inputs[2].get(l));
+                        }
+                        if latency == 1 {
+                            state[2].set(l, state[0].get(l).wrapping_mul(state[1].get(l)) & m);
+                        }
+                        state[3].set(l, latency as u64);
+                    } else if count > 0 {
+                        if count == 2 {
+                            state[2].set(l, state[0].get(l).wrapping_mul(state[1].get(l)) & m);
+                        }
+                        state[3].set(l, count - 1);
+                    }
+                }
+            }
+            MultPipe { .. } => {
+                for i in (1..state.len()).rev() {
+                    let (lo, hi) = state.split_at_mut(i);
+                    hi[0].copy_from(&lo[i - 1]);
+                }
+                lanes::mul(inputs[0], inputs[1], &mut state[0]);
+            }
+            Dsp48 {
+                use_c, use_pcin, ..
+            } => {
+                // P <= M (+ C) (+ PCIN), from *old* M.
+                {
+                    let (lo, hi) = state.split_at_mut(3);
+                    hi[0].copy_from(&lo[2]);
+                }
+                if use_c {
+                    lanes::add_assign(&mut state[3], inputs[2]);
+                }
+                if use_pcin {
+                    lanes::add_assign(&mut state[3], inputs[3]);
+                }
+                // M <= Areg · Breg, from old A/B registers.
+                {
+                    let (ab, rest) = state.split_at_mut(2);
+                    lanes::mul(&ab[0], &ab[1], &mut rest[0]);
+                }
+                state[0].copy_from(inputs[0]);
+                state[1].copy_from(inputs[1]);
             }
             _ => {}
         }

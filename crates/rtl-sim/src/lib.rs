@@ -70,11 +70,15 @@
 //! # Ok::<(), rtl_sim::SimError>(())
 //! ```
 
+mod batch;
 mod cell;
+mod graph;
 mod netlist;
+mod shard;
 mod sim;
 mod wave;
 
+pub use batch::BatchSim;
 pub use cell::{CellKind, CellState, AES_SBOX};
 pub use netlist::{Assign, CellId, CellInst, Netlist, NetlistError, PortDir, Signal, SignalId};
 pub use sim::{Sim, SimError};

@@ -268,6 +268,21 @@ impl Netlist {
         &self.assigns
     }
 
+    /// Renders assignment `idx` with signal names, for diagnostics:
+    /// `dst = src` or `dst = guard ? src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn describe_assign(&self, idx: usize) -> String {
+        let a = &self.assigns[idx];
+        let name = |s: SignalId| self.signals[s.index()].name.as_str();
+        match a.guard {
+            None => format!("{} = {}", name(a.dst), name(a.src)),
+            Some(g) => format!("{} = {} ? {}", name(a.dst), name(g), name(a.src)),
+        }
+    }
+
     /// Top-level inputs in declaration order.
     pub fn inputs(&self) -> impl Iterator<Item = SignalId> + '_ {
         self.signals

@@ -1,0 +1,596 @@
+//! Shard infrastructure for multi-threaded settle: graph partitioning,
+//! per-shard execution plans, a persistent worker pool, and a
+//! sense-reversing barrier.
+//!
+//! # Partitioning
+//!
+//! Signals are partitioned into K *shards*; every signal (and every cell,
+//! via its output signals) has exactly one owning shard, and only the owner
+//! ever writes a signal's value, dirty flag, or driven flag. The automatic
+//! partition ([`auto_partition`]) unions signals along combinational
+//! dependency edges and groups each cell's outputs, then bin-packs the
+//! resulting weakly-connected components onto shards (largest first). For
+//! tile-structured designs like `Systolic` — where per-PE combinational
+//! islands connect only through `Prev` registers — this cuts *zero*
+//! combinational edges, so each settle converges in a single round.
+//!
+//! Arbitrary partitions (including ones that split combinational paths
+//! across shards, used by the determinism tests) are still correct: the
+//! settle loop runs Jacobi-style *rounds* with a boundary-signal exchange
+//! between them (see `Sim::settle`'s sharded path), converging to the same
+//! unique fixed point as the sequential engine.
+//!
+//! # Plans
+//!
+//! A [`Plan`] is a shard's compiled slice of the [`FlatGraph`]: its owned
+//! signals in global topological order, drivers re-encoded so every read is
+//! either a *local* signal (owned) or an *ext slot* (a snapshot of a remote
+//! signal, refreshed at the boundary exchange), a local-only dependent CSR
+//! for dirty marking, and the list of remote signals it must watch.
+
+use crate::graph::{Driver, FlatGraph};
+use crate::netlist::{Netlist, PortDir};
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// Interior-mutable slot shared across worker threads. Safety relies on the
+/// shard ownership discipline: each element is only accessed by its owning
+/// worker between barriers.
+#[repr(transparent)]
+pub(crate) struct SyncCell<T>(UnsafeCell<T>);
+
+// SAFETY: access discipline is enforced by the settle protocol (disjoint
+// per-shard ownership, phases separated by barriers).
+unsafe impl<T> Sync for SyncCell<T> {}
+
+impl<T> SyncCell<T> {
+    pub fn new(v: T) -> Self {
+        SyncCell(UnsafeCell::new(v))
+    }
+
+    /// # Safety
+    ///
+    /// The caller must guarantee no other thread accesses this cell for the
+    /// lifetime of the returned reference.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self) -> &mut T {
+        unsafe { &mut *self.0.get() }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SyncCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SyncCell(..)")
+    }
+}
+
+/// A shard-local re-encoding of [`Driver`]: pin and assignment operands are
+/// pre-resolved to *local signal* or *ext slot* indices.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SDriver {
+    /// Externally driven; `is_input` caches the port-direction check.
+    External { is_input: bool },
+    /// Output pin `pin` of (owned) cell `cell`; pins via [`Plan::pin_enc`].
+    Cell { cell: u32, pin: u32 },
+    /// Run `start..start+len` of the plan's local assignment arrays.
+    Assigns { start: u32, len: u32 },
+}
+
+/// Marks an unguarded assignment in [`Plan::asg_guard`].
+pub(crate) const NO_GUARD: u32 = u32::MAX;
+
+/// True if an encoded operand refers to an ext slot (vs an owned signal).
+#[inline]
+pub(crate) fn enc_is_ext(e: u32) -> bool {
+    e & 1 == 1
+}
+
+/// The signal id (local) or ext slot (remote) of an encoded operand.
+#[inline]
+pub(crate) fn enc_idx(e: u32) -> usize {
+    (e >> 1) as usize
+}
+
+fn encode(
+    shard: u32,
+    sig: u32,
+    of: &[u32],
+    ext_map: &mut HashMap<u32, u32>,
+    ext_sigs: &mut Vec<u32>,
+) -> u32 {
+    if of[sig as usize] == shard {
+        sig << 1
+    } else {
+        let slot = *ext_map.entry(sig).or_insert_with(|| {
+            ext_sigs.push(sig);
+            (ext_sigs.len() - 1) as u32
+        });
+        (slot << 1) | 1
+    }
+}
+
+/// One shard's compiled execution plan. See the module docs.
+#[derive(Debug, Default)]
+pub(crate) struct Plan {
+    /// Owned signals, in global topological order.
+    pub order: Vec<u32>,
+    /// Re-encoded driver per owned signal (parallel to `order`).
+    pub sdriver: Vec<SDriver>,
+    /// Whether the owned signal has a combinational dependent on another
+    /// shard (parallel to `order`); such signals are *boundary* signals.
+    pub has_remote_dep: Vec<bool>,
+    /// CSR (parallel to `order`): owned combinational dependents, as global
+    /// signal ids, of each owned signal.
+    pub ldep_start: Vec<u32>,
+    pub ldep_list: Vec<u32>,
+    /// CSR over *all* cells (only owned cells have entries): encoded input
+    /// pin operands.
+    pub cpin_start: Vec<u32>,
+    pub pin_enc: Vec<u32>,
+    /// Local assignment arrays: encoded source, encoded guard (or
+    /// [`NO_GUARD`]), and the global assignment index (for diagnostics).
+    pub asg_src: Vec<u32>,
+    pub asg_guard: Vec<u32>,
+    pub asg_id: Vec<u32>,
+    /// Remote signals this shard reads, by ext slot.
+    pub ext_sigs: Vec<u32>,
+    /// CSR (parallel to `ext_sigs`): owned signals to re-dirty when the ext
+    /// slot's source changes.
+    pub ext_dep_start: Vec<u32>,
+    pub ext_dep_list: Vec<u32>,
+    /// Owned sequential cells, for the tick loop.
+    pub seq_cells: Vec<u32>,
+    /// Number of boundary signals (capacity hint for change lists).
+    pub n_boundary: usize,
+}
+
+/// Compiles per-shard plans for a given signal→shard assignment.
+///
+/// `of` must assign all outputs of any one cell to the same shard (use
+/// [`normalize_partition`] first for user-provided partitions).
+pub(crate) fn build_plans(netlist: &Netlist, flat: &FlatGraph, of: &[u32], k: usize) -> Vec<Plan> {
+    let n_cells = netlist.cells().len();
+    let mut plans: Vec<Plan> = (0..k).map(|_| Plan::default()).collect();
+    let mut ext_maps: Vec<HashMap<u32, u32>> = (0..k).map(|_| HashMap::new()).collect();
+
+    for (s, (plan, ext_map)) in plans.iter_mut().zip(ext_maps.iter_mut()).enumerate() {
+        let s = s as u32;
+        // Pin encodings for owned cells (CSR over all cell ids).
+        plan.cpin_start = Vec::with_capacity(n_cells + 1);
+        plan.cpin_start.push(0);
+        for (ci, cell) in netlist.cells().iter().enumerate() {
+            let owned = cell
+                .outputs
+                .first()
+                .is_some_and(|o| of[o.index()] == s);
+            if owned {
+                for &p in &cell.inputs {
+                    plan.pin_enc
+                        .push(encode(s, p.0, of, ext_map, &mut plan.ext_sigs));
+                }
+                if cell.kind.is_sequential() {
+                    plan.seq_cells.push(ci as u32);
+                }
+            }
+            plan.cpin_start.push(plan.pin_enc.len() as u32);
+        }
+
+        // Owned signals in topological order, with re-encoded drivers and a
+        // local-dependents CSR.
+        plan.ldep_start.push(0);
+        for &si in &flat.order {
+            if of[si as usize] != s {
+                continue;
+            }
+            plan.order.push(si);
+            let sd = match flat.drivers[si as usize] {
+                Driver::External => SDriver::External {
+                    is_input: netlist.signals()[si as usize].dir == PortDir::Input,
+                },
+                Driver::Cell { cell, pin } => SDriver::Cell { cell, pin },
+                Driver::Assigns { start, len } => {
+                    let lstart = plan.asg_src.len() as u32;
+                    for j in start..start + len {
+                        let ai = flat.assign_lists[j as usize];
+                        let a = netlist.assigns()[ai as usize];
+                        plan.asg_src
+                            .push(encode(s, a.src.0, of, ext_map, &mut plan.ext_sigs));
+                        plan.asg_guard.push(match a.guard {
+                            None => NO_GUARD,
+                            Some(g) => encode(s, g.0, of, ext_map, &mut plan.ext_sigs),
+                        });
+                        plan.asg_id.push(ai);
+                    }
+                    SDriver::Assigns { start: lstart, len }
+                }
+            };
+            plan.sdriver.push(sd);
+            let mut remote = false;
+            for &t in flat.deps(si as usize) {
+                if of[t as usize] == s {
+                    plan.ldep_list.push(t);
+                } else {
+                    remote = true;
+                }
+            }
+            plan.ldep_start.push(plan.ldep_list.len() as u32);
+            plan.has_remote_dep.push(remote);
+            if remote {
+                plan.n_boundary += 1;
+            }
+        }
+
+        // Owned readers to re-dirty when an ext slot's source changes.
+        plan.ext_dep_start.push(0);
+        for &g in &plan.ext_sigs {
+            for &t in flat.deps(g as usize) {
+                if of[t as usize] == s {
+                    plan.ext_dep_list.push(t);
+                }
+            }
+            plan.ext_dep_start.push(plan.ext_dep_list.len() as u32);
+        }
+    }
+    plans
+}
+
+fn uf_find(uf: &mut [u32], mut x: u32) -> u32 {
+    while uf[x as usize] != x {
+        uf[x as usize] = uf[uf[x as usize] as usize];
+        x = uf[x as usize];
+    }
+    x
+}
+
+fn uf_union(uf: &mut [u32], a: u32, b: u32) {
+    let (ra, rb) = (uf_find(uf, a), uf_find(uf, b));
+    if ra != rb {
+        // Deterministic: smaller root wins.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        uf[hi as usize] = lo;
+    }
+}
+
+/// Computes a signal→shard assignment for `k` shards by grouping
+/// weakly-connected combinational components (plus each cell's output
+/// group) and bin-packing them largest-first onto the least-loaded shard.
+pub(crate) fn auto_partition(netlist: &Netlist, flat: &FlatGraph, k: usize) -> Vec<u32> {
+    let n = flat.n_sigs();
+    let mut uf: Vec<u32> = (0..n as u32).collect();
+    for s in 0..n {
+        for &t in flat.deps(s) {
+            uf_union(&mut uf, s as u32, t);
+        }
+    }
+    // Multi-output cells share an output buffer and eval stamp, so all
+    // their outputs must be owned together even without comb edges.
+    for cell in netlist.cells() {
+        for w in cell.outputs.windows(2) {
+            uf_union(&mut uf, w[0].0, w[1].0);
+        }
+    }
+
+    // Component weights by root.
+    let mut weight: HashMap<u32, u64> = HashMap::new();
+    for s in 0..n as u32 {
+        *weight.entry(uf_find(&mut uf, s)).or_insert(0) += 1;
+    }
+    let mut comps: Vec<(u64, u32)> = weight.into_iter().map(|(r, w)| (w, r)).collect();
+    // Largest first; root id breaks ties for determinism.
+    comps.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let mut load = vec![0u64; k];
+    let mut shard_of_root: HashMap<u32, u32> = HashMap::new();
+    for (w, root) in comps {
+        let s = (0..k).min_by_key(|&i| (load[i], i)).expect("k >= 1");
+        load[s] += w;
+        shard_of_root.insert(root, s as u32);
+    }
+    (0..n as u32)
+        .map(|s| shard_of_root[&uf_find(&mut uf, s)])
+        .collect()
+}
+
+/// Makes a user-provided partition safe: forces all outputs of each cell
+/// onto one shard (the first output's) and returns the shard count.
+///
+/// # Panics
+///
+/// Panics if `of.len()` disagrees with the netlist's signal count.
+pub(crate) fn normalize_partition(netlist: &Netlist, of: &mut [u32]) -> usize {
+    assert_eq!(
+        of.len(),
+        netlist.signals().len(),
+        "partition must assign every signal"
+    );
+    for cell in netlist.cells() {
+        if let Some((first, rest)) = cell.outputs.split_first() {
+            let s = of[first.index()];
+            for o in rest {
+                of[o.index()] = s;
+            }
+        }
+    }
+    of.iter().map(|&s| s as usize + 1).max().unwrap_or(1)
+}
+
+/// A sense-reversing barrier for `n` participants (pool workers plus the
+/// caller). Spins briefly, then yields — this machine may have fewer cores
+/// than participants, and a yielding waiter lets the owed worker run.
+#[derive(Debug)]
+pub(crate) struct Barrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl Barrier {
+    pub fn new(n: usize) -> Self {
+        Barrier {
+            n,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Restores the power-on state. The internal sense persists across
+    /// jobs, but every worker restarts a job with `local_sense == false` —
+    /// after a job with an odd number of waits the stale sense would let
+    /// early arrivers of the next job pass the first barrier without
+    /// waiting. The dispatching thread must call this between jobs, while
+    /// the workers are parked.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sense.store(false, Ordering::Relaxed);
+    }
+
+    /// Blocks until all `n` participants arrive. Each participant threads
+    /// its own `local_sense` (initially `false`) through successive waits.
+    pub fn wait(&self, local_sense: &mut bool) {
+        let s = !*local_sense;
+        *local_sense = s;
+        if self.count.fetch_add(1, Ordering::AcqRel) == self.n - 1 {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(s, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != s {
+                spins = spins.wrapping_add(1);
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Type-erased pointer to the caller's settle/tick job. Valid only while
+/// [`Pool::run`] has not returned.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is Sync and outlives every worker's use (Pool::run
+// blocks until all workers report completion).
+unsafe impl Send for TaskPtr {}
+
+struct PoolShared {
+    slot: Mutex<TaskSlot>,
+    cv: Condvar,
+    finished: AtomicUsize,
+}
+
+struct TaskSlot {
+    epoch: u64,
+    shutdown: bool,
+    task: Option<TaskPtr>,
+}
+
+/// A persistent pool of `extra` worker threads (worker ids `1..=extra`; the
+/// caller participates as worker 0). Threads are spawned once at engine
+/// construction and parked between jobs, so per-settle dispatch cost is a
+/// mutex round-trip rather than a thread spawn.
+pub(crate) struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pool({} workers)", self.handles.len())
+    }
+}
+
+impl Pool {
+    pub fn new(extra: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(TaskSlot {
+                epoch: 0,
+                shutdown: false,
+                task: None,
+            }),
+            cv: Condvar::new(),
+            finished: AtomicUsize::new(0),
+        });
+        let handles = (1..=extra)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("rtl-sim-shard-{id}"))
+                    .spawn(move || worker_main(shared, id))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// Runs `task(w)` for every worker id `0..=extra` concurrently (the
+    /// caller executes `task(0)`), returning once all have finished.
+    pub fn run(&self, task: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() {
+            task(0);
+            return;
+        }
+        // SAFETY: lifetime erasure only — the pointer is consumed by the
+        // workers strictly before this call returns (see the wait below).
+        let ptr = TaskPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        });
+        {
+            let mut slot = self.shared.slot.lock().expect("pool lock");
+            slot.task = Some(ptr);
+            slot.epoch += 1;
+        }
+        self.shared.cv.notify_all();
+        task(0);
+        let mut spins = 0u32;
+        while self.shared.finished.load(Ordering::Acquire) != self.handles.len() {
+            spins = spins.wrapping_add(1);
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                thread::yield_now();
+            }
+        }
+        self.shared.finished.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().expect("pool lock");
+            slot.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(shared: Arc<PoolShared>, id: usize) {
+    let mut seen = 0u64;
+    loop {
+        let task = {
+            let mut slot = shared.slot.lock().expect("pool lock");
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen {
+                    seen = slot.epoch;
+                    break slot.task.expect("task published with epoch");
+                }
+                slot = shared.cv.wait(slot).expect("pool cv");
+            }
+        };
+        // SAFETY: Pool::run keeps the task alive until `finished` reaches
+        // the worker count, which happens only after this call returns.
+        unsafe { (*task.0)(id) };
+        shared.finished.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::netlist::Netlist;
+
+    fn two_island_netlist() -> Netlist {
+        // Two independent combinational islands joined by nothing.
+        let mut n = Netlist::new("islands");
+        let a = n.add_input("a", 8);
+        let b = n.add_input("b", 8);
+        let x = n.add_signal("x", 8);
+        n.add_cell("add_ab", CellKind::Add { width: 8 }, vec![a, b], vec![x]);
+        let c = n.add_input("c", 8);
+        let d = n.add_input("d", 8);
+        let y = n.add_signal("y", 8);
+        n.add_cell("add_cd", CellKind::Add { width: 8 }, vec![c, d], vec![y]);
+        n
+    }
+
+    #[test]
+    fn auto_partition_keeps_components_whole() {
+        let n = two_island_netlist();
+        let flat = FlatGraph::new(&n).unwrap();
+        let of = auto_partition(&n, &flat, 2);
+        // Each island must land on a single shard.
+        let island1 = [0usize, 1, 2]; // a, b, x
+        let island2 = [3usize, 4, 5]; // c, d, y
+        assert!(island1.iter().all(|&s| of[s] == of[island1[0]]));
+        assert!(island2.iter().all(|&s| of[s] == of[island2[0]]));
+        // And on *different* shards (two equal-weight components, two bins).
+        assert_ne!(of[0], of[3]);
+    }
+
+    #[test]
+    fn normalize_forces_cell_outputs_together() {
+        let mut n = Netlist::new("fsm");
+        let t = n.add_input("t", 1);
+        let o0 = n.add_signal("o0", 1);
+        let o1 = n.add_signal("o1", 1);
+        let o2 = n.add_signal("o2", 1);
+        n.add_cell("f", CellKind::ShiftFsm { n: 3 }, vec![t], vec![o0, o1, o2]);
+        let mut of = vec![0, 1, 0, 1]; // tries to split the fsm outputs
+        let k = normalize_partition(&n, &mut of);
+        assert_eq!(of[1], of[2]);
+        assert_eq!(of[2], of[3]);
+        assert_eq!(k, 2); // t stays on its own shard id 0... max id 1 → k = 2
+    }
+
+    #[test]
+    fn plans_cover_all_signals_once() {
+        let n = two_island_netlist();
+        let flat = FlatGraph::new(&n).unwrap();
+        let of = auto_partition(&n, &flat, 2);
+        let plans = build_plans(&n, &flat, &of, 2);
+        let mut seen = vec![0u32; flat.n_sigs()];
+        for p in &plans {
+            for &s in &p.order {
+                seen[s as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        // No comb edges cross shards under the auto partition.
+        assert!(plans.iter().all(|p| p.n_boundary == 0 && p.ext_sigs.is_empty()));
+    }
+
+    #[test]
+    fn pool_runs_all_workers_every_job() {
+        let pool = Pool::new(3);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..50 {
+            pool.run(&|w| {
+                hits[w].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 50);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_rounds() {
+        let barrier = Barrier::new(4);
+        let counter = AtomicUsize::new(0);
+        let pool = Pool::new(3);
+        pool.run(&|_w| {
+            let mut sense = false;
+            for round in 1..=10 {
+                counter.fetch_add(1, Ordering::Relaxed);
+                barrier.wait(&mut sense);
+                // After the barrier every participant must observe all
+                // increments of this round.
+                assert_eq!(counter.load(Ordering::Relaxed), round * 4);
+                barrier.wait(&mut sense);
+            }
+        });
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! # Hot-path architecture
 //!
-//! Elaboration ([`Sim::new`]) flattens the netlist into CSR index arrays:
+//! Elaboration ([`FlatGraph`]) flattens the netlist into CSR index arrays:
 //! per-signal dependent lists, per-cell input/output pin lists, and
 //! per-signal assignment candidate lists. The settle loop then runs over
 //! flat `u32` arrays and a flat pre-sized output-value buffer — no
@@ -17,11 +17,36 @@
 //! optimization (every settle re-evaluates everything) as a debugging
 //! cross-check; both modes produce identical values, [`Sim::was_driven`]
 //! flags, and [`SimError::WriteConflict`] errors.
+//!
+//! # Sharded settle (`-jK`)
+//!
+//! [`Sim::new_with_jobs`] partitions the signal graph into K shards (see
+//! [`crate::shard`]) and settles them on a persistent worker pool. Each
+//! settle runs one or more *rounds*: every shard drains its own dirty
+//! signals in topological order, reading remote signals from a per-shard
+//! *ext snapshot*; a barrier; then each shard pulls the remote *boundary*
+//! signals that changed and re-dirties their local readers. Rounds repeat
+//! until no boundary signal changes. Because the combinational network is
+//! acyclic, this converges to the same unique fixed point the sequential
+//! engine computes — `-j1` and `-jK` traces are bit-identical, including
+//! [`Sim::was_driven`] flags and conflict errors.
+//!
+//! Write-conflict detection stays sound across shard boundaries: a guard
+//! settles before its destination is (re-)evaluated — in-shard by
+//! topological order, cross-shard by the boundary exchange — and conflicts
+//! are *recorded* rather than aborting the pass, then reported
+//! deterministically (lowest signal id) after the fixed point is reached.
 
 use crate::cell::{CellKind, CellState};
+use crate::graph::{Driver, FlatGraph};
 use crate::netlist::{Netlist, NetlistError, PortDir, SignalId};
+use crate::shard::{
+    auto_partition, build_plans, enc_is_ext, enc_idx, normalize_partition, Barrier, Plan, Pool,
+    SDriver, SyncCell, NO_GUARD,
+};
 use fil_bits::Value;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Errors raised while elaborating or running a simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,11 +61,30 @@ pub enum SimError {
     /// Two guarded assignments drove the same signal in the same cycle —
     /// the dynamic manifestation of a structural hazard (Section 4 of the
     /// paper: "Writes do not conflict").
+    ///
+    /// When several signals conflict in one cycle, the one with the lowest
+    /// signal id is reported — independent of evaluation order, so `-j1`,
+    /// `-jK`, and batched runs produce identical errors.
     WriteConflict {
         /// The conflicted signal's name.
         signal: String,
         /// The cycle (since simulation start) of the conflict.
         cycle: u64,
+        /// The first offending assignment, rendered `dst = guard ? src`.
+        first: String,
+        /// The second offending assignment.
+        second: String,
+        /// The batch lane the conflict occurred in (`None` for scalar
+        /// simulation).
+        lane: Option<u32>,
+    },
+    /// The batched simulator only lays out signals up to 64 bits wide
+    /// (see `fil_bits::lanes`); this design has a wider one.
+    BatchWidth {
+        /// The offending signal's name.
+        signal: String,
+        /// Its width.
+        width: u32,
     },
 }
 
@@ -51,9 +95,23 @@ impl fmt::Display for SimError {
             SimError::CombLoop { signals } => {
                 write!(f, "combinational loop through: {}", signals.join(", "))
             }
-            SimError::WriteConflict { signal, cycle } => {
-                write!(f, "conflicting writes to {signal} in cycle {cycle}")
+            SimError::WriteConflict {
+                signal,
+                cycle,
+                first,
+                second,
+                lane,
+            } => {
+                write!(f, "conflicting writes to {signal} in cycle {cycle}")?;
+                if let Some(l) = lane {
+                    write!(f, " (lane {l})")?;
+                }
+                write!(f, ": `{first}` vs `{second}`")
             }
+            SimError::BatchWidth { signal, width } => write!(
+                f,
+                "batched simulation supports signals up to 64 bits, but {signal} is {width} bits"
+            ),
         }
     }
 }
@@ -66,16 +124,35 @@ impl From<NetlistError> for SimError {
     }
 }
 
-/// What drives a signal, resolved at elaboration.
+/// A recorded write conflict: the destination signal and the two offending
+/// global assignment indices (in assignment-list order).
 #[derive(Debug, Clone, Copy)]
-enum Driver {
-    /// Top-level input or undriven internal wire.
-    External,
-    /// Output pin `pin` of cell `cell`.
-    Cell { cell: u32, pin: u32 },
-    /// A run of entries in `Sim::assign_lists` naming the (guarded)
-    /// assignments that may drive this signal.
-    Assigns { start: u32, len: u32 },
+pub(crate) struct Conflict {
+    pub sig: u32,
+    pub a: u32,
+    pub b: u32,
+}
+
+/// Builds the user-facing error for the winning (lowest-signal-id) conflict.
+pub(crate) fn conflict_error(
+    netlist: &Netlist,
+    cycle: u64,
+    c: Conflict,
+    lane: Option<u32>,
+) -> SimError {
+    SimError::WriteConflict {
+        signal: netlist.signals()[c.sig as usize].name.clone(),
+        cycle,
+        first: netlist.describe_assign(c.a as usize),
+        second: netlist.describe_assign(c.b as usize),
+        lane,
+    }
+}
+
+/// Picks the deterministic winner among recorded conflicts: lowest signal
+/// id (ties cannot occur — one record per signal).
+pub(crate) fn min_conflict(conflicts: &[Conflict]) -> Option<Conflict> {
+    conflicts.iter().copied().min_by_key(|c| c.sig)
 }
 
 /// Copies `values[src]` into `values[dst]` without allocating, returning
@@ -94,6 +171,32 @@ fn copy_signal(values: &mut [Value], src: usize, dst: usize) -> bool {
     }
     d.clone_from(s);
     true
+}
+
+/// Per-shard mutable state for the sharded scalar engine.
+#[derive(Debug)]
+struct ShardState {
+    /// Snapshots of the remote signals this shard reads, by ext slot.
+    ext_vals: Vec<Value>,
+    /// Owned boundary signals that changed in the current round.
+    out_changed: Vec<u32>,
+    /// Conflicts recorded by this shard during the current settle.
+    conflicts: Vec<Conflict>,
+}
+
+/// The sharded scalar engine: plans, worker pool, and exchange state.
+#[derive(Debug)]
+struct ParScalar {
+    k: usize,
+    plans: Vec<Plan>,
+    pool: Pool,
+    barrier: Barrier,
+    /// Set by any shard whose pass changed a boundary signal this round.
+    more: AtomicBool,
+    /// Per-signal "changed this round" flag, owner-written, read by other
+    /// shards during the exchange phase (phases separated by the barrier).
+    boundary: Vec<SyncCell<bool>>,
+    sstates: Vec<SyncCell<ShardState>>,
 }
 
 /// A running simulation over a borrowed [`Netlist`].
@@ -125,49 +228,32 @@ fn copy_signal(values: &mut [Value], src: usize, dst: usize) -> bool {
 #[derive(Debug)]
 pub struct Sim<'n> {
     netlist: &'n Netlist,
+    flat: FlatGraph,
     values: Vec<Value>,
     driven: Vec<bool>,
     /// Signals needing re-evaluation in the next settle pass.
     dirty: Vec<bool>,
-    drivers: Vec<Driver>,
-    /// CSR payload for [`Driver::Assigns`] runs.
-    assign_lists: Vec<u32>,
-    /// CSR: `dep_list[dep_start[s]..dep_start[s+1]]` are the signals that
-    /// combinationally depend on signal `s`.
-    dep_start: Vec<u32>,
-    dep_list: Vec<u32>,
-    /// CSR: `cin_list[cin_start[c]..cin_start[c+1]]` are cell `c`'s input
-    /// pin signals.
-    cin_start: Vec<u32>,
-    cin_list: Vec<u32>,
-    /// CSR: cell `c`'s output pins occupy `cout_start[c]..cout_start[c+1]`
-    /// in `out_buf`, `cout_sigs`, and `comb_out`.
-    cout_start: Vec<u32>,
-    /// Output pin signal ids, parallel to `out_buf`.
-    cout_sigs: Vec<u32>,
-    /// True for output pins that depend combinationally on an input pin
-    /// (these bypass the per-pass eval cache; see `settle`).
-    comb_out: Vec<bool>,
     /// Flat pre-sized per-cell output value buffers.
     out_buf: Vec<Value>,
     /// Settle-pass stamp per cell: cell already evaluated this pass.
     cell_stamp: Vec<u64>,
     pass: u64,
-    /// Sequential cell indices, for the tick loop.
-    seq_cells: Vec<u32>,
-    /// Signal evaluation order (topological over combinational deps).
-    order: Vec<u32>,
     states: Vec<CellState>,
     /// Placeholder borrow target for the fixed-size input-pin buffer.
     dummy: Value,
+    /// Conflicts recorded by the sequential engine during a settle.
+    conflicts: Vec<Conflict>,
+    /// The sharded engine, when constructed with more than one job.
+    par: Option<Box<ParScalar>>,
     force_full: bool,
     cycle: u64,
     settled: bool,
 }
 
 impl<'n> Sim<'n> {
-    /// Elaborates a netlist: validates it, resolves drivers, flattens the
-    /// graph into CSR arrays, and computes a topological evaluation order.
+    /// Elaborates a netlist for single-threaded simulation: validates it,
+    /// resolves drivers, flattens the graph into CSR arrays, and computes a
+    /// topological evaluation order.
     ///
     /// # Errors
     ///
@@ -175,153 +261,120 @@ impl<'n> Sim<'n> {
     /// [`SimError::CombLoop`] if the combinational dependency graph is
     /// cyclic.
     pub fn new(netlist: &'n Netlist) -> Result<Self, SimError> {
-        netlist.validate()?;
-        let n_sigs = netlist.signals().len();
-        let n_cells = netlist.cells().len();
+        Self::new_with_jobs(netlist, 1)
+    }
 
-        // Group assignment indices by destination signal (CSR).
-        let mut per_sig: Vec<Vec<u32>> = vec![Vec::new(); n_sigs];
-        for (ai, assign) in netlist.assigns().iter().enumerate() {
-            per_sig[assign.dst.index()].push(ai as u32);
-        }
-        let mut drivers = vec![Driver::External; n_sigs];
-        let mut assign_lists: Vec<u32> = Vec::new();
-        for (si, list) in per_sig.iter().enumerate() {
-            if !list.is_empty() {
-                drivers[si] = Driver::Assigns {
-                    start: assign_lists.len() as u32,
-                    len: list.len() as u32,
-                };
-                assign_lists.extend_from_slice(list);
-            }
-        }
-        for (ci, cell) in netlist.cells().iter().enumerate() {
-            for (pin, &out) in cell.outputs.iter().enumerate() {
-                drivers[out.index()] = Driver::Cell {
-                    cell: ci as u32,
-                    pin: pin as u32,
-                };
-            }
-        }
-
-        // Combinational dependency edges between signals, twice over the
-        // netlist: count, then fill (CSR without intermediate Vec<Vec<_>>).
-        let mut dep_start = vec![0u32; n_sigs + 1];
-        let for_each_edge = |mut f: Box<dyn FnMut(SignalId, SignalId) + '_>| {
-            for cell in netlist.cells() {
-                for (ipin, opin) in cell.kind.comb_deps() {
-                    f(cell.inputs[ipin], cell.outputs[opin]);
-                }
-            }
-            for assign in netlist.assigns() {
-                f(assign.src, assign.dst);
-                if let Some(g) = assign.guard {
-                    f(g, assign.dst);
-                }
-            }
+    /// Elaborates a netlist and, for `jobs > 1`, builds the sharded engine:
+    /// the signal graph is partitioned into (up to) `jobs` shards that
+    /// settle concurrently on a persistent worker pool. `jobs == 0` uses
+    /// the machine's available parallelism.
+    ///
+    /// Sharding never changes observable behavior — values, `was_driven`
+    /// flags, and errors are bit-identical to [`Sim::new`]'s engine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Sim::new`].
+    pub fn new_with_jobs(netlist: &'n Netlist, jobs: usize) -> Result<Self, SimError> {
+        let flat = FlatGraph::new(netlist)?;
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            jobs
         };
-        for_each_edge(Box::new(|from, _| dep_start[from.index() + 1] += 1));
-        for i in 0..n_sigs {
-            dep_start[i + 1] += dep_start[i];
+        let k = jobs.min(flat.n_sigs().max(1));
+        if k <= 1 {
+            return Ok(Self::assemble(netlist, flat, None));
         }
-        let mut cursor = dep_start.clone();
-        let mut dep_list = vec![0u32; dep_start[n_sigs] as usize];
-        let mut indegree = vec![0u32; n_sigs];
-        for_each_edge(Box::new(|from, to| {
-            dep_list[cursor[from.index()] as usize] = to.0;
-            cursor[from.index()] += 1;
-            indegree[to.index()] += 1;
-        }));
+        let of = auto_partition(netlist, &flat, k);
+        Ok(Self::assemble_sharded(netlist, flat, &of, k))
+    }
 
-        // Kahn's algorithm over the CSR edges.
-        let mut order: Vec<u32> = Vec::with_capacity(n_sigs);
-        let mut queue: Vec<u32> = (0..n_sigs as u32)
-            .filter(|&i| indegree[i as usize] == 0)
+    /// Elaborates with an explicit signal→shard assignment (`partition[s]`
+    /// is signal `s`'s shard; the shard count is the highest id + 1).
+    ///
+    /// This is a tuning and testing hook: it admits partitions the
+    /// automatic one never produces, such as splitting a combinational
+    /// path across shards to exercise the boundary exchange. The partition
+    /// is normalized so all outputs of one cell share a shard.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Sim::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition.len()` differs from the signal count.
+    pub fn new_with_partition(netlist: &'n Netlist, partition: &[u32]) -> Result<Self, SimError> {
+        let flat = FlatGraph::new(netlist)?;
+        let mut of = partition.to_vec();
+        let k = normalize_partition(netlist, &mut of);
+        if k <= 1 {
+            return Ok(Self::assemble(netlist, flat, None));
+        }
+        Ok(Self::assemble_sharded(netlist, flat, &of, k))
+    }
+
+    fn assemble_sharded(netlist: &'n Netlist, flat: FlatGraph, of: &[u32], k: usize) -> Self {
+        let plans = build_plans(netlist, &flat, of, k);
+        let sstates = plans
+            .iter()
+            .map(|p| {
+                SyncCell::new(ShardState {
+                    ext_vals: p
+                        .ext_sigs
+                        .iter()
+                        .map(|&g| Value::zero(netlist.signals()[g as usize].width))
+                        .collect(),
+                    out_changed: Vec::with_capacity(p.n_boundary),
+                    conflicts: Vec::new(),
+                })
+            })
             .collect();
-        while let Some(s) = queue.pop() {
-            order.push(s);
-            let (d0, d1) = (dep_start[s as usize] as usize, dep_start[s as usize + 1] as usize);
-            for &t in &dep_list[d0..d1] {
-                indegree[t as usize] -= 1;
-                if indegree[t as usize] == 0 {
-                    queue.push(t);
-                }
-            }
-        }
-        if order.len() != n_sigs {
-            let signals = (0..n_sigs)
-                .filter(|&i| indegree[i] > 0)
-                .map(|i| netlist.signals()[i].name.clone())
-                .collect();
-            return Err(SimError::CombLoop { signals });
-        }
+        let boundary = (0..flat.n_sigs()).map(|_| SyncCell::new(false)).collect();
+        let par = ParScalar {
+            k,
+            plans,
+            pool: Pool::new(k - 1),
+            barrier: Barrier::new(k),
+            more: AtomicBool::new(false),
+            boundary,
+            sstates,
+        };
+        Self::assemble(netlist, flat, Some(Box::new(par)))
+    }
 
-        // Per-cell input/output pin CSR, pre-sized output buffers, and the
-        // comb-dependent-pin marks.
-        let mut cin_start = Vec::with_capacity(n_cells + 1);
-        let mut cin_list = Vec::new();
-        let mut cout_start = Vec::with_capacity(n_cells + 1);
-        let mut cout_sigs = Vec::new();
-        let mut comb_out = Vec::new();
-        let mut out_buf = Vec::new();
-        let mut seq_cells = Vec::new();
-        cin_start.push(0u32);
-        cout_start.push(0u32);
-        for (ci, cell) in netlist.cells().iter().enumerate() {
-            assert!(
-                cell.inputs.len() <= CellKind::MAX_INPUT_PINS,
-                "cell {} has more input pins than the fixed eval buffer",
-                cell.name
-            );
-            cin_list.extend(cell.inputs.iter().map(|s| s.0));
-            cin_start.push(cin_list.len() as u32);
-            let comb_pins: Vec<usize> = cell.kind.comb_deps().iter().map(|&(_, o)| o).collect();
-            for (pin, &out) in cell.outputs.iter().enumerate() {
-                cout_sigs.push(out.0);
-                comb_out.push(comb_pins.contains(&pin));
-                out_buf.push(Value::zero(netlist.signals()[out.index()].width));
-            }
-            cout_start.push(cout_sigs.len() as u32);
-            if cell.kind.is_sequential() {
-                seq_cells.push(ci as u32);
-            }
-        }
-
+    fn assemble(netlist: &'n Netlist, flat: FlatGraph, par: Option<Box<ParScalar>>) -> Self {
+        let n_sigs = flat.n_sigs();
+        let n_cells = netlist.cells().len();
         let values = netlist
             .signals()
             .iter()
             .map(|s| Value::zero(s.width))
             .collect();
+        let out_buf = flat.out_widths.iter().map(|&w| Value::zero(w)).collect();
         let states = netlist
             .cells()
             .iter()
             .map(|c| c.kind.initial_state())
             .collect();
-        Ok(Sim {
+        Sim {
             netlist,
+            flat,
             values,
             driven: vec![false; n_sigs],
             dirty: vec![true; n_sigs],
-            drivers,
-            assign_lists,
-            dep_start,
-            dep_list,
-            cin_start,
-            cin_list,
-            cout_start,
-            cout_sigs,
-            comb_out,
             out_buf,
             cell_stamp: vec![0; n_cells],
             pass: 0,
-            seq_cells,
-            order,
             states,
             dummy: Value::zero(1),
+            conflicts: Vec::new(),
+            par,
             force_full: false,
             cycle: 0,
             settled: false,
-        })
+        }
     }
 
     /// The current cycle count (number of clock edges so far).
@@ -332,6 +385,12 @@ impl<'n> Sim<'n> {
     /// The netlist being simulated.
     pub fn netlist(&self) -> &Netlist {
         self.netlist
+    }
+
+    /// The number of shards settling concurrently (1 for the sequential
+    /// engine).
+    pub fn jobs(&self) -> usize {
+        self.par.as_ref().map_or(1, |p| p.k)
     }
 
     /// Disables (or re-enables) change propagation: with `on == true` every
@@ -413,20 +472,33 @@ impl<'n> Sim<'n> {
     /// # Errors
     ///
     /// Returns [`SimError::WriteConflict`] if two active assignments drive
-    /// the same signal. The conflicting signal stays dirty, so a retried
-    /// settle reports the same conflict until an input changes.
+    /// the same signal. Conflicted signals keep their previous value, stay
+    /// dirty (a retried settle reports the same conflict until an input
+    /// changes), and read as driven; the rest of the design still settles,
+    /// and when several signals conflict the lowest signal id wins — the
+    /// same answer from every engine.
     pub fn settle(&mut self) -> Result<(), SimError> {
         self.pass += 1;
         if self.force_full {
             self.dirty.fill(true);
         }
-        for idx in 0..self.order.len() {
-            let si = self.order[idx] as usize;
+        if self.par.is_some() {
+            self.settle_sharded()
+        } else {
+            self.settle_seq()
+        }
+    }
+
+    fn settle_seq(&mut self) -> Result<(), SimError> {
+        self.conflicts.clear();
+        for idx in 0..self.flat.order.len() {
+            let si = self.flat.order[idx] as usize;
             if !self.dirty[si] {
                 continue;
             }
             let changed;
-            match self.drivers[si] {
+            let mut conflicted = false;
+            match self.flat.drivers[si] {
                 Driver::External => {
                     // Poke only marks dirty on an actual change, so the
                     // value is (conservatively) treated as changed.
@@ -435,27 +507,25 @@ impl<'n> Sim<'n> {
                 }
                 Driver::Cell { cell, pin } => {
                     let c = cell as usize;
-                    let o0 = self.cout_start[c] as usize;
+                    let o0 = self.flat.cout_start[c] as usize;
                     let slot = o0 + pin as usize;
                     // State-driven pins reuse this pass's evaluation;
                     // comb-dependent pins re-evaluate, because the cell may
                     // have been evaluated (for a state-driven sibling pin)
                     // before this pin's inputs settled.
-                    if self.comb_out[slot] || self.cell_stamp[c] != self.pass {
+                    if self.flat.comb_out[slot] || self.cell_stamp[c] != self.pass {
                         self.cell_stamp[c] = self.pass;
-                        let o1 = self.cout_start[c + 1] as usize;
+                        let o1 = self.flat.cout_start[c + 1] as usize;
                         let Sim {
                             values,
                             out_buf,
                             states,
-                            cin_start,
-                            cin_list,
+                            flat,
                             netlist,
                             dummy,
                             ..
                         } = self;
-                        let pins =
-                            &cin_list[cin_start[c] as usize..cin_start[c + 1] as usize];
+                        let pins = flat.cell_pins(c);
                         let mut inputs: [&Value; CellKind::MAX_INPUT_PINS] =
                             [&*dummy; CellKind::MAX_INPUT_PINS];
                         for (k, &s) in pins.iter().enumerate() {
@@ -478,48 +548,108 @@ impl<'n> Sim<'n> {
                 }
                 Driver::Assigns { start, len } => {
                     let mut chosen: Option<u32> = None;
+                    let mut conflict: Option<(u32, u32)> = None;
                     for k in start..start + len {
-                        let ai = self.assign_lists[k as usize];
+                        let ai = self.flat.assign_lists[k as usize];
                         let a = self.netlist.assigns()[ai as usize];
                         let active = match a.guard {
                             None => true,
                             Some(g) => self.values[g.index()].as_bool(),
                         };
                         if active {
-                            if chosen.is_some() {
-                                // Leaves the signal dirty: see Errors above.
-                                return Err(SimError::WriteConflict {
-                                    signal: self.netlist.signals()[si].name.clone(),
-                                    cycle: self.cycle,
-                                });
+                            match chosen {
+                                None => chosen = Some(ai),
+                                Some(first) => {
+                                    conflict = Some((first, ai));
+                                    break;
+                                }
                             }
-                            chosen = Some(ai);
                         }
                     }
-                    match chosen {
-                        Some(ai) => {
-                            let src = self.netlist.assigns()[ai as usize].src;
-                            changed = copy_signal(&mut self.values, src.index(), si);
-                            self.driven[si] = true;
-                        }
-                        None => {
-                            // Undriven this cycle: two-state zero.
-                            changed = !self.values[si].is_zero();
-                            if changed {
-                                self.values[si].set_zero();
+                    if let Some((a, b)) = conflict {
+                        // Record and continue settling: the winner is
+                        // chosen deterministically after the pass. The
+                        // signal keeps its old value and stays dirty.
+                        self.conflicts.push(Conflict { sig: si as u32, a, b });
+                        self.driven[si] = true;
+                        changed = false;
+                        conflicted = true;
+                    } else {
+                        match chosen {
+                            Some(ai) => {
+                                let src = self.netlist.assigns()[ai as usize].src;
+                                changed = copy_signal(&mut self.values, src.index(), si);
+                                self.driven[si] = true;
                             }
-                            self.driven[si] = false;
+                            None => {
+                                // Undriven this cycle: two-state zero.
+                                changed = !self.values[si].is_zero();
+                                if changed {
+                                    self.values[si].set_zero();
+                                }
+                                self.driven[si] = false;
+                            }
                         }
                     }
                 }
             }
-            self.dirty[si] = false;
+            self.dirty[si] = conflicted;
             if changed {
-                let (d0, d1) = (self.dep_start[si] as usize, self.dep_start[si + 1] as usize);
-                for &t in &self.dep_list[d0..d1] {
+                for &t in self.flat.deps(si) {
                     self.dirty[t as usize] = true;
                 }
             }
+        }
+        if let Some(c) = min_conflict(&self.conflicts) {
+            return Err(conflict_error(self.netlist, self.cycle, c, None));
+        }
+        self.settled = true;
+        Ok(())
+    }
+
+    fn settle_sharded(&mut self) -> Result<(), SimError> {
+        let par = self.par.as_ref().expect("sharded engine");
+        par.barrier.reset();
+        for sc in &par.sstates {
+            // SAFETY: workers are idle between jobs; main has exclusive
+            // access.
+            unsafe { sc.get_mut() }.conflicts.clear();
+        }
+        let ctx = ScalarCtx {
+            netlist: self.netlist,
+            flat: &self.flat,
+            plans: &par.plans,
+            values: self.values.as_mut_ptr(),
+            driven: self.driven.as_mut_ptr(),
+            dirty: self.dirty.as_mut_ptr(),
+            out_buf: self.out_buf.as_mut_ptr(),
+            cell_stamp: self.cell_stamp.as_mut_ptr(),
+            states: self.states.as_ptr(),
+            pass: self.pass,
+            dummy: &self.dummy,
+            boundary: &par.boundary,
+            sstates: &par.sstates,
+            more: &par.more,
+            barrier: &par.barrier,
+        };
+        let job = |w: usize| {
+            // SAFETY: the shard ownership discipline (see ScalarCtx).
+            unsafe { scalar_worker(&ctx, w) };
+        };
+        par.pool.run(&job);
+
+        let mut best: Option<Conflict> = None;
+        for sc in &par.sstates {
+            // SAFETY: workers are idle again.
+            let st = unsafe { sc.get_mut() };
+            for c in &st.conflicts {
+                if best.is_none_or(|b| c.sig < b.sig) {
+                    best = Some(*c);
+                }
+            }
+        }
+        if let Some(c) = best {
+            return Err(conflict_error(self.netlist, self.cycle, c, None));
         }
         self.settled = true;
         Ok(())
@@ -535,22 +665,29 @@ impl<'n> Sim<'n> {
         if !self.settled {
             self.settle()?;
         }
+        if self.par.is_some() {
+            self.tick_sharded();
+        } else {
+            self.tick_seq();
+        }
+        self.cycle += 1;
+        self.settled = false;
+        Ok(())
+    }
+
+    fn tick_seq(&mut self) {
         let Sim {
             values,
             states,
             netlist,
-            cin_start,
-            cin_list,
-            seq_cells,
-            cout_start,
-            cout_sigs,
+            flat,
             dirty,
             dummy,
             ..
         } = self;
-        for &ci in seq_cells.iter() {
+        for &ci in flat.seq_cells.iter() {
             let c = ci as usize;
-            let pins = &cin_list[cin_start[c] as usize..cin_start[c + 1] as usize];
+            let pins = flat.cell_pins(c);
             let mut inputs: [&Value; CellKind::MAX_INPUT_PINS] =
                 [&*dummy; CellKind::MAX_INPUT_PINS];
             for (k, &s) in pins.iter().enumerate() {
@@ -560,13 +697,30 @@ impl<'n> Sim<'n> {
                 .kind
                 .tick(&inputs[..pins.len()], &mut states[c]);
             // New state may surface on the cell's outputs next settle.
-            for &sig in &cout_sigs[cout_start[c] as usize..cout_start[c + 1] as usize] {
+            for &sig in &flat.cout_sigs[flat.cout_start[c] as usize..flat.cout_start[c + 1] as usize]
+            {
                 dirty[sig as usize] = true;
             }
         }
-        self.cycle += 1;
-        self.settled = false;
-        Ok(())
+    }
+
+    fn tick_sharded(&mut self) {
+        let par = self.par.as_ref().expect("sharded engine");
+        let ctx = TickCtx {
+            netlist: self.netlist,
+            flat: &self.flat,
+            plans: &par.plans,
+            values: self.values.as_ptr(),
+            states: self.states.as_mut_ptr(),
+            dirty: self.dirty.as_mut_ptr(),
+            dummy: &self.dummy,
+        };
+        let job = |w: usize| {
+            // SAFETY: shards own disjoint cells (states) and signals
+            // (dirty); values are only read during tick.
+            unsafe { tick_worker(&ctx, w) };
+        };
+        par.pool.run(&job);
     }
 
     /// Settle then tick: one full clock cycle.
@@ -589,5 +743,255 @@ impl<'n> Sim<'n> {
             self.step()?;
         }
         Ok(())
+    }
+}
+
+/// Shared context for the sharded settle job.
+///
+/// # Safety discipline
+///
+/// The raw pointers alias `Sim`'s arrays. Every element has a unique owning
+/// shard; during the *pass* phase a worker touches only elements it owns
+/// (values/driven/dirty of owned signals, out_buf/cell_stamp of owned
+/// cells), during the *exchange* phase it reads remote values and boundary
+/// flags (whose owners are quiescent) and writes only its own dirty flags
+/// and ext snapshots. The phases are separated by `barrier`, which
+/// establishes the necessary happens-before edges.
+struct ScalarCtx<'a> {
+    netlist: &'a Netlist,
+    flat: &'a FlatGraph,
+    plans: &'a [Plan],
+    values: *mut Value,
+    driven: *mut bool,
+    dirty: *mut bool,
+    out_buf: *mut Value,
+    cell_stamp: *mut u64,
+    states: *const CellState,
+    pass: u64,
+    dummy: &'a Value,
+    boundary: &'a [SyncCell<bool>],
+    sstates: &'a [SyncCell<ShardState>],
+    more: &'a AtomicBool,
+    barrier: &'a Barrier,
+}
+
+// SAFETY: see the struct docs; all shared mutation follows the disjoint
+// shard-ownership protocol.
+unsafe impl Sync for ScalarCtx<'_> {}
+
+unsafe fn scalar_worker(ctx: &ScalarCtx<'_>, w: usize) {
+    let plan = &ctx.plans[w];
+    // SAFETY: each worker accesses only its own shard state.
+    let st = unsafe { ctx.sstates[w].get_mut() };
+    let mut sense = false;
+    loop {
+        // --- Pass: drain owned dirty signals in topological order. ---
+        for &sig in &st.out_changed {
+            // SAFETY: owner-only write; consumers finished last round.
+            unsafe { *ctx.boundary[sig as usize].get_mut() = false };
+        }
+        st.out_changed.clear();
+        for idx in 0..plan.order.len() {
+            let si = plan.order[idx] as usize;
+            // SAFETY: owned signal.
+            if unsafe { !*ctx.dirty.add(si) } {
+                continue;
+            }
+            let changed;
+            let mut conflicted = false;
+            match plan.sdriver[idx] {
+                SDriver::External { is_input } => {
+                    unsafe { *ctx.driven.add(si) = is_input };
+                    changed = true;
+                }
+                SDriver::Cell { cell, pin } => {
+                    let c = cell as usize;
+                    let o0 = ctx.flat.cout_start[c] as usize;
+                    let slot = o0 + pin as usize;
+                    // SAFETY: the cell is owned (all outputs on this shard).
+                    let stamp = unsafe { &mut *ctx.cell_stamp.add(c) };
+                    if ctx.flat.comb_out[slot] || *stamp != ctx.pass {
+                        *stamp = ctx.pass;
+                        let o1 = ctx.flat.cout_start[c + 1] as usize;
+                        let pins = &plan.pin_enc
+                            [plan.cpin_start[c] as usize..plan.cpin_start[c + 1] as usize];
+                        let mut inputs: [&Value; CellKind::MAX_INPUT_PINS] =
+                            [ctx.dummy; CellKind::MAX_INPUT_PINS];
+                        for (k, &e) in pins.iter().enumerate() {
+                            inputs[k] = if enc_is_ext(e) {
+                                &st.ext_vals[enc_idx(e)]
+                            } else {
+                                // SAFETY: owned or snapshot-stable input;
+                                // remote inputs go through ext slots.
+                                unsafe { &*ctx.values.add(enc_idx(e)) }
+                            };
+                        }
+                        // SAFETY: out_buf slots o0..o1 belong to this cell.
+                        let outs =
+                            unsafe { std::slice::from_raw_parts_mut(ctx.out_buf.add(o0), o1 - o0) };
+                        ctx.netlist.cells()[c].kind.eval_into(
+                            &inputs[..pins.len()],
+                            // SAFETY: states are read-only during settle.
+                            unsafe { &*ctx.states.add(c) },
+                            outs,
+                        );
+                    }
+                    // SAFETY: owned slot and signal.
+                    let out = unsafe { &*ctx.out_buf.add(slot) };
+                    let dst = unsafe { &mut *ctx.values.add(si) };
+                    changed = *dst != *out;
+                    if changed {
+                        dst.clone_from(out);
+                    }
+                    unsafe { *ctx.driven.add(si) = true };
+                }
+                SDriver::Assigns { start, len } => {
+                    if !st.conflicts.is_empty() {
+                        st.conflicts.retain(|c| c.sig as usize != si);
+                    }
+                    let mut chosen: Option<usize> = None;
+                    let mut conflict: Option<(u32, u32)> = None;
+                    for j in start as usize..(start + len) as usize {
+                        let ge = plan.asg_guard[j];
+                        let active = ge == NO_GUARD || {
+                            let g = if enc_is_ext(ge) {
+                                &st.ext_vals[enc_idx(ge)]
+                            } else {
+                                // SAFETY: guards settle before their
+                                // destinations (topo order / exchange).
+                                unsafe { &*ctx.values.add(enc_idx(ge)) }
+                            };
+                            g.as_bool()
+                        };
+                        if active {
+                            match chosen {
+                                None => chosen = Some(j),
+                                Some(first) => {
+                                    conflict = Some((plan.asg_id[first], plan.asg_id[j]));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if let Some((a, b)) = conflict {
+                        st.conflicts.push(Conflict { sig: si as u32, a, b });
+                        unsafe { *ctx.driven.add(si) = true };
+                        changed = false;
+                        conflicted = true;
+                    } else {
+                        match chosen {
+                            Some(j) => {
+                                let se = plan.asg_src[j];
+                                let src = if enc_is_ext(se) {
+                                    &st.ext_vals[enc_idx(se)]
+                                } else {
+                                    // SAFETY: src != dst (would be a comb
+                                    // loop), both owned.
+                                    unsafe { &*ctx.values.add(enc_idx(se)) }
+                                };
+                                let dst = unsafe { &mut *ctx.values.add(si) };
+                                changed = *dst != *src;
+                                if changed {
+                                    dst.clone_from(src);
+                                }
+                                unsafe { *ctx.driven.add(si) = true };
+                            }
+                            None => {
+                                let dst = unsafe { &mut *ctx.values.add(si) };
+                                changed = !dst.is_zero();
+                                if changed {
+                                    dst.set_zero();
+                                }
+                                unsafe { *ctx.driven.add(si) = false };
+                            }
+                        }
+                    }
+                }
+            }
+            unsafe { *ctx.dirty.add(si) = conflicted };
+            if changed {
+                let (d0, d1) = (
+                    plan.ldep_start[idx] as usize,
+                    plan.ldep_start[idx + 1] as usize,
+                );
+                for &t in &plan.ldep_list[d0..d1] {
+                    // SAFETY: local dependents are owned.
+                    unsafe { *ctx.dirty.add(t as usize) = true };
+                }
+                if plan.has_remote_dep[idx] {
+                    // SAFETY: owner-only write, read after the barrier.
+                    unsafe { *ctx.boundary[si].get_mut() = true };
+                    st.out_changed.push(si as u32);
+                }
+            }
+        }
+        if !st.out_changed.is_empty() {
+            ctx.more.store(true, Ordering::Relaxed);
+        }
+        ctx.barrier.wait(&mut sense);
+        let more = ctx.more.load(Ordering::Relaxed);
+        ctx.barrier.wait(&mut sense);
+        if !more {
+            break;
+        }
+        if w == 0 {
+            ctx.more.store(false, Ordering::Relaxed);
+        }
+        // --- Exchange: pull changed remote boundary signals. ---
+        for e in 0..plan.ext_sigs.len() {
+            let g = plan.ext_sigs[e] as usize;
+            // SAFETY: the owner is quiescent between barriers; flags and
+            // values are stable.
+            if unsafe { *ctx.boundary[g].get_mut() } {
+                st.ext_vals[e].clone_from(unsafe { &*ctx.values.add(g) });
+                let (x0, x1) = (
+                    plan.ext_dep_start[e] as usize,
+                    plan.ext_dep_start[e + 1] as usize,
+                );
+                for &t in &plan.ext_dep_list[x0..x1] {
+                    // SAFETY: readers to re-dirty are owned.
+                    unsafe { *ctx.dirty.add(t as usize) = true };
+                }
+            }
+        }
+        ctx.barrier.wait(&mut sense);
+    }
+}
+
+/// Shared context for the sharded tick job. Values are read-only here;
+/// states and dirty flags are written only by their owning shard.
+struct TickCtx<'a> {
+    netlist: &'a Netlist,
+    flat: &'a FlatGraph,
+    plans: &'a [Plan],
+    values: *const Value,
+    states: *mut CellState,
+    dirty: *mut bool,
+    dummy: &'a Value,
+}
+
+// SAFETY: see the struct docs.
+unsafe impl Sync for TickCtx<'_> {}
+
+unsafe fn tick_worker(ctx: &TickCtx<'_>, w: usize) {
+    for &ci in &ctx.plans[w].seq_cells {
+        let c = ci as usize;
+        let pins = ctx.flat.cell_pins(c);
+        let mut inputs: [&Value; CellKind::MAX_INPUT_PINS] = [ctx.dummy; CellKind::MAX_INPUT_PINS];
+        for (k, &s) in pins.iter().enumerate() {
+            // SAFETY: no thread writes values during tick.
+            inputs[k] = unsafe { &*ctx.values.add(s as usize) };
+        }
+        ctx.netlist.cells()[c].kind.tick(
+            &inputs[..pins.len()],
+            // SAFETY: the cell is owned by this shard.
+            unsafe { &mut *ctx.states.add(c) },
+        );
+        for &sig in
+            &ctx.flat.cout_sigs[ctx.flat.cout_start[c] as usize..ctx.flat.cout_start[c + 1] as usize]
+        {
+            // SAFETY: the cell's outputs are owned by this shard.
+            unsafe { *ctx.dirty.add(sig as usize) = true };
+        }
     }
 }

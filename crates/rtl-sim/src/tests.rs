@@ -859,3 +859,147 @@ fn write_conflict_identical_in_both_modes() {
         assert!(sim.was_driven(o));
     }
 }
+
+#[test]
+fn cross_shard_conflict_names_both_assignments() {
+    // The two offending assignments live in *different* shards: guard g0
+    // and source x in shard 0; guard g1, source y, and the destination o
+    // in shard 1. Detection must still see both writes and the report must
+    // name them.
+    let mut n = Netlist::new("conflict_cross");
+    let g0 = n.add_input("g0", 1);
+    let g1 = n.add_input("g1", 1);
+    let x = n.add_input("x", 8);
+    let y = n.add_input("y", 8);
+    let o = n.add_signal("o", 8);
+    n.connect_guarded(o, x, g0);
+    n.connect_guarded(o, y, g1);
+    let partition = [0, 1, 0, 1, 1];
+    let mut sim = Sim::new_with_partition(&n, &partition).unwrap();
+    assert_eq!(sim.jobs(), 2, "partition must produce two shards");
+    sim.poke(g0, v(1, 1));
+    sim.poke(g1, v(1, 1));
+    sim.poke(x, v(8, 7));
+    sim.poke(y, v(8, 9));
+    let err = sim.settle().unwrap_err();
+    match &err {
+        SimError::WriteConflict {
+            signal,
+            first,
+            second,
+            lane,
+            ..
+        } => {
+            assert_eq!(signal, "o");
+            assert_eq!(first, "o = g0 ? x");
+            assert_eq!(second, "o = g1 ? y");
+            assert_eq!(*lane, None);
+        }
+        other => panic!("expected WriteConflict, got {other:?}"),
+    }
+    // The rendered diagnostic carries both assignments.
+    let msg = err.to_string();
+    assert!(msg.contains("o = g0 ? x") && msg.contains("o = g1 ? y"), "{msg}");
+    // The sequential engine reports the identical error.
+    let mut seq = Sim::new(&n).unwrap();
+    seq.poke(g0, v(1, 1));
+    seq.poke(g1, v(1, 1));
+    seq.poke(x, v(8, 7));
+    seq.poke(y, v(8, 9));
+    assert_eq!(seq.settle().unwrap_err(), err);
+    // Dropping one guard clears the conflict; the other write lands.
+    sim.poke(g1, v(1, 0));
+    sim.settle().unwrap();
+    assert_eq!(sim.peek(o).to_u64(), 7);
+}
+
+#[test]
+fn conflict_winner_is_lowest_signal_id_in_every_engine() {
+    // Two independent conflicts in one cycle: every engine must report the
+    // lower signal id ("oa"), regardless of evaluation or shard order.
+    let mut n = Netlist::new("conflict_pick");
+    let g = n.add_input("g", 1);
+    let x = n.add_input("x", 4);
+    let oa = n.add_signal("oa", 4);
+    let ob = n.add_signal("ob", 4);
+    for o in [oa, ob] {
+        n.connect_guarded(o, x, g);
+        n.connect_guarded(o, x, g);
+    }
+    let drive = |sim: &mut Sim<'_>| {
+        sim.poke(g, v(1, 1));
+        sim.poke(x, v(4, 5));
+        sim.settle().unwrap_err()
+    };
+    let e1 = drive(&mut Sim::new(&n).unwrap());
+    let e2 = drive(&mut Sim::new_with_partition(&n, &[0, 1, 0, 1]).unwrap());
+    assert_eq!(e1, e2);
+    assert!(matches!(&e1, SimError::WriteConflict { signal, .. } if signal == "oa"));
+
+    let mut batch = crate::BatchSim::new(&n, 3).unwrap();
+    for l in 0..3 {
+        batch.poke(g, l, v(1, 1));
+        batch.poke(x, l, v(4, 5));
+    }
+    match batch.settle().unwrap_err() {
+        SimError::WriteConflict { signal, lane, .. } => {
+            assert_eq!(signal, "oa");
+            assert_eq!(lane, Some(0), "lowest conflicting lane wins");
+        }
+        other => panic!("expected WriteConflict, got {other:?}"),
+    }
+}
+
+#[test]
+fn batch_conflict_reports_lane_and_spares_other_lanes() {
+    let mut n = Netlist::new("conflict_lane");
+    let g0 = n.add_input("g0", 1);
+    let g1 = n.add_input("g1", 1);
+    let x = n.add_input("x", 8);
+    let y = n.add_input("y", 8);
+    let o = n.add_signal("o", 8);
+    n.connect_guarded(o, x, g0);
+    n.connect_guarded(o, y, g1);
+    // 70 lanes (two plane words): conflict only in lane 67.
+    let mut sim = crate::BatchSim::new(&n, 70).unwrap();
+    for l in 0..70 {
+        sim.poke(g0, l, v(1, 1));
+        sim.poke(g1, l, v(1, u64::from(l == 67)));
+        sim.poke(x, l, v(8, 100 + l as u64));
+        sim.poke(y, l, v(8, 200));
+    }
+    match sim.settle().unwrap_err() {
+        SimError::WriteConflict { signal, lane, first, second, .. } => {
+            assert_eq!(signal, "o");
+            assert_eq!(lane, Some(67));
+            assert_eq!(first, "o = g0 ? x");
+            assert_eq!(second, "o = g1 ? y");
+        }
+        other => panic!("expected WriteConflict, got {other:?}"),
+    }
+    // Non-conflicted lanes settled with their unique active write; the
+    // conflicted lane kept its previous (zero) value.
+    assert_eq!(sim.peek(o, 3).to_u64(), 103);
+    assert_eq!(sim.peek(o, 69).to_u64(), 169);
+    assert_eq!(sim.peek(o, 67).to_u64(), 0);
+    assert!(sim.was_driven(o, 67));
+    // Clearing the extra guard resolves the conflict everywhere.
+    sim.poke(g1, 67, v(1, 0));
+    sim.settle().unwrap();
+    assert_eq!(sim.peek(o, 67).to_u64(), 167);
+}
+
+#[test]
+fn batch_rejects_wide_signals() {
+    let mut n = Netlist::new("wide");
+    let a = n.add_input("a", 65);
+    let o = n.add_signal("o", 65);
+    n.connect(o, a);
+    match crate::BatchSim::new(&n, 4).err() {
+        Some(SimError::BatchWidth { signal, width }) => {
+            assert_eq!(signal, "a");
+            assert_eq!(width, 65);
+        }
+        other => panic!("expected BatchWidth, got {other:?}"),
+    }
+}

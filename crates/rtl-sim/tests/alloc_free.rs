@@ -13,7 +13,7 @@
 //! those allocations lands inside the measured window.
 
 use fil_bits::Value;
-use rtl_sim::{CellKind, Netlist, Sim};
+use rtl_sim::{BatchSim, CellKind, Netlist, Sim};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -158,5 +158,55 @@ fn settle_and_tick_allocate_nothing_per_cycle() {
         after - before,
         0,
         "settle/tick allocated on a ≤64-bit design"
+    );
+}
+
+#[test]
+fn batched_settle_and_tick_allocate_nothing_per_cycle() {
+    const LANES: u32 = 64;
+    let n = busy_netlist();
+    let mut sim = BatchSim::new(&n, LANES).unwrap();
+    let go = n.signal_by_name("go").unwrap();
+    let a = n.signal_by_name("a").unwrap();
+    let b = n.signal_by_name("b").unwrap();
+    let wide = n.signal_by_name("wide").unwrap();
+    let out = n.signal_by_name("out").unwrap();
+
+    // Per-lane stimulus. `go` must keep alternating in every lane across the
+    // warmup/measured boundary: the ShiftFsm guards `fsm1`/`fsm2` are only
+    // one-hot under strict alternation, and a repeated `go` level would make
+    // both guarded assignments to `out` fire — a real write conflict.
+    let poke_cycle = |sim: &mut BatchSim, t: u64| {
+        for l in 0..LANES {
+            let s = t ^ u64::from(l).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            sim.poke(go, l, v(1, s & 1));
+            sim.poke(a, l, v(32, s.wrapping_mul(0x9e37_79b9)));
+            sim.poke(b, l, v(32, s ^ 0xdead_beef));
+            sim.poke(wide, l, v(64, s.wrapping_mul(0x0123_4567_89ab_cdef)));
+        }
+    };
+
+    // Warm every path outside the measured window (two full cycles so the
+    // shift-register guards reach steady state).
+    for t in 0..2u64 {
+        poke_cycle(&mut sim, t);
+        sim.step().unwrap();
+    }
+    sim.settle().unwrap();
+
+    let before = thread_allocs();
+    let mut acc = 0u64;
+    for t in 2..502u64 {
+        poke_cycle(&mut sim, t);
+        sim.settle().unwrap();
+        acc ^= sim.peek(out, (t % u64::from(LANES)) as u32).to_u64();
+        sim.tick().unwrap();
+    }
+    let after = thread_allocs();
+    assert!(acc != u64::MAX);
+    assert_eq!(
+        after - before,
+        0,
+        "batched settle/tick allocated on a ≤64-bit design"
     );
 }
