@@ -20,7 +20,7 @@
 //! Parsing (source text → AST) is outside the timers: the cache skips
 //! compilation, not reading sources.
 
-use fil_build::{build_program, BuildOptions, BuildOutput};
+use fil_build::{build_program, BuildOptions, BuildOutput, PhaseTimes};
 use filament_core::Program;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -39,7 +39,7 @@ fn opts(cache: &Path) -> BuildOptions {
         // Verilog-only: `filament build` does not materialize the
         // expanded program.
         emit_expanded: false,
-        cache_limit: None,
+        ..BuildOptions::default()
     }
 }
 
@@ -50,20 +50,35 @@ fn build(program: &Program, o: &BuildOptions) -> BuildOutput {
 /// Cold + warm wall times over a set of pre-parsed programs sharing one
 /// cache directory, with the warm pass asserted to be zero-work. Both
 /// sides are best-of-three (cold reps start from a freshly emptied cache)
-/// so single-sample scheduler noise doesn't skew the ratio.
-fn cold_warm(tag: &str, programs: &[Program]) -> (u64, f64, f64) {
+/// so single-sample scheduler noise doesn't skew the ratio. Also returns
+/// the per-phase wall-time breakdown of the fastest cold rep, summed
+/// across the programs (same split as `filament build --stats`).
+fn cold_warm(tag: &str, programs: &[Program]) -> (u64, f64, f64, PhaseTimes) {
     let cache = temp_cache(tag);
     let o = opts(&cache);
     let mut units = 0;
     let mut cold = f64::INFINITY;
+    let mut phase = PhaseTimes::default();
     for _ in 0..3 {
         let _ = std::fs::remove_dir_all(&cache);
         let start = Instant::now();
         units = 0;
+        let mut rep_phase = PhaseTimes::default();
         for p in programs {
-            units += build(p, &o).stats.units;
+            let out = build(p, &o);
+            units += out.stats.units;
+            let ph = out.stats.phase;
+            rep_phase.expand_us += ph.expand_us;
+            rep_phase.check_us += ph.check_us;
+            rep_phase.lower_us += ph.lower_us;
+            rep_phase.cache_load_us += ph.cache_load_us;
+            rep_phase.merge_us += ph.merge_us;
         }
-        cold = cold.min(start.elapsed().as_secs_f64() * 1e3);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        if elapsed < cold {
+            cold = elapsed;
+            phase = rep_phase;
+        }
     }
     let mut warm = f64::INFINITY;
     for _ in 0..3 {
@@ -77,7 +92,7 @@ fn cold_warm(tag: &str, programs: &[Program]) -> (u64, f64, f64) {
         warm = warm.min(start.elapsed().as_secs_f64() * 1e3);
     }
     let _ = std::fs::remove_dir_all(&cache);
-    (units, cold, warm)
+    (units, cold, warm, phase)
 }
 
 fn main() {
@@ -86,14 +101,14 @@ fn main() {
         .into_iter()
         .map(|(_, src, _)| fil_stdlib::with_stdlib_raw(&src).expect("corpus parses"))
         .collect();
-    let (units, cold, warm) = cold_warm("corpus", &corpus);
+    let (units, cold, warm, phase) = cold_warm("corpus", &corpus);
 
     // Parametric N-sweeps: the work a warm cache skips grows with N.
     let mut sweep = Vec::new();
     for n in [2u64, 4, 8] {
         let p = fil_stdlib::with_stdlib_raw(&fil_designs::systolic::source(n, 32))
             .expect("systolic parses");
-        let (u, c, w) = cold_warm(&format!("sys{n}"), std::slice::from_ref(&p));
+        let (u, c, w, _) = cold_warm(&format!("sys{n}"), std::slice::from_ref(&p));
         sweep.push(format!(
             "{{\"design\": \"systolic-{n}\", \"units\": {u}, \"cold_ms\": {c:.2}, \
              \"warm_ms\": {w:.2}, \"speedup\": {:.1}}}",
@@ -103,7 +118,7 @@ fn main() {
     for n in [8u64, 16, 32] {
         let p = fil_stdlib::with_stdlib_raw(&fil_designs::encoder::source(n))
             .expect("encoder parses");
-        let (u, c, w) = cold_warm(&format!("enc{n}"), std::slice::from_ref(&p));
+        let (u, c, w, _) = cold_warm(&format!("enc{n}"), std::slice::from_ref(&p));
         sweep.push(format!(
             "{{\"design\": \"encoder-{n}\", \"units\": {u}, \"cold_ms\": {c:.2}, \
              \"warm_ms\": {w:.2}, \"speedup\": {:.1}}}",
@@ -113,8 +128,15 @@ fn main() {
 
     println!(
         "{{\"corpus_units\": {units}, \"corpus_cold_ms\": {cold:.2}, \
-         \"corpus_warm_ms\": {warm:.2}, \"corpus_speedup\": {:.1}, \"sweep\": [{}]}}",
+         \"corpus_warm_ms\": {warm:.2}, \"corpus_speedup\": {:.1}, \
+         \"phase_us\": {{\"expand\": {}, \"check\": {}, \"lower\": {}, \
+         \"cache_load\": {}, \"merge\": {}}}, \"sweep\": [{}]}}",
         cold / warm,
+        phase.expand_us,
+        phase.check_us,
+        phase.lower_us,
+        phase.cache_load_us,
+        phase.merge_us,
         sweep.join(", ")
     );
 }

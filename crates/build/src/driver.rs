@@ -50,8 +50,9 @@ use filament_core::{
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Driver configuration.
 #[derive(Debug, Clone)]
@@ -75,6 +76,13 @@ pub struct BuildOptions {
     /// an artifact's modification time, so recency tracks use, not
     /// creation). `None` lets the cache grow without bound.
     pub cache_limit: Option<u64>,
+    /// Structured-trace sink. When set, the driver records one span per
+    /// compile unit per phase (cache-load/expand/check/lower, plus the
+    /// serial merge) on a timeline lane per worker, and samples
+    /// artifact-cache hit/miss/eviction counters — rendered by
+    /// [`fil_trace::Collector::chrome_json`]. `None` (the default) keeps
+    /// the hot path entirely untouched.
+    pub trace: Option<Arc<fil_trace::Collector>>,
 }
 
 impl Default for BuildOptions {
@@ -85,6 +93,7 @@ impl Default for BuildOptions {
             salt: String::new(),
             emit_expanded: true,
             cache_limit: None,
+            trace: None,
         }
     }
 }
@@ -111,11 +120,37 @@ pub struct BuildStats {
     /// Artifacts written this session.
     pub cache_stores: u64,
     /// Artifacts evicted by the post-build cache GC (`cache_limit`).
-    pub cache_evictions: u64,
+    ///
+    /// Named to match its `--stats` JSON key (`session_cache_evictions`);
+    /// the field was `cache_evictions` for one release.
+    pub session_cache_evictions: u64,
     /// Merged elaboration counters (for units expanded this session, plus
     /// cache accounting equivalent to [`filament_core::mono::expand`]'s on
     /// a cold run).
     pub mono: MonoStats,
+    /// Wall-clock time per compile phase, summed across units and worker
+    /// threads (so on `-jN` the phase totals can exceed the build's
+    /// elapsed time).
+    pub phase: PhaseTimes,
+}
+
+/// Per-phase wall-clock totals, in microseconds. `parse_us` is filled by
+/// front ends that parse before invoking the driver (`fil_stdlib`);
+/// everything else is measured per unit inside the driver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Source text → AST (front-end supplied).
+    pub parse_us: u64,
+    /// Monomorphization of units expanded this session.
+    pub expand_us: u64,
+    /// Type checking of units checked this session.
+    pub check_us: u64,
+    /// Lowering of units lowered this session.
+    pub lower_us: u64,
+    /// Artifact decode + validation for cache hits.
+    pub cache_load_us: u64,
+    /// The serial deterministic merge.
+    pub merge_us: u64,
 }
 
 /// A failed build.
@@ -207,10 +242,13 @@ pub fn build_program_serial(
     let externs = extern_set(program);
     externs.ensure_checked(program)?;
     let ctx = Ctx::new(program, opts, &externs)?;
-    worker(&ctx, Some(registry));
+    {
+        let lane = opts.trace.as_ref().map(|c| c.lane(1, "builder-0"));
+        worker(&ctx, Some(registry), lane.as_ref());
+    }
     let evicted = maybe_gc(opts);
     let mut out = finish(program, ctx, true)?;
-    out.stats.cache_evictions = evicted;
+    out.stats.session_cache_evictions = evicted;
     Ok(out)
 }
 
@@ -233,17 +271,35 @@ fn run(
     }
     let ctx = Ctx::new(program, opts, &externs)?;
     if jobs <= 1 {
-        worker(&ctx, registry.map(|r| r as &dyn PrimitiveRegistry));
+        let lane = opts.trace.as_ref().map(|c| c.lane(1, "builder-0"));
+        worker(
+            &ctx,
+            registry.map(|r| r as &dyn PrimitiveRegistry),
+            lane.as_ref(),
+        );
     } else {
         std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| worker(&ctx, registry.map(|r| r as &dyn PrimitiveRegistry)));
+            let ctx = &ctx;
+            for w in 0..jobs {
+                let trace = opts.trace.clone();
+                scope.spawn(move || {
+                    // Each worker gets its own timeline lane, so spans are
+                    // attributed to the thread that actually ran them.
+                    let lane = trace
+                        .as_ref()
+                        .map(|c| c.lane(w as u32 + 1, format!("builder-{w}")));
+                    worker(
+                        ctx,
+                        registry.map(|r| r as &dyn PrimitiveRegistry),
+                        lane.as_ref(),
+                    );
+                });
             }
         });
     }
     let evicted = maybe_gc(opts);
     let mut out = finish(program, ctx, registry.is_some())?;
-    out.stats.cache_evictions = evicted;
+    out.stats.session_cache_evictions = evicted;
     Ok(out)
 }
 
@@ -251,10 +307,15 @@ fn run(
 /// configured. Called after the workers drain, so this session's stores
 /// are on disk and carry fresh modification times.
 fn maybe_gc(opts: &BuildOptions) -> u64 {
-    match (&opts.cache_dir, opts.cache_limit) {
+    let evicted = match (&opts.cache_dir, opts.cache_limit) {
         (Some(dir), Some(limit)) => gc_cache(dir, limit),
-        _ => 0,
+        _ => return 0,
+    };
+    if let Some(c) = &opts.trace {
+        c.lane(0, "main")
+            .counter("build", "artifact-cache-gc", &[("evictions", evicted)]);
     }
+    evicted
 }
 
 /// Evicts `*.unit` artifacts oldest-modification-time-first until the
@@ -361,6 +422,13 @@ struct UnitDone {
     cache_missed: bool,
     /// An artifact was written.
     stored: bool,
+    /// Wall time spent in each phase for this unit (microseconds);
+    /// `load_us` is nonzero only for cache hits, the others only for
+    /// units processed from source.
+    load_us: u64,
+    expand_us: u64,
+    check_us: u64,
+    lower_us: u64,
 }
 
 // -------------------------------------------------------------- scheduler
@@ -382,6 +450,10 @@ struct Ctx<'p> {
     cache_dir: Option<PathBuf>,
     shared: Mutex<Shared>,
     cv: Condvar,
+    /// Running artifact-cache totals, sampled into counter events as
+    /// workers probe the cache. Only touched when tracing is on.
+    trace_cache_hits: AtomicU64,
+    trace_cache_misses: AtomicU64,
 }
 
 /// Process-wide information about one extern *set* (keyed by its
@@ -472,11 +544,13 @@ impl<'p> Ctx<'p> {
             cache_dir,
             shared: Mutex::new(shared),
             cv: Condvar::new(),
+            trace_cache_hits: AtomicU64::new(0),
+            trace_cache_misses: AtomicU64::new(0),
         })
     }
 }
 
-fn worker(ctx: &Ctx<'_>, registry: Option<&dyn PrimitiveRegistry>) {
+fn worker(ctx: &Ctx<'_>, registry: Option<&dyn PrimitiveRegistry>, lane: Option<&fil_trace::Lane<'_>>) {
     loop {
         let (key, depth) = {
             let mut s = ctx.shared.lock().unwrap();
@@ -501,7 +575,7 @@ fn worker(ctx: &Ctx<'_>, registry: Option<&dyn PrimitiveRegistry>) {
         // wait on the condvar forever while the scope blocks joining the
         // dead thread. Catch it and surface it as the build's error.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            process_unit(ctx, registry, &key)
+            process_unit(ctx, registry, &key, lane)
         }))
         .unwrap_or_else(|payload| {
             let msg = payload
@@ -573,11 +647,51 @@ impl CalleeResolver for Recorder<'_> {
     }
 }
 
+/// Opens a per-unit phase span on `lane` (no-op when tracing is off),
+/// labeling it with the unit's human-readable name.
+fn unit_span<'l, 'c>(
+    lane: Option<&'l fil_trace::Lane<'c>>,
+    phase: &'static str,
+    unit: &Option<Id>,
+) -> Option<fil_trace::Span<'l, 'c>> {
+    lane.map(|l| {
+        let mut span = l.span("build", phase);
+        if let Some(name) = unit {
+            span = span.arg("unit", name.as_str());
+        }
+        span
+    })
+}
+
+/// Samples the artifact-cache counter track after a probe resolves.
+fn cache_counter(ctx: &Ctx<'_>, lane: Option<&fil_trace::Lane<'_>>, hit: bool) {
+    let Some(lane) = lane else { return };
+    let (hits, misses) = if hit {
+        (
+            ctx.trace_cache_hits.fetch_add(1, Ordering::Relaxed) + 1,
+            ctx.trace_cache_misses.load(Ordering::Relaxed),
+        )
+    } else {
+        (
+            ctx.trace_cache_hits.load(Ordering::Relaxed),
+            ctx.trace_cache_misses.fetch_add(1, Ordering::Relaxed) + 1,
+        )
+    };
+    lane.counter(
+        "build",
+        "artifact-cache",
+        &[("loads", hits), ("misses", misses)],
+    );
+}
+
 fn process_unit(
     ctx: &Ctx<'_>,
     registry: Option<&dyn PrimitiveRegistry>,
     key: &UnitKey,
+    lane: Option<&fil_trace::Lane<'_>>,
 ) -> Result<UnitDone, BuildError> {
+    // Computed only when tracing: span labels cost a name render.
+    let unit_name = lane.map(|_| provisional(ctx.program, key));
     // Cache probe.
     let path = ctx.keys.as_ref().and_then(|keys| {
         let hash = keys.unit_hash(ARTIFACT_VERSION, &ctx.opts.salt, &key.component, &key.values)?;
@@ -585,9 +699,25 @@ fn process_unit(
     });
     let mut cache_missed = false;
     if let Some(path) = &path {
+        let probe_start = lane.map(|l| l.now_us());
+        let timer = Instant::now();
         match try_load(path, key, registry.is_some(), ctx.opts.emit_expanded) {
-            Some(unit) => return Ok(unit),
-            None => cache_missed = true,
+            Some(mut unit) => {
+                unit.load_us = timer.elapsed().as_micros() as u64;
+                if let (Some(l), Some(start)) = (lane, probe_start) {
+                    let mut args = Vec::new();
+                    if let Some(name) = &unit_name {
+                        args.push(("unit", fil_trace::Arg::from(name.as_str())));
+                    }
+                    l.complete("build", "cache-load", start, unit.load_us, args);
+                }
+                cache_counter(ctx, lane, true);
+                return Ok(unit);
+            }
+            None => {
+                cache_missed = true;
+                cache_counter(ctx, lane, false);
+            }
         }
     }
 
@@ -599,25 +729,39 @@ fn process_unit(
         seen: HashSet::new(),
         local_hits: 0,
     };
+    let timer = Instant::now();
+    let span = unit_span(lane, "expand", &unit_name);
     let (component, mono_stats) = mono::elaborate_component(
         ctx.program,
         &key.component,
         &key.values,
         &self_name,
         &mut rec,
-    )?;
+    )?; // an early return still records the span — the guard drops
+    drop(span);
+    let expand_us = timer.elapsed().as_micros() as u64;
 
     // Check + lower against a mini program: externs plus the concrete
     // signatures of the direct dependencies (bodies not needed).
+    let mut check_us = 0;
+    let mut lower_us = 0;
     let (lowered, structural) = match registry {
         None => (None, Vec::new()),
         Some(registry) => {
             let mini = mini_program(ctx.program, &component, &rec.deps)?;
             let names = readable_names(ctx.program, key, &rec.deps);
+            let timer = Instant::now();
+            let span = unit_span(lane, "check", &unit_name);
             check_component(&mini, &self_name)
                 .map_err(|errs| BuildError::Check(rewrite_check(errs, &names)))?;
+            drop(span);
+            check_us = timer.elapsed().as_micros() as u64;
+            let timer = Instant::now();
+            let span = unit_span(lane, "lower", &unit_name);
             let unit = lower_component_unit(&mini, &self_name, registry)
                 .map_err(|e| BuildError::Lower(rewrite_lower(e, &names)))?;
+            drop(span);
+            lower_us = timer.elapsed().as_micros() as u64;
             (Some(unit.component), unit.structural)
         }
     };
@@ -652,6 +796,10 @@ fn process_unit(
         loaded: false,
         cache_missed,
         stored,
+        load_us: 0,
+        expand_us,
+        check_us,
+        lower_us,
     })
 }
 
@@ -716,6 +864,10 @@ fn try_load(
         loaded: true,
         cache_missed: false,
         stored: false,
+        load_us: 0,
+        expand_us: 0,
+        check_us: 0,
+        lower_us: 0,
     })
 }
 
@@ -831,11 +983,20 @@ fn rewrite_lower(
 
 fn finish(program: &Program, ctx: Ctx<'_>, lowering: bool) -> Result<BuildOutput, BuildError> {
     let emit_expanded = ctx.opts.emit_expanded;
+    let trace = ctx.opts.trace.clone();
     let shared = ctx.shared.into_inner().unwrap();
     if let Some(e) = shared.error {
         return Err(e);
     }
-    merge(program, shared, lowering, emit_expanded)
+    let merge_start = trace.as_ref().map(|c| c.now_us());
+    let timer = Instant::now();
+    let mut out = merge(program, shared, lowering, emit_expanded)?;
+    out.stats.phase.merge_us = timer.elapsed().as_micros() as u64;
+    if let (Some(c), Some(start)) = (&trace, merge_start) {
+        c.lane(0, "main")
+            .complete("build", "merge", start, out.stats.phase.merge_us, Vec::new());
+    }
+    Ok(out)
 }
 
 /// Serial, deterministic merge: assigns final names and emission order by
@@ -944,6 +1105,10 @@ fn merge(
     stats.mono.cache_misses = order.len() as u64;
     for key in &order {
         let unit = done.remove(key).expect("unit emitted exactly once");
+        stats.phase.cache_load_us += unit.load_us;
+        stats.phase.expand_us += unit.expand_us;
+        stats.phase.check_us += unit.check_us;
+        stats.phase.lower_us += unit.lower_us;
         if unit.loaded {
             stats.cache_loads += 1;
         } else {

@@ -57,5 +57,8 @@ pub mod key;
 pub use artifact::ARTIFACT_VERSION;
 pub use driver::{
     build_program, build_program_serial, check_externs, expand_program, BuildError, BuildOptions,
-    BuildOutput, BuildStats,
+    BuildOutput, BuildStats, PhaseTimes,
 };
+// Re-exported so `BuildOptions::trace` is constructible without a direct
+// `fil-trace` dependency.
+pub use fil_trace;

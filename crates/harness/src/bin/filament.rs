@@ -4,7 +4,7 @@
 //! (against the standard library), print a component's harness-facing
 //! interface ("The harness extracts the availability intervals and the
 //! event delays using a simple command-line flag provided to the
-//! compiler", Section 7.1), lower to Calyx/Verilog, or reformat.
+//! compiler", Section 7.1), lower to Calyx/Verilog, simulate, or reformat.
 //!
 //! ```text
 //! filament check <file.fil>
@@ -13,6 +13,7 @@
 //! filament interface <file.fil> <component>
 //! filament compile <file.fil> <component>     # emits Verilog on stdout
 //! filament build <file.fil> [--cache-dir D] [--cache-limit S] [--jobs N] [--stats]
+//! filament sim <file.fil> <component> [--cycles N] [--vcd F] [--profile]
 //! filament fmt <file.fil>
 //! ```
 //!
@@ -23,12 +24,26 @@
 //! whole-program Verilog. `expand` accepts the same `--cache-dir`/`--jobs`
 //! flags, and with `--stats` reports the session-cache load/miss/store
 //! counters alongside the elaboration numbers.
+//!
+//! `sim` compiles a component and runs it with deterministic pseudo-random
+//! stimulus (one transaction every `delay` cycles, per the component's
+//! timeline signature): `--vcd` dumps an IEEE 1364 waveform of the
+//! top-level ports, `--profile` prints the simulator's hot-path profile
+//! (settle rounds, per-shard work, evals by cell kind).
+//!
+//! `--trace FILE` (expand/build/sim) records every driver phase as a span
+//! and writes a Chrome `trace_event` JSON timeline — load it at
+//! <https://ui.perfetto.dev> or `chrome://tracing`. `--trace-summary`
+//! prints a per-phase wall-time table to stderr instead.
 
 use std::process::ExitCode;
+use std::sync::Arc;
+
+use fil_build::fil_trace;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: filament <check|expand|interface|compile|build|fmt> <file.fil> [component]\n\
+        "usage: filament <check|expand|interface|compile|build|sim|fmt> <file.fil> [component]\n\
          \n\
          check      parse and type-check (standard library preloaded)\n\
          expand     elaborate generators (param arithmetic, for-loops,\n\
@@ -41,21 +56,34 @@ fn usage() -> ExitCode {
                     parallel (--jobs N), cached across sessions\n\
                     (--cache-dir DIR); emits Verilog, or counters with\n\
                     --stats\n\
+         sim        compile one component and simulate it with pipelined\n\
+                    pseudo-random stimulus from its timeline signature\n\
          fmt        pretty-print the program\n\
          \n\
-         options (expand/build): --stats --jobs N --cache-dir DIR\n\
+         options (expand/build/sim): --jobs N --cache-dir DIR\n\
                     --cache-limit SIZE   evict least-recently-used artifacts\n\
-                    once the cache exceeds SIZE bytes (k/m/g suffixes)"
+                    once the cache exceeds SIZE bytes (k/m/g suffixes)\n\
+                    --trace FILE         write a Chrome trace_event JSON\n\
+                    timeline of the compile phases (open in Perfetto)\n\
+                    --trace-summary      print per-phase wall times to stderr\n\
+         options (expand/build): --stats\n\
+         options (sim): --cycles N (default 64) --vcd FILE --profile"
     );
     ExitCode::from(2)
 }
 
-/// The `--stats` JSON payload (hand-rendered: every field is a number, and
-/// the repo's perf probes already follow this no-serde style). The first
-/// seven fields are the elaboration counters `expand --stats` has always
-/// reported; the `units_*` / `session_cache_*` block is the build driver's
-/// session accounting (loads are artifacts reused from `--cache-dir`,
-/// skipping expand/check/lower entirely).
+/// The `--stats` JSON payload (hand-rendered: every field is a number or a
+/// flat object of numbers, and the repo's perf probes already follow this
+/// no-serde style). The first seven fields are the elaboration counters
+/// `expand --stats` has always reported; the `units_*` / `session_cache_*`
+/// block is the build driver's session accounting (loads are artifacts
+/// reused from `--cache-dir`, skipping expand/check/lower entirely);
+/// `phase_us` is per-phase wall time in microseconds, summed across
+/// workers.
+///
+/// `cache_evictions` is a deprecated alias of `session_cache_evictions`
+/// (the canonical name since the `BuildStats` field was renamed to match
+/// its `session_cache_*` siblings); it is kept for one release.
 fn stats_json(stats: &fil_build::BuildStats) -> String {
     format!(
         "{{\n  \"components_monomorphized\": {},\n  \"cache_hits\": {},\n  \
@@ -65,7 +93,9 @@ fn stats_json(stats: &fil_build::BuildStats) -> String {
          \"units_expanded\": {},\n  \"units_checked\": {},\n  \
          \"units_lowered\": {},\n  \"session_cache_loads\": {},\n  \
          \"session_cache_misses\": {},\n  \"session_cache_stores\": {},\n  \
-         \"session_cache_evictions\": {}\n}}",
+         \"session_cache_evictions\": {},\n  \"cache_evictions\": {},\n  \
+         \"phase_us\": {{\"parse\": {}, \"cache_load\": {}, \"expand\": {}, \
+         \"check\": {}, \"lower\": {}, \"merge\": {}}}\n}}",
         stats.mono.cache_misses,
         stats.mono.cache_hits,
         stats.mono.loops_unrolled,
@@ -80,7 +110,14 @@ fn stats_json(stats: &fil_build::BuildStats) -> String {
         stats.cache_loads,
         stats.cache_misses,
         stats.cache_stores,
-        stats.cache_evictions,
+        stats.session_cache_evictions,
+        stats.session_cache_evictions,
+        stats.phase.parse_us,
+        stats.phase.cache_load_us,
+        stats.phase.expand_us,
+        stats.phase.check_us,
+        stats.phase.lower_us,
+        stats.phase.merge_us,
     )
 }
 
@@ -101,68 +138,212 @@ fn parse_size(s: &str) -> Option<u64> {
     digits.parse::<u64>().ok()?.checked_mul(unit)
 }
 
-/// Pulls `--stats`, `--jobs N`, `--cache-dir DIR`, and `--cache-limit SIZE`
-/// out of the argument list, returning the driver options and whether
-/// stats were requested.
-fn parse_driver_flags(args: &mut Vec<String>) -> Result<(fil_build::BuildOptions, bool), String> {
-    let mut opts = fil_build::BuildOptions::default();
-    let mut want_stats = false;
+/// Everything pulled out of the flag arguments, leaving positionals in
+/// `args`.
+struct Flags {
+    opts: fil_build::BuildOptions,
+    want_stats: bool,
+    /// `--trace FILE`: write a Chrome trace_event timeline here.
+    trace: Option<String>,
+    /// `--trace-summary`: per-phase wall-time table on stderr.
+    trace_summary: bool,
+    /// `sim --vcd FILE`.
+    vcd: Option<String>,
+    /// `sim --profile`.
+    profile: bool,
+    /// `sim --cycles N`.
+    cycles: u64,
+}
+
+/// Pulls every `--flag` out of the argument list, returning the parsed
+/// flags; positional arguments stay in `args`.
+fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
+    let mut flags = Flags {
+        opts: fil_build::BuildOptions::default(),
+        want_stats: false,
+        trace: None,
+        trace_summary: false,
+        vcd: None,
+        profile: false,
+        cycles: 64,
+    };
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.drain(..);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--stats" => want_stats = true,
+            "--stats" => flags.want_stats = true,
             "--jobs" | "-j" => {
                 let v = it.next().ok_or("--jobs needs a number")?;
-                opts.jobs = v.parse().map_err(|_| format!("--jobs: bad number {v:?}"))?;
+                flags.opts.jobs = v.parse().map_err(|_| format!("--jobs: bad number {v:?}"))?;
             }
             "--cache-dir" => {
                 let v = it.next().ok_or("--cache-dir needs a directory")?;
-                opts.cache_dir = Some(std::path::PathBuf::from(v));
+                flags.opts.cache_dir = Some(std::path::PathBuf::from(v));
             }
             "--cache-limit" => {
                 let v = it.next().ok_or("--cache-limit needs a size")?;
-                opts.cache_limit = Some(
+                flags.opts.cache_limit = Some(
                     parse_size(&v).ok_or_else(|| format!("--cache-limit: bad size {v:?}"))?,
                 );
+            }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a file path")?;
+                flags.trace = Some(v);
+            }
+            "--trace-summary" => flags.trace_summary = true,
+            "--vcd" => {
+                let v = it.next().ok_or("--vcd needs a file path")?;
+                flags.vcd = Some(v);
+            }
+            "--profile" => flags.profile = true,
+            "--cycles" => {
+                let v = it.next().ok_or("--cycles needs a number")?;
+                flags.cycles = v
+                    .parse()
+                    .map_err(|_| format!("--cycles: bad number {v:?}"))?;
             }
             _ => rest.push(a),
         }
     }
     drop(it);
     *args = rest;
-    Ok((opts, want_stats))
+    Ok(flags)
 }
 
-fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let (opts, want_stats) = match parse_driver_flags(&mut args) {
-        Ok(v) => v,
+/// Compiles `<file> <comp>` and simulates it with pipelined deterministic
+/// stimulus: a fresh pseudo-random transaction is launched every `delay`
+/// cycles (the initiation interval from the component's timeline
+/// signature), with the interface `go` pulsed on launch cycles.
+fn run_sim(file: &str, comp: &str, flags: &Flags) -> ExitCode {
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
         Err(e) => {
-            eprintln!("error: {e}");
-            return usage();
+            eprintln!("error: {file}: {e}");
+            return ExitCode::FAILURE;
         }
     };
-    let (cmd, file) = match (args.first(), args.get(1)) {
-        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
-        _ => return usage(),
+    let out = match fil_stdlib::build_source(&src, &flags.opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    if want_stats && cmd != "expand" && cmd != "build" {
-        eprintln!("error: --stats is only meaningful with `filament expand` or `filament build`");
-        return usage();
+    let lowered = out.lowered.expect("full builds lower every unit");
+    let netlist = match lowered.elaborate(comp) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(sig) = out.expanded.sig(comp) else {
+        eprintln!("error: unknown component {comp}");
+        return ExitCode::FAILURE;
+    };
+    let spec = match fil_harness::InterfaceSpec::from_signature(sig) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sim = match rtl_sim::Sim::new_with_jobs(&netlist, flags.opts.jobs.max(1)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.profile {
+        sim.enable_profile();
     }
-    if (opts.jobs != fil_build::BuildOptions::default().jobs
-        || opts.cache_dir.is_some()
-        || opts.cache_limit.is_some())
-        && cmd != "expand"
-        && cmd != "build"
-    {
-        eprintln!(
-            "error: --jobs/--cache-dir/--cache-limit are only meaningful with \
-             `filament expand` or `filament build`"
+    let port = |name: &str| {
+        netlist
+            .signal_by_name(name)
+            .unwrap_or_else(|| panic!("lowered netlist lost port {name}"))
+    };
+    let mut vcd = flags.vcd.as_ref().map(|_| {
+        let mut w = rtl_sim::VcdWriter::new();
+        if let Some(go) = &spec.go {
+            w.watch(go.clone(), port(go), 1);
+        }
+        for p in spec.inputs.iter().chain(&spec.outputs) {
+            w.watch(p.name.clone(), port(&p.name), p.width);
+        }
+        w
+    });
+    let delay = spec.delay.max(1);
+    // splitmix64: deterministic stimulus, stable across platforms.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let sim_start = flags.opts.trace.as_ref().map(|c| c.now_us());
+    let timer = std::time::Instant::now();
+    for cycle in 0..flags.cycles {
+        let launch = cycle % delay == 0;
+        if let Some(go) = &spec.go {
+            sim.poke(port(go), fil_bits::Value::from_u64(1, launch as u64));
+        }
+        if launch {
+            for p in &spec.inputs {
+                let mask = if p.width >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << p.width) - 1
+                };
+                sim.poke(port(&p.name), fil_bits::Value::from_u64(p.width, next() & mask));
+            }
+        }
+        if let Err(e) = sim.settle() {
+            eprintln!("error: cycle {cycle}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Some(w) = &mut vcd {
+            w.sample(&sim);
+        }
+        if let Err(e) = sim.tick() {
+            eprintln!("error: cycle {cycle}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let sim_us = timer.elapsed().as_micros() as u64;
+    if let (Some(c), Some(start)) = (&flags.opts.trace, sim_start) {
+        c.lane(0, "main").complete(
+            "sim",
+            "run",
+            start,
+            sim_us,
+            vec![("cycles", fil_trace::Arg::from(flags.cycles))],
         );
-        return usage();
     }
+    if let (Some(path), Some(w)) = (&flags.vcd, vcd) {
+        if let Err(e) = std::fs::write(path, w.finish()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "simulated {} for {} cycles ({} transactions, delay {})",
+        comp,
+        flags.cycles,
+        flags.cycles.div_ceil(delay),
+        delay
+    );
+    if flags.profile {
+        if let Some(report) = sim.profile() {
+            print!("{}", report.render());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(cmd: &str, file: &str, args: &[String], flags: &Flags) -> ExitCode {
     // `fmt` is parse-only by design: it must reformat any syntactically
     // valid program, including parametric generators whose elaboration
     // would fail (that is `check`'s job).
@@ -185,6 +366,10 @@ fn main() -> ExitCode {
             }
         };
     }
+    if cmd == "sim" {
+        let Some(comp) = args.get(2) else { return usage() };
+        return run_sim(file, comp, flags);
+    }
     // `expand` and `build` run through the build driver (per-component
     // units, session cache, worker pool). `expand` renders through the
     // shared helper — the same text the golden-corpus snapshots pin down.
@@ -197,9 +382,9 @@ fn main() -> ExitCode {
             }
         };
         if cmd == "expand" {
-            return match fil_stdlib::expand_source_opts(&src, &opts) {
+            return match fil_stdlib::expand_source_opts(&src, &flags.opts) {
                 Ok((printed, stats)) => {
-                    if want_stats {
+                    if flags.want_stats {
                         println!("{}", stats_json(&stats));
                     } else {
                         print!("{printed}");
@@ -215,11 +400,11 @@ fn main() -> ExitCode {
         // Verilog/stats only: skip materializing the expanded program.
         let opts = fil_build::BuildOptions {
             emit_expanded: false,
-            ..opts
+            ..flags.opts.clone()
         };
         return match fil_stdlib::build_source(&src, &opts) {
             Ok(out) => {
-                if want_stats {
+                if flags.want_stats {
                     println!("{}", stats_json(&out.stats));
                 } else {
                     let lowered = out.lowered.expect("full builds lower every unit");
@@ -301,4 +486,60 @@ fn main() -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut flags = match parse_flags(&mut args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let (cmd, file) = match (args.first(), args.get(1)) {
+        (Some(c), Some(f)) => (c.as_str().to_string(), f.as_str().to_string()),
+        _ => return usage(),
+    };
+    let cmd = cmd.as_str();
+    let driver_cmd = cmd == "expand" || cmd == "build" || cmd == "sim";
+    if flags.want_stats && (cmd != "expand" && cmd != "build") {
+        eprintln!("error: --stats is only meaningful with `filament expand` or `filament build`");
+        return usage();
+    }
+    if (flags.opts.jobs != fil_build::BuildOptions::default().jobs
+        || flags.opts.cache_dir.is_some()
+        || flags.opts.cache_limit.is_some()
+        || flags.trace.is_some()
+        || flags.trace_summary)
+        && !driver_cmd
+    {
+        eprintln!(
+            "error: --jobs/--cache-dir/--cache-limit/--trace are only meaningful \
+             with `filament expand`, `filament build`, or `filament sim`"
+        );
+        return usage();
+    }
+    if (flags.vcd.is_some() || flags.profile) && cmd != "sim" {
+        eprintln!("error: --vcd/--profile are only meaningful with `filament sim`");
+        return usage();
+    }
+    let collector = (flags.trace.is_some() || flags.trace_summary)
+        .then(|| Arc::new(fil_trace::Collector::new()));
+    if let Some(c) = &collector {
+        flags.opts.trace = Some(c.clone());
+    }
+    let code = run(cmd, &file, &args, &flags);
+    if let Some(c) = collector {
+        if flags.trace_summary {
+            eprint!("{}", c.summary());
+        }
+        if let Some(path) = &flags.trace {
+            if let Err(e) = std::fs::write(path, c.chrome_json()) {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    code
 }

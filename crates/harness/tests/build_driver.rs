@@ -223,7 +223,7 @@ fn cache_limit_evicts_oldest_artifacts_first() {
     let gc = build(&src_b, &limited).unwrap();
     assert_eq!(gc.stats.cache_loads, gc.stats.units, "still fully warm");
     assert_eq!(
-        gc.stats.cache_evictions,
+        gc.stats.session_cache_evictions,
         names_a.len() as u64,
         "every aged artifact evicted, nothing else"
     );
@@ -270,7 +270,7 @@ fn cache_limit_keeps_recently_used_artifacts() {
         ..opts(1, &cache)
     };
     let gc = build(&src_a, &limited).unwrap();
-    assert!(gc.stats.cache_evictions > 0, "over budget: B must go");
+    assert!(gc.stats.session_cache_evictions > 0, "over budget: B must go");
     assert_eq!(artifact_names(&cache), names_a, "used artifacts survive");
     let _ = std::fs::remove_dir_all(&cache);
 }

@@ -1,0 +1,146 @@
+//! Schema gates for the structured build tracer (`--trace`): the Chrome
+//! `trace_event` JSON the driver emits must validate (proper nesting per
+//! lane), carry **one `"X"` span per compile unit per executed phase**
+//! whose counts reconcile exactly with the driver's own `BuildStats`,
+//! and attribute worker spans to named builder lanes. A warm rebuild
+//! must trade its expand/check/lower spans for `cache-load` spans. The
+//! CLI-level test drives the installed `filament` binary end to end and
+//! also pins the `--stats` JSON contract: the `phase_us` wall-time
+//! object and the `session_cache_evictions` key (plus its deprecated
+//! `cache_evictions` alias, kept for one release).
+
+use fil_build::{fil_trace, BuildOptions};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "fil-trace-schema-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `"X"` spans with the given name (counters and metadata events carry
+/// names too, but phase names never collide with them).
+fn spans_named(json: &str, name: &str) -> u64 {
+    json.matches(&format!("\"name\":\"{name}\"")).count() as u64
+}
+
+fn traced_build(
+    src: &str,
+    jobs: usize,
+    cache: &Path,
+) -> (fil_build::BuildOutput, String) {
+    let collector = Arc::new(fil_trace::Collector::new());
+    let opts = BuildOptions {
+        jobs,
+        cache_dir: Some(cache.to_path_buf()),
+        trace: Some(collector.clone()),
+        ..BuildOptions::default()
+    };
+    let out = fil_stdlib::build_source(src, &opts).expect("build failed");
+    (out, collector.chrome_json())
+}
+
+#[test]
+fn trace_spans_reconcile_with_build_stats() {
+    let src = fil_designs::systolic::source(8, 32);
+    let cache = temp_dir("systolic");
+
+    // Cold build: every unit is expanded, checked, and lowered from
+    // source, and each of those phase executions leaves exactly one span.
+    let (cold, json) = traced_build(&src, 2, &cache);
+    let stats = fil_trace::validate_chrome_trace(&json).expect("invalid Chrome trace");
+    assert!(stats.spans > 0 && stats.events >= stats.spans);
+    assert!(cold.stats.expanded > 0, "cold build must do real work");
+    assert_eq!(spans_named(&json, "parse"), 1, "one stdlib+source parse");
+    assert_eq!(spans_named(&json, "merge"), 1, "one serial merge");
+    assert_eq!(spans_named(&json, "expand"), cold.stats.expanded);
+    assert_eq!(spans_named(&json, "check"), cold.stats.checked);
+    assert_eq!(spans_named(&json, "lower"), cold.stats.lowered);
+    assert_eq!(spans_named(&json, "cache-load"), cold.stats.cache_loads);
+    // Worker spans land on named builder lanes; serial phases on main.
+    assert!(json.contains("\"name\":\"main\""), "main lane metadata missing");
+    assert!(json.contains("\"name\":\"builder-0\""), "builder lane metadata missing");
+    // The artifact-cache counter track samples every probe.
+    assert!(stats.counters as u64 >= cold.stats.cache_misses);
+
+    // Warm rebuild from the same cache: zero compile-phase spans, one
+    // cache-load span per unit instead.
+    let (warm, json) = traced_build(&src, 2, &cache);
+    fil_trace::validate_chrome_trace(&json).expect("invalid warm-run trace");
+    assert!(warm.stats.cache_loads > 0, "warm build must hit the cache");
+    assert_eq!(warm.stats.expanded, 0);
+    assert_eq!(spans_named(&json, "expand"), 0);
+    assert_eq!(spans_named(&json, "check"), 0);
+    assert_eq!(spans_named(&json, "lower"), 0);
+    assert_eq!(spans_named(&json, "cache-load"), warm.stats.cache_loads);
+
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// `filament build --trace out.json --stats` end to end on the golden
+/// corpus entry named by the PR's acceptance criteria.
+#[test]
+fn filament_build_trace_cli_roundtrip() {
+    let out_dir = temp_dir("cli");
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let trace_path = out_dir.join("build_trace.json");
+    let cache = out_dir.join("cache");
+
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_filament"))
+        .args([
+            "build",
+            "tests/golden/systolic-8.expanded.fil",
+            "-j",
+            "2",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--stats",
+        ])
+        .output()
+        .expect("failed to spawn filament");
+    assert!(
+        output.status.success(),
+        "filament build failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let json = std::fs::read_to_string(&trace_path).expect("--trace wrote no file");
+    let stats = fil_trace::validate_chrome_trace(&json).expect("invalid Chrome trace");
+    assert!(stats.spans > 0);
+    for phase in ["expand", "check", "lower", "merge"] {
+        assert!(
+            spans_named(&json, phase) > 0,
+            "no {phase} span in CLI trace"
+        );
+    }
+
+    // The --stats JSON line: per-phase wall times plus the renamed
+    // eviction counter and its deprecated alias.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // The stats object is pretty-printed after the build's own output;
+    // the quoted keys below cannot appear in emitted Verilog.
+    let stats_line = &stdout[stdout.find('{').expect("--stats emitted no JSON")..];
+    for key in [
+        "\"phase_us\"",
+        "\"parse\"",
+        "\"expand\"",
+        "\"check\"",
+        "\"lower\"",
+        "\"merge\"",
+        "\"session_cache_evictions\"",
+        "\"cache_evictions\"",
+    ] {
+        assert!(stats_line.contains(key), "--stats JSON missing {key}: {stats_line}");
+    }
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}

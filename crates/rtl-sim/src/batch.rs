@@ -78,6 +78,10 @@ struct BatchShard {
     s_active: Vec<u64>,
     s_drv: Vec<u64>,
     s_confl: Vec<u64>,
+    /// Profiling (zero when disabled): see `ShardState` in `sim.rs`.
+    evals: u64,
+    resolves: u64,
+    rounds: u32,
 }
 
 /// The sharded batch engine.
@@ -120,6 +124,9 @@ pub struct BatchSim<'n> {
     dummy: LaneBuf,
     conflicts: Vec<LaneConflict>,
     par: Option<Box<ParBatch>>,
+    /// Profiling counters; `None` (the default) keeps the hot paths at
+    /// a single untaken branch. See [`BatchSim::enable_profile`].
+    prof: Option<Box<crate::profile::ProfState>>,
     force_full: bool,
     cycle: u64,
     settled: bool,
@@ -228,6 +235,9 @@ impl<'n> BatchSim<'n> {
                     s_active: vec![0; pw],
                     s_drv: vec![0; pw],
                     s_confl: vec![0; pw],
+                    evals: 0,
+                    resolves: 0,
+                    rounds: 0,
                 })
             })
             .collect();
@@ -311,6 +321,7 @@ impl<'n> BatchSim<'n> {
             dummy: LaneBuf::zero(1, nlanes),
             conflicts: Vec::new(),
             par,
+            prof: None,
             force_full: false,
             cycle: 0,
             settled: false,
@@ -344,6 +355,26 @@ impl<'n> BatchSim<'n> {
         self.settled = false;
     }
 
+    /// Turns on profiling, as [`Sim::enable_profile`](crate::Sim::enable_profile);
+    /// batch sims additionally track lane occupancy (which stimulus lanes
+    /// were ever poked). All counter storage is allocated here — enabled
+    /// profiling still does zero allocations per cycle.
+    pub fn enable_profile(&mut self) {
+        let cells = self.netlist.cells().len();
+        let shards = self.jobs();
+        self.prof = Some(Box::new(crate::profile::ProfState::new(
+            cells, shards, self.pw,
+        )));
+    }
+
+    /// Snapshot of the profiling counters; `None` until
+    /// [`BatchSim::enable_profile`] is called.
+    pub fn profile(&self) -> Option<crate::ProfileReport> {
+        self.prof
+            .as_ref()
+            .map(|p| crate::profile::ProfileReport::build(p, self.netlist, self.nlanes))
+    }
+
     /// Drives one lane of a top-level input for the current cycle.
     ///
     /// # Panics
@@ -358,6 +389,9 @@ impl<'n> BatchSim<'n> {
             self.netlist.signals()[idx].name
         );
         assert!(lane < self.nlanes, "lane {lane} out of range");
+        if let Some(p) = &mut self.prof {
+            p.lane_poked[lane as usize / 64] |= 1 << (lane % 64);
+        }
         let v = value.to_u64();
         if self.values[idx].get(lane) != v {
             self.values[idx].set(lane, v);
@@ -379,6 +413,11 @@ impl<'n> BatchSim<'n> {
             "poke of {} with wrong width",
             self.netlist.signals()[idx].name
         );
+        if let Some(p) = &mut self.prof {
+            for (w, o) in p.lane_poked.iter_mut().zip(&self.ones) {
+                *w |= *o;
+            }
+        }
         let v = value.to_u64();
         if (0..self.nlanes).any(|l| self.values[idx].get(l) != v) {
             self.values[idx].broadcast(v);
@@ -479,6 +518,14 @@ impl<'n> BatchSim<'n> {
                     // (registers dominate most netlists, so this trims two
                     // full plane passes off the hottest settle arm).
                     if let CellKind::Reg { .. } = self.netlist.cells()[c].kind {
+                        // The fast path skips the stamp, so count the
+                        // visit directly: reg outputs are never re-dirtied
+                        // within a settle, so this is once per settle —
+                        // the same metric as the stamp transition.
+                        if let Some(p) = &mut self.prof {
+                            p.cell_evals[c] += 1;
+                            p.shard_evals[0] += 1;
+                        }
                         let BatchSim { values, states, .. } = self;
                         changed = lanes::copy_changed(&mut values[si], &states[c][0]);
                         if self.driven[si * self.pw] != self.ones[0] {
@@ -495,8 +542,15 @@ impl<'n> BatchSim<'n> {
                     }
                     let o0 = self.flat.cout_start[c] as usize;
                     let slot = o0 + pin as usize;
-                    if self.flat.comb_out[slot] || self.cell_stamp[c] != self.pass {
+                    let first = self.cell_stamp[c] != self.pass;
+                    if self.flat.comb_out[slot] || first {
                         self.cell_stamp[c] = self.pass;
+                        if first {
+                            if let Some(p) = &mut self.prof {
+                                p.cell_evals[c] += 1;
+                                p.shard_evals[0] += 1;
+                            }
+                        }
                         let o1 = self.flat.cout_start[c + 1] as usize;
                         let BatchSim {
                             values,
@@ -540,6 +594,9 @@ impl<'n> BatchSim<'n> {
                     }
                 }
                 Driver::Assigns { start, len } => {
+                    if let Some(p) = &mut self.prof {
+                        p.assign_resolves += 1;
+                    }
                     let BatchSim {
                         netlist,
                         flat,
@@ -654,6 +711,9 @@ impl<'n> BatchSim<'n> {
                 Some(lc.lane),
             ));
         }
+        if let Some(p) = &mut self.prof {
+            p.record_settle(1);
+        }
         self.settled = true;
         Ok(())
     }
@@ -685,6 +745,10 @@ impl<'n> BatchSim<'n> {
             sstates: &par.sstates,
             more: &par.more,
             barrier: &par.barrier,
+            prof_cells: self
+                .prof
+                .as_deref_mut()
+                .map_or(std::ptr::null_mut(), |p| p.cell_evals.as_mut_ptr()),
         };
         let job = |w: usize| {
             // SAFETY: the shard ownership discipline (see ScalarCtx in sim.rs).
@@ -710,6 +774,19 @@ impl<'n> BatchSim<'n> {
                 Some(lc.lane),
             ));
         }
+        if let Some(p) = &mut self.prof {
+            let mut rounds = 1u32;
+            for (i, sc) in par.sstates.iter().enumerate() {
+                // SAFETY: workers are idle again.
+                let st = unsafe { sc.get_mut() };
+                p.shard_evals[i] += st.evals;
+                st.evals = 0;
+                p.assign_resolves += st.resolves;
+                st.resolves = 0;
+                rounds = rounds.max(st.rounds);
+            }
+            p.record_settle(rounds);
+        }
         self.settled = true;
         Ok(())
     }
@@ -727,6 +804,9 @@ impl<'n> BatchSim<'n> {
             self.tick_sharded();
         } else {
             self.tick_seq();
+        }
+        if let Some(p) = &mut self.prof {
+            p.ticks += 1;
         }
         self.cycle += 1;
         self.settled = false;
@@ -825,6 +905,9 @@ struct BatchCtx<'a> {
     sstates: &'a [SyncCell<BatchShard>],
     more: &'a AtomicBool,
     barrier: &'a Barrier,
+    /// Per-cell eval counters, or null when profiling is off. Shards own
+    /// disjoint cells, so writes never race.
+    prof_cells: *mut u64,
 }
 
 // SAFETY: disjoint shard-ownership protocol, as in sim.rs.
@@ -834,8 +917,11 @@ unsafe fn batch_worker(ctx: &BatchCtx<'_>, w: usize) {
     let plan = &ctx.plans[w];
     // SAFETY: each worker accesses only its own shard state.
     let st = unsafe { ctx.sstates[w].get_mut() };
+    let profiling = !ctx.prof_cells.is_null();
+    let mut rounds = 0u32;
     let mut sense = false;
     loop {
+        rounds += 1;
         for &sig in &st.out_changed {
             // SAFETY: owner-only write; consumers finished last round.
             unsafe { *ctx.boundary[sig as usize].get_mut() = false };
@@ -869,6 +955,14 @@ unsafe fn batch_worker(ctx: &BatchCtx<'_>, w: usize) {
                     let _ = pin;
                     // Register outputs are pure state copies — adopt from
                     // the state plane directly, as in the sequential arm.
+                    // Reg outputs are never re-dirtied by the boundary
+                    // exchange, so visit-counting matches the sequential
+                    // once-per-settle metric.
+                    if profiling {
+                        // SAFETY: shards own disjoint cells.
+                        unsafe { *ctx.prof_cells.add(c) += 1 };
+                        st.evals += 1;
+                    }
                     // SAFETY: owned signal; states are read-only in settle.
                     let dst = unsafe { &mut *ctx.values.add(si) };
                     let state = unsafe { &*ctx.states.add(c) };
@@ -887,8 +981,14 @@ unsafe fn batch_worker(ctx: &BatchCtx<'_>, w: usize) {
                     let slot = o0 + pin as usize;
                     // SAFETY: the cell is owned.
                     let stamp = unsafe { &mut *ctx.cell_stamp.add(c) };
-                    if ctx.flat.comb_out[slot] || *stamp != ctx.pass {
+                    let first = *stamp != ctx.pass;
+                    if ctx.flat.comb_out[slot] || first {
                         *stamp = ctx.pass;
+                        if profiling && first {
+                            // SAFETY: shards own disjoint cells.
+                            unsafe { *ctx.prof_cells.add(c) += 1 };
+                            st.evals += 1;
+                        }
                         let o1 = ctx.flat.cout_start[c + 1] as usize;
                         let pins = &plan.pin_enc
                             [plan.cpin_start[c] as usize..plan.cpin_start[c + 1] as usize];
@@ -940,6 +1040,9 @@ unsafe fn batch_worker(ctx: &BatchCtx<'_>, w: usize) {
                     }
                 }
                 SDriver::Assigns { start, len } => {
+                    if profiling {
+                        st.resolves += 1;
+                    }
                     if !st.conflicts.is_empty() {
                         st.conflicts.retain(|c| c.c.sig as usize != si);
                     }
@@ -1065,6 +1168,7 @@ unsafe fn batch_worker(ctx: &BatchCtx<'_>, w: usize) {
         let more = ctx.more.load(Ordering::Relaxed);
         ctx.barrier.wait(&mut sense);
         if !more {
+            st.rounds = rounds;
             break;
         }
         if w == 0 {

@@ -645,6 +645,41 @@ impl CellKind {
         }
     }
 
+    /// The variant's bare name, for profile hotspot grouping.
+    pub fn label(&self) -> &'static str {
+        use CellKind::*;
+        match self {
+            Const { .. } => "Const",
+            Add { .. } => "Add",
+            Sub { .. } => "Sub",
+            MulComb { .. } => "MulComb",
+            And { .. } => "And",
+            Or { .. } => "Or",
+            Xor { .. } => "Xor",
+            Not { .. } => "Not",
+            ShlDyn { .. } => "ShlDyn",
+            ShrDyn { .. } => "ShrDyn",
+            ShlConst { .. } => "ShlConst",
+            ShrConst { .. } => "ShrConst",
+            Eq { .. } => "Eq",
+            Lt { .. } => "Lt",
+            Ge { .. } => "Ge",
+            Mux { .. } => "Mux",
+            Slice { .. } => "Slice",
+            Concat { .. } => "Concat",
+            ZeroExt { .. } => "ZeroExt",
+            ReduceOr { .. } => "ReduceOr",
+            ReduceAnd { .. } => "ReduceAnd",
+            Clz { .. } => "Clz",
+            SBox => "SBox",
+            Reg { .. } => "Reg",
+            ShiftFsm { .. } => "ShiftFsm",
+            MultSeq { .. } => "MultSeq",
+            MultPipe { .. } => "MultPipe",
+            Dsp48 { .. } => "Dsp48",
+        }
+    }
+
     /// Verilog module name for emission.
     pub fn verilog_module(&self) -> &'static str {
         use CellKind::*;

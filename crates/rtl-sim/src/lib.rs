@@ -74,6 +74,7 @@ mod batch;
 mod cell;
 mod graph;
 mod netlist;
+mod profile;
 mod shard;
 mod sim;
 mod wave;
@@ -81,6 +82,7 @@ mod wave;
 pub use batch::BatchSim;
 pub use cell::{CellKind, CellState, AES_SBOX};
 pub use netlist::{Assign, CellId, CellInst, Netlist, NetlistError, PortDir, Signal, SignalId};
+pub use profile::ProfileReport;
 pub use sim::{Sim, SimError};
 pub use wave::{AsciiWave, VcdWriter};
 

@@ -40,6 +40,7 @@
 use crate::cell::{CellKind, CellState};
 use crate::graph::{Driver, FlatGraph};
 use crate::netlist::{Netlist, NetlistError, PortDir, SignalId};
+use crate::profile::{ProfState, ProfileReport};
 use crate::shard::{
     auto_partition, build_plans, enc_is_ext, enc_idx, normalize_partition, Barrier, Plan, Pool,
     SDriver, SyncCell, NO_GUARD,
@@ -182,6 +183,12 @@ struct ShardState {
     out_changed: Vec<u32>,
     /// Conflicts recorded by this shard during the current settle.
     conflicts: Vec<Conflict>,
+    /// Profiling (zero when disabled): cell evals and assign resolutions
+    /// this settle, and the rounds the settle took. Drained into
+    /// `ProfState` by the main thread after the pool job.
+    evals: u64,
+    resolves: u64,
+    rounds: u32,
 }
 
 /// The sharded scalar engine: plans, worker pool, and exchange state.
@@ -245,6 +252,9 @@ pub struct Sim<'n> {
     conflicts: Vec<Conflict>,
     /// The sharded engine, when constructed with more than one job.
     par: Option<Box<ParScalar>>,
+    /// Profiling counters; `None` (the default) keeps the hot paths at
+    /// a single untaken branch. See [`Sim::enable_profile`].
+    prof: Option<Box<ProfState>>,
     force_full: bool,
     cycle: u64,
     settled: bool,
@@ -328,6 +338,9 @@ impl<'n> Sim<'n> {
                         .collect(),
                     out_changed: Vec::with_capacity(p.n_boundary),
                     conflicts: Vec::new(),
+                    evals: 0,
+                    resolves: 0,
+                    rounds: 0,
                 })
             })
             .collect();
@@ -371,10 +384,30 @@ impl<'n> Sim<'n> {
             dummy: Value::zero(1),
             conflicts: Vec::new(),
             par,
+            prof: None,
             force_full: false,
             cycle: 0,
             settled: false,
         }
+    }
+
+    /// Turns on profiling: settle-round histograms, per-shard work
+    /// counts, and per-[`CellKind`] eval totals, snapshotted by
+    /// [`Sim::profile`]. All counter storage is allocated here, so even
+    /// enabled profiling does zero allocations per cycle; when never
+    /// called, the simulation paths are untouched.
+    pub fn enable_profile(&mut self) {
+        let cells = self.netlist.cells().len();
+        let shards = self.jobs();
+        self.prof = Some(Box::new(ProfState::new(cells, shards, 0)));
+    }
+
+    /// Snapshot of the profiling counters; `None` until
+    /// [`Sim::enable_profile`] is called.
+    pub fn profile(&self) -> Option<ProfileReport> {
+        self.prof
+            .as_ref()
+            .map(|p| ProfileReport::build(p, self.netlist, 1))
     }
 
     /// The current cycle count (number of clock edges so far).
@@ -513,8 +546,15 @@ impl<'n> Sim<'n> {
                     // comb-dependent pins re-evaluate, because the cell may
                     // have been evaluated (for a state-driven sibling pin)
                     // before this pin's inputs settled.
-                    if self.flat.comb_out[slot] || self.cell_stamp[c] != self.pass {
+                    let first = self.cell_stamp[c] != self.pass;
+                    if self.flat.comb_out[slot] || first {
                         self.cell_stamp[c] = self.pass;
+                        if first {
+                            if let Some(p) = &mut self.prof {
+                                p.cell_evals[c] += 1;
+                                p.shard_evals[0] += 1;
+                            }
+                        }
                         let o1 = self.flat.cout_start[c + 1] as usize;
                         let Sim {
                             values,
@@ -547,6 +587,9 @@ impl<'n> Sim<'n> {
                     self.driven[si] = true;
                 }
                 Driver::Assigns { start, len } => {
+                    if let Some(p) = &mut self.prof {
+                        p.assign_resolves += 1;
+                    }
                     let mut chosen: Option<u32> = None;
                     let mut conflict: Option<(u32, u32)> = None;
                     for k in start..start + len {
@@ -603,6 +646,9 @@ impl<'n> Sim<'n> {
         if let Some(c) = min_conflict(&self.conflicts) {
             return Err(conflict_error(self.netlist, self.cycle, c, None));
         }
+        if let Some(p) = &mut self.prof {
+            p.record_settle(1);
+        }
         self.settled = true;
         Ok(())
     }
@@ -631,6 +677,10 @@ impl<'n> Sim<'n> {
             sstates: &par.sstates,
             more: &par.more,
             barrier: &par.barrier,
+            prof_cells: self
+                .prof
+                .as_deref_mut()
+                .map_or(std::ptr::null_mut(), |p| p.cell_evals.as_mut_ptr()),
         };
         let job = |w: usize| {
             // SAFETY: the shard ownership discipline (see ScalarCtx).
@@ -651,6 +701,19 @@ impl<'n> Sim<'n> {
         if let Some(c) = best {
             return Err(conflict_error(self.netlist, self.cycle, c, None));
         }
+        if let Some(p) = &mut self.prof {
+            let mut rounds = 1u32;
+            for (i, sc) in par.sstates.iter().enumerate() {
+                // SAFETY: workers are idle again.
+                let st = unsafe { sc.get_mut() };
+                p.shard_evals[i] += st.evals;
+                st.evals = 0;
+                p.assign_resolves += st.resolves;
+                st.resolves = 0;
+                rounds = rounds.max(st.rounds);
+            }
+            p.record_settle(rounds);
+        }
         self.settled = true;
         Ok(())
     }
@@ -669,6 +732,9 @@ impl<'n> Sim<'n> {
             self.tick_sharded();
         } else {
             self.tick_seq();
+        }
+        if let Some(p) = &mut self.prof {
+            p.ticks += 1;
         }
         self.cycle += 1;
         self.settled = false;
@@ -773,6 +839,9 @@ struct ScalarCtx<'a> {
     sstates: &'a [SyncCell<ShardState>],
     more: &'a AtomicBool,
     barrier: &'a Barrier,
+    /// Per-cell eval counters, or null when profiling is off. Shards own
+    /// disjoint cells, so writes never race.
+    prof_cells: *mut u64,
 }
 
 // SAFETY: see the struct docs; all shared mutation follows the disjoint
@@ -783,8 +852,11 @@ unsafe fn scalar_worker(ctx: &ScalarCtx<'_>, w: usize) {
     let plan = &ctx.plans[w];
     // SAFETY: each worker accesses only its own shard state.
     let st = unsafe { ctx.sstates[w].get_mut() };
+    let profiling = !ctx.prof_cells.is_null();
+    let mut rounds = 0u32;
     let mut sense = false;
     loop {
+        rounds += 1;
         // --- Pass: drain owned dirty signals in topological order. ---
         for &sig in &st.out_changed {
             // SAFETY: owner-only write; consumers finished last round.
@@ -810,8 +882,14 @@ unsafe fn scalar_worker(ctx: &ScalarCtx<'_>, w: usize) {
                     let slot = o0 + pin as usize;
                     // SAFETY: the cell is owned (all outputs on this shard).
                     let stamp = unsafe { &mut *ctx.cell_stamp.add(c) };
-                    if ctx.flat.comb_out[slot] || *stamp != ctx.pass {
+                    let first = *stamp != ctx.pass;
+                    if ctx.flat.comb_out[slot] || first {
                         *stamp = ctx.pass;
+                        if profiling && first {
+                            // SAFETY: shards own disjoint cells.
+                            unsafe { *ctx.prof_cells.add(c) += 1 };
+                            st.evals += 1;
+                        }
                         let o1 = ctx.flat.cout_start[c + 1] as usize;
                         let pins = &plan.pin_enc
                             [plan.cpin_start[c] as usize..plan.cpin_start[c + 1] as usize];
@@ -846,6 +924,9 @@ unsafe fn scalar_worker(ctx: &ScalarCtx<'_>, w: usize) {
                     unsafe { *ctx.driven.add(si) = true };
                 }
                 SDriver::Assigns { start, len } => {
+                    if profiling {
+                        st.resolves += 1;
+                    }
                     if !st.conflicts.is_empty() {
                         st.conflicts.retain(|c| c.sig as usize != si);
                     }
@@ -932,6 +1013,7 @@ unsafe fn scalar_worker(ctx: &ScalarCtx<'_>, w: usize) {
         let more = ctx.more.load(Ordering::Relaxed);
         ctx.barrier.wait(&mut sense);
         if !more {
+            st.rounds = rounds;
             break;
         }
         if w == 0 {

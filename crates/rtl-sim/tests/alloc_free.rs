@@ -161,6 +161,53 @@ fn settle_and_tick_allocate_nothing_per_cycle() {
     );
 }
 
+/// The profiler pre-allocates every counter in `enable_profile()`, so
+/// even a *profiled* sim stays allocation-free per cycle — and a
+/// never-profiled sim (the default, exercised by the test above) pays
+/// only an untaken branch.
+#[test]
+fn profiled_settle_and_tick_allocate_nothing_per_cycle() {
+    let n = busy_netlist();
+    let mut sim = Sim::new(&n).unwrap();
+    sim.enable_profile();
+    let go = n.signal_by_name("go").unwrap();
+    let a = n.signal_by_name("a").unwrap();
+    let b = n.signal_by_name("b").unwrap();
+    let wide = n.signal_by_name("wide").unwrap();
+    let out = n.signal_by_name("out").unwrap();
+
+    sim.poke(go, v(1, 1));
+    sim.poke(a, v(32, 5));
+    sim.poke(b, v(32, 9));
+    sim.poke(wide, v(64, u64::MAX >> 1));
+    sim.step().unwrap();
+    sim.settle().unwrap();
+
+    let before = thread_allocs();
+    let mut acc = 0u64;
+    for t in 0..1000u64 {
+        sim.poke(go, v(1, t & 1));
+        sim.poke(a, v(32, t.wrapping_mul(0x9e37_79b9)));
+        sim.poke(b, v(32, t ^ 0xdead_beef));
+        sim.poke(wide, v(64, t.wrapping_mul(0x0123_4567_89ab_cdef)));
+        sim.settle().unwrap();
+        acc ^= sim.peek(out).to_u64();
+        sim.tick().unwrap();
+    }
+    let after = thread_allocs();
+    assert!(acc != u64::MAX);
+    assert_eq!(
+        after - before,
+        0,
+        "profiled settle/tick allocated on a ≤64-bit design"
+    );
+    let report = sim.profile().unwrap();
+    // 1000 measured cycles plus the two warmup settles (step + settle).
+    assert_eq!(report.settles, 1002);
+    assert_eq!(report.ticks, 1001);
+    assert!(report.total_evals > 0);
+}
+
 #[test]
 fn batched_settle_and_tick_allocate_nothing_per_cycle() {
     const LANES: u32 = 64;
@@ -209,4 +256,54 @@ fn batched_settle_and_tick_allocate_nothing_per_cycle() {
         0,
         "batched settle/tick allocated on a ≤64-bit design"
     );
+}
+
+/// As above, with batch profiling (including the per-lane occupancy
+/// bitmask updated on every poke) enabled.
+#[test]
+fn profiled_batched_settle_and_tick_allocate_nothing_per_cycle() {
+    const LANES: u32 = 64;
+    let n = busy_netlist();
+    let mut sim = BatchSim::new(&n, LANES).unwrap();
+    sim.enable_profile();
+    let go = n.signal_by_name("go").unwrap();
+    let a = n.signal_by_name("a").unwrap();
+    let b = n.signal_by_name("b").unwrap();
+    let wide = n.signal_by_name("wide").unwrap();
+    let out = n.signal_by_name("out").unwrap();
+
+    let poke_cycle = |sim: &mut BatchSim, t: u64| {
+        for l in 0..LANES {
+            let s = t ^ u64::from(l).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            sim.poke(go, l, v(1, s & 1));
+            sim.poke(a, l, v(32, s.wrapping_mul(0x9e37_79b9)));
+            sim.poke(b, l, v(32, s ^ 0xdead_beef));
+            sim.poke(wide, l, v(64, s.wrapping_mul(0x0123_4567_89ab_cdef)));
+        }
+    };
+    for t in 0..2u64 {
+        poke_cycle(&mut sim, t);
+        sim.step().unwrap();
+    }
+    sim.settle().unwrap();
+
+    let before = thread_allocs();
+    let mut acc = 0u64;
+    for t in 2..502u64 {
+        poke_cycle(&mut sim, t);
+        sim.settle().unwrap();
+        acc ^= sim.peek(out, (t % u64::from(LANES)) as u32).to_u64();
+        sim.tick().unwrap();
+    }
+    let after = thread_allocs();
+    assert!(acc != u64::MAX);
+    assert_eq!(
+        after - before,
+        0,
+        "profiled batched settle/tick allocated on a ≤64-bit design"
+    );
+    let report = sim.profile().unwrap();
+    assert_eq!(report.lanes, LANES);
+    assert_eq!(report.lanes_poked, LANES);
+    assert!(report.total_evals > 0);
 }

@@ -1,0 +1,84 @@
+//! Golden snapshot of the VCD waveform writer: a small registered adder
+//! driven with a fixed stimulus must produce byte-identical IEEE 1364
+//! output. Pins the header layout, identifier assignment, change-only
+//! encoding (a signal that holds its value emits nothing), and timestamp
+//! placement — the exact text `filament sim --vcd` writes.
+
+use fil_bits::Value;
+use rtl_sim::{CellKind, Netlist, Sim, VcdWriter};
+
+/// `q <= en ? d : q; s = q + d` — one register, one adder.
+fn netlist() -> Netlist {
+    let mut n = Netlist::new("regadd");
+    let en = n.add_input("en", 1);
+    let d = n.add_input("d", 8);
+    let q = n.add_signal("q", 8);
+    n.add_cell(
+        "reg",
+        CellKind::Reg { width: 8, init: 0, has_en: true },
+        vec![en, d],
+        vec![q],
+    );
+    let s = n.add_signal("s", 8);
+    n.add_cell("add", CellKind::Add { width: 8 }, vec![q, d], vec![s]);
+    n.mark_output(s);
+    n
+}
+
+const GOLDEN: &str = "\
+$timescale 1ns $end
+$scope module top $end
+$var wire 1 ! en $end
+$var wire 8 \" d $end
+$var wire 8 # q $end
+$var wire 8 $ s $end
+$upscope $end
+$enddefinitions $end
+#0
+1!
+b00000011 \"
+b00000000 #
+b00000011 $
+#1
+b00000101 \"
+b00000011 #
+b00001000 $
+#2
+0!
+b00001011 \"
+b00000101 #
+b00010000 $
+#3
+1!
+b00000111 \"
+b00001100 $
+#4
+b00000010 \"
+b00000111 #
+b00001001 $
+";
+
+#[test]
+fn vcd_writer_matches_golden_snapshot() {
+    let n = netlist();
+    let mut sim = Sim::new(&n).unwrap();
+    let en = n.signal_by_name("en").unwrap();
+    let d = n.signal_by_name("d").unwrap();
+    let mut vcd = VcdWriter::new();
+    vcd.watch("en", en, 1);
+    vcd.watch("d", d, 8);
+    vcd.watch("q", n.signal_by_name("q").unwrap(), 8);
+    vcd.watch("s", n.signal_by_name("s").unwrap(), 8);
+
+    // (en, d) per cycle: cycle 2 disables the register (q holds), cycle 4
+    // re-drives d only — q emits, en does not (change-only encoding).
+    let stim: [(u64, u64); 5] = [(1, 3), (1, 5), (0, 11), (1, 7), (1, 2)];
+    for (en_v, d_v) in stim {
+        sim.poke(en, Value::from_u64(1, en_v));
+        sim.poke(d, Value::from_u64(8, d_v));
+        sim.settle().unwrap();
+        vcd.sample(&sim);
+        sim.tick().unwrap();
+    }
+    assert_eq!(vcd.finish(), GOLDEN);
+}

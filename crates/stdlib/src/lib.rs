@@ -260,7 +260,7 @@ pub fn expand_source_opts(
     user_src: &str,
     opts: &fil_build::BuildOptions,
 ) -> Result<(String, fil_build::BuildStats), LoadError> {
-    let raw = with_stdlib_raw(user_src)?;
+    let raw = timed_parse(user_src, opts)?;
     // Same salt as [`build_source`], so expand sessions reuse full-build
     // artifacts (ignoring their lowered half) and vice versa (a full build
     // treats an expand-only artifact as a miss and upgrades it in place).
@@ -268,7 +268,8 @@ pub fn expand_source_opts(
         salt: "std".into(),
         ..opts.clone()
     };
-    let out = fil_build::expand_program(&raw, &opts)?;
+    let mut out = fil_build::expand_program(&raw.program, &opts)?;
+    out.stats.phase.parse_us = raw.parse_us;
     let std_names: std::collections::HashSet<String> = std_program()
         .externs
         .into_iter()
@@ -304,12 +305,34 @@ pub fn build_source(
     user_src: &str,
     opts: &fil_build::BuildOptions,
 ) -> Result<fil_build::BuildOutput, LoadError> {
-    let raw = with_stdlib_raw(user_src)?;
+    let raw = timed_parse(user_src, opts)?;
     let opts = fil_build::BuildOptions {
         salt: "std".into(),
         ..opts.clone()
     };
-    Ok(fil_build::build_program(&raw, &StdRegistry, &opts)?)
+    let mut out = fil_build::build_program(&raw.program, &StdRegistry, &opts)?;
+    out.stats.phase.parse_us = raw.parse_us;
+    Ok(out)
+}
+
+/// Source + stdlib parse, timed into [`fil_build::PhaseTimes::parse_us`]
+/// and (when tracing) recorded as a `parse` span on the main lane —
+/// parsing happens before the driver exists, so the driver can't time it.
+struct TimedParse {
+    program: Program,
+    parse_us: u64,
+}
+
+fn timed_parse(user_src: &str, opts: &fil_build::BuildOptions) -> Result<TimedParse, LoadError> {
+    let start = opts.trace.as_ref().map(|c| c.now_us());
+    let timer = std::time::Instant::now();
+    let program = with_stdlib_raw(user_src)?;
+    let parse_us = timer.elapsed().as_micros() as u64;
+    if let (Some(c), Some(start)) = (&opts.trace, start) {
+        c.lane(0, "main")
+            .complete("build", "parse", start, parse_us, Vec::new());
+    }
+    Ok(TimedParse { program, parse_us })
 }
 
 /// Maps the standard library externs onto simulator cells.

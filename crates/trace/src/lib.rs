@@ -1,0 +1,667 @@
+//! Zero-dependency structured tracing for the build driver and simulator.
+//!
+//! A [`Collector`] owns a wall-clock epoch and a lock-sharded sink of
+//! per-lane event buffers. Each worker thread opens a [`Lane`] (an
+//! unsynchronized local buffer, flushed into the collector when dropped)
+//! and records RAII [`Span`] timers, [`Lane::counter`] samples, and
+//! instant markers. The collector renders two views:
+//!
+//! * [`Collector::chrome_json`] — Chrome `trace_event` JSON, loadable in
+//!   Perfetto or `chrome://tracing`: one timeline row per lane, `"X"`
+//!   complete-span events with microsecond `ts`/`dur`, `"C"` counter
+//!   tracks, and `"M"` metadata naming each row.
+//! * [`Collector::summary`] — a hierarchical plain-text digest
+//!   (category → span name → count/total/mean/max) for terminal use.
+//!
+//! The container this project builds in is offline, so the JSON is
+//! hand-rolled (like `calyx_lite::serial`) rather than pulled from
+//! `serde`, and there is no `tracing` dependency. The [`json`] module
+//! holds the matching mini-parser used by schema tests and
+//! [`validate_chrome_trace`].
+//!
+//! Timestamps are microseconds since the collector's construction; all
+//! events carry `pid: 1` and the lane's `tid`, so spans recorded by
+//! different worker lanes land on separate rows.
+
+pub mod json;
+
+use std::cell::RefCell;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A span/counter argument value: rendered into the `"args"` object of
+/// the corresponding Chrome trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    U64(u64),
+    Str(String),
+}
+
+impl From<u64> for Arg {
+    fn from(v: u64) -> Self {
+        Arg::U64(v)
+    }
+}
+
+impl From<&str> for Arg {
+    fn from(v: &str) -> Self {
+        Arg::Str(v.to_string())
+    }
+}
+
+impl From<String> for Arg {
+    fn from(v: String) -> Self {
+        Arg::Str(v)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    /// A closed span: `ph: "X"` with `ts` + `dur` in microseconds.
+    Complete {
+        cat: &'static str,
+        name: String,
+        ts: u64,
+        dur: u64,
+        args: Vec<(&'static str, Arg)>,
+    },
+    /// A counter sample: `ph: "C"`, one series value per key.
+    Counter {
+        cat: &'static str,
+        name: &'static str,
+        ts: u64,
+        series: Vec<(&'static str, u64)>,
+    },
+    /// A zero-duration marker: `ph: "i"`.
+    Instant {
+        cat: &'static str,
+        name: String,
+        ts: u64,
+    },
+}
+
+impl Event {
+    fn ts(&self) -> u64 {
+        match self {
+            Event::Complete { ts, .. } | Event::Counter { ts, .. } | Event::Instant { ts, .. } => {
+                *ts
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LaneRecord {
+    tid: u32,
+    name: String,
+    events: Vec<Event>,
+}
+
+/// The shared sink: an epoch for timestamps plus the flushed lane
+/// buffers. Cheap to share (`Arc<Collector>`) across worker threads —
+/// lanes only take the lock once, when they flush on drop.
+#[derive(Debug)]
+pub struct Collector {
+    epoch: Instant,
+    lanes: Mutex<Vec<LaneRecord>>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    pub fn new() -> Self {
+        Collector {
+            epoch: Instant::now(),
+            lanes: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Microseconds since this collector was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Opens a buffered event lane. `tid` picks the timeline row in the
+    /// Chrome trace; `name` labels it (first name registered for a tid
+    /// wins). The lane buffers locally and flushes on drop.
+    pub fn lane(&self, tid: u32, name: impl Into<String>) -> Lane<'_> {
+        Lane {
+            collector: self,
+            tid,
+            name: name.into(),
+            buf: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn flush(&self, record: LaneRecord) {
+        if record.events.is_empty() {
+            return;
+        }
+        self.lanes.lock().unwrap().push(record);
+    }
+
+    /// Renders every flushed event as Chrome `trace_event` JSON
+    /// (`{"traceEvents": [...]}`), sorted by timestamp, with one `"M"`
+    /// thread-name metadata event per distinct lane id.
+    pub fn chrome_json(&self) -> String {
+        let lanes = self.lanes.lock().unwrap();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        // One metadata row per tid; the first flushed name wins.
+        let mut named: Vec<u32> = Vec::new();
+        for lane in lanes.iter() {
+            if named.contains(&lane.tid) {
+                continue;
+            }
+            named.push(lane.tid);
+            sep(&mut out, &mut first);
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":",
+                lane.tid
+            ));
+            escape_into(&mut out, &lane.name);
+            out.push_str("}}");
+        }
+        // Merge all lanes, stably sorted by timestamp so the file reads
+        // chronologically and renders deterministically.
+        let mut events: Vec<(u32, &Event)> = lanes
+            .iter()
+            .flat_map(|l| l.events.iter().map(move |e| (l.tid, e)))
+            .collect();
+        events.sort_by_key(|(_, e)| e.ts());
+        for (tid, event) in events {
+            sep(&mut out, &mut first);
+            match event {
+                Event::Complete {
+                    cat,
+                    name,
+                    ts,
+                    dur,
+                    args,
+                } => {
+                    out.push_str(&format!("{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"cat\":\"{cat}\",\"name\":"));
+                    escape_into(&mut out, name);
+                    out.push_str(&format!(",\"ts\":{ts},\"dur\":{dur}"));
+                    if !args.is_empty() {
+                        out.push_str(",\"args\":{");
+                        for (i, (k, v)) in args.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            escape_into(&mut out, k);
+                            out.push(':');
+                            match v {
+                                Arg::U64(n) => out.push_str(&n.to_string()),
+                                Arg::Str(s) => escape_into(&mut out, s),
+                            }
+                        }
+                        out.push('}');
+                    }
+                    out.push('}');
+                }
+                Event::Counter {
+                    cat,
+                    name,
+                    ts,
+                    series,
+                } => {
+                    out.push_str(&format!(
+                        "{{\"ph\":\"C\",\"pid\":1,\"tid\":{tid},\"cat\":\"{cat}\",\"name\":\"{name}\",\"ts\":{ts},\"args\":{{"
+                    ));
+                    for (i, (k, v)) in series.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        escape_into(&mut out, k);
+                        out.push_str(&format!(":{v}"));
+                    }
+                    out.push_str("}}");
+                }
+                Event::Instant { cat, name, ts } => {
+                    out.push_str(&format!("{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"cat\":\"{cat}\",\"name\":"));
+                    escape_into(&mut out, name);
+                    out.push_str(&format!(",\"ts\":{ts},\"s\":\"t\"}}"));
+                }
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Renders a hierarchical plain-text digest: spans grouped by
+    /// category then name (count / total / mean / max wall time, sorted
+    /// by total descending), followed by the final value of every
+    /// counter series.
+    pub fn summary(&self) -> String {
+        struct Agg {
+            cat: &'static str,
+            name: String,
+            count: u64,
+            total: u64,
+            max: u64,
+        }
+        let lanes = self.lanes.lock().unwrap();
+        let mut aggs: Vec<Agg> = Vec::new();
+        // (cat, counter name, key) -> (latest ts, value)
+        let mut counters: Vec<(&'static str, &'static str, &'static str, u64, u64)> = Vec::new();
+        for lane in lanes.iter() {
+            for event in &lane.events {
+                match event {
+                    Event::Complete { cat, name, dur, .. } => {
+                        match aggs.iter_mut().find(|a| a.cat == *cat && a.name == *name) {
+                            Some(a) => {
+                                a.count += 1;
+                                a.total += dur;
+                                a.max = a.max.max(*dur);
+                            }
+                            None => aggs.push(Agg {
+                                cat,
+                                name: name.clone(),
+                                count: 1,
+                                total: *dur,
+                                max: *dur,
+                            }),
+                        }
+                    }
+                    Event::Counter {
+                        cat, name, ts, series, ..
+                    } => {
+                        for (key, value) in series {
+                            match counters
+                                .iter_mut()
+                                .find(|(c, n, k, ..)| c == cat && n == name && k == key)
+                            {
+                                Some(slot) if slot.3 <= *ts => {
+                                    slot.3 = *ts;
+                                    slot.4 = *value;
+                                }
+                                Some(_) => {}
+                                None => counters.push((cat, name, key, *ts, *value)),
+                            }
+                        }
+                    }
+                    Event::Instant { .. } => {}
+                }
+            }
+        }
+        aggs.sort_by(|a, b| {
+            a.cat
+                .cmp(b.cat)
+                .then(b.total.cmp(&a.total))
+                .then(a.name.cmp(&b.name))
+        });
+        let ms = |us: u64| us as f64 / 1e3;
+        let mut out = String::new();
+        out.push_str("span totals (category / name):\n");
+        let mut last_cat = "";
+        for a in &aggs {
+            if a.cat != last_cat {
+                last_cat = a.cat;
+                out.push_str(&format!(
+                    "  {:<14} {:>6} {:>12} {:>12} {:>12}\n",
+                    a.cat, "count", "total", "mean", "max"
+                ));
+            }
+            out.push_str(&format!(
+                "    {:<12} {:>6} {:>10.3}ms {:>10.3}ms {:>10.3}ms\n",
+                a.name,
+                a.count,
+                ms(a.total),
+                ms(a.total) / a.count as f64,
+                ms(a.max)
+            ));
+        }
+        if aggs.is_empty() {
+            out.push_str("    (no spans recorded)\n");
+        }
+        if !counters.is_empty() {
+            out.push_str("counters (final values):\n");
+            for (cat, name, key, _, value) in &counters {
+                out.push_str(&format!("    {cat}/{name}.{key} = {value}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+/// JSON-escapes `s` (with surrounding quotes) into `out`.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A per-thread event buffer tied to one timeline row. Recording is
+/// unsynchronized (a `RefCell` push); the buffer flushes into the
+/// collector's sink when the lane drops.
+#[derive(Debug)]
+pub struct Lane<'c> {
+    collector: &'c Collector,
+    tid: u32,
+    name: String,
+    buf: RefCell<Vec<Event>>,
+}
+
+impl<'c> Lane<'c> {
+    /// Microseconds since the owning collector's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.collector.now_us()
+    }
+
+    /// Opens an RAII span: the event is recorded (with the measured
+    /// duration) when the returned guard drops — including on early
+    /// `?` returns, so failed phases still show up in the timeline.
+    pub fn span(&self, cat: &'static str, name: impl Into<String>) -> Span<'_, 'c> {
+        Span {
+            lane: self,
+            cat,
+            name: name.into(),
+            start: self.now_us(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Records an explicitly-timed span, for phases whose start predates
+    /// the lane (e.g. parse time measured before tracing hooks exist).
+    pub fn complete(
+        &self,
+        cat: &'static str,
+        name: impl Into<String>,
+        start_us: u64,
+        dur_us: u64,
+        args: Vec<(&'static str, Arg)>,
+    ) {
+        self.buf.borrow_mut().push(Event::Complete {
+            cat,
+            name: name.into(),
+            ts: start_us,
+            dur: dur_us,
+            args,
+        });
+    }
+
+    /// Records a zero-duration marker.
+    pub fn instant(&self, cat: &'static str, name: impl Into<String>) {
+        let ts = self.now_us();
+        self.buf.borrow_mut().push(Event::Instant {
+            cat,
+            name: name.into(),
+            ts,
+        });
+    }
+
+    /// Records one sample of a multi-series counter track.
+    pub fn counter(&self, cat: &'static str, name: &'static str, series: &[(&'static str, u64)]) {
+        let ts = self.now_us();
+        self.buf.borrow_mut().push(Event::Counter {
+            cat,
+            name,
+            ts,
+            series: series.to_vec(),
+        });
+    }
+}
+
+impl Drop for Lane<'_> {
+    fn drop(&mut self) {
+        self.collector.flush(LaneRecord {
+            tid: self.tid,
+            name: std::mem::take(&mut self.name),
+            events: std::mem::take(&mut self.buf).into_inner(),
+        });
+    }
+}
+
+/// RAII span guard returned by [`Lane::span`]; records a `"X"` complete
+/// event with the measured duration when dropped.
+#[derive(Debug)]
+pub struct Span<'l, 'c> {
+    lane: &'l Lane<'c>,
+    cat: &'static str,
+    name: String,
+    start: u64,
+    args: Vec<(&'static str, Arg)>,
+}
+
+impl Span<'_, '_> {
+    /// Attaches a key/value argument (builder-style).
+    pub fn arg(mut self, key: &'static str, value: impl Into<Arg>) -> Self {
+        self.args.push((key, value.into()));
+        self
+    }
+}
+
+impl Drop for Span<'_, '_> {
+    fn drop(&mut self) {
+        let end = self.lane.now_us();
+        self.lane.buf.borrow_mut().push(Event::Complete {
+            cat: self.cat,
+            name: std::mem::take(&mut self.name),
+            ts: self.start,
+            dur: end.saturating_sub(self.start),
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+/// Aggregate facts about a validated Chrome trace, for tests and CI.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events of any phase.
+    pub events: usize,
+    /// `"X"` complete spans.
+    pub spans: usize,
+    /// `"C"` counter samples.
+    pub counters: usize,
+    /// Deepest span nesting observed on any one lane.
+    pub max_depth: usize,
+}
+
+/// Parses `text` as Chrome `trace_event` JSON and checks the schema this
+/// crate emits: a `traceEvents` array whose events carry `ph`/`name`/
+/// `ts`, spans carry `dur`, and — the structural invariant — spans on
+/// one lane either nest properly or are disjoint (a span may not
+/// straddle the boundary of an enclosing span).
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Json::as_arr)
+        .ok_or("missing \"traceEvents\" array")?;
+    let mut stats = TraceStats {
+        events: events.len(),
+        ..TraceStats::default()
+    };
+    // (ts, end, name) per recorded span, grouped per tid.
+    type LaneSpans = Vec<(u64, u64, String)>;
+    let mut lanes: Vec<(u64, LaneSpans)> = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let field = |key: &str| {
+            event
+                .get(key)
+                .ok_or_else(|| format!("event {i}: missing \"{key}\""))
+        };
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: \"ph\" is not a string"))?;
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: \"name\" is not a string"))?;
+        match ph {
+            "X" => {
+                let tid = field("tid")?
+                    .as_u64()
+                    .ok_or_else(|| format!("event {i}: bad \"tid\""))?;
+                let ts = field("ts")?
+                    .as_u64()
+                    .ok_or_else(|| format!("event {i}: bad \"ts\""))?;
+                let dur = field("dur")?
+                    .as_u64()
+                    .ok_or_else(|| format!("event {i}: bad \"dur\""))?;
+                stats.spans += 1;
+                match lanes.iter_mut().find(|(t, _)| *t == tid) {
+                    Some((_, spans)) => spans.push((ts, ts + dur, name.to_string())),
+                    None => lanes.push((tid, vec![(ts, ts + dur, name.to_string())])),
+                }
+            }
+            "C" => {
+                field("ts")?
+                    .as_u64()
+                    .ok_or_else(|| format!("event {i}: bad \"ts\""))?;
+                stats.counters += 1;
+            }
+            "i" | "M" => {}
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+    for (tid, mut spans) in lanes {
+        // Chronological, outermost-first at equal start times.
+        spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut stack: Vec<u64> = Vec::new();
+        for (ts, end, name) in &spans {
+            while stack.last().is_some_and(|&open_end| *ts >= open_end) {
+                stack.pop();
+            }
+            if let Some(&open_end) = stack.last() {
+                if *end > open_end {
+                    return Err(format!(
+                        "lane {tid}: span {name:?} [{ts}, {end}] straddles the end of its \
+                         enclosing span (at {open_end}) without nesting"
+                    ));
+                }
+            }
+            stack.push(*end);
+            stats.max_depth = stats.max_depth.max(stack.len());
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_counters_render_and_validate() {
+        let c = Collector::new();
+        {
+            let lane = c.lane(1, "worker-0");
+            {
+                let _outer = lane.span("build", "expand").arg("unit", "Sys8");
+                let _inner = lane.span("build", "check");
+                // Give the spans measurable extent so nesting depth is
+                // observable at microsecond resolution.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            lane.counter("build", "artifact-cache", &[("loads", 3), ("misses", 1)]);
+            lane.instant("build", "gc");
+        }
+        let json = c.chrome_json();
+        let stats = validate_chrome_trace(&json).expect("emitted trace validates");
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.counters, 1);
+        assert_eq!(stats.max_depth, 2, "check nests inside expand");
+        // The metadata row names the lane.
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"worker-0\""));
+        assert!(json.contains("\"unit\":\"Sys8\""));
+    }
+
+    #[test]
+    fn summary_groups_by_category_and_name() {
+        let c = Collector::new();
+        {
+            let lane = c.lane(0, "main");
+            lane.complete("build", "parse", 0, 1500, vec![]);
+            lane.complete("build", "parse", 10, 500, vec![]);
+            lane.complete("sim", "settle", 0, 10, vec![]);
+            lane.counter("build", "artifact-cache", &[("loads", 7)]);
+        }
+        let s = c.summary();
+        assert!(s.contains("parse"), "summary lists span names: {s}");
+        assert!(s.contains("2"), "parse ran twice: {s}");
+        assert!(s.contains("build/artifact-cache.loads = 7"), "{s}");
+    }
+
+    #[test]
+    fn explicit_complete_spans_survive_early_drop() {
+        let c = Collector::new();
+        {
+            let lane = c.lane(2, "w");
+            let span = lane.span("unit", "expand");
+            drop(span); // simulates an early `?` return — still recorded
+        }
+        let stats = validate_chrome_trace(&c.chrome_json()).unwrap();
+        assert_eq!(stats.spans, 1);
+    }
+
+    #[test]
+    fn overlapping_spans_fail_validation() {
+        // Hand-built malformed trace: two spans on one lane overlap
+        // without nesting.
+        let bad = r#"{"traceEvents":[
+            {"ph":"X","pid":1,"tid":1,"name":"a","ts":0,"dur":10},
+            {"ph":"X","pid":1,"tid":1,"name":"b","ts":5,"dur":10}
+        ]}"#;
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("straddles"), "{err}");
+        // The same pair on different lanes is fine.
+        let ok = r#"{"traceEvents":[
+            {"ph":"X","pid":1,"tid":1,"name":"a","ts":0,"dur":10},
+            {"ph":"X","pid":1,"tid":2,"name":"b","ts":5,"dur":10}
+        ]}"#;
+        assert!(validate_chrome_trace(ok).is_ok());
+    }
+
+    #[test]
+    fn lanes_flush_concurrently() {
+        let c = std::sync::Arc::new(Collector::new());
+        std::thread::scope(|scope| {
+            for w in 0..4u32 {
+                let c = &c;
+                scope.spawn(move || {
+                    let lane = c.lane(w + 1, format!("worker-{w}"));
+                    for i in 0..10u64 {
+                        let _s = lane.span("t", format!("job-{i}"));
+                    }
+                });
+            }
+        });
+        let stats = validate_chrome_trace(&c.chrome_json()).unwrap();
+        assert_eq!(stats.spans, 40);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let c = Collector::new();
+        {
+            let lane = c.lane(0, "quote\"back\\slash");
+            lane.complete("cat", "name\nwith\tctrl", 0, 1, vec![("k", Arg::from("v\"x"))]);
+        }
+        let json = c.chrome_json();
+        validate_chrome_trace(&json).expect("escaped output still parses");
+    }
+}

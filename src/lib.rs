@@ -47,6 +47,8 @@
 //! * [`sim`] — the structural netlist and cycle-accurate simulator,
 //! * [`bits`] — arbitrary-width two-state values,
 //! * [`solver`] — difference-logic entailment for interval obligations,
+//! * [`trace`] — structured spans, counters, and Chrome-trace timelines
+//!   for the driver and simulator (`--trace` / `--profile`),
 //! * [`harness`] — interval-exact driving, latency discovery, fuzzing
 //!   (Section 7.1),
 //! * [`area`] — the LUT/DSP/register and f_max model (Table 2),
@@ -63,6 +65,7 @@ pub use fil_designs as designs;
 pub use fil_harness as harness;
 pub use fil_solver as solver;
 pub use fil_stdlib as stdlib;
+pub use fil_trace as trace;
 pub use filament_core as lang;
 pub use rtl_sim as sim;
 
