@@ -219,7 +219,9 @@ fn pack_lanes(chunk: &[u8]) -> Value {
     let width = 8 * chunk.len() as u32;
     let mut v = Value::zero(width);
     for (i, &px) in chunk.iter().enumerate() {
-        v = v.or(&Value::from_u64(8, px as u64).resize(width).shl(8 * i as u32));
+        v = v.or(&Value::from_u64(8, px as u64)
+            .resize(width)
+            .shl(8 * i as u32));
     }
     v
 }

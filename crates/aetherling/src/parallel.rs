@@ -306,11 +306,7 @@ pub fn generate(kernel: Kernel, lanes: u32) -> Netlist {
                 );
                 let blur10 = g.zext(8, 10, blur);
                 let diff = g.cell1("sub", CellKind::Sub { width: 10 }, vec![twoc, blur10]);
-                let underflow = g.cell1(
-                    "lt",
-                    CellKind::Lt { width: 10 },
-                    vec![twoc, blur10],
-                );
+                let underflow = g.cell1("lt", CellKind::Lt { width: 10 }, vec![twoc, blur10]);
                 let zero10 = g.konst(10, 0);
                 let floored = g.cell1(
                     "floor",
@@ -318,11 +314,7 @@ pub fn generate(kernel: Kernel, lanes: u32) -> Netlist {
                     vec![underflow, diff, zero10],
                 );
                 let k255 = g.konst(10, 255);
-                let overflow = g.cell1(
-                    "gt",
-                    CellKind::Ge { width: 10 },
-                    vec![floored, k255],
-                );
+                let overflow = g.cell1("gt", CellKind::Ge { width: 10 }, vec![floored, k255]);
                 let capped = g.cell1(
                     "cap",
                     CellKind::Mux { width: 10 },

@@ -159,11 +159,7 @@ pub fn generate(kernel: Kernel, n: u32) -> Netlist {
             .collect()
     } else {
         // One kernel row per slot; the row containing lag 0 at cycle 2.
-        vec![
-            (1, vec![10, 9, 8]),
-            (2, vec![2, 1, 0]),
-            (0, vec![6, 5, 4]),
-        ]
+        vec![(1, vec![10, 9, 8]), (2, vec![2, 1, 0]), (0, vec![6, 5, 4])]
     };
     let bug_slot_cycle: u32 = if n == 9 { 5 } else { 2 };
 
@@ -217,7 +213,11 @@ pub fn generate(kernel: Kernel, n: u32) -> Netlist {
     let acc = g.sig("acc", 12);
     let is1 = is_phase(&mut g, 1 % n);
     let zero12 = g.konst(12, 0);
-    let acc_base = g.cell1("accbase", CellKind::Mux { width: 12 }, vec![is1, acc, zero12]);
+    let acc_base = g.cell1(
+        "accbase",
+        CellKind::Mux { width: 12 },
+        vec![is1, acc, zero12],
+    );
     let acc_next = g.cell1("accadd", CellKind::Add { width: 12 }, vec![acc_base, prod]);
     g.fresh += 1;
     g.n.add_cell(

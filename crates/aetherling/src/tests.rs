@@ -154,9 +154,8 @@ fn one_ninth_design_needs_input_held_six_cycles() {
     let claimed = discover_latency(&netlist, &point.claimed_spec(), &inputs, &expected, 40, 9)
         .expect("harness ran");
     assert_eq!(claimed, None, "claimed 1-cycle input interval is a lie");
-    let corrected =
-        discover_latency(&netlist, &point.corrected_spec(), &inputs, &expected, 40, 9)
-            .expect("harness ran");
+    let corrected = discover_latency(&netlist, &point.corrected_spec(), &inputs, &expected, 40, 9)
+        .expect("harness ran");
     assert_eq!(corrected, Some(21));
 }
 

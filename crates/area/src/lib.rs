@@ -276,11 +276,7 @@ impl fmt::Display for SynthesisReport {
         write!(
             f,
             "{:<18} {:>6} {:>5} {:>10} {:>10.1}",
-            self.name,
-            self.resources.luts,
-            self.resources.dsps,
-            self.resources.regs,
-            self.fmax_mhz
+            self.name, self.resources.luts, self.resources.dsps, self.resources.regs, self.fmax_mhz
         )
     }
 }
@@ -298,14 +294,22 @@ mod tests {
         let q1 = n.add_signal("q1", width);
         n.add_cell(
             "r0",
-            CellKind::Reg { width, init: 0, has_en: false },
+            CellKind::Reg {
+                width,
+                init: 0,
+                has_en: false,
+            },
             vec![x],
             vec![q0],
         );
         n.add_cell("a", CellKind::Add { width }, vec![q0, q0], vec![sum]);
         n.add_cell(
             "r1",
-            CellKind::Reg { width, init: 0, has_en: false },
+            CellKind::Reg {
+                width,
+                init: 0,
+                has_en: false,
+            },
             vec![sum],
             vec![q1],
         );
@@ -331,7 +335,11 @@ mod tests {
         let q0 = n.add_signal("q0", 16);
         n.add_cell(
             "r0",
-            CellKind::Reg { width: 16, init: 0, has_en: false },
+            CellKind::Reg {
+                width: 16,
+                init: 0,
+                has_en: false,
+            },
             vec![x],
             vec![q0],
         );
@@ -342,7 +350,11 @@ mod tests {
         let q1 = n.add_signal("q1", 16);
         n.add_cell(
             "r1",
-            CellKind::Reg { width: 16, init: 0, has_en: false },
+            CellKind::Reg {
+                width: 16,
+                init: 0,
+                has_en: false,
+            },
             vec![s2],
             vec![q1],
         );
@@ -358,20 +370,33 @@ mod tests {
         let q0 = n.add_signal("q0", 8);
         n.add_cell(
             "r0",
-            CellKind::Reg { width: 8, init: 0, has_en: false },
+            CellKind::Reg {
+                width: 8,
+                init: 0,
+                has_en: false,
+            },
             vec![x],
             vec![q0],
         );
         let mut cur = q0;
         for i in 0..4 {
             let s = n.add_signal(format!("s{i}"), 8);
-            n.add_cell(format!("a{i}"), CellKind::Add { width: 8 }, vec![cur, cur], vec![s]);
+            n.add_cell(
+                format!("a{i}"),
+                CellKind::Add { width: 8 },
+                vec![cur, cur],
+                vec![s],
+            );
             cur = s;
         }
         let q1 = n.add_signal("q1", 8);
         n.add_cell(
             "r1",
-            CellKind::Reg { width: 8, init: 0, has_en: false },
+            CellKind::Reg {
+                width: 8,
+                init: 0,
+                has_en: false,
+            },
             vec![cur],
             vec![q1],
         );
@@ -389,14 +414,20 @@ mod tests {
         let z = n.add_signal("z", 16);
         n.add_cell(
             "k",
-            CellKind::Const { value: fil_bits::Value::zero(16) },
+            CellKind::Const {
+                value: fil_bits::Value::zero(16),
+            },
             vec![],
             vec![z],
         );
         let p = n.add_signal("p", 16);
         n.add_cell(
             "d",
-            CellKind::Dsp48 { width: 16, use_c: false, use_pcin: true },
+            CellKind::Dsp48 {
+                width: 16,
+                use_c: false,
+                use_pcin: true,
+            },
             vec![a, a, z, z],
             vec![p],
         );
@@ -411,7 +442,14 @@ mod tests {
     fn resource_counting() {
         let n = reg_add_reg(8);
         let r = resources(&n);
-        assert_eq!(r, Resources { luts: 8, dsps: 0, regs: 2 });
+        assert_eq!(
+            r,
+            Resources {
+                luts: 8,
+                dsps: 0,
+                regs: 2
+            }
+        );
     }
 
     #[test]
@@ -433,7 +471,10 @@ mod tests {
         let o = n.add_signal("o", 16);
         n.add_cell(
             "m",
-            CellKind::MultPipe { width: 16, latency: 3 },
+            CellKind::MultPipe {
+                width: 16,
+                latency: 3,
+            },
             vec![a, a],
             vec![o],
         );
@@ -445,7 +486,10 @@ mod tests {
         let o2 = n2.add_signal("o", 16);
         n2.add_cell(
             "m",
-            CellKind::MultPipe { width: 16, latency: 5 },
+            CellKind::MultPipe {
+                width: 16,
+                latency: 5,
+            },
             vec![a2, a2],
             vec![o2],
         );

@@ -15,7 +15,10 @@ fn bench_compile(c: &mut Criterion) {
     }
     // Ablation: type checking alone vs the full pipeline.
     let src = fil_designs::fp_add::source(fil_designs::fp_add::Style::Pipelined);
-    let program = fil_stdlib::with_stdlib(&src).unwrap();
+    let program = fil_stdlib::build(&fil_build::BuildRequest::new(src.as_str()))
+        .unwrap()
+        .expanded
+        .expect("expanded is on by default");
     g.bench_function("check_only_fp_add", |b| {
         b.iter(|| filament_core::check_program(std::hint::black_box(&program)))
     });

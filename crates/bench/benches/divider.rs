@@ -8,8 +8,16 @@ fn bench_divider(c: &mut Criterion) {
     let mut g = c.benchmark_group("divider");
     g.sample_size(10);
     let designs = [
-        ("pipelined_ii1", fil_designs::divider::pipelined_source(), "DivPipe"),
-        ("iterative_ii8", fil_designs::divider::iterative_source(), "DivIter"),
+        (
+            "pipelined_ii1",
+            fil_designs::divider::pipelined_source(),
+            "DivPipe",
+        ),
+        (
+            "iterative_ii8",
+            fil_designs::divider::iterative_source(),
+            "DivIter",
+        ),
     ];
     let inputs: Vec<Vec<Value>> = (0..32u64)
         .map(|i| {

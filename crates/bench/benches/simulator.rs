@@ -11,11 +11,11 @@ fn bench_sim(c: &mut Criterion) {
     let cycles = 1000u64;
     g.throughput(Throughput::Elements(cycles));
 
-    let program =
-        fil_stdlib::with_stdlib(&fil_designs::alu::source(fil_designs::alu::ALU_PIPELINED))
-            .unwrap();
-    let (alu, _) =
-        fil_harness::compile_for_test(&program, "ALU", &fil_stdlib::StdRegistry).unwrap();
+    let (alu, _) = fil_harness::compile_request(
+        &fil_build::BuildRequest::new(fil_designs::alu::source(fil_designs::alu::ALU_PIPELINED))
+            .netlist("ALU"),
+    )
+    .unwrap();
     g.bench_function("alu_1k_cycles", |b| {
         b.iter(|| {
             let mut sim = Sim::new(&alu).unwrap();

@@ -8,8 +8,7 @@ fn bench_table2(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("all_three_designs", |b| b.iter(fil_bench::table2));
     // Ablation: the synthesis model alone, on a prebuilt netlist.
-    let (netlist, _) =
-        fil_designs::build(&fil_designs::conv2d::base_source(), "Conv2d").unwrap();
+    let (netlist, _) = fil_designs::build(&fil_designs::conv2d::base_source(), "Conv2d").unwrap();
     g.bench_function("area_model_only", |b| {
         b.iter(|| {
             let r = fil_area::resources(std::hint::black_box(&netlist));

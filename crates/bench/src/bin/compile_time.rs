@@ -16,11 +16,15 @@
 //! * **sweep** — per-design cold/warm times for the parametric
 //!   `Systolic[N, 32]` and `Enc[N]` families at growing N, where the
 //!   check/lower work the warm cache skips grows with the design.
+//! * **daemon_{cold,warm}_ms** — round-trip times through an in-process
+//!   `filament serve` daemon for `Systolic[8, 32]`: cold runs the build,
+//!   warm is an identical request served from the completion memo (no
+//!   expand/check/lower, no re-elaboration). `null` on non-unix hosts.
 //!
 //! Parsing (source text → AST) is outside the timers: the cache skips
 //! compilation, not reading sources.
 
-use fil_build::{build_program, BuildOptions, BuildOutput, PhaseTimes};
+use fil_build::{build_program, BuildOptions, BuildRequest, DriverOutput, PhaseTimes};
 use filament_core::Program;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -43,7 +47,14 @@ fn opts(cache: &Path) -> BuildOptions {
     }
 }
 
-fn build(program: &Program, o: &BuildOptions) -> BuildOutput {
+fn with_std_raw(src: &str) -> Program {
+    fil_stdlib::build(&BuildRequest::new(src).raw().expanded(false))
+        .expect("parses")
+        .raw
+        .expect("raw was requested")
+}
+
+fn build(program: &Program, o: &BuildOptions) -> DriverOutput {
     build_program(program, &reticle::ReticleRegistry, o).expect("corpus builds")
 }
 
@@ -95,19 +106,96 @@ fn cold_warm(tag: &str, programs: &[Program]) -> (u64, f64, f64, PhaseTimes) {
     (units, cold, warm, phase)
 }
 
+/// Round-trips `Systolic[8, 32]` through an in-process `filament serve`
+/// daemon: cold (the daemon runs the build), then warm repeats of the
+/// identical request, which must come straight off the completion memo —
+/// zero expand/check/lower work. The timed request asks for Verilog so
+/// the round trip measures the daemon, not client-side netlist decoding;
+/// a separate netlist pair asserts that re-elaboration is skipped via
+/// the process-wide cache. Returns the probe's JSON fragment.
+#[cfg(unix)]
+fn daemon_probe() -> String {
+    use fil_stdlib::serve::{self, ServeOptions, Server};
+    use std::time::Duration;
+
+    let socket = std::env::temp_dir().join(format!("fil-ct-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let cache = temp_cache("daemon");
+    let server = Server::bind(ServeOptions {
+        socket: socket.clone(),
+        jobs: 1,
+        cache_dir: Some(cache.clone()),
+        ..Default::default()
+    })
+    .expect("bind probe daemon");
+    let handle = std::thread::spawn(move || server.run());
+    for _ in 0..300 {
+        if serve::ping(&socket).is_ok() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let req = BuildRequest::new(fil_designs::systolic::source(8, 32))
+        .expanded(false)
+        .verilog();
+    let start = Instant::now();
+    let cold_reply = serve::request_build(&socket, &req).expect("daemon cold build");
+    let cold = start.elapsed().as_secs_f64() * 1e3;
+    assert!(cold_reply.output.verilog.is_some());
+
+    let mut warm = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let reply = serve::request_build(&socket, &req).expect("daemon warm build");
+        warm = warm.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            reply.served,
+            fil_build::Served::Memo,
+            "warm request must skip the driver"
+        );
+        assert_eq!(reply.output.verilog, cold_reply.output.verilog);
+    }
+
+    // The netlist cache: the first netlist request elaborates, a second
+    // request over the same lowered program must not.
+    let first =
+        serve::request_build(&socket, &req.clone().netlist("Sys8")).expect("daemon netlist build");
+    assert!(first.output.netlist.is_some());
+    let sibling = serve::request_build(&socket, &req.clone().netlist("Sys8").expanded(true))
+        .expect("daemon sibling build");
+    assert!(
+        sibling.output.netlist_from_cache,
+        "sibling request re-elaborated a warm lowered program"
+    );
+
+    serve::stop(&socket).expect("stop probe daemon");
+    handle.join().expect("daemon thread").expect("daemon run");
+    let _ = std::fs::remove_dir_all(&cache);
+    format!(
+        "\"daemon_cold_ms\": {cold:.2}, \"daemon_warm_ms\": {warm:.3}, \
+         \"daemon_speedup\": {:.1}",
+        cold / warm
+    )
+}
+
+#[cfg(not(unix))]
+fn daemon_probe() -> String {
+    "\"daemon_cold_ms\": null, \"daemon_warm_ms\": null, \"daemon_speedup\": null".into()
+}
+
 fn main() {
     // Whole corpus through one shared cache.
     let corpus: Vec<Program> = fil_bench::design_corpus()
         .into_iter()
-        .map(|(_, src, _)| fil_stdlib::with_stdlib_raw(&src).expect("corpus parses"))
+        .map(|(_, src, _)| with_std_raw(&src))
         .collect();
     let (units, cold, warm, phase) = cold_warm("corpus", &corpus);
 
     // Parametric N-sweeps: the work a warm cache skips grows with N.
     let mut sweep = Vec::new();
     for n in [2u64, 4, 8] {
-        let p = fil_stdlib::with_stdlib_raw(&fil_designs::systolic::source(n, 32))
-            .expect("systolic parses");
+        let p = with_std_raw(&fil_designs::systolic::source(n, 32));
         let (u, c, w, _) = cold_warm(&format!("sys{n}"), std::slice::from_ref(&p));
         sweep.push(format!(
             "{{\"design\": \"systolic-{n}\", \"units\": {u}, \"cold_ms\": {c:.2}, \
@@ -116,8 +204,7 @@ fn main() {
         ));
     }
     for n in [8u64, 16, 32] {
-        let p = fil_stdlib::with_stdlib_raw(&fil_designs::encoder::source(n))
-            .expect("encoder parses");
+        let p = with_std_raw(&fil_designs::encoder::source(n));
         let (u, c, w, _) = cold_warm(&format!("enc{n}"), std::slice::from_ref(&p));
         sweep.push(format!(
             "{{\"design\": \"encoder-{n}\", \"units\": {u}, \"cold_ms\": {c:.2}, \
@@ -130,13 +217,14 @@ fn main() {
         "{{\"corpus_units\": {units}, \"corpus_cold_ms\": {cold:.2}, \
          \"corpus_warm_ms\": {warm:.2}, \"corpus_speedup\": {:.1}, \
          \"phase_us\": {{\"expand\": {}, \"check\": {}, \"lower\": {}, \
-         \"cache_load\": {}, \"merge\": {}}}, \"sweep\": [{}]}}",
+         \"cache_load\": {}, \"merge\": {}}}, {}, \"sweep\": [{}]}}",
         cold / warm,
         phase.expand_us,
         phase.check_us,
         phase.lower_us,
         phase.cache_load_us,
         phase.merge_us,
+        daemon_probe(),
         sweep.join(", ")
     );
 }

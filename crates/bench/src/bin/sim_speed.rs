@@ -46,11 +46,11 @@ fn measure_for(window_ms: u128, cycles: u64, mut run: impl FnMut()) -> f64 {
 
 fn main() {
     let cycles = 1000u64;
-    let program =
-        fil_stdlib::with_stdlib(&fil_designs::alu::source(fil_designs::alu::ALU_PIPELINED))
-            .expect("ALU parses");
-    let (alu, _) =
-        fil_harness::compile_for_test(&program, "ALU", &fil_stdlib::StdRegistry).expect("compiles");
+    let (alu, _) = fil_harness::compile_request(
+        &fil_build::BuildRequest::new(fil_designs::alu::source(fil_designs::alu::ALU_PIPELINED))
+            .netlist("ALU"),
+    )
+    .expect("compiles");
     let alu_rate = measure(cycles, || {
         let mut sim = Sim::new(&alu).unwrap();
         sim.poke_by_name("en", Value::from_u64(1, 1));

@@ -84,7 +84,11 @@ pub fn render_table1(kernel: Kernel, rows: &[Table1Row]) -> String {
             .actual
             .map(|a| a.to_string())
             .unwrap_or_else(|| "-".into());
-        let flag = if r.actual == Some(r.reported) { " " } else { "*" };
+        let flag = if r.actual == Some(r.reported) {
+            " "
+        } else {
+            "*"
+        };
         out.push_str(&format!(
             "{:<12} {:>8} {:>8}{flag}\n",
             r.throughput, r.reported, actual
@@ -123,8 +127,7 @@ pub fn table2() -> Vec<SynthesisReport> {
 
 /// Renders Table 2 in the paper's layout.
 pub fn render_table2(rows: &[SynthesisReport]) -> String {
-    let mut out =
-        String::from("Table 2: Resource usage and frequency of conv2d designs\n");
+    let mut out = String::from("Table 2: Resource usage and frequency of conv2d designs\n");
     out.push_str(&format!(
         "{:<18} {:>6} {:>5} {:>10} {:>10}\n",
         "Name", "LUTs", "DSPs", "Registers", "Freq.(MHz)"
@@ -158,9 +161,21 @@ pub struct DividerRow {
 /// Panics if a divider fails to compile.
 pub fn divider_tradeoff() -> Vec<DividerRow> {
     let points = [
-        ("Combinational (2b)", fil_designs::divider::comb_source(), "DivComb"),
-        ("Pipelined (2c)", fil_designs::divider::pipelined_source(), "DivPipe"),
-        ("Iterative (2d)", fil_designs::divider::iterative_source(), "DivIter"),
+        (
+            "Combinational (2b)",
+            fil_designs::divider::comb_source(),
+            "DivComb",
+        ),
+        (
+            "Pipelined (2c)",
+            fil_designs::divider::pipelined_source(),
+            "DivPipe",
+        ),
+        (
+            "Iterative (2d)",
+            fil_designs::divider::iterative_source(),
+            "DivIter",
+        ),
     ];
     points
         .iter()
@@ -179,9 +194,8 @@ pub fn divider_tradeoff() -> Vec<DividerRow> {
 
 /// Renders the divider trade-off table.
 pub fn render_divider(rows: &[DividerRow]) -> String {
-    let mut out = String::from(
-        "Figure 2: Area-throughput trade-offs of 8-bit restoring dividers\n",
-    );
+    let mut out =
+        String::from("Figure 2: Area-throughput trade-offs of 8-bit restoring dividers\n");
     out.push_str(&format!(
         "{:<20} {:>3} {:>8} {:>6} {:>10} {:>10}\n",
         "Design", "II", "Latency", "LUTs", "Registers", "Freq.(MHz)"
@@ -215,10 +229,26 @@ pub fn design_corpus() -> Vec<(String, String, &'static str)> {
             fil_designs::alu::source(fil_designs::alu::ALU_PIPELINED),
             "ALU",
         ),
-        ("div-comb".into(), fil_designs::divider::comb_source(), "DivComb"),
-        ("div-pipe".into(), fil_designs::divider::pipelined_source(), "DivPipe"),
-        ("div-iter".into(), fil_designs::divider::iterative_source(), "DivIter"),
-        ("conv2d".into(), fil_designs::conv2d::base_source(), "Conv2d"),
+        (
+            "div-comb".into(),
+            fil_designs::divider::comb_source(),
+            "DivComb",
+        ),
+        (
+            "div-pipe".into(),
+            fil_designs::divider::pipelined_source(),
+            "DivPipe",
+        ),
+        (
+            "div-iter".into(),
+            fil_designs::divider::iterative_source(),
+            "DivIter",
+        ),
+        (
+            "conv2d".into(),
+            fil_designs::conv2d::base_source(),
+            "Conv2d",
+        ),
         (
             "conv2d-reticle".into(),
             fil_designs::conv2d::reticle_source(),
@@ -226,18 +256,50 @@ pub fn design_corpus() -> Vec<(String, String, &'static str)> {
         ),
         // Generator-produced designs at several sizes: one parametric
         // source each, monomorphized per entry.
-        ("systolic-2".into(), fil_designs::systolic::source(2, 32), "Sys2"),
-        ("systolic-4".into(), fil_designs::systolic::source(4, 32), "Sys4"),
-        ("systolic-8".into(), fil_designs::systolic::source(8, 32), "Sys8"),
-        ("chain-8x16".into(), fil_designs::shift::source(8, 16), "Chain8x16"),
+        (
+            "systolic-2".into(),
+            fil_designs::systolic::source(2, 32),
+            "Sys2",
+        ),
+        (
+            "systolic-4".into(),
+            fil_designs::systolic::source(4, 32),
+            "Sys4",
+        ),
+        (
+            "systolic-8".into(),
+            fil_designs::systolic::source(8, 32),
+            "Sys8",
+        ),
+        (
+            "chain-8x16".into(),
+            fil_designs::shift::source(8, 16),
+            "Chain8x16",
+        ),
         // Derived-parameter designs: the encoder's output width is
         // `some W = log2(N)` and the wrapper reads it back as `e.W`.
-        ("encoder-8".into(), fil_designs::encoder::source(8), "EncTop8"),
-        ("encoder-16".into(), fil_designs::encoder::source(16), "EncTop16"),
+        (
+            "encoder-8".into(),
+            fil_designs::encoder::source(8),
+            "EncTop8",
+        ),
+        (
+            "encoder-16".into(),
+            fil_designs::encoder::source(16),
+            "EncTop16",
+        ),
         // The tap-bundle wrapper: per-index availability windows survive
         // flattening into the spec.
-        ("chain-taps-8x4".into(), fil_designs::shift::taps_source(8, 4), "Taps8x4"),
-        ("alu-param-16".into(), fil_designs::alu::param_source(16), "Alu16"),
+        (
+            "chain-taps-8x4".into(),
+            fil_designs::shift::taps_source(8, 4),
+            "Taps8x4",
+        ),
+        (
+            "alu-param-16".into(),
+            fil_designs::alu::param_source(16),
+            "Alu16",
+        ),
         ("fp-add-comb".into(), fp(Style::Combinational), "FpAdd"),
         ("fp-add-pipe".into(), fp(Style::Pipelined), "FpAdd"),
     ]
@@ -251,7 +313,10 @@ pub fn design_corpus() -> Vec<(String, String, &'static str)> {
 /// Panics if the design fails to compile.
 pub fn compile_one(source: &str, top: &str) -> Duration {
     let start = Instant::now();
-    let program = fil_stdlib::with_stdlib(source).expect("parses");
+    let program = fil_stdlib::build(&fil_build::BuildRequest::new(source))
+        .expect("parses")
+        .expanded
+        .expect("expanded is on by default");
     filament_core::check_program(&program)
         .unwrap_or_else(|e| panic!("{top} fails to check: {e:#?}"));
     // The Reticle registry is a superset of the standard one, so it serves

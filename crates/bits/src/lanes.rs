@@ -216,9 +216,24 @@ binop_words!(
     |x: u64, y: u64| x.wrapping_mul(y),
     "Lane-wise wrapping multiplication (AND on 1-bit planes)."
 );
-binop_words!(and, |x: u64, y: u64| x & y, |x: u64, y: u64| x & y, "Lane-wise bitwise AND.");
-binop_words!(or, |x: u64, y: u64| x | y, |x: u64, y: u64| x | y, "Lane-wise bitwise OR.");
-binop_words!(xor, |x: u64, y: u64| x ^ y, |x: u64, y: u64| x ^ y, "Lane-wise bitwise XOR.");
+binop_words!(
+    and,
+    |x: u64, y: u64| x & y,
+    |x: u64, y: u64| x & y,
+    "Lane-wise bitwise AND."
+);
+binop_words!(
+    or,
+    |x: u64, y: u64| x | y,
+    |x: u64, y: u64| x | y,
+    "Lane-wise bitwise OR."
+);
+binop_words!(
+    xor,
+    |x: u64, y: u64| x ^ y,
+    |x: u64, y: u64| x ^ y,
+    "Lane-wise bitwise XOR."
+);
 
 /// Lane-wise wrapping add-in-place: `dst[l] += b[l]`.
 pub fn add_assign(dst: &mut LaneBuf, b: &LaneBuf) {
@@ -615,7 +630,11 @@ mod tests {
                 let orig = dst.clone();
                 copy_masked(&mut dst, &a, sel.words());
                 for l in 0..lanes {
-                    let want = if sel.get(l) == 1 { a.get(l) } else { orig.get(l) };
+                    let want = if sel.get(l) == 1 {
+                        a.get(l)
+                    } else {
+                        orig.get(l)
+                    };
                     assert_eq!(dst.get(l), want, "copy_masked w={width} lane={l}");
                 }
             }
@@ -640,7 +659,9 @@ mod tests {
         for l in 0..lanes {
             assert_eq!(
                 out.get(l),
-                val(1, hi_part.get(l)).concat(&val(5, lo_part.get(l))).to_u64()
+                val(1, hi_part.get(l))
+                    .concat(&val(5, lo_part.get(l)))
+                    .to_u64()
             );
         }
         for out_w in [1u32, 8, 32, 48, 64] {

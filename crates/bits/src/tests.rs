@@ -365,14 +365,26 @@ fn check_binops_at_width(width: u32, a: u128, b: u128) {
     assert_eq!(va.neg().to_u128(), a.wrapping_neg() & m, "neg @{width}");
     assert_eq!(va.ucmp(&vb), a.cmp(&b), "ucmp @{width}");
     assert_eq!(va == vb, a == b, "eq @{width}");
-    assert_eq!(va.reduce_or().to_u64(), u64::from(a != 0), "reduce_or @{width}");
-    assert_eq!(va.reduce_and().to_u64(), u64::from(a == m), "reduce_and @{width}");
+    assert_eq!(
+        va.reduce_or().to_u64(),
+        u64::from(a != 0),
+        "reduce_or @{width}"
+    );
+    assert_eq!(
+        va.reduce_and().to_u64(),
+        u64::from(a == m),
+        "reduce_and @{width}"
+    );
     assert_eq!(
         va.significant_bits(),
         128 - a.leading_zeros(),
         "significant_bits @{width}"
     );
-    assert_eq!(va.leading_zeros(), width - (128 - a.leading_zeros()), "clz @{width}");
+    assert_eq!(
+        va.leading_zeros(),
+        width - (128 - a.leading_zeros()),
+        "clz @{width}"
+    );
     match a.checked_div(b) {
         Some(want_q) => {
             let (q, r) = va.divmod(&vb);
@@ -390,7 +402,11 @@ fn check_binops_at_width(width: u32, a: u128, b: u128) {
         assert_eq!(va.shl(amt).to_u128(), (a << amt) & m, "shl {amt} @{width}");
         assert_eq!(va.shr(amt).to_u128(), a >> amt, "shr {amt} @{width}");
         let vamt = Value::from_u128(width, amt as u128);
-        assert_eq!(va.shl_dyn(&vamt).to_u128(), (a << amt) & m, "shl_dyn @{width}");
+        assert_eq!(
+            va.shl_dyn(&vamt).to_u128(),
+            (a << amt) & m,
+            "shl_dyn @{width}"
+        );
         assert_eq!(va.shr_dyn(&vamt).to_u128(), a >> amt, "shr_dyn @{width}");
     }
     // mul_full doubles the width (and may cross the representation split).
@@ -411,7 +427,11 @@ fn check_binops_at_width(width: u32, a: u128, b: u128) {
     // resize across the boundary in both directions.
     for new_width in [1, 63, 64, 65, 129, width] {
         let r = va.resize(new_width);
-        assert_eq!(r.to_u128(), a & mask128(new_width.min(128)), "resize {new_width} @{width}");
+        assert_eq!(
+            r.to_u128(),
+            a & mask128(new_width.min(128)),
+            "resize {new_width} @{width}"
+        );
         assert_invariants(&r);
     }
 }

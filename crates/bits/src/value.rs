@@ -361,7 +361,11 @@ impl Value {
     /// Panics if `i >= self.width()`.
     #[inline]
     pub fn bit(&self, i: u32) -> bool {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         match &self.repr {
             Repr::Small(x) => (x >> i) & 1 == 1,
             Repr::Big(b) => (b[(i / LIMB_BITS) as usize] >> (i % LIMB_BITS)) & 1 == 1,
@@ -374,7 +378,11 @@ impl Value {
     ///
     /// Panics if `i >= self.width()`.
     pub fn with_bit(&self, i: u32, b: bool) -> Self {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let mut v = self.clone();
         let limb = (i / LIMB_BITS) as usize;
         let mask = 1u64 << (i % LIMB_BITS);

@@ -66,7 +66,7 @@ pub struct BuildOptions {
     /// Fingerprint of the primitive registry, mixed into every cache key:
     /// artifacts lowered against different registries must never collide.
     pub salt: String,
-    /// Materialize [`BuildOutput::expanded`]. Verilog-only consumers
+    /// Materialize [`DriverOutput::expanded`]. Verilog-only consumers
     /// (`filament build`) turn this off: on a warm cache the expanded
     /// components then never leave their artifacts, trimming the load
     /// path further. When `false`, `expanded` comes back empty.
@@ -190,7 +190,7 @@ impl From<MonoError> for BuildError {
 
 /// A finished build.
 #[derive(Debug)]
-pub struct BuildOutput {
+pub struct DriverOutput {
     /// The expanded (concrete) program: original externs plus every built
     /// unit, in the monomorphizer's emission order — byte-identical to
     /// [`filament_core::mono::expand`]'s output when pretty-printed.
@@ -209,7 +209,7 @@ pub struct BuildOutput {
 ///
 /// Returns the first elaboration failure, or an IO error for an unusable
 /// cache directory.
-pub fn expand_program(program: &Program, opts: &BuildOptions) -> Result<BuildOutput, BuildError> {
+pub fn expand_program(program: &Program, opts: &BuildOptions) -> Result<DriverOutput, BuildError> {
     run(program, None, opts, effective_jobs(opts))
 }
 
@@ -224,7 +224,7 @@ pub fn build_program(
     program: &Program,
     registry: &(dyn PrimitiveRegistry + Sync),
     opts: &BuildOptions,
-) -> Result<BuildOutput, BuildError> {
+) -> Result<DriverOutput, BuildError> {
     run(program, Some(registry), opts, effective_jobs(opts))
 }
 
@@ -238,7 +238,7 @@ pub fn build_program_serial(
     program: &Program,
     registry: &dyn PrimitiveRegistry,
     opts: &BuildOptions,
-) -> Result<BuildOutput, BuildError> {
+) -> Result<DriverOutput, BuildError> {
     let externs = extern_set(program);
     externs.ensure_checked(program)?;
     let ctx = Ctx::new(program, opts, &externs)?;
@@ -264,7 +264,7 @@ fn run(
     registry: Option<&(dyn PrimitiveRegistry + Sync)>,
     opts: &BuildOptions,
     jobs: usize,
-) -> Result<BuildOutput, BuildError> {
+) -> Result<DriverOutput, BuildError> {
     let externs = extern_set(program);
     if registry.is_some() {
         externs.ensure_checked(program)?;
@@ -550,7 +550,11 @@ impl<'p> Ctx<'p> {
     }
 }
 
-fn worker(ctx: &Ctx<'_>, registry: Option<&dyn PrimitiveRegistry>, lane: Option<&fil_trace::Lane<'_>>) {
+fn worker(
+    ctx: &Ctx<'_>,
+    registry: Option<&dyn PrimitiveRegistry>,
+    lane: Option<&fil_trace::Lane<'_>>,
+) {
     loop {
         let (key, depth) = {
             let mut s = ctx.shared.lock().unwrap();
@@ -694,7 +698,12 @@ fn process_unit(
     let unit_name = lane.map(|_| provisional(ctx.program, key));
     // Cache probe.
     let path = ctx.keys.as_ref().and_then(|keys| {
-        let hash = keys.unit_hash(ARTIFACT_VERSION, &ctx.opts.salt, &key.component, &key.values)?;
+        let hash = keys.unit_hash(
+            ARTIFACT_VERSION,
+            &ctx.opts.salt,
+            &key.component,
+            &key.values,
+        )?;
         Some(ctx.cache_dir.as_ref().unwrap().join(format!("{hash}.unit")))
     });
     let mut cache_missed = false;
@@ -779,9 +788,7 @@ fn process_unit(
                 .collect(),
             expanded_text: filament_core::pretty::print_component(&component),
             expanded_ast: ast_bin::encode(&component),
-            lowered: lowered
-                .as_ref()
-                .map(|l| (l.clone(), structural.clone())),
+            lowered: lowered.as_ref().map(|l| (l.clone(), structural.clone())),
         };
         stored = store_atomic(path, &artifact::encode(&art));
     }
@@ -824,7 +831,11 @@ fn try_load(
     // two agree — pinned by the ast_bin roundtrip tests). When the caller
     // wants no expanded output, the component never leaves the artifact.
     let component = if want_expanded {
-        let c = match art.expanded_ast.as_deref().and_then(|b| ast_bin::decode(b).ok()) {
+        let c = match art
+            .expanded_ast
+            .as_deref()
+            .and_then(|b| ast_bin::decode(b).ok())
+        {
             Some(c) => c,
             None => {
                 let parsed = filament_core::parse_program(&art.expanded_text).ok()?;
@@ -981,7 +992,7 @@ fn rewrite_lower(
 
 // ------------------------------------------------------------------ merge
 
-fn finish(program: &Program, ctx: Ctx<'_>, lowering: bool) -> Result<BuildOutput, BuildError> {
+fn finish(program: &Program, ctx: Ctx<'_>, lowering: bool) -> Result<DriverOutput, BuildError> {
     let emit_expanded = ctx.opts.emit_expanded;
     let trace = ctx.opts.trace.clone();
     let shared = ctx.shared.into_inner().unwrap();
@@ -993,8 +1004,13 @@ fn finish(program: &Program, ctx: Ctx<'_>, lowering: bool) -> Result<BuildOutput
     let mut out = merge(program, shared, lowering, emit_expanded)?;
     out.stats.phase.merge_us = timer.elapsed().as_micros() as u64;
     if let (Some(c), Some(start)) = (&trace, merge_start) {
-        c.lane(0, "main")
-            .complete("build", "merge", start, out.stats.phase.merge_us, Vec::new());
+        c.lane(0, "main").complete(
+            "build",
+            "merge",
+            start,
+            out.stats.phase.merge_us,
+            Vec::new(),
+        );
     }
     Ok(out)
 }
@@ -1007,7 +1023,7 @@ fn merge(
     shared: Shared,
     lowering: bool,
     emit_expanded: bool,
-) -> Result<BuildOutput, BuildError> {
+) -> Result<DriverOutput, BuildError> {
     let mut done = shared.done;
     // Name claiming replicates `mono::expand`: source names are taken;
     // monomorphs claim `Comp_v0_v1` (free values only) pre-order,
@@ -1141,7 +1157,7 @@ fn merge(
             }
         }
     }
-    Ok(BuildOutput {
+    Ok(DriverOutput {
         expanded,
         lowered: lowered_out,
         stats,
@@ -1187,4 +1203,3 @@ pub fn check_externs(program: &Program) -> Result<(), Vec<CheckError>> {
         components: Vec::new(),
     })
 }
-

@@ -53,12 +53,18 @@ pub mod artifact;
 pub mod ast_bin;
 pub mod driver;
 pub mod key;
+pub mod netcache;
+pub mod request;
+pub mod singleflight;
 
 pub use artifact::ARTIFACT_VERSION;
 pub use driver::{
     build_program, build_program_serial, check_externs, expand_program, BuildError, BuildOptions,
-    BuildOutput, BuildStats, PhaseTimes,
+    BuildStats, DriverOutput, PhaseTimes,
 };
+pub use netcache::NetlistCache;
+pub use request::{BuildOutput, BuildRequest, PROTOCOL_VERSION};
+pub use singleflight::{Served, SingleFlight};
 // Re-exported so `BuildOptions::trace` is constructible without a direct
 // `fil-trace` dependency.
 pub use fil_trace;

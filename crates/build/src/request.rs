@@ -1,0 +1,810 @@
+//! The unified build API: one request type, one output type, one wire
+//! framing — shared verbatim by library callers, the `filament` CLI, and
+//! the compile-farm daemon.
+//!
+//! [`BuildRequest`] is a builder-style description of *what to build and
+//! which outputs to materialize* (source text, worker count, artifact
+//! cache, trace sink, wanted outputs). [`BuildOutput`] carries whichever
+//! outputs were requested. The same pair crosses the `filament serve`
+//! unix socket: [`encode_request`]/[`encode_output`] produce the
+//! deterministic, bounds-checked binary layout (hand-rolled in the
+//! [`calyx_lite::serial`] style), and [`write_frame`]/[`read_frame`] wrap
+//! payloads in a length-prefixed, version-salted, checksummed frame. The
+//! frame version folds together the protocol layout, the artifact format,
+//! and the component/netlist serial format, so *any* encoding change on
+//! either side makes old peers fail loudly with a version error instead
+//! of misdecoding.
+//!
+//! Wire notes: AST-level fields ([`BuildOutput::raw`],
+//! [`BuildOutput::expanded`], [`BuildOutput::lowered`]) and the local
+//! trace sink do not cross the socket — the *rendered* forms
+//! (`expanded_text`, `verilog`, the encoded netlist) and the full
+//! [`BuildStats`] do. A decoded output therefore answers everything the
+//! CLI and the perf probes ask for, byte-identically to a local build.
+
+use crate::driver::{BuildOptions, BuildStats, PhaseTimes};
+use crate::key;
+use calyx_lite::serial::{self, DecodeError};
+use filament_core::Program;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Version of the request/response payload layout. Decoders reject
+/// anything else; bump on any change below.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Frames larger than this are rejected before allocation (a corrupted
+/// length prefix must not OOM the daemon).
+pub const MAX_FRAME_LEN: u32 = 1 << 26;
+
+/// Magic bytes opening every frame.
+const FRAME_MAGIC: [u8; 4] = *b"FSV1";
+
+/// The version salt carried by every frame: protocol layout × artifact
+/// format × component/netlist serial format. Peers built from different
+/// revisions of *any* of the three disagree here and fail cleanly.
+pub const fn wire_version() -> u32 {
+    PROTOCOL_VERSION | (crate::artifact::ARTIFACT_VERSION << 8) | (serial::FORMAT_VERSION << 16)
+}
+
+/// One build to run: source, resources, and which outputs to come back
+/// with. Construct with [`BuildRequest::new`] and chain the builder
+/// methods; the default wants only the expanded program (the most common
+/// library call, the old `with_stdlib`).
+#[derive(Debug, Clone, Default)]
+pub struct BuildRequest {
+    /// The user source text (the standard library is the front end's
+    /// concern and is not part of the request).
+    pub source: String,
+    /// Worker threads for the driver (`0` = one per core, `1` = the
+    /// calling thread).
+    pub jobs: usize,
+    /// Cross-session artifact cache directory.
+    pub cache_dir: Option<PathBuf>,
+    /// Artifact-cache size budget in bytes (LRU eviction past it).
+    pub cache_limit: Option<u64>,
+    /// Registry salt for cache keys. Front ends with a fixed registry
+    /// (the stdlib path) override this; it only matters for
+    /// custom-registry builds.
+    pub salt: String,
+    /// Return the parsed (pre-elaboration) program in
+    /// [`BuildOutput::raw`]. Local-only: never crosses the wire.
+    pub want_raw: bool,
+    /// Elaborate and return the expanded program
+    /// ([`BuildOutput::expanded`]) and its stdlib-stripped rendering
+    /// ([`BuildOutput::expanded_text`] — the `filament expand` text the
+    /// golden corpus pins).
+    pub want_expanded: bool,
+    /// Check + lower every unit and return the lowered program
+    /// ([`BuildOutput::lowered`]).
+    pub want_lowered: bool,
+    /// Additionally render the lowered program as structural Verilog
+    /// ([`BuildOutput::verilog`] — what `filament build` prints). Implies
+    /// `want_lowered`.
+    pub want_verilog: bool,
+    /// Elaborate the named top component to a flat simulator netlist
+    /// ([`BuildOutput::netlist`]), served from the elaborated-netlist
+    /// cache when warm. Implies `want_lowered`.
+    pub want_netlist: Option<String>,
+    /// Structured-trace sink. Local-only: never crosses the wire.
+    pub trace: Option<Arc<fil_trace::Collector>>,
+}
+
+impl BuildRequest {
+    /// A request for `source` wanting the expanded program.
+    pub fn new(source: impl Into<String>) -> Self {
+        BuildRequest {
+            source: source.into(),
+            jobs: 1,
+            want_expanded: true,
+            ..Default::default()
+        }
+    }
+
+    /// Also return the parsed, pre-elaboration program.
+    #[must_use]
+    pub fn raw(mut self) -> Self {
+        self.want_raw = true;
+        self
+    }
+
+    /// Toggle the expanded program (on by default; turn off for
+    /// Verilog-only builds, where skipping it keeps warm artifacts
+    /// entirely un-rematerialized).
+    #[must_use]
+    pub fn expanded(mut self, want: bool) -> Self {
+        self.want_expanded = want;
+        self
+    }
+
+    /// Check + lower every unit and return the lowered program.
+    #[must_use]
+    pub fn lowered(mut self) -> Self {
+        self.want_lowered = true;
+        self
+    }
+
+    /// Render structural Verilog (implies [`BuildRequest::lowered`]).
+    #[must_use]
+    pub fn verilog(mut self) -> Self {
+        self.want_lowered = true;
+        self.want_verilog = true;
+        self
+    }
+
+    /// Elaborate `top` to a flat netlist (implies
+    /// [`BuildRequest::lowered`]).
+    #[must_use]
+    pub fn netlist(mut self, top: impl Into<String>) -> Self {
+        self.want_lowered = true;
+        self.want_netlist = Some(top.into());
+        self
+    }
+
+    /// Driver worker threads.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Cross-session artifact cache directory.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Artifact-cache size budget in bytes.
+    #[must_use]
+    pub fn cache_limit(mut self, bytes: u64) -> Self {
+        self.cache_limit = Some(bytes);
+        self
+    }
+
+    /// Registry salt (custom-registry builds only).
+    #[must_use]
+    pub fn salt(mut self, salt: impl Into<String>) -> Self {
+        self.salt = salt.into();
+        self
+    }
+
+    /// Structured-trace sink (local builds only).
+    #[must_use]
+    pub fn trace(mut self, collector: Arc<fil_trace::Collector>) -> Self {
+        self.trace = Some(collector);
+        self
+    }
+
+    /// Whether the driver must run the full check + lower pipeline.
+    pub fn needs_lowering(&self) -> bool {
+        self.want_lowered || self.want_verilog || self.want_netlist.is_some()
+    }
+
+    /// The driver options this request maps to (`salt` as given here —
+    /// front ends override it for fixed registries).
+    pub fn to_options(&self) -> BuildOptions {
+        BuildOptions {
+            jobs: self.jobs,
+            cache_dir: self.cache_dir.clone(),
+            salt: self.salt.clone(),
+            emit_expanded: self.want_expanded,
+            cache_limit: self.cache_limit,
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+/// Everything a build produced — each field present iff requested.
+#[derive(Debug, Clone, Default)]
+pub struct BuildOutput {
+    /// The parsed, pre-elaboration program (local builds only).
+    pub raw: Option<Program>,
+    /// The expanded (concrete) program, standard library included —
+    /// exactly [`filament_core::mono::expand`]'s output (local builds
+    /// only).
+    pub expanded: Option<Program>,
+    /// The expanded program rendered to surface syntax with the preloaded
+    /// stdlib externs stripped — the `filament expand` text.
+    pub expanded_text: Option<String>,
+    /// The lowered program (local builds only).
+    pub lowered: Option<calyx_lite::Program>,
+    /// The lowered program as structural Verilog — the `filament build`
+    /// text.
+    pub verilog: Option<String>,
+    /// The requested top component, elaborated to a flat netlist (shared:
+    /// the daemon's netlist cache hands the same `Arc` to every client).
+    pub netlist: Option<Arc<rtl_sim::Netlist>>,
+    /// Whether `netlist` came out of the elaborated-netlist cache rather
+    /// than a fresh elaboration.
+    pub netlist_from_cache: bool,
+    /// What the build did.
+    pub stats: BuildStats,
+}
+
+// ----------------------------------------------------------- payload codec
+
+struct Writer<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl Writer<'_> {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.out.extend_from_slice(s.as_bytes());
+    }
+    fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            None => self.u8(0),
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| DecodeError::Invalid("string"))
+    }
+    fn opt_str(&mut self) -> Result<Option<String>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str()?)),
+            tag => Err(DecodeError::BadTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+}
+
+const REQ_RAW: u8 = 1 << 0;
+const REQ_EXPANDED: u8 = 1 << 1;
+const REQ_LOWERED: u8 = 1 << 2;
+const REQ_VERILOG: u8 = 1 << 3;
+
+/// Appends the canonical encoding of `req` to `out`. Identical requests
+/// encode to identical bytes, which is exactly what the daemon's
+/// single-flight keys hash.
+pub fn encode_request(req: &BuildRequest, out: &mut Vec<u8>) {
+    let mut w = Writer { out };
+    w.str(&req.source);
+    w.u32(req.jobs as u32);
+    w.opt_str(req.cache_dir.as_ref().map(|p| p.to_str().unwrap_or("")));
+    match req.cache_limit {
+        None => w.u8(0),
+        Some(v) => {
+            w.u8(1);
+            w.u64(v);
+        }
+    }
+    w.str(&req.salt);
+    let mut flags = 0u8;
+    if req.want_raw {
+        flags |= REQ_RAW;
+    }
+    if req.want_expanded {
+        flags |= REQ_EXPANDED;
+    }
+    if req.want_lowered {
+        flags |= REQ_LOWERED;
+    }
+    if req.want_verilog {
+        flags |= REQ_VERILOG;
+    }
+    w.u8(flags);
+    w.opt_str(req.want_netlist.as_deref());
+}
+
+/// Decodes a request (trace sink comes back `None` — it cannot cross the
+/// wire).
+///
+/// # Errors
+///
+/// [`DecodeError`] on malformed input; never panics.
+pub fn decode_request(bytes: &[u8]) -> Result<(BuildRequest, usize), DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let source = r.str()?;
+    let jobs = r.u32()? as usize;
+    let cache_dir = r.opt_str()?.map(PathBuf::from);
+    let cache_limit = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()?),
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "cache limit",
+                tag,
+            })
+        }
+    };
+    let salt = r.str()?;
+    let flags = r.u8()?;
+    if flags & !(REQ_RAW | REQ_EXPANDED | REQ_LOWERED | REQ_VERILOG) != 0 {
+        return Err(DecodeError::BadTag {
+            what: "request flags",
+            tag: flags,
+        });
+    }
+    let want_netlist = r.opt_str()?;
+    Ok((
+        BuildRequest {
+            source,
+            jobs,
+            cache_dir,
+            cache_limit,
+            salt,
+            want_raw: flags & REQ_RAW != 0,
+            want_expanded: flags & REQ_EXPANDED != 0,
+            want_lowered: flags & REQ_LOWERED != 0,
+            want_verilog: flags & REQ_VERILOG != 0,
+            want_netlist,
+            trace: None,
+        },
+        r.pos,
+    ))
+}
+
+/// The single-flight key of a request: the 128-bit content hash of its
+/// canonical encoding.
+pub fn request_key(req: &BuildRequest) -> (u64, u64) {
+    use std::hash::Hasher as _;
+    let mut bytes = Vec::new();
+    encode_request(req, &mut bytes);
+    let mut h = key::Hasher::new();
+    h.write(&bytes);
+    let hash = h.content_hash();
+    (hash.a, hash.b)
+}
+
+const OUT_EXPANDED_TEXT: u8 = 1 << 0;
+const OUT_VERILOG: u8 = 1 << 1;
+const OUT_NETLIST: u8 = 1 << 2;
+const OUT_NETLIST_CACHED: u8 = 1 << 3;
+
+fn encode_stats(w: &mut Writer<'_>, s: &BuildStats) {
+    for v in [
+        s.units,
+        s.expanded,
+        s.checked,
+        s.lowered,
+        s.session_hits,
+        s.cache_loads,
+        s.cache_misses,
+        s.cache_stores,
+        s.session_cache_evictions,
+        s.mono.cache_hits,
+        s.mono.cache_misses,
+        s.mono.loops_unrolled,
+        s.mono.ifs_resolved,
+        s.mono.bundles_flattened,
+        s.mono.derivations_evaluated,
+        s.mono.commands_emitted,
+        s.phase.parse_us,
+        s.phase.expand_us,
+        s.phase.check_us,
+        s.phase.lower_us,
+        s.phase.cache_load_us,
+        s.phase.merge_us,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<BuildStats, DecodeError> {
+    let mut v = [0u64; 22];
+    for slot in &mut v {
+        *slot = r.u64()?;
+    }
+    Ok(BuildStats {
+        units: v[0],
+        expanded: v[1],
+        checked: v[2],
+        lowered: v[3],
+        session_hits: v[4],
+        cache_loads: v[5],
+        cache_misses: v[6],
+        cache_stores: v[7],
+        session_cache_evictions: v[8],
+        mono: filament_core::mono::MonoStats {
+            cache_hits: v[9],
+            cache_misses: v[10],
+            loops_unrolled: v[11],
+            ifs_resolved: v[12],
+            bundles_flattened: v[13],
+            derivations_evaluated: v[14],
+            commands_emitted: v[15],
+        },
+        phase: PhaseTimes {
+            parse_us: v[16],
+            expand_us: v[17],
+            check_us: v[18],
+            lower_us: v[19],
+            cache_load_us: v[20],
+            merge_us: v[21],
+        },
+    })
+}
+
+/// Appends the wire encoding of `out` — rendered outputs plus stats; the
+/// AST-level fields stay local (see the module docs).
+pub fn encode_output(output: &BuildOutput, out: &mut Vec<u8>) {
+    let mut w = Writer { out };
+    let mut flags = 0u8;
+    if output.expanded_text.is_some() {
+        flags |= OUT_EXPANDED_TEXT;
+    }
+    if output.verilog.is_some() {
+        flags |= OUT_VERILOG;
+    }
+    if output.netlist.is_some() {
+        flags |= OUT_NETLIST;
+    }
+    if output.netlist_from_cache {
+        flags |= OUT_NETLIST_CACHED;
+    }
+    w.u8(flags);
+    if let Some(t) = &output.expanded_text {
+        w.str(t);
+    }
+    if let Some(v) = &output.verilog {
+        w.str(v);
+    }
+    encode_stats(&mut w, &output.stats);
+    if let Some(n) = &output.netlist {
+        serial::encode_netlist(n, w.out);
+    }
+}
+
+/// Decodes a wire output (`raw`/`expanded`/`lowered` come back `None`).
+///
+/// # Errors
+///
+/// [`DecodeError`] on malformed input; never panics.
+pub fn decode_output(bytes: &[u8]) -> Result<(BuildOutput, usize), DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let flags = r.u8()?;
+    if flags & !(OUT_EXPANDED_TEXT | OUT_VERILOG | OUT_NETLIST | OUT_NETLIST_CACHED) != 0 {
+        return Err(DecodeError::BadTag {
+            what: "output flags",
+            tag: flags,
+        });
+    }
+    let expanded_text = (flags & OUT_EXPANDED_TEXT != 0)
+        .then(|| r.str())
+        .transpose()?;
+    let verilog = (flags & OUT_VERILOG != 0).then(|| r.str()).transpose()?;
+    let stats = decode_stats(&mut r)?;
+    let netlist = if flags & OUT_NETLIST != 0 {
+        let (n, used) = serial::decode_netlist(&r.buf[r.pos..])?;
+        r.pos += used;
+        Some(Arc::new(n))
+    } else {
+        None
+    };
+    Ok((
+        BuildOutput {
+            raw: None,
+            expanded: None,
+            expanded_text,
+            lowered: None,
+            verilog,
+            netlist,
+            netlist_from_cache: flags & OUT_NETLIST_CACHED != 0,
+            stats,
+        },
+        r.pos,
+    ))
+}
+
+// ----------------------------------------------------------------- framing
+
+/// Frame-level failures. [`FrameError::Closed`] is the clean end of a
+/// connection; everything else means the peer (or the pipe) misbehaved.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended cleanly before a frame started.
+    Closed,
+    /// An I/O error (including mid-frame disconnects).
+    Io(std::io::Error),
+    /// The magic header is wrong — not a frame at all.
+    BadMagic,
+    /// The peer speaks a different protocol/artifact/serial revision.
+    Version {
+        /// The version salt found in the frame.
+        found: u32,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge(u32),
+    /// The payload checksum does not match.
+    Checksum,
+    /// The payload failed to decode.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::Version { found } => write!(
+                f,
+                "frame version {found:#x} does not match {:#x}",
+                wire_version()
+            ),
+            FrameError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME_LEN}"),
+            FrameError::Checksum => write!(f, "frame checksum mismatch"),
+            FrameError::Decode(e) => write!(f, "frame payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<DecodeError> for FrameError {
+    fn from(e: DecodeError) -> Self {
+        FrameError::Decode(e)
+    }
+}
+
+/// Writes one frame: magic, version salt, length, payload, fnv64
+/// checksum.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let mut head = Vec::with_capacity(12);
+    head.extend_from_slice(&FRAME_MAGIC);
+    head.extend_from_slice(&wire_version().to_le_bytes());
+    head.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    w.write_all(&key::fnv64(&[payload]).to_le_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame, returning its payload.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on a clean end-of-stream *before* any frame
+/// byte; any other short read is an error — a peer must not vanish
+/// mid-frame silently.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut head = [0u8; 12];
+    // Distinguish "no next frame" (clean close) from "died mid-header".
+    let mut got = 0;
+    while got < head.len() {
+        match r.read(&mut head[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Closed),
+            Ok(0) => return Err(FrameError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if head[..4] != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    if version != wire_version() {
+        return Err(FrameError::Version { found: version });
+    }
+    let len = u32::from_le_bytes(head[8..12].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(FrameError::Io)?;
+    let mut check = [0u8; 8];
+    r.read_exact(&mut check).map_err(FrameError::Io)?;
+    if u64::from_le_bytes(check) != key::fnv64(&[&payload]) {
+        return Err(FrameError::Checksum);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> BuildRequest {
+        BuildRequest::new("comp Main<G: 1>() -> () { }")
+            .raw()
+            .verilog()
+            .netlist("Main")
+            .jobs(3)
+            .cache_dir("/tmp/cache")
+            .cache_limit(1 << 20)
+            .salt("std")
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let req = sample_request();
+        let mut bytes = Vec::new();
+        encode_request(&req, &mut bytes);
+        let (back, used) = decode_request(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        let mut reenc = Vec::new();
+        encode_request(&back, &mut reenc);
+        assert_eq!(bytes, reenc, "decode is the inverse of encode");
+        assert_eq!(back.source, req.source);
+        assert_eq!(back.jobs, 3);
+        assert_eq!(back.cache_dir, req.cache_dir);
+        assert_eq!(back.cache_limit, Some(1 << 20));
+        assert_eq!(back.want_netlist.as_deref(), Some("Main"));
+        assert!(back.want_raw && back.want_expanded && back.want_lowered && back.want_verilog);
+    }
+
+    #[test]
+    fn request_key_distinguishes_wants() {
+        let a = BuildRequest::new("comp Main<G: 1>() -> () { }");
+        let b = a.clone().verilog();
+        assert_ne!(request_key(&a), request_key(&b));
+        assert_eq!(request_key(&a), request_key(&a.clone()));
+    }
+
+    #[test]
+    fn output_roundtrips_with_stats() {
+        let stats = BuildStats {
+            units: 7,
+            cache_loads: 7,
+            mono: filament_core::mono::MonoStats {
+                commands_emitted: 99,
+                ..Default::default()
+            },
+            phase: PhaseTimes {
+                parse_us: 123,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let output = BuildOutput {
+            expanded_text: Some("comp Main<G: 1>() -> () { }\n".into()),
+            verilog: Some("module Main();\nendmodule\n".into()),
+            netlist_from_cache: true,
+            stats,
+            ..Default::default()
+        };
+        let mut bytes = Vec::new();
+        encode_output(&output, &mut bytes);
+        let (back, used) = decode_output(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back.expanded_text, output.expanded_text);
+        assert_eq!(back.verilog, output.verilog);
+        assert!(back.netlist_from_cache);
+        assert_eq!(back.stats.units, 7);
+        assert_eq!(back.stats.cache_loads, 7);
+        assert_eq!(back.stats.mono.commands_emitted, 99);
+        assert_eq!(back.stats.phase.parse_us, 123);
+        assert!(back.netlist.is_none());
+    }
+
+    #[test]
+    fn output_carries_a_netlist() {
+        let mut net = rtl_sim::Netlist::new("Main");
+        let x = net.add_input("x", 4);
+        let o = net.add_signal("o", 4);
+        net.mark_output(o);
+        net.connect(o, x);
+        let output = BuildOutput {
+            netlist: Some(Arc::new(net)),
+            ..Default::default()
+        };
+        let mut bytes = Vec::new();
+        encode_output(&output, &mut bytes);
+        let (back, _) = decode_output(&bytes).unwrap();
+        let back_net = back.netlist.expect("netlist crossed the wire");
+        assert_eq!(back_net.name(), "Main");
+        assert_eq!(back_net.signals().len(), 2);
+        assert_eq!(back_net.assigns().len(), 1);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_catch_tampering() {
+        let payload = b"hello, farm".to_vec();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        assert_eq!(read_frame(&mut wire.as_slice()).unwrap(), payload);
+
+        // Clean close before any byte.
+        assert!(matches!(
+            read_frame(&mut [].as_slice()),
+            Err(FrameError::Closed)
+        ));
+        // Death mid-header and mid-payload are I/O errors, not Closed.
+        for cut in [3, wire.len() - 4] {
+            assert!(matches!(
+                read_frame(&mut wire[..cut].to_vec().as_slice()),
+                Err(FrameError::Io(_))
+            ));
+        }
+        // Version skew fails loudly.
+        let mut skew = wire.clone();
+        skew[4] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut skew.as_slice()),
+            Err(FrameError::Version { .. })
+        ));
+        // Payload corruption trips the checksum.
+        let mut corrupt = wire.clone();
+        corrupt[13] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut corrupt.as_slice()),
+            Err(FrameError::Checksum)
+        ));
+        // Oversized length prefixes are rejected before allocation.
+        let mut huge = wire.clone();
+        huge[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut huge.as_slice()),
+            Err(FrameError::TooLarge(_))
+        ));
+        let mut bad_magic = wire;
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut bad_magic.as_slice()),
+            Err(FrameError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncated_payloads_never_panic() {
+        let req = sample_request();
+        let mut bytes = Vec::new();
+        encode_request(&req, &mut bytes);
+        for n in 0..bytes.len() {
+            assert!(decode_request(&bytes[..n]).is_err());
+        }
+        let output = BuildOutput {
+            expanded_text: Some("x".into()),
+            ..Default::default()
+        };
+        let mut bytes = Vec::new();
+        encode_output(&output, &mut bytes);
+        for n in 0..bytes.len() {
+            assert!(decode_output(&bytes[..n]).is_err());
+        }
+    }
+}

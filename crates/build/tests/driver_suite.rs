@@ -194,8 +194,11 @@ fn warm_cache_skips_all_work_and_is_byte_identical() {
     // Editing a component's source invalidates exactly what reaches it:
     // renaming an instance inside Main changes Main's key only.
     let p2 = parse(
-        &src.replace("b := new Stage[8]<G+1>(a.o);", "bb := new Stage[8]<G+1>(a.o);")
-            .replace("o = b.o;", "o = bb.o;"),
+        &src.replace(
+            "b := new Stage[8]<G+1>(a.o);",
+            "bb := new Stage[8]<G+1>(a.o);",
+        )
+        .replace("o = b.o;", "o = bb.o;"),
     );
     let rebuilt = build_program(&p2, &TestRegistry, &opts(1, Some(&cache))).unwrap();
     assert_eq!(rebuilt.stats.cache_loads, 1, "Stage_8 itself is unchanged");
@@ -229,12 +232,21 @@ fn poisoned_cache_recovers_with_identical_output() {
 
     type Poison = Box<dyn Fn(&mut Vec<u8>)>;
     let poisons: Vec<(&str, Poison)> = vec![
-        ("truncated", Box::new(|b: &mut Vec<u8>| b.truncate(b.len() / 2))),
-        ("bit-flipped", Box::new(|b: &mut Vec<u8>| {
-            let mid = b.len() / 2;
-            b[mid] ^= 0x10;
-        })),
-        ("version-bumped", Box::new(|b: &mut Vec<u8>| b[4] = b[4].wrapping_add(1))),
+        (
+            "truncated",
+            Box::new(|b: &mut Vec<u8>| b.truncate(b.len() / 2)),
+        ),
+        (
+            "bit-flipped",
+            Box::new(|b: &mut Vec<u8>| {
+                let mid = b.len() / 2;
+                b[mid] ^= 0x10;
+            }),
+        ),
+        (
+            "version-bumped",
+            Box::new(|b: &mut Vec<u8>| b[4] = b[4].wrapping_add(1)),
+        ),
         ("emptied", Box::new(|b: &mut Vec<u8>| b.clear())),
         ("garbage", Box::new(|b: &mut Vec<u8>| *b = vec![0xA5; 64])),
     ];
@@ -350,7 +362,10 @@ fn expand_mode_artifacts_upgrade_to_full_builds() {
     assert!(o.lowered.is_none());
     assert_eq!(o.stats.cache_stores, 1);
     let full = build_program(&p, &TestRegistry, &opts(1, Some(&cache))).unwrap();
-    assert_eq!(full.stats.cache_misses, 1, "expand-only artifact lacks the lowered half");
+    assert_eq!(
+        full.stats.cache_misses, 1,
+        "expand-only artifact lacks the lowered half"
+    );
     assert_eq!(full.stats.lowered, 1);
     // And now expand-only sessions load the full artifact fine.
     let again = expand_program(&p, &opts(1, Some(&cache))).unwrap();

@@ -92,14 +92,27 @@ pub fn primitive_ports(kind: &CellKind) -> (PortList, PortList) {
     let outs = kind.output_widths();
     match kind {
         Const { .. } => (vec![], named(&["out"], outs)),
-        Add { .. } | Sub { .. } | MulComb { .. } | And { .. } | Or { .. } | Xor { .. }
-        | ShlDyn { .. } | ShrDyn { .. } | Eq { .. } | Lt { .. } | Ge { .. } | MultPipe { .. } => {
-            (named(&["left", "right"], ins), named(&["out"], outs))
-        }
-        Not { .. } | ShlConst { .. } | ShrConst { .. } | ReduceOr { .. } | ReduceAnd { .. }
-        | Clz { .. } | Slice { .. } | ZeroExt { .. } | SBox => {
-            (named(&["in"], ins), named(&["out"], outs))
-        }
+        Add { .. }
+        | Sub { .. }
+        | MulComb { .. }
+        | And { .. }
+        | Or { .. }
+        | Xor { .. }
+        | ShlDyn { .. }
+        | ShrDyn { .. }
+        | Eq { .. }
+        | Lt { .. }
+        | Ge { .. }
+        | MultPipe { .. } => (named(&["left", "right"], ins), named(&["out"], outs)),
+        Not { .. }
+        | ShlConst { .. }
+        | ShrConst { .. }
+        | ReduceOr { .. }
+        | ReduceAnd { .. }
+        | Clz { .. }
+        | Slice { .. }
+        | ZeroExt { .. }
+        | SBox => (named(&["in"], ins), named(&["out"], outs)),
         Concat { .. } => (named(&["hi", "lo"], ins), named(&["out"], outs)),
         Mux { .. } => (named(&["sel", "in0", "in1"], ins), named(&["out"], outs)),
         Reg { has_en, .. } => {

@@ -44,7 +44,7 @@ pub use elaborate::elaborate;
 pub use ir::{
     primitive_ports, Assign, CalyxError, Cell, CellProto, Component, Guard, PortRef, Program, Src,
 };
-pub use serial::{decode_component, encode_component, DecodeError};
+pub use serial::{decode_component, decode_netlist, encode_component, encode_netlist, DecodeError};
 pub use verilog::emit_program;
 
 #[cfg(test)]

@@ -62,10 +62,9 @@ impl fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "input truncated"),
             DecodeError::BadMagic => write!(f, "bad magic bytes"),
-            DecodeError::Version { found } => write!(
-                f,
-                "format version {found} does not match {FORMAT_VERSION}"
-            ),
+            DecodeError::Version { found } => {
+                write!(f, "format version {found} does not match {FORMAT_VERSION}")
+            }
             DecodeError::BadTag { what, tag } => write!(f, "invalid {what} tag {tag}"),
             DecodeError::Invalid(what) => write!(f, "invalid {what}"),
         }
@@ -492,6 +491,166 @@ pub fn decode_component(bytes: &[u8]) -> Result<(Component, usize), DecodeError>
     Ok((c, r.pos))
 }
 
+// ------------------------------------------------------- netlist encoding
+
+/// Magic bytes opening every encoded netlist.
+const NETLIST_MAGIC: [u8; 4] = *b"CLN1";
+
+/// Appends the canonical encoding of an elaborated netlist to `out`.
+///
+/// The compile-farm daemon serves post-[`crate::ir::Program::elaborate`]
+/// netlists over its wire protocol, so the netlist needs the same
+/// deterministic, corruption-safe treatment as [`encode_component`]:
+/// signals as `(name, width, dir)` records, cells as their [`CellKind`]
+/// plus pin lists of signal *indices* (signal ids are dense, in insertion
+/// order), assignments as `(dst, src, guard?)` index triples. The shared
+/// [`FORMAT_VERSION`] guards both layouts — a [`CellKind`] change bumps it
+/// once for components and netlists alike.
+pub fn encode_netlist(n: &rtl_sim::Netlist, out: &mut Vec<u8>) {
+    use rtl_sim::PortDir;
+    let mut w = Writer { out };
+    w.out.extend_from_slice(&NETLIST_MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.str(n.name());
+    w.u32(n.signals().len() as u32);
+    for s in n.signals() {
+        w.str(&s.name);
+        w.u32(s.width);
+        w.u8(match s.dir {
+            PortDir::Input => 0,
+            PortDir::Output => 1,
+            PortDir::Internal => 2,
+        });
+    }
+    w.u32(n.cells().len() as u32);
+    for c in n.cells() {
+        w.str(&c.name);
+        w.cell_kind(&c.kind);
+        w.u32(c.inputs.len() as u32);
+        for &s in &c.inputs {
+            w.u32(s.index() as u32);
+        }
+        w.u32(c.outputs.len() as u32);
+        for &s in &c.outputs {
+            w.u32(s.index() as u32);
+        }
+    }
+    w.u32(n.assigns().len() as u32);
+    for a in n.assigns() {
+        w.u32(a.dst.index() as u32);
+        w.u32(a.src.index() as u32);
+        match a.guard {
+            None => w.u8(0),
+            Some(g) => {
+                w.u8(1);
+                w.u32(g.index() as u32);
+            }
+        }
+    }
+}
+
+/// Decodes one netlist from the front of `bytes`, returning it together
+/// with the number of bytes consumed.
+///
+/// The netlist is rebuilt through [`rtl_sim::Netlist`]'s public builder
+/// API (signal ids are re-issued densely, matching the encoded indices)
+/// and then structurally revalidated with [`rtl_sim::Netlist::validate`],
+/// so a decoded netlist is always safe to hand to the simulator.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated, corrupted, or version-skewed
+/// input — including duplicate signal names, zero widths, out-of-range
+/// signal indices, and structurally invalid results. Never panics on any
+/// byte sequence.
+pub fn decode_netlist(bytes: &[u8]) -> Result<(rtl_sim::Netlist, usize), DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != NETLIST_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::Version { found: version });
+    }
+    let name = r.str()?;
+    let mut net = rtl_sim::Netlist::new(name);
+    let n_signals = r.count(9)?;
+    let mut ids = Vec::with_capacity(n_signals);
+    let mut outputs = Vec::new();
+    for _ in 0..n_signals {
+        let name = r.str()?;
+        let width = r.u32()?;
+        let dir = r.u8()?;
+        // The builder panics on duplicates and zero widths; decoding must
+        // not, so both become recoverable errors here.
+        if width == 0 {
+            return Err(DecodeError::Invalid("signal width"));
+        }
+        if net.signal_by_name(&name).is_some() {
+            return Err(DecodeError::Invalid("duplicate signal name"));
+        }
+        let id = match dir {
+            0 => net.add_input(name, width),
+            1 | 2 => net.add_signal(name, width),
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "signal dir",
+                    tag,
+                })
+            }
+        };
+        if dir == 1 {
+            outputs.push(id);
+        }
+        ids.push(id);
+    }
+    for id in outputs {
+        net.mark_output(id);
+    }
+    let signal = |idx: u32| {
+        ids.get(idx as usize)
+            .copied()
+            .ok_or(DecodeError::Invalid("signal index"))
+    };
+    let n_cells = r.count(10)?;
+    for _ in 0..n_cells {
+        let name = r.str()?;
+        let kind = r.cell_kind()?;
+        let n_in = r.count(4)?;
+        let mut inputs = Vec::with_capacity(n_in);
+        for _ in 0..n_in {
+            inputs.push(signal(r.u32()?)?);
+        }
+        let n_out = r.count(4)?;
+        let mut cell_outputs = Vec::with_capacity(n_out);
+        for _ in 0..n_out {
+            cell_outputs.push(signal(r.u32()?)?);
+        }
+        net.add_cell(name, kind, inputs, cell_outputs);
+    }
+    let n_assigns = r.count(9)?;
+    for _ in 0..n_assigns {
+        let dst = signal(r.u32()?)?;
+        let src = signal(r.u32()?)?;
+        match r.u8()? {
+            0 => net.connect(dst, src),
+            1 => {
+                let guard = signal(r.u32()?)?;
+                net.connect_guarded(dst, src, guard);
+            }
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "assign guard",
+                    tag,
+                })
+            }
+        }
+    }
+    net.validate()
+        .map_err(|_| DecodeError::Invalid("netlist structure"))?;
+    Ok((net, r.pos))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -708,5 +867,111 @@ mod tests {
         p.add_component(outer2);
         p.add_component(inner2);
         assert!(p.elaborate("Top").is_ok());
+    }
+
+    fn sample_netlist() -> rtl_sim::Netlist {
+        let mut net = rtl_sim::Netlist::new("Top");
+        let x = net.add_input("x", 8);
+        let en = net.add_input("en", 1);
+        let sum = net.add_signal("add0.out", 8);
+        let q = net.add_signal("r0.out", 8);
+        let o = net.add_signal("o", 8);
+        net.mark_output(o);
+        net.add_cell("add0", CellKind::Add { width: 8 }, vec![x, x], vec![sum]);
+        net.add_cell(
+            "r0",
+            CellKind::Reg {
+                width: 8,
+                init: 0,
+                has_en: true,
+            },
+            vec![en, sum],
+            vec![q],
+        );
+        net.connect_guarded(o, q, en);
+        net.validate().expect("sample netlist is well-formed");
+        net
+    }
+
+    #[test]
+    fn netlist_roundtrips_and_is_deterministic() {
+        let net = sample_netlist();
+        let mut bytes = Vec::new();
+        encode_netlist(&net, &mut bytes);
+        let mut again = Vec::new();
+        encode_netlist(&net, &mut again);
+        assert_eq!(bytes, again, "netlist encoding is deterministic");
+        let (back, used) = decode_netlist(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        let mut reenc = Vec::new();
+        encode_netlist(&back, &mut reenc);
+        assert_eq!(bytes, reenc, "decode is the inverse of encode");
+        assert_eq!(back.name(), "Top");
+        assert_eq!(back.signals().len(), net.signals().len());
+        assert_eq!(back.cells().len(), 2);
+        assert_eq!(back.assigns().len(), 1);
+        assert!(back.signal_by_name("add0.out").is_some());
+        // Port directions survive: the simulator can drive the decoded
+        // netlist directly.
+        assert!(rtl_sim::Sim::new(&back).is_ok());
+    }
+
+    #[test]
+    fn netlist_truncation_is_an_error_not_a_panic() {
+        let mut bytes = Vec::new();
+        encode_netlist(&sample_netlist(), &mut bytes);
+        for n in 0..bytes.len() {
+            assert!(
+                decode_netlist(&bytes[..n]).is_err(),
+                "decoding {n}/{} bytes succeeded",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn netlist_corruption_never_panics() {
+        let mut bytes = Vec::new();
+        encode_netlist(&sample_netlist(), &mut bytes);
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[i] ^= flip;
+                // Either an error or a structurally valid netlist — what
+                // matters is no panic and no unbounded allocation.
+                let _ = decode_netlist(&bad);
+            }
+        }
+    }
+
+    #[test]
+    fn netlist_version_and_magic_are_checked() {
+        let mut bytes = Vec::new();
+        encode_netlist(&sample_netlist(), &mut bytes);
+        let mut skewed = bytes.clone();
+        skewed[4] = skewed[4].wrapping_add(1);
+        assert_eq!(
+            decode_netlist(&skewed).unwrap_err(),
+            DecodeError::Version {
+                found: FORMAT_VERSION + 1
+            }
+        );
+        let mut bad_magic = bytes;
+        bad_magic[0] = b'X';
+        assert_eq!(
+            decode_netlist(&bad_magic).unwrap_err(),
+            DecodeError::BadMagic
+        );
+    }
+
+    #[test]
+    fn netlist_bad_signal_index_is_rejected() {
+        let mut bytes = Vec::new();
+        encode_netlist(&sample_netlist(), &mut bytes);
+        // The final assignment's dst index lives near the end; poke an
+        // obviously out-of-range index over it and expect a clean error.
+        let n = bytes.len();
+        bytes[n - 9..n - 5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_netlist(&bytes).is_err());
     }
 }

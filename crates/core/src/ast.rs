@@ -145,9 +145,7 @@ impl ConstExpr {
                 .ok_or_else(|| ConstEvalError::Unbound(p.clone())),
             ConstExpr::InstParam(i, p) => {
                 let key = ConstExpr::inst_key(i, p);
-                env.get(&key)
-                    .copied()
-                    .ok_or(ConstEvalError::Unbound(key))
+                env.get(&key).copied().ok_or(ConstEvalError::Unbound(key))
             }
             ConstExpr::Bin(op, l, r) => op.apply(l.eval(env)?, r.eval(env)?),
             ConstExpr::Pow2(e) => {
@@ -227,9 +225,7 @@ impl ConstExpr {
                 .get(&ConstExpr::inst_key(i, p))
                 .cloned()
                 .unwrap_or_else(|| self.clone()),
-            ConstExpr::Bin(op, l, r) => {
-                ConstExpr::bin(*op, l.subst_exprs(env), r.subst_exprs(env))
-            }
+            ConstExpr::Bin(op, l, r) => ConstExpr::bin(*op, l.subst_exprs(env), r.subst_exprs(env)),
             ConstExpr::Pow2(e) => ConstExpr::Pow2(Box::new(e.subst_exprs(env))).norm(),
             ConstExpr::Log2(e) => ConstExpr::Log2(Box::new(e.subst_exprs(env))).norm(),
         }
@@ -1158,10 +1154,12 @@ impl Program {
 
     /// Looks up any signature (extern or user) by name.
     pub fn sig(&self, name: &str) -> Option<&Signature> {
-        self.externs
-            .iter()
-            .find(|s| s.name == name)
-            .or_else(|| self.components.iter().map(|c| &c.sig).find(|s| s.name == name))
+        self.externs.iter().find(|s| s.name == name).or_else(|| {
+            self.components
+                .iter()
+                .map(|c| &c.sig)
+                .find(|s| s.name == name)
+        })
     }
 
     /// Looks up a user component by name.
@@ -1348,11 +1346,7 @@ mod tests {
         // W*N + W - 1 = 31.
         let e = ConstExpr::bin(
             ConstOp::Sub,
-            ConstExpr::bin(
-                ConstOp::Add,
-                ConstExpr::bin(ConstOp::Mul, w(), n()),
-                w(),
-            ),
+            ConstExpr::bin(ConstOp::Add, ConstExpr::bin(ConstOp::Mul, w(), n()), w()),
             ConstExpr::Lit(1),
         );
         assert_eq!(e.eval(&env), Ok(31));
@@ -1414,10 +1408,7 @@ mod tests {
             Box::new(p("W")),
         );
         assert_eq!(flat.to_string(), "W * I + W");
-        assert_eq!(
-            ConstExpr::Pow2(Box::new(p("N"))).to_string(),
-            "pow2(N)"
-        );
+        assert_eq!(ConstExpr::Pow2(Box::new(p("N"))).to_string(), "pow2(N)");
     }
 
     #[test]
@@ -1440,10 +1431,7 @@ mod tests {
         assert_eq!(fused.mangle(&env).unwrap(), "pe_1#inst");
         // Unbound index propagates.
         let bad = IName::indexed("pe", vec![ConstExpr::Param("k".into())]);
-        assert_eq!(
-            bad.mangle(&env),
-            Err(ConstEvalError::Unbound("k".into()))
-        );
+        assert_eq!(bad.mangle(&env), Err(ConstEvalError::Unbound("k".into())));
     }
 
     #[test]
@@ -1523,10 +1511,7 @@ mod tests {
         assert!(sig.input("in").is_some());
         assert!(sig.output("out").is_some());
         assert!(sig.input("out").is_none());
-        assert_eq!(
-            sig.constraints[0].to_string(),
-            "L > G+1"
-        );
+        assert_eq!(sig.constraints[0].to_string(), "L > G+1");
     }
 
     #[test]
@@ -1535,10 +1520,7 @@ mod tests {
         assert_eq!(e.to_string(), "enc.W");
         assert_eq!(e.params(), vec!["enc.W".to_owned()]);
         let mut env = HashMap::new();
-        assert_eq!(
-            e.eval(&env),
-            Err(ConstEvalError::Unbound("enc.W".into()))
-        );
+        assert_eq!(e.eval(&env), Err(ConstEvalError::Unbound("enc.W".into())));
         env.insert(ConstExpr::inst_key("enc", "W"), 3u64);
         assert_eq!(e.eval(&env), Ok(3));
         assert_eq!(e.subst(&env), ConstExpr::Lit(3));
@@ -1552,10 +1534,8 @@ mod tests {
         let free = ParamDecl::free("N");
         assert_eq!(free.to_string(), "N");
         assert!(!free.is_derived());
-        let derived = ParamDecl::derived(
-            "W",
-            ConstExpr::Log2(Box::new(ConstExpr::Param("N".into()))),
-        );
+        let derived =
+            ParamDecl::derived("W", ConstExpr::Log2(Box::new(ConstExpr::Param("N".into()))));
         assert_eq!(derived.to_string(), "some W = log2(N)");
         assert!(derived.is_derived());
     }
@@ -1566,10 +1546,7 @@ mod tests {
             name: "Enc".into(),
             params: vec![
                 ParamDecl::free("N"),
-                ParamDecl::derived(
-                    "W",
-                    ConstExpr::Log2(Box::new(ConstExpr::Param("N".into()))),
-                ),
+                ParamDecl::derived("W", ConstExpr::Log2(Box::new(ConstExpr::Param("N".into())))),
                 ParamDecl::derived(
                     "D",
                     ConstExpr::bin(

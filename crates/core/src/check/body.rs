@@ -205,10 +205,7 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                         err(
                             errors,
                             ErrorKind::Binding,
-                            format!(
-                                "invocation {name} scheduled with unknown event {}",
-                                t.event
-                            ),
+                            format!("invocation {name} scheduled with unknown event {}", t.event),
                         );
                         ok = false;
                     }
@@ -263,15 +260,9 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                     .get(&invocation.base)
                     .ok_or_else(|| format!("unknown invocation {invocation}"))?;
                 let info = &instances[&inv.instance];
-                let def = info
-                    .sig
-                    .output(port)
-                    .ok_or_else(|| {
-                        format!(
-                            "component {} has no output port {port}",
-                            info.sig.name
-                        )
-                    })?;
+                let def = info.sig.output(port).ok_or_else(|| {
+                    format!("component {} has no output port {port}", info.sig.name)
+                })?;
                 Ok((
                     Avail::Range(def.liveness.subst(&inv.binding)),
                     def.width.subst_exprs(&info.params),
@@ -342,8 +333,7 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                 ..
             } => {
                 let name = &name.base;
-                let (Some(inv), Some(info)) =
-                    (invokes.get(name), instances.get(&instance.base))
+                let (Some(inv), Some(info)) = (invokes.get(name), instances.get(&instance.base))
                 else {
                     continue;
                 };
@@ -623,7 +613,10 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
                              reified (Definition 5.1)",
                             cev.name,
                             info.sig.name,
-                            info.sig.interface_of(&cev.name).map(|i| i.name.as_str()).unwrap_or("?")
+                            info.sig
+                                .interface_of(&cev.name)
+                                .map(|i| i.name.as_str())
+                                .unwrap_or("?")
                         ),
                     );
                 }
@@ -633,9 +626,9 @@ pub(crate) fn check_body(program: &Program, comp: &Component, errors: &mut Vec<C
             if inv_names.len() < 2 {
                 continue;
             }
-            let shared_on_phantom = inv_names.iter().any(|n| {
-                busy.get(n).is_some_and(|(v, ..)| v == phantom)
-            });
+            let shared_on_phantom = inv_names
+                .iter()
+                .any(|n| busy.get(n).is_some_and(|(v, ..)| v == phantom));
             if shared_on_phantom {
                 err(
                     errors,

@@ -83,7 +83,11 @@ pub struct CheckError {
 }
 
 impl CheckError {
-    pub(crate) fn new(component: impl Into<Id>, kind: ErrorKind, message: impl Into<String>) -> Self {
+    pub(crate) fn new(
+        component: impl Into<Id>,
+        kind: ErrorKind,
+        message: impl Into<String>,
+    ) -> Self {
         CheckError {
             component: component.into(),
             kind,
@@ -133,7 +137,10 @@ pub(crate) fn signature_is_concrete(sig: &Signature, errors: &mut Vec<CheckError
             errors.push(CheckError::new(
                 comp.clone(),
                 ErrorKind::Unelaborated,
-                format!("bundle port {} not flattened; run mono::expand first", p.name),
+                format!(
+                    "bundle port {} not flattened; run mono::expand first",
+                    p.name
+                ),
             ));
             ok = false;
             continue;
@@ -181,7 +188,9 @@ pub(crate) fn body_is_concrete(comp: &Component, errors: &mut Vec<CheckError>) -
                     errors.push(CheckError::new(
                         cname.clone(),
                         ErrorKind::Unelaborated,
-                        format!("for-generate loop over {var} not unrolled; run mono::expand first"),
+                        format!(
+                            "for-generate loop over {var} not unrolled; run mono::expand first"
+                        ),
                     ));
                     ok = false;
                 }

@@ -268,11 +268,7 @@ pub(crate) fn check_signature(sig: &Signature, is_extern: bool, errors: &mut Vec
         .chain(sig.outputs.iter().map(|p| &p.name))
     {
         if !names.insert(name.clone()) {
-            err(
-                errors,
-                ErrorKind::Binding,
-                format!("duplicate port {name}"),
-            );
+            err(errors, ErrorKind::Binding, format!("duplicate port {name}"));
         }
     }
     let mut params = HashSet::new();
@@ -362,8 +358,7 @@ pub(crate) fn check_signature(sig: &Signature, is_extern: bool, errors: &mut Vec
             err(
                 errors,
                 ErrorKind::Constraint,
-                "ordering constraints between events are only allowed on extern components"
-                    .into(),
+                "ordering constraints between events are only allowed on extern components".into(),
             );
         }
         for ev in &sig.events {
@@ -400,10 +395,7 @@ pub(crate) fn check_signature(sig: &Signature, is_extern: bool, errors: &mut Vec
             Ok(false) => err(
                 errors,
                 ErrorKind::DelayWellFormed,
-                format!(
-                    "interval {} of port {} may be empty",
-                    p.liveness, p.name
-                ),
+                format!("interval {} of port {} may be empty", p.liveness, p.name),
             ),
             Err(()) => err(
                 errors,
@@ -474,4 +466,3 @@ pub(crate) fn check_signature(sig: &Signature, is_extern: bool, errors: &mut Vec
         }
     }
 }
-

@@ -165,8 +165,8 @@ pub use ast::{Component, ParamDecl, Program, Signature};
 pub use check::{check_component, check_program, CheckError};
 pub use lower::{lower_component_unit, lower_program, LoweredUnit, PrimitiveRegistry};
 pub use mono::{
-    elaborate_component, elaborate_signature, expand, expand_with_stats, CalleeResolver,
-    MonoError, MonoStats,
+    elaborate_component, elaborate_signature, expand, expand_with_stats, CalleeResolver, MonoError,
+    MonoStats,
 };
 pub use parser::{parse_program, ParseError};
 pub use sem::{component_log, safe_pipelining_horizon, Log, LogViolation};

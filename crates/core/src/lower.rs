@@ -90,7 +90,10 @@ impl fmt::Display for LowerError {
         match self {
             LowerError::UnknownComponent(c) => write!(f, "unknown component {c}"),
             LowerError::NoPrimitive { name } => {
-                write!(f, "no primitive implementation registered for extern {name}")
+                write!(
+                    f,
+                    "no primitive implementation registered for extern {name}"
+                )
             }
             LowerError::PortMismatch { name, port } => write!(
                 f,
@@ -124,7 +127,10 @@ impl fmt::Display for LowerError {
                  (`filament expand`) before lowering"
             ),
             LowerError::IllTyped { detail } => {
-                write!(f, "program is not well-typed: {detail} (run the checker first)")
+                write!(
+                    f,
+                    "program is not well-typed: {detail} (run the checker first)"
+                )
             }
         }
     }
@@ -283,7 +289,9 @@ fn reject_generate_constructs(comp: &crate::ast::Component) -> Result<(), LowerE
                     return Err(unelab(format!("for-generate loop over {var}")));
                 }
                 Command::IfGen { lhs, op, rhs, .. } => {
-                    return Err(unelab(format!("if-generate conditional `{lhs} {op} {rhs}`")));
+                    return Err(unelab(format!(
+                        "if-generate conditional `{lhs} {op} {rhs}`"
+                    )));
                 }
                 Command::Invoke { args, .. } => {
                     for a in args {
@@ -418,11 +426,8 @@ fn lower_one(
                 if let Some(kind) = registry.primitive(component, &values) {
                     // The signature's port names must exist on the primitive.
                     let (pins, pouts) = cl::primitive_ports(&kind);
-                    let have: HashSet<&str> = pins
-                        .iter()
-                        .chain(&pouts)
-                        .map(|(n, _)| n.as_str())
-                        .collect();
+                    let have: HashSet<&str> =
+                        pins.iter().chain(&pouts).map(|(n, _)| n.as_str()).collect();
                     for port in sig_port_names(callee) {
                         if !have.contains(port.as_str()) {
                             return Err(LowerError::PortMismatch {
@@ -631,7 +636,10 @@ fn lower_one(
 
     // Data arguments with synthesized guards (Section 5.2).
     for cmd in &comp.body {
-        let Command::Invoke { name: iname, args, .. } = cmd else {
+        let Command::Invoke {
+            name: iname, args, ..
+        } = cmd
+        else {
             continue;
         };
         let iname = flat_name(iname, name)?;

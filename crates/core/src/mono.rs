@@ -54,7 +54,7 @@
 //! elaborated is reported as divergence.
 
 use crate::ast::{
-    Command, Component, ConstEvalError, ConstExpr, Delay, EventDecl, Id, IName, ParamResolveError,
+    Command, Component, ConstEvalError, ConstExpr, Delay, EventDecl, IName, Id, ParamResolveError,
     Port, PortDef, Program, Range, Signature, Time,
 };
 use std::collections::{HashMap, HashSet};
@@ -109,7 +109,6 @@ impl MonoStats {
         self.commands_emitted += other.commands_emitted;
     }
 }
-
 
 /// Errors raised during monomorphization.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -568,7 +567,12 @@ impl BodyCtx<'_> {
     fn callee_output_extent(&self, inv: &str, port: &str) -> Option<(u64, u64)> {
         let inst = self.invokes.get(inv)?;
         let (sig, env) = self.instances.get(inst)?;
-        let b = sig.outputs.iter().find(|p| p.name == port)?.bundle.as_ref()?;
+        let b = sig
+            .outputs
+            .iter()
+            .find(|p| p.name == port)?
+            .bundle
+            .as_ref()?;
         Some((b.lo.eval(env).ok()?, b.hi.eval(env).ok()?))
     }
 }
@@ -633,17 +637,17 @@ impl<'p> Mono<'p> {
     /// returns, or one per free parameter — both forms normalize to the
     /// same cache key), elaborating it first unless cached.
     fn instantiate(&mut self, component: &str, values: Vec<u64>) -> Result<Id, MonoError> {
-        let comp = self
-            .program
-            .component(component)
-            .ok_or_else(|| MonoError::UnknownComponent {
-                component: self
-                    .stack
-                    .last()
-                    .map(|(c, _)| c.clone())
-                    .unwrap_or_default(),
-                callee: component.to_owned(),
-            })?;
+        let comp =
+            self.program
+                .component(component)
+                .ok_or_else(|| MonoError::UnknownComponent {
+                    component: self
+                        .stack
+                        .last()
+                        .map(|(c, _)| c.clone())
+                        .unwrap_or_default(),
+                    callee: component.to_owned(),
+                })?;
         // Normalize to the full value vector *before* forming the cache key
         // so free-length and full-length calls of the same instantiation
         // share one monomorph (instantiation sites pre-resolve; this also
@@ -767,17 +771,14 @@ impl<'p> Elab<'p, '_> {
                         complete = false;
                         continue;
                     };
-                    let given: Vec<u64> = match params
-                        .iter()
-                        .map(|p| p.eval(env))
-                        .collect::<Result<_, _>>()
-                    {
-                        Ok(v) => v,
-                        Err(_) => {
-                            complete = false;
-                            continue;
-                        }
-                    };
+                    let given: Vec<u64> =
+                        match params.iter().map(|p| p.eval(env)).collect::<Result<_, _>>() {
+                            Ok(v) => v,
+                            Err(_) => {
+                                complete = false;
+                                continue;
+                            }
+                        };
                     let Ok(full) = csig.resolve_param_values(&given) else {
                         complete = false;
                         continue;
@@ -790,8 +791,7 @@ impl<'p> Elab<'p, '_> {
                     ctx.instances.insert(name.clone(), (csig, cenv));
                 }
                 Command::Invoke { name, instance, .. } => {
-                    let (Ok(name), Ok(instance)) = (name.mangle(env), instance.mangle(env))
-                    else {
+                    let (Ok(name), Ok(instance)) = (name.mangle(env), instance.mangle(env)) else {
                         complete = false;
                         continue;
                     };
@@ -1053,9 +1053,7 @@ impl<'p> Elab<'p, '_> {
                         return Err(MonoError::Bundle {
                             component: component.to_owned(),
                             site: format!("element {port}[{idx}]"),
-                            message: format!(
-                                "index {k} is outside the bundle's range {lo}..{hi}"
-                            ),
+                            message: format!("index {k} is outside the bundle's range {lo}..{hi}"),
                         });
                     }
                 }
@@ -1082,9 +1080,7 @@ impl<'p> Elab<'p, '_> {
                         return Err(MonoError::Bundle {
                             component: component.to_owned(),
                             site: format!("element {invocation}.{port}[{idx}]"),
-                            message: format!(
-                                "index {k} is outside the bundle's range {lo}..{hi}"
-                            ),
+                            message: format!("index {k} is outside the bundle's range {lo}..{hi}"),
                         });
                     }
                 }
@@ -1156,8 +1152,7 @@ impl<'p> Elab<'p, '_> {
                 }
                 Port::Inv { invocation, port } => {
                     let invocation = self.elab_name(invocation, env, component)?;
-                    let Some((lo, hi)) = ctx.callee_output_extent(&invocation.base, port)
-                    else {
+                    let Some((lo, hi)) = ctx.callee_output_extent(&invocation.base, port) else {
                         return Err(bundle_err(format!(
                             "{invocation}.{port} is not a bundle output of an invocation in \
                              this body, but {} of {} takes {want} elements",
@@ -1336,8 +1331,7 @@ mod tests {
     use super::*;
     use crate::parser::parse_program;
 
-    const DELAY_EXT: &str =
-        "extern comp Delay[W]<G: 1>(@[G, G+1] in: W) -> (@[G+1, G+2] out: W);";
+    const DELAY_EXT: &str = "extern comp Delay[W]<G: 1>(@[G, G+1] in: W) -> (@[G+1, G+2] out: W);";
 
     fn expand_src(src: &str) -> Result<(Program, MonoStats), MonoError> {
         expand_with_stats(&parse_program(src).unwrap())
@@ -1490,7 +1484,17 @@ mod tests {
              comp Main<G: 1>() -> () { t := new Two[1]; }",
         )
         .unwrap_err();
-        assert!(matches!(err, MonoError::Arity { want: 2, got: 1, .. }), "{err}");
+        assert!(
+            matches!(
+                err,
+                MonoError::Arity {
+                    want: 2,
+                    got: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1548,9 +1552,9 @@ mod tests {
         let main = p.component("Main").unwrap();
         let callee_of = |inst: &str| {
             main.body.iter().find_map(|c| match c {
-                Command::Instance { name, component, .. } if name.base == inst => {
-                    Some(component.clone())
-                }
+                Command::Instance {
+                    name, component, ..
+                } if name.base == inst => Some(component.clone()),
                 _ => None,
             })
         };
@@ -1585,9 +1589,9 @@ mod tests {
             .body
             .iter()
             .filter_map(|c| match c {
-                Command::Instance { component, params, .. } if component == "Delay" => {
-                    Some(params.clone())
-                }
+                Command::Instance {
+                    component, params, ..
+                } if component == "Delay" => Some(params.clone()),
                 _ => None,
             })
             .collect();
@@ -1638,12 +1642,14 @@ mod tests {
         ))
         .unwrap();
         let mut rec = Recorder(Vec::new());
-        let (comp, stats) =
-            elaborate_component(&p, "Pair", &[8], "Pair_8", &mut rec).unwrap();
+        let (comp, stats) = elaborate_component(&p, "Pair", &[8], "Pair_8", &mut rec).unwrap();
         assert_eq!(comp.sig.name, "Pair_8");
         assert_eq!(
             rec.0,
-            vec![("Inner".to_owned(), vec![8]), ("Inner".to_owned(), vec![16])]
+            vec![
+                ("Inner".to_owned(), vec![8]),
+                ("Inner".to_owned(), vec![16])
+            ]
         );
         // The emitted instances reference the resolver's names.
         let callees: Vec<_> = comp
@@ -1685,7 +1691,10 @@ mod tests {
         // `Taps` is never instantiated, so force it via a wrapper instead —
         // actually parametric components are dropped; re-expand with a user.
         assert!(p.component("Taps").is_none());
-        assert_eq!(stats.bundles_flattened, 0, "uninstantiated: nothing flattened");
+        assert_eq!(
+            stats.bundles_flattened, 0,
+            "uninstantiated: nothing flattened"
+        );
         let (p, stats) = expand_src(
             "comp Taps[N, W]<G: 1>(@[G, G+1] in[i: 0..N]: W*(i+1))
                  -> (@[G+k, G+(k+1)] out[k: N]: W) { out[0] = in[0]; out[1] = in[1]; }
@@ -1840,7 +1849,10 @@ mod tests {
              }",
         )
         .unwrap_err();
-        assert!(err.to_string().contains("outside the bundle's range"), "{err}");
+        assert!(
+            err.to_string().contains("outside the bundle's range"),
+            "{err}"
+        );
         // Bundles on externs are rejected up front.
         let err = expand_src(
             "extern comp E<G: 1>(@[G, G+1] in[i: 0..2]: 8) -> ();
@@ -1951,7 +1963,14 @@ mod tests {
         )
         .unwrap_err();
         assert!(
-            matches!(err, MonoError::Derived { want: 4, got: 5, .. }),
+            matches!(
+                err,
+                MonoError::Derived {
+                    want: 4,
+                    got: 5,
+                    ..
+                }
+            ),
             "{err}"
         );
         // Supplying a value for a derived parameter (wrong arity) is an
@@ -1961,7 +1980,17 @@ mod tests {
              comp Main<G: 1>(@[G, G+1] x: 8) -> () { e := new E[8, 3, 9]<G>(x); }",
         )
         .unwrap_err();
-        assert!(matches!(err, MonoError::Arity { want: 1, got: 3, .. }), "{err}");
+        assert!(
+            matches!(
+                err,
+                MonoError::Arity {
+                    want: 1,
+                    got: 3,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -2045,7 +2074,10 @@ mod tests {
              comp Main<G: 1>(@[G, G+1] p: 8) -> () { f := new Fwd<G>(p); }",
         )
         .unwrap_err();
-        assert!(err.to_string().contains("outside the bundle's range"), "{err}");
+        assert!(
+            err.to_string().contains("outside the bundle's range"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -451,7 +455,9 @@ impl Parser {
                 self.eat(Tok::RParen)?;
                 Ok(e)
             }
-            Tok::Ident(name) if (name == "pow2" || name == "log2") && *self.peek2() == Tok::LParen => {
+            Tok::Ident(name)
+                if (name == "pow2" || name == "log2") && *self.peek2() == Tok::LParen =>
+            {
                 self.bump();
                 self.eat(Tok::LParen)?;
                 let e = self.const_expr()?;
@@ -627,9 +633,7 @@ impl Parser {
         if let (Ok(l), Ok(h)) = (lo.eval_closed(), hi.eval_closed()) {
             if h <= l {
                 return Err(ParseError {
-                    message: format!(
-                        "bundle port {port} has an empty index range {lo}..{hi}"
-                    ),
+                    message: format!("bundle port {port} has an empty index range {lo}..{hi}"),
                     line: range_line,
                     col: range_col,
                 });
@@ -1101,7 +1105,10 @@ mod tests {
         assert_eq!(p.externs[0].outputs[0].width.to_string(), "pow2(N)");
         // An identifier named pow2 *not* followed by '(' is still a param.
         let p = parse_program("extern comp A[pow2]<T: 1>(@[T, T+1] a: pow2) -> ();").unwrap();
-        assert_eq!(p.externs[0].inputs[0].width, ConstExpr::Param("pow2".into()));
+        assert_eq!(
+            p.externs[0].inputs[0].width,
+            ConstExpr::Param("pow2".into())
+        );
     }
 
     #[test]
@@ -1129,7 +1136,9 @@ mod tests {
                 assert_eq!(hi, &ConstExpr::Param("D".into()));
                 assert_eq!(body.len(), 2, "fused form inside the loop");
                 match &body[1] {
-                    Command::Invoke { name, events, args, .. } => {
+                    Command::Invoke {
+                        name, events, args, ..
+                    } => {
                         assert_eq!(name.base, "s");
                         assert_eq!(name.idx, vec![ConstExpr::Param("i".into())]);
                         assert_eq!(events[0].to_string(), "G+i");
@@ -1147,7 +1156,10 @@ mod tests {
             other => panic!("expected for-generate, got {other:?}"),
         }
         match &c.body[3] {
-            Command::Connect { src: Port::Inv { invocation, .. }, .. } => {
+            Command::Connect {
+                src: Port::Inv { invocation, .. },
+                ..
+            } => {
                 assert_eq!(invocation.base, "s");
             }
             other => panic!("{other:?}"),
@@ -1201,10 +1213,9 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        let err = parse_program(
-            "comp M<G: 1>(@[G, G+1] a: 8) -> (@[G, G+1] o: 8) { o[1][2] = a; }",
-        )
-        .unwrap_err();
+        let err =
+            parse_program("comp M<G: 1>(@[G, G+1] a: 8) -> (@[G, G+1] o: 8) { o[1][2] = a; }")
+                .unwrap_err();
         assert!(err.to_string().contains("single index"), "{err}");
     }
 
@@ -1311,9 +1322,7 @@ mod tests {
     #[test]
     fn if_generate_all_comparisons_parse() {
         for op in ["==", "!=", "<", "<=", ">", ">="] {
-            let src = format!(
-                "comp M[N]<G: 1>() -> () {{ if N {op} 4 {{ }} }}"
-            );
+            let src = format!("comp M[N]<G: 1>() -> () {{ if N {op} 4 {{ }} }}");
             let p = parse_program(&src).unwrap_or_else(|e| panic!("{op}: {e}"));
             assert!(matches!(&p.components[0].body[0], Command::IfGen { .. }));
         }
@@ -1322,10 +1331,7 @@ mod tests {
     #[test]
     fn bundle_syntax_errors_have_spans() {
         // Empty literal index range: the span points at the range tokens.
-        let err = parse_program(
-            "comp M<G: 1>(@[G, G+1] in[i: 5..2]: 8) -> () { }",
-        )
-        .unwrap_err();
+        let err = parse_program("comp M<G: 1>(@[G, G+1] in[i: 5..2]: 8) -> () { }").unwrap_err();
         assert!(err.to_string().contains("empty index range"), "{err}");
         assert_eq!((err.line, err.col), (1, 30), "{err}");
         // Zero-size bundle via the length-sugar form.
@@ -1333,10 +1339,7 @@ mod tests {
         assert!(err.to_string().contains("empty index range"), "{err}");
         assert_eq!((err.line, err.col), (1, 30), "{err}");
         // Bad index range: '..' with no lower bound is not a cexpr.
-        let err = parse_program(
-            "comp M<G: 1>(@[G, G+1] in[i: ..4]: 8) -> () { }",
-        )
-        .unwrap_err();
+        let err = parse_program("comp M<G: 1>(@[G, G+1] in[i: ..4]: 8) -> () { }").unwrap_err();
         assert!(
             err.to_string().contains("expected constant expression"),
             "{err}"
@@ -1344,17 +1347,11 @@ mod tests {
         assert_eq!((err.line, err.col), (1, 30), "{err}");
         // Missing width after the binder: the error points at the token
         // where ':' was expected.
-        let err = parse_program(
-            "comp M<G: 1>(@[G, G+1] in[i: 0..4]) -> () { }",
-        )
-        .unwrap_err();
+        let err = parse_program("comp M<G: 1>(@[G, G+1] in[i: 0..4]) -> () { }").unwrap_err();
         assert!(err.to_string().contains("':'"), "{err}");
         assert_eq!((err.line, err.col), (1, 35), "{err}");
         // Missing binder variable.
-        let err = parse_program(
-            "comp M<G: 1>(@[G, G+1] in[: 0..4]: 8) -> () { }",
-        )
-        .unwrap_err();
+        let err = parse_program("comp M<G: 1>(@[G, G+1] in[: 0..4]: 8) -> () { }").unwrap_err();
         assert!(err.to_string().contains("identifier"), "{err}");
     }
 
@@ -1481,10 +1478,8 @@ mod tests {
 
     #[test]
     fn parses_comments() {
-        let p = parse_program(
-            "// line comment\n/* block\ncomment */ extern comp A<T: 1>() -> ();",
-        )
-        .unwrap();
+        let p = parse_program("// line comment\n/* block\ncomment */ extern comp A<T: 1>() -> ();")
+            .unwrap();
         assert_eq!(p.externs.len(), 1);
     }
 
@@ -1503,8 +1498,7 @@ mod tests {
 
     #[test]
     fn error_on_wide_interface_port() {
-        let err =
-            parse_program("extern comp A<T: 1>(@interface[T] go: 2) -> ();").unwrap_err();
+        let err = parse_program("extern comp A<T: 1>(@interface[T] go: 2) -> ();").unwrap_err();
         assert!(err.to_string().contains("width 1"));
     }
 

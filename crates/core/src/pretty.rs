@@ -4,9 +4,7 @@
 //! `parse ∘ print` is the identity on ASTs — a property checked by the
 //! round-trip tests in `tests/roundtrip.rs`.
 
-use crate::ast::{
-    Command, Component, ConstExpr, ConstraintOp, Delay, PortDef, Program, Signature,
-};
+use crate::ast::{Command, Component, ConstExpr, ConstraintOp, Delay, PortDef, Program, Signature};
 use std::fmt::Write as _;
 
 /// Renders a full program.
@@ -69,8 +67,7 @@ fn print_commands(cmds: &[Command], depth: usize, out: &mut String) {
                 let ps = if params.is_empty() {
                     String::new()
                 } else {
-                    let items: Vec<String> =
-                        params.iter().map(ConstExpr::to_string).collect();
+                    let items: Vec<String> = params.iter().map(ConstExpr::to_string).collect();
                     format!("[{}]", items.join(", "))
                 };
                 let evs: Vec<String> = events.iter().map(|t| t.to_string()).collect();
@@ -136,11 +133,7 @@ pub fn print_signature(sig: &Signature) -> String {
     let _ = write!(out, "<{}>", events.join(", "));
 
     let port = |p: &PortDef| {
-        let bundle = p
-            .bundle
-            .as_ref()
-            .map(|b| b.to_string())
-            .unwrap_or_default();
+        let bundle = p.bundle.as_ref().map(|b| b.to_string()).unwrap_or_default();
         format!(
             "@[{}, {}] {}{bundle}: {}",
             p.liveness.start, p.liveness.end, p.name, p.width
@@ -197,7 +190,11 @@ pub fn print_command(cmd: &Command) -> String {
         } => {
             let evs: Vec<String> = events.iter().map(|t| t.to_string()).collect();
             let ars: Vec<String> = args.iter().map(|a| a.to_string()).collect();
-            format!("{name} := {instance}<{}>({});", evs.join(", "), ars.join(", "))
+            format!(
+                "{name} := {instance}<{}>({});",
+                evs.join(", "),
+                ars.join(", ")
+            )
         }
         Command::Connect { dst, src } => format!("{dst} = {src};"),
         Command::ForGen { var, lo, hi, body } => {

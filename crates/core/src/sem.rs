@@ -409,7 +409,9 @@ mod tests {
                 "busy at {t}"
             );
         }
-        assert!(!log.entries().contains_key(&3) || !log.entries()[&3].writes.contains_key("inst:M"));
+        assert!(
+            !log.entries().contains_key(&3) || !log.entries()[&3].writes.contains_key("inst:M")
+        );
     }
 
     #[test]

@@ -544,7 +544,10 @@ fn literal_arguments_adapt_but_must_fit() {
            o = m.out;
          }}"
     );
-    expect_kind(check_program(&parse_program(&bad).unwrap()), ErrorKind::Width);
+    expect_kind(
+        check_program(&parse_program(&bad).unwrap()),
+        ErrorKind::Width,
+    );
 }
 
 #[test]
@@ -664,16 +667,14 @@ fn multi_event_extern_usage_with_parametric_delay() {
          }}"
     );
     let errors = check_program(&parse_program(&bad).unwrap()).unwrap_err();
-    assert!(errors.iter().any(|e| e.kind == ErrorKind::DelayWellFormed
-        || e.kind == ErrorKind::SafePipelining));
+    assert!(errors
+        .iter()
+        .any(|e| e.kind == ErrorKind::DelayWellFormed || e.kind == ErrorKind::SafePipelining));
 }
 
 #[test]
 fn error_display_includes_component_and_kind() {
-    let errors = check(
-        "comp B<G: 1>(@[G, G+1] a: 32) -> (@[G, G+1] o: 32) { }",
-    )
-    .unwrap_err();
+    let errors = check("comp B<G: 1>(@[G, G+1] a: 32) -> (@[G, G+1] o: 32) { }").unwrap_err();
     let msg = errors[0].to_string();
     assert!(msg.contains("[B]"), "{msg}");
     assert!(msg.contains("binding"), "{msg}");
@@ -686,27 +687,26 @@ fn unelaborated_bundles_and_ifs_are_reported() {
     // A structurally valid bundle signature that was never run through
     // mono::expand: the checker points at the elaboration step rather than
     // reporting offset noise.
-    let errors = check(
-        "comp B<G: 1>(@[G, G+1] in[i: 0..4]: 32) -> (@[G, G+1] o: 32) { o = in[0]; }",
-    )
-    .unwrap_err();
+    let errors =
+        check("comp B<G: 1>(@[G, G+1] in[i: 0..4]: 32) -> (@[G, G+1] o: 32) { o = in[0]; }")
+            .unwrap_err();
     assert!(
-        errors.iter().any(|e| e.kind == ErrorKind::Unelaborated
-            && e.message.contains("bundle port in")),
+        errors
+            .iter()
+            .any(|e| e.kind == ErrorKind::Unelaborated && e.message.contains("bundle port in")),
         "{errors:#?}"
     );
     assert!(
-        errors.iter().any(|e| e.kind == ErrorKind::Unelaborated
-            && e.message.contains("bundle element in[0]")),
+        errors.iter().any(
+            |e| e.kind == ErrorKind::Unelaborated && e.message.contains("bundle element in[0]")
+        ),
         "{errors:#?}"
     );
-    let errors = check(
-        "comp B<G: 1>(@[G, G+1] a: 32) -> () { if 1 == 1 { } }",
-    )
-    .unwrap_err();
+    let errors = check("comp B<G: 1>(@[G, G+1] a: 32) -> () { if 1 == 1 { } }").unwrap_err();
     assert!(
-        errors.iter().any(|e| e.kind == ErrorKind::Unelaborated
-            && e.message.contains("if-generate")),
+        errors
+            .iter()
+            .any(|e| e.kind == ErrorKind::Unelaborated && e.message.contains("if-generate")),
         "{errors:#?}"
     );
 }
@@ -714,41 +714,33 @@ fn unelaborated_bundles_and_ifs_are_reported() {
 #[test]
 fn bundle_shape_is_validated_symbolically() {
     // Index variable shadowing a component parameter.
-    let errors = check(
-        "comp B[N]<G: 1>(@[G, G+1] in[N: 0..2]: 32) -> () { }",
-    )
-    .unwrap_err();
+    let errors = check("comp B[N]<G: 1>(@[G, G+1] in[N: 0..2]: 32) -> () { }").unwrap_err();
     assert!(
-        errors.iter().any(|e| e.kind == ErrorKind::Binding
-            && e.message.contains("shadows a component parameter")),
+        errors
+            .iter()
+            .any(|e| e.kind == ErrorKind::Binding
+                && e.message.contains("shadows a component parameter")),
         "{errors:#?}"
     );
     // Index bounds may only mention component parameters.
-    let errors = check(
-        "comp B[N]<G: 1>(@[G, G+1] in[i: 0..M]: 32) -> () { }",
-    )
-    .unwrap_err();
+    let errors = check("comp B[N]<G: 1>(@[G, G+1] in[i: 0..M]: 32) -> () { }").unwrap_err();
     assert!(
-        errors.iter().any(|e| e.kind == ErrorKind::Binding
-            && e.message.contains("unknown parameter M")),
+        errors
+            .iter()
+            .any(|e| e.kind == ErrorKind::Binding && e.message.contains("unknown parameter M")),
         "{errors:#?}"
     );
     // Widths may mention the index variable; anything else is unknown.
-    let errors = check(
-        "comp B[N]<G: 1>(@[G, G+1] in[i: 0..N]: i + Q) -> () { }",
-    )
-    .unwrap_err();
+    let errors = check("comp B[N]<G: 1>(@[G, G+1] in[i: 0..N]: i + Q) -> () { }").unwrap_err();
     assert!(
-        errors.iter().any(|e| e.kind == ErrorKind::Binding
-            && e.message.contains("unknown width parameter Q")),
+        errors.iter().any(
+            |e| e.kind == ErrorKind::Binding && e.message.contains("unknown width parameter Q")
+        ),
         "{errors:#?}"
     );
     // Per-index interval validation on closed ranges: [G+i, G+2) is
     // non-empty for i = 0, 1 but empty from element 2 on.
-    let errors = check(
-        "comp B<G: 4>(@[G+i, G+2] in[i: 0..4]: 32) -> () { }",
-    )
-    .unwrap_err();
+    let errors = check("comp B<G: 4>(@[G+i, G+2] in[i: 0..4]: 32) -> () { }").unwrap_err();
     assert!(
         errors.iter().any(|e| e.kind == ErrorKind::DelayWellFormed
             && e.message.contains("in[2]")

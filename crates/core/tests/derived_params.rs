@@ -55,8 +55,9 @@ fn use_before_definition_of_a_free_param() {
 fn derivation_over_unknown_param() {
     let errors = check_errors("comp A[N, some W = log2(M)]<G: 1>(@[G, G+1] x: N) -> () { }");
     assert!(
-        errors.iter().any(|e| e.kind == ErrorKind::Binding
-            && e.message.contains("unknown parameter M")),
+        errors
+            .iter()
+            .any(|e| e.kind == ErrorKind::Binding && e.message.contains("unknown parameter M")),
         "{errors:#?}"
     );
 }

@@ -9,6 +9,15 @@ use filament_core::pretty::print_program;
 use filament_core::{check_program, parse_program};
 use proptest::prelude::*;
 
+/// Standard library + user source, elaborated — the old `with_stdlib`
+/// view, through the unified request API.
+fn with_std(src: &str) -> Program {
+    fil_stdlib::build(&fil_stdlib::BuildRequest::new(src))
+        .unwrap()
+        .expanded
+        .expect("expanded is on by default")
+}
+
 #[test]
 fn stdlib_round_trips() {
     let p = fil_stdlib::std_program();
@@ -20,10 +29,9 @@ fn stdlib_round_trips() {
 #[test]
 fn design_corpus_round_trips() {
     for (name, src, _top) in fil_bench::design_corpus() {
-        let p = fil_stdlib::with_stdlib(&src).unwrap();
+        let p = with_std(&src);
         let printed = print_program(&p);
-        let reparsed =
-            parse_program(&printed).unwrap_or_else(|e| panic!("{name}: {e}\n{printed}"));
+        let reparsed = parse_program(&printed).unwrap_or_else(|e| panic!("{name}: {e}\n{printed}"));
         assert_eq!(p, reparsed, "{name}");
         // And the reprint is stable (idempotent formatting).
         assert_eq!(printed, print_program(&reparsed), "{name}");
@@ -55,20 +63,29 @@ fn parametric_sources_round_trip() {
         ("systolic", fil_designs::systolic::SYSTOLIC.to_owned()),
         ("chain", fil_designs::shift::CHAIN.to_owned()),
         ("alu-param", fil_designs::alu::ALU_PARAM.to_owned()),
-        ("systolic-multi", fil_designs::systolic::multi_source(&[2, 4, 8], 32)),
+        (
+            "systolic-multi",
+            fil_designs::systolic::multi_source(&[2, 4, 8], 32),
+        ),
     ] {
         let p = parse_program(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
         let printed = print_program(&p);
-        let reparsed =
-            parse_program(&printed).unwrap_or_else(|e| panic!("{name}: {e}\n{printed}"));
+        let reparsed = parse_program(&printed).unwrap_or_else(|e| panic!("{name}: {e}\n{printed}"));
         assert_eq!(p, reparsed, "{name}");
-        assert_eq!(printed, print_program(&reparsed), "{name}: printing is stable");
+        assert_eq!(
+            printed,
+            print_program(&reparsed),
+            "{name}: printing is stable"
+        );
     }
     // The printed systolic generator keeps its loops, bundle ports,
     // if-generate arms, and indices.
     let printed = print_program(&parse_program(fil_designs::systolic::SYSTOLIC).unwrap());
     assert!(printed.contains("for i in 0..N {"), "{printed}");
-    assert!(printed.contains("pe[i][j] := new Process[W]<G>"), "{printed}");
+    assert!(
+        printed.contains("pe[i][j] := new Process[W]<G>"),
+        "{printed}"
+    );
     assert!(printed.contains("left[i: 0..N]: W"), "{printed}");
     assert!(
         printed.contains("comp Systolic[N, W, some NN = N * N]"),
@@ -77,7 +94,10 @@ fn parametric_sources_round_trip() {
     assert!(printed.contains("out[k: 0..NN]: W"), "{printed}");
     assert!(printed.contains("if j == 0 {"), "{printed}");
     assert!(printed.contains("} else {"), "{printed}");
-    assert!(printed.contains("out[i * N + j] = pe[i][j].out;"), "{printed}");
+    assert!(
+        printed.contains("out[i * N + j] = pe[i][j].out;"),
+        "{printed}"
+    );
     // The chain keeps its per-index tap bundle.
     let printed = print_program(&parse_program(fil_designs::shift::CHAIN).unwrap());
     assert!(printed.contains("tap[k: 0..D]: W"), "{printed}");
@@ -117,7 +137,7 @@ fn bundle_and_if_generate_round_trip() {
 fn expansion_of_generators_round_trips() {
     // mono output (mangled names, resolved arithmetic) must stay printable
     // and re-parseable — `filament expand` relies on this.
-    let p = fil_stdlib::with_stdlib(&fil_designs::systolic::source(4, 32)).unwrap();
+    let p = with_std(&fil_designs::systolic::source(4, 32));
     let printed = print_program(&p);
     let reparsed = parse_program(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
     assert_eq!(p, reparsed);
@@ -296,7 +316,7 @@ fn printed_programs_check_identically() {
         fil_designs::alu::ALU_PIPELINED,
         fil_designs::alu::ALU_BUGGY,
     ] {
-        let p = fil_stdlib::with_stdlib(variant).unwrap();
+        let p = with_std(variant);
         let q = parse_program(&print_program(&p)).unwrap();
         assert_eq!(
             check_program(&p).is_ok(),

@@ -172,8 +172,18 @@ fn generator_is_not_vacuous() {
     // Accepted: a -> Add at G -> Reg at G.
     let good = build(
         &[
-            Step { kind: 0, off: 0, srcs: [0, 0], share: false },
-            Step { kind: 3, off: 0, srcs: [1, 0], share: false },
+            Step {
+                kind: 0,
+                off: 0,
+                srcs: [0, 0],
+                share: false,
+            },
+            Step {
+                kind: 3,
+                off: 0,
+                srcs: [1, 0],
+                share: false,
+            },
         ],
         1,
     );
@@ -182,8 +192,18 @@ fn generator_is_not_vacuous() {
     // Rejected: reads the multiplier's output in the wrong cycle.
     let bad = build(
         &[
-            Step { kind: 1, off: 0, srcs: [0, 0], share: false },
-            Step { kind: 0, off: 0, srcs: [1, 1], share: false },
+            Step {
+                kind: 1,
+                off: 0,
+                srcs: [0, 0],
+                share: false,
+            },
+            Step {
+                kind: 0,
+                off: 0,
+                srcs: [1, 1],
+                share: false,
+            },
         ],
         3,
     );

@@ -118,26 +118,34 @@ mod tests {
     use crate::build;
     use fil_bits::Value;
     use fil_harness::run_pipelined;
-    use fil_stdlib::with_stdlib;
     use filament_core::check::ErrorKind;
     use filament_core::check_program;
 
     #[test]
     fn buggy_alu_rejected_with_availability_error() {
-        let program = with_stdlib(&source(ALU_BUGGY)).unwrap();
+        let program = fil_stdlib::build(&fil_build::BuildRequest::new(source(ALU_BUGGY)))
+            .unwrap()
+            .expanded
+            .unwrap();
         let errors = check_program(&program).unwrap_err();
         assert!(errors.iter().any(|e| e.kind == ErrorKind::Availability));
     }
 
     #[test]
     fn sequential_alu_computes_both_ops() {
-        let program = with_stdlib(&source(ALU_SEQUENTIAL)).unwrap();
-        let (netlist, spec) =
-            fil_harness::compile_for_test(&program, "ALU", &fil_stdlib::StdRegistry).unwrap();
+        let (netlist, spec) = build(&source(ALU_SEQUENTIAL), "ALU").unwrap();
         assert_eq!(spec.delay, 3);
         let inputs = vec![
-            vec![Value::from_u64(1, 0), Value::from_u64(32, 10), Value::from_u64(32, 20)],
-            vec![Value::from_u64(1, 1), Value::from_u64(32, 10), Value::from_u64(32, 20)],
+            vec![
+                Value::from_u64(1, 0),
+                Value::from_u64(32, 10),
+                Value::from_u64(32, 20),
+            ],
+            vec![
+                Value::from_u64(1, 1),
+                Value::from_u64(32, 10),
+                Value::from_u64(32, 20),
+            ],
         ];
         let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
         assert_eq!(outs[0][0].to_u64(), 30);
@@ -146,9 +154,7 @@ mod tests {
 
     #[test]
     fn pipelined_alu_streams_every_cycle() {
-        let program = with_stdlib(&source(ALU_PIPELINED)).unwrap();
-        let (netlist, spec) =
-            fil_harness::compile_for_test(&program, "ALU", &fil_stdlib::StdRegistry).unwrap();
+        let (netlist, spec) = build(&source(ALU_PIPELINED), "ALU").unwrap();
         assert_eq!(spec.delay, 1, "initiation interval 1");
         let cases: Vec<(u64, u32, u32)> =
             vec![(0, 1, 2), (1, 3, 4), (0, 5, 6), (1, 7, 8), (0, 9, 10)];
@@ -171,13 +177,7 @@ mod tests {
     #[test]
     fn parametric_alu_family_streams_at_8_16_32() {
         for w in [8u64, 16, 32] {
-            let program = with_stdlib(&param_source(w)).unwrap();
-            let (netlist, spec) = fil_harness::compile_for_test(
-                &program,
-                &format!("Alu{w}"),
-                &fil_stdlib::StdRegistry,
-            )
-            .unwrap();
+            let (netlist, spec) = build(&param_source(w), &format!("Alu{w}")).unwrap();
             assert_eq!(spec.delay, 1, "fully pipelined at width {w}");
             let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
             let cases: Vec<(u64, u64, u64)> = (0..6)

@@ -237,8 +237,10 @@ mod tests {
         assert_eq!(spec.delay, 1, "one pixel per clock");
         assert_eq!(spec.advertised_latency(), 4);
         let px = pixels(24);
-        let inputs: Vec<Vec<Value>> =
-            px.iter().map(|&p| vec![Value::from_u64(8, p as u64)]).collect();
+        let inputs: Vec<Vec<Value>> = px
+            .iter()
+            .map(|&p| vec![Value::from_u64(8, p as u64)])
+            .collect();
         let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
         let want = golden_stream(&px);
         let got: Vec<u8> = outs.iter().map(|o| o[0].to_u64() as u8).collect();
@@ -247,13 +249,15 @@ mod tests {
 
     #[test]
     fn reticle_design_matches_golden() {
-        let (netlist, spec) = build_with(&reticle_source(), "Conv2dReticle", &ReticleRegistry)
-            .unwrap();
+        let (netlist, spec) =
+            build_with(&reticle_source(), "Conv2dReticle", &ReticleRegistry).unwrap();
         assert_eq!(spec.delay, 1);
         assert_eq!(spec.advertised_latency(), 5);
         let px = pixels(24);
-        let inputs: Vec<Vec<Value>> =
-            px.iter().map(|&p| vec![Value::from_u64(8, p as u64)]).collect();
+        let inputs: Vec<Vec<Value>> = px
+            .iter()
+            .map(|&p| vec![Value::from_u64(8, p as u64)])
+            .collect();
         let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
         let want = golden_stream(&px);
         let got: Vec<u8> = outs.iter().map(|o| o[0].to_u64() as u8).collect();
@@ -263,11 +267,12 @@ mod tests {
     #[test]
     fn designs_agree_with_each_other() {
         let (nb, sb) = build(&base_source(), "Conv2d").unwrap();
-        let (nr, sr) =
-            build_with(&reticle_source(), "Conv2dReticle", &ReticleRegistry).unwrap();
+        let (nr, sr) = build_with(&reticle_source(), "Conv2dReticle", &ReticleRegistry).unwrap();
         let px = pixels(30);
-        let inputs: Vec<Vec<Value>> =
-            px.iter().map(|&p| vec![Value::from_u64(8, p as u64)]).collect();
+        let inputs: Vec<Vec<Value>> = px
+            .iter()
+            .map(|&p| vec![Value::from_u64(8, p as u64)])
+            .collect();
         let ob = run_pipelined(&nb, &sb, &inputs).unwrap();
         let or = run_pipelined(&nr, &sr, &inputs).unwrap();
         assert_eq!(ob, or, "both designs compute the same convolution");
@@ -303,8 +308,10 @@ mod tests {
         assert!(phantom.assigns().iter().all(|a| a.guard.is_none()));
         // Same function on the same stream.
         let px = pixels(20);
-        let inputs: Vec<Vec<Value>> =
-            px.iter().map(|&p| vec![Value::from_u64(8, p as u64)]).collect();
+        let inputs: Vec<Vec<Value>> = px
+            .iter()
+            .map(|&p| vec![Value::from_u64(8, p as u64)])
+            .collect();
         let po = run_pipelined(&phantom, &ps, &inputs).unwrap();
         let io = run_pipelined(&iface, &is, &inputs).unwrap();
         assert_eq!(po, io);
@@ -321,8 +328,7 @@ mod tests {
     fn table2_shape_holds() {
         // The Table 2 comparison: Filament base vs Filament+Reticle.
         let (nb, _) = build(&base_source(), "Conv2d").unwrap();
-        let (nr, _) =
-            build_with(&reticle_source(), "Conv2dReticle", &ReticleRegistry).unwrap();
+        let (nr, _) = build_with(&reticle_source(), "Conv2dReticle", &ReticleRegistry).unwrap();
         let rb = fil_area::resources(&nb);
         let rr = fil_area::resources(&nr);
         assert_eq!(rb.dsps, 9, "base: nine pipelined multipliers");

@@ -104,7 +104,11 @@ pub fn iterative_source() -> String {
     .unwrap();
     writeln!(body, "  z := new ZExt[8, 16]<G>(left);").unwrap();
     writeln!(body, "  iza := new And[16]<G>(z.out, 0);").unwrap();
-    writeln!(body, "  N := new Nxt; RA := new Register[16]; RQ := new Register[8];").unwrap();
+    writeln!(
+        body,
+        "  N := new Nxt; RA := new Register[16]; RQ := new Register[8];"
+    )
+    .unwrap();
     // The divisor is captured once and held for the remaining 7 steps.
     writeln!(body, "  RD := new Register[16];").unwrap();
     writeln!(body, "  rd := RD<G, G+8>(div);").unwrap();
@@ -172,7 +176,10 @@ mod tests {
     use fil_harness::run_pipelined;
 
     fn txn(left: u8, div: u16) -> Vec<Value> {
-        vec![Value::from_u64(8, left as u64), Value::from_u64(16, div as u64)]
+        vec![
+            Value::from_u64(8, left as u64),
+            Value::from_u64(16, div as u64),
+        ]
     }
 
     #[test]
@@ -198,7 +205,9 @@ mod tests {
         let (netlist, spec) = build(&pipelined_source(), "DivPipe").unwrap();
         assert_eq!(spec.delay, 1);
         assert_eq!(spec.advertised_latency(), 7);
-        let cases: Vec<(u8, u16)> = (1..=10).map(|i| (200u8.wrapping_mul(i), 3 + i as u16)).collect();
+        let cases: Vec<(u8, u16)> = (1..=10)
+            .map(|i| (200u8.wrapping_mul(i), 3 + i as u16))
+            .collect();
         let inputs: Vec<Vec<Value>> = cases.iter().map(|&(l, d)| txn(l, d)).collect();
         let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
         for (i, &(l, d)) in cases.iter().enumerate() {

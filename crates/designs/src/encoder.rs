@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn derived_width_is_published_to_the_caller() {
-        let program = fil_stdlib::with_stdlib(&source(8)).unwrap();
+        let program = fil_stdlib::build(&fil_build::BuildRequest::new(source(8)))
+            .unwrap()
+            .expanded
+            .unwrap();
         // The monomorph is named by the *free* parameter only.
         let enc = program.component("Enc_8").expect("monomorphized");
         assert_eq!(enc.sig.params, vec![], "fully concrete after expansion");

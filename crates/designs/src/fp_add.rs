@@ -105,19 +105,31 @@ fn emit(pipelined: bool, skip_delay_for: Option<&str>) -> String {
     e.op(format!("big := new Mux[32]<{g0}>(x_ge.out, y, x);"));
     e.op(format!("small := new Mux[32]<{g0}>(x_ge.out, x, y);"));
     e.op(format!("s_big := new Slice[32, 31, 31]<{g0}>(big.out);"));
-    e.op(format!("s_small := new Slice[32, 31, 31]<{g0}>(small.out);"));
+    e.op(format!(
+        "s_small := new Slice[32, 31, 31]<{g0}>(small.out);"
+    ));
     e.op(format!("e_big := new Slice[32, 30, 23]<{g0}>(big.out);"));
-    e.op(format!("e_small := new Slice[32, 30, 23]<{g0}>(small.out);"));
+    e.op(format!(
+        "e_small := new Slice[32, 30, 23]<{g0}>(small.out);"
+    ));
     e.op(format!("m_big := new Slice[32, 22, 0]<{g0}>(big.out);"));
     e.op(format!("m_small := new Slice[32, 22, 0]<{g0}>(small.out);"));
     e.op(format!("hid_big := new ReduceOr[8]<{g0}>(e_big.out);"));
     e.op(format!("hid_small := new ReduceOr[8]<{g0}>(e_small.out);"));
-    e.op(format!("mb24 := new Concat[1, 23]<{g0}>(hid_big.out, m_big.out);"));
-    e.op(format!("ms24 := new Concat[1, 23]<{g0}>(hid_small.out, m_small.out);"));
+    e.op(format!(
+        "mb24 := new Concat[1, 23]<{g0}>(hid_big.out, m_big.out);"
+    ));
+    e.op(format!(
+        "ms24 := new Concat[1, 23]<{g0}>(hid_small.out, m_small.out);"
+    ));
     e.op(format!("mb27 := new Concat[24, 3]<{g0}>(mb24.out, 0);"));
     e.op(format!("ms27 := new Concat[24, 3]<{g0}>(ms24.out, 0);"));
-    e.op(format!("ediff := new Sub[8]<{g0}>(e_big.out, e_small.out);"));
-    e.op(format!("effsub := new Xor[1]<{g0}>(s_big.out, s_small.out);"));
+    e.op(format!(
+        "ediff := new Sub[8]<{g0}>(e_big.out, e_small.out);"
+    ));
+    e.op(format!(
+        "effsub := new Xor[1]<{g0}>(s_big.out, s_small.out);"
+    ));
     e.def("s_big", "s_big.out".into(), 1, 0);
     e.def("e_big", "e_big.out".into(), 8, 0);
     e.def("mb27", "mb27.out".into(), 27, 0);
@@ -130,7 +142,9 @@ fn emit(pipelined: bool, skip_delay_for: Option<&str>) -> String {
     let ms27_1 = e.get("ms27", 1);
     let ediff_1 = e.get("ediff", 1);
     e.op(format!("diff27 := new ZExt[8, 27]<{g1}>({ediff_1});"));
-    e.op(format!("aligned := new Shr[27]<{g1}>({ms27_1}, diff27.out);"));
+    e.op(format!(
+        "aligned := new Shr[27]<{g1}>({ms27_1}, diff27.out);"
+    ));
     e.def("aligned", "aligned.out".into(), 27, 1);
 
     // ----------------------------------------------------- stage 3: add/sub
@@ -148,7 +162,9 @@ fn emit(pipelined: bool, skip_delay_for: Option<&str>) -> String {
     e.op(format!("ms28 := new ZExt[27, 28]<{g2}>({aligned_2});"));
     e.op(format!("ssum := new Add[28]<{g2}>(mb28.out, ms28.out);"));
     e.op(format!("dsum := new Sub[28]<{g2}>(mb28.out, ms28.out);"));
-    e.op(format!("sum := new Mux[28]<{g2}>({effsub_2}, ssum.out, dsum.out);"));
+    e.op(format!(
+        "sum := new Mux[28]<{g2}>({effsub_2}, ssum.out, dsum.out);"
+    ));
     e.def("sum", "sum.out".into(), 28, 2);
 
     // --------------------------------------------------- stage 4: normalize
@@ -161,7 +177,9 @@ fn emit(pipelined: bool, skip_delay_for: Option<&str>) -> String {
     e.op(format!("shl_amt := new Sub[28]<{g3}>(lz.out, 1);"));
     e.op(format!("norml := new Shl[28]<{g3}>({sum_3}, shl_amt.out);"));
     e.op(format!("normr := new ShrConst[28, 1]<{g3}>({sum_3});"));
-    e.op(format!("norm := new Mux[28]<{g3}>(is_carry.out, norml.out, normr.out);"));
+    e.op(format!(
+        "norm := new Mux[28]<{g3}>(is_carry.out, norml.out, normr.out);"
+    ));
     e.op(format!("e10 := new ZExt[8, 10]<{g3}>({e_big_3});"));
     e.op(format!("e10p1 := new Add[10]<{g3}>(e10.out, 1);"));
     e.op(format!("lz10 := new Slice[28, 9, 0]<{g3}>(lz.out);"));
@@ -178,9 +196,15 @@ fn emit(pipelined: bool, skip_delay_for: Option<&str>) -> String {
     let s_big_4 = e.get("s_big", 4);
     let is_zero_4 = e.get("is_zero", 4);
     e.op(format!("mant := new Slice[28, 25, 3]<{g4}>({norm_4});"));
-    e.op(format!("se := new Concat[1, 8]<{g4}>({s_big_4}, {eout8_4});"));
-    e.op(format!("packed := new Concat[9, 23]<{g4}>(se.out, mant.out);"));
-    e.op(format!("res := new Mux[32]<{g4}>({is_zero_4}, packed.out, 0);"));
+    e.op(format!(
+        "se := new Concat[1, 8]<{g4}>({s_big_4}, {eout8_4});"
+    ));
+    e.op(format!(
+        "packed := new Concat[9, 23]<{g4}>(se.out, mant.out);"
+    ));
+    e.op(format!(
+        "res := new Mux[32]<{g4}>({is_zero_4}, packed.out, 0);"
+    ));
     e.op("out = res.out;".to_owned());
 
     writeln!(s, "{}}}", e.body).unwrap();

@@ -27,21 +27,20 @@ pub mod fp_add;
 pub mod shift;
 pub mod systolic;
 
+use fil_build::BuildRequest;
 use fil_harness::InterfaceSpec;
-use fil_stdlib::StdRegistry;
 use rtl_sim::Netlist;
+use std::sync::Arc;
 
 /// Compiles a design (standard library + the given source) to a netlist and
-/// interface spec for its top component.
+/// interface spec for its top component. Identical sources share one
+/// elaborated netlist through the process-wide cache.
 ///
 /// # Errors
 ///
 /// Returns a human-readable message on parse/check/lowering failure.
-pub fn build(source: &str, top: &str) -> Result<(Netlist, InterfaceSpec), String> {
-    // Parse-only combine: compile_for_test runs the monomorphizer itself,
-    // so expanding here (via `with_stdlib`) would elaborate twice.
-    let program = fil_stdlib::with_stdlib_raw(source).map_err(|e| e.to_string())?;
-    fil_harness::compile_for_test(&program, top, &StdRegistry)
+pub fn build(source: &str, top: &str) -> Result<(Arc<Netlist>, InterfaceSpec), String> {
+    fil_harness::compile_request(&BuildRequest::new(source).netlist(top))
 }
 
 /// Like [`build`] but with a custom registry (used by the Reticle design,
@@ -54,7 +53,6 @@ pub fn build_with(
     source: &str,
     top: &str,
     registry: &dyn filament_core::PrimitiveRegistry,
-) -> Result<(Netlist, InterfaceSpec), String> {
-    let program = fil_stdlib::with_stdlib_raw(source).map_err(|e| e.to_string())?;
-    fil_harness::compile_for_test(&program, top, registry)
+) -> Result<(Arc<Netlist>, InterfaceSpec), String> {
+    fil_harness::compile_request_with(&BuildRequest::new(source).netlist(top), registry)
 }

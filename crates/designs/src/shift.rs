@@ -96,7 +96,10 @@ mod tests {
 
     #[test]
     fn chain_signature_is_resolved_per_depth() {
-        let program = fil_stdlib::with_stdlib(&source(8, 5)).unwrap();
+        let program = fil_stdlib::build(&fil_build::BuildRequest::new(source(8, 5)))
+            .unwrap()
+            .expanded
+            .unwrap();
         let chain = program.component("Chain_8_5").expect("monomorphized");
         assert_eq!(chain.sig.outputs[0].liveness.to_string(), "[G+5, G+6)");
         // The tap bundle flattened into 5 stage outputs, each with its own

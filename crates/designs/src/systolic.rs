@@ -266,7 +266,14 @@ mod tests {
 
     #[test]
     fn mono_cache_deduplicates_process_across_sizes() {
-        let program = fil_stdlib::with_stdlib_raw(&multi_source(&[2, 4, 8], 32)).unwrap();
+        let program = fil_stdlib::build(
+            &fil_build::BuildRequest::new(multi_source(&[2, 4, 8], 32))
+                .raw()
+                .expanded(false),
+        )
+        .unwrap()
+        .raw
+        .unwrap();
         let (expanded, stats) =
             filament_core::mono::expand_with_stats(&program).expect("elaborates");
         // One PE component serves all three arrays (4 + 16 + 64 sites).
@@ -302,7 +309,10 @@ mod tests {
                 .chain(&sys.sig.outputs)
                 .all(|p| p.bundle.is_none()));
             assert_eq!(sys.sig.inputs[0].name, "left_0");
-            assert_eq!(sys.sig.outputs[n * n - 1].name, format!("out_{}", n * n - 1));
+            assert_eq!(
+                sys.sig.outputs[n * n - 1].name,
+                format!("out_{}", n * n - 1)
+            );
         }
         // No packed-bus scaffolding survives anywhere in the source: the
         // expansion contains no Slice or Concat instances.

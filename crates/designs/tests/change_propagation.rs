@@ -16,7 +16,9 @@ fn lockstep(netlist: &Netlist, cycles: u64, seed: u64) {
     let inputs: Vec<_> = netlist.inputs().collect();
     let mut state = seed;
     let mut rand = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 16
     };
     for t in 0..cycles {
@@ -70,15 +72,13 @@ fn divider_iterative_modes_agree() {
 
 #[test]
 fn divider_comb_modes_agree() {
-    let (netlist, _) =
-        fil_designs::build(&fil_designs::divider::comb_source(), "DivComb").unwrap();
+    let (netlist, _) = fil_designs::build(&fil_designs::divider::comb_source(), "DivComb").unwrap();
     lockstep(&netlist, 24, 0x5eed);
 }
 
 #[test]
 fn systolic_modes_agree() {
     // The generator-produced 4×4 array: 16 PEs plus skew-register chains.
-    let (netlist, _) =
-        fil_designs::build(&fil_designs::systolic::source(4, 32), "Sys4").unwrap();
+    let (netlist, _) = fil_designs::build(&fil_designs::systolic::source(4, 32), "Sys4").unwrap();
     lockstep(&netlist, 48, 0xace5);
 }

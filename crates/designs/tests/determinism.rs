@@ -9,9 +9,8 @@ use rtl_sim::{BatchSim, Netlist, Sim, SimError};
 /// Deterministic per-(seed, cycle, input) stimulus: a splitmix64 hash, so
 /// every engine can regenerate the identical stream independently.
 fn stim(seed: u64, t: u64, i: u64, width: u32) -> Value {
-    let mut x = seed
-        ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ i.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut x =
+        seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^= x >> 31;
@@ -51,7 +50,12 @@ fn scalar_trace(netlist: &Netlist, mut sim: Sim<'_>, cycles: u64, seed: u64) -> 
 
 /// Runs a batched sim where lane `l` carries the stimulus of `seeds[l]`,
 /// returning one trace per lane (all lanes share the error, if any).
-fn batch_traces(netlist: &Netlist, mut sim: BatchSim<'_>, cycles: u64, seeds: &[u64]) -> Vec<Trace> {
+fn batch_traces(
+    netlist: &Netlist,
+    mut sim: BatchSim<'_>,
+    cycles: u64,
+    seeds: &[u64],
+) -> Vec<Trace> {
     let inputs: Vec<_> = netlist.inputs().collect();
     let lanes = seeds.len();
     let mut out: Vec<Vec<CycleObs>> = vec![Vec::new(); lanes];
@@ -88,7 +92,8 @@ fn assert_traces_equal(netlist: &Netlist, a: &Trace, b: &Trace, what: &str) {
             for (t, (ca, cb)) in ta.iter().zip(tb).enumerate() {
                 for (s, (oa, ob)) in ca.iter().zip(cb).enumerate() {
                     assert_eq!(
-                        oa, ob,
+                        oa,
+                        ob,
                         "{what}: cycle {t}, signal {} diverges",
                         netlist.signals()[s].name
                     );
@@ -99,7 +104,7 @@ fn assert_traces_equal(netlist: &Netlist, a: &Trace, b: &Trace, what: &str) {
     }
 }
 
-fn build(source: &str, top: &str) -> Netlist {
+fn build(source: &str, top: &str) -> std::sync::Arc<Netlist> {
     fil_designs::build(source, top).unwrap().0
 }
 
@@ -180,7 +185,12 @@ fn batch_sharded_matches_batch_sequential() {
         &seeds,
     );
     for l in 0..seeds.len() {
-        assert_traces_equal(&n, &sequential[l], &jobs[l], &format!("DivComb j2 lane {l}"));
+        assert_traces_equal(
+            &n,
+            &sequential[l],
+            &jobs[l],
+            &format!("DivComb j2 lane {l}"),
+        );
         assert_traces_equal(
             &n,
             &sequential[l],

@@ -7,7 +7,7 @@
 use fil_bits::Value;
 use rtl_sim::{BatchSim, Netlist, ProfileReport, Sim};
 
-fn build(source: &str, top: &str) -> Netlist {
+fn build(source: &str, top: &str) -> std::sync::Arc<Netlist> {
     fil_designs::build(source, top).unwrap().0
 }
 
@@ -25,7 +25,12 @@ fn round_robin(netlist: &Netlist, k: u32) -> Vec<u32> {
     (0..netlist.signals().len() as u32).map(|i| i % k).collect()
 }
 
-fn run_profiled(netlist: &Netlist, mut sim: Sim<'_>, cycles: u64, force_full: bool) -> ProfileReport {
+fn run_profiled(
+    netlist: &Netlist,
+    mut sim: Sim<'_>,
+    cycles: u64,
+    force_full: bool,
+) -> ProfileReport {
     sim.set_force_full_settle(force_full);
     sim.enable_profile();
     let inputs: Vec<_> = netlist.inputs().collect();
@@ -76,7 +81,12 @@ fn systolic8_sharded_totals_match_sequential() {
         assert!(sim.jobs() > 1, "round-robin partition must shard");
 
         // Exactness: force-full sharded totals equal sequential, per kind.
-        let ff = run_profiled(&n, Sim::new_with_partition(&n, &part).unwrap(), cycles, true);
+        let ff = run_profiled(
+            &n,
+            Sim::new_with_partition(&n, &part).unwrap(),
+            cycles,
+            true,
+        );
         assert_eq!(
             ff.total_evals, ff_reference.total_evals,
             "j{k} force-full: sharded eval total diverges from sequential"
@@ -219,6 +229,9 @@ fn batch_profile_reports_lane_occupancy() {
     let mut sim = BatchSim::new(&n, 67).unwrap();
     sim.enable_profile();
     let sig = n.inputs().next().unwrap();
-    sim.poke_all(sig, Value::from_u64(n.signal(sig).width, 1).resize(n.signal(sig).width));
+    sim.poke_all(
+        sig,
+        Value::from_u64(n.signal(sig).width, 1).resize(n.signal(sig).width),
+    );
     assert_eq!(sim.profile().unwrap().lanes_poked, 67);
 }

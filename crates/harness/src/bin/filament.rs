@@ -15,6 +15,9 @@
 //! filament build <file.fil> [--cache-dir D] [--cache-limit S] [--jobs N] [--stats]
 //! filament sim <file.fil> <component> [--cycles N] [--vcd F] [--profile]
 //! filament fmt <file.fil>
+//! filament serve --socket PATH [--jobs N] [--cache-dir D] [--timeout SECS]
+//! filament serve --stop --socket PATH
+//! filament build <file.fil> --remote PATH     # build on a running daemon
 //! ```
 //!
 //! `build` is the incremental driver: it expands, checks, and lowers every
@@ -31,6 +34,13 @@
 //! top-level ports, `--profile` prints the simulator's hot-path profile
 //! (settle rounds, per-shard work, evals by cell kind).
 //!
+//! `serve` starts the compile-farm daemon on a unix socket: it keeps the
+//! parsed stdlib, the artifact cache, the elaborated-netlist cache, and a
+//! memo of completed builds hot in one process, collapses concurrent
+//! identical requests into a single build, and answers warm repeats in
+//! microseconds. `filament build --remote PATH` sends the build to a
+//! daemon (falling back to a local build if the socket is dead).
+//!
 //! `--trace FILE` (expand/build/sim) records every driver phase as a span
 //! and writes a Chrome `trace_event` JSON timeline — load it at
 //! <https://ui.perfetto.dev> or `chrome://tracing`. `--trace-summary`
@@ -44,6 +54,7 @@ use fil_build::fil_trace;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: filament <check|expand|interface|compile|build|sim|fmt> <file.fil> [component]\n\
+         \x20      filament serve --socket PATH [--jobs N] [--cache-dir DIR] [--timeout SECS]\n\
          \n\
          check      parse and type-check (standard library preloaded)\n\
          expand     elaborate generators (param arithmetic, for-loops,\n\
@@ -59,6 +70,8 @@ fn usage() -> ExitCode {
          sim        compile one component and simulate it with pipelined\n\
                     pseudo-random stimulus from its timeline signature\n\
          fmt        pretty-print the program\n\
+         serve      run the compile-farm daemon on a unix socket; stop a\n\
+                    running daemon with `serve --stop --socket PATH`\n\
          \n\
          options (expand/build/sim): --jobs N --cache-dir DIR\n\
                     --cache-limit SIZE   evict least-recently-used artifacts\n\
@@ -67,6 +80,9 @@ fn usage() -> ExitCode {
                     timeline of the compile phases (open in Perfetto)\n\
                     --trace-summary      print per-phase wall times to stderr\n\
          options (expand/build): --stats\n\
+         options (build): --remote PATH       build on the daemon at PATH,\n\
+                    falling back to a local build if it is unreachable\n\
+         options (serve): --timeout SECS      exit after SECS idle seconds\n\
          options (sim): --cycles N (default 64) --vcd FILE --profile"
     );
     ExitCode::from(2)
@@ -80,10 +96,6 @@ fn usage() -> ExitCode {
 /// reused from `--cache-dir`, skipping expand/check/lower entirely);
 /// `phase_us` is per-phase wall time in microseconds, summed across
 /// workers.
-///
-/// `cache_evictions` is a deprecated alias of `session_cache_evictions`
-/// (the canonical name since the `BuildStats` field was renamed to match
-/// its `session_cache_*` siblings); it is kept for one release.
 fn stats_json(stats: &fil_build::BuildStats) -> String {
     format!(
         "{{\n  \"components_monomorphized\": {},\n  \"cache_hits\": {},\n  \
@@ -93,7 +105,7 @@ fn stats_json(stats: &fil_build::BuildStats) -> String {
          \"units_expanded\": {},\n  \"units_checked\": {},\n  \
          \"units_lowered\": {},\n  \"session_cache_loads\": {},\n  \
          \"session_cache_misses\": {},\n  \"session_cache_stores\": {},\n  \
-         \"session_cache_evictions\": {},\n  \"cache_evictions\": {},\n  \
+         \"session_cache_evictions\": {},\n  \
          \"phase_us\": {{\"parse\": {}, \"cache_load\": {}, \"expand\": {}, \
          \"check\": {}, \"lower\": {}, \"merge\": {}}}\n}}",
         stats.mono.cache_misses,
@@ -111,7 +123,6 @@ fn stats_json(stats: &fil_build::BuildStats) -> String {
         stats.cache_misses,
         stats.cache_stores,
         stats.session_cache_evictions,
-        stats.session_cache_evictions,
         stats.phase.parse_us,
         stats.phase.cache_load_us,
         stats.phase.expand_us,
@@ -123,7 +134,8 @@ fn stats_json(stats: &fil_build::BuildStats) -> String {
 
 fn load(path: &str) -> Result<filament_core::Program, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    fil_stdlib::with_stdlib(&src).map_err(|e| e.to_string())
+    let out = fil_stdlib::build(&fil_build::BuildRequest::new(src)).map_err(|e| e.to_string())?;
+    Ok(out.expanded.expect("expanded is requested by default"))
 }
 
 /// Parses a byte size with an optional `k`/`m`/`g` suffix (powers of
@@ -153,6 +165,27 @@ struct Flags {
     profile: bool,
     /// `sim --cycles N`.
     cycles: u64,
+    /// `serve --socket PATH`: the daemon's unix socket.
+    socket: Option<String>,
+    /// `serve --timeout SECS`: idle shutdown.
+    timeout: Option<u64>,
+    /// `serve --stop`: shut down a running daemon instead of starting one.
+    stop: bool,
+    /// `build --remote PATH`: run the build on the daemon at PATH.
+    remote: Option<String>,
+}
+
+impl Flags {
+    /// The [`fil_build::BuildRequest`] for `source` carrying this
+    /// invocation's resource flags (wanted outputs are the caller's
+    /// business).
+    fn request(&self, source: String) -> fil_build::BuildRequest {
+        let mut req = fil_build::BuildRequest::new(source).jobs(self.opts.jobs);
+        req.cache_dir = self.opts.cache_dir.clone();
+        req.cache_limit = self.opts.cache_limit;
+        req.trace = self.opts.trace.clone();
+        req
+    }
 }
 
 /// Pulls every `--flag` out of the argument list, returning the parsed
@@ -166,6 +199,10 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
         vcd: None,
         profile: false,
         cycles: 64,
+        socket: None,
+        timeout: None,
+        stop: false,
+        remote: None,
     };
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.drain(..);
@@ -182,9 +219,8 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
             }
             "--cache-limit" => {
                 let v = it.next().ok_or("--cache-limit needs a size")?;
-                flags.opts.cache_limit = Some(
-                    parse_size(&v).ok_or_else(|| format!("--cache-limit: bad size {v:?}"))?,
-                );
+                flags.opts.cache_limit =
+                    Some(parse_size(&v).ok_or_else(|| format!("--cache-limit: bad size {v:?}"))?);
             }
             "--trace" => {
                 let v = it.next().ok_or("--trace needs a file path")?;
@@ -201,6 +237,22 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
                 flags.cycles = v
                     .parse()
                     .map_err(|_| format!("--cycles: bad number {v:?}"))?;
+            }
+            "--socket" => {
+                let v = it.next().ok_or("--socket needs a path")?;
+                flags.socket = Some(v);
+            }
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout needs seconds")?;
+                flags.timeout = Some(
+                    v.parse()
+                        .map_err(|_| format!("--timeout: bad number {v:?}"))?,
+                );
+            }
+            "--stop" => flags.stop = true,
+            "--remote" => {
+                let v = it.next().ok_or("--remote needs a socket path")?;
+                flags.remote = Some(v);
             }
             _ => rest.push(a),
         }
@@ -222,22 +274,16 @@ fn run_sim(file: &str, comp: &str, flags: &Flags) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let out = match fil_stdlib::build_source(&src, &flags.opts) {
+    let out = match fil_stdlib::build(&flags.request(src).netlist(comp)) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let lowered = out.lowered.expect("full builds lower every unit");
-    let netlist = match lowered.elaborate(comp) {
-        Ok(n) => n,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let Some(sig) = out.expanded.sig(comp) else {
+    let netlist = out.netlist.expect("netlist was requested");
+    let expanded = out.expanded.expect("expanded is requested by default");
+    let Some(sig) = expanded.sig(comp) else {
         eprintln!("error: unknown component {comp}");
         return ExitCode::FAILURE;
     };
@@ -297,7 +343,10 @@ fn run_sim(file: &str, comp: &str, flags: &Flags) -> ExitCode {
                 } else {
                     (1u64 << p.width) - 1
                 };
-                sim.poke(port(&p.name), fil_bits::Value::from_u64(p.width, next() & mask));
+                sim.poke(
+                    port(&p.name),
+                    fil_bits::Value::from_u64(p.width, next() & mask),
+                );
             }
         }
         if let Err(e) = sim.settle() {
@@ -343,6 +392,98 @@ fn run_sim(file: &str, comp: &str, flags: &Flags) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `filament build --remote PATH`: run the build on the daemon at `sock`.
+/// `Some(code)` finishes the command; `None` means the daemon was
+/// unreachable and the caller should build locally.
+#[cfg(unix)]
+fn try_remote_build(
+    sock: &str,
+    req: &fil_build::BuildRequest,
+    want_stats: bool,
+) -> Option<ExitCode> {
+    match fil_stdlib::serve::request_build(std::path::Path::new(sock), req) {
+        Ok(remote) => {
+            if want_stats {
+                println!("{}", stats_json(&remote.output.stats));
+            } else {
+                print!("{}", remote.output.verilog.expect("verilog was requested"));
+            }
+            Some(ExitCode::SUCCESS)
+        }
+        // No daemon there: fall back to building locally.
+        Err(fil_stdlib::serve::ClientError::Connect(e)) => {
+            eprintln!("warning: daemon at {sock} unreachable ({e}); building locally");
+            None
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            Some(ExitCode::FAILURE)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn try_remote_build(
+    _sock: &str,
+    _req: &fil_build::BuildRequest,
+    _want_stats: bool,
+) -> Option<ExitCode> {
+    eprintln!("error: --remote needs unix sockets");
+    Some(ExitCode::FAILURE)
+}
+
+/// `filament serve`: run (or, with `--stop`, shut down) the compile-farm
+/// daemon.
+#[cfg(unix)]
+fn run_serve(flags: &Flags) -> ExitCode {
+    let Some(socket) = &flags.socket else {
+        eprintln!("error: serve needs --socket PATH");
+        return ExitCode::from(2);
+    };
+    let socket = std::path::PathBuf::from(socket);
+    if flags.stop {
+        return match fil_stdlib::serve::stop(&socket) {
+            Ok(()) => {
+                eprintln!("stopped daemon at {}", socket.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let opts = fil_stdlib::serve::ServeOptions {
+        socket,
+        jobs: flags.opts.jobs,
+        cache_dir: flags.opts.cache_dir.clone(),
+        cache_limit: flags.opts.cache_limit,
+        idle_timeout: flags.timeout.map(std::time::Duration::from_secs),
+    };
+    match fil_stdlib::serve::Server::bind(opts) {
+        Ok(server) => {
+            eprintln!("serving on {}", server.socket().display());
+            match server.run() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn run_serve(_flags: &Flags) -> ExitCode {
+    eprintln!("error: `filament serve` needs unix sockets");
+    ExitCode::FAILURE
+}
+
 fn run(cmd: &str, file: &str, args: &[String], flags: &Flags) -> ExitCode {
     // `fmt` is parse-only by design: it must reformat any syntactically
     // valid program, including parametric generators whose elaboration
@@ -367,7 +508,9 @@ fn run(cmd: &str, file: &str, args: &[String], flags: &Flags) -> ExitCode {
         };
     }
     if cmd == "sim" {
-        let Some(comp) = args.get(2) else { return usage() };
+        let Some(comp) = args.get(2) else {
+            return usage();
+        };
         return run_sim(file, comp, flags);
     }
     // `expand` and `build` run through the build driver (per-component
@@ -382,12 +525,15 @@ fn run(cmd: &str, file: &str, args: &[String], flags: &Flags) -> ExitCode {
             }
         };
         if cmd == "expand" {
-            return match fil_stdlib::expand_source_opts(&src, &flags.opts) {
-                Ok((printed, stats)) => {
+            return match fil_stdlib::build(&flags.request(src)) {
+                Ok(out) => {
                     if flags.want_stats {
-                        println!("{}", stats_json(&stats));
+                        println!("{}", stats_json(&out.stats));
                     } else {
-                        print!("{printed}");
+                        print!(
+                            "{}",
+                            out.expanded_text.expect("expanded is requested by default")
+                        );
                     }
                     ExitCode::SUCCESS
                 }
@@ -398,17 +544,18 @@ fn run(cmd: &str, file: &str, args: &[String], flags: &Flags) -> ExitCode {
             };
         }
         // Verilog/stats only: skip materializing the expanded program.
-        let opts = fil_build::BuildOptions {
-            emit_expanded: false,
-            ..flags.opts.clone()
-        };
-        return match fil_stdlib::build_source(&src, &opts) {
+        let req = flags.request(src).expanded(false).verilog();
+        if let Some(sock) = &flags.remote {
+            if let Some(code) = try_remote_build(sock, &req, flags.want_stats) {
+                return code;
+            }
+        }
+        return match fil_stdlib::build(&req) {
             Ok(out) => {
                 if flags.want_stats {
                     println!("{}", stats_json(&out.stats));
                 } else {
-                    let lowered = out.lowered.expect("full builds lower every unit");
-                    print!("{}", calyx_lite::emit_program(&lowered));
+                    print!("{}", out.verilog.expect("verilog was requested"));
                 }
                 ExitCode::SUCCESS
             }
@@ -439,7 +586,9 @@ fn run(cmd: &str, file: &str, args: &[String], flags: &Flags) -> ExitCode {
             }
         },
         "interface" => {
-            let Some(comp) = args.get(2) else { return usage() };
+            let Some(comp) = args.get(2) else {
+                return usage();
+            };
             let Some(sig) = program.sig(comp) else {
                 eprintln!("error: unknown component {comp}");
                 return ExitCode::FAILURE;
@@ -452,10 +601,16 @@ fn run(cmd: &str, file: &str, args: &[String], flags: &Flags) -> ExitCode {
                         println!("  interface port: {go}");
                     }
                     for p in &spec.inputs {
-                        println!("  input  {:<12} width {:<4} @[G+{}, G+{})", p.name, p.width, p.start, p.end);
+                        println!(
+                            "  input  {:<12} width {:<4} @[G+{}, G+{})",
+                            p.name, p.width, p.start, p.end
+                        );
                     }
                     for p in &spec.outputs {
-                        println!("  output {:<12} width {:<4} @[G+{}, G+{})", p.name, p.width, p.start, p.end);
+                        println!(
+                            "  output {:<12} width {:<4} @[G+{}, G+{})",
+                            p.name, p.width, p.start, p.end
+                        );
                     }
                     ExitCode::SUCCESS
                 }
@@ -466,7 +621,9 @@ fn run(cmd: &str, file: &str, args: &[String], flags: &Flags) -> ExitCode {
             }
         }
         "compile" => {
-            let Some(comp) = args.get(2) else { return usage() };
+            let Some(comp) = args.get(2) else {
+                return usage();
+            };
             if let Err(errors) = filament_core::check_program(&program) {
                 for e in errors {
                     eprintln!("error: {e}");
@@ -497,6 +654,20 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if args.first().map(String::as_str) == Some("serve") {
+        if flags.want_stats
+            || flags.trace.is_some()
+            || flags.trace_summary
+            || flags.vcd.is_some()
+            || flags.profile
+            || flags.remote.is_some()
+            || args.len() > 1
+        {
+            eprintln!("error: serve takes only --socket/--jobs/--cache-dir/--cache-limit/--timeout/--stop");
+            return usage();
+        }
+        return run_serve(&flags);
+    }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str().to_string(), f.as_str().to_string()),
         _ => return usage(),
@@ -522,6 +693,14 @@ fn main() -> ExitCode {
     }
     if (flags.vcd.is_some() || flags.profile) && cmd != "sim" {
         eprintln!("error: --vcd/--profile are only meaningful with `filament sim`");
+        return usage();
+    }
+    if flags.remote.is_some() && cmd != "build" {
+        eprintln!("error: --remote is only meaningful with `filament build`");
+        return usage();
+    }
+    if flags.socket.is_some() || flags.timeout.is_some() || flags.stop {
+        eprintln!("error: --socket/--timeout/--stop are only meaningful with `filament serve`");
         return usage();
     }
     let collector = (flags.trace.is_some() || flags.trace_summary)

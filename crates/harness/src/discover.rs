@@ -96,9 +96,7 @@ pub fn discover_min_delay(
             Ok(outs) => {
                 let all_match = outs.len() == expected.len()
                     && outs.iter().zip(expected).all(|(got, want)| {
-                        got.iter()
-                            .zip(want)
-                            .all(|(g, w)| *g == w.resize(g.width()))
+                        got.iter().zip(want).all(|(g, w)| *g == w.resize(g.width()))
                     });
                 if all_match {
                     return Ok(Some(period));

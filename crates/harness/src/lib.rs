@@ -30,6 +30,80 @@ pub use txn::{HarnessError, Transaction};
 
 use fil_bits::Value;
 use rtl_sim::Netlist;
+use std::sync::Arc;
+
+/// Compiles a [`fil_build::BuildRequest`] against the standard library
+/// down to a flat netlist plus the harness-facing interface spec of its
+/// top component. The request must name a top via
+/// [`fil_build::BuildRequest::netlist`]; repeated compiles of identical
+/// sources share one elaborated netlist through the process-wide cache.
+///
+/// # Errors
+///
+/// Returns a human-readable message for parse, check, lowering,
+/// elaboration, or spec-extraction failures.
+///
+/// # Examples
+///
+/// ```
+/// use fil_build::BuildRequest;
+/// use fil_harness::compile_request;
+///
+/// let (netlist, spec) = compile_request(&BuildRequest::new(
+///     "comp Main<G: 1>(@interface[G] go: 1, @[G, G+1] x: 8) -> (@[G, G+1] o: 8) {
+///        a := new Add[8]<G>(x, x);
+///        o = a.out;
+///      }",
+/// )
+/// .netlist("Main"))?;
+/// assert_eq!(spec.delay, 1);
+/// assert_eq!(netlist.name(), "Main");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile_request(
+    req: &fil_build::BuildRequest,
+) -> Result<(Arc<Netlist>, InterfaceSpec), String> {
+    finish_request(req, None)
+}
+
+/// [`compile_request`] lowering through a custom primitive registry (used
+/// by designs whose externs map onto generated cells, e.g. the Reticle
+/// DSP cascade). Set a distinguishing [`fil_build::BuildRequest::salt`]
+/// when combining a custom registry with an artifact cache.
+///
+/// # Errors
+///
+/// As [`compile_request`].
+pub fn compile_request_with(
+    req: &fil_build::BuildRequest,
+    registry: &dyn filament_core::PrimitiveRegistry,
+) -> Result<(Arc<Netlist>, InterfaceSpec), String> {
+    finish_request(req, Some(registry))
+}
+
+fn finish_request(
+    req: &fil_build::BuildRequest,
+    registry: Option<&dyn filament_core::PrimitiveRegistry>,
+) -> Result<(Arc<Netlist>, InterfaceSpec), String> {
+    let top = req
+        .want_netlist
+        .clone()
+        .ok_or_else(|| "compile_request needs BuildRequest::netlist(top)".to_string())?;
+    // The signature comes from the expanded program, so force it on.
+    let req = req.clone().expanded(true);
+    let out = match registry {
+        None => fil_stdlib::build(&req),
+        Some(r) => fil_stdlib::build_with_registry(&req, r),
+    }
+    .map_err(|e| e.to_string())?;
+    let netlist = out.netlist.expect("netlist was requested");
+    let expanded = out.expanded.expect("expanded was requested");
+    let sig = expanded
+        .sig(&top)
+        .ok_or_else(|| format!("unknown component {top}"))?;
+    let spec = InterfaceSpec::from_signature(sig).map_err(|e| e.to_string())?;
+    Ok((netlist, spec))
+}
 
 /// Compiles a checked Filament program down to a flat netlist plus the
 /// harness-facing interface spec of its top component.
@@ -38,24 +112,10 @@ use rtl_sim::Netlist;
 ///
 /// Returns a human-readable message for check, lowering, elaboration, or
 /// spec-extraction failures.
-///
-/// # Examples
-///
-/// ```
-/// use fil_harness::compile_for_test;
-/// use fil_stdlib::{with_stdlib, StdRegistry};
-///
-/// let program = with_stdlib(
-///     "comp Main<G: 1>(@interface[G] go: 1, @[G, G+1] x: 8) -> (@[G, G+1] o: 8) {
-///        a := new Add[8]<G>(x, x);
-///        o = a.out;
-///      }",
-/// )?;
-/// let (netlist, spec) = compile_for_test(&program, "Main", &StdRegistry)?;
-/// assert_eq!(spec.delay, 1);
-/// assert_eq!(netlist.name(), "Main");
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `compile_request` with a `fil_build::BuildRequest`"
+)]
 pub fn compile_for_test(
     program: &filament_core::Program,
     top: &str,
@@ -64,8 +124,9 @@ pub fn compile_for_test(
     // The build driver elaborates, checks, and lowers per compile unit
     // (idempotent on already-concrete programs, so callers may hand in
     // parametric sources directly), then merges deterministically.
-    let out = fil_build::build_program_serial(program, registry, &fil_build::BuildOptions::default())
-        .map_err(|e| e.to_string())?;
+    let out =
+        fil_build::build_program_serial(program, registry, &fil_build::BuildOptions::default())
+            .map_err(|e| e.to_string())?;
     let calyx = out.lowered.expect("full builds produce a lowered program");
     let netlist = calyx.elaborate(top).map_err(|e| e.to_string())?;
     let sig = out

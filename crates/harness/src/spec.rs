@@ -205,10 +205,8 @@ mod tests {
     fn extracts_conv2d_style_spec() {
         // The paper's corrected Aetherling interface: input held 6 cycles,
         // delay 9 (Section 7.1).
-        let s = spec_of(
-            "extern comp Conv2d<G: 9>(@[G, G+6] I: 8) -> (@[G+21, G+22] O: 8);",
-        )
-        .unwrap();
+        let s =
+            spec_of("extern comp Conv2d<G: 9>(@[G, G+6] I: 8) -> (@[G+21, G+22] O: 8);").unwrap();
         assert_eq!(s.delay, 9);
         assert_eq!(s.go, None);
         assert_eq!(s.inputs[0].start, 0);
@@ -240,17 +238,15 @@ mod tests {
 
     #[test]
     fn parametric_width_rejected() {
-        let e = spec_of("extern comp A[W]<T: 1>(@[T, T+1] a: W) -> (@[T, T+1] o: W);")
-            .unwrap_err();
+        let e = spec_of("extern comp A[W]<T: 1>(@[T, T+1] a: W) -> (@[T, T+1] o: W);").unwrap_err();
         assert!(matches!(e, SpecError::NonConstantWidth(_)));
     }
 
     #[test]
     fn bundle_port_rejected_until_flattened() {
-        let e = spec_of(
-            "comp A<G: 1>(@[G, G+1] in[i: 0..4]: 8) -> (@[G, G+1] o: 8) { o = in[0]; }",
-        )
-        .unwrap_err();
+        let e =
+            spec_of("comp A<G: 1>(@[G, G+1] in[i: 0..4]: 8) -> (@[G, G+1] o: 8) { o = in[0]; }")
+                .unwrap_err();
         assert_eq!(e, SpecError::BundlePort("in".into()));
         assert!(e.to_string().contains("mono::expand"), "{e}");
     }

@@ -239,9 +239,10 @@ pub fn run_transactions(
     for (k, txn) in captured.into_iter().enumerate() {
         let mut outs = Vec::with_capacity(spec.outputs.len());
         for (j, samples) in txn.into_iter().enumerate() {
-            let first = samples.first().cloned().unwrap_or_else(|| {
-                Value::zero(spec.outputs[j].width)
-            });
+            let first = samples
+                .first()
+                .cloned()
+                .unwrap_or_else(|| Value::zero(spec.outputs[j].width));
             if samples.iter().any(|s| *s != first) {
                 return Err(HarnessError::UnstableOutput {
                     port: spec.outputs[j].name.clone(),

@@ -38,8 +38,13 @@ fn opts(jobs: usize, cache: &Path) -> BuildOptions {
 /// Full driver build against the Reticle registry — a superset of the
 /// standard one, so it serves every corpus entry (only conv2d-reticle
 /// needs the Tdot extern), mirroring `fil_bench::compile_one`.
-fn build(src: &str, o: &BuildOptions) -> Result<fil_build::BuildOutput, String> {
-    let raw = fil_stdlib::with_stdlib_raw(src).map_err(|e| e.to_string())?;
+fn with_std_raw(src: &str) -> Result<filament_core::Program, fil_stdlib::LoadError> {
+    fil_stdlib::build(&fil_build::BuildRequest::new(src).raw().expanded(false))
+        .map(|out| out.raw.expect("raw was requested"))
+}
+
+fn build(src: &str, o: &BuildOptions) -> Result<fil_build::DriverOutput, String> {
+    let raw = with_std_raw(src).map_err(|e| e.to_string())?;
     fil_build::build_program(&raw, &reticle::ReticleRegistry, o).map_err(|e| e.to_string())
 }
 
@@ -56,10 +61,9 @@ fn artifact_names(dir: &Path) -> Vec<String> {
 fn corpus_builds_are_deterministic_across_jobs_and_cache_state() {
     for (name, src, _top) in fil_bench::design_corpus() {
         // Independent reference: the recursive monomorphizer.
-        let raw = fil_stdlib::with_stdlib_raw(&src).unwrap();
-        let reference = filament_core::pretty::print_program(
-            &filament_core::mono::expand(&raw).unwrap(),
-        );
+        let raw = with_std_raw(&src).unwrap();
+        let reference =
+            filament_core::pretty::print_program(&filament_core::mono::expand(&raw).unwrap());
 
         let cache1 = temp_cache(&format!("{name}-j1"));
         let cache8 = temp_cache(&format!("{name}-j8"));
@@ -68,7 +72,12 @@ fn corpus_builds_are_deterministic_across_jobs_and_cache_state() {
         let warm1 = build(&src, &opts(1, &cache1)).unwrap();
         let warm8 = build(&src, &opts(8, &cache8)).unwrap();
 
-        let runs = [("cold -j1", &cold1), ("cold -j8", &cold8), ("warm -j1", &warm1), ("warm -j8", &warm8)];
+        let runs = [
+            ("cold -j1", &cold1),
+            ("cold -j8", &cold8),
+            ("warm -j1", &warm1),
+            ("warm -j8", &warm8),
+        ];
         for (label, out) in &runs {
             assert_eq!(
                 filament_core::pretty::print_program(&out.expanded),
@@ -270,7 +279,10 @@ fn cache_limit_keeps_recently_used_artifacts() {
         ..opts(1, &cache)
     };
     let gc = build(&src_a, &limited).unwrap();
-    assert!(gc.stats.session_cache_evictions > 0, "over budget: B must go");
+    assert!(
+        gc.stats.session_cache_evictions > 0,
+        "over budget: B must go"
+    );
     assert_eq!(artifact_names(&cache), names_a, "used artifacts survive");
     let _ = std::fs::remove_dir_all(&cache);
 }

@@ -1,0 +1,256 @@
+//! Compile-farm gates for `filament serve`, driven in-process through
+//! [`fil_stdlib::serve`]:
+//!
+//! * **Single flight** — N concurrent identical requests run the build
+//!   exactly once (one `Led` reply, everyone else coalesced or memoized),
+//!   and every reply carries byte-identical artifacts, which in turn match
+//!   a local build of the same request.
+//! * **Distinct keys stay distinct** — different sources build separately;
+//!   a repeat of either is served from the completion memo without
+//!   touching the driver again.
+//! * **Warm netlists** — a request family that shares a lowered program
+//!   skips re-elaboration via the process-wide netlist cache, and the
+//!   netlist shipped over the wire is byte-identical to a local one.
+//! * **Abuse survival** — mid-frame disconnects, raw garbage, and
+//!   truncated headers cost the daemon nothing but the one connection.
+
+#![cfg(unix)]
+
+use fil_build::{request as wire, BuildRequest, Served};
+use fil_stdlib::serve::{self, ServeOptions, Server};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn sock(tag: &str) -> PathBuf {
+    // Unix socket paths are length-limited (~104 bytes): keep them short.
+    let path = std::env::temp_dir().join(format!("fil-dt-{tag}-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Binds and runs a daemon on `socket`, returning once it answers pings.
+fn start(socket: &Path) -> std::thread::JoinHandle<std::io::Result<()>> {
+    let server = Server::bind(ServeOptions {
+        socket: socket.to_path_buf(),
+        jobs: 1,
+        ..Default::default()
+    })
+    .expect("bind daemon");
+    let handle = std::thread::spawn(move || server.run());
+    for _ in 0..300 {
+        if serve::ping(socket).is_ok() {
+            return handle;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon never came up at {}", socket.display());
+}
+
+fn stat(socket: &Path, name: &str) -> u64 {
+    serve::server_stats(socket)
+        .expect("stats")
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("daemon stats missing {name}"))
+}
+
+fn shut_down(socket: &Path, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    serve::stop(socket).expect("stop");
+    handle.join().expect("server thread").expect("server run");
+    assert!(!socket.exists(), "socket file must be removed on shutdown");
+}
+
+fn netlist_bytes(n: &rtl_sim::Netlist) -> Vec<u8> {
+    let mut out = Vec::new();
+    calyx_lite::encode_netlist(n, &mut out);
+    out
+}
+
+#[test]
+fn concurrent_identical_requests_build_exactly_once() {
+    let socket = sock("flight");
+    let handle = start(&socket);
+
+    let req = BuildRequest::new(fil_designs::systolic::source(4, 32))
+        .expanded(false)
+        .verilog();
+    const CLIENTS: usize = 8;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let results: Vec<serve::RemoteBuild> = (0..CLIENTS)
+        .map(|_| {
+            let (socket, req, barrier) = (socket.clone(), req.clone(), barrier.clone());
+            std::thread::spawn(move || {
+                barrier.wait();
+                serve::request_build(&socket, &req).expect("remote build")
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|j| j.join().expect("client thread"))
+        .collect();
+
+    // The whole stampede ran the driver once: one leader, everyone else
+    // rode along (coalesced mid-build or memoized after it).
+    assert_eq!(stat(&socket, "builds_run"), 1, "single flight violated");
+    let leaders = results.iter().filter(|r| r.served == Served::Led).count();
+    assert_eq!(leaders, 1, "exactly one request leads the build");
+
+    // Every reply carries the same bytes, and they match a local build.
+    let verilog = results[0]
+        .output
+        .verilog
+        .as_deref()
+        .expect("verilog requested");
+    for r in &results {
+        assert_eq!(r.output.verilog.as_deref(), Some(verilog));
+    }
+    let local = fil_stdlib::build(&req).expect("local build");
+    assert_eq!(
+        local.verilog.as_deref(),
+        Some(verilog),
+        "daemon verilog diverges from a local build"
+    );
+
+    shut_down(&socket, handle);
+}
+
+#[test]
+fn distinct_requests_build_separately_and_repeats_hit_the_memo() {
+    let socket = sock("keys");
+    let handle = start(&socket);
+
+    let a = BuildRequest::new(fil_designs::encoder::source(8))
+        .expanded(false)
+        .verilog();
+    let b = BuildRequest::new(fil_designs::encoder::source(16))
+        .expanded(false)
+        .verilog();
+    let ra = serve::request_build(&socket, &a).expect("build a");
+    let rb = serve::request_build(&socket, &b).expect("build b");
+    assert_eq!(ra.served, Served::Led);
+    assert_eq!(rb.served, Served::Led);
+    assert_eq!(
+        stat(&socket, "builds_run"),
+        2,
+        "distinct keys must not coalesce"
+    );
+    assert_ne!(ra.output.verilog, rb.output.verilog);
+
+    // Warm repeats skip the driver entirely.
+    let ra2 = serve::request_build(&socket, &a).expect("repeat a");
+    assert_eq!(ra2.served, Served::Memo);
+    assert_eq!(ra2.output.verilog, ra.output.verilog);
+    assert_eq!(stat(&socket, "builds_run"), 2, "memo hit must not rebuild");
+    assert!(stat(&socket, "memo_hits") >= 1);
+
+    shut_down(&socket, handle);
+}
+
+#[test]
+fn warm_netlists_skip_re_elaboration_and_match_local_builds() {
+    let socket = sock("net");
+    let handle = start(&socket);
+
+    let src = fil_designs::alu::source(fil_designs::alu::ALU_PIPELINED);
+    let r1 = serve::request_build(
+        &socket,
+        &BuildRequest::new(src.clone())
+            .expanded(false)
+            .netlist("ALU"),
+    )
+    .expect("remote netlist build");
+    let remote = r1.output.netlist.expect("netlist requested");
+
+    // The wire netlist decodes to exactly what a local build elaborates.
+    let local = fil_stdlib::build(
+        &BuildRequest::new(src.clone())
+            .expanded(false)
+            .netlist("ALU"),
+    )
+    .expect("local build")
+    .netlist
+    .expect("netlist requested");
+    assert_eq!(
+        netlist_bytes(&remote),
+        netlist_bytes(&local),
+        "daemon netlist diverges from a local elaboration"
+    );
+
+    // A *different* request key over the same lowered program (it also
+    // wants Verilog) must reuse the elaborated netlist instead of
+    // re-running calyx_lite::elaborate.
+    let r2 = serve::request_build(
+        &socket,
+        &BuildRequest::new(src)
+            .expanded(false)
+            .netlist("ALU")
+            .verilog(),
+    )
+    .expect("sibling request");
+    assert_eq!(r2.served, Served::Led, "different key, fresh flight");
+    assert!(
+        r2.output.netlist_from_cache,
+        "re-elaboration was not skipped for a warm lowered program"
+    );
+    assert_eq!(
+        netlist_bytes(&r2.output.netlist.expect("netlist requested")),
+        netlist_bytes(&remote),
+    );
+
+    shut_down(&socket, handle);
+}
+
+#[test]
+fn disconnects_and_garbage_only_cost_their_own_connection() {
+    let socket = sock("abuse");
+    let handle = start(&socket);
+
+    // A client that dies mid-frame: send half of a valid frame, vanish.
+    {
+        let mut full = Vec::new();
+        wire::write_frame(&mut full, &[1u8; 64]).expect("frame to vec");
+        let mut s = UnixStream::connect(&socket).expect("connect");
+        s.write_all(&full[..full.len() / 2]).expect("half frame");
+    }
+    // Not a frame at all.
+    {
+        let mut s = UnixStream::connect(&socket).expect("connect");
+        s.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("garbage");
+    }
+    // A truncated header.
+    {
+        let mut s = UnixStream::connect(&socket).expect("connect");
+        s.write_all(b"FS").expect("header prefix");
+    }
+
+    // The daemon shrugs all three off and keeps serving real work.
+    serve::ping(&socket).expect("daemon died on malformed input");
+    let req = BuildRequest::new(
+        "comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G, G+1] o: 8) {
+            a := new Add[8]<G>(x, x);
+            o = a.out;
+        }",
+    )
+    .expanded(false)
+    .verilog();
+    let out = serve::request_build(&socket, &req).expect("build after abuse");
+    assert!(out.output.verilog.is_some());
+
+    // All three abuses are eventually counted (their connection threads
+    // may still be winding down when we first ask).
+    let mut malformed = 0;
+    for _ in 0..200 {
+        malformed = stat(&socket, "malformed_frames");
+        if malformed >= 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(malformed >= 3, "only {malformed} malformed frames counted");
+
+    shut_down(&socket, handle);
+}

@@ -64,7 +64,13 @@ fn every_filament_snippet_parses_and_checks() {
             .and_then(|l| l.trim().strip_prefix("// expect-error:"))
             .map(|s| s.trim().to_owned());
         // Parsing must succeed either way.
-        let raw = match fil_stdlib::with_stdlib_raw(src) {
+        let raw = match fil_stdlib::build(
+            &fil_stdlib::BuildRequest::new(src.as_str())
+                .raw()
+                .expanded(false),
+        )
+        .map(|out| out.raw.expect("raw was requested"))
+        {
             Ok(p) => p,
             Err(e) => {
                 failures.push(format!("{at}: does not parse: {e}"));
@@ -85,7 +91,10 @@ fn every_filament_snippet_parses_and_checks() {
         match expect_error {
             None => {
                 if !diags.is_empty() {
-                    failures.push(format!("{at}: should check but fails:\n  {}", diags.join("\n  ")));
+                    failures.push(format!(
+                        "{at}: should check but fails:\n  {}",
+                        diags.join("\n  ")
+                    ));
                 }
             }
             Some(want) => {

@@ -7,8 +7,8 @@
 //! `for`/`if`-generate) *and* on their expansions. CI additionally runs the
 //! real binary twice over the golden snapshots and diffs.
 
-use filament_core::pretty::print_program;
 use filament_core::parse_program;
+use filament_core::pretty::print_program;
 
 /// One `filament fmt` application.
 fn fmt(src: &str) -> String {
@@ -42,10 +42,16 @@ fn parametric_generators_format_to_a_fixpoint() {
 #[test]
 fn expansions_format_to_a_fixpoint() {
     for (name, src, _top) in fil_bench::design_corpus() {
-        let expanded = fil_stdlib::expand_source(&src)
-            .unwrap_or_else(|e| panic!("{name} fails to expand: {e}"));
+        let expanded = fil_stdlib::build(&fil_stdlib::BuildRequest::new(src.as_str()))
+            .unwrap_or_else(|e| panic!("{name} fails to expand: {e}"))
+            .expanded_text
+            .expect("expanded text is on by default");
         let once = fmt(&expanded);
-        assert_eq!(once, fmt(&once), "{name}: fmt of the expansion is not idempotent");
+        assert_eq!(
+            once,
+            fmt(&once),
+            "{name}: fmt of the expansion is not idempotent"
+        );
     }
 }
 

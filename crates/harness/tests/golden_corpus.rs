@@ -32,8 +32,10 @@ fn corpus_expansions_match_checked_in_snapshots() {
     let mut expected_files = std::collections::BTreeSet::new();
     let mut failures = Vec::new();
     for (name, src, _top) in fil_bench::design_corpus() {
-        let expanded = fil_stdlib::expand_source(&src)
-            .unwrap_or_else(|e| panic!("{name} fails to expand: {e}"));
+        let expanded = fil_stdlib::build(&fil_stdlib::BuildRequest::new(src.as_str()))
+            .unwrap_or_else(|e| panic!("{name} fails to expand: {e}"))
+            .expanded_text
+            .expect("expanded text is on by default");
         let path = dir.join(format!("{name}.expanded.fil"));
         expected_files.insert(format!("{name}.expanded.fil"));
         if update {
@@ -94,13 +96,21 @@ fn snapshots_reparse_and_recheck() {
         let path = golden_dir().join(format!("{name}.expanded.fil"));
         let golden = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("{name}: missing snapshot ({e}); run UPDATE_GOLDEN=1"));
-        let program = fil_stdlib::with_stdlib_raw(&golden)
-            .unwrap_or_else(|e| panic!("{name}: snapshot does not reparse: {e}"));
+        let program = fil_stdlib::build(
+            &fil_stdlib::BuildRequest::new(golden.as_str())
+                .raw()
+                .expanded(false),
+        )
+        .map(|out| out.raw.expect("raw was requested"))
+        .unwrap_or_else(|e| panic!("{name}: snapshot does not reparse: {e}"));
         // Snapshots are already concrete, so expansion is the identity and
         // the checker accepts them directly.
         let expanded = filament_core::mono::expand(&program)
             .unwrap_or_else(|e| panic!("{name}: snapshot does not re-expand: {e}"));
-        assert_eq!(program, expanded, "{name}: snapshot is not a fixpoint of expansion");
+        assert_eq!(
+            program, expanded,
+            "{name}: snapshot is not a fixpoint of expansion"
+        );
         filament_core::check_program(&expanded)
             .unwrap_or_else(|e| panic!("{name}: snapshot fails the checker: {e:#?}"));
     }

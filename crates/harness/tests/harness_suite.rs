@@ -3,11 +3,11 @@
 //! discovery, and fuzzing.
 
 use fil_bits::Value;
+use fil_build::BuildRequest;
 use fil_harness::{
-    compile_for_test, discover_latency, discover_min_delay, fuzz_against_golden,
-    fuzz_equivalent, run_pipelined, HarnessError, InterfaceSpec, PortSpec,
+    compile_request, discover_latency, discover_min_delay, fuzz_against_golden, fuzz_equivalent,
+    run_pipelined, HarnessError, InterfaceSpec, PortSpec,
 };
-use fil_stdlib::{with_stdlib, StdRegistry};
 use rtl_sim::{CellKind, Netlist};
 
 fn v(w: u32, x: u64) -> Value {
@@ -26,8 +26,8 @@ comp AddDelay<G: 1>(@interface[G] go: 1, @[G, G+1] a: 8, @[G, G+1] b: 8)
 
 #[test]
 fn pipelined_transactions_capture_outputs() {
-    let program = with_stdlib(ADD_DELAY).unwrap();
-    let (netlist, spec) = compile_for_test(&program, "AddDelay", &StdRegistry).unwrap();
+    let (netlist, spec) =
+        compile_request(&BuildRequest::new(ADD_DELAY).netlist("AddDelay")).unwrap();
     let inputs: Vec<Vec<Value>> = (0..5u64).map(|k| vec![v(8, k), v(8, 10 * k)]).collect();
     let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
     let got: Vec<u64> = outs.iter().map(|o| o[0].to_u64()).collect();
@@ -45,13 +45,21 @@ fn poison_catches_interface_lies() {
     let qq = n.add_signal("qq", 8);
     n.add_cell(
         "r0",
-        CellKind::Reg { width: 8, init: 0, has_en: false },
+        CellKind::Reg {
+            width: 8,
+            init: 0,
+            has_en: false,
+        },
         vec![x],
         vec![q],
     );
     n.add_cell(
         "r1",
-        CellKind::Reg { width: 8, init: 0, has_en: false },
+        CellKind::Reg {
+            width: 8,
+            init: 0,
+            has_en: false,
+        },
         vec![x],
         vec![qq],
     );
@@ -94,7 +102,10 @@ fn overlap_detected_when_interval_exceeds_period() {
     };
     let inputs = vec![vec![v(8, 1)], vec![v(8, 2)]];
     let err = run_pipelined(&n, &spec, &inputs).unwrap_err();
-    assert!(matches!(err, HarnessError::InterfaceOverlap { cycle: 1, .. }));
+    assert!(matches!(
+        err,
+        HarnessError::InterfaceOverlap { cycle: 1, .. }
+    ));
     // Identical values do not clash.
     let inputs = vec![vec![v(8, 7)], vec![v(8, 7)]];
     assert!(run_pipelined(&n, &spec, &inputs).is_ok());
@@ -111,7 +122,11 @@ fn latency_discovery_finds_real_latency() {
         let nxt = n.add_signal(format!("s{i}"), 8);
         n.add_cell(
             format!("r{i}"),
-            CellKind::Reg { width: 8, init: 0, has_en: false },
+            CellKind::Reg {
+                width: 8,
+                init: 0,
+                has_en: false,
+            },
             vec![cur],
             vec![nxt],
         );
@@ -135,15 +150,17 @@ fn latency_discovery_finds_real_latency() {
 fn min_delay_discovery() {
     // The sequential multiplier only works when transactions are spaced 3
     // apart.
-    let program = with_stdlib(
-        "comp M<G: 3>(@interface[G] go: 1, @[G, G+1] a: 8, @[G, G+1] b: 8)
-             -> (@[G+2, G+3] o: 8) {
-           m := new Mult[8]<G>(a, b);
-           o = m.out;
-         }",
+    let (netlist, spec) = compile_request(
+        &BuildRequest::new(
+            "comp M<G: 3>(@interface[G] go: 1, @[G, G+1] a: 8, @[G, G+1] b: 8)
+                 -> (@[G+2, G+3] o: 8) {
+               m := new Mult[8]<G>(a, b);
+               o = m.out;
+             }",
+        )
+        .netlist("M"),
     )
     .unwrap();
-    let (netlist, spec) = compile_for_test(&program, "M", &StdRegistry).unwrap();
     let inputs: Vec<Vec<Value>> = vec![
         vec![v(8, 3), v(8, 5)],
         vec![v(8, 7), v(8, 9)],
@@ -159,8 +176,8 @@ fn min_delay_discovery() {
 
 #[test]
 fn fuzz_against_software_model() {
-    let program = with_stdlib(ADD_DELAY).unwrap();
-    let (netlist, spec) = compile_for_test(&program, "AddDelay", &StdRegistry).unwrap();
+    let (netlist, spec) =
+        compile_request(&BuildRequest::new(ADD_DELAY).netlist("AddDelay")).unwrap();
     fuzz_against_golden(
         &netlist,
         &spec,
@@ -174,29 +191,32 @@ fn fuzz_against_software_model() {
 #[test]
 fn fuzz_differential_between_designs() {
     // Combinational vs pipelined implementations of the same function.
-    let comb = with_stdlib(
-        "comp C<G: 1>(@[G, G+1] a: 8, @[G, G+1] b: 8) -> (@[G, G+1] o: 8) {
-           s := new Add[8]<G>(a, b);
-           o = s.out;
-         }",
+    let (nc, sc) = compile_request(
+        &BuildRequest::new(
+            "comp C<G: 1>(@[G, G+1] a: 8, @[G, G+1] b: 8) -> (@[G, G+1] o: 8) {
+               s := new Add[8]<G>(a, b);
+               o = s.out;
+             }",
+        )
+        .netlist("C"),
     )
     .unwrap();
-    let pipe = with_stdlib(ADD_DELAY).unwrap();
-    let (nc, sc) = compile_for_test(&comb, "C", &StdRegistry).unwrap();
-    let (np, sp) = compile_for_test(&pipe, "AddDelay", &StdRegistry).unwrap();
+    let (np, sp) = compile_request(&BuildRequest::new(ADD_DELAY).netlist("AddDelay")).unwrap();
     fuzz_equivalent((&nc, &sc), (&np, &sp), 200, 42).expect("designs agree");
 }
 
 #[test]
 fn fuzz_reports_mismatch() {
-    let comb = with_stdlib(
-        "comp C<G: 1>(@[G, G+1] a: 8, @[G, G+1] b: 8) -> (@[G, G+1] o: 8) {
-           s := new Add[8]<G>(a, b);
-           o = s.out;
-         }",
+    let (nc, sc) = compile_request(
+        &BuildRequest::new(
+            "comp C<G: 1>(@[G, G+1] a: 8, @[G, G+1] b: 8) -> (@[G, G+1] o: 8) {
+               s := new Add[8]<G>(a, b);
+               o = s.out;
+             }",
+        )
+        .netlist("C"),
     )
     .unwrap();
-    let (nc, sc) = compile_for_test(&comb, "C", &StdRegistry).unwrap();
     let err = fuzz_against_golden(&nc, &sc, |ins| vec![ins[0].sub(&ins[1])], 50, 7)
         .expect_err("adder is not a subtractor");
     assert!(err.to_string().contains("mismatch"));
@@ -204,12 +224,16 @@ fn fuzz_reports_mismatch() {
 
 #[test]
 fn arity_errors_are_reported() {
-    let program = with_stdlib(ADD_DELAY).unwrap();
-    let (netlist, spec) = compile_for_test(&program, "AddDelay", &StdRegistry).unwrap();
+    let (netlist, spec) =
+        compile_request(&BuildRequest::new(ADD_DELAY).netlist("AddDelay")).unwrap();
     let err = run_pipelined(&netlist, &spec, &[vec![v(8, 1)]]).unwrap_err();
     assert!(matches!(
         err,
-        HarnessError::Arity { expected: 2, got: 1, .. }
+        HarnessError::Arity {
+            expected: 2,
+            got: 1,
+            ..
+        }
     ));
 }
 
@@ -228,14 +252,16 @@ fn missing_port_is_reported() {
 }
 
 #[test]
-fn compile_for_test_surfaces_type_errors() {
-    let program = with_stdlib(
-        "comp Bad<G: 1>(@[G, G+1] x: 8) -> (@[G, G+1] o: 8) {
-           m := new Mult[8]<G>(x, x);
-           o = m.out;
-         }",
+fn compile_request_surfaces_type_errors() {
+    let err = compile_request(
+        &BuildRequest::new(
+            "comp Bad<G: 1>(@[G, G+1] x: 8) -> (@[G, G+1] o: 8) {
+               m := new Mult[8]<G>(x, x);
+               o = m.out;
+             }",
+        )
+        .netlist("Bad"),
     )
-    .unwrap();
-    let err = compile_for_test(&program, "Bad", &StdRegistry).unwrap_err();
+    .unwrap_err();
     assert!(err.contains("error"), "{err}");
 }

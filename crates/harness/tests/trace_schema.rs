@@ -6,10 +6,10 @@
 //! must trade its expand/check/lower spans for `cache-load` spans. The
 //! CLI-level test drives the installed `filament` binary end to end and
 //! also pins the `--stats` JSON contract: the `phase_us` wall-time
-//! object and the `session_cache_evictions` key (plus its deprecated
-//! `cache_evictions` alias, kept for one release).
+//! object and the `session_cache_evictions` key (its pre-rename
+//! `cache_evictions` alias is gone).
 
-use fil_build::{fil_trace, BuildOptions};
+use fil_build::{fil_trace, BuildRequest};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -31,19 +31,14 @@ fn spans_named(json: &str, name: &str) -> u64 {
     json.matches(&format!("\"name\":\"{name}\"")).count() as u64
 }
 
-fn traced_build(
-    src: &str,
-    jobs: usize,
-    cache: &Path,
-) -> (fil_build::BuildOutput, String) {
+fn traced_build(src: &str, jobs: usize, cache: &Path) -> (fil_build::BuildOutput, String) {
     let collector = Arc::new(fil_trace::Collector::new());
-    let opts = BuildOptions {
-        jobs,
-        cache_dir: Some(cache.to_path_buf()),
-        trace: Some(collector.clone()),
-        ..BuildOptions::default()
-    };
-    let out = fil_stdlib::build_source(src, &opts).expect("build failed");
+    let req = BuildRequest::new(src)
+        .jobs(jobs)
+        .cache_dir(cache)
+        .lowered()
+        .trace(collector.clone());
+    let out = fil_stdlib::build(&req).expect("build failed");
     (out, collector.chrome_json())
 }
 
@@ -65,8 +60,14 @@ fn trace_spans_reconcile_with_build_stats() {
     assert_eq!(spans_named(&json, "lower"), cold.stats.lowered);
     assert_eq!(spans_named(&json, "cache-load"), cold.stats.cache_loads);
     // Worker spans land on named builder lanes; serial phases on main.
-    assert!(json.contains("\"name\":\"main\""), "main lane metadata missing");
-    assert!(json.contains("\"name\":\"builder-0\""), "builder lane metadata missing");
+    assert!(
+        json.contains("\"name\":\"main\""),
+        "main lane metadata missing"
+    );
+    assert!(
+        json.contains("\"name\":\"builder-0\""),
+        "builder lane metadata missing"
+    );
     // The artifact-cache counter track samples every probe.
     assert!(stats.counters as u64 >= cold.stats.cache_misses);
 
@@ -124,7 +125,8 @@ fn filament_build_trace_cli_roundtrip() {
     }
 
     // The --stats JSON line: per-phase wall times plus the renamed
-    // eviction counter and its deprecated alias.
+    // eviction counter. Its deprecated `cache_evictions` alias was
+    // dropped after one release.
     let stdout = String::from_utf8_lossy(&output.stdout);
     // The stats object is pretty-printed after the build's own output;
     // the quoted keys below cannot appear in emitted Verilog.
@@ -137,10 +139,16 @@ fn filament_build_trace_cli_roundtrip() {
         "\"lower\"",
         "\"merge\"",
         "\"session_cache_evictions\"",
-        "\"cache_evictions\"",
     ] {
-        assert!(stats_line.contains(key), "--stats JSON missing {key}: {stats_line}");
+        assert!(
+            stats_line.contains(key),
+            "--stats JSON missing {key}: {stats_line}"
+        );
     }
+    assert!(
+        !stats_line.contains("\"cache_evictions\""),
+        "removed alias resurfaced: {stats_line}"
+    );
 
     let _ = std::fs::remove_dir_all(&out_dir);
 }

@@ -41,12 +41,19 @@ impl Gen {
     fn xtime(&mut self, a: SignalId) -> SignalId {
         let shifted = self.cell1(
             "xt_shl",
-            CellKind::ShlConst { width: 8, amount: 1 },
+            CellKind::ShlConst {
+                width: 8,
+                amount: 1,
+            },
             vec![a],
         );
         let msb = self.cell1(
             "xt_msb",
-            CellKind::Slice { in_width: 8, hi: 7, lo: 7 },
+            CellKind::Slice {
+                in_width: 8,
+                hi: 7,
+                lo: 7,
+            },
             vec![a],
         );
         self.fresh += 1;
@@ -126,8 +133,7 @@ pub fn aes_comb_netlist() -> Netlist {
             for c in 0..4usize {
                 let a: Vec<SignalId> = (0..4).map(|r| shifted[r + 4 * c]).collect();
                 let x2: Vec<SignalId> = a.iter().map(|&v| g.xtime(v)).collect();
-                let x3: Vec<SignalId> =
-                    (0..4).map(|i| g.xor(x2[i], a[i])).collect();
+                let x3: Vec<SignalId> = (0..4).map(|i| g.xor(x2[i], a[i])).collect();
                 let mix = |g: &mut Gen, p: SignalId, q: SignalId, r: SignalId, s: SignalId| {
                     let t1 = g.xor(p, q);
                     let t2 = g.xor(r, s);
@@ -234,9 +240,7 @@ pub fn expand_key(key: [u8; 16]) -> ([u8; 16], [[u8; 16]; 10]) {
         let prev = words[i - 4];
         words.push(std::array::from_fn(|j| prev[j] ^ temp[j]));
     }
-    let key_of = |r: usize| -> [u8; 16] {
-        std::array::from_fn(|i| words[4 * r + i / 4][i % 4])
-    };
+    let key_of = |r: usize| -> [u8; 16] { std::array::from_fn(|i| words[4 * r + i / 4][i % 4]) };
     let k0 = key_of(0);
     let rest = std::array::from_fn(|r| key_of(r + 1));
     (k0, rest)
@@ -275,16 +279,16 @@ mod tests {
 
     /// FIPS-197 Appendix B: key and plaintext with known ciphertext.
     const KEY: [u8; 16] = [
-        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
-        0x4f, 0x3c,
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
     ];
     const PLAIN: [u8; 16] = [
-        0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
-        0x07, 0x34,
+        0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07,
+        0x34,
     ];
     const CIPHER: [u8; 16] = [
-        0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
-        0x0b, 0x32,
+        0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b,
+        0x32,
     ];
 
     fn whiten(block: [u8; 16], k0: [u8; 16]) -> [u8; 16] {
@@ -337,11 +341,7 @@ mod tests {
             .collect();
         let outs = fil_harness::run_pipelined(&n, &spec, &inputs).unwrap();
         for (i, b) in blocks.iter().enumerate() {
-            assert_eq!(
-                unpack_block(&outs[i][0]),
-                aes_golden(*b, &rks),
-                "block {i}"
-            );
+            assert_eq!(unpack_block(&outs[i][0]), aes_golden(*b, &rks), "block {i}");
         }
         assert_eq!(unpack_block(&outs[0][0]), CIPHER);
     }

@@ -96,8 +96,7 @@ pub fn auto_pipeline(comb: &Netlist, stages: u32) -> Netlist {
     }
     let max_depth = depth.iter().copied().max().unwrap_or(0);
     // Stage of a signal: monotone in depth, in 0 .. stages-1.
-    let stage =
-        |sig: SignalId| -> u32 { (depth[sig.index()] * stages) / (max_depth + 1) };
+    let stage = |sig: SignalId| -> u32 { (depth[sig.index()] * stages) / (max_depth + 1) };
 
     let mut out = Netlist::new(format!("{}_pipe{stages}", comb.name()));
     // Mirror every signal, then materialize registered copies on demand.
@@ -142,12 +141,7 @@ pub fn auto_pipeline(comb: &Netlist, stages: u32) -> Netlist {
     };
 
     for cell in comb.cells() {
-        let s = cell
-            .outputs
-            .iter()
-            .map(|&o| stage(o))
-            .max()
-            .unwrap_or(0);
+        let s = cell.outputs.iter().map(|&o| stage(o)).max().unwrap_or(0);
         let inputs = cell
             .inputs
             .iter()
@@ -296,7 +290,11 @@ mod tests {
         let q = n.add_signal("q", 8);
         n.add_cell(
             "r",
-            CellKind::Reg { width: 8, init: 0, has_en: false },
+            CellKind::Reg {
+                width: 8,
+                init: 0,
+                has_en: false,
+            },
             vec![a],
             vec![q],
         );

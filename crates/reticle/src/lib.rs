@@ -65,7 +65,11 @@ pub fn generate_tdot(width: u32) -> Component {
     c.add_primitive("dsp2", dsp(false, true));
 
     let zero = Src::konst(Value::zero(width));
-    for (cell, a, b) in [("dsp0", "a0", "b0"), ("dsp1", "a1", "b1"), ("dsp2", "a2", "b2")] {
+    for (cell, a, b) in [
+        ("dsp0", "a0", "b0"),
+        ("dsp1", "a1", "b1"),
+        ("dsp2", "a2", "b2"),
+    ] {
         c.assign(PortRef::cell(cell, "a"), Src::this(a));
         c.assign(PortRef::cell(cell, "b"), Src::this(b));
     }

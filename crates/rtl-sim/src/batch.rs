@@ -46,7 +46,7 @@ use crate::cell::CellKind;
 use crate::graph::{Driver, FlatGraph};
 use crate::netlist::{Netlist, PortDir, SignalId};
 use crate::shard::{
-    auto_partition, build_plans, enc_is_ext, enc_idx, normalize_partition, Barrier, Plan, Pool,
+    auto_partition, build_plans, enc_idx, enc_is_ext, normalize_partition, Barrier, Plan, Pool,
     SDriver, SyncCell, NO_GUARD,
 };
 use crate::sim::{conflict_error, Conflict, SimError};
@@ -447,7 +447,10 @@ impl<'n> BatchSim<'n> {
     pub fn peek(&self, sig: SignalId, lane: u32) -> Value {
         assert!(lane < self.nlanes, "lane {lane} out of range");
         let idx = sig.index();
-        Value::from_u64(self.netlist.signals()[idx].width, self.values[idx].get(lane))
+        Value::from_u64(
+            self.netlist.signals()[idx].width,
+            self.values[idx].get(lane),
+        )
     }
 
     /// Convenience: peek one lane by signal name.
@@ -613,9 +616,8 @@ impl<'n> BatchSim<'n> {
                         ..
                     } = self;
                     let pw = *pw;
-                    let assign_at = |k: u32| {
-                        netlist.assigns()[flat.assign_lists[k as usize] as usize]
-                    };
+                    let assign_at =
+                        |k: u32| netlist.assigns()[flat.assign_lists[k as usize] as usize];
                     // Phase 1: per-lane active/driven/conflict planes.
                     s_drv.fill(0);
                     s_confl.fill(0);
@@ -676,7 +678,11 @@ impl<'n> BatchSim<'n> {
                         }
                         let (a, b) = pair.expect("conflict lane has two active assigns");
                         conflicts.push(LaneConflict {
-                            c: Conflict { sig: si as u32, a, b },
+                            c: Conflict {
+                                sig: si as u32,
+                                a,
+                                b,
+                            },
                             lane,
                         });
                         conflicted = true;
@@ -698,12 +704,7 @@ impl<'n> BatchSim<'n> {
                 }
             }
         }
-        if let Some(lc) = self
-            .conflicts
-            .iter()
-            .copied()
-            .min_by_key(|lc| lc.c.sig)
-        {
+        if let Some(lc) = self.conflicts.iter().copied().min_by_key(|lc| lc.c.sig) {
             return Err(conflict_error(
                 self.netlist,
                 self.cycle,
@@ -834,7 +835,8 @@ impl<'n> BatchSim<'n> {
             netlist.cells()[c]
                 .kind
                 .tick_lanes(&inputs[..pins.len()], &mut states[c]);
-            for &sig in &flat.cout_sigs[flat.cout_start[c] as usize..flat.cout_start[c + 1] as usize]
+            for &sig in
+                &flat.cout_sigs[flat.cout_start[c] as usize..flat.cout_start[c + 1] as usize]
             {
                 dirty[sig as usize] = true;
             }
@@ -949,7 +951,10 @@ unsafe fn batch_worker(ctx: &BatchCtx<'_>, w: usize) {
                     changed = true;
                 }
                 SDriver::Cell { cell, pin }
-                    if matches!(ctx.netlist.cells()[cell as usize].kind, CellKind::Reg { .. }) =>
+                    if matches!(
+                        ctx.netlist.cells()[cell as usize].kind,
+                        CellKind::Reg { .. }
+                    ) =>
                 {
                     let c = cell as usize;
                     let _ = pin;
@@ -1126,16 +1131,18 @@ unsafe fn batch_worker(ctx: &BatchCtx<'_>, w: usize) {
                         }
                         let (a, b) = pair.expect("conflict lane has two active assigns");
                         st.conflicts.push(LaneConflict {
-                            c: Conflict { sig: si as u32, a, b },
+                            c: Conflict {
+                                sig: si as u32,
+                                a,
+                                b,
+                            },
                             lane,
                         });
                         conflicted = true;
                     }
                     // SAFETY: owned signal's driven plane and value.
-                    unsafe {
-                        std::slice::from_raw_parts_mut(ctx.driven.add(si * ctx.pw), ctx.pw)
-                    }
-                    .copy_from_slice(&st.s_drv);
+                    unsafe { std::slice::from_raw_parts_mut(ctx.driven.add(si * ctx.pw), ctx.pw) }
+                        .copy_from_slice(&st.s_drv);
                     // Rebuilt on every visit — swap-adoption is safe.
                     let dst = unsafe { &mut *ctx.values.add(si) };
                     changed = dst.words() != cb.words();
@@ -1211,7 +1218,8 @@ unsafe fn batch_tick_worker(ctx: &BatchTickCtx<'_>, w: usize) {
     for &ci in &ctx.plans[w].seq_cells {
         let c = ci as usize;
         let pins = ctx.flat.cell_pins(c);
-        let mut inputs: [&LaneBuf; CellKind::MAX_INPUT_PINS] = [ctx.dummy; CellKind::MAX_INPUT_PINS];
+        let mut inputs: [&LaneBuf; CellKind::MAX_INPUT_PINS] =
+            [ctx.dummy; CellKind::MAX_INPUT_PINS];
         for (k, &s) in pins.iter().enumerate() {
             // SAFETY: no thread writes values during tick.
             inputs[k] = unsafe { &*ctx.values.add(s as usize) };
@@ -1221,8 +1229,8 @@ unsafe fn batch_tick_worker(ctx: &BatchTickCtx<'_>, w: usize) {
             // SAFETY: the cell is owned by this shard.
             unsafe { &mut *ctx.states.add(c) },
         );
-        for &sig in
-            &ctx.flat.cout_sigs[ctx.flat.cout_start[c] as usize..ctx.flat.cout_start[c + 1] as usize]
+        for &sig in &ctx.flat.cout_sigs
+            [ctx.flat.cout_start[c] as usize..ctx.flat.cout_start[c + 1] as usize]
         {
             // SAFETY: the cell's outputs are owned by this shard.
             unsafe { *ctx.dirty.add(sig as usize) = true };

@@ -132,7 +132,10 @@ impl FlatGraph {
             .collect();
         while let Some(s) = queue.pop() {
             order.push(s);
-            let (d0, d1) = (dep_start[s as usize] as usize, dep_start[s as usize + 1] as usize);
+            let (d0, d1) = (
+                dep_start[s as usize] as usize,
+                dep_start[s as usize + 1] as usize,
+            );
             for &t in &dep_list[d0..d1] {
                 indegree[t as usize] -= 1;
                 if indegree[t as usize] == 0 {

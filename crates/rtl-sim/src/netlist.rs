@@ -122,7 +122,10 @@ impl fmt::Display for NetlistError {
                 site,
                 expected,
                 actual,
-            } => write!(f, "width mismatch at {site}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "width mismatch at {site}: expected {expected}, got {actual}"
+            ),
             NetlistError::GuardWidth { signal, width } => {
                 write!(f, "guard {signal} must be 1 bit wide, got {width}")
             }

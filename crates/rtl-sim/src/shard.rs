@@ -162,10 +162,7 @@ pub(crate) fn build_plans(netlist: &Netlist, flat: &FlatGraph, of: &[u32], k: us
         plan.cpin_start = Vec::with_capacity(n_cells + 1);
         plan.cpin_start.push(0);
         for (ci, cell) in netlist.cells().iter().enumerate() {
-            let owned = cell
-                .outputs
-                .first()
-                .is_some_and(|o| of[o.index()] == s);
+            let owned = cell.outputs.first().is_some_and(|o| of[o.index()] == s);
             if owned {
                 for &p in &cell.inputs {
                     plan.pin_enc
@@ -559,7 +556,9 @@ mod tests {
         }
         assert!(seen.iter().all(|&c| c == 1));
         // No comb edges cross shards under the auto partition.
-        assert!(plans.iter().all(|p| p.n_boundary == 0 && p.ext_sigs.is_empty()));
+        assert!(plans
+            .iter()
+            .all(|p| p.n_boundary == 0 && p.ext_sigs.is_empty()));
     }
 
     #[test]

@@ -42,7 +42,7 @@ use crate::graph::{Driver, FlatGraph};
 use crate::netlist::{Netlist, NetlistError, PortDir, SignalId};
 use crate::profile::{ProfState, ProfileReport};
 use crate::shard::{
-    auto_partition, build_plans, enc_is_ext, enc_idx, normalize_partition, Barrier, Plan, Pool,
+    auto_partition, build_plans, enc_idx, enc_is_ext, normalize_partition, Barrier, Plan, Pool,
     SDriver, SyncCell, NO_GUARD,
 };
 use fil_bits::Value;
@@ -577,7 +577,9 @@ impl<'n> Sim<'n> {
                             &mut out_buf[o0..o1],
                         );
                     }
-                    let Sim { values, out_buf, .. } = self;
+                    let Sim {
+                        values, out_buf, ..
+                    } = self;
                     let out = &out_buf[slot];
                     let dst = &mut values[si];
                     changed = *dst != *out;
@@ -613,7 +615,11 @@ impl<'n> Sim<'n> {
                         // Record and continue settling: the winner is
                         // chosen deterministically after the pass. The
                         // signal keeps its old value and stays dirty.
-                        self.conflicts.push(Conflict { sig: si as u32, a, b });
+                        self.conflicts.push(Conflict {
+                            sig: si as u32,
+                            a,
+                            b,
+                        });
                         self.driven[si] = true;
                         changed = false;
                         conflicted = true;
@@ -763,7 +769,8 @@ impl<'n> Sim<'n> {
                 .kind
                 .tick(&inputs[..pins.len()], &mut states[c]);
             // New state may surface on the cell's outputs next settle.
-            for &sig in &flat.cout_sigs[flat.cout_start[c] as usize..flat.cout_start[c + 1] as usize]
+            for &sig in
+                &flat.cout_sigs[flat.cout_start[c] as usize..flat.cout_start[c + 1] as usize]
             {
                 dirty[sig as usize] = true;
             }
@@ -955,7 +962,11 @@ unsafe fn scalar_worker(ctx: &ScalarCtx<'_>, w: usize) {
                         }
                     }
                     if let Some((a, b)) = conflict {
-                        st.conflicts.push(Conflict { sig: si as u32, a, b });
+                        st.conflicts.push(Conflict {
+                            sig: si as u32,
+                            a,
+                            b,
+                        });
                         unsafe { *ctx.driven.add(si) = true };
                         changed = false;
                         conflicted = true;
@@ -1069,8 +1080,8 @@ unsafe fn tick_worker(ctx: &TickCtx<'_>, w: usize) {
             // SAFETY: the cell is owned by this shard.
             unsafe { &mut *ctx.states.add(c) },
         );
-        for &sig in
-            &ctx.flat.cout_sigs[ctx.flat.cout_start[c] as usize..ctx.flat.cout_start[c + 1] as usize]
+        for &sig in &ctx.flat.cout_sigs
+            [ctx.flat.cout_start[c] as usize..ctx.flat.cout_start[c + 1] as usize]
         {
             // SAFETY: the cell's outputs are owned by this shard.
             unsafe { *ctx.dirty.add(sig as usize) = true };

@@ -36,9 +36,18 @@ fn comb_binops() {
     assert_eq!(eval_binop(CellKind::Add { width: 8 }, 200, 100), 44);
     assert_eq!(eval_binop(CellKind::Sub { width: 8 }, 5, 7), 254);
     assert_eq!(eval_binop(CellKind::MulComb { width: 8 }, 20, 20), 144);
-    assert_eq!(eval_binop(CellKind::And { width: 8 }, 0b1100, 0b1010), 0b1000);
-    assert_eq!(eval_binop(CellKind::Or { width: 8 }, 0b1100, 0b1010), 0b1110);
-    assert_eq!(eval_binop(CellKind::Xor { width: 8 }, 0b1100, 0b1010), 0b0110);
+    assert_eq!(
+        eval_binop(CellKind::And { width: 8 }, 0b1100, 0b1010),
+        0b1000
+    );
+    assert_eq!(
+        eval_binop(CellKind::Or { width: 8 }, 0b1100, 0b1010),
+        0b1110
+    );
+    assert_eq!(
+        eval_binop(CellKind::Xor { width: 8 }, 0b1100, 0b1010),
+        0b0110
+    );
     assert_eq!(eval_binop(CellKind::Eq { width: 8 }, 3, 3), 1);
     assert_eq!(eval_binop(CellKind::Eq { width: 8 }, 3, 4), 0);
     assert_eq!(eval_binop(CellKind::Lt { width: 8 }, 3, 4), 1);
@@ -48,7 +57,14 @@ fn comb_binops() {
     assert_eq!(eval_binop(CellKind::ShlDyn { width: 8 }, 1, 3), 8);
     assert_eq!(eval_binop(CellKind::ShrDyn { width: 8 }, 8, 3), 1);
     assert_eq!(
-        eval_binop(CellKind::Concat { hi_width: 4, lo_width: 4 }, 0xa, 0xb),
+        eval_binop(
+            CellKind::Concat {
+                hi_width: 4,
+                lo_width: 4
+            },
+            0xa,
+            0xb
+        ),
         0xab
     );
 }
@@ -67,20 +83,48 @@ fn comb_unops() {
     let zext = n.add_signal("zext", 16);
     let sbox = n.add_signal("sbox", 8);
     n.add_cell("n0", CellKind::Not { width: 8 }, vec![a], vec![not]);
-    n.add_cell("s0", CellKind::ShlConst { width: 8, amount: 2 }, vec![a], vec![shl]);
-    n.add_cell("s1", CellKind::ShrConst { width: 8, amount: 2 }, vec![a], vec![shr]);
+    n.add_cell(
+        "s0",
+        CellKind::ShlConst {
+            width: 8,
+            amount: 2,
+        },
+        vec![a],
+        vec![shl],
+    );
+    n.add_cell(
+        "s1",
+        CellKind::ShrConst {
+            width: 8,
+            amount: 2,
+        },
+        vec![a],
+        vec![shr],
+    );
     n.add_cell("r0", CellKind::ReduceOr { width: 8 }, vec![a], vec![red_or]);
-    n.add_cell("r1", CellKind::ReduceAnd { width: 8 }, vec![a], vec![red_and]);
+    n.add_cell(
+        "r1",
+        CellKind::ReduceAnd { width: 8 },
+        vec![a],
+        vec![red_and],
+    );
     n.add_cell("c0", CellKind::Clz { width: 8 }, vec![a], vec![clz]);
     n.add_cell(
         "sl",
-        CellKind::Slice { in_width: 8, hi: 7, lo: 4 },
+        CellKind::Slice {
+            in_width: 8,
+            hi: 7,
+            lo: 4,
+        },
         vec![a],
         vec![slice],
     );
     n.add_cell(
         "z0",
-        CellKind::ZeroExt { in_width: 8, out_width: 16 },
+        CellKind::ZeroExt {
+            in_width: 8,
+            out_width: 16,
+        },
         vec![a],
         vec![zext],
     );
@@ -133,12 +177,7 @@ fn mux_selects_second_when_high() {
 fn const_cell_drives() {
     let mut n = Netlist::new("k");
     let o = n.add_signal("o", 8);
-    n.add_cell(
-        "k0",
-        CellKind::Const { value: v(8, 0x5a) },
-        vec![],
-        vec![o],
-    );
+    n.add_cell("k0", CellKind::Const { value: v(8, 0x5a) }, vec![], vec![o]);
     let mut sim = Sim::new(&n).unwrap();
     sim.settle().unwrap();
     assert_eq!(sim.peek(o).to_u64(), 0x5a);
@@ -153,7 +192,11 @@ fn register_with_enable_holds() {
     let q = n.add_signal("q", 8);
     n.add_cell(
         "r",
-        CellKind::Reg { width: 8, init: 7, has_en: true },
+        CellKind::Reg {
+            width: 8,
+            init: 7,
+            has_en: true,
+        },
         vec![en, d],
         vec![q],
     );
@@ -186,26 +229,42 @@ fn shift_fsm_pulses_travel() {
     sim.poke(go, v(1, 1));
     sim.settle().unwrap();
     assert_eq!(
-        (sim.peek(s0).to_u64(), sim.peek(s1).to_u64(), sim.peek(s2).to_u64()),
+        (
+            sim.peek(s0).to_u64(),
+            sim.peek(s1).to_u64(),
+            sim.peek(s2).to_u64()
+        ),
         (1, 0, 0)
     );
     sim.tick().unwrap();
     sim.poke(go, v(1, 0));
     sim.settle().unwrap();
     assert_eq!(
-        (sim.peek(s0).to_u64(), sim.peek(s1).to_u64(), sim.peek(s2).to_u64()),
+        (
+            sim.peek(s0).to_u64(),
+            sim.peek(s1).to_u64(),
+            sim.peek(s2).to_u64()
+        ),
         (0, 1, 0)
     );
     sim.tick().unwrap();
     sim.settle().unwrap();
     assert_eq!(
-        (sim.peek(s0).to_u64(), sim.peek(s1).to_u64(), sim.peek(s2).to_u64()),
+        (
+            sim.peek(s0).to_u64(),
+            sim.peek(s1).to_u64(),
+            sim.peek(s2).to_u64()
+        ),
         (0, 0, 1)
     );
     sim.tick().unwrap();
     sim.settle().unwrap();
     assert_eq!(
-        (sim.peek(s0).to_u64(), sim.peek(s1).to_u64(), sim.peek(s2).to_u64()),
+        (
+            sim.peek(s0).to_u64(),
+            sim.peek(s1).to_u64(),
+            sim.peek(s2).to_u64()
+        ),
         (0, 0, 0)
     );
 }
@@ -235,7 +294,10 @@ fn mult_seq_latency_and_restart_corruption() {
     let o = n.add_signal("o", 16);
     n.add_cell(
         "m",
-        CellKind::MultSeq { width: 16, latency: 2 },
+        CellKind::MultSeq {
+            width: 16,
+            latency: 2,
+        },
         vec![go, a, b],
         vec![o],
     );
@@ -280,7 +342,10 @@ fn mult_seq_back_to_back_at_delay_spacing_is_clean() {
     let o = n.add_signal("o", 16);
     n.add_cell(
         "m",
-        CellKind::MultSeq { width: 16, latency: 2 },
+        CellKind::MultSeq {
+            width: 16,
+            latency: 2,
+        },
         vec![go, a, b],
         vec![o],
     );
@@ -312,7 +377,10 @@ fn mult_pipe_is_fully_pipelined() {
     let o = n.add_signal("o", 16);
     n.add_cell(
         "m",
-        CellKind::MultPipe { width: 16, latency: 3 },
+        CellKind::MultPipe {
+            width: 16,
+            latency: 3,
+        },
         vec![a, b],
         vec![o],
     );
@@ -351,19 +419,31 @@ fn dsp48_cascade_dot_product() {
     let p2 = n.add_signal("p2", w);
     n.add_cell(
         "d0",
-        CellKind::Dsp48 { width: w, use_c: true, use_pcin: false },
+        CellKind::Dsp48 {
+            width: w,
+            use_c: true,
+            use_pcin: false,
+        },
         vec![a, b, c, zero],
         vec![p0],
     );
     n.add_cell(
         "d1",
-        CellKind::Dsp48 { width: w, use_c: false, use_pcin: true },
+        CellKind::Dsp48 {
+            width: w,
+            use_c: false,
+            use_pcin: true,
+        },
         vec![a, b, zero, p0],
         vec![p1],
     );
     n.add_cell(
         "d2",
-        CellKind::Dsp48 { width: w, use_c: false, use_pcin: true },
+        CellKind::Dsp48 {
+            width: w,
+            use_c: false,
+            use_pcin: true,
+        },
         vec![a, b, zero, p1],
         vec![p2],
     );
@@ -459,7 +539,11 @@ fn registers_break_loops() {
     n.add_cell("add", CellKind::Add { width: 8 }, vec![x, q], vec![sum]);
     n.add_cell(
         "r",
-        CellKind::Reg { width: 8, init: 0, has_en: false },
+        CellKind::Reg {
+            width: 8,
+            init: 0,
+            has_en: false,
+        },
         vec![sum],
         vec![q],
     );
@@ -526,7 +610,10 @@ fn validate_rejects_driven_input() {
     let a = n.add_input("a", 8);
     let b = n.add_input("b", 8);
     n.connect(a, b);
-    assert!(matches!(n.validate(), Err(NetlistError::DrivenInput { .. })));
+    assert!(matches!(
+        n.validate(),
+        Err(NetlistError::DrivenInput { .. })
+    ));
 }
 
 #[test]
@@ -560,7 +647,11 @@ fn state_bits_accounting() {
     let f2 = n.add_signal("f2", 1);
     n.add_cell(
         "r",
-        CellKind::Reg { width: 8, init: 0, has_en: true },
+        CellKind::Reg {
+            width: 8,
+            init: 0,
+            has_en: true,
+        },
         vec![en, a],
         vec![q],
     );
@@ -713,7 +804,11 @@ fn ordering_contract_comb_vs_registered() {
     n.add_cell("add", CellKind::Add { width: 8 }, vec![a, b], vec![sum]);
     n.add_cell(
         "r",
-        CellKind::Reg { width: 8, init: 0, has_en: false },
+        CellKind::Reg {
+            width: 8,
+            init: 0,
+            has_en: false,
+        },
         vec![sum],
         vec![q],
     );
@@ -732,7 +827,11 @@ fn ordering_contract_comb_vs_registered() {
     // Registered: poke → step → settle → peek.
     sim.step().unwrap();
     // After tick but before the re-settle, the register output is stale.
-    assert_eq!(sim.peek(q).to_u64(), 0, "tick invalidates settle; peek is stale");
+    assert_eq!(
+        sim.peek(q).to_u64(),
+        0,
+        "tick invalidates settle; peek is stale"
+    );
     sim.settle().unwrap();
     assert_eq!(sim.peek(q).to_u64(), 42);
 
@@ -801,13 +900,22 @@ fn change_propagation_matches_full_settle_on_guarded_pipeline() {
     let fsm0 = n.add_signal("fsm0", 1);
     let fsm1 = n.add_signal("fsm1", 1);
     let fsm2 = n.add_signal("fsm2", 1);
-    n.add_cell("fsm", CellKind::ShiftFsm { n: 3 }, vec![go], vec![fsm0, fsm1, fsm2]);
+    n.add_cell(
+        "fsm",
+        CellKind::ShiftFsm { n: 3 },
+        vec![go],
+        vec![fsm0, fsm1, fsm2],
+    );
     let sum = n.add_signal("sum", 8);
     n.add_cell("add", CellKind::Add { width: 8 }, vec![x, y], vec![sum]);
     let q = n.add_signal("q", 8);
     n.add_cell(
         "r",
-        CellKind::Reg { width: 8, init: 7, has_en: true },
+        CellKind::Reg {
+            width: 8,
+            init: 7,
+            has_en: true,
+        },
         vec![fsm1, sum],
         vec![q],
     );
@@ -899,7 +1007,10 @@ fn cross_shard_conflict_names_both_assignments() {
     }
     // The rendered diagnostic carries both assignments.
     let msg = err.to_string();
-    assert!(msg.contains("o = g0 ? x") && msg.contains("o = g1 ? y"), "{msg}");
+    assert!(
+        msg.contains("o = g0 ? x") && msg.contains("o = g1 ? y"),
+        "{msg}"
+    );
     // The sequential engine reports the identical error.
     let mut seq = Sim::new(&n).unwrap();
     seq.poke(g0, v(1, 1));
@@ -969,7 +1080,13 @@ fn batch_conflict_reports_lane_and_spares_other_lanes() {
         sim.poke(y, l, v(8, 200));
     }
     match sim.settle().unwrap_err() {
-        SimError::WriteConflict { signal, lane, first, second, .. } => {
+        SimError::WriteConflict {
+            signal,
+            lane,
+            first,
+            second,
+            ..
+        } => {
             assert_eq!(signal, "o");
             assert_eq!(lane, Some(67));
             assert_eq!(first, "o = g0 ? x");

@@ -164,7 +164,8 @@ impl VcdWriter {
     /// Samples all watched signals from a settled simulation.
     pub fn sample(&mut self, sim: &Sim<'_>) {
         if !self.header_done {
-            self.body.push_str("$timescale 1ns $end\n$scope module top $end\n");
+            self.body
+                .push_str("$timescale 1ns $end\n$scope module top $end\n");
             for (i, (name, _, width)) in self.signals.iter().enumerate() {
                 let id = Self::ident(i);
                 self.body

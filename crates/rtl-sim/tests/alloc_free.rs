@@ -72,15 +72,28 @@ fn busy_netlist() -> Netlist {
     let diff = n.add_signal("diff", 32);
     n.add_cell("sub", CellKind::Sub { width: 32 }, vec![a, b], vec![diff]);
     let prod = n.add_signal("prod", 32);
-    n.add_cell("mul", CellKind::MulComb { width: 32 }, vec![sum, diff], vec![prod]);
+    n.add_cell(
+        "mul",
+        CellKind::MulComb { width: 32 },
+        vec![sum, diff],
+        vec![prod],
+    );
     let lt = n.add_signal("lt", 1);
     n.add_cell("lt", CellKind::Lt { width: 32 }, vec![a, b], vec![lt]);
     let muxed = n.add_signal("muxed", 32);
-    n.add_cell("mux", CellKind::Mux { width: 32 }, vec![lt, sum, prod], vec![muxed]);
+    n.add_cell(
+        "mux",
+        CellKind::Mux { width: 32 },
+        vec![lt, sum, prod],
+        vec![muxed],
+    );
     let shifted = n.add_signal("shifted", 64);
     n.add_cell(
         "shl",
-        CellKind::ShlConst { width: 64, amount: 3 },
+        CellKind::ShlConst {
+            width: 64,
+            amount: 3,
+        },
         vec![wide],
         vec![shifted],
     );
@@ -88,26 +101,42 @@ fn busy_netlist() -> Netlist {
     let fsm0 = n.add_signal("fsm0", 1);
     let fsm1 = n.add_signal("fsm1", 1);
     let fsm2 = n.add_signal("fsm2", 1);
-    n.add_cell("fsm", CellKind::ShiftFsm { n: 3 }, vec![go], vec![fsm0, fsm1, fsm2]);
+    n.add_cell(
+        "fsm",
+        CellKind::ShiftFsm { n: 3 },
+        vec![go],
+        vec![fsm0, fsm1, fsm2],
+    );
 
     let q = n.add_signal("q", 32);
     n.add_cell(
         "reg",
-        CellKind::Reg { width: 32, init: 1, has_en: true },
+        CellKind::Reg {
+            width: 32,
+            init: 1,
+            has_en: true,
+        },
         vec![fsm1, muxed],
         vec![q],
     );
     let mp = n.add_signal("mp", 32);
     n.add_cell(
         "mp",
-        CellKind::MultPipe { width: 32, latency: 3 },
+        CellKind::MultPipe {
+            width: 32,
+            latency: 3,
+        },
         vec![q, sum],
         vec![mp],
     );
     let dsp = n.add_signal("dsp", 32);
     n.add_cell(
         "dsp",
-        CellKind::Dsp48 { width: 32, use_c: true, use_pcin: false },
+        CellKind::Dsp48 {
+            width: 32,
+            use_c: true,
+            use_pcin: false,
+        },
         vec![a, b, mp, mp],
         vec![dsp],
     );

@@ -15,7 +15,11 @@ fn netlist() -> Netlist {
     let q = n.add_signal("q", 8);
     n.add_cell(
         "reg",
-        CellKind::Reg { width: 8, init: 0, has_en: true },
+        CellKind::Reg {
+            width: 8,
+            init: 0,
+            has_en: true,
+        },
         vec![en, d],
         vec![q],
     );

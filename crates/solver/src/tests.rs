@@ -40,7 +40,7 @@ fn register_signature_constraint() {
     let g = s.var("G");
     let l = s.var("L");
     s.assume(l, g, 2); // L - G >= 2  (L > G+1)
-    // Output interval [G+1, L) has length L - (G+1) >= 1.
+                       // Output interval [G+1, L) has length L - (G+1) >= 1.
     assert!(s.entails(l, g, 2));
     assert!(!s.entails(l, g, 3));
     // The delay L-(G+1) is at least the interval length L-(G+1): trivially.

@@ -40,9 +40,16 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use fil_build::{BuildOutput, BuildRequest};
 use filament_core::{parse_program, PrimitiveRegistry, Program};
 use rtl_sim::CellKind;
+
+use std::collections::HashSet;
 use std::fmt;
+use std::sync::OnceLock;
+
+#[cfg(unix)]
+pub mod serve;
 
 /// Errors loading user source against the standard library: parsing,
 /// elaboration of the combined program, or (when a session cache is in
@@ -185,12 +192,154 @@ extern comp ContPrev[W, SAFE]<G: 1>(@[G, G+1] in: W) -> (@[G, G+1] out: W);
 
 /// Parses the standard library into a program (no user components yet).
 ///
+/// Parsed once per process and cloned out — the compile-farm daemon (and
+/// every repeated library call) never re-parses the embedded source.
+///
 /// # Panics
 ///
 /// Panics only if the embedded source is ill-formed, which the test suite
 /// rules out.
 pub fn std_program() -> Program {
-    parse_program(STDLIB_SOURCE).expect("standard library parses")
+    static STD: OnceLock<Program> = OnceLock::new();
+    STD.get_or_init(|| parse_program(STDLIB_SOURCE).expect("standard library parses"))
+        .clone()
+}
+
+/// The names of the preloaded stdlib externs (for stripping them back out
+/// of expanded output), computed once per process.
+fn std_extern_names() -> &'static HashSet<String> {
+    static NAMES: OnceLock<HashSet<String>> = OnceLock::new();
+    NAMES.get_or_init(|| std_program().externs.into_iter().map(|s| s.name).collect())
+}
+
+/// The process-wide elaborated-netlist cache backing
+/// `BuildRequest::netlist` requests: lowered programs that are
+/// byte-identical (the driver's determinism guarantee) share one
+/// elaboration, keyed by [`fil_build::netcache::netlist_key`].
+fn netlist_cache() -> &'static fil_build::NetlistCache {
+    static CACHE: OnceLock<fil_build::NetlistCache> = OnceLock::new();
+    CACHE.get_or_init(|| fil_build::NetlistCache::new(32))
+}
+
+/// Runs one [`BuildRequest`] against the standard library: parse (timed,
+/// trace-aware), elaborate/check/lower through the build driver exactly
+/// as far as the request's wants demand, and materialize each requested
+/// output. This is *the* entry point — the CLI, the test harness, the
+/// perf probes, and the `filament serve` daemon all route here.
+///
+/// The cache salt is forced to `"std"`: expand-only and full-build
+/// sessions share artifacts, and custom-registry builds
+/// ([`build_with_registry`]) can never collide with them.
+///
+/// # Errors
+///
+/// Parse errors as [`LoadError::Parse`], elaboration errors as
+/// [`LoadError::Mono`], check/lower/cache/elaborate-netlist failures as
+/// [`LoadError::Driver`].
+///
+/// # Examples
+///
+/// ```
+/// use fil_build::BuildRequest;
+///
+/// let out = fil_stdlib::build(&BuildRequest::new(
+///     "comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G, G+1] o: 8) {
+///        a := new Add[8]<G>(x, x);
+///        o = a.out;
+///      }",
+/// ))?;
+/// let expanded = out.expanded.expect("requested by default");
+/// assert!(expanded.sig("Main").is_some());
+/// # Ok::<(), fil_stdlib::LoadError>(())
+/// ```
+pub fn build(req: &fil_build::BuildRequest) -> Result<fil_build::BuildOutput, LoadError> {
+    run_request(req, None)
+}
+
+/// [`build`] lowering through a caller-supplied primitive registry
+/// instead of [`StdRegistry`] (the registry's fingerprint comes from
+/// `req.salt`). Runs the driver on the calling thread — registries are
+/// not required to be `Sync`.
+///
+/// # Errors
+///
+/// As [`build`].
+pub fn build_with_registry(
+    req: &fil_build::BuildRequest,
+    registry: &dyn PrimitiveRegistry,
+) -> Result<fil_build::BuildOutput, LoadError> {
+    run_request(req, Some(registry))
+}
+
+fn run_request(
+    req: &fil_build::BuildRequest,
+    registry: Option<&dyn PrimitiveRegistry>,
+) -> Result<fil_build::BuildOutput, LoadError> {
+    let opts = fil_build::BuildOptions {
+        salt: if registry.is_none() {
+            "std".into()
+        } else {
+            req.salt.clone()
+        },
+        ..req.to_options()
+    };
+    let raw = timed_parse(&req.source, &opts)?;
+    let mut output = fil_build::BuildOutput::default();
+    if req.want_raw {
+        output.raw = Some(raw.program.clone());
+    }
+    if !req.want_expanded && !req.needs_lowering() {
+        // Parse-only request: the driver has nothing to do.
+        output.stats.phase.parse_us = raw.parse_us;
+        return Ok(output);
+    }
+    let mut out = if req.needs_lowering() {
+        match registry {
+            None => fil_build::build_program(&raw.program, &StdRegistry, &opts)?,
+            Some(r) => fil_build::build_program_serial(&raw.program, r, &opts)?,
+        }
+    } else {
+        fil_build::expand_program(&raw.program, &opts)?
+    };
+    out.stats.phase.parse_us = raw.parse_us;
+    output.stats = out.stats;
+    if req.want_expanded {
+        output.expanded_text = Some(strip_std_and_print(&out.expanded));
+        output.expanded = Some(out.expanded);
+    }
+    if let Some(lowered) = out.lowered {
+        if let Some(top) = &req.want_netlist {
+            let (netlist, from_cache) = netlist_cache()
+                .get_or_elaborate(&lowered, top)
+                .map_err(|e| LoadError::Driver(e.to_string()))?;
+            output.netlist = Some(netlist);
+            output.netlist_from_cache = from_cache;
+        }
+        if req.want_verilog {
+            output.verilog = Some(calyx_lite::emit_program(&lowered));
+        }
+        if req.want_lowered {
+            output.lowered = Some(lowered);
+        }
+    }
+    Ok(output)
+}
+
+/// The expanded program printed back to surface syntax with the preloaded
+/// stdlib externs stripped — the exact text `filament expand` emits and
+/// the golden-corpus snapshots pin down.
+fn strip_std_and_print(expanded: &Program) -> String {
+    let std_names = std_extern_names();
+    let user = Program {
+        externs: expanded
+            .externs
+            .iter()
+            .filter(|s| !std_names.contains(&s.name))
+            .cloned()
+            .collect(),
+        components: expanded.components.clone(),
+    };
+    filament_core::pretty::print_program(&user)
 }
 
 /// Convenience: the standard library extended with user source, elaborated
@@ -202,10 +351,13 @@ pub fn std_program() -> Program {
 ///
 /// Returns the parse error of the user source or the elaboration error of
 /// the combined program.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fil_stdlib::build` with a `BuildRequest`"
+)]
 pub fn with_stdlib(user_src: &str) -> Result<Program, LoadError> {
-    let raw = with_stdlib_raw(user_src)?;
-    let out = fil_build::expand_program(&raw, &fil_build::BuildOptions::default())?;
-    Ok(out.expanded)
+    build(&fil_build::BuildRequest::new(user_src))
+        .map(|out| out.expanded.expect("expanded is requested by default"))
 }
 
 /// The standard library extended with user source *without* elaboration —
@@ -215,104 +367,108 @@ pub fn with_stdlib(user_src: &str) -> Result<Program, LoadError> {
 /// # Errors
 ///
 /// Returns the parse error of the user source.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fil_stdlib::build` with `BuildRequest::new(src).raw().expanded(false)`"
+)]
 pub fn with_stdlib_raw(user_src: &str) -> Result<Program, filament_core::ParseError> {
+    parse_with_stdlib(user_src)
+}
+
+fn parse_with_stdlib(user_src: &str) -> Result<Program, filament_core::ParseError> {
     let mut p = std_program();
     p.extend(parse_program(user_src)?);
     Ok(p)
 }
 
 /// The `filament expand` view of a user source: elaborated against the
-/// standard library (parameter arithmetic resolved, `for`-generate loops
-/// unrolled, `if`-generate arms selected, bundle ports flattened, each
-/// `(component, params)` pair monomorphized once), printed back to surface
-/// syntax with the preloaded stdlib externs stripped. This is the exact
-/// text the CLI emits — and what the golden-corpus snapshots pin down.
+/// standard library, printed back to surface syntax with the preloaded
+/// stdlib externs stripped.
 ///
 /// # Errors
 ///
-/// As [`with_stdlib`].
+/// As [`build`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fil_stdlib::build`; the text is `BuildOutput::expanded_text`"
+)]
 pub fn expand_source(user_src: &str) -> Result<String, LoadError> {
-    expand_source_with_stats(user_src).map(|(s, _)| s)
+    build(&fil_build::BuildRequest::new(user_src))
+        .map(|out| out.expanded_text.expect("expanded is requested by default"))
 }
 
 /// Like [`expand_source`], also returning the driver's
-/// [`fil_build::BuildStats`] — the elaboration counters (cache behavior,
-/// unroll counts, derivations evaluated) plus the session-cache
-/// hit/miss/load numbers `filament expand --stats` reports.
+/// [`fil_build::BuildStats`].
 ///
 /// # Errors
 ///
-/// As [`with_stdlib`].
+/// As [`build`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fil_stdlib::build`; stats are `BuildOutput::stats`"
+)]
 pub fn expand_source_with_stats(
     user_src: &str,
 ) -> Result<(String, fil_build::BuildStats), LoadError> {
-    expand_source_opts(user_src, &fil_build::BuildOptions::default())
+    let out = build(&fil_build::BuildRequest::new(user_src))?;
+    Ok((
+        out.expanded_text.expect("expanded is requested by default"),
+        out.stats,
+    ))
 }
 
-/// [`expand_source_with_stats`] with explicit driver options: worker count
-/// and a cross-session artifact cache directory (`filament expand` and
-/// `filament build` pass their `--jobs`/`--cache-dir` flags through here).
+/// [`expand_source_with_stats`] with explicit driver options.
 ///
 /// # Errors
 ///
-/// As [`with_stdlib`].
+/// As [`build`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fil_stdlib::build` with the options set on the `BuildRequest`"
+)]
 pub fn expand_source_opts(
     user_src: &str,
     opts: &fil_build::BuildOptions,
 ) -> Result<(String, fil_build::BuildStats), LoadError> {
-    let raw = timed_parse(user_src, opts)?;
-    // Same salt as [`build_source`], so expand sessions reuse full-build
-    // artifacts (ignoring their lowered half) and vice versa (a full build
-    // treats an expand-only artifact as a miss and upgrades it in place).
-    let opts = fil_build::BuildOptions {
-        salt: "std".into(),
-        ..opts.clone()
-    };
-    let mut out = fil_build::expand_program(&raw.program, &opts)?;
-    out.stats.phase.parse_us = raw.parse_us;
-    let std_names: std::collections::HashSet<String> = std_program()
-        .externs
-        .into_iter()
-        .map(|s| s.name)
-        .collect();
-    let user = Program {
-        externs: out
-            .expanded
-            .externs
-            .iter()
-            .filter(|s| !std_names.contains(&s.name))
-            .cloned()
-            .collect(),
-        components: out.expanded.components,
-    };
-    Ok((filament_core::pretty::print_program(&user), out.stats))
+    let out = build(&request_from_options(user_src, opts).expanded(true))?;
+    Ok((
+        out.expanded_text.expect("expanded was requested"),
+        out.stats,
+    ))
 }
 
 /// Full driver build of a user source against the standard library:
-/// expand, check, and lower every unit (cacheable and parallel per
-/// `opts`), lowering through [`StdRegistry`]. This is what `filament
-/// build` runs.
-///
-/// The registry is fixed, so the cache salt is forced to `"std"` —
-/// artifacts from [`expand_source_opts`] sessions (same salt) are reused,
-/// and registries with different primitive mappings can never collide.
+/// expand, check, and lower every unit, lowering through [`StdRegistry`].
 ///
 /// # Errors
 ///
-/// As [`with_stdlib`], plus check/lower failures as
-/// [`LoadError::Driver`].
+/// As [`build`], plus check/lower failures as [`LoadError::Driver`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `fil_stdlib::build` with `BuildRequest::new(src).lowered()`"
+)]
 pub fn build_source(
     user_src: &str,
     opts: &fil_build::BuildOptions,
-) -> Result<fil_build::BuildOutput, LoadError> {
-    let raw = timed_parse(user_src, opts)?;
-    let opts = fil_build::BuildOptions {
-        salt: "std".into(),
-        ..opts.clone()
-    };
-    let mut out = fil_build::build_program(&raw.program, &StdRegistry, &opts)?;
-    out.stats.phase.parse_us = raw.parse_us;
-    Ok(out)
+) -> Result<fil_build::DriverOutput, LoadError> {
+    let out = build(&request_from_options(user_src, opts).lowered())?;
+    Ok(fil_build::DriverOutput {
+        expanded: out.expanded.unwrap_or_default(),
+        lowered: out.lowered,
+        stats: out.stats,
+    })
+}
+
+/// Maps legacy [`fil_build::BuildOptions`] onto a [`BuildRequest`] (shim
+/// support only).
+fn request_from_options(user_src: &str, opts: &fil_build::BuildOptions) -> fil_build::BuildRequest {
+    let mut req = fil_build::BuildRequest::new(user_src)
+        .jobs(opts.jobs)
+        .expanded(opts.emit_expanded);
+    req.cache_dir = opts.cache_dir.clone();
+    req.cache_limit = opts.cache_limit;
+    req.trace = opts.trace.clone();
+    req
 }
 
 /// Source + stdlib parse, timed into [`fil_build::PhaseTimes::parse_us`]
@@ -326,7 +482,7 @@ struct TimedParse {
 fn timed_parse(user_src: &str, opts: &fil_build::BuildOptions) -> Result<TimedParse, LoadError> {
     let start = opts.trace.as_ref().map(|c| c.now_us());
     let timer = std::time::Instant::now();
-    let program = with_stdlib_raw(user_src)?;
+    let program = parse_with_stdlib(user_src)?;
     let parse_us = timer.elapsed().as_micros() as u64;
     if let (Some(c), Some(start)) = (&opts.trace, start) {
         c.lane(0, "main")
@@ -413,6 +569,14 @@ mod tests {
     use super::*;
     use filament_core::{check_program, lower_program};
 
+    /// User source expanded against the stdlib through the unified API.
+    fn expanded(src: &str) -> Program {
+        build(&fil_build::BuildRequest::new(src))
+            .unwrap()
+            .expanded
+            .expect("expanded is requested by default")
+    }
+
     #[test]
     fn stdlib_parses_and_checks() {
         let p = std_program();
@@ -453,11 +617,8 @@ mod tests {
                 .collect();
             let kind = StdRegistry.primitive(&sig.name, &params).unwrap();
             let (ins, outs) = calyx_lite::primitive_ports(&kind);
-            let have: std::collections::HashSet<&str> = ins
-                .iter()
-                .chain(&outs)
-                .map(|(n, _)| n.as_str())
-                .collect();
+            let have: std::collections::HashSet<&str> =
+                ins.iter().chain(&outs).map(|(n, _)| n.as_str()).collect();
             for port in sig
                 .interfaces
                 .iter()
@@ -477,14 +638,13 @@ mod tests {
 
     #[test]
     fn quickstart_pipeline_compiles_and_runs() {
-        let program = with_stdlib(
+        let program = expanded(
             "comp Main<G: 1>(@interface[G] go: 1, @[G, G+1] x: 8) -> (@[G+1, G+2] o: 8) {
                a := new Add[8]<G>(x, 1);
                d := new Delay[8]<G>(a.out);
                o = d.out;
              }",
-        )
-        .unwrap();
+        );
         check_program(&program).unwrap_or_else(|e| panic!("{e:#?}"));
         let calyx = lower_program(&program, "Main", &StdRegistry).unwrap();
         let netlist = calyx.elaborate("Main").unwrap();
@@ -498,13 +658,12 @@ mod tests {
 
     #[test]
     fn prev_reads_previous_value_same_cycle() {
-        let program = with_stdlib(
+        let program = expanded(
             "comp Main<G: 1>(@interface[G] go: 1, @[G, G+1] x: 8) -> (@[G, G+1] o: 8) {
                p := new Prev[8, 1]<G>(x);
                o = p.out;
              }",
-        )
-        .unwrap();
+        );
         check_program(&program).unwrap_or_else(|e| panic!("{e:#?}"));
         let calyx = lower_program(&program, "Main", &StdRegistry).unwrap();
         let netlist = calyx.elaborate("Main").unwrap();
@@ -522,13 +681,12 @@ mod tests {
 
     #[test]
     fn register_holds_value() {
-        let program = with_stdlib(
+        let program = expanded(
             "comp Main<G: 4>(@interface[G] go: 1, @[G, G+1] x: 8) -> (@[G+1, G+4] o: 8) {
                r := new Register[8]<G, G+4>(x);
                o = r.out;
              }",
-        )
-        .unwrap();
+        );
         check_program(&program).unwrap_or_else(|e| panic!("{e:#?}"));
         let calyx = lower_program(&program, "Main", &StdRegistry).unwrap();
         let netlist = calyx.elaborate("Main").unwrap();
@@ -547,13 +705,12 @@ mod tests {
 
     #[test]
     fn slow_mult_misuse_is_rejected_via_stdlib() {
-        let program = with_stdlib(
+        let program = expanded(
             "comp Main<G: 1>(@interface[G] go: 1, @[G, G+1] x: 8) -> (@[G+2, G+3] o: 8) {
                m := new Mult[8]<G>(x, x);
                o = m.out;
              }",
-        )
-        .unwrap();
+        );
         let errors = check_program(&program).unwrap_err();
         assert!(errors
             .iter()

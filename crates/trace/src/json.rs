@@ -271,8 +271,14 @@ mod tests {
         let doc = parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\ny", "d": true}, "e": null}"#)
             .expect("parses");
         assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 3);
-        assert_eq!(doc.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
-        assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(
+            doc.get("a").unwrap().as_arr().unwrap()[1].as_f64(),
+            Some(2.5)
+        );
+        assert_eq!(
+            doc.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\ny")
+        );
         assert_eq!(doc.get("b").unwrap().get("d"), Some(&Json::Bool(true)));
         assert_eq!(doc.get("e"), Some(&Json::Null));
     }

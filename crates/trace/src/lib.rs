@@ -184,7 +184,9 @@ impl Collector {
                     dur,
                     args,
                 } => {
-                    out.push_str(&format!("{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"cat\":\"{cat}\",\"name\":"));
+                    out.push_str(&format!(
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"cat\":\"{cat}\",\"name\":"
+                    ));
                     escape_into(&mut out, name);
                     out.push_str(&format!(",\"ts\":{ts},\"dur\":{dur}"));
                     if !args.is_empty() {
@@ -223,7 +225,9 @@ impl Collector {
                     out.push_str("}}");
                 }
                 Event::Instant { cat, name, ts } => {
-                    out.push_str(&format!("{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"cat\":\"{cat}\",\"name\":"));
+                    out.push_str(&format!(
+                        "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"cat\":\"{cat}\",\"name\":"
+                    ));
                     escape_into(&mut out, name);
                     out.push_str(&format!(",\"ts\":{ts},\"s\":\"t\"}}"));
                 }
@@ -269,7 +273,11 @@ impl Collector {
                         }
                     }
                     Event::Counter {
-                        cat, name, ts, series, ..
+                        cat,
+                        name,
+                        ts,
+                        series,
+                        ..
                     } => {
                         for (key, value) in series {
                             match counters
@@ -659,7 +667,13 @@ mod tests {
         let c = Collector::new();
         {
             let lane = c.lane(0, "quote\"back\\slash");
-            lane.complete("cat", "name\nwith\tctrl", 0, 1, vec![("k", Arg::from("v\"x"))]);
+            lane.complete(
+                "cat",
+                "name\nwith\tctrl",
+                0,
+                1,
+                vec![("k", Arg::from("v\"x"))],
+            );
         }
         let json = c.chrome_json();
         validate_chrome_trace(&json).expect("escaped output still parses");

@@ -39,9 +39,7 @@ pub struct Criterion {
 impl Criterion {
     /// Builds a context, reading the filter from the command line.
     pub fn from_args() -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 
@@ -126,7 +124,8 @@ impl Bencher {
             std::hint::black_box(f());
         }
         // Batch so each sample takes ~50 ms (min 1 iteration).
-        let batch = (Duration::from_millis(50).as_nanos() / est.as_nanos()).clamp(1, 1 << 24) as u32;
+        let batch =
+            (Duration::from_millis(50).as_nanos() / est.as_nanos()).clamp(1, 1 << 24) as u32;
         self.samples.clear();
         for _ in 0..self.sample_size {
             let start = Instant::now();
@@ -148,7 +147,10 @@ impl Bencher {
         let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
         let thrpt = match throughput {
             Some(Throughput::Elements(n)) => {
-                format!("  thrpt {}", rate(n as f64 / median.as_secs_f64(), "elem/s"))
+                format!(
+                    "  thrpt {}",
+                    rate(n as f64 / median.as_secs_f64(), "elem/s")
+                )
             }
             Some(Throughput::Bytes(n)) => {
                 format!("  thrpt {}", rate(n as f64 / median.as_secs_f64(), "B/s"))

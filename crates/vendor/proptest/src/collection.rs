@@ -20,13 +20,19 @@ impl From<usize> for SizeRange {
 impl From<std::ops::Range<usize>> for SizeRange {
     fn from(r: std::ops::Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi: r.end }
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 
 impl From<std::ops::RangeInclusive<usize>> for SizeRange {
     fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
     }
 }
 

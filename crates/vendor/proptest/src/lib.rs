@@ -25,13 +25,13 @@ pub mod test_runner;
 
 pub mod prelude {
     //! The glob-importable surface, mirroring `proptest::prelude`.
+    /// The real crate re-exports itself as `prop` inside the prelude so
+    /// tests can say `prop::collection::vec(..)`.
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
-    /// The real crate re-exports itself as `prop` inside the prelude so
-    /// tests can say `prop::collection::vec(..)`.
-    pub use crate as prop;
 }
 
 /// Deterministic generator threaded through every strategy.

@@ -129,7 +129,9 @@ mod tests {
             let s = generate_matching("[a-z][a-z0-9_]{0,6}", &mut rng2);
             assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
         }
         let _ = generate_matching("\\PC*", &mut rng);
     }

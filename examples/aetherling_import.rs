@@ -32,14 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|&p| vec![Value::from_u64(8, p as u64)])
         .collect();
     let expected = point.golden(&stream);
-    let claimed = fil_harness::discover_latency(
-        &netlist,
-        &point.claimed_spec(),
-        &inputs,
-        &expected,
-        40,
-        9,
-    )?;
+    let claimed =
+        fil_harness::discover_latency(&netlist, &point.claimed_spec(), &inputs, &expected, 40, 9)?;
     let corrected = fil_harness::discover_latency(
         &netlist,
         &point.corrected_spec(),

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &reticle::ReticleRegistry,
     )?;
 
-    println!("== Streaming {} pixels through both kernels ==", pixels.len());
+    println!(
+        "== Streaming {} pixels through both kernels ==",
+        pixels.len()
+    );
     let base_out = run_pipelined(&base, &base_spec, &inputs)?;
     let ret_out = run_pipelined(&ret, &ret_spec, &inputs)?;
     for (i, want) in golden.iter().enumerate().take(12) {

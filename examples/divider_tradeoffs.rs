@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The three accepted designs.
     println!("\n== The Figure 2 design points ==");
-    println!("{}", fil_bench::render_divider(&fil_bench::divider_tradeoff()));
+    println!(
+        "{}",
+        fil_bench::render_divider(&fil_bench::divider_tradeoff())
+    );
 
     // Run the same divisions through all three microarchitectures.
     let cases: Vec<(u8, u16)> = vec![(200, 7), (144, 12), (255, 3), (250, 9)];

@@ -8,15 +8,17 @@
 //! Run with `cargo run --example quickstart`.
 
 use fil_bits::Value;
+use fil_build::BuildRequest;
 use fil_designs::alu;
-use fil_harness::run_pipelined;
-use fil_stdlib::{with_stdlib, StdRegistry};
+use fil_harness::{compile_request, run_pipelined};
 use rtl_sim::{AsciiWave, Sim};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. The buggy ALU of Section 2.3 ---------------------------------
     println!("== Type-checking the buggy ALU (Section 2.3) ==");
-    let buggy = with_stdlib(&alu::source(alu::ALU_BUGGY))?;
+    let buggy = fil_stdlib::build(&BuildRequest::new(alu::source(alu::ALU_BUGGY)))?
+        .expanded
+        .expect("expanded is on by default");
     match filament_core::check_program(&buggy) {
         Ok(()) => unreachable!("the buggy ALU must be rejected"),
         Err(errors) => {
@@ -28,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 2. The sequential fix -------------------------------------------
     println!("\n== The corrected sequential ALU (initiation interval 3) ==");
-    let seq = with_stdlib(&alu::source(alu::ALU_SEQUENTIAL))?;
-    let (netlist, spec) = fil_harness::compile_for_test(&seq, "ALU", &StdRegistry)?;
+    let (netlist, spec) =
+        compile_request(&BuildRequest::new(alu::source(alu::ALU_SEQUENTIAL)).netlist("ALU"))?;
     let txn = |op: u64, l: u64, r: u64| {
         vec![
             Value::from_u64(1, op),
@@ -43,8 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 3. The pipelined ALU --------------------------------------------
     println!("\n== The pipelined ALU (initiation interval 1, Section 2.4) ==");
-    let pipe = with_stdlib(&alu::source(alu::ALU_PIPELINED))?;
-    let (netlist, spec) = fil_harness::compile_for_test(&pipe, "ALU", &StdRegistry)?;
+    let (netlist, spec) =
+        compile_request(&BuildRequest::new(alu::source(alu::ALU_PIPELINED)).netlist("ALU"))?;
     let cases = [(0u64, 1u64, 2u64), (1, 3, 4), (0, 5, 6), (1, 7, 8)];
     let inputs: Vec<_> = cases.iter().map(|&(op, l, r)| txn(op, l, r)).collect();
     let outs = run_pipelined(&netlist, &spec, &inputs)?;

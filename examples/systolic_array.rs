@@ -39,7 +39,10 @@ fn multiply(n: usize) -> Result<Vec<u32>, Box<dyn std::error::Error>> {
             assert_eq!(c[i * n + j], want, "C[{i}][{j}] at N = {n}");
         }
     }
-    println!("N = {n}: A x B matches ({} PEs, one Process_32 monomorph)", n * n);
+    println!(
+        "N = {n}: A x B matches ({} PEs, one Process_32 monomorph)",
+        n * n
+    );
     Ok(c)
 }
 
@@ -50,8 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The PE with a pipelined multiplier is a *type* change (Appendix B.1):
     // the accumulator no longer sees the product in time.
-    let err = fil_designs::build(systolic::PROCESS_FAST_REJECTED, "ProcessFast")
-        .expect_err("rejected");
+    let err =
+        fil_designs::build(systolic::PROCESS_FAST_REJECTED, "ProcessFast").expect_err("rejected");
     println!(
         "\nSwapping in FastMult without rescheduling: {}",
         err.lines().next().unwrap_or_default()

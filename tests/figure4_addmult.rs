@@ -8,8 +8,8 @@
 //! Filament pushes a design toward its advertised signature.)
 
 use fil_bits::Value;
-use fil_harness::{compile_for_test, discover_min_delay, run_pipelined};
-use fil_stdlib::{with_stdlib, StdRegistry};
+use fil_build::BuildRequest;
+use fil_harness::{compile_request, discover_min_delay, run_pipelined};
 use filament_core::check::ErrorKind;
 
 /// Figure 4a's signature with a conforming body: the sum is registered to
@@ -52,8 +52,7 @@ fn txn(a: u64, b: u64, c: u64) -> Vec<Value> {
 
 #[test]
 fn addmult_computes_with_staggered_inputs() {
-    let program = with_stdlib(ADDMULT).unwrap();
-    let (netlist, spec) = compile_for_test(&program, "AddMult", &StdRegistry).unwrap();
+    let (netlist, spec) = compile_request(&BuildRequest::new(ADDMULT).netlist("AddMult")).unwrap();
     assert_eq!(spec.delay, 2, "pipelined use may begin two cycles later");
     assert_eq!(spec.advertised_latency(), 2);
     // Figure 4b's waveform: transactions of all-1s then all-2s, overlapped
@@ -68,8 +67,7 @@ fn addmult_declared_delay_is_a_valid_initiation_interval() {
     // Definition 4.1: the delay is *a* valid initiation interval — the
     // empirical minimum may be smaller (here the datapath happens to
     // tolerate back-to-back use), but never larger.
-    let program = with_stdlib(ADDMULT).unwrap();
-    let (netlist, spec) = compile_for_test(&program, "AddMult", &StdRegistry).unwrap();
+    let (netlist, spec) = compile_request(&BuildRequest::new(ADDMULT).netlist("AddMult")).unwrap();
     let inputs = vec![txn(3, 4, 5), txn(6, 7, 8), txn(9, 10, 11)];
     let expected = vec![
         vec![Value::from_u64(32, 35)],
@@ -87,7 +85,10 @@ fn addmult_declared_delay_is_a_valid_initiation_interval() {
 
 #[test]
 fn sequential_multiplier_variant_is_rejected() {
-    let program = with_stdlib(ADDMULT_SLOW).unwrap();
+    let program = fil_stdlib::build(&BuildRequest::new(ADDMULT_SLOW))
+        .unwrap()
+        .expanded
+        .expect("expanded is on by default");
     let errors = filament_core::check_program(&program).unwrap_err();
     assert!(errors.iter().any(|e| e.kind == ErrorKind::Availability));
     assert!(errors.iter().any(|e| e.kind == ErrorKind::SafePipelining));

@@ -4,28 +4,43 @@
 //! compiler → simulator/harness), complementing the per-crate suites.
 
 use fil_bits::Value;
-use fil_harness::{compile_for_test, run_pipelined};
-use fil_stdlib::{with_stdlib, StdRegistry};
+use fil_build::BuildRequest;
+use fil_harness::{compile_request, run_pipelined};
+use fil_stdlib::StdRegistry;
 use filament_core::check::ErrorKind;
 use filament_core::{check_program, component_log, sem};
+
+/// Standard library + user source, elaborated — through the unified
+/// request API, so this file exercises the same path as `filament`.
+fn with_std(src: &str) -> filament_core::ast::Program {
+    fil_stdlib::build(&BuildRequest::new(src))
+        .unwrap()
+        .expanded
+        .expect("expanded is on by default")
+}
 
 #[test]
 fn section2_walkthrough() {
     // 2.3: the buggy ALU is rejected with an availability diagnostic that
     // names both intervals.
-    let buggy = with_stdlib(&fil_designs::alu::source(fil_designs::alu::ALU_BUGGY)).unwrap();
+    let buggy = with_std(&fil_designs::alu::source(fil_designs::alu::ALU_BUGGY));
     let errors = check_program(&buggy).unwrap_err();
     let msg = errors
         .iter()
         .find(|e| e.kind == ErrorKind::Availability)
         .expect("availability error")
         .to_string();
-    assert!(msg.contains("[G+2, G+3)") && msg.contains("[G, G+1)"), "{msg}");
+    assert!(
+        msg.contains("[G+2, G+3)") && msg.contains("[G, G+1)"),
+        "{msg}"
+    );
 
     // 2.4: the pipelined ALU streams at initiation interval 1.
-    let pipe =
-        with_stdlib(&fil_designs::alu::source(fil_designs::alu::ALU_PIPELINED)).unwrap();
-    let (netlist, spec) = compile_for_test(&pipe, "ALU", &StdRegistry).unwrap();
+    let (netlist, spec) = compile_request(
+        &BuildRequest::new(fil_designs::alu::source(fil_designs::alu::ALU_PIPELINED))
+            .netlist("ALU"),
+    )
+    .unwrap();
     assert_eq!(spec.delay, 1);
     let inputs: Vec<Vec<Value>> = (0..8u64)
         .map(|k| {
@@ -39,7 +54,11 @@ fn section2_walkthrough() {
     let outs = run_pipelined(&netlist, &spec, &inputs).unwrap();
     for (k, out) in outs.iter().enumerate() {
         let k = k as u64;
-        let want = if k.is_multiple_of(2) { 2 * k + 3 } else { (k + 1) * (k + 2) };
+        let want = if k.is_multiple_of(2) {
+            2 * k + 3
+        } else {
+            (k + 1) * (k + 2)
+        };
         assert_eq!(out[0].to_u64(), want);
     }
 }
@@ -49,8 +68,7 @@ fn section6_semantics_agree_with_checker_on_the_alu() {
     // The sequential ALU's log is well-formed and safely pipelined at its
     // declared delay of 3 — and NOT at delay 1 (the paper's Section 2.4
     // narrative, replayed in the semantic model).
-    let program =
-        with_stdlib(&fil_designs::alu::source(fil_designs::alu::ALU_SEQUENTIAL)).unwrap();
+    let program = with_std(&fil_designs::alu::source(fil_designs::alu::ALU_SEQUENTIAL));
     check_program(&program).unwrap();
     let log = component_log(&program, "ALU").unwrap();
     log.well_formed().unwrap();
@@ -67,7 +85,7 @@ fn figure6_flow_produces_three_state_fsm() {
     // Figure 6 example: FSM with 3 states, OR-merged triggers... the
     // standard library's Add has no interface port, so the observable is
     // the guard structure on the data ports.
-    let program = with_stdlib(
+    let program = with_std(
         "comp main<G: 4>(@interface[G] go: 1, @[G, G+1] a: 32, @[G+2, G+3] b: 32)
              -> (@[G, G+1] out: 32) {
            A := new Add[32];
@@ -75,8 +93,7 @@ fn figure6_flow_produces_three_state_fsm() {
            a1 := A<G+2>(b, b);
            out = a0.out;
          }",
-    )
-    .unwrap();
+    );
     check_program(&program).unwrap();
     let calyx = filament_core::lower_program(&program, "main", &StdRegistry).unwrap();
     let netlist = calyx.elaborate("main").unwrap();
@@ -87,7 +104,14 @@ fn figure6_flow_produces_three_state_fsm() {
         .expect("FSM generated");
     assert_eq!(fsm.kind, rtl_sim::CellKind::ShiftFsm { n: 3 });
     // Guarded assignments exist for both uses.
-    assert!(netlist.assigns().iter().filter(|a| a.guard.is_some()).count() >= 4);
+    assert!(
+        netlist
+            .assigns()
+            .iter()
+            .filter(|a| a.guard.is_some())
+            .count()
+            >= 4
+    );
 }
 
 #[test]
@@ -97,7 +121,7 @@ fn write_conflicts_surface_dynamically_when_typing_is_bypassed() {
     // trips the simulator's write-conflict detector. We emulate a bypass
     // by poking the `go` input on consecutive cycles of a delay-4 design:
     // transactions at distance 2 make Gf._0 and Gf._2 overlap.
-    let program = with_stdlib(
+    let program = with_std(
         "comp main<G: 4>(@interface[G] go: 1, @[G, G+1] a: 32, @[G+2, G+3] b: 32)
              -> (@[G, G+1] out: 32) {
            A := new Add[32];
@@ -105,8 +129,7 @@ fn write_conflicts_surface_dynamically_when_typing_is_bypassed() {
            a1 := A<G+2>(b, b);
            out = a0.out;
          }",
-    )
-    .unwrap();
+    );
     let calyx = filament_core::lower_program(&program, "main", &StdRegistry).unwrap();
     let netlist = calyx.elaborate("main").unwrap();
     let mut sim = rtl_sim::Sim::new(&netlist).unwrap();
