@@ -302,6 +302,10 @@ pub fn design_corpus() -> Vec<(String, String, &'static str)> {
         ),
         ("fp-add-comb".into(), fp(Style::Combinational), "FpAdd"),
         ("fp-add-pipe".into(), fp(Style::Pipelined), "FpAdd"),
+        // The PipelineC AES import expressed as Filament source (two
+        // rounds keeps the snapshot reviewable; the full ten-round core
+        // is differential-tested in `pipelinec::aes_fil`).
+        ("aes-fil-2".into(), pipelinec::aes_fil::source(2), "AesFil2"),
     ]
 }
 

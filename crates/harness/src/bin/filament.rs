@@ -18,6 +18,7 @@
 //! filament serve --socket PATH [--jobs N] [--cache-dir D] [--timeout SECS]
 //! filament serve --stop --socket PATH
 //! filament build <file.fil> --remote PATH     # build on a running daemon
+//! filament fuzz [--seed N] [--cases K] [--replay FILE] [--selftest]
 //! ```
 //!
 //! `build` is the incremental driver: it expands, checks, and lowers every
@@ -33,6 +34,13 @@
 //! timeline signature): `--vcd` dumps an IEEE 1364 waveform of the
 //! top-level ports, `--profile` prints the simulator's hot-path profile
 //! (settle rounds, per-shard work, evals by cell kind).
+//!
+//! `fuzz` runs the generative differential fuzzer: seeded random
+//! parametric programs through the multi-stage oracle (fmt fixpoint,
+//! build determinism, artifact cache, serve daemon, interpreter-vs-Sim
+//! lockstep, BatchSim, sharded settle), shrinking any violation to a
+//! minimal `.fil` repro. `--replay FILE` re-checks a saved repro,
+//! `--selftest` proves an injected oracle violation is caught and shrunk.
 //!
 //! `serve` starts the compile-farm daemon on a unix socket: it keeps the
 //! parsed stdlib, the artifact cache, the elaborated-netlist cache, and a
@@ -55,6 +63,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: filament <check|expand|interface|compile|build|sim|fmt> <file.fil> [component]\n\
          \x20      filament serve --socket PATH [--jobs N] [--cache-dir DIR] [--timeout SECS]\n\
+         \x20      filament fuzz [--seed N] [--cases K] [--replay FILE] [--selftest]\n\
          \n\
          check      parse and type-check (standard library preloaded)\n\
          expand     elaborate generators (param arithmetic, for-loops,\n\
@@ -72,6 +81,9 @@ fn usage() -> ExitCode {
          fmt        pretty-print the program\n\
          serve      run the compile-farm daemon on a unix socket; stop a\n\
                     running daemon with `serve --stop --socket PATH`\n\
+         fuzz       generate random parametric programs and cross-check\n\
+                    every toolchain stage against a reference interpreter,\n\
+                    shrinking violations to minimal .fil repros\n\
          \n\
          options (expand/build/sim): --jobs N --cache-dir DIR\n\
                     --cache-limit SIZE   evict least-recently-used artifacts\n\
@@ -83,7 +95,15 @@ fn usage() -> ExitCode {
          options (build): --remote PATH       build on the daemon at PATH,\n\
                     falling back to a local build if it is unreachable\n\
          options (serve): --timeout SECS      exit after SECS idle seconds\n\
-         options (sim): --cycles N (default 64) --vcd FILE --profile"
+         options (sim): --cycles N (default 64) --vcd FILE --profile\n\
+         options (fuzz): --seed N --cases K (default 100) --txns N\n\
+                    --replay FILE        re-check a saved repro (reads its\n\
+                    recorded case seed; --seed overrides)\n\
+                    --selftest           inject an interpreter bug and\n\
+                    require it to be caught and shrunk\n\
+                    --out-dir DIR        write shrunk repros here\n\
+                    --cache-every N / --daemon-every N   run the artifact\n\
+                    cache / serve-daemon stages every Nth case"
     );
     ExitCode::from(2)
 }
@@ -173,6 +193,22 @@ struct Flags {
     stop: bool,
     /// `build --remote PATH`: run the build on the daemon at PATH.
     remote: Option<String>,
+    /// `fuzz --seed N`.
+    seed: Option<u64>,
+    /// `fuzz --cases K`.
+    cases: Option<usize>,
+    /// `fuzz --txns N`: transactions per generated program.
+    txns: Option<usize>,
+    /// `fuzz --replay FILE`.
+    replay: Option<String>,
+    /// `fuzz --selftest`.
+    selftest: bool,
+    /// `fuzz --out-dir DIR`.
+    out_dir: Option<String>,
+    /// `fuzz --cache-every N`.
+    cache_every: Option<usize>,
+    /// `fuzz --daemon-every N`.
+    daemon_every: Option<usize>,
 }
 
 impl Flags {
@@ -203,6 +239,14 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
         timeout: None,
         stop: false,
         remote: None,
+        seed: None,
+        cases: None,
+        txns: None,
+        replay: None,
+        selftest: false,
+        out_dir: None,
+        cache_every: None,
+        daemon_every: None,
     };
     let mut rest = Vec::with_capacity(args.len());
     let mut it = args.drain(..);
@@ -250,6 +294,37 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
                 );
             }
             "--stop" => flags.stop = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                flags.seed = Some(v.parse().map_err(|_| format!("--seed: bad number {v:?}"))?);
+            }
+            "--cases" => {
+                let v = it.next().ok_or("--cases needs a number")?;
+                flags.cases = Some(v.parse().map_err(|_| format!("--cases: bad number {v:?}"))?);
+            }
+            "--txns" => {
+                let v = it.next().ok_or("--txns needs a number")?;
+                flags.txns = Some(v.parse().map_err(|_| format!("--txns: bad number {v:?}"))?);
+            }
+            "--replay" => {
+                let v = it.next().ok_or("--replay needs a file path")?;
+                flags.replay = Some(v);
+            }
+            "--selftest" => flags.selftest = true,
+            "--out-dir" => {
+                let v = it.next().ok_or("--out-dir needs a directory")?;
+                flags.out_dir = Some(v);
+            }
+            "--cache-every" => {
+                let v = it.next().ok_or("--cache-every needs a number")?;
+                flags.cache_every =
+                    Some(v.parse().map_err(|_| format!("--cache-every: bad number {v:?}"))?);
+            }
+            "--daemon-every" => {
+                let v = it.next().ok_or("--daemon-every needs a number")?;
+                flags.daemon_every =
+                    Some(v.parse().map_err(|_| format!("--daemon-every: bad number {v:?}"))?);
+            }
             "--remote" => {
                 let v = it.next().ok_or("--remote needs a socket path")?;
                 flags.remote = Some(v);
@@ -484,6 +559,163 @@ fn run_serve(_flags: &Flags) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// An in-process `filament serve` daemon for the fuzz campaign's daemon
+/// cross-check stage, shut down on drop.
+#[cfg(unix)]
+struct FuzzDaemon {
+    socket: std::path::PathBuf,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+#[cfg(unix)]
+impl FuzzDaemon {
+    fn start() -> Result<Self, String> {
+        let socket =
+            std::env::temp_dir().join(format!("filfz-{}.sock", std::process::id()));
+        let server = fil_stdlib::serve::Server::bind(fil_stdlib::serve::ServeOptions {
+            socket: socket.clone(),
+            ..Default::default()
+        })
+        .map_err(|e| e.to_string())?;
+        let thread = std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        for _ in 0..300 {
+            if fil_stdlib::serve::ping(&socket).is_ok() {
+                return Ok(FuzzDaemon {
+                    socket,
+                    thread: Some(thread),
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        Err("daemon did not come up within 3s".to_string())
+    }
+}
+
+#[cfg(unix)]
+impl Drop for FuzzDaemon {
+    fn drop(&mut self) {
+        let _ = fil_stdlib::serve::stop(&self.socket);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+/// The case seed recorded in a repro file's header
+/// (`// ... case seed 123 ...`).
+fn repro_seed(source: &str) -> Option<u64> {
+    for line in source.lines().take_while(|l| l.starts_with("//")) {
+        if let Some(rest) = line.split("case seed ").nth(1) {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            if let Ok(n) = digits.parse() {
+                return Some(n);
+            }
+        }
+    }
+    None
+}
+
+/// `filament fuzz`: campaign, `--replay`, or `--selftest`.
+fn run_fuzz_cmd(flags: &Flags) -> ExitCode {
+    use fil_harness::fuzz;
+
+    let mut cfg = fuzz::FuzzConfig::default();
+    if let Some(s) = flags.seed {
+        cfg.seed = s;
+    }
+    if let Some(c) = flags.cases {
+        cfg.cases = c;
+    }
+    if let Some(t) = flags.txns {
+        cfg.txns = t;
+    }
+    cfg.cache_every = flags.cache_every.unwrap_or(0);
+    cfg.out_dir = flags.out_dir.as_ref().map(std::path::PathBuf::from);
+
+    if let Some(path) = &flags.replay {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let seed = flags.seed.or_else(|| repro_seed(&src)).unwrap_or(cfg.seed);
+        return match fuzz::run::replay(&src, seed, cfg.txns) {
+            Ok(()) => {
+                println!("replay ok: {path} passes every oracle stage (seed {seed})");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("replay: {path} still fails: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if flags.selftest {
+        return match fuzz::run::mutation_selftest(&cfg) {
+            Ok(r) => {
+                println!(
+                    "selftest ok: injected Add bug caught at case {} (seed {}), \
+                     shrunk {} -> {} bytes",
+                    r.case, r.seed, r.original_bytes, r.shrunk_bytes
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("selftest FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // An in-process daemon backs the serve cross-check stage when asked.
+    #[cfg(unix)]
+    let mut _daemon = None;
+    if let Some(every) = flags.daemon_every {
+        #[cfg(unix)]
+        {
+            match FuzzDaemon::start() {
+                Ok(d) => {
+                    cfg.daemon = Some(d.socket.clone());
+                    cfg.daemon_every = every;
+                    _daemon = Some(d);
+                }
+                Err(e) => {
+                    eprintln!("error: cannot start fuzz daemon: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = every;
+            eprintln!("error: --daemon-every needs unix sockets");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match fuzz::run_fuzz(&cfg) {
+        Ok(stats) => {
+            println!(
+                "fuzz ok: {} cases clean (seed {}, {} txns/case, {} cache checks, \
+                 {} daemon checks)",
+                stats.cases, cfg.seed, cfg.txns, stats.cache_checks, stats.daemon_checks
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("fuzz FAILURE: {failure}");
+            eprintln!("--- shrunk repro ---\n{}", failure.shrunk);
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run(cmd: &str, file: &str, args: &[String], flags: &Flags) -> ExitCode {
     // `fmt` is parse-only by design: it must reformat any syntactically
     // valid program, including parametric generators whose elaboration
@@ -654,6 +886,31 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if args.first().map(String::as_str) == Some("fuzz") {
+        if args.len() > 1 || flags.want_stats || flags.trace.is_some() || flags.vcd.is_some() {
+            eprintln!(
+                "error: fuzz takes only --seed/--cases/--txns/--replay/--selftest\
+                 /--out-dir/--cache-every/--daemon-every"
+            );
+            return usage();
+        }
+        return run_fuzz_cmd(&flags);
+    }
+    let fuzz_flags = flags.seed.is_some()
+        || flags.cases.is_some()
+        || flags.txns.is_some()
+        || flags.replay.is_some()
+        || flags.selftest
+        || flags.out_dir.is_some()
+        || flags.cache_every.is_some()
+        || flags.daemon_every.is_some();
+    if fuzz_flags {
+        eprintln!(
+            "error: --seed/--cases/--txns/--replay/--selftest/--out-dir/--cache-every\
+             /--daemon-every are only meaningful with `filament fuzz`"
+        );
+        return usage();
+    }
     if args.first().map(String::as_str) == Some("serve") {
         if flags.want_stats
             || flags.trace.is_some()

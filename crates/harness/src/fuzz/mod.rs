@@ -3,6 +3,24 @@
 //! The paper validates its floating-point adder translation by
 //! "differential testing of the combinational, pipelined, and Filament
 //! implementations" with a fuzzer on top of the cycle-accurate harness.
+//! This module holds that input-level fuzzer ([`fuzz_against_golden`],
+//! [`fuzz_equivalent`]) plus the *generative* fuzzer built on it:
+//!
+//! * [`gen`] — seeded generation of well-formed-by-construction parametric
+//!   Filament programs,
+//! * [`oracle`] — the multi-stage cross-check pipeline run over each
+//!   generated program (pretty→parse fixpoint, build determinism,
+//!   interpreter-vs-simulator lockstep, scalar vs batch vs sharded),
+//! * [`shrink`] — AST-level reduction of failing programs to minimal
+//!   `.fil` repros,
+//! * [`run_fuzz`] — the driver behind `filament fuzz`.
+
+pub mod gen;
+pub mod oracle;
+pub mod run;
+pub mod shrink;
+
+pub use run::{run_fuzz, FuzzConfig, FuzzFailure, FuzzStats};
 
 use crate::spec::InterfaceSpec;
 use crate::txn::run_transactions;
@@ -12,9 +30,15 @@ use rand::{Rng, SeedableRng};
 use rtl_sim::Netlist;
 use std::fmt;
 
-/// A counterexample found by fuzzing.
+/// A counterexample found by fuzzing. The display line alone is enough to
+/// reproduce the failure: it names the component, the fuzz seed, and the
+/// transaction index within the batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mismatch {
+    /// The component under test.
+    pub component: String,
+    /// The seed of the fuzz batch that provoked the mismatch.
+    pub seed: u64,
     /// Transaction index within the fuzz batch.
     pub case: usize,
     /// The inputs provoking the mismatch.
@@ -29,13 +53,13 @@ impl fmt::Display for Mismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "case {}: inputs {:?} produced {:?}, expected {:?}",
-            self.case, self.inputs, self.got, self.want
+            "component {} seed {} case {}: inputs {:?} produced {:?}, expected {:?}",
+            self.component, self.seed, self.case, self.inputs, self.got, self.want
         )
     }
 }
 
-fn random_inputs(spec: &InterfaceSpec, cases: usize, seed: u64) -> Vec<Vec<Value>> {
+pub(crate) fn random_inputs(spec: &InterfaceSpec, cases: usize, seed: u64) -> Vec<Vec<Value>> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..cases)
         .map(|_| {
@@ -75,6 +99,8 @@ pub fn fuzz_against_golden(
             .collect();
         if *got != want {
             return Err(Box::new(MismatchError(Mismatch {
+                component: spec.name.clone(),
+                seed,
                 case,
                 inputs: input.clone(),
                 got: got.clone(),
@@ -103,6 +129,8 @@ pub fn fuzz_equivalent(
     for (case, (input, (ga, gb))) in inputs.iter().zip(outs_a.iter().zip(&outs_b)).enumerate() {
         if ga != gb {
             return Err(Box::new(MismatchError(Mismatch {
+                component: a.1.name.clone(),
+                seed,
                 case,
                 inputs: input.clone(),
                 got: ga.clone(),
@@ -115,7 +143,7 @@ pub fn fuzz_equivalent(
 
 /// Wrapper making [`Mismatch`] an error type.
 #[derive(Debug)]
-struct MismatchError(Mismatch);
+pub(crate) struct MismatchError(pub(crate) Mismatch);
 
 impl fmt::Display for MismatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -124,3 +152,25 @@ impl fmt::Display for MismatchError {
 }
 
 impl std::error::Error for MismatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatch_display_names_component_seed_and_case() {
+        let m = Mismatch {
+            component: "FzTop".into(),
+            seed: 3863,
+            case: 3,
+            inputs: vec![Value::from_u64(8, 5)],
+            got: vec![Value::from_u64(8, 1)],
+            want: vec![Value::from_u64(8, 2)],
+        };
+        let line = m.to_string();
+        // The log line alone must identify the repro: component, seed, case.
+        assert!(line.contains("component FzTop"), "{line}");
+        assert!(line.contains("seed 3863"), "{line}");
+        assert!(line.contains("case 3"), "{line}");
+    }
+}

@@ -19,7 +19,8 @@
 //! adder methodology).
 
 mod discover;
-mod fuzz;
+pub mod fuzz;
+pub mod interp;
 mod spec;
 mod txn;
 
