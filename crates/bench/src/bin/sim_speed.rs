@@ -18,6 +18,12 @@
 //! the sharded settle engine at K worker shards; the `_traces_per_sec`
 //! pair compares one 128-lane `BatchSim` pass against 128 back-to-back
 //! scalar runs of the same stimulus.
+//!
+//! The `_o0`/`_o2` key pairs (PR 10) compare the same design built at
+//! `-O0` and `-O2`: elaborated cell counts for `Systolic[8,32]`,
+//! `AesFil10`, and `EncTop16` (deterministic — CI gates `o2 <= o0`
+//! exactly), plus lane-batched traces/s on the optimized vs unoptimized
+//! `Systolic[8,32]` netlist.
 
 use fil_bits::Value;
 use rtl_sim::{BatchSim, Sim};
@@ -132,19 +138,48 @@ fn main() {
             std::hint::black_box(sim.peek_by_name("out_0").to_u64());
         }
     });
-    let batch_traces = measure_for(2000, u64::from(lanes), || {
-        let mut sim = BatchSim::new(&net8, lanes).unwrap();
-        for l in 0..lanes {
-            sim.poke_by_name("go", l, Value::from_u64(1, 1));
-            for i in 0..n8 {
-                let salt = u64::from(l);
-                sim.poke_by_name(&format!("left_{i}"), l, Value::from_u64(32, 7 + i + salt));
-                sim.poke_by_name(&format!("top_{i}"), l, Value::from_u64(32, 3 + i + salt));
+    let batch_lanes = |netlist: &rtl_sim::Netlist| {
+        measure_for(2000, u64::from(lanes), || {
+            let mut sim = BatchSim::new(netlist, lanes).unwrap();
+            for l in 0..lanes {
+                sim.poke_by_name("go", l, Value::from_u64(1, 1));
+                for i in 0..n8 {
+                    let salt = u64::from(l);
+                    sim.poke_by_name(&format!("left_{i}"), l, Value::from_u64(32, 7 + i + salt));
+                    sim.poke_by_name(&format!("top_{i}"), l, Value::from_u64(32, 3 + i + salt));
+                }
             }
-        }
-        sim.run(sys_cycles).unwrap();
-        std::hint::black_box(sim.peek_by_name("out_0", 0).to_u64());
-    });
+            sim.run(sys_cycles).unwrap();
+            std::hint::black_box(sim.peek_by_name("out_0", 0).to_u64());
+        })
+    };
+    let batch_traces = batch_lanes(&net8);
+
+    // The optimizer's win (PR 10): the same designs at -O2 vs the -O0
+    // netlists above. Cell counts are deterministic; the traces/s pair is
+    // a same-box comparison on the lane-batched Systolic[8,32] run.
+    let at_level = |src: &str, top: &str, level: u8| {
+        fil_harness::compile_request(
+            &fil_build::BuildRequest::new(src)
+                .netlist(top)
+                .opt_level(level),
+        )
+        .expect("compiles")
+        .0
+    };
+    let net8_o2 = at_level(&src8, &fil_designs::systolic::top_name(n8), 2);
+    let batch_traces_o2 = batch_lanes(&net8_o2);
+    let aes_src = pipelinec::aes_fil::source(10);
+    let enc_src = fil_designs::encoder::source(16);
+    let cells = |src: &str, top: &str| {
+        (
+            at_level(src, top, 0).cells().len(),
+            at_level(src, top, 2).cells().len(),
+        )
+    };
+    let (sys_c0, sys_c2) = (net8.cells().len(), net8_o2.cells().len());
+    let (aes_c0, aes_c2) = cells(&aes_src, &pipelinec::aes_fil::top_name(10));
+    let (enc_c0, enc_c2) = cells(&enc_src, &fil_designs::encoder::top_name(16));
 
     println!(
         "{{\"alu_cycles_per_sec\": {alu_rate:.1}, \"aes_cycles_per_sec\": {aes_rate:.1}, \
@@ -153,7 +188,12 @@ fn main() {
          \"systolic8_pe_cells_per_sec_j2\": {j2:.1}, \
          \"systolic8_pe_cells_per_sec_j4\": {j4:.1}, \
          \"systolic8_seq_traces_per_sec\": {seq_traces:.1}, \
-         \"systolic8_batch_traces_per_sec\": {batch_traces:.1}}}",
+         \"systolic8_batch_traces_per_sec\": {batch_traces:.1}, \
+         \"systolic8_batch_traces_per_sec_o0\": {batch_traces:.1}, \
+         \"systolic8_batch_traces_per_sec_o2\": {batch_traces_o2:.1}, \
+         \"systolic8_cells_o0\": {sys_c0}, \"systolic8_cells_o2\": {sys_c2}, \
+         \"aes_fil10_cells_o0\": {aes_c0}, \"aes_fil10_cells_o2\": {aes_c2}, \
+         \"enc16_cells_o0\": {enc_c0}, \"enc16_cells_o2\": {enc_c2}}}",
         systolic.join(", ")
     );
 }

@@ -302,6 +302,20 @@ pub fn design_corpus() -> Vec<(String, String, &'static str)> {
         ),
         ("fp-add-comb".into(), fp(Style::Combinational), "FpAdd"),
         ("fp-add-pipe".into(), fp(Style::Pipelined), "FpAdd"),
+        // Naively-generated kernels: the redundancy-heavy style (zero/unit
+        // coefficients, duplicated neighbour products, padded boundaries)
+        // that `fil-opt` exists to clean up — `-O2` must shed well over a
+        // quarter of their cells (pinned in the harness's opt_counts.txt).
+        (
+            "wsum-naive-8".into(),
+            fil_designs::wsum::naive_source(16),
+            "WSum8",
+        ),
+        (
+            "stencil-naive-8".into(),
+            fil_designs::wsum::stencil_source(8, 16),
+            "Stencil8",
+        ),
         // The PipelineC AES import expressed as Filament source (two
         // rounds keeps the snapshot reviewable; the full ten-round core
         // is differential-tested in `pipelinec::aes_fil`).

@@ -76,6 +76,13 @@ pub struct BuildOptions {
     /// an artifact's modification time, so recency tracks use, not
     /// creation). `None` lets the cache grow without bound.
     pub cache_limit: Option<u64>,
+    /// Netlist optimization level (`fil_opt`): `0` = off, `1` = all
+    /// passes but CSE, `2` = all passes. Runs per unit, right after
+    /// lowering, so artifacts store the *optimized* component: a warm
+    /// load repeats no optimization work (and reports zero `opt`
+    /// counters). Levels other than `0` fold into the unit cache key, so
+    /// `-O0` keys — and their bytes — are untouched by this feature.
+    pub opt_level: u8,
     /// Structured-trace sink. When set, the driver records one span per
     /// compile unit per phase (cache-load/expand/check/lower, plus the
     /// serial merge) on a timeline lane per worker, and samples
@@ -93,6 +100,7 @@ impl Default for BuildOptions {
             salt: String::new(),
             emit_expanded: true,
             cache_limit: None,
+            opt_level: 0,
             trace: None,
         }
     }
@@ -124,6 +132,9 @@ pub struct BuildStats {
     /// Named to match its `--stats` JSON key (`session_cache_evictions`);
     /// the field was `cache_evictions` for one release.
     pub session_cache_evictions: u64,
+    /// Netlist-optimizer counters for units optimized this session (warm
+    /// cache loads carry pre-optimized components and contribute zero).
+    pub opt: OptStats,
     /// Merged elaboration counters (for units expanded this session, plus
     /// cache accounting equivalent to [`filament_core::mono::expand`]'s on
     /// a cold run).
@@ -151,6 +162,43 @@ pub struct PhaseTimes {
     pub cache_load_us: u64,
     /// The serial deterministic merge.
     pub merge_us: u64,
+    /// Netlist optimization of units optimized this session.
+    pub opt_us: u64,
+}
+
+/// What the netlist optimizer did across the units optimized this
+/// session, summed (the wire-safe projection of [`fil_opt::OptReport`] —
+/// counters only, no source map).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// The configured [`BuildOptions::opt_level`].
+    pub level: u64,
+    /// Fixpoint iterations, summed over units.
+    pub iterations: u64,
+    /// Cells entering the optimizer.
+    pub cells_before: u64,
+    /// Cells surviving it.
+    pub cells_after: u64,
+    /// Rewrites per pass, indexed like [`fil_opt::PASSES`]
+    /// (const-fold, strength, forward, cse, dce).
+    pub pass_rewrites: [u64; 5],
+}
+
+impl OptStats {
+    /// Total rewrites across every pass.
+    pub fn rewrites(&self) -> u64 {
+        self.pass_rewrites.iter().sum()
+    }
+
+    /// Folds one unit's report into the build totals.
+    fn absorb(&mut self, r: &fil_opt::OptReport) {
+        self.iterations += r.iterations;
+        self.cells_before += r.cells_before;
+        self.cells_after += r.cells_after;
+        for (sum, pass) in self.pass_rewrites.iter_mut().zip(&r.passes) {
+            *sum += pass.rewrites;
+        }
+    }
 }
 
 /// A failed build.
@@ -429,6 +477,12 @@ struct UnitDone {
     expand_us: u64,
     check_us: u64,
     lower_us: u64,
+    opt_us: u64,
+    /// What the optimizer did to this unit (counters only — the driver
+    /// runs with `record_notes` off; callers that want the source map
+    /// run [`fil_opt::optimize_program`] on the lowered output
+    /// themselves). Default (all-zero) for cache loads and `-O0`.
+    opt: fil_opt::OptReport,
 }
 
 // -------------------------------------------------------------- scheduler
@@ -447,6 +501,11 @@ struct Ctx<'p> {
     opts: &'p BuildOptions,
     /// Closure hashes, computed only when the disk cache is enabled.
     keys: Option<KeySpace>,
+    /// The registry salt with the optimization level folded in
+    /// (`salt|O{level}` for level > 0): artifacts hold post-optimizer
+    /// components, so differently-optimized units must never share a key.
+    /// Level 0 uses the salt verbatim — pre-optimizer caches stay warm.
+    cache_salt: String,
     cache_dir: Option<PathBuf>,
     shared: Mutex<Shared>,
     cv: Condvar,
@@ -537,10 +596,15 @@ impl<'p> Ctx<'p> {
                 }
             }
         }
+        let cache_salt = match opts.opt_level {
+            0 => opts.salt.clone(),
+            level => format!("{}|O{level}", opts.salt),
+        };
         Ok(Ctx {
             program,
             opts,
             keys,
+            cache_salt,
             cache_dir,
             shared: Mutex::new(shared),
             cv: Condvar::new(),
@@ -700,7 +764,7 @@ fn process_unit(
     let path = ctx.keys.as_ref().and_then(|keys| {
         let hash = keys.unit_hash(
             ARTIFACT_VERSION,
-            &ctx.opts.salt,
+            &ctx.cache_salt,
             &key.component,
             &key.values,
         )?;
@@ -754,7 +818,7 @@ fn process_unit(
     // signatures of the direct dependencies (bodies not needed).
     let mut check_us = 0;
     let mut lower_us = 0;
-    let (lowered, structural) = match registry {
+    let (mut lowered, structural) = match registry {
         None => (None, Vec::new()),
         Some(registry) => {
             let mini = mini_program(ctx.program, &component, &rec.deps)?;
@@ -774,6 +838,40 @@ fn process_unit(
             (Some(unit.component), unit.structural)
         }
     };
+
+    // Optimize the unit's own component (structural extern
+    // implementations pass through untouched — they are shared library
+    // cells, identical across builds and already minimal). Runs before
+    // the store, so the artifact caches the optimized form. Decisions in
+    // `fil_opt` are position-based, never name-ordered, so optimizing
+    // placeholder-named units and renaming at merge commutes — `-j1` and
+    // `-jN` stay byte-identical.
+    let mut opt_us = 0;
+    let mut opt_report = fil_opt::OptReport::default();
+    if ctx.opts.opt_level > 0 {
+        if let Some(lc) = &mut lowered {
+            let opt_start = lane.map(|l| l.now_us());
+            let timer = Instant::now();
+            let cfg = fil_opt::OptConfig {
+                record_notes: false,
+                ..fil_opt::OptConfig::level(ctx.opts.opt_level)
+            };
+            opt_report = fil_opt::optimize_component(lc, &cfg);
+            opt_us = timer.elapsed().as_micros() as u64;
+            if let (Some(l), Some(mut start)) = (lane, opt_start) {
+                // One span per pass, laid out back-to-back from the
+                // optimizer's own per-pass timings.
+                for (pass, stat) in fil_opt::PASSES.iter().zip(&opt_report.passes) {
+                    let mut args = vec![("rewrites", fil_trace::Arg::from(stat.rewrites))];
+                    if let Some(name) = &unit_name {
+                        args.push(("unit", fil_trace::Arg::from(name.as_str())));
+                    }
+                    l.complete("build", format!("opt:{pass}"), start, stat.us, args);
+                    start += stat.us;
+                }
+            }
+        }
+    }
 
     // Store.
     let mut stored = false;
@@ -807,6 +905,8 @@ fn process_unit(
         expand_us,
         check_us,
         lower_us,
+        opt_us,
+        opt: opt_report,
     })
 }
 
@@ -879,6 +979,8 @@ fn try_load(
         expand_us: 0,
         check_us: 0,
         lower_us: 0,
+        opt_us: 0,
+        opt: fil_opt::OptReport::default(),
     })
 }
 
@@ -994,6 +1096,7 @@ fn rewrite_lower(
 
 fn finish(program: &Program, ctx: Ctx<'_>, lowering: bool) -> Result<DriverOutput, BuildError> {
     let emit_expanded = ctx.opts.emit_expanded;
+    let opt_level = ctx.opts.opt_level;
     let trace = ctx.opts.trace.clone();
     let shared = ctx.shared.into_inner().unwrap();
     if let Some(e) = shared.error {
@@ -1003,6 +1106,7 @@ fn finish(program: &Program, ctx: Ctx<'_>, lowering: bool) -> Result<DriverOutpu
     let timer = Instant::now();
     let mut out = merge(program, shared, lowering, emit_expanded)?;
     out.stats.phase.merge_us = timer.elapsed().as_micros() as u64;
+    out.stats.opt.level = u64::from(opt_level);
     if let (Some(c), Some(start)) = (&trace, merge_start) {
         c.lane(0, "main").complete(
             "build",
@@ -1125,6 +1229,8 @@ fn merge(
         stats.phase.expand_us += unit.expand_us;
         stats.phase.check_us += unit.check_us;
         stats.phase.lower_us += unit.lower_us;
+        stats.phase.opt_us += unit.opt_us;
+        stats.opt.absorb(&unit.opt);
         if unit.loaded {
             stats.cache_loads += 1;
         } else {

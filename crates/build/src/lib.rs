@@ -60,11 +60,12 @@ pub mod singleflight;
 pub use artifact::ARTIFACT_VERSION;
 pub use driver::{
     build_program, build_program_serial, check_externs, expand_program, BuildError, BuildOptions,
-    BuildStats, DriverOutput, PhaseTimes,
+    BuildStats, DriverOutput, OptStats, PhaseTimes,
 };
 pub use netcache::NetlistCache;
 pub use request::{BuildOutput, BuildRequest, PROTOCOL_VERSION};
 pub use singleflight::{Served, SingleFlight};
-// Re-exported so `BuildOptions::trace` is constructible without a direct
-// `fil-trace` dependency.
+// Re-exported so front ends can name optimizer types (`fil_opt`) and
+// construct `BuildOptions::trace` (`fil_trace`) without direct deps.
+pub use fil_opt;
 pub use fil_trace;

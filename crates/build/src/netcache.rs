@@ -18,11 +18,16 @@ use calyx_lite as cl;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-/// The key of one elaborated netlist: lowered program content × top name.
-pub fn netlist_key(lowered: &cl::Program, top: &str) -> ContentHash {
+/// The key of one elaborated netlist: lowered program content × top name
+/// × optimization level. The content digest alone already separates
+/// differently-optimized programs (their components differ byte-wise);
+/// the explicit level is belt-and-braces for the degenerate case where an
+/// optimization level happens to change nothing.
+pub fn netlist_key(lowered: &cl::Program, top: &str, opt_level: u8) -> ContentHash {
     use std::hash::Hasher as _;
     let mut h = Hasher::new();
     h.write_str(top);
+    h.write_u64(u64::from(opt_level));
     let components = lowered.components();
     h.write_u64(components.len() as u64);
     let mut buf = Vec::new();
@@ -81,8 +86,9 @@ impl NetlistCache {
         &self,
         lowered: &cl::Program,
         top: &str,
+        opt_level: u8,
     ) -> Result<(Arc<rtl_sim::Netlist>, bool), cl::CalyxError> {
-        let key = netlist_key(lowered, top);
+        let key = netlist_key(lowered, top, opt_level);
         let key = (key.a, key.b);
         if let Some(n) = self.inner.lock().unwrap().map.get(&key) {
             return Ok((n.clone(), true));
@@ -126,12 +132,12 @@ mod tests {
     #[test]
     fn identical_programs_hit_different_programs_miss() {
         let cache = NetlistCache::new(4);
-        let (a, hit) = cache.get_or_elaborate(&program(8), "Main").unwrap();
+        let (a, hit) = cache.get_or_elaborate(&program(8), "Main", 0).unwrap();
         assert!(!hit);
-        let (b, hit) = cache.get_or_elaborate(&program(8), "Main").unwrap();
+        let (b, hit) = cache.get_or_elaborate(&program(8), "Main", 0).unwrap();
         assert!(hit, "byte-identical lowered program is served from memory");
         assert!(Arc::ptr_eq(&a, &b), "the very same netlist is shared");
-        let (_, hit) = cache.get_or_elaborate(&program(16), "Main").unwrap();
+        let (_, hit) = cache.get_or_elaborate(&program(16), "Main", 0).unwrap();
         assert!(!hit, "a width change changes the content key");
         assert_eq!(cache.len(), 2);
     }
@@ -140,27 +146,27 @@ mod tests {
     fn capacity_evicts_oldest() {
         let cache = NetlistCache::new(2);
         for w in [8, 16, 24] {
-            cache.get_or_elaborate(&program(w), "Main").unwrap();
+            cache.get_or_elaborate(&program(w), "Main", 0).unwrap();
         }
         assert_eq!(cache.len(), 2);
-        let (_, hit) = cache.get_or_elaborate(&program(8), "Main").unwrap();
+        let (_, hit) = cache.get_or_elaborate(&program(8), "Main", 0).unwrap();
         assert!(!hit, "oldest entry was evicted");
-        let (_, hit) = cache.get_or_elaborate(&program(24), "Main").unwrap();
+        let (_, hit) = cache.get_or_elaborate(&program(24), "Main", 0).unwrap();
         assert!(hit, "newest entry survived");
     }
 
     #[test]
     fn elaboration_errors_propagate_and_are_not_cached() {
         let cache = NetlistCache::new(2);
-        assert!(cache.get_or_elaborate(&program(8), "Nope").is_err());
+        assert!(cache.get_or_elaborate(&program(8), "Nope", 0).is_err());
         assert!(cache.is_empty());
     }
 
     #[test]
     fn key_depends_on_top_and_content() {
         let p8 = program(8);
-        assert_eq!(netlist_key(&p8, "Main"), netlist_key(&program(8), "Main"));
-        assert_ne!(netlist_key(&p8, "Main"), netlist_key(&p8, "Other"));
-        assert_ne!(netlist_key(&p8, "Main"), netlist_key(&program(16), "Main"));
+        assert_eq!(netlist_key(&p8, "Main", 0), netlist_key(&program(8), "Main", 0));
+        assert_ne!(netlist_key(&p8, "Main", 0), netlist_key(&p8, "Other", 0));
+        assert_ne!(netlist_key(&p8, "Main", 0), netlist_key(&program(16), "Main", 0));
     }
 }

@@ -32,7 +32,13 @@ use std::sync::Arc;
 
 /// Version of the request/response payload layout. Decoders reject
 /// anything else; bump on any change below.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: [`BuildRequest::opt_level`] appended to the request encoding, and
+/// the stats block grew the `opt_*` counters. A v1 peer would decode a v2
+/// request as trailing garbage (or a v2 decoder would read past a v1
+/// payload), so the bump is mandatory, not cosmetic — see the salt-bump
+/// policy in `docs/ARCHITECTURE.md`.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Frames larger than this are rejected before allocation (a corrupted
 /// length prefix must not OOM the daemon).
@@ -87,6 +93,11 @@ pub struct BuildRequest {
     /// ([`BuildOutput::netlist`]), served from the elaborated-netlist
     /// cache when warm. Implies `want_lowered`.
     pub want_netlist: Option<String>,
+    /// Netlist optimization level: `0` = off (byte-identical to
+    /// pre-optimizer output), `1` = const-fold/strength/forward/DCE,
+    /// `2` = additionally CSE. Part of the wire encoding and of every
+    /// cache key derived from this request.
+    pub opt_level: u8,
     /// Structured-trace sink. Local-only: never crosses the wire.
     pub trace: Option<Arc<fil_trace::Collector>>,
 }
@@ -170,6 +181,13 @@ impl BuildRequest {
         self
     }
 
+    /// Netlist optimization level (`0`, `1`, or `2`).
+    #[must_use]
+    pub fn opt_level(mut self, level: u8) -> Self {
+        self.opt_level = level;
+        self
+    }
+
     /// Structured-trace sink (local builds only).
     #[must_use]
     pub fn trace(mut self, collector: Arc<fil_trace::Collector>) -> Self {
@@ -191,6 +209,7 @@ impl BuildRequest {
             salt: self.salt.clone(),
             emit_expanded: self.want_expanded,
             cache_limit: self.cache_limit,
+            opt_level: self.opt_level,
             trace: self.trace.clone(),
         }
     }
@@ -333,6 +352,9 @@ pub fn encode_request(req: &BuildRequest, out: &mut Vec<u8>) {
     }
     w.u8(flags);
     w.opt_str(req.want_netlist.as_deref());
+    // v2: appended last so a v1 payload fails as Truncated (not a
+    // mis-decode) even if the frame-level version check is bypassed.
+    w.u8(req.opt_level);
 }
 
 /// Decodes a request (trace sink comes back `None` — it cannot cross the
@@ -365,6 +387,13 @@ pub fn decode_request(bytes: &[u8]) -> Result<(BuildRequest, usize), DecodeError
         });
     }
     let want_netlist = r.opt_str()?;
+    let opt_level = r.u8()?;
+    if opt_level > 2 {
+        return Err(DecodeError::BadTag {
+            what: "opt level",
+            tag: opt_level,
+        });
+    }
     Ok((
         BuildRequest {
             source,
@@ -377,6 +406,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<(BuildRequest, usize), DecodeError
             want_lowered: flags & REQ_LOWERED != 0,
             want_verilog: flags & REQ_VERILOG != 0,
             want_netlist,
+            opt_level,
             trace: None,
         },
         r.pos,
@@ -424,13 +454,23 @@ fn encode_stats(w: &mut Writer<'_>, s: &BuildStats) {
         s.phase.lower_us,
         s.phase.cache_load_us,
         s.phase.merge_us,
+        s.phase.opt_us,
+        s.opt.level,
+        s.opt.iterations,
+        s.opt.cells_before,
+        s.opt.cells_after,
+        s.opt.pass_rewrites[0],
+        s.opt.pass_rewrites[1],
+        s.opt.pass_rewrites[2],
+        s.opt.pass_rewrites[3],
+        s.opt.pass_rewrites[4],
     ] {
         w.u64(v);
     }
 }
 
 fn decode_stats(r: &mut Reader<'_>) -> Result<BuildStats, DecodeError> {
-    let mut v = [0u64; 22];
+    let mut v = [0u64; 32];
     for slot in &mut v {
         *slot = r.u64()?;
     }
@@ -460,6 +500,14 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<BuildStats, DecodeError> {
             lower_us: v[19],
             cache_load_us: v[20],
             merge_us: v[21],
+            opt_us: v[22],
+        },
+        opt: crate::driver::OptStats {
+            level: v[23],
+            iterations: v[24],
+            cells_before: v[25],
+            cells_after: v[26],
+            pass_rewrites: [v[27], v[28], v[29], v[30], v[31]],
         },
     })
 }
@@ -657,6 +705,7 @@ mod tests {
             .cache_dir("/tmp/cache")
             .cache_limit(1 << 20)
             .salt("std")
+            .opt_level(2)
     }
 
     #[test]
@@ -674,6 +723,7 @@ mod tests {
         assert_eq!(back.cache_dir, req.cache_dir);
         assert_eq!(back.cache_limit, Some(1 << 20));
         assert_eq!(back.want_netlist.as_deref(), Some("Main"));
+        assert_eq!(back.opt_level, 2);
         assert!(back.want_raw && back.want_expanded && back.want_lowered && back.want_verilog);
     }
 
@@ -683,6 +733,59 @@ mod tests {
         let b = a.clone().verilog();
         assert_ne!(request_key(&a), request_key(&b));
         assert_eq!(request_key(&a), request_key(&a.clone()));
+    }
+
+    /// Requests differing only in `opt_level` must never share a daemon
+    /// memo entry: the level is part of the canonical encoding, so the
+    /// single-flight key separates them.
+    #[test]
+    fn request_key_distinguishes_opt_levels() {
+        let base = BuildRequest::new("comp Main<G: 1>() -> () { }").verilog();
+        let keys: Vec<_> = (0u8..=2)
+            .map(|l| request_key(&base.clone().opt_level(l)))
+            .collect();
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[1], keys[2]);
+        assert_ne!(keys[0], keys[2]);
+    }
+
+    /// A frame from a pre-`opt_level` peer (protocol v1) fails the
+    /// version salt cleanly — never a mis-decode. And even with the frame
+    /// check out of the way, a v1 *payload* (no trailing opt byte) decodes
+    /// to `Truncated`, because the new field reads past its end.
+    #[test]
+    fn old_format_frames_are_rejected_cleanly() {
+        let req = sample_request();
+        let mut payload = Vec::new();
+        encode_request(&req, &mut payload);
+
+        // Frame stamped with the v1 wire version (same artifact/serial
+        // revisions — only the protocol byte differs).
+        let v1 = 1u32 | (crate::artifact::ARTIFACT_VERSION << 8) | (serial::FORMAT_VERSION << 16);
+        assert_ne!(v1, wire_version(), "v2 bump must change the salt");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        wire[4..8].copy_from_slice(&v1.to_le_bytes());
+        match read_frame(&mut wire.as_slice()) {
+            Err(FrameError::Version { found }) => assert_eq!(found, v1),
+            other => panic!("expected a clean version error, got {other:?}"),
+        }
+
+        // Defense in depth: a v1 payload is one byte short for the v2
+        // decoder and errors out instead of mis-decoding.
+        let old_payload = &payload[..payload.len() - 1];
+        assert!(matches!(
+            decode_request(old_payload),
+            Err(DecodeError::Truncated)
+        ));
+
+        // And an out-of-range level is rejected, not clamped.
+        let mut bad = payload.clone();
+        *bad.last_mut().unwrap() = 9;
+        assert!(matches!(
+            decode_request(&bad),
+            Err(DecodeError::BadTag { what: "opt level", .. })
+        ));
     }
 
     #[test]

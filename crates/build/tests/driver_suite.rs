@@ -346,6 +346,86 @@ fn parallel_and_serial_builds_agree_cold_and_warm() {
 }
 
 #[test]
+fn opt_levels_isolate_cache_keys_and_stay_deterministic() {
+    // The optimizer runs per-unit after lowering, so optimized artifacts
+    // must live under a different cache key than `-O0` ones, warm loads
+    // must replay the optimized bytes exactly, and `-j1`/`-j8` must agree
+    // byte-for-byte at `-O2` just as they do unoptimized.
+    let src = format!(
+        "{DELAY_EXT}
+         comp Stage[W]<G: 1>(@[G, G+1] x: W) -> (@[G+1, G+2] o: W) {{
+           d := new Delay[W]<G>(x);
+           o = d.out;
+         }}
+         comp Main<G: 1>(@[G, G+1] x: 8) -> (@[G+2, G+3] o: 8) {{
+           a := new Stage[8]<G>(x);
+           b := new Stage[8]<G+1>(a.o);
+           o = b.o;
+         }}"
+    );
+    let p = parse(&src);
+    let cache = temp_cache("optlevel");
+    let at = |jobs: usize, level: u8| BuildOptions {
+        opt_level: level,
+        ..opts(jobs, Some(&cache))
+    };
+
+    let plain = build_program(&p, &TestRegistry, &at(1, 0)).unwrap();
+    assert_eq!(plain.stats.cache_stores, 2);
+    assert_eq!(plain.stats.opt.level, 0, "-O0 never runs the optimizer");
+    assert_eq!(plain.stats.opt.cells_before, 0);
+    let plain_v = calyx_lite::emit_program(plain.lowered.as_ref().unwrap());
+
+    // -O2 into the same directory: every unit misses (salted key) and
+    // stores its *optimized* form alongside the -O0 artifacts.
+    let cold2 = build_program(&p, &TestRegistry, &at(1, 2)).unwrap();
+    assert_eq!(cold2.stats.cache_loads, 0, "-O2 must not reuse -O0 artifacts");
+    assert_eq!(cold2.stats.cache_stores, 2);
+    assert_eq!(cold2.stats.opt.level, 2);
+    assert!(cold2.stats.opt.cells_before >= cold2.stats.opt.cells_after);
+    assert!(cold2.stats.opt.iterations >= 1);
+    let cold2_v = calyx_lite::emit_program(cold2.lowered.as_ref().unwrap());
+
+    // Warm -O2 replays the stored optimized bytes without re-optimizing.
+    let warm2 = build_program(&p, &TestRegistry, &at(1, 2)).unwrap();
+    assert_eq!(warm2.stats.cache_loads, 2);
+    assert_eq!(warm2.stats.opt.cells_before, 0, "warm load skips the optimizer");
+    assert_eq!(
+        calyx_lite::emit_program(warm2.lowered.as_ref().unwrap()),
+        cold2_v,
+        "warm -O2 Verilog differs from cold"
+    );
+
+    // -O0 artifacts are still intact and still produce the old bytes.
+    let warm0 = build_program(&p, &TestRegistry, &at(1, 0)).unwrap();
+    assert_eq!(warm0.stats.cache_loads, 2, "-O2 builds must not clobber -O0 keys");
+    assert_eq!(
+        calyx_lite::emit_program(warm0.lowered.as_ref().unwrap()),
+        plain_v
+    );
+
+    // Parallel -O2 from a fresh cache agrees byte-for-byte.
+    let cache8 = temp_cache("optlevel-j8");
+    let cold8 = build_program(
+        &p,
+        &TestRegistry,
+        &BuildOptions {
+            opt_level: 2,
+            ..opts(8, Some(&cache8))
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        calyx_lite::emit_program(cold8.lowered.as_ref().unwrap()),
+        cold2_v,
+        "-j8 -O2 Verilog diverged from -j1"
+    );
+    assert_eq!(cold8.stats.opt.rewrites(), cold2.stats.opt.rewrites());
+    let _ = std::fs::remove_dir_all(&cache);
+    let _ = std::fs::remove_dir_all(&cache8);
+}
+
+#[test]
 fn expand_mode_artifacts_upgrade_to_full_builds() {
     // An expand-only session populates the cache without lowered halves; a
     // later full build must treat those as misses and overwrite them.

@@ -22,7 +22,9 @@ fn frame_bytes(payload: &[u8]) -> Vec<u8> {
 }
 
 /// A randomized but well-formed [`BuildRequest`] (the trace sink never
-/// crosses the wire, so it stays `None`).
+/// crosses the wire, so it stays `None`). One parameter per fuzzed wire
+/// field, so the arg count tracks the encoding.
+#[allow(clippy::too_many_arguments)]
 fn request_from(
     source: String,
     jobs: u32,
@@ -31,6 +33,7 @@ fn request_from(
     salt: String,
     flags: u8,
     netlist: Option<String>,
+    opt_level: u8,
 ) -> BuildRequest {
     BuildRequest {
         source,
@@ -43,6 +46,7 @@ fn request_from(
         want_lowered: flags & 4 != 0,
         want_verilog: flags & 8 != 0,
         want_netlist: netlist,
+        opt_level,
         trace: None,
     }
 }
@@ -142,6 +146,7 @@ proptest! {
         salt in prop::sample::select(vec!["", "std", "fuzz-salt"]),
         flags in 0u8..16,
         netlist in prop::sample::select(vec![None, Some("Main"), Some("FzTop")]),
+        opt_level in 0u8..=2,
     ) {
         let req = request_from(
             source,
@@ -151,6 +156,7 @@ proptest! {
             salt.to_owned(),
             flags,
             netlist.map(str::to_owned),
+            opt_level,
         );
         let mut bytes = Vec::new();
         encode_request(&req, &mut bytes);
@@ -166,6 +172,7 @@ proptest! {
         prop_assert_eq!(back.want_lowered, req.want_lowered);
         prop_assert_eq!(back.want_verilog, req.want_verilog);
         prop_assert_eq!(&back.want_netlist, &req.want_netlist);
+        prop_assert_eq!(back.opt_level, req.opt_level);
         prop_assert_eq!(request_key(&back), request_key(&req));
     }
 

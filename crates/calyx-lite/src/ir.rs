@@ -151,7 +151,7 @@ pub struct Cell {
 
 /// A reference to a port: either `cell.port` or a port of the enclosing
 /// component (`cell == None`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortRef {
     /// The owning cell, or `None` for the enclosing component's ports.
     pub cell: Option<String>,
@@ -187,7 +187,7 @@ impl fmt::Display for PortRef {
 }
 
 /// The right-hand side of an assignment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Src {
     /// Another port.
     Port(PortRef),
@@ -369,6 +369,16 @@ impl Program {
     /// All components in insertion order.
     pub fn components(&self) -> &[Component] {
         &self.components
+    }
+
+    /// Mutable access to every component, in insertion order.
+    ///
+    /// A slice (not `&mut Vec`) so callers can rewrite component *bodies*
+    /// (what the optimizer does) but cannot add, remove, or reorder
+    /// definitions, which would desynchronize the name index. Renaming a
+    /// component through this handle would too — don't.
+    pub fn components_mut(&mut self) -> &mut [Component] {
+        &mut self.components
     }
 
     /// Flattens the hierarchy rooted at `top` into a simulatable netlist.

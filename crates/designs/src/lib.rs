@@ -17,7 +17,10 @@
 //!   output width is a *derived* parameter the caller reads back (`e.W`),
 //! * [`fp_add`] — Appendix B.1's IEEE-754 single-precision adder:
 //!   combinational, 5-stage pipelined, and the stage-crossing bug that the
-//!   type checker catches.
+//!   type checker catches,
+//! * [`wsum`] — naively-generated weighted-sum kernels (zero/unit/shift
+//!   coefficients, duplicated neighbour products, padded boundaries): the
+//!   corpus `fil-opt` is measured against.
 
 pub mod alu;
 pub mod conv2d;
@@ -26,6 +29,7 @@ pub mod encoder;
 pub mod fp_add;
 pub mod shift;
 pub mod systolic;
+pub mod wsum;
 
 use fil_build::BuildRequest;
 use fil_harness::InterfaceSpec;

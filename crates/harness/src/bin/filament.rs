@@ -12,8 +12,8 @@
 //! filament expand --stats <file.fil>          # elaboration statistics as JSON
 //! filament interface <file.fil> <component>
 //! filament compile <file.fil> <component>     # emits Verilog on stdout
-//! filament build <file.fil> [--cache-dir D] [--cache-limit S] [--jobs N] [--stats]
-//! filament sim <file.fil> <component> [--cycles N] [--vcd F] [--profile]
+//! filament build <file.fil> [--cache-dir D] [--cache-limit S] [--jobs N] [-O N] [--stats]
+//! filament sim <file.fil> <component> [--cycles N] [--vcd F] [--profile] [-O N]
 //! filament fmt <file.fil>
 //! filament serve --socket PATH [--jobs N] [--cache-dir D] [--timeout SECS]
 //! filament serve --stop --socket PATH
@@ -91,6 +91,11 @@ fn usage() -> ExitCode {
                     --trace FILE         write a Chrome trace_event JSON\n\
                     timeline of the compile phases (open in Perfetto)\n\
                     --trace-summary      print per-phase wall times to stderr\n\
+         options (build/sim): -O LEVEL / --opt-level LEVEL   netlist\n\
+                    optimizer: 0 = off (byte-stable legacy output), 1 =\n\
+                    const-fold + strength + forward + dead-cell, 2 = 1 +\n\
+                    CSE. build defaults to 0, sim to 1; -O0/-O1/-O2 are\n\
+                    accepted shorthands\n\
          options (expand/build): --stats\n\
          options (build): --remote PATH       build on the daemon at PATH,\n\
                     falling back to a local build if it is unreachable\n\
@@ -117,6 +122,11 @@ fn usage() -> ExitCode {
 /// `phase_us` is per-phase wall time in microseconds, summed across
 /// workers.
 fn stats_json(stats: &fil_build::BuildStats) -> String {
+    let pass_pairs: Vec<String> = fil_build::fil_opt::PASSES
+        .iter()
+        .zip(&stats.opt.pass_rewrites)
+        .map(|(pass, n)| format!("\"{pass}\": {n}"))
+        .collect();
     format!(
         "{{\n  \"components_monomorphized\": {},\n  \"cache_hits\": {},\n  \
          \"loops_unrolled\": {},\n  \"ifs_resolved\": {},\n  \
@@ -126,8 +136,11 @@ fn stats_json(stats: &fil_build::BuildStats) -> String {
          \"units_lowered\": {},\n  \"session_cache_loads\": {},\n  \
          \"session_cache_misses\": {},\n  \"session_cache_stores\": {},\n  \
          \"session_cache_evictions\": {},\n  \
+         \"opt_level\": {},\n  \"opt_iterations\": {},\n  \
+         \"opt_cells_before\": {},\n  \"opt_cells_after\": {},\n  \
+         \"opt_pass_rewrites\": {{{}}},\n  \
          \"phase_us\": {{\"parse\": {}, \"cache_load\": {}, \"expand\": {}, \
-         \"check\": {}, \"lower\": {}, \"merge\": {}}}\n}}",
+         \"check\": {}, \"lower\": {}, \"opt\": {}, \"merge\": {}}}\n}}",
         stats.mono.cache_misses,
         stats.mono.cache_hits,
         stats.mono.loops_unrolled,
@@ -143,11 +156,17 @@ fn stats_json(stats: &fil_build::BuildStats) -> String {
         stats.cache_misses,
         stats.cache_stores,
         stats.session_cache_evictions,
+        stats.opt.level,
+        stats.opt.iterations,
+        stats.opt.cells_before,
+        stats.opt.cells_after,
+        pass_pairs.join(", "),
         stats.phase.parse_us,
         stats.phase.cache_load_us,
         stats.phase.expand_us,
         stats.phase.check_us,
         stats.phase.lower_us,
+        stats.phase.opt_us,
         stats.phase.merge_us,
     )
 }
@@ -185,6 +204,9 @@ struct Flags {
     profile: bool,
     /// `sim --cycles N`.
     cycles: u64,
+    /// `-O N` / `--opt-level N`: netlist optimizer level. `None` takes
+    /// the command default (0 for `build`, 1 for `sim`).
+    opt_level: Option<u8>,
     /// `serve --socket PATH`: the daemon's unix socket.
     socket: Option<String>,
     /// `serve --timeout SECS`: idle shutdown.
@@ -214,9 +236,14 @@ struct Flags {
 impl Flags {
     /// The [`fil_build::BuildRequest`] for `source` carrying this
     /// invocation's resource flags (wanted outputs are the caller's
-    /// business).
-    fn request(&self, source: String) -> fil_build::BuildRequest {
-        let mut req = fil_build::BuildRequest::new(source).jobs(self.opts.jobs);
+    /// business). `default_opt` is the command's optimizer default when
+    /// no `-O`/`--opt-level` was given: 0 for `build` (byte-stable
+    /// legacy Verilog), 1 for `sim` (the netlist only feeds the
+    /// simulator, so optimizing is pure win).
+    fn request(&self, source: String, default_opt: u8) -> fil_build::BuildRequest {
+        let mut req = fil_build::BuildRequest::new(source)
+            .jobs(self.opts.jobs)
+            .opt_level(self.opt_level.unwrap_or(default_opt));
         req.cache_dir = self.opts.cache_dir.clone();
         req.cache_limit = self.opts.cache_limit;
         req.trace = self.opts.trace.clone();
@@ -235,6 +262,7 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
         vcd: None,
         profile: false,
         cycles: 64,
+        opt_level: None,
         socket: None,
         timeout: None,
         stop: false,
@@ -276,6 +304,20 @@ fn parse_flags(args: &mut Vec<String>) -> Result<Flags, String> {
                 flags.vcd = Some(v);
             }
             "--profile" => flags.profile = true,
+            "-O" | "--opt-level" => {
+                let v = it.next().ok_or("--opt-level needs 0, 1, or 2")?;
+                let n: u8 = v
+                    .parse()
+                    .map_err(|_| format!("--opt-level: bad level {v:?}"))?;
+                if n > 2 {
+                    return Err(format!("--opt-level: bad level {n} (max 2)"));
+                }
+                flags.opt_level = Some(n);
+            }
+            // gcc-style attached shorthands.
+            "-O0" => flags.opt_level = Some(0),
+            "-O1" => flags.opt_level = Some(1),
+            "-O2" => flags.opt_level = Some(2),
             "--cycles" => {
                 let v = it.next().ok_or("--cycles needs a number")?;
                 flags.cycles = v
@@ -349,7 +391,7 @@ fn run_sim(file: &str, comp: &str, flags: &Flags) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let out = match fil_stdlib::build(&flags.request(src).netlist(comp)) {
+    let out = match fil_stdlib::build(&flags.request(src, 1).netlist(comp)) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("error: {e}");
@@ -459,6 +501,20 @@ fn run_sim(file: &str, comp: &str, flags: &Flags) -> ExitCode {
         flags.cycles.div_ceil(delay),
         delay
     );
+    let level = flags.opt_level.unwrap_or(1);
+    if out.stats.opt.cells_before > 0 {
+        eprintln!(
+            "netlist: {} cells at -O{level} (optimizer: {} -> {} cells, {} rewrites)",
+            netlist.cells().len(),
+            out.stats.opt.cells_before,
+            out.stats.opt.cells_after,
+            out.stats.opt.rewrites(),
+        );
+    } else {
+        // -O0, or every unit replayed from the artifact cache (already
+        // stored in optimized form).
+        eprintln!("netlist: {} cells at -O{level}", netlist.cells().len());
+    }
     if flags.profile {
         if let Some(report) = sim.profile() {
             print!("{}", report.render());
@@ -657,17 +713,30 @@ fn run_fuzz_cmd(flags: &Flags) -> ExitCode {
     }
 
     if flags.selftest {
-        return match fuzz::run::mutation_selftest(&cfg) {
+        match fuzz::run::mutation_selftest(&cfg) {
             Ok(r) => {
                 println!(
                     "selftest ok: injected Add bug caught at case {} (seed {}), \
                      shrunk {} -> {} bytes",
                     r.case, r.seed, r.original_bytes, r.shrunk_bytes
                 );
-                ExitCode::SUCCESS
             }
             Err(e) => {
                 eprintln!("selftest FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return match fuzz::run::opt_fold_selftest(&cfg) {
+            Ok(r) => {
+                println!(
+                    "selftest ok: injected bad fold caught at case {} (seed {}), \
+                     shrunk {} -> {} bytes",
+                    r.case, r.seed, r.original_bytes, r.shrunk_bytes
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("opt selftest FAILED: {e}");
                 ExitCode::FAILURE
             }
         };
@@ -757,7 +826,7 @@ fn run(cmd: &str, file: &str, args: &[String], flags: &Flags) -> ExitCode {
             }
         };
         if cmd == "expand" {
-            return match fil_stdlib::build(&flags.request(src)) {
+            return match fil_stdlib::build(&flags.request(src, 0)) {
                 Ok(out) => {
                     if flags.want_stats {
                         println!("{}", stats_json(&out.stats));
@@ -776,7 +845,8 @@ fn run(cmd: &str, file: &str, args: &[String], flags: &Flags) -> ExitCode {
             };
         }
         // Verilog/stats only: skip materializing the expanded program.
-        let req = flags.request(src).expanded(false).verilog();
+        // `build` defaults to -O0: the golden corpus pins its bytes.
+        let req = flags.request(src, 0).expanded(false).verilog();
         if let Some(sock) = &flags.remote {
             if let Some(code) = try_remote_build(sock, &req, flags.want_stats) {
                 return code;
@@ -887,7 +957,12 @@ fn main() -> ExitCode {
         }
     };
     if args.first().map(String::as_str) == Some("fuzz") {
-        if args.len() > 1 || flags.want_stats || flags.trace.is_some() || flags.vcd.is_some() {
+        if args.len() > 1
+            || flags.want_stats
+            || flags.trace.is_some()
+            || flags.vcd.is_some()
+            || flags.opt_level.is_some()
+        {
             eprintln!(
                 "error: fuzz takes only --seed/--cases/--txns/--replay/--selftest\
                  /--out-dir/--cache-every/--daemon-every"
@@ -918,6 +993,7 @@ fn main() -> ExitCode {
             || flags.vcd.is_some()
             || flags.profile
             || flags.remote.is_some()
+            || flags.opt_level.is_some()
             || args.len() > 1
         {
             eprintln!("error: serve takes only --socket/--jobs/--cache-dir/--cache-limit/--timeout/--stop");
@@ -950,6 +1026,10 @@ fn main() -> ExitCode {
     }
     if (flags.vcd.is_some() || flags.profile) && cmd != "sim" {
         eprintln!("error: --vcd/--profile are only meaningful with `filament sim`");
+        return usage();
+    }
+    if flags.opt_level.is_some() && cmd != "build" && cmd != "sim" {
+        eprintln!("error: -O/--opt-level is only meaningful with `filament build` or `filament sim`");
         return usage();
     }
     if flags.remote.is_some() && cmd != "build" {

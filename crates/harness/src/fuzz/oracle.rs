@@ -15,7 +15,10 @@
 //! 6. **interp** — the reference interpreter and interval-exact `Sim`
 //!    transactions agree on random inputs,
 //! 7. **batch** — `BatchSim` lanes reproduce the scalar results,
-//! 8. **sharded** — a settle-sharded `Sim` reproduces the scalar results.
+//! 8. **sharded** — a settle-sharded `Sim` reproduces the scalar results,
+//! 9. **opt** — the `-O2`-optimized netlist reproduces the `-O0` lockstep
+//!    results through `Sim` and `BatchSim`, and a full driver `-O2` build
+//!    is `-j1`/`-j2` byte-identical and agrees with them too.
 //!
 //! Failures carry the [`Stage`] they occurred at; the shrinker accepts a
 //! reduction only if it still fails at the *same* stage, so a candidate
@@ -55,6 +58,8 @@ pub enum Stage {
     Batch,
     /// Settle-sharded `Sim` vs sequential results.
     Sharded,
+    /// `-O2`-optimized netlist vs the `-O0` lockstep results.
+    Opt,
 }
 
 impl fmt::Display for Stage {
@@ -69,6 +74,7 @@ impl fmt::Display for Stage {
             Stage::Interp => "interp-lockstep",
             Stage::Batch => "batch-sim",
             Stage::Sharded => "sharded-settle",
+            Stage::Opt => "opt-lockstep",
         })
     }
 }
@@ -120,6 +126,12 @@ pub struct OracleOptions {
     /// Replace one extern's interpreter semantics (mutation testing: an
     /// injected bug here must surface as an [`Stage::Interp`] failure).
     pub tweak: Option<(String, ExternFn)>,
+    /// Run the local `-O2` pass with [`fil_build::fil_opt`]'s deliberately
+    /// unsound fold enabled (mutation testing: the injected bug must
+    /// surface as a [`Stage::Opt`] failure). The driver-build half of the
+    /// opt stage is skipped while injecting — the injection is a local
+    /// config knob the driver never sees.
+    pub inject_bad_fold: bool,
 }
 
 impl Default for OracleOptions {
@@ -132,6 +144,7 @@ impl Default for OracleOptions {
             shard_jobs: 3,
             lanes: 4,
             tweak: None,
+            inject_bad_fold: false,
         }
     }
 }
@@ -156,10 +169,12 @@ pub fn check_source(source: &str, seed: u64, opts: &OracleOptions) -> Result<(),
         return Err(fail(Stage::Fixpoint, format!("print∘parse not idempotent: {diff}")));
     }
 
-    // Stage 2: the reference build (-j1, everything on).
+    // Stage 2: the reference build (-j1, everything on; the lowered
+    // program feeds the opt stage).
     let req = BuildRequest::new(source)
         .netlist(&opts.top)
         .expanded(true)
+        .lowered()
         .verilog();
     let out = fil_stdlib::build(&req.clone().jobs(1)).map_err(|e| fail(Stage::Build, e.to_string()))?;
 
@@ -239,7 +254,7 @@ pub fn check_source(source: &str, seed: u64, opts: &OracleOptions) -> Result<(),
     }
 
     // Stage 7: BatchSim lanes vs the scalar results.
-    batch_check(&netlist, &spec, &inputs, &got, opts.lanes)?;
+    batch_check(&netlist, &spec, &inputs, &got, opts.lanes, Stage::Batch)?;
 
     // Stage 8: sharded settle vs the sequential results.
     let sharded = run_transactions_with(&netlist, &spec, &inputs, spec.delay, opts.shard_jobs)
@@ -255,20 +270,88 @@ pub fn check_source(source: &str, seed: u64, opts: &OracleOptions) -> Result<(),
         ));
     }
 
+    // Stage 9: -O2 vs -O0 lockstep. The -O0 netlist already produced
+    // `got`; a level-2 optimized netlist of the same lowered program must
+    // reproduce it exactly, scalar and batched.
+    let lowered = out.lowered.as_ref().expect("lowered was requested");
+    let mut optimized = lowered.clone();
+    let cfg = fil_build::fil_opt::OptConfig {
+        inject_bad_fold: opts.inject_bad_fold,
+        ..fil_build::fil_opt::OptConfig::level(2)
+    };
+    let report = fil_build::fil_opt::optimize_program(&mut optimized, &cfg);
+    let opt_netlist = optimized.elaborate(&opts.top).map_err(|e| {
+        fail(
+            Stage::Opt,
+            format!(
+                "optimized program fails to elaborate after {} rewrites: {e}",
+                report.rewrites()
+            ),
+        )
+    })?;
+    let opted = run_transactions(&opt_netlist, &spec, &inputs, spec.delay)
+        .map_err(|e| fail(Stage::Opt, format!("-O2 transaction driving failed: {e}")))?;
+    for (case, ((input, o), g)) in inputs.iter().zip(&opted).zip(&got).enumerate() {
+        if o != g {
+            let m = Mismatch {
+                component: spec.name.clone(),
+                seed,
+                case,
+                inputs: input.clone(),
+                got: o.clone(),
+                want: g.clone(),
+            };
+            return Err(fail(
+                Stage::Opt,
+                format!("-O2 diverges from -O0 ({} rewrites): {m}", report.rewrites()),
+            ));
+        }
+    }
+    batch_check(&opt_netlist, &spec, &inputs, &got, opts.lanes, Stage::Opt)?;
+
+    // The driver half: a full -O2 build (per-unit optimize, artifact
+    // encode/decode, merge renames, netlist cache) must be -j1/-j2
+    // byte-identical and agree with the -O0 lockstep results. Skipped
+    // while injecting: the unsound fold is a local config knob the
+    // driver never exposes.
+    if !opts.inject_bad_fold {
+        let oreq = req.opt_level(2);
+        let o1 = fil_stdlib::build(&oreq.clone().jobs(1))
+            .map_err(|e| fail(Stage::Opt, format!("-O2 -j1 build failed: {e}")))?;
+        let o2 = fil_stdlib::build(&oreq.jobs(2))
+            .map_err(|e| fail(Stage::Opt, format!("-O2 -j2 build failed: {e}")))?;
+        if o1.verilog != o2.verilog {
+            return Err(fail(Stage::Opt, "-O2 -j1 and -j2 Verilog differ"));
+        }
+        let driver_netlist = o1.netlist.expect("netlist was requested");
+        let driven = run_transactions(&driver_netlist, &spec, &inputs, spec.delay)
+            .map_err(|e| fail(Stage::Opt, format!("driver -O2 driving failed: {e}")))?;
+        if driven != got {
+            let case = got.iter().zip(&driven).position(|(a, b)| a != b);
+            return Err(fail(
+                Stage::Opt,
+                format!("driver -O2 netlist diverges from -O0 at case {case:?}"),
+            ));
+        }
+    }
+
     Ok(())
 }
 
 /// Drives every transaction through `BatchSim`, one transaction per lane
 /// (unpipelined — each lane starts its transaction at cycle 0), and
-/// demands bit-identical outputs to the scalar pipelined run.
+/// demands bit-identical outputs to the scalar pipelined run. Failures
+/// are tagged `stage` — [`Stage::Batch`] for the -O0 netlist,
+/// [`Stage::Opt`] when re-checking the optimized one.
 fn batch_check(
     netlist: &Netlist,
     spec: &InterfaceSpec,
     inputs: &[Vec<Value>],
     scalar: &[Vec<Value>],
     max_lanes: u32,
+    stage: Stage,
 ) -> Result<(), OracleFailure> {
-    let berr = |d: String| fail(Stage::Batch, d);
+    let berr = |d: String| fail(stage, d);
     let input_ids: Vec<_> = spec
         .inputs
         .iter()
@@ -385,6 +468,25 @@ mod tests {
 }";
         let err = check_source(src, 0, &OracleOptions::default()).unwrap_err();
         assert_eq!(err.stage, Stage::Build);
+    }
+
+    #[test]
+    fn injected_bad_fold_is_caught_at_opt_lockstep() {
+        // The unsound fold only fires on cells with a constant pin; a
+        // literal operand guarantees one.
+        let src = "comp FzTop<G: 1>(@interface[G] go: 1, @[G, G+1] x0: 8)
+    -> (@[G, G+1] o0: 8) {
+  n1 := new Add[8]<G>(x0, 9);
+  o0 = n1.out;
+}";
+        check_source(src, 3, &OracleOptions::default()).expect("healthy oracle passes");
+        let opts = OracleOptions {
+            inject_bad_fold: true,
+            ..OracleOptions::default()
+        };
+        let err = check_source(src, 3, &opts).unwrap_err();
+        assert_eq!(err.stage, Stage::Opt, "{err}");
+        assert!(err.detail.contains("-O2 diverges from -O0"), "{err}");
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub struct FuzzConfig {
     pub shrink_budget: usize,
     /// Interpreter extern override (mutation testing).
     pub tweak: Option<(String, ExternFn)>,
+    /// Enable the optimizer's deliberately unsound fold (mutation
+    /// testing; see [`OracleOptions::inject_bad_fold`]).
+    pub inject_bad_fold: bool,
     /// Where to write shrunk `.fil` repros (created on demand).
     pub out_dir: Option<PathBuf>,
 }
@@ -48,6 +51,7 @@ impl Default for FuzzConfig {
             daemon_every: 0,
             shrink_budget: 150,
             tweak: None,
+            inject_bad_fold: false,
             out_dir: None,
         }
     }
@@ -123,6 +127,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzStats, Box<FuzzFailure>> {
         let mut opts = OracleOptions {
             txns: cfg.txns,
             tweak: cfg.tweak.clone(),
+            inject_bad_fold: cfg.inject_bad_fold,
             ..OracleOptions::default()
         };
         let cache_case = cfg.cache_every > 0 && case % cfg.cache_every == 0;
@@ -288,6 +293,72 @@ pub fn mutation_selftest(cfg: &FuzzConfig) -> Result<Selftest, String> {
         other => {
             return Err(format!(
                 "shrunk repro does not replay the injected bug: {other:?}"
+            ))
+        }
+    }
+    // ...and pass the healthy one.
+    let healthy = OracleOptions {
+        txns: cfg.txns,
+        ..OracleOptions::default()
+    };
+    if let Err(e) = check_source(&failure.shrunk, failure.seed, &healthy) {
+        return Err(format!("shrunk repro fails the healthy oracle too: {e}"));
+    }
+    Ok(Selftest {
+        case: failure.case,
+        seed: failure.seed,
+        original_bytes: failure.source.len(),
+        shrunk_bytes: failure.shrunk.len(),
+        shrunk: failure.shrunk.clone(),
+    })
+}
+
+/// The optimizer-side mutation test: runs a campaign with the
+/// deliberately unsound constant fold enabled
+/// ([`FuzzConfig::inject_bad_fold`]), demands a [`Stage::Opt`] lockstep
+/// failure, shrinks it, and verifies the shrunk repro still trips the
+/// injected fold while passing the healthy oracle — proving the
+/// `-O2`-vs-`-O0` stage would catch a real miscompiling pass.
+///
+/// # Errors
+///
+/// A description of whichever guarantee did not hold.
+pub fn opt_fold_selftest(cfg: &FuzzConfig) -> Result<Selftest, String> {
+    let cfg = FuzzConfig {
+        inject_bad_fold: true,
+        ..cfg.clone()
+    };
+    let failure = match run_fuzz(&cfg) {
+        Ok(stats) => {
+            return Err(format!(
+                "no generated program exposed the injected bad fold in {} cases \
+                 (the generator must emit literal operands for it to fire)",
+                stats.cases
+            ))
+        }
+        Err(f) => f,
+    };
+    if failure.failure.stage != Stage::Opt {
+        return Err(format!(
+            "injected optimizer bug surfaced at stage {} instead of {}",
+            failure.failure.stage,
+            Stage::Opt
+        ));
+    }
+    if failure.shrunk.len() > failure.source.len() {
+        return Err("shrinking grew the program".to_string());
+    }
+    // The shrunk repro must reproduce under the injecting oracle...
+    let broken = OracleOptions {
+        txns: cfg.txns,
+        inject_bad_fold: true,
+        ..OracleOptions::default()
+    };
+    match check_source(&failure.shrunk, failure.seed, &broken) {
+        Err(e) if e.stage == Stage::Opt => {}
+        other => {
+            return Err(format!(
+                "shrunk repro does not replay the injected fold: {other:?}"
             ))
         }
     }

@@ -11,13 +11,14 @@
 //!   replays clean, and the generator still reproduces it byte-identically
 //!   from the seed recorded in its header (generation is part of the
 //!   repo's determinism surface).
-//! * **Mutation test** — an injected interpreter bug (off-by-one `Add`)
+//! * **Mutation tests** — an injected interpreter bug (off-by-one `Add`)
 //!   must be *caught* at the lockstep stage and *shrunk* to a minimal
 //!   `.fil` repro that replays the bug under the broken oracle and passes
-//!   the healthy one.
+//!   the healthy one; likewise an injected unsound constant fold must be
+//!   caught at the `-O2`-vs-`-O0` opt-lockstep stage.
 
 use fil_harness::fuzz::oracle::{check_source, OracleOptions, Stage};
-use fil_harness::fuzz::run::mutation_selftest;
+use fil_harness::fuzz::run::{mutation_selftest, opt_fold_selftest};
 use fil_harness::fuzz::{gen, run_fuzz, FuzzConfig};
 use std::path::Path;
 
@@ -138,6 +139,28 @@ fn injected_bug_is_caught_and_shrunk() {
 }
 
 #[test]
+fn injected_bad_fold_is_caught_and_shrunk() {
+    let report = opt_fold_selftest(&FuzzConfig {
+        seed: CI_SEED,
+        cases: 50,
+        txns: 4,
+        ..FuzzConfig::default()
+    })
+    .expect("opt selftest");
+    assert!(
+        report.shrunk_bytes <= report.original_bytes,
+        "shrinking grew: {} -> {} bytes",
+        report.original_bytes,
+        report.shrunk_bytes
+    );
+    assert!(report.shrunk.contains("FzTop"), "{}", report.shrunk);
+    // Replaying the repro against the *healthy* oracle passes — the
+    // violation lived in the injected fold, not the real optimizer.
+    check_source(&report.shrunk, report.seed, &OracleOptions::default())
+        .expect("healthy oracle accepts the repro");
+}
+
+#[test]
 fn oracle_stages_are_ordered_and_reported() {
     // A parse error reports at the parse stage, not as a later panic.
     let err = check_source("comp ???", 0, &OracleOptions::default()).unwrap_err();
@@ -146,4 +169,5 @@ fn oracle_stages_are_ordered_and_reported() {
     // logs).
     assert_eq!(Stage::Interp.to_string(), "interp-lockstep");
     assert_eq!(Stage::Sharded.to_string(), "sharded-settle");
+    assert_eq!(Stage::Opt.to_string(), "opt-lockstep");
 }

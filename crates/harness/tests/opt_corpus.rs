@@ -1,0 +1,106 @@
+//! Corpus-wide optimizer gates.
+//!
+//! Two invariants over every design in [`fil_bench::design_corpus`]
+//! (which includes the systolic array at N = 2/4/8):
+//!
+//! 1. **Soundness** — the `-O2` build elaborates and its netlist
+//!    reproduces the `-O0` netlist's outputs in lockstep on random
+//!    stimulus (same harness the differential fuzzer uses).
+//! 2. **Effectiveness** — per-design `-O0`/`-O2` elaborated cell counts
+//!    are pinned in `tests/golden/opt_counts.txt` (so a pass silently
+//!    losing its wins — or suddenly deleting live logic — fails CI), and
+//!    at least two designs shed ≥ 25% of their cells at `-O2`.
+//!
+//! Regenerate the pin file after an intentional optimizer change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p fil-harness --test opt_corpus
+//! ```
+
+use fil_harness::fuzz::fuzz_equivalent;
+use fil_harness::InterfaceSpec;
+use fil_stdlib::BuildRequest;
+use std::path::PathBuf;
+
+const SEED: u64 = 0xC0FFEE;
+
+fn counts_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("opt_counts.txt")
+}
+
+fn update_mode() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+#[test]
+fn corpus_optimizes_soundly_and_cell_counts_are_pinned() {
+    let mut lines = vec![
+        "# design  cells@-O0  cells@-O2 — pinned by tests/opt_corpus.rs;".to_string(),
+        "# regenerate with UPDATE_GOLDEN=1 after intentional optimizer changes.".to_string(),
+    ];
+    let mut big_wins = Vec::new();
+    for (name, src, top) in fil_bench::design_corpus() {
+        let req = |level: u8| {
+            BuildRequest::new(src.as_str())
+                .netlist(top)
+                .expanded(true)
+                .opt_level(level)
+        };
+        // The Reticle registry is a superset of the standard one, so it
+        // serves every corpus entry (only conv2d-reticle needs Tdot).
+        let o0 = fil_stdlib::build_with_registry(&req(0), &reticle::ReticleRegistry)
+            .unwrap_or_else(|e| panic!("{name} -O0: {e}"));
+        let o2 = fil_stdlib::build_with_registry(&req(2), &reticle::ReticleRegistry)
+            .unwrap_or_else(|e| panic!("{name} -O2: {e}"));
+        let n0 = o0.netlist.expect("netlist was requested");
+        let n2 = o2.netlist.expect("netlist was requested");
+
+        // Soundness: the optimized netlist is lockstep-equivalent on
+        // random transactions.
+        let expanded = o0.expanded.expect("expanded was requested");
+        let sig = expanded
+            .sig(top)
+            .unwrap_or_else(|| panic!("{name}: expansion lost top {top}"));
+        let spec = InterfaceSpec::from_signature(sig)
+            .unwrap_or_else(|e| panic!("{name}: top not drivable: {e}"));
+        fuzz_equivalent((&n0, &spec), (&n2, &spec), 6, SEED)
+            .unwrap_or_else(|e| panic!("{name}: -O2 diverges from -O0: {e}"));
+
+        // Effectiveness: -O2 never grows the design, and the counts are
+        // pinned below.
+        let (c0, c2) = (n0.cells().len(), n2.cells().len());
+        assert!(c2 <= c0, "{name}: -O2 grew the netlist ({c0} -> {c2} cells)");
+        if c2 * 4 <= c0 * 3 {
+            big_wins.push(name.clone());
+        }
+        lines.push(format!("{name} {c0} {c2}"));
+    }
+    assert!(
+        big_wins.len() >= 2,
+        "-O2 sheds >= 25% of cells on only {} designs (need 2): {big_wins:?}",
+        big_wins.len()
+    );
+
+    let rendered = lines.join("\n") + "\n";
+    let path = counts_path();
+    if update_mode() {
+        std::fs::write(&path, rendered).expect("write opt_counts.txt");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing {} ({e}); run UPDATE_GOLDEN=1 cargo test -p fil-harness \
+             --test opt_corpus to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden,
+        rendered,
+        "optimized cell counts drifted from {}; run UPDATE_GOLDEN=1 if intentional",
+        path.display()
+    );
+}

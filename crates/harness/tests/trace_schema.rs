@@ -137,8 +137,14 @@ fn filament_build_trace_cli_roundtrip() {
         "\"expand\"",
         "\"check\"",
         "\"lower\"",
+        "\"opt\"",
         "\"merge\"",
         "\"session_cache_evictions\"",
+        "\"opt_level\"",
+        "\"opt_iterations\"",
+        "\"opt_cells_before\"",
+        "\"opt_cells_after\"",
+        "\"opt_pass_rewrites\"",
     ] {
         assert!(
             stats_line.contains(key),
@@ -149,6 +155,34 @@ fn filament_build_trace_cli_roundtrip() {
         !stats_line.contains("\"cache_evictions\""),
         "removed alias resurfaced: {stats_line}"
     );
+    // `build` defaults to -O0, so the stats report level 0 and the trace
+    // has no optimizer spans.
+    assert!(stats_line.contains("\"opt_level\": 0"), "{stats_line}");
+    assert_eq!(spans_named(&json, "opt:const-fold"), 0);
 
     let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+/// A cold `-O2` build leaves one span per optimizer pass per optimized
+/// unit, and the stats JSON carries the per-pass rewrite counters.
+#[test]
+fn opt_passes_leave_trace_spans() {
+    let src = fil_designs::systolic::source(4, 16);
+    let collector = Arc::new(fil_trace::Collector::new());
+    let req = BuildRequest::new(src)
+        .lowered()
+        .opt_level(2)
+        .trace(collector.clone());
+    let out = fil_stdlib::build(&req).expect("build failed");
+    let json = collector.chrome_json();
+    fil_trace::validate_chrome_trace(&json).expect("invalid Chrome trace");
+    assert!(out.stats.opt.cells_before > 0, "optimizer saw no cells");
+    let optimized_units = out.stats.lowered;
+    for pass in fil_build::fil_opt::PASSES {
+        assert_eq!(
+            spans_named(&json, &format!("opt:{pass}")),
+            optimized_units,
+            "one {pass} span per optimized unit"
+        );
+    }
 }

@@ -1,0 +1,936 @@
+//! `fil-opt`: the netlist optimization pipeline between `lower` and
+//! elaboration / Verilog emission.
+//!
+//! Lowered Calyx-lite components are simulated exactly as `lower` emits
+//! them: every `Mux` with a constant selector, every dead cone left behind
+//! by `if`-generate edge selection, and every subexpression duplicated
+//! across unrolled `for`-generate iterations costs real `eval_into` work on
+//! every settle. The paper's premise (timeline types make cross-module
+//! optimization *safe*) means these rewrites need no scheduling analysis:
+//! a Calyx-lite component is a pure dataflow graph, so structural rewrites
+//! that preserve per-cycle values preserve the program.
+//!
+//! Five passes, iterated to fixpoint per component:
+//!
+//! 1. **const-fold** — combinational cells whose inputs are all constants
+//!    (including undriven pins, which settle to zero) are evaluated at
+//!    compile time with the *simulator's own* [`CellKind::eval_into`], so
+//!    compile-time and run-time semantics cannot diverge.
+//! 2. **strength** — `MulComb` by a power-of-two constant becomes
+//!    [`CellKind::ShlConst`]; multiplication by 0/1, additive and bitwise
+//!    identities (`x+0`, `x&~0`, `x|0`, `x^0`, shifts by zero), and `Mux`
+//!    with a constant selector collapse to wires or constants.
+//! 3. **forward** — copy/wire forwarding: identity cells (full-width
+//!    `Slice`, width-preserving `ZeroExt`, `Shl`/`ShrConst` by 0) forward
+//!    their input driver to every reader. Guard-aware: when the driver is
+//!    guarded by FSM states `S` (the availability window Section 5.2
+//!    synthesizes), readers whose own guard states are a subset of `S`
+//!    still forward — they only sample the wire inside the window where it
+//!    equals the driver. This is the rewrite that strips the edge-entry
+//!    wires off scheduled designs like the systolic array.
+//! 4. **cse** — local common-subexpression elimination: structural
+//!    hash-consing merges cells of identical kind whose pins are driven by
+//!    structurally identical assignment sets (the big win across unrolled
+//!    generate iterations). Deterministic: the first cell in declaration
+//!    order is the representative.
+//! 5. **dce** — backward liveness from the component's output ports;
+//!    cells (including registers and whole subcomponent instances) whose
+//!    outputs are transitively unobservable are deleted.
+//!
+//! The pipeline assumes conflict-free designs (what the Filament checker
+//! guarantees, Section 3.4): merging or deleting cells also merges or
+//! deletes their *dynamic* write-conflict checks, so programs that would
+//! only fail at runtime via [`rtl_sim::SimError::WriteConflict`] are
+//! outside the contract.
+//!
+//! Surviving cells keep their names, so `--vcd` watches, `--profile`
+//! labels, and `describe_assign` conflict diagnostics keep pointing at the
+//! original design; everything removed or rewritten is recorded in the
+//! [`OptReport`] source map ([`RewriteNote`]) with its pre-optimization
+//! rendering.
+
+use calyx_lite::{primitive_ports, CellProto, Component, Guard, PortRef, Program, Src};
+use fil_bits::Value;
+use rtl_sim::CellKind;
+use std::collections::{BTreeSet, HashMap};
+
+/// Pass names, in pipeline order. Indexes [`OptReport::passes`].
+pub const PASSES: [&str; 5] = ["const-fold", "strength", "forward", "cse", "dce"];
+
+/// Optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct OptConfig {
+    /// 0 = off (the component is untouched), 1 = everything but CSE,
+    /// 2 = everything.
+    pub level: u8,
+    /// Fixpoint iteration cap per component (each iteration runs the whole
+    /// pipeline once; the loop stops early when an iteration changes
+    /// nothing).
+    pub max_iterations: usize,
+    /// Record a [`RewriteNote`] per rewrite. Builders that only consume the
+    /// counters turn this off.
+    pub record_notes: bool,
+    /// Mutation-testing hook: deliberately mis-fold cells with *some*
+    /// constant inputs as if they were fully constant (treating the
+    /// non-constant pins as zero). The fuzz oracle's `-O2`-vs-`-O0`
+    /// lockstep stage must catch this; never set outside selftests.
+    pub inject_bad_fold: bool,
+}
+
+impl OptConfig {
+    /// Configuration for a given `-O` level with defaults elsewhere.
+    pub fn level(level: u8) -> Self {
+        OptConfig {
+            level,
+            max_iterations: 10,
+            record_notes: true,
+            inject_bad_fold: false,
+        }
+    }
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig::level(1)
+    }
+}
+
+/// Per-pass counters, aggregated over iterations and components.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStat {
+    /// Individual rewrites applied (cells removed, sources forwarded,
+    /// guards simplified, kinds replaced).
+    pub rewrites: u64,
+    /// Wall time spent in the pass, microseconds.
+    pub us: u64,
+}
+
+/// One source-map entry: what a rewrite removed or replaced, rendered the
+/// way `describe_assign` renders the surviving netlist, so diagnostics on
+/// the optimized design can be traced back to pre-optimization constructs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewriteNote {
+    /// The enclosing component.
+    pub component: String,
+    /// The pass that applied the rewrite (one of [`PASSES`]).
+    pub pass: &'static str,
+    /// The construct as it read before the rewrite.
+    pub original: String,
+    /// What replaced it (a constant, a forwarded source, a representative
+    /// cell, or `"removed"`).
+    pub replacement: String,
+}
+
+impl std::fmt::Display for RewriteNote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {} => {}",
+            self.component, self.pass, self.original, self.replacement
+        )
+    }
+}
+
+/// The optimizer's report: before/after sizes, per-pass counters, and the
+/// source map. Reports from several components (or compile units) merge
+/// with [`OptReport::absorb`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptReport {
+    /// The level the pipeline ran at.
+    pub level: u8,
+    /// Pipeline iterations executed (summed over components).
+    pub iterations: u64,
+    /// Cells before optimization (summed over components).
+    pub cells_before: u64,
+    /// Cells after optimization.
+    pub cells_after: u64,
+    /// Assignments before optimization.
+    pub assigns_before: u64,
+    /// Assignments after optimization.
+    pub assigns_after: u64,
+    /// Per-pass counters, indexed like [`PASSES`].
+    pub passes: [PassStat; 5],
+    /// The source map (empty unless [`OptConfig::record_notes`]).
+    pub notes: Vec<RewriteNote>,
+}
+
+impl OptReport {
+    /// Total rewrites across all passes.
+    pub fn rewrites(&self) -> u64 {
+        self.passes.iter().map(|p| p.rewrites).sum()
+    }
+
+    /// Folds another report into this one (summing counters; notes are
+    /// concatenated).
+    pub fn absorb(&mut self, other: &OptReport) {
+        self.level = self.level.max(other.level);
+        self.iterations += other.iterations;
+        self.cells_before += other.cells_before;
+        self.cells_after += other.cells_after;
+        self.assigns_before += other.assigns_before;
+        self.assigns_after += other.assigns_after;
+        for (a, b) in self.passes.iter_mut().zip(&other.passes) {
+            a.rewrites += b.rewrites;
+            a.us += b.us;
+        }
+        self.notes.extend(other.notes.iter().cloned());
+    }
+
+    /// Source-map lookup: the pre-optimization renderings of every rewrite
+    /// that mentions `needle` (a cell or port name).
+    pub fn originals_of(&self, needle: &str) -> Vec<&RewriteNote> {
+        self.notes
+            .iter()
+            .filter(|n| n.original.contains(needle))
+            .collect()
+    }
+}
+
+/// Optimizes one component in place.
+pub fn optimize_component(c: &mut Component, cfg: &OptConfig) -> OptReport {
+    let mut report = OptReport {
+        level: cfg.level,
+        ..OptReport::default()
+    };
+    if cfg.level == 0 {
+        return report;
+    }
+    report.cells_before = c.cells.len() as u64;
+    report.assigns_before = c.assigns.len() as u64;
+    for _ in 0..cfg.max_iterations.max(1) {
+        report.iterations += 1;
+        let mut changed = 0;
+        changed += run_pass(c, cfg, &mut report, 0, const_fold);
+        changed += run_pass(c, cfg, &mut report, 1, strength);
+        changed += run_pass(c, cfg, &mut report, 2, forward);
+        if cfg.level >= 2 {
+            changed += run_pass(c, cfg, &mut report, 3, cse);
+        }
+        changed += run_pass(c, cfg, &mut report, 4, dce);
+        if changed == 0 {
+            break;
+        }
+    }
+    report.cells_after = c.cells.len() as u64;
+    report.assigns_after = c.assigns.len() as u64;
+    report
+}
+
+/// Optimizes every component of a program in place, returning the merged
+/// report. (The build driver instead optimizes per compile unit, before
+/// merging, so artifacts cache the optimized form; both routes apply the
+/// same per-component pipeline.)
+pub fn optimize_program(p: &mut Program, cfg: &OptConfig) -> OptReport {
+    let mut report = OptReport {
+        level: cfg.level,
+        ..OptReport::default()
+    };
+    for c in p.components_mut() {
+        report.absorb(&optimize_component(c, cfg));
+    }
+    report.level = cfg.level;
+    report
+}
+
+fn run_pass(
+    c: &mut Component,
+    cfg: &OptConfig,
+    report: &mut OptReport,
+    idx: usize,
+    pass: fn(&mut Component, &OptConfig, &mut Vec<RewriteNote>) -> u64,
+) -> u64 {
+    let start = std::time::Instant::now();
+    let mut notes = Vec::new();
+    let n = pass(c, cfg, &mut notes);
+    report.passes[idx].rewrites += n;
+    report.passes[idx].us += start.elapsed().as_micros() as u64;
+    if cfg.record_notes {
+        for mut note in notes {
+            note.component.clone_from(&c.name);
+            report.notes.push(note);
+        }
+    }
+    n
+}
+
+fn note(notes: &mut Vec<RewriteNote>, pass: &'static str, original: String, replacement: String) {
+    notes.push(RewriteNote {
+        component: String::new(), // filled by run_pass
+        pass,
+        original,
+        replacement,
+    });
+}
+
+/// Renders an assignment the way `rtl_sim::Netlist::describe_assign`
+/// renders its elaborated form: `dst = src` or `dst = g0 || g1 ? src`.
+fn describe(a: &calyx_lite::Assign) -> String {
+    let src = render_src(&a.src);
+    if a.guard.is_true() {
+        format!("{} = {}", a.dst, src)
+    } else {
+        format!("{} = {} ? {}", a.dst, a.guard, src)
+    }
+}
+
+fn render_src(s: &Src) -> String {
+    match s {
+        Src::Port(p) => p.to_string(),
+        Src::Const(v) => render_value(v),
+    }
+}
+
+/// Canonical constant rendering: `width'hHEX` from the raw limbs, so the
+/// text is deterministic and usable as a CSE key component.
+fn render_value(v: &Value) -> String {
+    let mut hex = String::new();
+    for limb in v.limbs().iter().rev() {
+        if hex.is_empty() {
+            hex = format!("{limb:x}");
+        } else {
+            hex.push_str(&format!("{limb:016x}"));
+        }
+    }
+    if hex.is_empty() {
+        hex.push('0');
+    }
+    format!("{}'h{}", v.width(), hex)
+}
+
+/// How a cell input pin is driven.
+enum PinState {
+    /// Constant: a single unguarded `Src::Const` driver, no driver at
+    /// all (undriven signals settle to zero), or a single *guarded*
+    /// constant-zero driver — inactive guards also read as zero, so a
+    /// guarded zero is zero on every cycle.
+    Const(Value),
+    /// A single unguarded port driver.
+    Wire(PortRef),
+    /// Anything else: guarded or multiple drivers.
+    Opaque,
+}
+
+/// Assign indices per destination port.
+fn driver_indices(c: &Component) -> HashMap<PortRef, Vec<usize>> {
+    let mut map: HashMap<PortRef, Vec<usize>> = HashMap::new();
+    for (i, a) in c.assigns.iter().enumerate() {
+        map.entry(a.dst.clone()).or_default().push(i);
+    }
+    map
+}
+
+fn pin_state(
+    c: &Component,
+    drivers: &HashMap<PortRef, Vec<usize>>,
+    cell: &str,
+    pin: &str,
+    width: u32,
+) -> PinState {
+    let pr = PortRef::cell(cell, pin);
+    match drivers.get(&pr).map(Vec::as_slice) {
+        None | Some([]) => PinState::Const(Value::zero(width)),
+        Some([i]) => {
+            let a = &c.assigns[*i];
+            if !a.guard.is_true() {
+                // `dst = g ? 0` is zero whether or not g is active.
+                return match &a.src {
+                    Src::Const(v) if v.is_zero() => PinState::Const(v.clone()),
+                    _ => PinState::Opaque,
+                };
+            }
+            match &a.src {
+                Src::Const(v) => PinState::Const(v.clone()),
+                Src::Port(p) => PinState::Wire(p.clone()),
+            }
+        }
+        Some(_) => PinState::Opaque,
+    }
+}
+
+impl PinState {
+    fn as_src(&self) -> Option<Src> {
+        match self {
+            PinState::Const(v) => Some(Src::Const(v.clone())),
+            PinState::Wire(p) => Some(Src::Port(p.clone())),
+            PinState::Opaque => None,
+        }
+    }
+}
+
+/// Removes `dead` cells and every assignment targeting their pins.
+/// Returns the number of removed constructs (cells + assigns).
+fn remove_cells(
+    c: &mut Component,
+    dead: &BTreeSet<String>,
+    pass: &'static str,
+    replacement: &dyn Fn(&str) -> String,
+    notes: &mut Vec<RewriteNote>,
+) -> u64 {
+    if dead.is_empty() {
+        return 0;
+    }
+    let mut removed = 0u64;
+    for cell in c.cells.iter().filter(|cell| dead.contains(&cell.name)) {
+        let original = match &cell.proto {
+            CellProto::Primitive(kind) => format!("cell {} ({})", cell.name, kind.label()),
+            CellProto::Component(sub) => format!("cell {} ({sub})", cell.name),
+        };
+        note(notes, pass, original, replacement(&cell.name));
+    }
+    c.cells.retain(|cell| {
+        let keep = !dead.contains(&cell.name);
+        removed += u64::from(!keep);
+        keep
+    });
+    c.assigns.retain(|a| {
+        let keep = !matches!(&a.dst.cell, Some(n) if dead.contains(n));
+        removed += u64::from(!keep);
+        keep
+    });
+    removed
+}
+
+/// Path-compresses forwarding chains built in a single sweep (`a → b.out`
+/// and `b.out → c` become `a → c`), so readers never land on a port of a
+/// cell that the same sweep removes. Keys on a wire cycle (a combinational
+/// loop of identity cells) are dropped from both `repl` and `dead`: such a
+/// design can't settle anyway, but the optimizer must not turn it into a
+/// netlist that doesn't even elaborate.
+fn compress_chains(repl: &mut HashMap<PortRef, Src>, dead: &mut BTreeSet<String>) {
+    let keys: Vec<PortRef> = repl.keys().cloned().collect();
+    let mut cyclic: Vec<PortRef> = Vec::new();
+    for k in keys {
+        let mut chain = vec![k.clone()];
+        let mut cur = repl[&k].clone();
+        while let Src::Port(p) = &cur {
+            if chain.contains(p) {
+                cyclic.append(&mut chain);
+                break;
+            }
+            let Some(next) = repl.get(p) else { break };
+            chain.push(p.clone());
+            cur = next.clone();
+        }
+        if !chain.is_empty() {
+            repl.insert(k, cur);
+        }
+    }
+    for k in cyclic {
+        if let Some(cell) = &k.cell {
+            dead.remove(cell);
+        }
+        repl.remove(&k);
+    }
+}
+
+/// Rewrites read sites per `repl` (keys are cell output ports): assignment
+/// sources are substituted, guard ports mapping to constants simplify the
+/// disjunction, and assignments whose guard becomes never-active are
+/// dropped. Returns the rewrite count.
+fn replace_reads(
+    c: &mut Component,
+    repl: &HashMap<PortRef, Src>,
+    pass: &'static str,
+    notes: &mut Vec<RewriteNote>,
+) -> u64 {
+    if repl.is_empty() {
+        return 0;
+    }
+    let mut n = 0u64;
+    let mut kept = Vec::with_capacity(c.assigns.len());
+    for mut a in std::mem::take(&mut c.assigns) {
+        let before = describe(&a);
+        let mut touched = false;
+        if let Src::Port(p) = &a.src {
+            if let Some(r) = repl.get(p) {
+                a.src = r.clone();
+                touched = true;
+            }
+        }
+        let mut never = false;
+        if let Guard::Any(ports) = &a.guard {
+            if !ports.is_empty() && ports.iter().any(|p| repl.contains_key(p)) {
+                let mut always = false;
+                let mut out = Vec::with_capacity(ports.len());
+                for p in ports {
+                    match repl.get(p) {
+                        Some(Src::Const(v)) => always |= !v.is_zero(),
+                        Some(Src::Port(q)) => out.push(q.clone()),
+                        None => out.push(p.clone()),
+                    }
+                }
+                touched = true;
+                if always {
+                    a.guard = Guard::True;
+                } else if out.is_empty() {
+                    // Every disjunct is a constant zero: the assignment
+                    // can never fire.
+                    never = true;
+                } else {
+                    a.guard = Guard::Any(out);
+                }
+            }
+        }
+        if touched {
+            n += 1;
+            let after = if never {
+                "removed (guard never active)".to_owned()
+            } else {
+                describe(&a)
+            };
+            note(notes, pass, before, after);
+        }
+        if !never {
+            kept.push(a);
+        }
+    }
+    c.assigns = kept;
+    n
+}
+
+/// Pass 1: constant folding and propagation.
+fn const_fold(c: &mut Component, cfg: &OptConfig, notes: &mut Vec<RewriteNote>) -> u64 {
+    let drivers = driver_indices(c);
+    let mut repl: HashMap<PortRef, Src> = HashMap::new();
+    let mut dead = BTreeSet::new();
+    let mut folded: HashMap<String, Value> = HashMap::new();
+    for cell in &c.cells {
+        let CellProto::Primitive(kind) = &cell.proto else {
+            continue;
+        };
+        if kind.is_sequential() || matches!(kind, CellKind::Const { .. }) {
+            continue;
+        }
+        let (pins, _) = primitive_ports(kind);
+        let mut vals = Vec::with_capacity(pins.len());
+        let mut all_const = true;
+        let mut any_const = false;
+        for (pin, width) in &pins {
+            match pin_state(c, &drivers, &cell.name, pin, *width) {
+                PinState::Const(v) => {
+                    any_const = true;
+                    vals.push(v);
+                }
+                _ => {
+                    all_const = false;
+                    // The injected bug is doubly unsound: it also takes a
+                    // *guarded* constant driver as if it were always
+                    // active (lowered data arguments are always guarded,
+                    // so the sound fold never fires on them — the
+                    // injected one must, or the selftest has nothing to
+                    // catch).
+                    let guarded_const = cfg.inject_bad_fold.then(|| {
+                        let target = PortRef::cell(cell.name.clone(), pin.clone());
+                        drivers.get(&target).and_then(|idxs| {
+                            idxs.iter().find_map(|&i| match &c.assigns[i].src {
+                                Src::Const(v) => Some(v.clone()),
+                                Src::Port(_) => None,
+                            })
+                        })
+                    });
+                    match guarded_const.flatten() {
+                        Some(v) => {
+                            any_const = true;
+                            vals.push(v);
+                        }
+                        None => vals.push(Value::zero(*width)),
+                    }
+                }
+            }
+        }
+        // The mutation-testing hook folds partially-constant cells as if
+        // the unknown pins were zero — exactly the kind of unsound fold the
+        // fuzz oracle's opt-lockstep stage exists to catch.
+        if !(all_const || (cfg.inject_bad_fold && any_const)) {
+            continue;
+        }
+        let state = kind.initial_state();
+        let mut outs: Vec<Value> = kind.output_widths().iter().map(|&w| Value::zero(w)).collect();
+        let ins: Vec<&Value> = vals.iter().collect();
+        kind.eval_into(&ins, &state, &mut outs);
+        let value = outs.swap_remove(0);
+        repl.insert(
+            PortRef::cell(cell.name.clone(), "out"),
+            Src::Const(value.clone()),
+        );
+        folded.insert(cell.name.clone(), value);
+        dead.insert(cell.name.clone());
+    }
+    let folded_desc = move |name: &str| {
+        format!(
+            "folded to {}",
+            folded.get(name).map(render_value).unwrap_or_default()
+        )
+    };
+    let mut n = remove_cells(c, &dead, PASSES[0], &folded_desc, notes);
+    n += replace_reads(c, &repl, PASSES[0], notes);
+    n
+}
+
+/// Pass 2: strength reduction.
+fn strength(c: &mut Component, _cfg: &OptConfig, notes: &mut Vec<RewriteNote>) -> u64 {
+    let drivers = driver_indices(c);
+    let mut repl: HashMap<PortRef, Src> = HashMap::new();
+    let mut dead = BTreeSet::new();
+    let mut forwarded: HashMap<String, String> = HashMap::new();
+    // Mult-by-2^k plans: (cell index, shift amount, surviving pin name).
+    let mut shl_plans: Vec<(usize, u32, &'static str)> = Vec::new();
+
+    for (ci, cell) in c.cells.iter().enumerate() {
+        let CellProto::Primitive(kind) = &cell.proto else {
+            continue;
+        };
+        let pin = |p: &str, w: u32| pin_state(c, &drivers, &cell.name, p, w);
+        let out = || PortRef::cell(cell.name.clone(), "out");
+        // Forward `cell.out` readers to `src`; the cell dies.
+        let mut fwd = |src: Src, repl: &mut HashMap<PortRef, Src>,
+                       dead: &mut BTreeSet<String>| {
+            forwarded.insert(cell.name.clone(), render_src(&src));
+            repl.insert(out(), src);
+            dead.insert(cell.name.clone());
+        };
+        match *kind {
+            CellKind::MulComb { width } => {
+                let (l, r) = (pin("left", width), pin("right", width));
+                // Put the constant (if any) on `konst`, the other on `var`.
+                let (konst, var, var_pin) = match (&l, &r) {
+                    (PinState::Const(v), _) => (Some(v.clone()), r, "right"),
+                    (_, PinState::Const(v)) => (Some(v.clone()), l, "left"),
+                    _ => (None, PinState::Opaque, ""),
+                };
+                let Some(k) = konst else { continue };
+                if k.is_zero() {
+                    fwd(Src::Const(Value::zero(width)), &mut repl, &mut dead);
+                } else if k.limbs().iter().map(|l| l.count_ones()).sum::<u32>() == 1 {
+                    let amount = k.significant_bits() - 1;
+                    if amount == 0 {
+                        // Multiplication by one: a wire, when the other
+                        // pin is forwardable.
+                        if let Some(src) = var.as_src() {
+                            fwd(src, &mut repl, &mut dead);
+                        }
+                    } else {
+                        let sp: &'static str = if var_pin == "left" { "left" } else { "right" };
+                        shl_plans.push((ci, amount, sp));
+                    }
+                }
+            }
+            CellKind::Add { width } => {
+                match (pin("left", width), pin("right", width)) {
+                    (PinState::Const(v), other) | (other, PinState::Const(v))
+                        if v.is_zero() =>
+                    {
+                        if let Some(src) = other.as_src() {
+                            fwd(src, &mut repl, &mut dead);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            CellKind::Or { width } | CellKind::Xor { width } => {
+                match (pin("left", width), pin("right", width)) {
+                    (PinState::Const(v), other) | (other, PinState::Const(v))
+                        if v.is_zero() =>
+                    {
+                        if let Some(src) = other.as_src() {
+                            fwd(src, &mut repl, &mut dead);
+                        }
+                    }
+                    (PinState::Const(v), _) | (_, PinState::Const(v))
+                        if v == Value::ones(width) && matches!(kind, CellKind::Or { .. }) =>
+                    {
+                        fwd(Src::Const(Value::ones(width)), &mut repl, &mut dead);
+                    }
+                    _ => {}
+                }
+            }
+            CellKind::And { width } => match (pin("left", width), pin("right", width)) {
+                (PinState::Const(v), _) | (_, PinState::Const(v)) if v.is_zero() => {
+                    fwd(Src::Const(Value::zero(width)), &mut repl, &mut dead);
+                }
+                (PinState::Const(v), other) | (other, PinState::Const(v))
+                    if v == Value::ones(width) =>
+                {
+                    if let Some(src) = other.as_src() {
+                        fwd(src, &mut repl, &mut dead);
+                    }
+                }
+                _ => {}
+            },
+            CellKind::Sub { width } => {
+                if let PinState::Const(v) = pin("right", width) {
+                    if v.is_zero() {
+                        if let Some(src) = pin("left", width).as_src() {
+                            fwd(src, &mut repl, &mut dead);
+                        }
+                    }
+                }
+            }
+            CellKind::ShlDyn { width } | CellKind::ShrDyn { width } => {
+                if let PinState::Const(v) = pin("right", width) {
+                    if v.is_zero() {
+                        if let Some(src) = pin("left", width).as_src() {
+                            fwd(src, &mut repl, &mut dead);
+                        }
+                    }
+                }
+            }
+            CellKind::Mux { width } => {
+                if let PinState::Const(sel) = pin("sel", 1) {
+                    let chosen = if sel.as_bool() { "in1" } else { "in0" };
+                    if let Some(src) = pin(chosen, width).as_src() {
+                        fwd(src, &mut repl, &mut dead);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut n = 0u64;
+    // Apply the Mult → ShlConst rewrites: swap the kind, retarget the
+    // surviving operand's assigns to the `in` pin, drop the constant pin's
+    // assigns.
+    for (ci, amount, keep_pin) in shl_plans {
+        let (name, width) = {
+            let cell = &c.cells[ci];
+            let CellProto::Primitive(CellKind::MulComb { width }) = cell.proto else {
+                continue;
+            };
+            (cell.name.clone(), width)
+        };
+        note(
+            notes,
+            PASSES[1],
+            format!("cell {name} (mul)"),
+            format!("shl by {amount}"),
+        );
+        c.cells[ci].proto = CellProto::Primitive(CellKind::ShlConst { width, amount });
+        c.assigns.retain_mut(|a| {
+            let Some(cn) = &a.dst.cell else { return true };
+            if cn != &name {
+                return true;
+            }
+            if a.dst.port == keep_pin {
+                a.dst.port = "in".to_owned();
+                true
+            } else {
+                false // The constant operand's driver.
+            }
+        });
+        n += 1;
+    }
+    compress_chains(&mut repl, &mut dead);
+    let fwd_desc = move |name: &str| {
+        format!(
+            "forwarded to {}",
+            forwarded.get(name).cloned().unwrap_or_default()
+        )
+    };
+    n += remove_cells(c, &dead, PASSES[1], &fwd_desc, notes);
+    n += replace_reads(c, &repl, PASSES[1], notes);
+    n
+}
+
+/// Pass 3: copy/wire forwarding of identity cells.
+fn forward(c: &mut Component, _cfg: &OptConfig, notes: &mut Vec<RewriteNote>) -> u64 {
+    let drivers = driver_indices(c);
+    let mut repl: HashMap<PortRef, Src> = HashMap::new();
+    let mut dead = BTreeSet::new();
+    let mut forwarded: HashMap<String, String> = HashMap::new();
+    // Guard-aware forwarding: `z.in = Any(S) ? src` makes `z.out` equal
+    // `src` exactly while some state in S is active. Keyed by `z.out`.
+    let mut windowed: HashMap<PortRef, (BTreeSet<PortRef>, Src)> = HashMap::new();
+    for cell in &c.cells {
+        let CellProto::Primitive(kind) = &cell.proto else {
+            continue;
+        };
+        let identity = match *kind {
+            CellKind::Slice { in_width, hi, lo } => hi == in_width - 1 && lo == 0,
+            CellKind::ZeroExt {
+                in_width,
+                out_width,
+            } => in_width == out_width,
+            CellKind::ShlConst { amount, .. } | CellKind::ShrConst { amount, .. } => amount == 0,
+            _ => false,
+        };
+        if !identity {
+            continue;
+        }
+        let width = kind.input_widths()[0];
+        if let Some(src) = pin_state(c, &drivers, &cell.name, "in", width).as_src() {
+            forwarded.insert(cell.name.clone(), render_src(&src));
+            repl.insert(PortRef::cell(cell.name.clone(), "out"), src);
+            dead.insert(cell.name.clone());
+            continue;
+        }
+        // The availability argument (Section 5.2): lowering guards every
+        // data assignment with its interval's FSM states, so a wire cell
+        // in a scheduled component has a guarded driver and the unguarded
+        // rule above never fires. Record the window instead.
+        let pr = PortRef::cell(cell.name.clone(), "in");
+        if let Some([i]) = drivers.get(&pr).map(Vec::as_slice) {
+            let a = &c.assigns[*i];
+            if let Guard::Any(states) = &a.guard {
+                let out = PortRef::cell(cell.name.clone(), "out");
+                if !states.is_empty() && a.src != Src::Port(out.clone()) {
+                    windowed.insert(out, (states.iter().cloned().collect(), a.src.clone()));
+                }
+            }
+        }
+    }
+    compress_chains(&mut repl, &mut dead);
+    let fwd_desc = move |name: &str| {
+        format!(
+            "forwarded to {}",
+            forwarded.get(name).cloned().unwrap_or_default()
+        )
+    };
+    let mut n = remove_cells(c, &dead, PASSES[2], &fwd_desc, notes);
+    n += replace_reads(c, &repl, PASSES[2], notes);
+    // A reader `dst = Any(R) ? z.out` with R ⊆ S only samples `z.out`
+    // inside the window where it equals `src`, so it can read `src`
+    // directly — interval containment makes the forwarding sound without
+    // any reachability analysis. The cell itself is left to dce, which
+    // collects it once the last read is gone.
+    for a in &mut c.assigns {
+        let Src::Port(p) = &a.src else { continue };
+        let Some((states, src)) = windowed.get(p) else {
+            continue;
+        };
+        let Guard::Any(reads) = &a.guard else { continue };
+        if reads.is_empty() || !reads.iter().all(|q| states.contains(q)) {
+            continue;
+        }
+        let before = describe(a);
+        a.src = src.clone();
+        n += 1;
+        note(notes, PASSES[2], before, describe(a));
+    }
+    n
+}
+
+/// Pass 4: local CSE by structural hash-consing.
+fn cse(c: &mut Component, _cfg: &OptConfig, notes: &mut Vec<RewriteNote>) -> u64 {
+    use std::collections::BTreeMap;
+    // Canonical driver text per (cell, pin), in assignment order.
+    let mut pins: HashMap<&str, BTreeMap<&str, Vec<String>>> = HashMap::new();
+    for a in &c.assigns {
+        if let Some(cell) = &a.dst.cell {
+            pins.entry(cell.as_str())
+                .or_default()
+                .entry(a.dst.port.as_str())
+                .or_default()
+                .push(describe_rhs(a));
+        }
+    }
+    let mut seen: HashMap<String, &str> = HashMap::new();
+    let mut rename: HashMap<String, String> = HashMap::new();
+    for cell in &c.cells {
+        let proto = match &cell.proto {
+            CellProto::Primitive(kind) => format!("prim {kind:?}"),
+            CellProto::Component(name) => format!("comp {name}"),
+        };
+        let mut key = proto;
+        if let Some(m) = pins.get(cell.name.as_str()) {
+            for (pin, ds) in m {
+                key.push_str(&format!(" |{pin}<-{}", ds.join(";")));
+            }
+        }
+        match seen.get(key.as_str()) {
+            Some(rep) => {
+                note(
+                    notes,
+                    PASSES[3],
+                    format!("cell {}", cell.name),
+                    format!("merged into {rep}"),
+                );
+                rename.insert(cell.name.clone(), (*rep).to_owned());
+            }
+            None => {
+                seen.insert(key, cell.name.as_str());
+            }
+        }
+    }
+    if rename.is_empty() {
+        return 0;
+    }
+    let dead: BTreeSet<String> = rename.keys().cloned().collect();
+    let mut n = 0u64;
+    c.cells.retain(|cell| !dead.contains(&cell.name));
+    c.assigns
+        .retain(|a| !matches!(&a.dst.cell, Some(cn) if dead.contains(cn)));
+    let fix = |p: &mut PortRef, n: &mut u64| {
+        if let Some(cn) = &p.cell {
+            if let Some(rep) = rename.get(cn) {
+                p.cell = Some(rep.clone());
+                *n += 1;
+            }
+        }
+    };
+    for a in &mut c.assigns {
+        if let Src::Port(p) = &mut a.src {
+            fix(p, &mut n);
+        }
+        if let Guard::Any(ports) = &mut a.guard {
+            for p in ports {
+                fix(p, &mut n);
+            }
+        }
+    }
+    n + dead.len() as u64
+}
+
+/// The right-hand side of an assignment (guard + source), canonically
+/// rendered for CSE keys.
+fn describe_rhs(a: &calyx_lite::Assign) -> String {
+    let src = render_src(&a.src);
+    if a.guard.is_true() {
+        src
+    } else {
+        format!("{} ? {}", a.guard, src)
+    }
+}
+
+/// Pass 5: dead-cell elimination by backward liveness from output ports.
+fn dce(c: &mut Component, _cfg: &OptConfig, notes: &mut Vec<RewriteNote>) -> u64 {
+    let mut live: BTreeSet<&str> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for a in &c.assigns {
+            let dst_live = match &a.dst.cell {
+                None => true, // Component outputs are the liveness roots.
+                Some(cell) => live.contains(cell.as_str()),
+            };
+            if !dst_live {
+                continue;
+            }
+            if let Src::Port(p) = &a.src {
+                if let Some(cell) = &p.cell {
+                    changed |= live.insert(cell.as_str());
+                }
+            }
+            if let Guard::Any(ports) = &a.guard {
+                for p in ports {
+                    if let Some(cell) = &p.cell {
+                        changed |= live.insert(cell.as_str());
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let dead: BTreeSet<String> = c
+        .cells
+        .iter()
+        .filter(|cell| !live.contains(cell.name.as_str()))
+        .map(|cell| cell.name.clone())
+        .collect();
+    drop(live);
+    remove_cells(c, &dead, PASSES[4], &|_| "removed (dead)".to_owned(), notes)
+}
+
+#[cfg(test)]
+mod tests;

@@ -310,7 +310,7 @@ fn run_request(
     if let Some(lowered) = out.lowered {
         if let Some(top) = &req.want_netlist {
             let (netlist, from_cache) = netlist_cache()
-                .get_or_elaborate(&lowered, top)
+                .get_or_elaborate(&lowered, top, req.opt_level)
                 .map_err(|e| LoadError::Driver(e.to_string()))?;
             output.netlist = Some(netlist);
             output.netlist_from_cache = from_cache;

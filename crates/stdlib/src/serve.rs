@@ -570,6 +570,47 @@ mod tests {
     }
 
     #[test]
+    fn opt_levels_never_share_a_memo_entry() {
+        // Regression guard for new request fields: two requests that
+        // differ *only* in `opt_level` must key to different single-flight
+        // entries, or an -O0 client could be served -O2 bytes (and vice
+        // versa) out of the daemon memo.
+        let socket = sock("optmemo");
+        let handle = spawn_server(socket.clone());
+        wait_for(&socket);
+
+        let plain = request_build(&socket, &BuildRequest::new(MAIN).verilog()).unwrap();
+        assert_eq!(plain.served, Served::Led);
+        let opted =
+            request_build(&socket, &BuildRequest::new(MAIN).verilog().opt_level(2)).unwrap();
+        assert_eq!(
+            opted.served,
+            Served::Led,
+            "an -O2 request must not hit the -O0 memo entry"
+        );
+        assert_eq!(opted.output.stats.opt.level, 2);
+        assert!(
+            opted.output.stats.opt.cells_before >= opted.output.stats.opt.cells_after,
+            "the optimizer ran on the -O2 build"
+        );
+
+        // Repeats of each flavor hit their own memo entries.
+        let plain2 = request_build(&socket, &BuildRequest::new(MAIN).verilog()).unwrap();
+        assert_eq!(plain2.served, Served::Memo);
+        assert_eq!(plain2.output.verilog, plain.output.verilog);
+        let opted2 =
+            request_build(&socket, &BuildRequest::new(MAIN).verilog().opt_level(2)).unwrap();
+        assert_eq!(opted2.served, Served::Memo);
+        assert_eq!(opted2.output.verilog, opted.output.verilog);
+
+        let stats: std::collections::HashMap<_, _> =
+            server_stats(&socket).unwrap().into_iter().collect();
+        assert_eq!(stats["builds_run"], 2, "one build per opt level");
+        stop(&socket).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
     fn build_errors_come_back_as_server_errors() {
         let socket = sock("err");
         let handle = spawn_server(socket.clone());

@@ -63,6 +63,7 @@ pub use fil_bits as bits;
 pub use fil_build as build;
 pub use fil_designs as designs;
 pub use fil_harness as harness;
+pub use fil_opt as opt;
 pub use fil_solver as solver;
 pub use fil_stdlib as stdlib;
 pub use fil_trace as trace;
